@@ -1,0 +1,28 @@
+//! Instrumentation-pass model costs: running both passes and the exact
+//! gap-moment analysis over the Table 1 corpus.
+
+use concord_instrument::analysis::{analyze, AnalysisParams};
+use concord_instrument::corpus;
+use concord_instrument::passes::{instrument, PassConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_instrument(c: &mut Criterion) {
+    let mut g = c.benchmark_group("instrument");
+    let profile = &corpus::benchmarks()[0];
+    let program = profile.program();
+    g.bench_function("concord_pass", |b| {
+        b.iter(|| black_box(instrument(&program, &PassConfig::concord_worker())));
+    });
+    let instrumented = instrument(&program, &PassConfig::concord_worker());
+    g.bench_function("gap_analysis", |b| {
+        b.iter(|| black_box(analyze(&instrumented, &AnalysisParams::default())));
+    });
+    g.sample_size(10);
+    g.bench_function("full_table1", |b| {
+        b.iter(|| black_box(corpus::table1()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_instrument);
+criterion_main!(benches);

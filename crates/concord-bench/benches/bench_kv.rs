@@ -1,0 +1,62 @@
+//! KV-store operation costs — these calibrate the service times used by
+//! the Figure 9/10 simulations (paper §5.3: GET ≈ 600 ns, PUT ≈ 2.3 µs,
+//! SCAN ≈ 500 µs on a 15k-key in-memory database).
+
+use concord_kv::Db;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+const KEYS: u32 = 15_000;
+
+fn populated() -> Db {
+    let db = Db::new();
+    for i in 0..KEYS {
+        db.put(
+            format!("user{i:08}").into_bytes(),
+            format!("value-{i}-0123456789abcdef").into_bytes(),
+        );
+    }
+    db.flush();
+    db
+}
+
+fn bench_kv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kv");
+    // Each benchmark gets its own store so e.g. the put benchmark's
+    // millions of iterations cannot inflate the scan benchmark's data set.
+    {
+        let db = populated();
+        g.bench_function("get_hit", |b| {
+            let mut i = 0u32;
+            b.iter(|| {
+                i = (i + 7919) % KEYS;
+                black_box(db.get(format!("user{i:08}").as_bytes()));
+            });
+        });
+        g.bench_function("get_miss", |b| {
+            b.iter(|| black_box(db.get(b"user99999999")));
+        });
+    }
+    {
+        let db = populated();
+        g.bench_function("put", |b| {
+            let mut i = 0u32;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                db.put(format!("put{i:08}").into_bytes(), b"v".to_vec());
+            });
+        });
+    }
+    {
+        // The paper's §5.3 setup: 15k keys, fully in-memory, full scan
+        // ≈500 µs on their testbed.
+        let db = populated();
+        g.sample_size(20);
+        g.bench_function("scan_full_15k", |b| {
+            b.iter(|| black_box(db.scan_all().len()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_kv);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Simulator throughput: how fast the discrete-event engine regenerates
+//! figure points (events/second matters because the paper sweep runs
+//! hundreds of points).
+
+use concord_sim::{simulate, SimParams, SystemConfig};
+use concord_workloads::mix;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim");
+    g.sample_size(10);
+    g.bench_function("concord_bimodal_point", |b| {
+        let cfg = SystemConfig::concord(14, 5_000);
+        b.iter(|| {
+            black_box(simulate(
+                &cfg,
+                mix::bimodal_50_1_50_100(),
+                &SimParams::new(150_000.0, 5_000, 42),
+            ))
+        });
+    });
+    g.bench_function("shinjuku_bimodal_point", |b| {
+        let cfg = SystemConfig::shinjuku(14, 5_000);
+        b.iter(|| {
+            black_box(simulate(
+                &cfg,
+                mix::bimodal_50_1_50_100(),
+                &SimParams::new(150_000.0, 5_000, 42),
+            ))
+        });
+    });
+    g.bench_function("abstract_queue_point", |b| {
+        b.iter(|| {
+            black_box(concord_sim::abstract_queue::run(
+                8,
+                concord_sim::abstract_queue::PreemptionModel::Precise { quantum_ns: 5_000 },
+                mix::bimodal_995_05_05_500(),
+                1_000_000.0,
+                5_000,
+                42,
+            ))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

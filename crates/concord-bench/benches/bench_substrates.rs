@@ -1,0 +1,68 @@
+//! Microbenchmarks of the measurement / queueing / threading substrates:
+//! the costs that make microsecond-scale scheduling viable.
+
+use concord_metrics::{Histogram, SlowdownTracker};
+use concord_net::ring::ring;
+use concord_uthread::Coroutine;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("histogram");
+    g.bench_function("record", |b| {
+        let mut h = Histogram::new(3);
+        let mut v = 1u64;
+        b.iter(|| {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1) % 1_000_000 + 1;
+            h.record(black_box(v));
+        });
+    });
+    g.bench_function("p999_query", |b| {
+        let mut h = Histogram::new(3);
+        for i in 1..100_000u64 {
+            h.record(i * 17 % 1_000_000 + 1);
+        }
+        b.iter(|| black_box(h.value_at_quantile(0.999)));
+    });
+    g.bench_function("slowdown_record", |b| {
+        let mut t = SlowdownTracker::new();
+        b.iter(|| t.record(black_box(1_000), black_box(52_345)));
+    });
+    g.finish();
+}
+
+fn bench_ring(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spsc_ring");
+    g.bench_function("push_pop", |b| {
+        let (mut tx, mut rx) = ring::<u64>(1024);
+        b.iter(|| {
+            tx.push(black_box(42)).expect("space");
+            black_box(rx.pop().expect("item"));
+        });
+    });
+    g.finish();
+}
+
+fn bench_coroutine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("uthread");
+    // §3.1: cooperative switches should be ≈100 ns; one resume is two
+    // switches (caller→coroutine→caller).
+    g.bench_function("yield_resume_pair", |b| {
+        let mut co = Coroutine::new(64 * 1024, |y| loop {
+            y.yield_now();
+        });
+        co.resume();
+        b.iter(|| {
+            black_box(co.resume());
+        });
+    });
+    g.bench_function("create_and_complete", |b| {
+        b.iter(|| {
+            let mut co = Coroutine::new(16 * 1024, |_| {});
+            black_box(co.resume());
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_histogram, bench_ring, bench_coroutine);
+criterion_main!(benches);

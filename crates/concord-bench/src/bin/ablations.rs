@@ -1,0 +1,11 @@
+//! Ablation sweeps beyond the paper's figures (DESIGN.md §6): JBSQ depth
+//! and preemption-mechanism sweeps.
+
+fn main() {
+    let fid = concord_bench::fidelity_from_args();
+    print!("{}", concord_sim::experiments::ablation_jbsq_k(&fid));
+    println!();
+    print!("{}", concord_sim::experiments::ablation_mechanism(&fid));
+    println!();
+    print!("{}", concord_sim::experiments::ablation_batching(&fid));
+}

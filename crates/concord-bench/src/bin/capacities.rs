@@ -1,0 +1,60 @@
+//! Throughput-at-SLO summary: the paper's headline percentages, computed
+//! by capacity search on every (workload, quantum) pair of §5.2–§5.3.
+
+use concord_sim::experiments::{capacity_at_slo, ideal_capacity_rps, PAPER_WORKERS};
+use concord_sim::SystemConfig;
+use concord_workloads::{mix, Workload};
+
+fn main() {
+    let fid = concord_bench::fidelity_from_args();
+    println!(
+        "{:<34} {:>6} {:>14} {:>14} {:>14} {:>8}",
+        "workload", "q(us)", "Persephone", "Shinjuku", "Concord", "gain"
+    );
+    let cases: Vec<(&str, fn() -> mix::Mix, u64)> = vec![
+        ("Bimodal(50:1,50:100)", mix::bimodal_50_1_50_100, 5_000),
+        ("Bimodal(50:1,50:100)", mix::bimodal_50_1_50_100, 2_000),
+        ("Bimodal(99.5:0.5,0.5:500)", mix::bimodal_995_05_05_500, 5_000),
+        ("Bimodal(99.5:0.5,0.5:500)", mix::bimodal_995_05_05_500, 2_000),
+        ("TPCC", mix::tpcc, 10_000),
+        ("LevelDB(50:GET,50:SCAN)", mix::leveldb_get_scan, 5_000),
+        ("LevelDB(50:GET,50:SCAN)", mix::leveldb_get_scan, 2_000),
+        ("LevelDB(ZippyDB)", mix::zippydb, 5_000),
+    ];
+    for (name, make, q) in cases {
+        let mean = make().mean_service_ns();
+        let max = 1.25 * ideal_capacity_rps(PAPER_WORKERS, mean);
+        let cap = |cfg: &SystemConfig| -> f64 {
+            capacity_at_slo(cfg, make, max, &fid).map_or(0.0, |r| r.capacity)
+        };
+        let p = cap(&SystemConfig::persephone_fcfs(PAPER_WORKERS));
+        let s = cap(&SystemConfig::shinjuku(PAPER_WORKERS, q));
+        let c = cap(&SystemConfig::concord(PAPER_WORKERS, q));
+        let gain = if s > 0.0 { 100.0 * (c / s - 1.0) } else { f64::NAN };
+        println!(
+            "{:<34} {:>6} {:>13.0}k {:>13.0}k {:>13.0}k {:>+7.0}%",
+            name,
+            q / 1_000,
+            p / 1e3,
+            s / 1e3,
+            c / 1e3,
+            gain
+        );
+    }
+    let fixed_max = 5_000_000.0;
+    let cap = |cfg: &SystemConfig| -> f64 {
+        capacity_at_slo(cfg, mix::fixed_1us, fixed_max, &fid).map_or(0.0, |r| r.capacity)
+    };
+    let p = cap(&SystemConfig::persephone_fcfs(PAPER_WORKERS));
+    let s = cap(&SystemConfig::shinjuku(PAPER_WORKERS, 5_000));
+    let c = cap(&SystemConfig::concord(PAPER_WORKERS, 5_000));
+    println!(
+        "{:<34} {:>6} {:>13.0}k {:>13.0}k {:>13.0}k {:>+7.0}%",
+        "Fixed(1)",
+        5,
+        p / 1e3,
+        s / 1e3,
+        c / 1e3,
+        100.0 * (c / s - 1.0)
+    );
+}

@@ -1,0 +1,7 @@
+//! §6 extension experiment: Concord's cooperation on a work-stealing
+//! single-logical-queue runtime removes the single-dispatcher ceiling.
+
+fn main() {
+    let fid = concord_bench::fidelity_from_args();
+    print!("{}", concord_sim::experiments::discussion_logical_queue(&fid));
+}

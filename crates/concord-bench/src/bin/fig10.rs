@@ -1,0 +1,6 @@
+//! Figure 10: LevelDB under the ZippyDB production mix, q = 5 µs.
+
+fn main() {
+    let fid = concord_bench::fidelity_from_args();
+    print!("{}", concord_sim::experiments::fig10(&fid));
+}

@@ -1,0 +1,6 @@
+//! Figure 11: per-mechanism contribution on LevelDB 50/50, q = 2 µs.
+
+fn main() {
+    let fid = concord_bench::fidelity_from_args();
+    print!("{}", concord_sim::experiments::fig11(&fid));
+}

@@ -1,0 +1,6 @@
+//! Figure 12: preemption-overhead breakdown vs quantum.
+
+fn main() {
+    let t = concord_sim::experiments::fig12(&concord_bench::OVERHEAD_QUANTA_US);
+    print!("{t}");
+}

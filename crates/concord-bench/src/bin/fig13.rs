@@ -1,0 +1,6 @@
+//! Figure 13: dedicated vs work-conserving dispatcher on a 4-core config.
+
+fn main() {
+    let fid = concord_bench::fidelity_from_args();
+    print!("{}", concord_sim::experiments::fig13(&fid));
+}

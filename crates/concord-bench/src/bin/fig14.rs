@@ -1,0 +1,6 @@
+//! Figure 14: low-load zoom of Fig. 6 — the cost of approximation.
+
+fn main() {
+    let fid = concord_bench::fidelity_from_args();
+    print!("{}", concord_sim::experiments::fig14(&fid));
+}

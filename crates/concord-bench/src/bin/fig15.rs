@@ -1,0 +1,6 @@
+//! Figure 15: Concord vs Intel user-space IPIs (Sapphire Rapids model).
+
+fn main() {
+    let t = concord_sim::experiments::fig15(&concord_bench::OVERHEAD_QUANTA_US);
+    print!("{t}");
+}

@@ -1,0 +1,6 @@
+//! Figure 2: preemption-mechanism overhead vs scheduling quantum.
+
+fn main() {
+    let t = concord_sim::experiments::fig2(&concord_bench::OVERHEAD_QUANTA_US);
+    print!("{t}");
+}

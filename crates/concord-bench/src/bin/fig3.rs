@@ -1,0 +1,7 @@
+//! Figure 3: worker idle time awaiting the next request (SQ vs JBSQ).
+
+fn main() {
+    let fid = concord_bench::fidelity_from_args();
+    let t = concord_sim::experiments::fig3(&concord_bench::FIG3_SERVICE_US, &fid);
+    print!("{t}");
+}

@@ -1,0 +1,7 @@
+//! Figure 5: impact of imprecise preemption (idealized queueing sim).
+
+fn main() {
+    let fid = concord_bench::fidelity_from_args();
+    let t = concord_sim::experiments::fig5(&fid);
+    print!("{t}");
+}

@@ -1,0 +1,8 @@
+//! Figure 6: Bimodal(50:1, 50:100) slowdown vs load, q = 5 µs and 2 µs.
+
+fn main() {
+    let fid = concord_bench::fidelity_from_args();
+    print!("{}", concord_sim::experiments::fig6(5_000, &fid));
+    println!();
+    print!("{}", concord_sim::experiments::fig6(2_000, &fid));
+}

@@ -1,0 +1,8 @@
+//! Figure 7: Bimodal(99.5:0.5, 0.5:500) slowdown vs load, q = 5 µs and 2 µs.
+
+fn main() {
+    let fid = concord_bench::fidelity_from_args();
+    print!("{}", concord_sim::experiments::fig7(5_000, &fid));
+    println!();
+    print!("{}", concord_sim::experiments::fig7(2_000, &fid));
+}

@@ -1,0 +1,10 @@
+//! Figure 8: Fixed(1) (left, q = 5 µs and 2 µs) and TPCC (right, q = 10 µs).
+
+fn main() {
+    let fid = concord_bench::fidelity_from_args();
+    print!("{}", concord_sim::experiments::fig8_fixed(5_000, &fid));
+    println!();
+    print!("{}", concord_sim::experiments::fig8_fixed(2_000, &fid));
+    println!();
+    print!("{}", concord_sim::experiments::fig8_tpcc(&fid));
+}

@@ -1,0 +1,8 @@
+//! Figure 9: LevelDB 50% GET / 50% SCAN, q = 5 µs and 2 µs.
+
+fn main() {
+    let fid = concord_bench::fidelity_from_args();
+    print!("{}", concord_sim::experiments::fig9(5_000, &fid));
+    println!();
+    print!("{}", concord_sim::experiments::fig9(2_000, &fid));
+}

@@ -1,0 +1,159 @@
+//! A flexible command-line driver for the discrete-event simulator.
+//!
+//! ```text
+//! simulate [--system concord|shinjuku|persephone|coop-sq|coop-jbsq]
+//!          [--workload bimodal50|bimodal995|fixed1|tpcc|leveldb|zippydb]
+//!          [--rate RPS] [--load FRACTION] [--quantum US] [--workers N]
+//!          [--requests N] [--seed N] [--policy fcfs|srpt] [--batch N]
+//! ```
+//!
+//! Either `--rate` (absolute requests/sec) or `--load` (fraction of the
+//! ideal worker capacity) sets the offered load; `--load 0.7` is the
+//! default.
+
+use concord_sim::experiments::ideal_capacity_rps;
+use concord_sim::{simulate, Policy, SimParams, SystemConfig};
+use concord_workloads::mix::{self, Mix};
+use concord_workloads::Workload;
+use std::process::exit;
+
+struct Args {
+    system: String,
+    workload: String,
+    rate: Option<f64>,
+    load: f64,
+    quantum_us: f64,
+    workers: usize,
+    requests: u64,
+    seed: u64,
+    policy: Policy,
+    batch: u32,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: simulate [--system concord|shinjuku|persephone|coop-sq|coop-jbsq] \
+         [--workload bimodal50|bimodal995|fixed1|tpcc|leveldb|zippydb] \
+         [--rate RPS | --load FRACTION] [--quantum US] [--workers N] \
+         [--requests N] [--seed N] [--policy fcfs|srpt] [--batch N]"
+    );
+    exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        system: "concord".into(),
+        workload: "bimodal50".into(),
+        rate: None,
+        load: 0.7,
+        quantum_us: 5.0,
+        workers: 14,
+        requests: 80_000,
+        seed: 42,
+        policy: Policy::Fcfs,
+        batch: 1,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let value = argv.get(i + 1).unwrap_or_else(|| usage()).clone();
+        match flag {
+            "--system" => args.system = value,
+            "--workload" => args.workload = value,
+            "--rate" => args.rate = Some(value.parse().unwrap_or_else(|_| usage())),
+            "--load" => args.load = value.parse().unwrap_or_else(|_| usage()),
+            "--quantum" => args.quantum_us = value.parse().unwrap_or_else(|_| usage()),
+            "--workers" => args.workers = value.parse().unwrap_or_else(|_| usage()),
+            "--requests" => args.requests = value.parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = value.parse().unwrap_or_else(|_| usage()),
+            "--batch" => args.batch = value.parse().unwrap_or_else(|_| usage()),
+            "--policy" => {
+                args.policy = match value.as_str() {
+                    "fcfs" => Policy::Fcfs,
+                    "srpt" => Policy::Srpt,
+                    _ => usage(),
+                }
+            }
+            _ => usage(),
+        }
+        i += 2;
+    }
+    args
+}
+
+fn workload_by_name(name: &str) -> Mix {
+    match name {
+        "bimodal50" => mix::bimodal_50_1_50_100(),
+        "bimodal995" => mix::bimodal_995_05_05_500(),
+        "fixed1" => mix::fixed_1us(),
+        "tpcc" => mix::tpcc(),
+        "leveldb" => mix::leveldb_get_scan(),
+        "zippydb" => mix::zippydb(),
+        _ => usage(),
+    }
+}
+
+fn system_by_name(name: &str, workers: usize, quantum_ns: u64) -> SystemConfig {
+    match name {
+        "concord" => SystemConfig::concord(workers, quantum_ns),
+        "shinjuku" => SystemConfig::shinjuku(workers, quantum_ns),
+        "persephone" => SystemConfig::persephone_fcfs(workers),
+        "coop-sq" => SystemConfig::concord_coop_sq(workers, quantum_ns),
+        "coop-jbsq" => SystemConfig::concord_coop_jbsq(workers, quantum_ns),
+        _ => usage(),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let workload = workload_by_name(&args.workload);
+    let quantum_ns = (args.quantum_us * 1_000.0) as u64;
+    let cfg = system_by_name(&args.system, args.workers, quantum_ns)
+        .with_policy(args.policy)
+        .with_batch(args.batch);
+    let capacity = ideal_capacity_rps(args.workers, workload.mean_service_ns());
+    let rate = args.rate.unwrap_or(args.load * capacity);
+
+    println!(
+        "system={} workload={} workers={} quantum={}us policy={:?} batch={}",
+        cfg.name,
+        Workload::name(&workload),
+        args.workers,
+        args.quantum_us,
+        args.policy,
+        args.batch
+    );
+    println!(
+        "offered load: {:.0} rps ({:.0}% of ideal {:.0} rps), {} requests, seed {}",
+        rate,
+        100.0 * rate / capacity,
+        capacity,
+        args.requests,
+        args.seed
+    );
+
+    let r = simulate(&cfg, workload, &SimParams::new(rate, args.requests, args.seed));
+    println!();
+    println!("completed            {}", r.completed);
+    println!("censored             {}", r.censored);
+    println!("dispatcher completed {}", r.dispatcher_completed);
+    println!("preemptions          {}", r.preemptions);
+    println!("goodput              {:.0} rps", r.goodput_rps());
+    println!("p50 slowdown         {:.2}x", r.median_slowdown());
+    println!("p99 slowdown         {:.2}x", r.slowdown.p99());
+    println!("p99.9 slowdown       {:.2}x", r.p999_slowdown());
+    println!("worker idle (c_next) {:.2}%", 100.0 * r.worker_idle_wait_frac());
+    println!("dispatcher util      {:.1}%", 100.0 * r.dispatcher_util());
+    if r.preemptions > 0 {
+        println!(
+            "achieved quantum     {:.2}us mean, {:.2}us std",
+            r.quantum_mean_us(),
+            r.quantum_std_us()
+        );
+    }
+    println!();
+    println!("latency distribution:");
+    print!("{}", concord_metrics::ascii_chart(&r.latency_ns, 1_000.0, "us", 40));
+    println!("{}", concord_metrics::percentile_line(&r.latency_ns, 1_000.0, "us"));
+}

@@ -1,0 +1,7 @@
+//! Table 1: instrumentation overhead and preemption timeliness across the
+//! 24 Phoenix/Parsec/Splash-2 benchmark profiles.
+
+fn main() {
+    let rows = concord_instrument::corpus::table1();
+    print!("{}", concord_instrument::corpus::render_table1(&rows));
+}

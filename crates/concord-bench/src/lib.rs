@@ -1,0 +1,34 @@
+//! The reproduction harness.
+//!
+//! One binary per paper table/figure (`src/bin/figN.rs`, `table1.rs`) plus
+//! ablation sweeps; each prints the same rows/series the paper plots.
+//! Criterion microbenchmarks for the substrates live under `benches/`.
+//!
+//! Run e.g.:
+//!
+//! ```text
+//! cargo run --release -p concord-bench --bin fig6 -- standard
+//! cargo run --release -p concord-bench --bin table1
+//! ```
+//!
+//! Fidelity arguments: `quick` (CI-sized), `standard` (default), `paper`
+//! (the EXPERIMENTS.md numbers).
+
+#![warn(missing_docs)]
+
+use concord_sim::experiments::Fidelity;
+
+/// Parses the harness fidelity from argv (defaults to `standard`).
+pub fn fidelity_from_args() -> Fidelity {
+    match std::env::args().nth(1).as_deref() {
+        Some("quick") => Fidelity::quick(),
+        Some("paper") => Fidelity::paper(),
+        _ => Fidelity::standard(),
+    }
+}
+
+/// The scheduling quanta (µs) used by the overhead figures (2, 12, 15).
+pub const OVERHEAD_QUANTA_US: [f64; 6] = [1.0, 5.0, 10.0, 25.0, 50.0, 100.0];
+
+/// The service times (µs) swept in Fig. 3.
+pub const FIG3_SERVICE_US: [f64; 6] = [1.0, 5.0, 10.0, 25.0, 50.0, 100.0];

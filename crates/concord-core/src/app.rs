@@ -1,0 +1,220 @@
+//! The application interface (paper §4.1) and the synthetic spin server.
+
+use crate::preempt;
+use concord_net::Request;
+use concord_uthread::Yielder;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// The three-callback application API of §4.1.
+///
+/// `handle_request` runs inside a coroutine on a worker thread (or, for
+/// stolen requests, on the dispatcher). It should call
+/// [`RequestContext::preempt_point`] at microsecond-ish intervals — the
+/// explicit equivalent of the probes Concord's compiler pass inserts — or
+/// use helpers such as [`RequestContext::spin_for`] that embed the checks.
+pub trait ConcordApp: Send + Sync + 'static {
+    /// One-time global initialization, called before any thread starts.
+    fn setup(&self) {}
+
+    /// Per-worker initialization, called on each worker thread before it
+    /// serves requests. `core` is the worker index.
+    fn setup_worker(&self, core: usize) {
+        let _ = core;
+    }
+
+    /// Processes one request, returning an opaque result code carried back
+    /// in the response descriptor. May be suspended at any
+    /// [`RequestContext::preempt_point`] and resumed on another thread.
+    fn handle_request(&self, req: &Request, ctx: &mut RequestContext<'_, '_>) -> u64;
+}
+
+/// Per-activation context handed to [`ConcordApp::handle_request`].
+pub struct RequestContext<'y, 'a> {
+    yielder: &'a mut Yielder,
+    /// Times this request has yielded so far.
+    preemptions: &'a mut u32,
+    _marker: std::marker::PhantomData<&'y ()>,
+}
+
+impl<'y, 'a> RequestContext<'y, 'a> {
+    /// Wraps a coroutine yielder (used by the runtime's task plumbing).
+    pub(crate) fn new(yielder: &'a mut Yielder, preemptions: &'a mut u32) -> Self {
+        Self {
+            yielder,
+            preemptions,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// A preemption point: if the dispatcher has signaled this worker's
+    /// cache line (and no lock is held), yields the coroutine; otherwise
+    /// costs a couple of cycles, like the compiler-inserted probe (§3.1).
+    pub fn preempt_point(&mut self) {
+        if preempt::should_yield() {
+            *self.preemptions += 1;
+            self.yielder.yield_now();
+        }
+    }
+
+    /// Marks entry into an application critical section; preemption is
+    /// suppressed until the matching [`RequestContext::lock_exit`].
+    pub fn lock_enter(&mut self) {
+        preempt::lock_enter();
+    }
+
+    /// Marks exit from an application critical section.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unbalanced lock accounting.
+    pub fn lock_exit(&mut self) {
+        preempt::lock_exit();
+    }
+
+    /// Times this request has been preempted so far.
+    pub fn preemptions(&self) -> u32 {
+        *self.preemptions
+    }
+
+    /// Spins for `busy` wall time, checking a preemption point roughly
+    /// every `check_every`. Time spent suspended does not count toward the
+    /// spin — this is the synthetic "spin server" of §5.1.
+    pub fn spin_for(&mut self, busy: Duration, check_every: Duration) {
+        let mut done = Duration::ZERO;
+        while done < busy {
+            let chunk = check_every.min(busy - done);
+            let start = Instant::now();
+            while start.elapsed() < chunk {
+                std::hint::spin_loop();
+            }
+            done += chunk;
+            self.preempt_point();
+        }
+    }
+}
+
+/// The paper's synthetic workload application: spins for the service time
+/// carried in each request (§5.1), with preemption points every ≈1 µs.
+#[derive(Debug, Default)]
+pub struct SpinApp {
+    /// Total busy nanoseconds spun (for tests).
+    pub total_spun_ns: AtomicU64,
+}
+
+impl SpinApp {
+    /// Creates the spin server.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ConcordApp for SpinApp {
+    fn handle_request(&self, req: &Request, ctx: &mut RequestContext<'_, '_>) -> u64 {
+        let busy = Duration::from_nanos(req.service_ns);
+        ctx.spin_for(busy, Duration::from_micros(1));
+        self.total_spun_ns.fetch_add(req.service_ns, Ordering::Relaxed);
+        u64::from(ctx.preemptions())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preempt::{set_mode, PreemptMode, WorkerShared};
+    use concord_uthread::{CoState, Coroutine};
+    use std::sync::Arc;
+
+    fn run_in_coroutine<F>(f: F) -> Coroutine
+    where
+        F: FnOnce(&mut RequestContext<'_, '_>) + Send + 'static,
+    {
+        Coroutine::new(64 * 1024, move |y| {
+            let mut preemptions = 0;
+            let mut ctx = RequestContext::new(y, &mut preemptions);
+            f(&mut ctx);
+        })
+    }
+
+    #[test]
+    fn preempt_point_without_signal_is_noop() {
+        set_mode(PreemptMode::None);
+        let mut co = run_in_coroutine(|ctx| {
+            for _ in 0..1000 {
+                ctx.preempt_point();
+            }
+        });
+        assert_eq!(co.resume(), CoState::Complete);
+    }
+
+    #[test]
+    fn preempt_point_yields_on_signal() {
+        let shared = Arc::new(WorkerShared::new());
+        shared.line.signal();
+        let s = shared.clone();
+        let mut co = Coroutine::new(64 * 1024, move |y| {
+            set_mode(PreemptMode::Worker(s));
+            let mut preemptions = 0;
+            let mut ctx = RequestContext::new(y, &mut preemptions);
+            ctx.preempt_point(); // must yield here
+            assert_eq!(ctx.preemptions(), 1);
+            set_mode(PreemptMode::None);
+        });
+        assert_eq!(co.resume(), CoState::Suspended);
+        assert_eq!(co.resume(), CoState::Complete);
+    }
+
+    #[test]
+    fn lock_suppresses_preemption_until_exit() {
+        let shared = Arc::new(WorkerShared::new());
+        shared.line.signal();
+        let s = shared.clone();
+        let mut co = Coroutine::new(64 * 1024, move |y| {
+            set_mode(PreemptMode::Worker(s));
+            let mut preemptions = 0;
+            let mut ctx = RequestContext::new(y, &mut preemptions);
+            ctx.lock_enter();
+            ctx.preempt_point(); // suppressed: in critical section
+            assert_eq!(ctx.preemptions(), 0);
+            ctx.lock_exit();
+            ctx.preempt_point(); // now it yields
+            assert_eq!(ctx.preemptions(), 1);
+            set_mode(PreemptMode::None);
+        });
+        assert_eq!(co.resume(), CoState::Suspended);
+        assert_eq!(co.resume(), CoState::Complete);
+    }
+
+    #[test]
+    fn spin_for_spins_approximately_right() {
+        set_mode(PreemptMode::None);
+        let mut co = run_in_coroutine(|ctx| {
+            let start = Instant::now();
+            ctx.spin_for(Duration::from_millis(5), Duration::from_micros(50));
+            let took = start.elapsed();
+            assert!(took >= Duration::from_millis(5), "took {took:?}");
+            assert!(took < Duration::from_millis(200), "took {took:?}");
+        });
+        assert_eq!(co.resume(), CoState::Complete);
+    }
+
+    #[test]
+    fn spin_app_counts_work() {
+        set_mode(PreemptMode::None);
+        let app = Arc::new(SpinApp::new());
+        let a = app.clone();
+        let mut co = Coroutine::new(64 * 1024, move |y| {
+            let req = Request {
+                id: 1,
+                class: 0,
+                service_ns: 100_000,
+                sent_at: Instant::now(),
+            };
+            let mut preemptions = 0;
+            let mut ctx = RequestContext::new(y, &mut preemptions);
+            a.handle_request(&req, &mut ctx);
+        });
+        assert_eq!(co.resume(), CoState::Complete);
+        assert_eq!(app.total_spun_ns.load(Ordering::Relaxed), 100_000);
+    }
+}

@@ -1,0 +1,100 @@
+//! Runtime configuration.
+
+use std::time::Duration;
+
+/// Configuration of a [`Runtime`](crate::Runtime).
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    /// Number of worker threads.
+    pub n_workers: usize,
+    /// Scheduling quantum. Requests running longer than this are signaled
+    /// to yield at their next preemption point.
+    pub quantum: Duration,
+    /// JBSQ per-worker queue bound `k` (§3.2; the paper uses 2).
+    /// 1 is equivalent to a synchronous single queue.
+    pub jbsq_depth: usize,
+    /// Whether the dispatcher executes requests itself when all worker
+    /// queues are full (§3.3).
+    pub work_conserving: bool,
+    /// Stack size for request coroutines, bytes.
+    pub stack_size: usize,
+    /// How long the dispatcher may run a stolen request before
+    /// self-preempting to resume its duties.
+    pub dispatcher_slice: Duration,
+    /// Upper bound on requests held inside the runtime (central queue +
+    /// in flight); beyond it, ingress pauses (the RX ring then fills and
+    /// drops, preserving open-loop semantics).
+    pub max_in_flight: usize,
+}
+
+impl RuntimeConfig {
+    /// The paper's defaults: JBSQ(2), work conservation on, 5 µs quantum.
+    pub fn paper_defaults(n_workers: usize) -> Self {
+        Self {
+            n_workers,
+            quantum: Duration::from_micros(5),
+            jbsq_depth: 2,
+            work_conserving: true,
+            stack_size: 64 * 1024,
+            dispatcher_slice: Duration::from_micros(5),
+            max_in_flight: 16 * 1024,
+        }
+    }
+
+    /// A configuration suited to CI machines: 2 workers and a coarse
+    /// quantum so OS-scheduler noise doesn't drown the mechanism.
+    pub fn small_test() -> Self {
+        Self {
+            n_workers: 2,
+            quantum: Duration::from_millis(1),
+            jbsq_depth: 2,
+            work_conserving: true,
+            stack_size: 64 * 1024,
+            dispatcher_slice: Duration::from_millis(1),
+            max_in_flight: 4 * 1024,
+        }
+    }
+
+    /// Sets the scheduling quantum.
+    pub fn with_quantum(mut self, quantum: Duration) -> Self {
+        self.quantum = quantum;
+        self
+    }
+
+    /// Sets the JBSQ depth (clamped to ≥ 1).
+    pub fn with_jbsq_depth(mut self, k: usize) -> Self {
+        self.jbsq_depth = k.max(1);
+        self
+    }
+
+    /// Enables or disables dispatcher work conservation.
+    pub fn with_work_conserving(mut self, on: bool) -> Self {
+        self.work_conserving = on;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_paper() {
+        let c = RuntimeConfig::paper_defaults(14);
+        assert_eq!(c.n_workers, 14);
+        assert_eq!(c.jbsq_depth, 2);
+        assert!(c.work_conserving);
+        assert_eq!(c.quantum, Duration::from_micros(5));
+    }
+
+    #[test]
+    fn builders_apply() {
+        let c = RuntimeConfig::small_test()
+            .with_quantum(Duration::from_micros(100))
+            .with_jbsq_depth(0)
+            .with_work_conserving(false);
+        assert_eq!(c.quantum, Duration::from_micros(100));
+        assert_eq!(c.jbsq_depth, 1, "depth clamps to 1");
+        assert!(!c.work_conserving);
+    }
+}

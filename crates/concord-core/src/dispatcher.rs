@@ -1,0 +1,235 @@
+//! The dispatcher thread: ingest, central queue, quantum policing, JBSQ
+//! dispatch, and work conservation.
+
+use crate::app::ConcordApp;
+use crate::config::RuntimeConfig;
+use crate::preempt::{set_mode, PreemptMode, WorkerShared};
+use crate::stats::RuntimeStats;
+use crate::task::{SliceEnd, Task};
+use crate::worker::WorkerMsg;
+use concord_net::ring::{Consumer, Producer};
+use concord_net::{Request, Response};
+use crossbeam_queue::SegQueue;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Dispatcher-side view of one worker.
+pub struct WorkerSlot {
+    /// Shared preemption state.
+    pub shared: Arc<WorkerShared>,
+    /// Producer side of the worker's bounded local ring.
+    pub ring: Producer<Task>,
+    /// Requests pushed but not yet completed/re-queued (JBSQ occupancy).
+    pub inflight: usize,
+}
+
+/// Long-lived state of the dispatcher thread.
+pub struct DispatcherLoop<A: ConcordApp> {
+    /// Application (needed to build tasks at ingest).
+    pub app: Arc<A>,
+    /// Runtime configuration.
+    pub cfg: RuntimeConfig,
+    /// NIC RX ring.
+    pub rx: Consumer<Request>,
+    /// NIC TX ring.
+    pub tx: Producer<Response>,
+    /// Per-worker slots.
+    pub workers: Vec<WorkerSlot>,
+    /// Channel from workers.
+    pub from_workers: Arc<SegQueue<WorkerMsg>>,
+    /// Runtime epoch.
+    pub epoch: Instant,
+    /// Request to stop: drain and exit.
+    pub stop: Arc<AtomicBool>,
+    /// Set by the dispatcher once drained, releasing the workers.
+    pub workers_stop: Arc<AtomicBool>,
+    /// Shared counters.
+    pub stats: Arc<RuntimeStats>,
+}
+
+/// Upper bound on pooled request stacks (64 KiB each by default).
+const STACK_POOL_CAP: usize = 256;
+
+impl<A: ConcordApp> DispatcherLoop<A> {
+    /// Runs until stopped and drained. Consumes the loop state.
+    pub fn run(mut self) {
+        let mut central: VecDeque<Task> = VecDeque::new();
+        let mut stolen: Option<Task> = None;
+        let mut stack_pool: Vec<concord_uthread::stack::Stack> =
+            Vec::with_capacity(STACK_POOL_CAP);
+        loop {
+            let mut progressed = false;
+
+            // 1. Quantum policing: signal workers whose slice expired
+            //    (§3.1 — the dispatcher owns *when*, the worker owns *how*).
+            for w in &self.workers {
+                if w.shared.claim_expired(self.epoch) {
+                    w.shared.line.signal();
+                    self.stats.signals_sent.fetch_add(1, Ordering::Relaxed);
+                    progressed = true;
+                }
+            }
+
+            // 2. Worker messages: completions free JBSQ slots and emit
+            //    responses; requeues re-enter the central queue (FCFS
+            //    tail, the processor-sharing approximation of §3.1).
+            while let Some(msg) = self.from_workers.pop() {
+                progressed = true;
+                match msg {
+                    WorkerMsg::Completed { worker, resp, stack } => {
+                        self.workers[worker].inflight =
+                            self.workers[worker].inflight.saturating_sub(1);
+                        if let Some(s) = stack {
+                            if stack_pool.len() < STACK_POOL_CAP
+                                && s.size() >= self.cfg.stack_size
+                            {
+                                stack_pool.push(s);
+                            }
+                        }
+                        self.emit(resp);
+                    }
+                    WorkerMsg::Requeue { worker, task } => {
+                        self.workers[worker].inflight =
+                            self.workers[worker].inflight.saturating_sub(1);
+                        self.stats.requeues.fetch_add(1, Ordering::Relaxed);
+                        central.push_back(task);
+                    }
+                }
+            }
+
+            // 3. Ingest new arrivals (unless stopping or at the in-flight
+            //    cap — the RX ring then backs up and drops, keeping the
+            //    open loop honest).
+            if !self.stop.load(Ordering::Acquire) {
+                while self.in_flight(&central, &stolen) < self.cfg.max_in_flight {
+                    let Some(req) = self.rx.pop() else { break };
+                    self.stats.ingested.fetch_add(1, Ordering::Relaxed);
+                    let task = match stack_pool.pop() {
+                        Some(stack) => {
+                            self.stats.stack_reuses.fetch_add(1, Ordering::Relaxed);
+                            Task::with_stack(self.app.clone(), req, stack)
+                        }
+                        None => Task::new(self.app.clone(), req, self.cfg.stack_size),
+                    };
+                    central.push_back(task);
+                    progressed = true;
+                }
+            }
+
+            // 4. JBSQ dispatch: shortest queue first, bounded by k.
+            while !central.is_empty() {
+                let Some(target) = self.pick_worker() else { break };
+                let task = central.pop_front().expect("checked non-empty");
+                self.workers[target].inflight += 1;
+                self.stats.dispatched.fetch_add(1, Ordering::Relaxed);
+                if let Err(_task) = self.workers[target].ring.push(task) {
+                    unreachable!("JBSQ bound guarantees ring capacity");
+                }
+                progressed = true;
+            }
+
+            // 5. Work conservation (§3.3): when every worker queue is full
+            //    and non-started work is queued, the dispatcher runs it
+            //    itself, one self-preempting slice at a time.
+            if self.cfg.work_conserving {
+                if stolen.is_none() && self.all_workers_full() {
+                    if let Some(pos) = central.iter().position(|t| !t.started) {
+                        let task = central.remove(pos).expect("position valid");
+                        self.stats.stolen.fetch_add(1, Ordering::Relaxed);
+                        stolen = Some(task);
+                    }
+                }
+                if let Some(mut task) = stolen.take() {
+                    set_mode(PreemptMode::DispatcherDeadline(
+                        Instant::now() + self.cfg.dispatcher_slice,
+                    ));
+                    let end = task.run_slice();
+                    set_mode(PreemptMode::None);
+                    match end {
+                        SliceEnd::Completed => {
+                            self.stats.dispatcher_completed.fetch_add(1, Ordering::Relaxed);
+                            let resp = task.response();
+                            self.emit(resp);
+                            if let Some(s) = task.recycle() {
+                                if stack_pool.len() < STACK_POOL_CAP {
+                                    stack_pool.push(s);
+                                }
+                            }
+                        }
+                        // Saved to the dedicated buffer; resumed when the
+                        // dispatcher is next idle. It can never migrate to
+                        // a worker (different "instrumentation", §3.3).
+                        SliceEnd::Preempted => stolen = Some(task),
+                        SliceEnd::Failed => {
+                            self.stats.failed.fetch_add(1, Ordering::Relaxed);
+                            let resp = task.response();
+                            self.emit(resp);
+                            if let Some(s) = task.recycle() {
+                                if stack_pool.len() < STACK_POOL_CAP {
+                                    stack_pool.push(s);
+                                }
+                            }
+                        }
+                    }
+                    progressed = true;
+                }
+            }
+
+            // 6. Shutdown: once asked to stop and fully drained, release
+            //    the workers and exit.
+            if self.stop.load(Ordering::Acquire) && !progressed {
+                let drained = central.is_empty()
+                    && stolen.is_none()
+                    && self.workers.iter().all(|w| w.inflight == 0)
+                    && self.from_workers.is_empty();
+                if drained {
+                    self.workers_stop.store(true, Ordering::Release);
+                    return;
+                }
+            }
+
+            if !progressed {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    fn in_flight(&self, central: &VecDeque<Task>, stolen: &Option<Task>) -> usize {
+        central.len()
+            + self.workers.iter().map(|w| w.inflight).sum::<usize>()
+            + usize::from(stolen.is_some())
+    }
+
+    fn all_workers_full(&self) -> bool {
+        self.workers.iter().all(|w| w.inflight >= self.cfg.jbsq_depth)
+    }
+
+    /// Shortest-queue selection among workers with a free JBSQ slot.
+    fn pick_worker(&self) -> Option<usize> {
+        self.workers
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.inflight < self.cfg.jbsq_depth)
+            .min_by_key(|(i, w)| (w.inflight, *i))
+            .map(|(i, _)| i)
+    }
+
+    /// Pushes a response, retrying briefly if the TX ring is full; a
+    /// persistently full ring (no collector) drops the response rather
+    /// than wedging the runtime.
+    fn emit(&mut self, resp: Response) {
+        let mut r = resp;
+        for _ in 0..10_000 {
+            match self.tx.push(r) {
+                Ok(()) => return,
+                Err(back) => {
+                    r = back;
+                    std::thread::yield_now();
+                }
+            }
+        }
+        // Collector gone; drop the response descriptor.
+    }
+}

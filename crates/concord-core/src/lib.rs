@@ -1,0 +1,60 @@
+//! The Concord runtime: approximate optimal scheduling for
+//! microsecond-scale requests (paper §3–§4), as a real multi-threaded
+//! system.
+//!
+//! One dispatcher thread ingests requests from a NIC-model ring, keeps the
+//! central queue, signals preemption by writing each worker's dedicated
+//! cache line, pushes work into bounded JBSQ(k) per-worker rings, and —
+//! when every worker queue is full — executes requests itself with
+//! self-preempting time checks (§3.3). Worker threads run each request in
+//! a stackful coroutine (`concord-uthread`) and poll their cache line at
+//! *preemption points*; a preempted request's coroutine is handed back to
+//! the dispatcher and may resume on any worker.
+//!
+//! The paper's compiler pass inserts those preemption points
+//! automatically; in this reproduction applications call
+//! [`RequestContext::preempt_point`] explicitly (or use helpers like
+//! [`RequestContext::spin_for`] that embed the checks), which exercises
+//! the identical runtime machinery.
+//!
+//! # Examples
+//!
+//! ```
+//! use concord_core::{Runtime, RuntimeConfig, SpinApp};
+//! use concord_net::{ring, Request, Response, LoadGen, Collector, RttModel};
+//! use concord_workloads::mix;
+//! use std::sync::Arc;
+//! use std::time::Duration;
+//!
+//! let (req_tx, req_rx) = ring::<Request>(4096);
+//! let (resp_tx, resp_rx) = ring::<Response>(4096);
+//! let rt = Runtime::start(
+//!     RuntimeConfig::small_test(),
+//!     Arc::new(SpinApp::new()),
+//!     req_rx,
+//!     resp_tx,
+//! );
+//! let gen = LoadGen::start(req_tx, mix::fixed_1us(), 50_000.0, 200, 1);
+//! let mut collector = Collector::new(resp_rx, RttModel::zero(), 1);
+//! assert!(collector.collect(200, Duration::from_secs(30)));
+//! gen.join();
+//! rt.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod app;
+pub mod config;
+pub mod dispatcher;
+pub mod preempt;
+pub mod runtime;
+pub mod stats;
+pub mod task;
+pub mod worker;
+
+pub use app::{ConcordApp, RequestContext, SpinApp};
+pub use config::RuntimeConfig;
+pub use preempt::{LockDepthObserver, PreemptLine};
+pub use runtime::Runtime;
+pub use stats::{RuntimeStats, WorkerStats};

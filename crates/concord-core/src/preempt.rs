@@ -1,0 +1,282 @@
+//! Preemption signaling: the per-worker dedicated cache line and the
+//! lock-depth safety counter.
+
+use crossbeam_utils::CachePadded;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The per-worker dedicated cache line `L_i` (§3.1).
+///
+/// The dispatcher writes it when the running request's quantum expires;
+/// the worker's preemption points read it. `CachePadded` keeps the flag on
+/// its own cache line so worker polls are L1 hits until the dispatcher's
+/// write — exactly the cost structure the paper measures (≈2-cycle check,
+/// one read-after-write miss when signaled).
+#[derive(Debug, Default)]
+pub struct PreemptLine {
+    flag: CachePadded<AtomicBool>,
+}
+
+impl PreemptLine {
+    /// Creates an unsignaled line.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Dispatcher side: request a yield.
+    pub fn signal(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Worker side: cheap poll without consuming the signal.
+    pub fn is_signaled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+
+    /// Worker side: consume the signal if present.
+    pub fn take_signal(&self) -> bool {
+        if self.flag.load(Ordering::Relaxed) {
+            self.flag.store(false, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Worker side: clear any stale signal (called at slice start so a
+    /// signal aimed at the previous request cannot preempt the next one
+    /// immediately).
+    pub fn clear(&self) {
+        self.flag.store(false, Ordering::Relaxed);
+    }
+}
+
+/// Shared dispatcher↔worker state for one worker.
+#[derive(Debug)]
+pub struct WorkerShared {
+    /// The dedicated preemption cache line.
+    pub line: PreemptLine,
+    /// Quantum deadline of the currently running slice, as microseconds
+    /// since runtime start; `u64::MAX` when the worker is idle. Written by
+    /// the worker, read by the dispatcher's expiry scan.
+    pub deadline_us: AtomicU64,
+}
+
+impl WorkerShared {
+    /// Creates idle shared state.
+    pub fn new() -> Self {
+        Self {
+            line: PreemptLine::new(),
+            deadline_us: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    /// Worker: publish the quantum deadline for the slice starting now.
+    pub fn publish_deadline(&self, epoch: Instant, quantum: Duration) {
+        let deadline = epoch.elapsed() + quantum;
+        self.deadline_us
+            .store(deadline.as_micros() as u64, Ordering::Release);
+    }
+
+    /// Worker: mark idle (no slice to preempt).
+    pub fn clear_deadline(&self) {
+        self.deadline_us.store(u64::MAX, Ordering::Release);
+    }
+
+    /// Dispatcher: if the published deadline has passed, atomically claim
+    /// it (so each slice is signaled once) and return true.
+    pub fn claim_expired(&self, epoch: Instant) -> bool {
+        let now_us = epoch.elapsed().as_micros() as u64;
+        let deadline = self.deadline_us.load(Ordering::Acquire);
+        if deadline == u64::MAX || now_us < deadline {
+            return false;
+        }
+        self.deadline_us
+            .compare_exchange(deadline, u64::MAX, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+    }
+}
+
+impl Default for WorkerShared {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+thread_local! {
+    /// Lock depth of the request currently executing on this thread.
+    /// Non-zero depth suppresses preemption (§3.1 safety-first rule).
+    static LOCK_DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Increments the current thread's lock depth.
+pub fn lock_enter() {
+    LOCK_DEPTH.with(|d| d.set(d.get() + 1));
+}
+
+/// Decrements the current thread's lock depth.
+///
+/// # Panics
+///
+/// Panics if the depth would go negative (unbalanced lock accounting).
+pub fn lock_exit() {
+    LOCK_DEPTH.with(|d| {
+        let cur = d.get();
+        assert!(cur > 0, "unbalanced lock_exit");
+        d.set(cur - 1);
+    });
+}
+
+/// Current thread's lock depth.
+pub fn lock_depth() -> u32 {
+    LOCK_DEPTH.with(Cell::get)
+}
+
+/// The paper's "4 lines of code" (§3.1), packaged: a
+/// [`concord_kv::LockObserver`] that maintains the per-thread lock depth so
+/// the runtime never preempts inside the store's critical sections.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LockDepthObserver;
+
+impl concord_kv::LockObserver for LockDepthObserver {
+    fn locked(&self) {
+        lock_enter();
+    }
+    fn unlocked(&self) {
+        lock_exit();
+    }
+}
+
+/// How the currently executing request should detect preemption.
+#[derive(Clone)]
+pub enum PreemptMode {
+    /// Not inside the runtime (preemption points are no-ops).
+    None,
+    /// On a worker: poll this dedicated cache line.
+    Worker(Arc<WorkerShared>),
+    /// On the work-conserving dispatcher: self-preempt past this deadline
+    /// (the rdtsc-instrumented code path of §3.3).
+    DispatcherDeadline(Instant),
+}
+
+thread_local! {
+    static MODE: std::cell::RefCell<PreemptMode> =
+        const { std::cell::RefCell::new(PreemptMode::None) };
+}
+
+/// Installs the preemption mode for the slice about to run on this thread.
+pub fn set_mode(mode: PreemptMode) {
+    MODE.with(|m| *m.borrow_mut() = mode);
+}
+
+/// True if the current slice should yield now: a signal is pending (or the
+/// dispatcher deadline passed) *and* no lock is held. Consumes the signal.
+pub fn should_yield() -> bool {
+    if lock_depth() != 0 {
+        return false;
+    }
+    MODE.with(|m| match &*m.borrow() {
+        PreemptMode::None => false,
+        PreemptMode::Worker(shared) => shared.line.take_signal(),
+        PreemptMode::DispatcherDeadline(deadline) => Instant::now() >= *deadline,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_signal_roundtrip() {
+        let l = PreemptLine::new();
+        assert!(!l.is_signaled());
+        l.signal();
+        assert!(l.is_signaled());
+        assert!(l.take_signal());
+        assert!(!l.is_signaled());
+        assert!(!l.take_signal());
+    }
+
+    #[test]
+    fn clear_discards_stale_signal() {
+        let l = PreemptLine::new();
+        l.signal();
+        l.clear();
+        assert!(!l.take_signal());
+    }
+
+    #[test]
+    fn deadline_claim_fires_once() {
+        let s = WorkerShared::new();
+        let epoch = Instant::now();
+        s.publish_deadline(epoch, Duration::ZERO); // expires immediately
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(s.claim_expired(epoch));
+        assert!(!s.claim_expired(epoch), "second claim must fail");
+    }
+
+    #[test]
+    fn future_deadline_does_not_fire() {
+        let s = WorkerShared::new();
+        let epoch = Instant::now();
+        s.publish_deadline(epoch, Duration::from_secs(60));
+        assert!(!s.claim_expired(epoch));
+    }
+
+    #[test]
+    fn idle_worker_never_expires() {
+        let s = WorkerShared::new();
+        assert!(!s.claim_expired(Instant::now() - Duration::from_secs(1)));
+    }
+
+    #[test]
+    fn lock_depth_suppresses_yield() {
+        let shared = Arc::new(WorkerShared::new());
+        set_mode(PreemptMode::Worker(shared.clone()));
+        shared.line.signal();
+        lock_enter();
+        assert!(!should_yield(), "locked: must not yield");
+        lock_exit();
+        assert!(should_yield(), "unlocked with pending signal: must yield");
+        assert!(!should_yield(), "signal consumed");
+        set_mode(PreemptMode::None);
+    }
+
+    #[test]
+    fn dispatcher_deadline_mode() {
+        set_mode(PreemptMode::DispatcherDeadline(
+            Instant::now() + Duration::from_secs(60),
+        ));
+        assert!(!should_yield());
+        set_mode(PreemptMode::DispatcherDeadline(
+            Instant::now() - Duration::from_millis(1),
+        ));
+        assert!(should_yield());
+        set_mode(PreemptMode::None);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbalanced")]
+    fn unbalanced_unlock_panics() {
+        // Fresh thread so we don't poison other tests' thread-local state.
+        if let Err(payload) = std::thread::spawn(lock_exit).join() {
+            std::panic::resume_unwind(payload);
+        }
+    }
+
+    #[test]
+    fn kv_observer_tracks_depth() {
+        use concord_kv::LockObserver;
+        let o = LockDepthObserver;
+        assert_eq!(lock_depth(), 0);
+        o.locked();
+        assert_eq!(lock_depth(), 1);
+        o.locked();
+        assert_eq!(lock_depth(), 2);
+        o.unlocked();
+        o.unlocked();
+        assert_eq!(lock_depth(), 0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Runtime assembly: spawn the dispatcher and workers, wire the rings.
+
+use crate::app::ConcordApp;
+use crate::config::RuntimeConfig;
+use crate::dispatcher::{DispatcherLoop, WorkerSlot};
+use crate::preempt::WorkerShared;
+use crate::stats::RuntimeStats;
+use crate::task::Task;
+use crate::worker::{WorkerLoop, WorkerMsg};
+use concord_net::ring::{ring, Consumer, Producer};
+use concord_net::{Request, Response};
+use crossbeam_queue::SegQueue;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// A running Concord instance.
+///
+/// Construct with [`Runtime::start`]; stop with [`Runtime::shutdown`],
+/// which drains all in-flight requests before returning.
+pub struct Runtime {
+    stop: Arc<AtomicBool>,
+    stats: Arc<RuntimeStats>,
+    dispatcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Runtime {
+    /// Starts the runtime: one dispatcher thread plus
+    /// `config.n_workers` worker threads, serving requests from `rx` and
+    /// emitting responses on `tx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.n_workers` is zero or thread spawning fails.
+    pub fn start<A: ConcordApp>(
+        config: RuntimeConfig,
+        app: Arc<A>,
+        rx: Consumer<Request>,
+        tx: Producer<Response>,
+    ) -> Self {
+        assert!(config.n_workers >= 1, "need at least one worker");
+        app.setup();
+
+        let epoch = Instant::now();
+        let stop = Arc::new(AtomicBool::new(false));
+        let workers_stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(RuntimeStats::with_workers(config.n_workers));
+        let from_workers: Arc<SegQueue<WorkerMsg>> = Arc::new(SegQueue::new());
+
+        let mut slots = Vec::with_capacity(config.n_workers);
+        let mut worker_handles = Vec::with_capacity(config.n_workers);
+        for idx in 0..config.n_workers {
+            let shared = Arc::new(WorkerShared::new());
+            let (task_tx, task_rx) = ring::<Task>(config.jbsq_depth.max(1));
+            slots.push(WorkerSlot {
+                shared: shared.clone(),
+                ring: task_tx,
+                inflight: 0,
+            });
+            let wl = WorkerLoop {
+                idx,
+                shared,
+                local: task_rx,
+                to_dispatcher: from_workers.clone(),
+                epoch,
+                quantum: config.quantum,
+                stop: workers_stop.clone(),
+                stats: stats.clone(),
+            };
+            let app_for_worker = app.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("concord-worker-{idx}"))
+                .spawn(move || {
+                    app_for_worker.setup_worker(idx);
+                    wl.run();
+                })
+                .expect("spawn worker");
+            worker_handles.push(handle);
+        }
+
+        let dl = DispatcherLoop {
+            app,
+            cfg: config,
+            rx,
+            tx,
+            workers: slots,
+            from_workers,
+            epoch,
+            stop: stop.clone(),
+            workers_stop,
+            stats: stats.clone(),
+        };
+        let dispatcher = std::thread::Builder::new()
+            .name("concord-dispatcher".into())
+            .spawn(move || dl.run())
+            .expect("spawn dispatcher");
+
+        Self {
+            stop,
+            stats,
+            dispatcher: Some(dispatcher),
+            workers: worker_handles,
+        }
+    }
+
+    /// Shared runtime counters (live).
+    pub fn stats(&self) -> Arc<RuntimeStats> {
+        self.stats.clone()
+    }
+
+    /// Stops ingesting, drains every in-flight request, joins all threads
+    /// and returns the final counters.
+    pub fn shutdown(mut self) -> Arc<RuntimeStats> {
+        self.stop.store(true, Ordering::Release);
+        if let Some(d) = self.dispatcher.take() {
+            d.join().expect("dispatcher thread");
+        }
+        for w in self.workers.drain(..) {
+            w.join().expect("worker thread");
+        }
+        self.stats.clone()
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        // Best-effort stop if the user forgot to call shutdown().
+        self.stop.store(true, Ordering::Release);
+        if let Some(d) = self.dispatcher.take() {
+            let _ = d.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}

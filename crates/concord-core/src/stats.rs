@@ -1,0 +1,123 @@
+//! Runtime counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-worker counters (one row per worker thread).
+#[derive(Debug, Default)]
+pub struct WorkerStats {
+    /// Requests this worker completed.
+    pub completed: AtomicU64,
+    /// Slices this worker had preempted under it.
+    pub preempted: AtomicU64,
+    /// Contained application panics on this worker.
+    pub failed: AtomicU64,
+}
+
+impl WorkerStats {
+    /// Snapshot as `(completed, preempted, failed)`.
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.completed.load(Ordering::Relaxed),
+            self.preempted.load(Ordering::Relaxed),
+            self.failed.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Shared atomic counters exposed by a running [`Runtime`](crate::Runtime).
+#[derive(Debug, Default)]
+pub struct RuntimeStats {
+    /// Requests completed by workers.
+    pub worker_completed: AtomicU64,
+    /// Requests completed by the work-conserving dispatcher (§3.3).
+    pub dispatcher_completed: AtomicU64,
+    /// Preemption signals sent by the dispatcher.
+    pub signals_sent: AtomicU64,
+    /// Times a request actually yielded at a preemption point.
+    pub preemptions: AtomicU64,
+    /// Requests the dispatcher pushed to workers.
+    pub dispatched: AtomicU64,
+    /// Requests re-queued after a yield.
+    pub requeues: AtomicU64,
+    /// Requests the dispatcher stole for itself.
+    pub stolen: AtomicU64,
+    /// Requests ingested from the RX ring.
+    pub ingested: AtomicU64,
+    /// Requests whose handler panicked (contained; answered with an error
+    /// response).
+    pub failed: AtomicU64,
+    /// Requests whose coroutine ran on a recycled (pooled) stack.
+    pub stack_reuses: AtomicU64,
+    /// Per-worker breakdowns, indexed by worker id.
+    pub per_worker: Vec<WorkerStats>,
+}
+
+impl RuntimeStats {
+    /// Creates stats with `n` per-worker rows.
+    pub fn with_workers(n: usize) -> Self {
+        Self {
+            per_worker: (0..n).map(|_| WorkerStats::default()).collect(),
+            ..Self::default()
+        }
+    }
+}
+
+impl RuntimeStats {
+    /// Total requests completed by anyone.
+    pub fn completed(&self) -> u64 {
+        self.worker_completed.load(Ordering::Relaxed)
+            + self.dispatcher_completed.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of all counters as (name, value) pairs.
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("ingested", self.ingested.load(Ordering::Relaxed)),
+            ("dispatched", self.dispatched.load(Ordering::Relaxed)),
+            ("worker_completed", self.worker_completed.load(Ordering::Relaxed)),
+            (
+                "dispatcher_completed",
+                self.dispatcher_completed.load(Ordering::Relaxed),
+            ),
+            ("signals_sent", self.signals_sent.load(Ordering::Relaxed)),
+            ("preemptions", self.preemptions.load(Ordering::Relaxed)),
+            ("requeues", self.requeues.load(Ordering::Relaxed)),
+            ("stolen", self.stolen.load(Ordering::Relaxed)),
+            ("failed", self.failed.load(Ordering::Relaxed)),
+            ("stack_reuses", self.stack_reuses.load(Ordering::Relaxed)),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completed_sums_both_sources() {
+        let s = RuntimeStats::default();
+        s.worker_completed.store(10, Ordering::Relaxed);
+        s.dispatcher_completed.store(3, Ordering::Relaxed);
+        assert_eq!(s.completed(), 13);
+    }
+
+    #[test]
+    fn snapshot_contains_all_counters() {
+        let s = RuntimeStats::default();
+        let names: Vec<&str> = s.snapshot().iter().map(|(n, _)| *n).collect();
+        for want in [
+            "ingested",
+            "dispatched",
+            "worker_completed",
+            "dispatcher_completed",
+            "signals_sent",
+            "preemptions",
+            "requeues",
+            "stolen",
+            "failed",
+            "stack_reuses",
+        ] {
+            assert!(names.contains(&want), "{want} missing");
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! A request bound to its coroutine.
+//!
+//! Tasks migrate freely: created by the dispatcher, executed on any
+//! worker, possibly finished by a different worker (or by the dispatcher
+//! itself for stolen, non-started requests).
+
+use crate::app::{ConcordApp, RequestContext};
+use concord_net::{Request, Response};
+use concord_uthread::stack::Stack;
+use concord_uthread::{CoState, Coroutine};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Fields the coroutine closure writes and the runtime reads after
+/// completion.
+#[derive(Debug, Default)]
+pub struct TaskOutput {
+    /// Result code returned by the application.
+    pub result: AtomicU64,
+    /// Total preemptions this request experienced.
+    pub preemptions: AtomicU32,
+}
+
+/// One in-flight request.
+pub struct Task {
+    /// The request descriptor.
+    pub req: Request,
+    co: Coroutine,
+    output: Arc<TaskOutput>,
+    /// True once any thread has executed part of this task (the dispatcher
+    /// may only steal non-started tasks, §3.3).
+    pub started: bool,
+}
+
+/// What a single execution slice ended with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SliceEnd {
+    /// The request yielded at a preemption point.
+    Preempted,
+    /// The request finished.
+    Completed,
+    /// The application panicked while processing the request. The panic is
+    /// contained: the request is answered with an error response and the
+    /// serving thread keeps running.
+    Failed,
+}
+
+impl Task {
+    /// Binds `req` to a fresh coroutine running `app.handle_request`.
+    pub fn new<A: ConcordApp>(app: Arc<A>, req: Request, stack_size: usize) -> Self {
+        Self::with_stack(app, req, Stack::new(stack_size))
+    }
+
+    /// Like [`Task::new`] but on a recycled stack (the pooled fast path).
+    pub fn with_stack<A: ConcordApp>(app: Arc<A>, req: Request, stack: Stack) -> Self {
+        let output = Arc::new(TaskOutput::default());
+        let out = output.clone();
+        let co = Coroutine::with_stack(stack, move |y| {
+            let mut preemptions: u32 = 0;
+            let result = {
+                let mut ctx = RequestContext::new(y, &mut preemptions);
+                app.handle_request(&req, &mut ctx)
+            };
+            out.result.store(result, Ordering::Release);
+            out.preemptions.store(preemptions, Ordering::Release);
+        });
+        Self {
+            req,
+            co,
+            output,
+            started: false,
+        }
+    }
+
+    /// Runs one slice (until the next yield or completion). The caller
+    /// must have installed the thread's [`PreemptMode`](crate::preempt::PreemptMode)
+    /// first.
+    ///
+    /// An application panic is contained here (the coroutine machinery
+    /// already stopped it at the coroutine boundary): the slice reports
+    /// [`SliceEnd::Failed`] instead of unwinding the runtime thread.
+    pub fn run_slice(&mut self) -> SliceEnd {
+        self.started = true;
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.co.resume()));
+        match outcome {
+            Ok(CoState::Suspended) => SliceEnd::Preempted,
+            Ok(CoState::Complete) => SliceEnd::Completed,
+            Err(_panic) => SliceEnd::Failed,
+        }
+    }
+
+    /// Total preemptions recorded (valid after completion).
+    pub fn preemptions(&self) -> u32 {
+        self.output.preemptions.load(Ordering::Acquire)
+    }
+
+    /// Recovers the stack for pooling (completed tasks only).
+    pub fn recycle(self) -> Option<Stack> {
+        self.co.into_stack()
+    }
+
+    /// Builds the response descriptor for this (completed) task.
+    pub fn response(&self) -> Response {
+        Response {
+            id: self.req.id,
+            class: self.req.class,
+            service_ns: self.req.service_ns,
+            sent_at: self.req.sent_at,
+            finished_at: Instant::now(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::SpinApp;
+    use crate::preempt::{set_mode, PreemptMode, WorkerShared};
+    use std::time::Duration;
+
+    fn req(service_ns: u64) -> Request {
+        Request {
+            id: 7,
+            class: 1,
+            service_ns,
+            sent_at: Instant::now(),
+        }
+    }
+
+    #[test]
+    fn short_task_completes_in_one_slice() {
+        set_mode(PreemptMode::None);
+        let mut t = Task::new(Arc::new(SpinApp::new()), req(10_000), 64 * 1024);
+        assert!(!t.started);
+        assert_eq!(t.run_slice(), SliceEnd::Completed);
+        assert!(t.started);
+        assert_eq!(t.preemptions(), 0);
+        let resp = t.response();
+        assert_eq!(resp.id, 7);
+        assert_eq!(resp.class, 1);
+    }
+
+    #[test]
+    fn signaled_task_preempts_and_resumes() {
+        let shared = Arc::new(WorkerShared::new());
+        set_mode(PreemptMode::Worker(shared.clone()));
+        // 500 µs of spinning with checks every 1 µs: signal early, expect a
+        // suspension, then run to completion.
+        let mut t = Task::new(Arc::new(SpinApp::new()), req(500_000), 64 * 1024);
+        shared.line.signal();
+        assert_eq!(t.run_slice(), SliceEnd::Preempted);
+        // No more signals: the remainder completes (maybe after a few
+        // spurious checks).
+        set_mode(PreemptMode::None);
+        assert_eq!(t.run_slice(), SliceEnd::Completed);
+        assert_eq!(t.preemptions(), 1);
+    }
+
+    #[test]
+    fn task_migrates_between_threads() {
+        let shared = Arc::new(WorkerShared::new());
+        set_mode(PreemptMode::Worker(shared.clone()));
+        let mut t = Task::new(Arc::new(SpinApp::new()), req(200_000), 64 * 1024);
+        shared.line.signal();
+        assert_eq!(t.run_slice(), SliceEnd::Preempted);
+        set_mode(PreemptMode::None);
+        // Finish on another thread.
+        let done = std::thread::spawn(move || {
+            set_mode(PreemptMode::None);
+            let mut t = t;
+            let end = t.run_slice();
+            (end, t.preemptions())
+        })
+        .join()
+        .expect("worker thread");
+        assert_eq!(done, (SliceEnd::Completed, 1));
+    }
+
+    #[test]
+    fn completed_task_recycles_its_stack() {
+        set_mode(PreemptMode::None);
+        let mut t = Task::new(Arc::new(SpinApp::new()), req(1_000), 64 * 1024);
+        assert_eq!(t.run_slice(), SliceEnd::Completed);
+        let stack = t.recycle().expect("stack back");
+        let mut t2 = Task::with_stack(Arc::new(SpinApp::new()), req(1_000), stack);
+        assert_eq!(t2.run_slice(), SliceEnd::Completed);
+    }
+
+    #[test]
+    fn app_panic_is_contained() {
+        struct Bomb;
+        impl crate::app::ConcordApp for Bomb {
+            fn handle_request(
+                &self,
+                _req: &concord_net::Request,
+                _ctx: &mut RequestContext<'_, '_>,
+            ) -> u64 {
+                panic!("request blew up");
+            }
+        }
+        set_mode(PreemptMode::None);
+        let mut t = Task::new(Arc::new(Bomb), req(1_000), 64 * 1024);
+        assert_eq!(t.run_slice(), SliceEnd::Failed);
+        // The thread survives and can run other tasks.
+        let mut ok = Task::new(Arc::new(SpinApp::new()), req(1_000), 64 * 1024);
+        assert_eq!(ok.run_slice(), SliceEnd::Completed);
+    }
+
+    #[test]
+    fn dispatcher_deadline_self_preempts() {
+        set_mode(PreemptMode::DispatcherDeadline(
+            Instant::now() + Duration::from_micros(100),
+        ));
+        let mut t = Task::new(Arc::new(SpinApp::new()), req(2_000_000), 64 * 1024);
+        // The 2 ms spin must hit the 100 µs deadline long before finishing.
+        assert_eq!(t.run_slice(), SliceEnd::Preempted);
+        set_mode(PreemptMode::None);
+        assert_eq!(t.run_slice(), SliceEnd::Completed);
+    }
+}

@@ -1,0 +1,119 @@
+//! The worker thread: pull from the JBSQ local ring, run one slice, report
+//! back.
+
+use crate::preempt::{set_mode, PreemptMode, WorkerShared};
+use crate::stats::RuntimeStats;
+use crate::task::{SliceEnd, Task};
+use concord_net::ring::Consumer;
+use concord_net::Response;
+use crossbeam_queue::SegQueue;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Messages workers send the dispatcher.
+pub enum WorkerMsg {
+    /// A request finished on `worker`.
+    Completed {
+        /// Worker index (frees one JBSQ slot).
+        worker: usize,
+        /// Response descriptor for the TX ring.
+        resp: Response,
+        /// The task's stack, handed back for the dispatcher's pool.
+        stack: Option<concord_uthread::stack::Stack>,
+    },
+    /// A request yielded on `worker` and must be re-queued.
+    Requeue {
+        /// Worker index (frees one JBSQ slot).
+        worker: usize,
+        /// The suspended task.
+        task: Task,
+    },
+}
+
+/// Long-lived state of one worker thread.
+pub struct WorkerLoop {
+    /// Worker index.
+    pub idx: usize,
+    /// Dispatcher-shared preemption state.
+    pub shared: Arc<WorkerShared>,
+    /// The bounded local queue (JBSQ consumer side).
+    pub local: Consumer<Task>,
+    /// Channel back to the dispatcher.
+    pub to_dispatcher: Arc<SegQueue<WorkerMsg>>,
+    /// Runtime epoch for deadline arithmetic.
+    pub epoch: Instant,
+    /// Scheduling quantum.
+    pub quantum: Duration,
+    /// Set when the runtime wants workers to exit (after drain).
+    pub stop: Arc<AtomicBool>,
+    /// Shared counters.
+    pub stats: Arc<RuntimeStats>,
+}
+
+impl WorkerLoop {
+    /// Runs until stopped. Consumes the loop state.
+    pub fn run(mut self) {
+        loop {
+            match self.local.pop() {
+                Some(mut task) => {
+                    // A stale signal aimed at the previous slice must not
+                    // preempt this one instantly.
+                    self.shared.line.clear();
+                    self.shared.publish_deadline(self.epoch, self.quantum);
+                    set_mode(PreemptMode::Worker(self.shared.clone()));
+                    let end = task.run_slice();
+                    set_mode(PreemptMode::None);
+                    self.shared.clear_deadline();
+                    match end {
+                        SliceEnd::Completed => {
+                            self.stats.worker_completed.fetch_add(1, Ordering::Relaxed);
+                            if let Some(ws) = self.stats.per_worker.get(self.idx) {
+                                ws.completed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            let resp = task.response();
+                            self.to_dispatcher.push(WorkerMsg::Completed {
+                                worker: self.idx,
+                                resp,
+                                stack: task.recycle(),
+                            });
+                        }
+                        SliceEnd::Preempted => {
+                            self.stats.preemptions.fetch_add(1, Ordering::Relaxed);
+                            if let Some(ws) = self.stats.per_worker.get(self.idx) {
+                                ws.preempted.fetch_add(1, Ordering::Relaxed);
+                            }
+                            self.to_dispatcher.push(WorkerMsg::Requeue {
+                                worker: self.idx,
+                                task,
+                            });
+                        }
+                        SliceEnd::Failed => {
+                            // Contained application panic: answer with an
+                            // error response so the client is not left
+                            // hanging, and keep the worker alive.
+                            self.stats.failed.fetch_add(1, Ordering::Relaxed);
+                            if let Some(ws) = self.stats.per_worker.get(self.idx) {
+                                ws.failed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            let resp = task.response();
+                            self.to_dispatcher.push(WorkerMsg::Completed {
+                                worker: self.idx,
+                                resp,
+                                stack: task.recycle(),
+                            });
+                        }
+                    }
+                }
+                None => {
+                    if self.stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    // Poll-mode worker; yield so single-core hosts make
+                    // progress elsewhere.
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}

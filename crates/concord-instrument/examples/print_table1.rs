@@ -1,0 +1,4 @@
+fn main() {
+    let rows = concord_instrument::corpus::table1();
+    print!("{}", concord_instrument::corpus::render_table1(&rows));
+}

@@ -1,0 +1,350 @@
+//! The Table 1 benchmark corpus.
+//!
+//! The paper evaluates instrumentation overhead and preemption timeliness
+//! on 24 programs from Splash-2, Phoenix and Parsec. We cannot run those C
+//! binaries here, so each benchmark is represented by a *structural
+//! profile* — a mini-IR program whose loop-body sizes, call density and
+//! un-instrumentable (external) stretches are chosen so that the pass model
+//! reproduces the paper's published overhead/timeliness pattern: tiny-body
+//! loops benefit from unrolling (negative overhead), call-dense code pays
+//! entry probes (positive overhead), and library-heavy code has long
+//! probe-free gaps (large timeliness deviation).
+//!
+//! The published Table 1 numbers ride along in [`Published`] so the
+//! `table1` harness prints model and paper side by side.
+
+use crate::analysis::{analyze, overhead_vs_original, AnalysisParams};
+use crate::ir::{Function, Program, Segment};
+use crate::passes::{instrument, PassConfig};
+use serde::{Deserialize, Serialize};
+
+/// Numbers published in the paper's Table 1.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Published {
+    /// Concord instrumentation overhead, percent (negative = speedup).
+    pub concord_pct: f64,
+    /// Compiler-Interrupts overhead, percent.
+    pub ci_pct: f64,
+    /// Concord preemption-timeliness standard deviation, µs.
+    pub std_us: f64,
+}
+
+/// One benchmark's structural profile.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BenchProfile {
+    /// Benchmark name as in Table 1.
+    pub name: &'static str,
+    /// Suite (Splash-2 / Phoenix / Parsec).
+    pub suite: &'static str,
+    /// The paper's published numbers, for side-by-side comparison.
+    pub published: Published,
+    /// Dynamic-work share (‰) spent in a tiny-body hot loop that unrolling
+    /// accelerates.
+    pub tiny_permille: u32,
+    /// Dynamic-work share (‰) spent calling small functions (entry probes).
+    pub call_permille: u32,
+    /// Dynamic-work share (‰) spent inside un-instrumentable external code.
+    pub external_permille: u32,
+    /// Length of each external stretch, instructions (sets the timeliness
+    /// tail).
+    pub external_len: u64,
+}
+
+/// Total dynamic instructions each profile program executes (same for all
+/// benchmarks so the shares are exact).
+const TOTAL_WORK: u64 = 1_000_000;
+/// Body size of the tiny (unroll-friendly) hot loop.
+const TINY_BODY: u64 = 10;
+/// Size of the small called functions.
+const CALL_FN: u64 = 40;
+/// Body size of the main compute loop (already ≥ the 200-instr unroll
+/// threshold, so it is not unrolled).
+const MAIN_BODY: u64 = 300;
+
+impl BenchProfile {
+    /// Builds the mini-IR program for this profile.
+    pub fn program(&self) -> Program {
+        let tiny_work = TOTAL_WORK * u64::from(self.tiny_permille) / 1000;
+        let call_work = TOTAL_WORK * u64::from(self.call_permille) / 1000;
+        let ext_work = TOTAL_WORK * u64::from(self.external_permille) / 1000;
+        let main_work = TOTAL_WORK - tiny_work - call_work - ext_work;
+
+        let mut body = Vec::new();
+        if main_work > 0 {
+            body.push(Segment::Loop {
+                body: vec![Segment::Straight(MAIN_BODY)],
+                trips: (main_work / MAIN_BODY).max(1),
+            });
+        }
+        if tiny_work > 0 {
+            body.push(Segment::Loop {
+                body: vec![Segment::Straight(TINY_BODY)],
+                trips: (tiny_work / TINY_BODY).max(1),
+            });
+        }
+        if call_work > 0 {
+            body.push(Segment::Loop {
+                body: vec![Segment::Call { callee: 1 }],
+                trips: (call_work / CALL_FN).max(1),
+            });
+        }
+        if ext_work > 0 {
+            let times = (ext_work / self.external_len).max(1);
+            body.push(Segment::Loop {
+                body: vec![
+                    // Some instrumented compute between library calls.
+                    Segment::Straight(MAIN_BODY),
+                    Segment::External {
+                        instrs: self.external_len,
+                    },
+                ],
+                trips: times,
+            });
+        }
+        Program::new(vec![
+            Function::new(self.name, body),
+            Function::new("helper", vec![Segment::Straight(CALL_FN)]),
+        ])
+    }
+
+    /// Model-computed Concord overhead (percent, vs the original program).
+    pub fn concord_overhead_pct(&self) -> f64 {
+        let p = self.program();
+        let inst = instrument(&p, &PassConfig::concord_worker());
+        100.0 * overhead_vs_original(&inst, &p, &AnalysisParams::default())
+    }
+
+    /// Model-computed Compiler-Interrupts overhead (percent).
+    pub fn ci_overhead_pct(&self) -> f64 {
+        let p = self.program();
+        let inst = instrument(&p, &PassConfig::compiler_interrupts());
+        100.0 * overhead_vs_original(&inst, &p, &AnalysisParams::default())
+    }
+
+    /// Model-computed preemption-timeliness standard deviation, µs.
+    pub fn timeliness_std_us(&self) -> f64 {
+        let p = self.program();
+        let inst = instrument(&p, &PassConfig::concord_worker());
+        analyze(&inst, &AnalysisParams::default()).lag_std_us()
+    }
+}
+
+macro_rules! profile {
+    ($name:literal, $suite:literal, $c:expr, $ci:expr, $std:expr,
+     tiny=$t:expr, calls=$k:expr, ext=$e:expr, extlen=$l:expr) => {
+        BenchProfile {
+            name: $name,
+            suite: $suite,
+            published: Published {
+                concord_pct: $c,
+                ci_pct: $ci,
+                std_us: $std,
+            },
+            tiny_permille: $t,
+            call_permille: $k,
+            external_permille: $e,
+            external_len: $l,
+        }
+    };
+}
+
+/// The 24 Table 1 benchmarks.
+///
+/// Profile knobs are derived from the published numbers: the unroll-hot
+/// share sets how negative the Concord overhead goes, the call share sets
+/// how positive, and the external share/length set the timeliness std.
+pub fn benchmarks() -> Vec<BenchProfile> {
+    vec![
+        profile!("water-nsquared", "Splash-2", -0.3, 3.0, 0.24, tiny=30, calls=0,  ext=150, extlen=2_500),
+        profile!("water-spatial",  "Splash-2", -0.6, 4.0, 0.23, tiny=45, calls=0,  ext=140, extlen=2_500),
+        profile!("ocean-cp",       "Splash-2",  0.1, 10.0, 1.8, tiny=25, calls=20, ext=400, extlen=12_000),
+        profile!("ocean-ncp",      "Splash-2",  1.0, 6.0,  1.1, tiny=0,  calls=40, ext=350, extlen=8_000),
+        profile!("volrend",        "Splash-2",  0.5, 13.0, 0.47, tiny=10, calls=25, ext=250, extlen=3_900),
+        profile!("fmm",            "Splash-2",  0.4, -2.0, 0.11, tiny=10, calls=15, ext=100, extlen=1_500),
+        profile!("raytrace",       "Splash-2", -0.2, 4.0,  0.03, tiny=28, calls=0,  ext=0,   extlen=1),
+        profile!("radix",          "Splash-2",  0.9, 4.0,  0.56, tiny=0,  calls=30, ext=250, extlen=4_700),
+        profile!("fft",            "Splash-2",  1.2, 1.0,  0.63, tiny=0,  calls=60, ext=260, extlen=5_200),
+        profile!("lu-c",           "Splash-2",  4.6, 13.0, 0.63, tiny=0,  calls=420, ext=250, extlen=5_200),
+        profile!("lu-nc",          "Splash-2", -3.7, 23.0, 0.58, tiny=160, calls=0, ext=240, extlen=4_800),
+        profile!("cholesky",       "Splash-2", -2.9, 29.0, 0.86, tiny=125, calls=0, ext=300, extlen=6_500),
+        profile!("histogram",      "Phoenix",   1.6, 20.0, 0.57, tiny=0,  calls=130, ext=250, extlen=4_700),
+        profile!("kmeans",         "Phoenix",  -0.3, 3.0,  1.0,  tiny=33, calls=0,  ext=330, extlen=7_500),
+        profile!("pca",            "Phoenix",  -2.7, 25.0, 0.06, tiny=120, calls=0, ext=20,  extlen=800),
+        profile!("string_match",   "Phoenix",   2.0, 18.0, 0.86, tiny=0,  calls=170, ext=300, extlen=6_500),
+        profile!("linear_regression", "Phoenix", 6.7, 37.0, 0.78, tiny=0, calls=620, ext=280, extlen=6_000),
+        profile!("word_count",     "Phoenix",   2.4, 30.0, 1.11, tiny=0,  calls=210, ext=350, extlen=8_200),
+        profile!("blackscholes",   "Parsec",    4.0, 10.0, 1.14, tiny=0,  calls=360, ext=350, extlen=8_300),
+        profile!("fluidanimate",   "Parsec",    1.3, 2.0,  0.04, tiny=0,  calls=100, ext=10,  extlen=900),
+        profile!("swapoptions",    "Parsec",    2.2, 24.0, 0.86, tiny=0,  calls=185, ext=300, extlen=6_500),
+        profile!("canneal",        "Parsec",    1.5, 34.0, 0.02, tiny=0,  calls=120, ext=0,   extlen=1),
+        profile!("streamcluster",  "Parsec",   -2.1, 6.0,  0.08, tiny=98, calls=0,  ext=25,  extlen=900),
+        profile!("dedup",          "Parsec",    0.4, 4.0,  1.2,  tiny=15, calls=40, ext=370, extlen=8_500),
+    ]
+}
+
+/// One row of the reproduced Table 1.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Suite name.
+    pub suite: &'static str,
+    /// Model-computed Concord overhead, percent.
+    pub concord_pct: f64,
+    /// Model-computed Compiler-Interrupts overhead, percent.
+    pub ci_pct: f64,
+    /// Model-computed timeliness std-dev, µs.
+    pub std_us: f64,
+    /// The paper's published numbers.
+    pub published: Published,
+}
+
+/// Computes the full reproduced Table 1.
+pub fn table1() -> Vec<Table1Row> {
+    benchmarks()
+        .into_iter()
+        .map(|b| Table1Row {
+            name: b.name,
+            suite: b.suite,
+            concord_pct: b.concord_overhead_pct(),
+            ci_pct: b.ci_overhead_pct(),
+            std_us: b.timeliness_std_us(),
+            published: b.published,
+        })
+        .collect()
+}
+
+/// Renders the reproduced Table 1 as aligned text.
+pub fn render_table1(rows: &[Table1Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<18} {:<9} {:>9} {:>9} {:>8}   {:>9} {:>9} {:>8}\n",
+        "Program", "Suite", "Concord%", "CI%", "std(us)", "paper C%", "paper CI%", "paper std"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<18} {:<9} {:>9.2} {:>9.1} {:>8.2}   {:>9.1} {:>9.1} {:>8.2}\n",
+            r.name,
+            r.suite,
+            r.concord_pct,
+            r.ci_pct,
+            r.std_us,
+            r.published.concord_pct,
+            r.published.ci_pct,
+            r.published.std_us
+        ));
+    }
+    let n = rows.len() as f64;
+    let avg_c = rows.iter().map(|r| r.concord_pct).sum::<f64>() / n;
+    let avg_ci = rows.iter().map(|r| r.ci_pct).sum::<f64>() / n;
+    let avg_std = rows.iter().map(|r| r.std_us).sum::<f64>() / n;
+    out.push_str(&format!(
+        "{:<18} {:<9} {:>9.2} {:>9.1} {:>8.2}   (paper avg: 1.04 / 13.7 / 0.29)\n",
+        "Average", "-", avg_c, avg_ci, avg_std
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_24_benchmarks() {
+        assert_eq!(benchmarks().len(), 24);
+    }
+
+    #[test]
+    fn all_programs_build_and_analyze() {
+        for b in benchmarks() {
+            let p = b.program();
+            assert!(p.dynamic_instrs() > TOTAL_WORK / 2, "{}", b.name);
+            let _ = b.concord_overhead_pct();
+        }
+    }
+
+    #[test]
+    fn concord_overhead_is_small_everywhere() {
+        // Table 1: Concord overhead ranges -3.7%..6.7%.
+        for b in benchmarks() {
+            let o = b.concord_overhead_pct();
+            assert!(o > -8.0 && o < 10.0, "{}: {o}%", b.name);
+        }
+    }
+
+    #[test]
+    fn ci_is_much_more_expensive_on_average() {
+        // Table 1: Concord average 1.04%, CI average 13.7% (≈13x).
+        let rows = table1();
+        let avg_c = rows.iter().map(|r| r.concord_pct.abs()).sum::<f64>() / rows.len() as f64;
+        let avg_ci = rows.iter().map(|r| r.ci_pct).sum::<f64>() / rows.len() as f64;
+        assert!(avg_c < 4.0, "avg concord={avg_c}");
+        assert!(avg_ci > 5.0 * avg_c, "avg ci={avg_ci} avg concord={avg_c}");
+    }
+
+    #[test]
+    fn timeliness_std_stays_under_2us() {
+        // §5.4: "across all benchmarks, the standard deviation is smaller
+        // than 2µs".
+        for b in benchmarks() {
+            let s = b.timeliness_std_us();
+            assert!(s < 2.0, "{}: {s}µs", b.name);
+            assert!(s >= 0.0);
+        }
+    }
+
+    #[test]
+    fn unroll_heavy_benchmarks_have_negative_overhead() {
+        for b in benchmarks() {
+            if b.tiny_permille >= 130 {
+                let o = b.concord_overhead_pct();
+                assert!(o < 0.0, "{}: expected negative, got {o}%", b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn call_heavy_benchmarks_have_positive_overhead() {
+        for b in benchmarks() {
+            if b.call_permille >= 100 {
+                let o = b.concord_overhead_pct();
+                assert!(o > 0.5, "{}: expected clearly positive, got {o}%", b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn sign_agreement_with_published_table() {
+        let rows = table1();
+        let agree = rows
+            .iter()
+            .filter(|r| (r.concord_pct >= 0.0) == (r.published.concord_pct >= 0.0))
+            .count();
+        assert!(agree >= 18, "sign agreement {agree}/24");
+    }
+
+    #[test]
+    fn std_correlates_with_published() {
+        // Benchmarks the paper lists with large deviations should model
+        // large, and the near-zero ones near zero.
+        let rows = table1();
+        for r in &rows {
+            if r.published.std_us < 0.05 {
+                assert!(r.std_us < 0.3, "{}: {}", r.name, r.std_us);
+            }
+            if r.published.std_us > 1.0 {
+                assert!(r.std_us > 0.3, "{}: {}", r.name, r.std_us);
+            }
+        }
+    }
+
+    #[test]
+    fn render_includes_all_rows() {
+        let rows = table1();
+        let text = render_table1(&rows);
+        for r in &rows {
+            assert!(text.contains(r.name));
+        }
+        assert!(text.contains("Average"));
+    }
+}

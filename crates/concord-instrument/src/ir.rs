@@ -1,0 +1,202 @@
+//! A miniature intermediate representation for instrumentation modeling.
+//!
+//! Programs are trees: straight-line instruction runs, counted loops, and
+//! calls (either to other instrumented functions or to external code the
+//! compiler must not instrument, e.g. syscalls or libc). This captures
+//! everything Concord's probe-placement rules depend on — function
+//! boundaries, loop back-edges, and external-call boundaries — without a
+//! full CFG.
+
+use serde::{Deserialize, Serialize};
+
+/// One element of a function body.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Segment {
+    /// A run of straight-line IR instructions.
+    Straight(u64),
+    /// A counted loop executing `body` `trips` times. Loop control
+    /// (induction update + branch) costs [`LOOP_CONTROL_INSTRS`] extra
+    /// instructions per trip in the un-instrumented program.
+    Loop {
+        /// The loop body.
+        body: Vec<Segment>,
+        /// Number of iterations executed dynamically.
+        trips: u64,
+    },
+    /// A call to another function defined in the program (instrumented
+    /// together with its caller).
+    Call {
+        /// Index into [`Program::functions`].
+        callee: usize,
+    },
+    /// A call to external, un-instrumentable code (syscall, libc, ...)
+    /// running `instrs` dynamic instructions. Concord never preempts inside
+    /// these (§3.1 "safety-first preemption"); the compiler brackets them
+    /// with probes instead.
+    External {
+        /// Dynamic instructions spent inside the external call.
+        instrs: u64,
+    },
+}
+
+/// Instructions per loop iteration spent on loop control (induction
+/// variable update + compare + back-edge branch) before unrolling.
+pub const LOOP_CONTROL_INSTRS: u64 = 3;
+
+/// A function: a name and a body.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Function {
+    /// Symbol name.
+    pub name: String,
+    /// Body segments, executed in order.
+    pub body: Vec<Segment>,
+}
+
+impl Function {
+    /// Creates a function.
+    pub fn new(name: impl Into<String>, body: Vec<Segment>) -> Self {
+        Self {
+            name: name.into(),
+            body,
+        }
+    }
+}
+
+/// A whole program. `functions[0]` is the entry point.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Program {
+    /// All functions; index 0 is the entry point.
+    pub functions: Vec<Function>,
+}
+
+impl Program {
+    /// Creates a program from its functions (index 0 is the entry point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `functions` is empty or any `Call` targets a non-existent
+    /// function.
+    pub fn new(functions: Vec<Function>) -> Self {
+        assert!(!functions.is_empty(), "a program needs an entry function");
+        let n = functions.len();
+        fn check(segs: &[Segment], n: usize) {
+            for s in segs {
+                match s {
+                    Segment::Call { callee } => {
+                        assert!(*callee < n, "call target {callee} out of range");
+                    }
+                    Segment::Loop { body, .. } => check(body, n),
+                    _ => {}
+                }
+            }
+        }
+        for f in &functions {
+            check(&f.body, n);
+        }
+        Self { functions }
+    }
+
+    /// Total dynamic instructions executed by the *un-instrumented*
+    /// program, including loop control.
+    ///
+    /// # Panics
+    ///
+    /// Panics on (statically impossible via the builder) recursion deeper
+    /// than 64 frames.
+    pub fn dynamic_instrs(&self) -> u64 {
+        self.count_fn(0, 0)
+    }
+
+    fn count_fn(&self, f: usize, depth: usize) -> u64 {
+        assert!(depth < 64, "call depth limit exceeded (recursion?)");
+        self.count_segs(&self.functions[f].body, depth)
+    }
+
+    fn count_segs(&self, segs: &[Segment], depth: usize) -> u64 {
+        let mut total = 0u64;
+        for s in segs {
+            total += match s {
+                Segment::Straight(n) => *n,
+                Segment::External { instrs } => *instrs,
+                Segment::Call { callee } => self.count_fn(*callee, depth + 1),
+                Segment::Loop { body, trips } => {
+                    (self.count_segs(body, depth) + LOOP_CONTROL_INSTRS) * trips
+                }
+            };
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_line_count() {
+        let p = Program::new(vec![Function::new("f", vec![Segment::Straight(100)])]);
+        assert_eq!(p.dynamic_instrs(), 100);
+    }
+
+    #[test]
+    fn loop_count_includes_control() {
+        let p = Program::new(vec![Function::new(
+            "f",
+            vec![Segment::Loop {
+                body: vec![Segment::Straight(10)],
+                trips: 5,
+            }],
+        )]);
+        assert_eq!(p.dynamic_instrs(), (10 + LOOP_CONTROL_INSTRS) * 5);
+    }
+
+    #[test]
+    fn nested_loops_multiply() {
+        let inner = Segment::Loop {
+            body: vec![Segment::Straight(7)],
+            trips: 10,
+        };
+        let p = Program::new(vec![Function::new(
+            "f",
+            vec![Segment::Loop {
+                body: vec![inner],
+                trips: 3,
+            }],
+        )]);
+        let inner_cost = (7 + LOOP_CONTROL_INSTRS) * 10;
+        assert_eq!(p.dynamic_instrs(), (inner_cost + LOOP_CONTROL_INSTRS) * 3);
+    }
+
+    #[test]
+    fn calls_inline_their_cost() {
+        let p = Program::new(vec![
+            Function::new(
+                "main",
+                vec![Segment::Straight(10), Segment::Call { callee: 1 }],
+            ),
+            Function::new("leaf", vec![Segment::Straight(25)]),
+        ]);
+        assert_eq!(p.dynamic_instrs(), 35);
+    }
+
+    #[test]
+    fn external_calls_count_their_instrs() {
+        let p = Program::new(vec![Function::new(
+            "f",
+            vec![Segment::External { instrs: 500 }],
+        )]);
+        assert_eq!(p.dynamic_instrs(), 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn dangling_call_rejected() {
+        let _ = Program::new(vec![Function::new("f", vec![Segment::Call { callee: 3 }])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "entry function")]
+    fn empty_program_rejected() {
+        let _ = Program::new(vec![]);
+    }
+}

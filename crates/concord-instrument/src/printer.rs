@@ -1,0 +1,192 @@
+//! Human-readable rendering of programs and instrumented programs —
+//! the `-emit-ir` of the pass model, used for debugging probe placement
+//! and in documentation.
+
+use crate::ir::{Program, Segment};
+use crate::passes::{ISeg, InstrumentedProgram, ProbeKind};
+use std::fmt::Write as _;
+
+const INDENT: &str = "  ";
+
+/// Renders a source program.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    for f in &p.functions {
+        let _ = writeln!(out, "fn {} {{", f.name);
+        print_segs(&f.body, p, 1, &mut out);
+        out.push_str("}\n");
+    }
+    out
+}
+
+fn print_segs(segs: &[Segment], p: &Program, depth: usize, out: &mut String) {
+    let pad = INDENT.repeat(depth);
+    for s in segs {
+        match s {
+            Segment::Straight(n) => {
+                let _ = writeln!(out, "{pad}instrs x{n}");
+            }
+            Segment::External { instrs } => {
+                let _ = writeln!(out, "{pad}external x{instrs}");
+            }
+            Segment::Call { callee } => {
+                let _ = writeln!(out, "{pad}call @{}", p.functions[*callee].name);
+            }
+            Segment::Loop { body, trips } => {
+                let _ = writeln!(out, "{pad}loop x{trips} {{");
+                print_segs(body, p, depth + 1, out);
+                let _ = writeln!(out, "{pad}}}");
+            }
+        }
+    }
+}
+
+/// Renders an instrumented program with probes called out.
+pub fn print_instrumented(p: &InstrumentedProgram) -> String {
+    let probe = match p.config.probe {
+        ProbeKind::CacheLinePoll => "probe.cacheline",
+        ProbeKind::Rdtsc => "probe.rdtsc",
+    };
+    let mut out = String::new();
+    for f in &p.functions {
+        let _ = writeln!(out, "fn {} {{", f.name);
+        print_isegs(&f.body, p, probe, 1, &mut out);
+        out.push_str("}\n");
+    }
+    out
+}
+
+fn print_isegs(
+    segs: &[ISeg],
+    p: &InstrumentedProgram,
+    probe: &str,
+    depth: usize,
+    out: &mut String,
+) {
+    let pad = INDENT.repeat(depth);
+    for s in segs {
+        match s {
+            ISeg::Straight(n) => {
+                let _ = writeln!(out, "{pad}instrs x{n}");
+            }
+            ISeg::Probe => {
+                let _ = writeln!(out, "{pad}{probe}");
+            }
+            ISeg::External { instrs } => {
+                let _ = writeln!(out, "{pad}external x{instrs}   ; never preempted inside");
+            }
+            ISeg::Call { callee } => {
+                let _ = writeln!(out, "{pad}call @{}", p.functions[*callee].name);
+            }
+            ISeg::LoopBlock { body, blocks } => {
+                let _ = writeln!(out, "{pad}loop.unrolled x{blocks} {{");
+                print_isegs(body, p, probe, depth + 1, out);
+                let _ = writeln!(out, "{pad}}}");
+            }
+        }
+    }
+}
+
+/// Per-function probe statistics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PassStats {
+    /// Function name.
+    pub function: String,
+    /// Statically placed probes (not weighted by execution counts).
+    pub static_probes: usize,
+    /// Loop blocks emitted.
+    pub loop_blocks: usize,
+    /// External calls bracketed.
+    pub externals: usize,
+}
+
+/// Computes static pass statistics per function.
+pub fn pass_stats(p: &InstrumentedProgram) -> Vec<PassStats> {
+    fn walk(segs: &[ISeg], s: &mut PassStats) {
+        for seg in segs {
+            match seg {
+                ISeg::Probe => s.static_probes += 1,
+                ISeg::External { .. } => s.externals += 1,
+                ISeg::LoopBlock { body, .. } => {
+                    s.loop_blocks += 1;
+                    walk(body, s);
+                }
+                _ => {}
+            }
+        }
+    }
+    p.functions
+        .iter()
+        .map(|f| {
+            let mut s = PassStats {
+                function: f.name.clone(),
+                static_probes: 0,
+                loop_blocks: 0,
+                externals: 0,
+            };
+            walk(&f.body, &mut s);
+            s
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Function;
+    use crate::passes::{instrument, PassConfig};
+
+    fn sample() -> Program {
+        Program::new(vec![
+            Function::new(
+                "main",
+                vec![
+                    Segment::Straight(50),
+                    Segment::Loop {
+                        body: vec![Segment::Straight(10)],
+                        trips: 100,
+                    },
+                    Segment::External { instrs: 500 },
+                    Segment::Call { callee: 1 },
+                ],
+            ),
+            Function::new("helper", vec![Segment::Straight(30)]),
+        ])
+    }
+
+    #[test]
+    fn program_rendering_shows_structure() {
+        let text = print_program(&sample());
+        assert!(text.contains("fn main {"));
+        assert!(text.contains("loop x100 {"));
+        assert!(text.contains("external x500"));
+        assert!(text.contains("call @helper"));
+        assert!(text.contains("fn helper {"));
+    }
+
+    #[test]
+    fn instrumented_rendering_names_the_probe_kind() {
+        let worker = instrument(&sample(), &PassConfig::concord_worker());
+        let text = print_instrumented(&worker);
+        assert!(text.contains("probe.cacheline"));
+        assert!(text.contains("loop.unrolled"));
+
+        let disp = instrument(&sample(), &PassConfig::concord_dispatcher());
+        assert!(print_instrumented(&disp).contains("probe.rdtsc"));
+    }
+
+    #[test]
+    fn stats_count_placements() {
+        let worker = instrument(&sample(), &PassConfig::concord_worker());
+        let stats = pass_stats(&worker);
+        assert_eq!(stats.len(), 2);
+        let main = &stats[0];
+        assert_eq!(main.function, "main");
+        assert_eq!(main.externals, 1);
+        assert_eq!(main.loop_blocks, 1);
+        // entry + back-edge + 2 around the external = 4.
+        assert_eq!(main.static_probes, 4);
+        let helper = &stats[1];
+        assert_eq!(helper.static_probes, 1); // entry only
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests for the instrumentation passes: placement invariants and
+//! analysis bounds must hold for arbitrary programs, not just the corpus.
+
+use concord_instrument::analysis::{analyze, AnalysisParams};
+use concord_instrument::ir::{Function, Program, Segment};
+use concord_instrument::passes::{instrument, ISeg, PassConfig};
+use proptest::prelude::*;
+
+/// Random programs: bounded nesting, bounded sizes.
+fn arb_segment(depth: u32) -> BoxedStrategy<Segment> {
+    let leaf = prop_oneof![
+        (1u64..500).prop_map(Segment::Straight),
+        (1u64..5_000).prop_map(|instrs| Segment::External { instrs }),
+    ];
+    if depth == 0 {
+        leaf.boxed()
+    } else {
+        prop_oneof![
+            3 => leaf,
+            2 => (
+                prop::collection::vec(arb_segment(depth - 1), 1..4),
+                1u64..200,
+            )
+                .prop_map(|(body, trips)| Segment::Loop { body, trips }),
+        ]
+        .boxed()
+    }
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    prop::collection::vec(arb_segment(2), 1..6)
+        .prop_map(|body| Program::new(vec![Function::new("f", body)]))
+}
+
+/// Invariant checks over the instrumented tree.
+fn check_isegs(segs: &[ISeg]) -> Result<(), String> {
+    for (i, s) in segs.iter().enumerate() {
+        match s {
+            ISeg::External { .. } => {
+                // Rule 2: probes immediately before and after.
+                let before_ok = i > 0 && matches!(segs[i - 1], ISeg::Probe);
+                let after_ok = matches!(segs.get(i + 1), Some(ISeg::Probe));
+                if !before_ok || !after_ok {
+                    return Err("external call not bracketed by probes".into());
+                }
+            }
+            ISeg::LoopBlock { body, blocks } => {
+                if *blocks == 0 {
+                    return Err("loop with zero blocks".into());
+                }
+                // Rule 3: the back-edge probe ends every block.
+                if !matches!(body.last(), Some(ISeg::Probe)) {
+                    return Err("loop block does not end with a probe".into());
+                }
+                check_isegs(body)?;
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Placement rules hold for arbitrary programs, under both passes.
+    #[test]
+    fn placement_invariants(p in arb_program()) {
+        for cfg in [PassConfig::concord_worker(), PassConfig::concord_dispatcher(),
+                    PassConfig::compiler_interrupts()] {
+            let out = instrument(&p, &cfg);
+            for f in &out.functions {
+                // Rule 1: entry probe.
+                prop_assert!(matches!(f.body.first(), Some(ISeg::Probe)),
+                    "function does not start with a probe");
+                if let Err(e) = check_isegs(&f.body) {
+                    return Err(TestCaseError::fail(e));
+                }
+            }
+        }
+    }
+
+    /// The analysis is internally consistent: the instrumented cycle count
+    /// is at least the probe-free baseline, gaps are non-negative, and the
+    /// max gap never exceeds the largest external stretch plus the largest
+    /// contiguous instruction run (probes bound everything else).
+    #[test]
+    fn analysis_bounds(p in arb_program()) {
+        let out = instrument(&p, &PassConfig::concord_worker());
+        let r = analyze(&out, &AnalysisParams::default());
+        prop_assert!(r.instrumented_cycles >= r.base_cycles,
+            "probes cannot speed up the unrolled program");
+        prop_assert!(r.probes >= 1, "entry probe always executes");
+        prop_assert!(r.lag_std_cycles >= 0.0);
+        prop_assert!(r.lag_mean_cycles <= r.max_gap_cycles + 1.0,
+            "mean lag {} beyond max gap {}", r.lag_mean_cycles, r.max_gap_cycles);
+        prop_assert!(r.mean_gap_cycles <= r.max_gap_cycles + 1.0);
+    }
+
+    /// Concord's worker pass is never more expensive than the naive
+    /// Compiler-Interrupts configuration on loop-dominated programs.
+    #[test]
+    fn concord_cheaper_than_naive_ci(
+        body in 1u64..100,
+        trips in 100u64..10_000,
+    ) {
+        let p = Program::new(vec![Function::new(
+            "f",
+            vec![Segment::Loop { body: vec![Segment::Straight(body)], trips }],
+        )]);
+        let coop = analyze(&instrument(&p, &PassConfig::concord_worker()),
+                           &AnalysisParams::default());
+        let ci = analyze(&instrument(&p, &PassConfig::compiler_interrupts()),
+                         &AnalysisParams::default());
+        prop_assert!(coop.instrumented_cycles <= ci.instrumented_cycles,
+            "coop {} > ci {}", coop.instrumented_cycles, ci.instrumented_cycles);
+    }
+
+    /// Instrumentation analysis is deterministic.
+    #[test]
+    fn analysis_is_deterministic(p in arb_program()) {
+        let out = instrument(&p, &PassConfig::concord_worker());
+        let a = analyze(&out, &AnalysisParams::default());
+        let b = analyze(&out, &AnalysisParams::default());
+        prop_assert_eq!(a.instrumented_cycles, b.instrumented_cycles);
+        prop_assert_eq!(a.probes, b.probes);
+        prop_assert_eq!(a.lag_std_cycles, b.lag_std_cycles);
+    }
+}

@@ -1,0 +1,43 @@
+//! An in-memory, LSM-flavored key-value store — the LevelDB stand-in for
+//! the Concord reproduction (paper §5.3).
+//!
+//! The paper's LevelDB experiments need an application with three
+//! properties: sub-microsecond point lookups, ≈500 µs full-range scans,
+//! and real locks on the request path (so Concord's safety-first
+//! preemption has something to respect). This crate provides all three
+//! with LevelDB's architecture in miniature:
+//!
+//! - [`skiplist`] — the memtable's ordered index (probabilistic towers,
+//!   arena-backed, LevelDB's p=1/4 height distribution);
+//! - [`memtable`] — mutable write buffer with tombstones;
+//! - [`sstable`] — immutable sorted runs produced by flushing memtables;
+//! - [`merge`] — newest-wins k-way merge across memtable and runs;
+//! - [`store`] — the [`Db`] facade: `get`/`put`/`delete`/`scan`, atomic
+//!   [`WriteBatch`]es, MVCC [`Snapshot`]s (every write is sequence-stamped;
+//!   compaction preserves what live snapshots can see), automatic flush and
+//!   compaction, and the paper's lock-observer hook (§3.1's "4 lines of
+//!   code" that count lock depth so the runtime never preempts a worker
+//!   inside a critical section).
+//!
+//! # Examples
+//!
+//! ```
+//! use concord_kv::Db;
+//!
+//! let db = Db::new();
+//! db.put(b"user:1".to_vec(), b"ada".to_vec());
+//! assert_eq!(db.get(b"user:1").as_deref(), Some(&b"ada"[..]));
+//! db.delete(b"user:1".to_vec());
+//! assert!(db.get(b"user:1").is_none());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod memtable;
+pub mod merge;
+pub mod skiplist;
+pub mod sstable;
+pub mod store;
+
+pub use store::{BatchOp, Db, DbOptions, DbStats, LockObserver, Snapshot, WriteBatch};

@@ -1,0 +1,246 @@
+//! The mutable write buffer, MVCC-style.
+//!
+//! Like LevelDB's memtable, entries are indexed by an *internal key* —
+//! `(user_key, sequence)` — with newer sequences sorting first within a
+//! user key. Every write appends a new version; reads are performed *as
+//! of* a sequence number, which is what makes snapshots (`Db::snapshot`)
+//! consistent without blocking writers.
+
+use crate::skiplist::{SkipList, Weigh};
+use bytes::Bytes;
+
+/// A value slot: either live bytes or a deletion marker.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Slot {
+    /// A live value.
+    Value(Bytes),
+    /// A tombstone shadowing any older value for the key.
+    Tombstone,
+}
+
+impl Slot {
+    /// Live value bytes, or `None` for a tombstone.
+    pub fn live(&self) -> Option<&Bytes> {
+        match self {
+            Slot::Value(v) => Some(v),
+            Slot::Tombstone => None,
+        }
+    }
+}
+
+impl Weigh for Slot {
+    fn weight(&self) -> usize {
+        match self {
+            Slot::Value(v) => v.len(),
+            Slot::Tombstone => 1,
+        }
+    }
+}
+
+/// An internal key: user key plus inverted sequence so that, per user key,
+/// newer versions sort first.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct InternalKey {
+    /// The application key.
+    pub user: Bytes,
+    /// `u64::MAX - seq`: ascending order = descending sequence.
+    pub rev_seq: u64,
+}
+
+impl InternalKey {
+    /// Builds the internal key for (`user`, `seq`).
+    pub fn new(user: Bytes, seq: u64) -> Self {
+        Self {
+            user,
+            rev_seq: u64::MAX - seq,
+        }
+    }
+
+    /// The version's sequence number.
+    pub fn seq(&self) -> u64 {
+        u64::MAX - self.rev_seq
+    }
+
+    /// The *seek probe* for reading `user` as of `at_seq`: the smallest
+    /// internal key whose version is visible (seq ≤ at_seq).
+    pub fn probe(user: Bytes, at_seq: u64) -> Self {
+        Self::new(user, at_seq)
+    }
+}
+
+impl Weigh for InternalKey {
+    fn weight(&self) -> usize {
+        self.user.len() + 8
+    }
+}
+
+/// The mutable memtable: a versioned write buffer.
+pub struct MemTable {
+    index: SkipList<InternalKey, Slot>,
+}
+
+impl MemTable {
+    /// Creates an empty memtable.
+    pub fn new() -> Self {
+        Self {
+            index: SkipList::new(),
+        }
+    }
+
+    /// Inserts a live value at sequence `seq`.
+    pub fn put(&mut self, key: Bytes, seq: u64, value: Bytes) {
+        self.index.insert(InternalKey::new(key, seq), Slot::Value(value));
+    }
+
+    /// Inserts a tombstone at sequence `seq`.
+    pub fn delete(&mut self, key: Bytes, seq: u64) {
+        self.index.insert(InternalKey::new(key, seq), Slot::Tombstone);
+    }
+
+    /// Looks up `key` as of `at_seq`: `None` = unknown here (check older
+    /// runs); `Some(Slot::Tombstone)` = known deleted at that sequence.
+    pub fn get(&self, key: &[u8], at_seq: u64) -> Option<Slot> {
+        let probe = InternalKey::probe(Bytes::copy_from_slice(key), at_seq);
+        let (k, v) = self.index.range_from(&probe).next()?;
+        if k.user.as_ref() == key {
+            Some(v.clone())
+        } else {
+            None
+        }
+    }
+
+    /// Number of stored versions (all sequences, tombstones included).
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True if the memtable holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Approximate payload size, bytes.
+    pub fn approximate_bytes(&self) -> usize {
+        self.index.approximate_bytes()
+    }
+
+    /// In-order iterator over all versions: `(user_key, seq, slot)`,
+    /// newest-first within each user key.
+    pub fn iter_versions(&self) -> impl Iterator<Item = (&Bytes, u64, Slot)> + '_ {
+        self.index.iter().map(|(k, v)| (&k.user, k.seq(), v.clone()))
+    }
+
+    /// All versions with `user_key >= from`, as of any sequence.
+    pub fn range_versions_from<'a>(
+        &'a self,
+        from: &[u8],
+    ) -> impl Iterator<Item = (&'a Bytes, u64, Slot)> + 'a {
+        let probe = InternalKey {
+            user: Bytes::copy_from_slice(from),
+            rev_seq: 0, // newest possible: starts at the first version of `from`
+        };
+        self.index
+            .range_from(&probe)
+            .map(|(k, v)| (&k.user, k.seq(), v.clone()))
+    }
+}
+
+impl Default for MemTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn put_then_get_latest() {
+        let mut m = MemTable::new();
+        m.put(b("k"), 1, b("v"));
+        assert_eq!(m.get(b"k", u64::MAX), Some(Slot::Value(b("v"))));
+        assert_eq!(m.get(b"other", u64::MAX), None);
+    }
+
+    #[test]
+    fn versions_are_read_as_of_sequence() {
+        let mut m = MemTable::new();
+        m.put(b("k"), 1, b("v1"));
+        m.put(b("k"), 5, b("v5"));
+        m.put(b("k"), 9, b("v9"));
+        assert_eq!(m.get(b"k", 0), None, "before first write");
+        assert_eq!(m.get(b"k", 1), Some(Slot::Value(b("v1"))));
+        assert_eq!(m.get(b"k", 4), Some(Slot::Value(b("v1"))));
+        assert_eq!(m.get(b"k", 5), Some(Slot::Value(b("v5"))));
+        assert_eq!(m.get(b"k", 100), Some(Slot::Value(b("v9"))));
+    }
+
+    #[test]
+    fn delete_leaves_versioned_tombstone() {
+        let mut m = MemTable::new();
+        m.put(b("k"), 1, b("v"));
+        m.delete(b("k"), 2);
+        assert_eq!(m.get(b"k", 1), Some(Slot::Value(b("v"))));
+        assert_eq!(m.get(b"k", 2), Some(Slot::Tombstone));
+        // Both versions are retained.
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn tombstone_then_put_revives() {
+        let mut m = MemTable::new();
+        m.delete(b("k"), 1);
+        m.put(b("k"), 2, b("v2"));
+        assert_eq!(m.get(b"k", u64::MAX), Some(Slot::Value(b("v2"))));
+        assert_eq!(m.get(b"k", 1), Some(Slot::Tombstone));
+    }
+
+    #[test]
+    fn same_seq_rewrite_replaces() {
+        let mut m = MemTable::new();
+        m.put(b("k"), 3, b("a"));
+        m.put(b("k"), 3, b("bb"));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(b"k", 3), Some(Slot::Value(b("bb"))));
+    }
+
+    #[test]
+    fn empty_value_is_not_a_tombstone() {
+        let mut m = MemTable::new();
+        m.put(b("k"), 1, Bytes::new());
+        assert_eq!(m.get(b"k", 1), Some(Slot::Value(Bytes::new())));
+    }
+
+    #[test]
+    fn iter_versions_sorted_newest_first_within_key() {
+        let mut m = MemTable::new();
+        m.put(b("b"), 2, b("b2"));
+        m.put(b("a"), 3, b("a3"));
+        m.put(b("a"), 1, b("a1"));
+        let items: Vec<(Bytes, u64)> =
+            m.iter_versions().map(|(k, s, _)| (k.clone(), s)).collect();
+        assert_eq!(items, vec![(b("a"), 3), (b("a"), 1), (b("b"), 2)]);
+    }
+
+    #[test]
+    fn range_versions_includes_bound() {
+        let mut m = MemTable::new();
+        m.put(b("a"), 1, b("x"));
+        m.put(b("c"), 2, b("y"));
+        let keys: Vec<Bytes> = m.range_versions_from(b"b").map(|(k, _, _)| k.clone()).collect();
+        assert_eq!(keys, vec![b("c")]);
+        let keys: Vec<Bytes> = m.range_versions_from(b"a").map(|(k, _, _)| k.clone()).collect();
+        assert_eq!(keys, vec![b("a"), b("c")]);
+    }
+
+    #[test]
+    fn slot_live_helper() {
+        assert_eq!(Slot::Tombstone.live(), None);
+        assert_eq!(Slot::Value(b("x")).live(), Some(&b("x")));
+    }
+}

@@ -1,0 +1,263 @@
+//! Version-aware k-way merge across the memtable and sorted runs.
+//!
+//! Sources yield `(user_key, seq, slot)` triples ordered by internal key
+//! (user key ascending, sequence descending). The merge interleaves them
+//! into one globally ordered version stream; [`VisibleIter`] then projects
+//! that stream to the *visible* view as of a snapshot sequence — the exact
+//! read semantics of LevelDB iterators.
+
+use crate::memtable::Slot;
+use bytes::Bytes;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One version record flowing through the merge.
+pub type Version = (Bytes, u64, Slot);
+
+/// One source of version records, tagged with its age:
+/// **lower `age` = newer** (wins ties at identical (key, seq)).
+pub struct TaggedSource<'a> {
+    iter: Box<dyn Iterator<Item = Version> + 'a>,
+    age: u32,
+}
+
+impl<'a> TaggedSource<'a> {
+    /// Wraps an iterator with its age rank (0 = newest).
+    pub fn new(age: u32, iter: impl Iterator<Item = Version> + 'a) -> Self {
+        Self {
+            iter: Box::new(iter),
+            age,
+        }
+    }
+}
+
+struct HeapItem {
+    key: Bytes,
+    rev_seq: u64,
+    slot: Slot,
+    age: u32,
+    src: usize,
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.rev_seq == other.rev_seq && self.age == other.age
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for (key asc, rev_seq asc, age asc).
+        (other.key.as_ref(), other.rev_seq, other.age)
+            .cmp(&(self.key.as_ref(), self.rev_seq, self.age))
+    }
+}
+
+/// Merged stream of all versions from all sources, in internal-key order.
+/// Duplicate `(key, seq)` records keep only the youngest source's copy.
+pub struct MergeIter<'a> {
+    sources: Vec<TaggedSource<'a>>,
+    heap: BinaryHeap<HeapItem>,
+}
+
+impl<'a> MergeIter<'a> {
+    /// Builds a merge iterator over the given sources.
+    pub fn new(mut sources: Vec<TaggedSource<'a>>) -> Self {
+        let mut heap = BinaryHeap::with_capacity(sources.len());
+        for (i, s) in sources.iter_mut().enumerate() {
+            if let Some((key, seq, slot)) = s.iter.next() {
+                heap.push(HeapItem {
+                    key,
+                    rev_seq: u64::MAX - seq,
+                    slot,
+                    age: s.age,
+                    src: i,
+                });
+            }
+        }
+        Self { sources, heap }
+    }
+
+    fn refill(&mut self, src: usize) {
+        if let Some((key, seq, slot)) = self.sources[src].iter.next() {
+            let age = self.sources[src].age;
+            self.heap.push(HeapItem {
+                key,
+                rev_seq: u64::MAX - seq,
+                slot,
+                age,
+                src,
+            });
+        }
+    }
+}
+
+impl Iterator for MergeIter<'_> {
+    type Item = Version;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let winner = self.heap.pop()?;
+        self.refill(winner.src);
+        // Drop exact-duplicate versions (same key and seq) from older
+        // sources — e.g. a memtable version that also got flushed.
+        while let Some(peek) = self.heap.peek() {
+            if peek.key != winner.key || peek.rev_seq != winner.rev_seq {
+                break;
+            }
+            let dup = self.heap.pop().expect("peeked");
+            self.refill(dup.src);
+        }
+        Some((winner.key, u64::MAX - winner.rev_seq, winner.slot))
+    }
+}
+
+/// Projects a version stream (internal-key ordered) to the visible view as
+/// of `at_seq`: per user key, the newest version with `seq ≤ at_seq`,
+/// with tombstoned keys suppressed.
+pub struct VisibleIter<I: Iterator<Item = Version>> {
+    inner: I,
+    at_seq: u64,
+    /// User key whose visible version has already been decided.
+    done_key: Option<Bytes>,
+}
+
+impl<I: Iterator<Item = Version>> VisibleIter<I> {
+    /// Wraps a version stream.
+    pub fn new(inner: I, at_seq: u64) -> Self {
+        Self {
+            inner,
+            at_seq,
+            done_key: None,
+        }
+    }
+}
+
+impl<I: Iterator<Item = Version>> Iterator for VisibleIter<I> {
+    type Item = (Bytes, Bytes);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let (key, seq, slot) = self.inner.next()?;
+            if self.done_key.as_ref() == Some(&key) {
+                continue; // an older (shadowed) version
+            }
+            if seq > self.at_seq {
+                continue; // newer than the snapshot: invisible, keep looking
+            }
+            // First visible version of this key decides it.
+            self.done_key = Some(key.clone());
+            if let Slot::Value(v) = slot {
+                return Some((key, v));
+            }
+            // Tombstone: the key is deleted as of at_seq.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    fn src(age: u32, items: Vec<(&str, u64, Option<&str>)>) -> TaggedSource<'static> {
+        let owned: Vec<Version> = items
+            .into_iter()
+            .map(|(k, seq, v)| {
+                (
+                    b(k),
+                    seq,
+                    match v {
+                        Some(v) => Slot::Value(b(v)),
+                        None => Slot::Tombstone,
+                    },
+                )
+            })
+            .collect();
+        TaggedSource::new(age, owned.into_iter())
+    }
+
+    fn visible(sources: Vec<TaggedSource<'static>>, at_seq: u64) -> Vec<(Bytes, Bytes)> {
+        VisibleIter::new(MergeIter::new(sources), at_seq).collect()
+    }
+
+    #[test]
+    fn merges_versions_in_internal_key_order() {
+        let m = MergeIter::new(vec![
+            src(0, vec![("a", 5, Some("a5")), ("b", 2, Some("b2"))]),
+            src(1, vec![("a", 3, Some("a3")), ("c", 1, Some("c1"))]),
+        ]);
+        let got: Vec<(Bytes, u64)> = m.map(|(k, s, _)| (k, s)).collect();
+        assert_eq!(got, vec![(b("a"), 5), (b("a"), 3), (b("b"), 2), (b("c"), 1)]);
+    }
+
+    #[test]
+    fn visible_picks_newest_at_or_below_snapshot() {
+        let sources = vec![src(0, vec![("k", 9, Some("v9")), ("k", 4, Some("v4")), ("k", 1, Some("v1"))])];
+        assert_eq!(visible(sources, 5), vec![(b("k"), b("v4"))]);
+    }
+
+    #[test]
+    fn visible_hides_future_versions_entirely() {
+        let sources = vec![src(0, vec![("k", 9, Some("v9"))])];
+        assert_eq!(visible(sources, 5), vec![]);
+    }
+
+    #[test]
+    fn tombstone_hides_older_value() {
+        let sources = vec![
+            src(0, vec![("k", 5, None)]),
+            src(1, vec![("k", 2, Some("old")), ("l", 1, Some("live"))]),
+        ];
+        assert_eq!(visible(sources, 10), vec![(b("l"), b("live"))]);
+    }
+
+    #[test]
+    fn old_snapshot_sees_through_a_later_tombstone() {
+        let sources = vec![
+            src(0, vec![("k", 5, None)]),
+            src(1, vec![("k", 2, Some("old"))]),
+        ];
+        assert_eq!(visible(sources, 4), vec![(b("k"), b("old"))]);
+    }
+
+    #[test]
+    fn duplicate_key_seq_prefers_younger_source() {
+        let m = MergeIter::new(vec![
+            src(0, vec![("k", 3, Some("young"))]),
+            src(1, vec![("k", 3, Some("stale"))]),
+        ]);
+        let got: Vec<Version> = m.collect();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].2, Slot::Value(b("young")));
+    }
+
+    #[test]
+    fn three_sources_interleave_by_sequence() {
+        let sources = vec![
+            src(0, vec![("k", 9, Some("v9"))]),
+            src(1, vec![("k", 5, None)]),
+            src(2, vec![("k", 2, Some("v2")), ("z", 1, Some("zz"))]),
+        ];
+        assert_eq!(visible(sources, u64::MAX), vec![(b("k"), b("v9")), (b("z"), b("zz"))]);
+        let sources = vec![
+            src(0, vec![("k", 9, Some("v9"))]),
+            src(1, vec![("k", 5, None)]),
+            src(2, vec![("k", 2, Some("v2")), ("z", 1, Some("zz"))]),
+        ];
+        assert_eq!(visible(sources, 6), vec![(b("z"), b("zz"))]);
+    }
+
+    #[test]
+    fn empty_sources_are_fine() {
+        assert_eq!(visible(vec![src(0, vec![]), src(1, vec![])], u64::MAX), vec![]);
+        assert_eq!(visible(vec![], u64::MAX), vec![]);
+    }
+}

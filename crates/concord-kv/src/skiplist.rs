@@ -1,0 +1,364 @@
+//! An arena-backed skiplist — the memtable's ordered index.
+//!
+//! Follows LevelDB's design parameters (max height 12, branching factor 4)
+//! but stores nodes in a `Vec` arena with `u32` links instead of raw
+//! pointers, which keeps the implementation in safe Rust without giving up
+//! cache-friendly layout. Tower heights come from a deterministic seeded
+//! RNG so tests and benchmarks are reproducible.
+//!
+//! The list is generic over its key and value types so the memtable can
+//! index LevelDB-style *internal keys* — `(user_key, sequence)` pairs —
+//! directly, with the MVCC ordering expressed through `Ord`.
+
+use bytes::Bytes;
+
+/// Maximum tower height (LevelDB uses 12).
+pub const MAX_HEIGHT: usize = 12;
+/// Denominator of the promotion probability (LevelDB: 1/4).
+const BRANCHING: u32 = 4;
+/// Null link.
+const NIL: u32 = u32::MAX;
+
+/// Memory-accounting weight of keys and values.
+pub trait Weigh {
+    /// Approximate payload bytes of this value.
+    fn weight(&self) -> usize;
+}
+
+impl Weigh for Bytes {
+    fn weight(&self) -> usize {
+        self.len()
+    }
+}
+
+struct Node<K, V> {
+    key: K,
+    value: V,
+    /// Forward links, one per level (level 0 = full list).
+    next: [u32; MAX_HEIGHT],
+}
+
+/// An ordered map from `K` to `V`.
+pub struct SkipList<K, V> {
+    arena: Vec<Node<K, V>>,
+    /// Head forward links per level.
+    head: [u32; MAX_HEIGHT],
+    height: usize,
+    len: usize,
+    /// xorshift state for tower heights.
+    rng: u64,
+    /// Approximate payload bytes (keys + values).
+    bytes: usize,
+}
+
+impl<K: Ord + Weigh, V: Weigh> SkipList<K, V> {
+    /// Creates an empty list with the default deterministic seed.
+    pub fn new() -> Self {
+        Self::with_seed(0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// Creates an empty list with an explicit tower-height seed.
+    pub fn with_seed(seed: u64) -> Self {
+        Self {
+            arena: Vec::new(),
+            head: [NIL; MAX_HEIGHT],
+            height: 1,
+            len: 0,
+            rng: seed | 1,
+            bytes: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Approximate memory footprint of keys + values, bytes.
+    pub fn approximate_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    fn random_height(&mut self) -> usize {
+        // xorshift64
+        let mut h = 1;
+        loop {
+            self.rng ^= self.rng << 13;
+            self.rng ^= self.rng >> 7;
+            self.rng ^= self.rng << 17;
+            if h >= MAX_HEIGHT || (self.rng % u64::from(BRANCHING)) != 0 {
+                return h;
+            }
+            h += 1;
+        }
+    }
+
+    /// Finds, per level, the last node strictly less than `key`.
+    /// Returns the predecessor links and the candidate node at level 0.
+    fn find(&self, key: &K) -> ([u32; MAX_HEIGHT], u32) {
+        let mut prev = [NIL; MAX_HEIGHT];
+        let mut cur = NIL; // NIL here means "head"
+        for level in (0..self.height).rev() {
+            let mut next = if cur == NIL {
+                self.head[level]
+            } else {
+                self.arena[cur as usize].next[level]
+            };
+            while next != NIL && self.arena[next as usize].key < *key {
+                cur = next;
+                next = self.arena[next as usize].next[level];
+            }
+            prev[level] = cur;
+        }
+        let candidate = if prev[0] == NIL {
+            self.head[0]
+        } else {
+            self.arena[prev[0] as usize].next[0]
+        };
+        (prev, candidate)
+    }
+
+    /// Inserts or replaces `key` → `value`. Returns the previous value if
+    /// the key existed.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let (prev, candidate) = self.find(&key);
+        if candidate != NIL && self.arena[candidate as usize].key == key {
+            self.bytes += value.weight();
+            let old = std::mem::replace(&mut self.arena[candidate as usize].value, value);
+            self.bytes -= old.weight();
+            return Some(old);
+        }
+        let height = self.random_height();
+        let idx = self.arena.len() as u32;
+        self.bytes += key.weight() + value.weight();
+        let mut node = Node {
+            key,
+            value,
+            next: [NIL; MAX_HEIGHT],
+        };
+        for level in 0..height {
+            if level >= self.height {
+                // New top level: link directly off the head.
+                node.next[level] = NIL;
+                self.head[level] = idx;
+            } else if prev[level] == NIL {
+                node.next[level] = self.head[level];
+                self.head[level] = idx;
+            } else {
+                let p = prev[level] as usize;
+                node.next[level] = self.arena[p].next[level];
+                self.arena[p].next[level] = idx;
+            }
+        }
+        self.height = self.height.max(height);
+        self.arena.push(node);
+        self.len += 1;
+        None
+    }
+
+    /// Looks up `key` exactly.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let (_, candidate) = self.find(key);
+        if candidate != NIL && self.arena[candidate as usize].key == *key {
+            Some(&self.arena[candidate as usize].value)
+        } else {
+            None
+        }
+    }
+
+    /// True if the key is present.
+    pub fn contains(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// In-order iterator over all entries.
+    pub fn iter(&self) -> Iter<'_, K, V> {
+        Iter {
+            list: self,
+            cur: self.head[0],
+        }
+    }
+
+    /// In-order iterator over entries with `key >= from`.
+    pub fn range_from(&self, from: &K) -> Iter<'_, K, V> {
+        let (_, candidate) = self.find(from);
+        Iter {
+            list: self,
+            cur: candidate,
+        }
+    }
+}
+
+impl<K: Ord + Weigh, V: Weigh> Default for SkipList<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// In-order skiplist iterator.
+pub struct Iter<'a, K, V> {
+    list: &'a SkipList<K, V>,
+    cur: u32,
+}
+
+impl<'a, K, V> Iterator for Iter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cur == NIL {
+            return None;
+        }
+        let node = &self.list.arena[self.cur as usize];
+        self.cur = node.next[0];
+        Some((&node.key, &node.value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn empty_list() {
+        let l: SkipList<Bytes, Bytes> = SkipList::new();
+        assert!(l.is_empty());
+        assert_eq!(l.get(&b("x")), None);
+        assert_eq!(l.iter().count(), 0);
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut l = SkipList::new();
+        assert_eq!(l.insert(b("k1"), b("v1")), None);
+        assert_eq!(l.insert(b("k2"), b("v2")), None);
+        assert_eq!(l.get(&b("k1")).map(|v| v.as_ref()), Some(&b"v1"[..]));
+        assert_eq!(l.get(&b("k2")).map(|v| v.as_ref()), Some(&b"v2"[..]));
+        assert_eq!(l.get(&b("k3")), None);
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn replace_returns_old_value() {
+        let mut l = SkipList::new();
+        l.insert(b("k"), b("old"));
+        let old = l.insert(b("k"), b("new"));
+        assert_eq!(old.as_deref(), Some(&b"old"[..]));
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.get(&b("k")).map(|v| v.as_ref()), Some(&b"new"[..]));
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let mut l = SkipList::new();
+        for k in ["m", "a", "z", "c", "q", "b"] {
+            l.insert(b(k), b(k));
+        }
+        let keys: Vec<&[u8]> = l.iter().map(|(k, _)| k.as_ref()).collect();
+        assert_eq!(keys, vec![&b"a"[..], b"b", b"c", b"m", b"q", b"z"]);
+    }
+
+    #[test]
+    fn range_from_starts_at_bound() {
+        let mut l = SkipList::new();
+        for k in ["a", "c", "e", "g"] {
+            l.insert(b(k), b(k));
+        }
+        let keys: Vec<&[u8]> = l.range_from(&b("c")).map(|(k, _)| k.as_ref()).collect();
+        assert_eq!(keys, vec![&b"c"[..], b"e", b"g"]);
+        // A bound between keys starts at the next key.
+        let keys: Vec<&[u8]> = l.range_from(&b("d")).map(|(k, _)| k.as_ref()).collect();
+        assert_eq!(keys, vec![&b"e"[..], b"g"]);
+        // Past the end: empty.
+        assert_eq!(l.range_from(&b("zzz")).count(), 0);
+    }
+
+    #[test]
+    fn large_insert_matches_btreemap() {
+        use std::collections::BTreeMap;
+        let mut l = SkipList::new();
+        let mut reference = BTreeMap::new();
+        // Pseudo-random but deterministic key order.
+        let mut x: u64 = 12345;
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = format!("key{:06}", x % 50_000);
+            let val = format!("val{x}");
+            l.insert(b(&key), b(&val));
+            reference.insert(key.into_bytes(), val.into_bytes());
+        }
+        assert_eq!(l.len(), reference.len());
+        for (k, v) in &reference {
+            let kb = Bytes::copy_from_slice(k);
+            assert_eq!(l.get(&kb).map(|v| v.as_ref()), Some(v.as_slice()));
+        }
+        let ours: Vec<(&[u8], &[u8])> = l.iter().map(|(k, v)| (k.as_ref(), v.as_ref())).collect();
+        let theirs: Vec<(&[u8], &[u8])> = reference
+            .iter()
+            .map(|(k, v)| (k.as_slice(), v.as_slice()))
+            .collect();
+        assert_eq!(ours, theirs);
+    }
+
+    #[test]
+    fn byte_accounting_tracks_replacements() {
+        let mut l = SkipList::new();
+        l.insert(b("k"), b("aaaa"));
+        assert_eq!(l.approximate_bytes(), 1 + 4);
+        l.insert(b("k"), b("bb"));
+        assert_eq!(l.approximate_bytes(), 1 + 2);
+    }
+
+    #[test]
+    fn height_distribution_is_reasonable() {
+        let mut l = SkipList::with_seed(7);
+        for i in 0..10_000u32 {
+            l.insert(Bytes::from(i.to_be_bytes().to_vec()), b("v"));
+        }
+        // With p = 1/4 the expected max height over 10k inserts is ~7-8;
+        // it must exceed 1 and stay within the cap.
+        assert!(l.height > 3 && l.height <= MAX_HEIGHT, "height={}", l.height);
+    }
+
+    #[test]
+    fn seeded_lists_are_reproducible() {
+        let build = || {
+            let mut l = SkipList::with_seed(99);
+            for i in 0..100u32 {
+                l.insert(Bytes::from(i.to_be_bytes().to_vec()), b("v"));
+            }
+            l.height
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn composite_keys_order_as_their_ord() {
+        // The MVCC use case: (user, rev_seq) tuples.
+        #[derive(PartialEq, Eq, PartialOrd, Ord, Clone, Debug)]
+        struct IKey(Bytes, u64);
+        impl Weigh for IKey {
+            fn weight(&self) -> usize {
+                self.0.len() + 8
+            }
+        }
+        let mut l: SkipList<IKey, Bytes> = SkipList::new();
+        l.insert(IKey(b("k"), 5), b("old"));
+        l.insert(IKey(b("k"), 1), b("new")); // lower rev_seq = newer
+        l.insert(IKey(b("j"), 9), b("other"));
+        let keys: Vec<(&[u8], u64)> = l.iter().map(|(k, _)| (k.0.as_ref(), k.1)).collect();
+        assert_eq!(keys, vec![(&b"j"[..], 9), (b"k", 1), (b"k", 5)]);
+        // Seek to (k, 0): everything for user "k".
+        let from = IKey(b("k"), 0);
+        let got: Vec<&[u8]> = l.range_from(&from).map(|(_, v)| v.as_ref()).collect();
+        assert_eq!(got, vec![&b"new"[..], b"old"]);
+    }
+}

@@ -1,0 +1,234 @@
+//! Immutable sorted runs ("plain tables"), version-aware.
+//!
+//! The paper's setup uses LevelDB with "memory-mapped plain tables to keep
+//! all data in memory" (§5.3); accordingly our table is a sorted in-memory
+//! vector of *versions* — `(user_key, seq, slot)` ordered like the
+//! memtable (key ascending, sequence descending) — with binary-search
+//! lookups and a sparse index block emulating the plain-table format.
+
+use crate::memtable::{InternalKey, MemTable, Slot};
+use bytes::Bytes;
+
+/// One version in a table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Entry {
+    /// The user key.
+    pub key: Bytes,
+    /// Version sequence number.
+    pub seq: u64,
+    /// Live value or tombstone.
+    pub slot: Slot,
+}
+
+impl Entry {
+    fn internal_key(&self) -> InternalKey {
+        InternalKey::new(self.key.clone(), self.seq)
+    }
+}
+
+/// Keys per sparse-index block.
+const INDEX_STRIDE: usize = 16;
+
+/// An immutable sorted run.
+pub struct SsTable {
+    entries: Vec<Entry>,
+    /// Every `INDEX_STRIDE`-th internal key, for two-level lookup.
+    sparse: Vec<(InternalKey, usize)>,
+    bytes: usize,
+}
+
+impl SsTable {
+    /// Builds a table from entries already sorted by internal key
+    /// (user key ascending, sequence descending).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertions) if the entries are not strictly sorted.
+    pub fn from_sorted(entries: Vec<Entry>) -> Self {
+        debug_assert!(
+            entries
+                .windows(2)
+                .all(|w| w[0].internal_key() < w[1].internal_key()),
+            "entries must be strictly sorted by internal key"
+        );
+        let sparse = entries
+            .iter()
+            .enumerate()
+            .step_by(INDEX_STRIDE)
+            .map(|(i, e)| (e.internal_key(), i))
+            .collect();
+        let bytes = entries
+            .iter()
+            .map(|e| e.key.len() + 8 + e.slot.live().map_or(1, Bytes::len))
+            .sum();
+        Self {
+            entries,
+            sparse,
+            bytes,
+        }
+    }
+
+    /// Flushes a memtable into a table.
+    pub fn from_memtable(mem: &MemTable) -> Self {
+        let entries = mem
+            .iter_versions()
+            .map(|(k, seq, slot)| Entry {
+                key: k.clone(),
+                seq,
+                slot,
+            })
+            .collect();
+        Self::from_sorted(entries)
+    }
+
+    /// Number of versions stored (tombstones included).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Approximate payload size, bytes.
+    pub fn approximate_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Index of the first entry with internal key ≥ `probe`, using the
+    /// sparse index then a bounded binary search — the plain-table read
+    /// path.
+    fn seek(&self, probe: &InternalKey) -> usize {
+        let block = match self.sparse.binary_search_by(|(k, _)| k.cmp(probe)) {
+            Ok(i) => return self.sparse[i].1,
+            Err(0) => 0,
+            Err(i) => self.sparse[i - 1].1,
+        };
+        let end = (block + INDEX_STRIDE).min(self.entries.len());
+        block
+            + self.entries[block..end]
+                .partition_point(|e| e.internal_key() < *probe)
+    }
+
+    /// Point lookup as of `at_seq`: the newest version of `key` with
+    /// sequence ≤ `at_seq`, if this run has one.
+    pub fn get(&self, key: &[u8], at_seq: u64) -> Option<&Slot> {
+        let probe = InternalKey::probe(Bytes::copy_from_slice(key), at_seq);
+        let i = self.seek(&probe);
+        let e = self.entries.get(i)?;
+        if e.key.as_ref() == key {
+            Some(&e.slot)
+        } else {
+            None
+        }
+    }
+
+    /// In-order iterator over all versions.
+    pub fn iter(&self) -> std::slice::Iter<'_, Entry> {
+        self.entries.iter()
+    }
+
+    /// Iterator over versions with `user_key >= from` (all sequences).
+    pub fn range_from(&self, from: &[u8]) -> std::slice::Iter<'_, Entry> {
+        let start = self.entries.partition_point(|e| e.key.as_ref() < from);
+        self.entries[start..].iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    fn table(keys: &[&str]) -> SsTable {
+        let entries = keys
+            .iter()
+            .map(|k| Entry {
+                key: b(k),
+                seq: 1,
+                slot: Slot::Value(b(&format!("v-{k}"))),
+            })
+            .collect();
+        SsTable::from_sorted(entries)
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = SsTable::from_sorted(vec![]);
+        assert!(t.is_empty());
+        assert_eq!(t.get(b"x", u64::MAX), None);
+        assert_eq!(t.iter().count(), 0);
+    }
+
+    #[test]
+    fn get_finds_every_key() {
+        let keys: Vec<String> = (0..100).map(|i| format!("key{i:04}")).collect();
+        let refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+        let t = table(&refs);
+        for k in &keys {
+            let got = t.get(k.as_bytes(), u64::MAX).expect("present");
+            assert_eq!(got.live().map(|v| v.as_ref()), Some(format!("v-{k}").as_bytes()));
+        }
+    }
+
+    #[test]
+    fn get_misses_absent_keys() {
+        let t = table(&["b", "d", "f"]);
+        assert_eq!(t.get(b"a", u64::MAX), None); // before first
+        assert_eq!(t.get(b"c", u64::MAX), None); // between
+        assert_eq!(t.get(b"z", u64::MAX), None); // after last
+    }
+
+    #[test]
+    fn versioned_get_respects_sequence() {
+        let entries = vec![
+            Entry { key: b("k"), seq: 9, slot: Slot::Value(b("v9")) },
+            Entry { key: b("k"), seq: 4, slot: Slot::Tombstone },
+            Entry { key: b("k"), seq: 2, slot: Slot::Value(b("v2")) },
+        ];
+        let t = SsTable::from_sorted(entries);
+        assert_eq!(t.get(b"k", 1), None);
+        assert_eq!(t.get(b"k", 2), Some(&Slot::Value(b("v2"))));
+        assert_eq!(t.get(b"k", 3), Some(&Slot::Value(b("v2"))));
+        assert_eq!(t.get(b"k", 4), Some(&Slot::Tombstone));
+        assert_eq!(t.get(b"k", 8), Some(&Slot::Tombstone));
+        assert_eq!(t.get(b"k", 9), Some(&Slot::Value(b("v9"))));
+        assert_eq!(t.get(b"k", u64::MAX), Some(&Slot::Value(b("v9"))));
+    }
+
+    #[test]
+    fn get_hits_sparse_index_boundaries() {
+        let keys: Vec<String> = (0..64).map(|i| format!("k{i:03}")).collect();
+        let refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+        let t = table(&refs);
+        assert!(t.get(b"k000", u64::MAX).is_some());
+        assert!(t.get(b"k016", u64::MAX).is_some());
+        assert!(t.get(b"k032", u64::MAX).is_some());
+    }
+
+    #[test]
+    fn range_from_is_inclusive() {
+        let t = table(&["a", "c", "e"]);
+        let keys: Vec<&[u8]> = t.range_from(b"c").map(|e| e.key.as_ref()).collect();
+        assert_eq!(keys, vec![&b"c"[..], b"e"]);
+        let keys: Vec<&[u8]> = t.range_from(b"d").map(|e| e.key.as_ref()).collect();
+        assert_eq!(keys, vec![&b"e"[..]]);
+    }
+
+    #[test]
+    fn from_memtable_preserves_all_versions() {
+        let mut m = MemTable::new();
+        m.put(b("a"), 1, b("1"));
+        m.put(b("a"), 3, b("3"));
+        m.delete(b("b"), 2);
+        let t = SsTable::from_memtable(&m);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(b"b", u64::MAX), Some(&Slot::Tombstone));
+        assert_eq!(t.get(b"a", 2), Some(&Slot::Value(b("1"))));
+        assert_eq!(t.get(b"a", 3), Some(&Slot::Value(b("3"))));
+    }
+}

@@ -1,0 +1,132 @@
+//! Plain-text rendering of latency distributions.
+//!
+//! Turns a [`Histogram`] into the classic log-bucketed ASCII chart that
+//! latency tools print, plus a percentile summary line — used by the
+//! examples and the harness binaries for human-readable output.
+
+use crate::Histogram;
+use std::fmt::Write as _;
+
+/// Renders a percentile summary, e.g.
+/// `p50=1.2us p90=3.4us p99=10.0us p99.9=55.1us max=80.2us`.
+///
+/// Values are read from the histogram in its native unit and divided by
+/// `unit_div` before printing with `unit_label` (e.g. 1000.0 and `"us"`
+/// for a nanosecond histogram).
+pub fn percentile_line(h: &Histogram, unit_div: f64, unit_label: &str) -> String {
+    if h.is_empty() {
+        return "no samples".to_string();
+    }
+    let v = |q: f64| h.value_at_quantile(q) as f64 / unit_div;
+    format!(
+        "p50={:.1}{u} p90={:.1}{u} p99={:.1}{u} p99.9={:.1}{u} max={:.1}{u} (n={})",
+        v(0.50),
+        v(0.90),
+        v(0.99),
+        v(0.999),
+        h.max() as f64 / unit_div,
+        h.len(),
+        u = unit_label,
+    )
+}
+
+/// Renders a log₂-bucketed ASCII bar chart of the distribution.
+///
+/// Each row covers one power-of-two range of values; bar lengths are
+/// proportional to the bucket's share of samples, scaled so the largest
+/// bucket fills `width` characters.
+pub fn ascii_chart(h: &Histogram, unit_div: f64, unit_label: &str, width: usize) -> String {
+    if h.is_empty() {
+        return "no samples\n".to_string();
+    }
+    let width = width.clamp(10, 200);
+    // Aggregate histogram buckets into log2 bins.
+    let mut bins: Vec<(u32, u64)> = Vec::new(); // (log2 floor, count)
+    for (value, count) in h.iter() {
+        let bin = 63 - value.max(1).leading_zeros();
+        match bins.last_mut() {
+            Some((b, c)) if *b == bin => *c += count,
+            _ => bins.push((bin, count)),
+        }
+    }
+    let max_count = bins.iter().map(|&(_, c)| c).max().unwrap_or(1);
+    let total = h.len();
+    let mut out = String::new();
+    for (bin, count) in bins {
+        let lo = (1u64 << bin) as f64 / unit_div;
+        let hi = ((1u64 << bin) * 2) as f64 / unit_div;
+        let bar_len = ((count as f64 / max_count as f64) * width as f64).round() as usize;
+        let pct = 100.0 * count as f64 / total as f64;
+        let _ = writeln!(
+            out,
+            "{lo:>10.1} - {hi:>10.1} {unit_label:<3} |{:<w$}| {pct:>5.1}%",
+            "#".repeat(bar_len),
+            w = width,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_hist() -> Histogram {
+        let mut h = Histogram::new(3);
+        for i in 1..=1_000u64 {
+            h.record(i * 100); // 100..100_000
+        }
+        h
+    }
+
+    #[test]
+    fn percentile_line_contains_all_markers() {
+        let h = sample_hist();
+        let line = percentile_line(&h, 1_000.0, "us");
+        for marker in ["p50=", "p90=", "p99=", "p99.9=", "max=", "us"] {
+            assert!(line.contains(marker), "missing {marker} in {line}");
+        }
+        assert!(line.contains("n=1000"));
+    }
+
+    #[test]
+    fn empty_histogram_renders_gracefully() {
+        let h = Histogram::new(3);
+        assert_eq!(percentile_line(&h, 1.0, "ns"), "no samples");
+        assert_eq!(ascii_chart(&h, 1.0, "ns", 40), "no samples\n");
+    }
+
+    #[test]
+    fn chart_rows_cover_value_range() {
+        let h = sample_hist();
+        let chart = ascii_chart(&h, 1.0, "ns", 40);
+        let rows: Vec<&str> = chart.lines().collect();
+        // Values span 100..100_000: log2 bins 6..=16 → ~11 rows.
+        assert!(rows.len() >= 8 && rows.len() <= 13, "rows={}", rows.len());
+        assert!(chart.contains('#'));
+        assert!(chart.contains('%'));
+    }
+
+    #[test]
+    fn largest_bucket_fills_the_width() {
+        let mut h = Histogram::new(3);
+        for _ in 0..1_000 {
+            h.record(1_000);
+        }
+        h.record(1_000_000);
+        let chart = ascii_chart(&h, 1.0, "ns", 30);
+        assert!(chart.contains(&"#".repeat(30)), "chart:\n{chart}");
+    }
+
+    #[test]
+    fn percentages_sum_to_about_100() {
+        let h = sample_hist();
+        let chart = ascii_chart(&h, 1.0, "ns", 20);
+        let total: f64 = chart
+            .lines()
+            .filter_map(|l| l.rsplit_once('|').map(|(_, p)| p.trim().trim_end_matches('%')))
+            .filter_map(|p| p.trim().parse::<f64>().ok())
+            .sum();
+        assert!((total - 100.0).abs() < 1.5, "total={total}");
+    }
+}

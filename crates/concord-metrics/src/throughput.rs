@@ -1,0 +1,165 @@
+//! Windowed throughput tracking.
+//!
+//! Saturation shows up as goodput flat-lining while offered load grows;
+//! a run-wide average hides when that happened. [`ThroughputTracker`] bins
+//! completions into fixed windows over (virtual or wall) time so
+//! experiments can report sustained vs. peak rates and detect collapse.
+
+use serde::{Deserialize, Serialize};
+
+/// Bins completion events into fixed time windows and reports rates.
+///
+/// Time is a caller-supplied `u64` in any unit (the simulator feeds
+/// cycles, the runtime nanoseconds); rates come back in events per second
+/// given the unit-per-second conversion supplied at construction.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ThroughputTracker {
+    window: u64,
+    units_per_sec: f64,
+    /// Completion counts per window index, starting at window 0.
+    bins: Vec<u64>,
+    total: u64,
+}
+
+impl ThroughputTracker {
+    /// Creates a tracker with the given window length (time units) and
+    /// unit conversion (e.g. `2e9` when feeding cycles at 2 GHz, `1e9`
+    /// when feeding nanoseconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero or `units_per_sec` is not positive.
+    pub fn new(window: u64, units_per_sec: f64) -> Self {
+        assert!(window > 0, "window must be positive");
+        assert!(units_per_sec > 0.0, "unit conversion must be positive");
+        Self {
+            window,
+            units_per_sec,
+            bins: Vec::new(),
+            total: 0,
+        }
+    }
+
+    /// Records one completion at time `t`.
+    pub fn record(&mut self, t: u64) {
+        let idx = (t / self.window) as usize;
+        if idx >= self.bins.len() {
+            self.bins.resize(idx + 1, 0);
+        }
+        self.bins[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Total completions recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of (possibly empty) windows spanned so far.
+    pub fn windows(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Throughput of window `i`, events/second.
+    pub fn window_rate(&self, i: usize) -> f64 {
+        let count = self.bins.get(i).copied().unwrap_or(0);
+        count as f64 * self.units_per_sec / self.window as f64
+    }
+
+    /// Peak single-window throughput, events/second.
+    pub fn peak_rate(&self) -> f64 {
+        (0..self.bins.len())
+            .map(|i| self.window_rate(i))
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean throughput over all complete windows, events/second.
+    pub fn mean_rate(&self) -> f64 {
+        if self.bins.is_empty() {
+            return 0.0;
+        }
+        self.total as f64 * self.units_per_sec / (self.bins.len() as u64 * self.window) as f64
+    }
+
+    /// The highest rate sustained for at least `k` consecutive windows
+    /// (the minimum across each k-window run, maximized over runs).
+    /// Returns 0.0 when fewer than `k` windows exist.
+    pub fn sustained_rate(&self, k: usize) -> f64 {
+        if k == 0 || self.bins.len() < k {
+            return 0.0;
+        }
+        let mut best = 0.0f64;
+        for start in 0..=(self.bins.len() - k) {
+            let run_min = (start..start + k)
+                .map(|i| self.window_rate(i))
+                .fold(f64::INFINITY, f64::min);
+            best = best.max(run_min);
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_and_rates() {
+        // 1-second windows over nanoseconds.
+        let mut t = ThroughputTracker::new(1_000_000_000, 1e9);
+        for i in 0..100 {
+            t.record(i * 10_000_000); // all within the first second
+        }
+        for i in 0..50 {
+            t.record(1_000_000_000 + i * 10_000_000); // second window
+        }
+        assert_eq!(t.windows(), 2);
+        assert_eq!(t.total(), 150);
+        assert!((t.window_rate(0) - 100.0).abs() < 1e-9);
+        assert!((t.window_rate(1) - 50.0).abs() < 1e-9);
+        assert!((t.peak_rate() - 100.0).abs() < 1e-9);
+        assert!((t.mean_rate() - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sustained_rate_is_min_over_best_run() {
+        let mut t = ThroughputTracker::new(100, 100.0); // rate == count
+        // Window counts: 10, 50, 60, 55, 5.
+        for (w, n) in [(0u64, 10u64), (1, 50), (2, 60), (3, 55), (4, 5)] {
+            for i in 0..n {
+                t.record(w * 100 + i % 100);
+            }
+        }
+        // Best 2-window run is (60, 55) → min 55.
+        assert!((t.sustained_rate(2) - 55.0).abs() < 1e-9);
+        // Best 3-window run is (50, 60, 55) → min 50.
+        assert!((t.sustained_rate(3) - 50.0).abs() < 1e-9);
+        // k beyond history: 0.
+        assert_eq!(t.sustained_rate(9), 0.0);
+    }
+
+    #[test]
+    fn empty_tracker_reports_zero() {
+        let t = ThroughputTracker::new(10, 1.0);
+        assert_eq!(t.total(), 0);
+        assert_eq!(t.mean_rate(), 0.0);
+        assert_eq!(t.peak_rate(), 0.0);
+        assert_eq!(t.window_rate(3), 0.0);
+    }
+
+    #[test]
+    fn cycle_units_convert() {
+        // 2 GHz cycles, 1 ms windows = 2e6 cycles.
+        let mut t = ThroughputTracker::new(2_000_000, 2e9);
+        for i in 0..1_000 {
+            t.record(i * 2_000); // 1000 events in the first ms
+        }
+        assert!((t.window_rate(0) - 1_000_000.0).abs() < 1.0, "{}", t.window_rate(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        let _ = ThroughputTracker::new(0, 1.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests for the histogram's precision and merge invariants.
+
+use concord_metrics::{Histogram, SlowdownTracker, Summary};
+use proptest::prelude::*;
+
+proptest! {
+    /// Any recorded value is recovered at its own quantile within the
+    /// configured relative error (10^-sigfigs).
+    #[test]
+    fn quantile_recovers_values_within_precision(
+        values in prop::collection::vec(1u64..1_000_000_000_000, 1..200),
+        sigfigs in 1u8..=4,
+    ) {
+        let mut h = Histogram::new(sigfigs);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for &v in &values {
+            h.record(v);
+        }
+        let tol = 10f64.powi(-i32::from(sigfigs)) + 1e-12;
+        for (i, &want) in sorted.iter().enumerate() {
+            let q = (i + 1) as f64 / sorted.len() as f64;
+            let got = h.value_at_quantile(q);
+            let rel = (got as f64 - want as f64).abs() / want as f64;
+            prop_assert!(rel <= tol, "sig={sigfigs} q={q} want={want} got={got}");
+        }
+    }
+
+    /// Quantile queries are monotone in q.
+    #[test]
+    fn quantiles_monotone(values in prop::collection::vec(1u64..u32::MAX as u64, 1..100)) {
+        let mut h = Histogram::new(3);
+        for &v in &values {
+            h.record(v);
+        }
+        let mut prev = 0;
+        for i in 0..=100 {
+            let v = h.value_at_quantile(f64::from(i) / 100.0);
+            prop_assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    /// Merging two histograms equals recording the concatenation.
+    #[test]
+    fn merge_equals_concat(
+        a in prop::collection::vec(1u64..u32::MAX as u64, 0..100),
+        b in prop::collection::vec(1u64..u32::MAX as u64, 0..100),
+    ) {
+        let mut ha = Histogram::new(3);
+        let mut hb = Histogram::new(3);
+        let mut hc = Histogram::new(3);
+        for &v in &a {
+            ha.record(v);
+            hc.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hc.record(v);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.len(), hc.len());
+        prop_assert_eq!(ha.min(), hc.min());
+        prop_assert_eq!(ha.max(), hc.max());
+        for i in 0..=20 {
+            let q = f64::from(i) / 20.0;
+            prop_assert_eq!(ha.value_at_quantile(q), hc.value_at_quantile(q));
+        }
+    }
+
+    /// min ≤ every quantile ≤ max, and the count is exact.
+    #[test]
+    fn bounds_hold(values in prop::collection::vec(1u64..u64::MAX / 4, 1..100)) {
+        let mut h = Histogram::new(2);
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.len(), values.len() as u64);
+        for i in 0..=10 {
+            let v = h.value_at_quantile(f64::from(i) / 10.0);
+            prop_assert!(v >= h.min() || v == 0);
+            prop_assert!(v <= h.max() || h.clamped() > 0);
+        }
+    }
+
+    /// Welford summary matches the naive two-pass computation.
+    #[test]
+    fn summary_matches_naive(values in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut s = Summary::new();
+        for &v in &values {
+            s.record(v);
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+        prop_assert!((s.mean() - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((s.population_variance() - var).abs() <= 1e-5 * (1.0 + var));
+    }
+
+    /// Slowdown is always ≥ 1 and finite.
+    #[test]
+    fn slowdown_at_least_one(
+        pairs in prop::collection::vec((0u64..10_000_000, 0u64..10_000_000), 1..100),
+    ) {
+        let mut t = SlowdownTracker::new();
+        for &(svc, soj) in &pairs {
+            t.record(svc, soj);
+        }
+        let p = t.p999();
+        prop_assert!(p.is_finite());
+        prop_assert!(p >= 0.99, "p999={p}");
+        prop_assert!(t.at_quantile(0.0) >= 0.99);
+    }
+}

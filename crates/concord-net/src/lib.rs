@@ -1,0 +1,28 @@
+//! In-process network substrate for end-to-end Concord experiments.
+//!
+//! The paper's testbed is two machines connected back-to-back (RFC 2544)
+//! with a kernel-bypass NIC; the quantity under study is server-side
+//! scheduling. This crate reproduces the *interface* that setup presents
+//! to the server — descriptor rings carrying request/response packets and
+//! an open-loop Poisson load generator — entirely in process:
+//!
+//! - [`ring`] — a bounded single-producer/single-consumer descriptor ring
+//!   built from scratch on atomics (the NIC RX/TX queue model);
+//! - [`packet`] — request/response descriptors with timestamps;
+//! - [`rtt`] — a fixed-plus-jitter round-trip-time model (the paper's
+//!   testbed measures ≈10 µs client-observed RTT);
+//! - [`loadgen`] — an open-loop generator that paces arrivals according to
+//!   a `concord-workloads` trace and a collector that turns responses into
+//!   client-side latency/slowdown measurements.
+
+#![warn(missing_docs)]
+
+pub mod loadgen;
+pub mod packet;
+pub mod ring;
+pub mod rtt;
+
+pub use loadgen::{Collector, LoadGen, LoadGenReport};
+pub use packet::{Request, Response};
+pub use ring::{ring, Consumer, Producer};
+pub use rtt::RttModel;

@@ -1,0 +1,318 @@
+//! Open-loop load generation and client-side measurement.
+//!
+//! [`LoadGen`] plays a deterministic `concord-workloads` trace against the
+//! server's RX ring in real time — open loop, so arrivals never slow down
+//! when the server queues up (§5.1). A full RX ring counts as a drop, just
+//! as a saturated NIC queue would. [`Collector`] drains the TX ring and
+//! produces client-side latency and slowdown distributions, adding a
+//! modeled RTT to every sample.
+
+use crate::packet::{Request, Response};
+use crate::ring::{Consumer, Producer};
+use crate::rtt::RttModel;
+use concord_metrics::{Histogram, SlowdownTracker};
+use concord_workloads::arrival::{ArrivalProcess, Poisson};
+use concord_workloads::{seeded_rng, TraceGenerator, Workload};
+use std::collections::HashMap;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Outcome of a completed load-generation run.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadGenReport {
+    /// Requests successfully enqueued on the RX ring.
+    pub sent: u64,
+    /// Requests dropped because the RX ring was full.
+    pub dropped: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+/// An open-loop load generator running on its own thread.
+pub struct LoadGen {
+    handle: JoinHandle<LoadGenReport>,
+}
+
+impl LoadGen {
+    /// Starts generating `count` requests at `rate_rps` (Poisson gaps)
+    /// into `tx`. The trace is fully determined by `seed`.
+    pub fn start<W>(
+        tx: Producer<Request>,
+        workload: W,
+        rate_rps: f64,
+        count: u64,
+        seed: u64,
+    ) -> Self
+    where
+        W: Workload + Send + 'static,
+    {
+        Self::start_with(tx, Poisson::with_rate(rate_rps), workload, count, seed)
+    }
+
+    /// Starts generating `count` requests with an arbitrary arrival
+    /// process (Poisson, deterministic, MMPP bursts, ...).
+    pub fn start_with<A, W>(
+        mut tx: Producer<Request>,
+        arrivals: A,
+        workload: W,
+        count: u64,
+        seed: u64,
+    ) -> Self
+    where
+        A: ArrivalProcess + Send + 'static,
+        W: Workload + Send + 'static,
+    {
+        let handle = std::thread::Builder::new()
+            .name("concord-loadgen".into())
+            .spawn(move || {
+                let mut gen = TraceGenerator::new(arrivals, workload, seed);
+                let start = Instant::now();
+                let mut sent = 0u64;
+                let mut dropped = 0u64;
+                for _ in 0..count {
+                    let a = gen.next_arrival();
+                    let due = start + Duration::from_nanos(a.time_ns);
+                    // Coarse wait via sleep, fine wait via yielding: this
+                    // host may be single-core, so pure spinning would
+                    // starve the server under test.
+                    loop {
+                        let now = Instant::now();
+                        if now >= due {
+                            break;
+                        }
+                        let left = due - now;
+                        if left > Duration::from_micros(200) {
+                            std::thread::sleep(left - Duration::from_micros(100));
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                    let req = Request {
+                        id: a.id,
+                        class: a.spec.class,
+                        service_ns: a.spec.service_ns,
+                        sent_at: Instant::now(),
+                    };
+                    // Open loop: a full ring is a drop, not back-pressure.
+                    match tx.push(req) {
+                        Ok(()) => sent += 1,
+                        Err(_) => dropped += 1,
+                    }
+                }
+                LoadGenReport {
+                    sent,
+                    dropped,
+                    elapsed: start.elapsed(),
+                }
+            })
+            .expect("spawn load generator");
+        Self { handle }
+    }
+
+    /// Waits for the run to finish.
+    pub fn join(self) -> LoadGenReport {
+        self.handle.join().expect("load generator thread")
+    }
+}
+
+/// Client-side response collector.
+pub struct Collector {
+    rx: Consumer<Response>,
+    rtt: RttModel,
+    rng: rand::rngs::SmallRng,
+    slowdown: SlowdownTracker,
+    latency_ns: Histogram,
+    by_class: HashMap<u16, SlowdownTracker>,
+    received: u64,
+}
+
+impl Collector {
+    /// Creates a collector reading from `rx` and charging `rtt` per sample.
+    pub fn new(rx: Consumer<Response>, rtt: RttModel, seed: u64) -> Self {
+        Self {
+            rx,
+            rtt,
+            rng: seeded_rng(seed),
+            slowdown: SlowdownTracker::new(),
+            latency_ns: Histogram::with_max(3, 1 << 42),
+            by_class: HashMap::new(),
+            received: 0,
+        }
+    }
+
+    /// Drains currently available responses; returns how many were
+    /// recorded.
+    pub fn poll(&mut self) -> usize {
+        let mut n = 0;
+        while let Some(resp) = self.rx.pop() {
+            let e2e = resp.sojourn_ns() + self.rtt.sample(&mut self.rng);
+            self.latency_ns.record(e2e);
+            self.slowdown.record(resp.service_ns, e2e);
+            self.by_class
+                .entry(resp.class)
+                .or_default()
+                .record(resp.service_ns, e2e);
+            self.received += 1;
+            n += 1;
+        }
+        n
+    }
+
+    /// Polls until `n` total responses have been recorded or `timeout`
+    /// elapses. Returns true if the target was reached.
+    pub fn collect(&mut self, n: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while self.received < n {
+            if self.poll() == 0 {
+                if Instant::now() > deadline {
+                    return false;
+                }
+                std::thread::yield_now();
+            }
+        }
+        true
+    }
+
+    /// Responses recorded so far.
+    pub fn received(&self) -> u64 {
+        self.received
+    }
+
+    /// Client-observed slowdown distribution.
+    pub fn slowdown(&self) -> &SlowdownTracker {
+        &self.slowdown
+    }
+
+    /// Client-observed end-to-end latency distribution (nanoseconds).
+    pub fn latency_ns(&self) -> &Histogram {
+        &self.latency_ns
+    }
+
+    /// Per-request-class slowdown distributions, keyed by class id.
+    pub fn slowdown_by_class(&self) -> &HashMap<u16, SlowdownTracker> {
+        &self.by_class
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::ring;
+    use concord_workloads::mix;
+
+    /// An in-thread echo server: pops requests, replies immediately.
+    fn echo_server(
+        mut rx: Consumer<Request>,
+        mut tx: Producer<Response>,
+        expect: u64,
+    ) -> JoinHandle<u64> {
+        std::thread::spawn(move || {
+            let mut served = 0;
+            while served < expect {
+                if let Some(req) = rx.pop() {
+                    let resp = Response::completed(&req);
+                    let mut r = resp;
+                    while let Err(back) = tx.push(r) {
+                        r = back;
+                        std::thread::yield_now();
+                    }
+                    served += 1;
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+            served
+        })
+    }
+
+    #[test]
+    fn end_to_end_flow_delivers_everything() {
+        let (req_tx, req_rx) = ring::<Request>(1024);
+        let (resp_tx, resp_rx) = ring::<Response>(1024);
+        let server = echo_server(req_rx, resp_tx, 2_000);
+        let gen = LoadGen::start(req_tx, mix::fixed_1us(), 200_000.0, 2_000, 7);
+        let mut collector = Collector::new(resp_rx, RttModel::zero(), 7);
+        assert!(collector.collect(2_000, Duration::from_secs(20)));
+        let report = gen.join();
+        assert_eq!(server.join().expect("server"), 2_000);
+        assert_eq!(report.sent, 2_000);
+        assert_eq!(report.dropped, 0);
+        assert_eq!(collector.received(), 2_000);
+    }
+
+    #[test]
+    fn per_class_trackers_are_populated() {
+        let (req_tx, req_rx) = ring::<Request>(1024);
+        let (resp_tx, resp_rx) = ring::<Response>(1024);
+        let server = echo_server(req_rx, resp_tx, 1_000);
+        let gen = LoadGen::start(req_tx, mix::bimodal_50_1_50_100(), 100_000.0, 1_000, 11);
+        let mut c = Collector::new(resp_rx, RttModel::zero(), 11);
+        assert!(c.collect(1_000, Duration::from_secs(30)));
+        gen.join();
+        server.join().expect("server");
+        let by_class = c.slowdown_by_class();
+        assert_eq!(by_class.len(), 2, "two classes in the bimodal");
+        let total: u64 = by_class.values().map(|t| t.len()).sum();
+        assert_eq!(total, 1_000);
+    }
+
+    #[test]
+    fn bursty_arrivals_also_flow() {
+        use concord_workloads::arrival::Mmpp2;
+        let (req_tx, req_rx) = ring::<Request>(2048);
+        let (resp_tx, resp_rx) = ring::<Response>(2048);
+        let server = echo_server(req_rx, resp_tx, 500);
+        let gen = LoadGen::start_with(
+            req_tx,
+            Mmpp2::new(100_000.0, 1.8, 500.0),
+            mix::fixed_1us(),
+            500,
+            3,
+        );
+        let mut c = Collector::new(resp_rx, RttModel::zero(), 3);
+        assert!(c.collect(500, Duration::from_secs(30)));
+        let report = gen.join();
+        server.join().expect("server");
+        assert_eq!(report.sent, 500);
+    }
+
+    #[test]
+    fn rtt_is_added_to_latency() {
+        let (req_tx, req_rx) = ring::<Request>(64);
+        let (resp_tx, resp_rx) = ring::<Response>(64);
+        let server = echo_server(req_rx, resp_tx, 100);
+        let gen = LoadGen::start(req_tx, mix::fixed_1us(), 50_000.0, 100, 3);
+        let mut c = Collector::new(resp_rx, RttModel { base_ns: 1_000_000, jitter_ns: 0 }, 3);
+        assert!(c.collect(100, Duration::from_secs(20)));
+        gen.join();
+        server.join().expect("server");
+        // Every sample includes the 1 ms modeled RTT.
+        assert!(c.latency_ns().min() >= 1_000_000);
+    }
+
+    #[test]
+    fn full_ring_counts_drops() {
+        // No server: a tiny ring fills and the rest are dropped.
+        let (req_tx, req_rx) = ring::<Request>(8);
+        let gen = LoadGen::start(req_tx, mix::fixed_1us(), 1_000_000.0, 100, 5);
+        let report = gen.join();
+        assert_eq!(report.sent + report.dropped, 100);
+        assert_eq!(report.sent, 8);
+        drop(req_rx);
+    }
+
+    #[test]
+    fn pacing_is_roughly_open_loop() {
+        // 1k requests at 100k rps should take ≈10 ms of wall clock even
+        // with no consumer (drops don't slow the generator down).
+        let (req_tx, req_rx) = ring::<Request>(16);
+        let start = Instant::now();
+        let gen = LoadGen::start(req_tx, mix::fixed_1us(), 100_000.0, 1_000, 9);
+        let report = gen.join();
+        let elapsed = start.elapsed();
+        assert!(elapsed >= Duration::from_millis(8), "elapsed {elapsed:?}");
+        assert!(elapsed < Duration::from_millis(500), "elapsed {elapsed:?}");
+        assert_eq!(report.sent + report.dropped, 1_000);
+        drop(req_rx);
+    }
+}

@@ -1,0 +1,86 @@
+//! Request/response descriptors carried by the rings.
+
+use std::time::Instant;
+
+/// A request descriptor as the server's networker sees it.
+#[derive(Clone, Copy, Debug)]
+pub struct Request {
+    /// Monotonic request id assigned by the load generator.
+    pub id: u64,
+    /// Workload class (indexes the workload's class table).
+    pub class: u16,
+    /// Nominal un-instrumented service time, nanoseconds. Synthetic
+    /// spin-server applications spin for this long; real applications
+    /// (e.g. the KV server) ignore it and do actual work.
+    pub service_ns: u64,
+    /// When the client "sent" the request.
+    pub sent_at: Instant,
+}
+
+/// A response descriptor as the client's collector sees it.
+#[derive(Clone, Copy, Debug)]
+pub struct Response {
+    /// Id of the request this answers.
+    pub id: u64,
+    /// Class copied from the request.
+    pub class: u16,
+    /// Nominal service time copied from the request (slowdown denominator).
+    pub service_ns: u64,
+    /// When the client sent the request.
+    pub sent_at: Instant,
+    /// When the server finished the request.
+    pub finished_at: Instant,
+}
+
+impl Response {
+    /// Builds the response for a completed request.
+    pub fn completed(req: &Request) -> Self {
+        Self {
+            id: req.id,
+            class: req.class,
+            service_ns: req.service_ns,
+            sent_at: req.sent_at,
+            finished_at: Instant::now(),
+        }
+    }
+
+    /// Server-side sojourn time in nanoseconds.
+    pub fn sojourn_ns(&self) -> u64 {
+        self.finished_at
+            .saturating_duration_since(self.sent_at)
+            .as_nanos() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completed_copies_identity() {
+        let req = Request {
+            id: 42,
+            class: 3,
+            service_ns: 1_000,
+            sent_at: Instant::now(),
+        };
+        let resp = Response::completed(&req);
+        assert_eq!(resp.id, 42);
+        assert_eq!(resp.class, 3);
+        assert_eq!(resp.service_ns, 1_000);
+        assert!(resp.finished_at >= resp.sent_at);
+    }
+
+    #[test]
+    fn sojourn_is_monotone() {
+        let req = Request {
+            id: 1,
+            class: 0,
+            service_ns: 10,
+            sent_at: Instant::now(),
+        };
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let resp = Response::completed(&req);
+        assert!(resp.sojourn_ns() >= 1_000_000);
+    }
+}

@@ -1,0 +1,75 @@
+//! Round-trip-time modeling.
+//!
+//! The paper's testbed has an average client↔server RTT of ≈10 µs (§5.1),
+//! which end-to-end latency measurements include. In-process there is no
+//! wire, so the collector adds a modeled RTT to every sample instead.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A fixed-plus-uniform-jitter RTT model.
+#[derive(Clone, Copy, Debug)]
+pub struct RttModel {
+    /// Base round-trip time, nanoseconds.
+    pub base_ns: u64,
+    /// Maximum symmetric jitter, nanoseconds (uniform in ±jitter).
+    pub jitter_ns: u64,
+}
+
+impl RttModel {
+    /// The paper's testbed: 10 µs average RTT, light jitter.
+    pub fn paper_testbed() -> Self {
+        Self {
+            base_ns: 10_000,
+            jitter_ns: 500,
+        }
+    }
+
+    /// A zero-RTT model (pure server-side measurement).
+    pub fn zero() -> Self {
+        Self {
+            base_ns: 0,
+            jitter_ns: 0,
+        }
+    }
+
+    /// Draws one RTT sample.
+    pub fn sample(&self, rng: &mut SmallRng) -> u64 {
+        if self.jitter_ns == 0 {
+            return self.base_ns;
+        }
+        let jitter = rng.gen_range(0..=2 * self.jitter_ns) as i64 - self.jitter_ns as i64;
+        self.base_ns.saturating_add_signed(jitter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concord_workloads::seeded_rng;
+
+    #[test]
+    fn zero_model_is_zero() {
+        let mut rng = seeded_rng(1);
+        assert_eq!(RttModel::zero().sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn samples_stay_within_jitter_band() {
+        let m = RttModel::paper_testbed();
+        let mut rng = seeded_rng(2);
+        for _ in 0..10_000 {
+            let s = m.sample(&mut rng);
+            assert!((9_500..=10_500).contains(&s), "sample {s}");
+        }
+    }
+
+    #[test]
+    fn mean_is_close_to_base() {
+        let m = RttModel::paper_testbed();
+        let mut rng = seeded_rng(3);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| m.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 10_000.0).abs() < 50.0, "mean {mean}");
+    }
+}

@@ -1,0 +1,32 @@
+//! Scratch probe for calibrating the simulator (not part of the library).
+
+use concord_sim::experiments::{ideal_capacity_rps, PAPER_WORKERS};
+use concord_sim::{simulate, SimParams, SystemConfig};
+use concord_workloads::{mix, Workload};
+
+fn main() {
+    let wl = mix::bimodal_995_05_05_500();
+    let cap = ideal_capacity_rps(PAPER_WORKERS, wl.mean_service_ns());
+    println!("ideal capacity = {:.0} rps", cap);
+    for cfg in [
+        SystemConfig::persephone_fcfs(PAPER_WORKERS),
+        SystemConfig::shinjuku(PAPER_WORKERS, 2_000),
+        SystemConfig::concord(PAPER_WORKERS, 2_000),
+    ] {
+        println!("== {}", cfg.name);
+        for frac in [0.2, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9] {
+            let rate = frac * cap;
+            let r = simulate(&cfg, mix::bimodal_995_05_05_500(), &SimParams::new(rate, 60_000, 42));
+            println!(
+                "  load {:.0}k ({:.0}%): p50={:.1} p999={:.1} censored={} disp_util={:.2} preempt={}",
+                rate / 1e3,
+                frac * 100.0,
+                r.median_slowdown(),
+                r.p999_slowdown(),
+                r.censored,
+                r.dispatcher_util(),
+                r.preemptions,
+            );
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! An idealized single-queue/k-server queueing simulator (paper Fig. 5).
+//!
+//! This strips away *all* implementation costs — no dispatcher, no
+//! communication latency, no instrumentation — leaving only queueing
+//! dynamics, so it can answer the paper's §3.1 design question in
+//! isolation: *how much does imprecise preemption timing hurt tail
+//! latency?* Preemption fires not exactly at the quantum but at
+//! `quantum + |N(0, σ)|` (one-sided, because Concord never preempts
+//! *before* the quantum).
+
+use concord_metrics::SlowdownTracker;
+use concord_workloads::arrival::Poisson;
+use concord_workloads::{seeded_rng, TraceGenerator, Workload};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::collections::VecDeque;
+
+use crate::engine::EventQueue;
+
+/// Preemption behavior of the idealized server.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PreemptionModel {
+    /// Run to completion (the Fig. 5 "Single Queue (no preemption)" line).
+    None,
+    /// Preempt at exactly `quantum_ns` (the "Precise preemption: N(q,0)"
+    /// line).
+    Precise {
+        /// The quantum, nanoseconds.
+        quantum_ns: u64,
+    },
+    /// Preempt at `quantum + |N(0, std)|` — Concord's one-sided imprecision
+    /// (the "Preemption with variance: N(q,σ)" lines).
+    OneSidedNormal {
+        /// The target quantum, nanoseconds.
+        quantum_ns: u64,
+        /// Standard deviation of the (folded) normal lag, nanoseconds.
+        std_ns: u64,
+    },
+}
+
+impl PreemptionModel {
+    /// Draws the wall time a fresh slice may run before being preempted,
+    /// or `None` when preemption is disabled.
+    fn draw_allowance(&self, rng: &mut SmallRng) -> Option<u64> {
+        match *self {
+            PreemptionModel::None => None,
+            PreemptionModel::Precise { quantum_ns } => Some(quantum_ns),
+            PreemptionModel::OneSidedNormal { quantum_ns, std_ns } => {
+                let z = standard_normal(rng).abs();
+                Some(quantum_ns + (z * std_ns as f64).round() as u64)
+            }
+        }
+    }
+
+    /// Display label matching the paper's legend.
+    pub fn label(&self) -> String {
+        match *self {
+            PreemptionModel::None => "Single Queue (no preemption)".to_string(),
+            PreemptionModel::Precise { quantum_ns } => {
+                format!("Precise preemption: N({},0)", quantum_ns / 1_000)
+            }
+            PreemptionModel::OneSidedNormal { quantum_ns, std_ns } => format!(
+                "Preemption with variance: N({},{})",
+                quantum_ns / 1_000,
+                std_ns / 1_000
+            ),
+        }
+    }
+}
+
+fn standard_normal(rng: &mut SmallRng) -> f64 {
+    let u1: f64 = (1.0 - rng.gen::<f64>()).max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Event {
+    Arrival { req: usize },
+    SliceEnd { server: usize, epoch: u64, preempt: bool },
+}
+
+struct Job {
+    service_ns: u64,
+    remaining_ns: u64,
+    arrival_ns: u64,
+}
+
+struct Server {
+    epoch: u64,
+    running: Option<usize>,
+    slice_start: u64,
+}
+
+/// Runs the idealized simulation and returns the slowdown distribution.
+///
+/// `rate_rps` is the offered Poisson load; `requests` arrivals are
+/// generated (first 10% treated as warmup). Jobs preempted mid-service
+/// re-join the tail of the central queue (processor-sharing
+/// approximation), with zero switching cost.
+pub fn run<W: Workload>(
+    n_servers: usize,
+    model: PreemptionModel,
+    workload: W,
+    rate_rps: f64,
+    requests: u64,
+    seed: u64,
+) -> SlowdownTracker {
+    assert!(n_servers >= 1, "need at least one server");
+    let mut gen = TraceGenerator::new(Poisson::with_rate(rate_rps), workload, seed);
+    let mut rng = seeded_rng(seed ^ 0x5eed_5eed);
+    let mut events: EventQueue<Event> = EventQueue::new();
+    let mut jobs: Vec<Job> = Vec::with_capacity(requests as usize);
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut servers: Vec<Server> = (0..n_servers)
+        .map(|_| Server {
+            epoch: 0,
+            running: None,
+            slice_start: 0,
+        })
+        .collect();
+    let mut idle: Vec<usize> = (0..n_servers).collect();
+    let warmup = (requests as f64 * 0.1) as u64;
+    let mut tracker = SlowdownTracker::new();
+
+    let push_arrival = |jobs: &mut Vec<Job>,
+                            events: &mut EventQueue<Event>,
+                            gen: &mut TraceGenerator<Poisson, W>| {
+        let a = gen.next_arrival();
+        let id = jobs.len();
+        jobs.push(Job {
+            service_ns: a.spec.service_ns,
+            remaining_ns: a.spec.service_ns,
+            arrival_ns: a.time_ns,
+        });
+        events.push(a.time_ns, Event::Arrival { req: id });
+    };
+    push_arrival(&mut jobs, &mut events, &mut gen);
+    let mut arrivals_left = requests - 1;
+
+    // Starting a slice on `server` for job `req` at time `now`.
+    fn start_slice(
+        server: usize,
+        req: usize,
+        now: u64,
+        servers: &mut [Server],
+        jobs: &[Job],
+        model: &PreemptionModel,
+        rng: &mut SmallRng,
+        events: &mut EventQueue<Event>,
+    ) {
+        let s = &mut servers[server];
+        s.epoch += 1;
+        s.running = Some(req);
+        s.slice_start = now;
+        let remaining = jobs[req].remaining_ns;
+        match model.draw_allowance(rng) {
+            Some(allow) if allow < remaining => events.push(
+                now + allow,
+                Event::SliceEnd {
+                    server,
+                    epoch: s.epoch,
+                    preempt: true,
+                },
+            ),
+            _ => events.push(
+                now + remaining,
+                Event::SliceEnd {
+                    server,
+                    epoch: s.epoch,
+                    preempt: false,
+                },
+            ),
+        }
+    }
+
+    while let Some((now, ev)) = events.pop() {
+        match ev {
+            Event::Arrival { req } => {
+                if arrivals_left > 0 {
+                    push_arrival(&mut jobs, &mut events, &mut gen);
+                    arrivals_left -= 1;
+                }
+                if let Some(server) = idle.pop() {
+                    start_slice(server, req, now, &mut servers, &jobs, &model, &mut rng, &mut events);
+                } else {
+                    queue.push_back(req);
+                }
+            }
+            Event::SliceEnd { server, epoch, preempt } => {
+                if servers[server].epoch != epoch {
+                    continue;
+                }
+                let req = servers[server]
+                    .running
+                    .take()
+                    .expect("slice must hold a job");
+                let elapsed = now - servers[server].slice_start;
+                if preempt {
+                    jobs[req].remaining_ns -= elapsed.min(jobs[req].remaining_ns - 1);
+                    queue.push_back(req);
+                } else {
+                    jobs[req].remaining_ns = 0;
+                    let id = req as u64;
+                    if id >= warmup {
+                        tracker.record(jobs[req].service_ns, now - jobs[req].arrival_ns);
+                    }
+                }
+                servers[server].epoch += 1;
+                if let Some(next) = queue.pop_front() {
+                    start_slice(server, next, now, &mut servers, &jobs, &model, &mut rng, &mut events);
+                } else {
+                    idle.push(server);
+                }
+            }
+        }
+    }
+    tracker
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concord_workloads::mix;
+
+    const N: usize = 8;
+
+    fn capacity_rps() -> f64 {
+        let wl = mix::bimodal_995_05_05_500();
+        use concord_workloads::Workload;
+        N as f64 / (wl.mean_service_ns() * 1e-9)
+    }
+
+    #[test]
+    fn low_load_has_tiny_slowdown() {
+        let t = run(
+            N,
+            PreemptionModel::Precise { quantum_ns: 5_000 },
+            mix::bimodal_995_05_05_500(),
+            0.1 * capacity_rps(),
+            30_000,
+            7,
+        );
+        assert!(t.median() < 1.5, "median={}", t.median());
+    }
+
+    #[test]
+    fn preemption_rescues_short_requests_at_high_load() {
+        // The core Fig. 5 claim: with no preemption, short requests stuck
+        // behind 500µs monsters blow the tail; precise PS keeps it low.
+        let rate = 0.75 * capacity_rps();
+        let none = run(N, PreemptionModel::None, mix::bimodal_995_05_05_500(), rate, 60_000, 7);
+        let precise = run(
+            N,
+            PreemptionModel::Precise { quantum_ns: 5_000 },
+            mix::bimodal_995_05_05_500(),
+            rate,
+            60_000,
+            7,
+        );
+        assert!(
+            none.p999() > 3.0 * precise.p999(),
+            "none={} precise={}",
+            none.p999(),
+            precise.p999()
+        );
+    }
+
+    #[test]
+    fn small_variance_is_nearly_precise() {
+        // Fig. 5: N(5,1) and N(5,2) track N(5,0) closely.
+        let rate = 0.6 * capacity_rps();
+        let precise = run(
+            N,
+            PreemptionModel::Precise { quantum_ns: 5_000 },
+            mix::bimodal_995_05_05_500(),
+            rate,
+            60_000,
+            7,
+        );
+        let fuzzy = run(
+            N,
+            PreemptionModel::OneSidedNormal {
+                quantum_ns: 5_000,
+                std_ns: 2_000,
+            },
+            mix::bimodal_995_05_05_500(),
+            rate,
+            60_000,
+            7,
+        );
+        let ratio = fuzzy.p999() / precise.p999().max(1.0);
+        assert!(ratio < 2.0, "precise={} fuzzy={}", precise.p999(), fuzzy.p999());
+    }
+
+    #[test]
+    fn variance_ordering_is_monotone_at_high_load() {
+        let rate = 0.8 * capacity_rps();
+        let p0 = run(
+            N,
+            PreemptionModel::Precise { quantum_ns: 5_000 },
+            mix::bimodal_995_05_05_500(),
+            rate,
+            80_000,
+            11,
+        )
+        .p999();
+        let none = run(N, PreemptionModel::None, mix::bimodal_995_05_05_500(), rate, 80_000, 11).p999();
+        assert!(p0 < none, "precise={p0} none={none}");
+    }
+
+    #[test]
+    fn labels_match_paper_legend() {
+        assert_eq!(
+            PreemptionModel::Precise { quantum_ns: 5_000 }.label(),
+            "Precise preemption: N(5,0)"
+        );
+        assert_eq!(
+            PreemptionModel::OneSidedNormal {
+                quantum_ns: 5_000,
+                std_ns: 1_000
+            }
+            .label(),
+            "Preemption with variance: N(5,1)"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run(
+            4,
+            PreemptionModel::OneSidedNormal {
+                quantum_ns: 5_000,
+                std_ns: 1_000,
+            },
+            mix::bimodal_995_05_05_500(),
+            1e5,
+            10_000,
+            3,
+        );
+        let b = run(
+            4,
+            PreemptionModel::OneSidedNormal {
+                quantum_ns: 5_000,
+                std_ns: 1_000,
+            },
+            mix::bimodal_995_05_05_500(),
+            1e5,
+            10_000,
+            3,
+        );
+        assert_eq!(a.p999(), b.p999());
+        assert_eq!(a.len(), b.len());
+    }
+}

@@ -1,0 +1,385 @@
+//! The single-logical-queue extension (paper §6, "How Concord extends to
+//! single-logical-queue systems").
+//!
+//! Shenango/Caladan-style systems have no dispatcher maintaining a central
+//! queue: the NIC spreads arrivals across per-worker queues and idle
+//! workers *steal* from loaded ones. The paper argues Concord's
+//! compiler-enforced cooperation carries over — a dedicated scheduler
+//! (hyper)thread only has to watch elapsed times and write cache lines,
+//! and the worker starts its own quantum timer, exactly as with JBSQ's
+//! asynchronous dispatch. The payoff: no single-dispatcher throughput
+//! ceiling (§6's "would also overcome the throughput bottleneck of a
+//! single dispatcher").
+//!
+//! This module simulates that design with the same cost model as the main
+//! simulator, so the two are directly comparable.
+
+use crate::cost::CostModel;
+use crate::engine::EventQueue;
+use concord_metrics::SlowdownTracker;
+use concord_workloads::arrival::Poisson;
+use concord_workloads::{TraceGenerator, Workload};
+use std::collections::VecDeque;
+
+/// Configuration of the work-stealing runtime.
+#[derive(Clone, Debug)]
+pub struct LogicalQueueConfig {
+    /// Number of workers (each with its own queue).
+    pub n_workers: usize,
+    /// Scheduling quantum in nanoseconds (0 disables preemption).
+    pub quantum_ns: u64,
+    /// Machine cost model (coop preemption costs, coherence latency).
+    pub cost: CostModel,
+}
+
+impl LogicalQueueConfig {
+    /// Concord-style cooperation over a work-stealing runtime.
+    pub fn concord_lq(n_workers: usize, quantum_ns: u64) -> Self {
+        Self {
+            n_workers,
+            quantum_ns,
+            cost: CostModel::paper_default(),
+        }
+    }
+}
+
+/// Results of one logical-queue simulation.
+#[derive(Clone, Debug)]
+pub struct LqResult {
+    /// Completed requests (post-warmup metrics inside `slowdown`).
+    pub completed: u64,
+    /// Requests still in flight at the end (censored into the tail).
+    pub censored: u64,
+    /// Slowdown distribution.
+    pub slowdown: SlowdownTracker,
+    /// Total preemptions.
+    pub preemptions: u64,
+    /// Total steal operations.
+    pub steals: u64,
+    /// Simulated span in cycles.
+    pub span_cycles: u64,
+    /// Clock GHz for conversions.
+    pub ghz: f64,
+}
+
+impl LqResult {
+    /// p99.9 slowdown.
+    pub fn p999_slowdown(&self) -> f64 {
+        self.slowdown.p999()
+    }
+
+    /// Goodput in requests/second.
+    pub fn goodput_rps(&self) -> f64 {
+        if self.span_cycles == 0 {
+            return 0.0;
+        }
+        self.completed as f64 / (self.span_cycles as f64 / (self.ghz * 1e9))
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Event {
+    Arrival { req: usize, worker: usize },
+    SliceEnd { worker: usize, epoch: u64, preempt: bool },
+}
+
+struct Job {
+    service: u64,
+    remaining: u64,
+    arrival: u64,
+}
+
+struct LqWorker {
+    queue: VecDeque<usize>,
+    running: Option<usize>,
+    epoch: u64,
+    slice_start: u64,
+}
+
+/// Runs the work-stealing simulation: `requests` Poisson arrivals at
+/// `rate_rps`, RSS-spread round-robin across workers.
+pub fn simulate_lq<W: Workload>(
+    cfg: &LogicalQueueConfig,
+    workload: W,
+    rate_rps: f64,
+    requests: u64,
+    seed: u64,
+) -> LqResult {
+    assert!(cfg.n_workers >= 1, "need at least one worker");
+    let cost = cfg.cost;
+    let inflation = 1.0 + cost.coop_proc_overhead();
+    let quantum = if cfg.quantum_ns == 0 {
+        u64::MAX
+    } else {
+        cost.ns_to_cycles(cfg.quantum_ns)
+    };
+    // Per-slice fixed costs.
+    let yield_cost = cost.coop_final_miss + cost.coop_switch;
+    let start_cost = cost.jbsq_timer_start; // self-started quantum timer
+    let pop_cost = 20u64; // local queue pop: L1-resident deque
+    let steal_cost = 2 * cost.coherence_one_way + 100; // remote deque + CAS
+
+    let mut gen = TraceGenerator::new(Poisson::with_rate(rate_rps), workload, seed);
+    let mut events: EventQueue<Event> = EventQueue::new();
+    let mut jobs: Vec<Job> = Vec::with_capacity(requests as usize);
+    let mut workers: Vec<LqWorker> = (0..cfg.n_workers)
+        .map(|_| LqWorker {
+            queue: VecDeque::new(),
+            running: None,
+            epoch: 0,
+            slice_start: 0,
+        })
+        .collect();
+    let warmup = (requests as f64 * 0.1) as u64;
+    let mut slowdown = SlowdownTracker::new();
+    let mut completed = 0u64;
+    let mut preemptions = 0u64;
+    let mut steals = 0u64;
+    let mut clock = 0u64;
+
+    // Pre-generate nothing; pull arrivals lazily.
+    let push_arrival =
+        |jobs: &mut Vec<Job>, events: &mut EventQueue<Event>, gen: &mut TraceGenerator<Poisson, W>, i: u64| {
+            let a = gen.next_arrival();
+            let t = cost.ns_to_cycles(a.time_ns);
+            let id = jobs.len();
+            jobs.push(Job {
+                service: cost.ns_to_cycles(a.spec.service_ns).max(1),
+                remaining: cost.ns_to_cycles(a.spec.service_ns).max(1),
+                arrival: t,
+            });
+            // RSS spreading: round-robin across workers.
+            events.push(
+                t,
+                Event::Arrival {
+                    req: id,
+                    worker: (i % cfg.n_workers as u64) as usize,
+                },
+            );
+        };
+    push_arrival(&mut jobs, &mut events, &mut gen, 0);
+    let mut generated = 1u64;
+
+    // Starts a slice of `req` on `worker` at `now` with startup cost
+    // `extra` already included by the caller's timeline.
+    fn start_slice(
+        worker: usize,
+        req: usize,
+        now: u64,
+        workers: &mut [LqWorker],
+        jobs: &[Job],
+        quantum: u64,
+        inflation: f64,
+        start_cost: u64,
+        probe_spacing: u64,
+        events: &mut EventQueue<Event>,
+    ) {
+        let w = &mut workers[worker];
+        w.epoch += 1;
+        w.running = Some(req);
+        let begin = now + start_cost;
+        w.slice_start = begin;
+        let dur = ((jobs[req].remaining as f64) * inflation).ceil() as u64;
+        if quantum < dur {
+            // The scheduler thread writes the line at quantum expiry; the
+            // worker notices at its next probe boundary.
+            let lag = probe_spacing - (quantum % probe_spacing.max(1)) % probe_spacing.max(1);
+            let lag = if lag == probe_spacing { 0 } else { lag };
+            events.push(
+                begin + quantum + lag,
+                Event::SliceEnd {
+                    worker,
+                    epoch: w.epoch,
+                    preempt: true,
+                },
+            );
+        } else {
+            events.push(
+                begin + dur,
+                Event::SliceEnd {
+                    worker,
+                    epoch: w.epoch,
+                    preempt: false,
+                },
+            );
+        }
+    }
+
+    let probe_spacing = cost.probe_spacing_cycles();
+    while let Some((now, ev)) = events.pop() {
+        clock = now;
+        match ev {
+            Event::Arrival { req, worker } => {
+                if generated < requests {
+                    push_arrival(&mut jobs, &mut events, &mut gen, generated);
+                    generated += 1;
+                }
+                if workers[worker].running.is_none() {
+                    workers[worker].queue.push_back(req);
+                    let next = workers[worker]
+                        .queue
+                        .pop_front()
+                        .expect("just pushed");
+                    start_slice(
+                        worker, next, now + pop_cost, &mut workers, &jobs, quantum, inflation,
+                        start_cost, probe_spacing, &mut events,
+                    );
+                } else if let Some(idle) = workers.iter().position(|w| w.running.is_none()) {
+                    // An idle peer steals the new arrival immediately.
+                    steals += 1;
+                    start_slice(
+                        idle, req, now + steal_cost, &mut workers, &jobs, quantum, inflation,
+                        start_cost, probe_spacing, &mut events,
+                    );
+                } else {
+                    workers[worker].queue.push_back(req);
+                }
+            }
+            Event::SliceEnd { worker, epoch, preempt } => {
+                if workers[worker].epoch != epoch {
+                    continue;
+                }
+                let req = workers[worker].running.take().expect("slice holds job");
+                let mut next_start_extra = pop_cost;
+                if preempt {
+                    let elapsed = now - workers[worker].slice_start;
+                    let consumed = (((elapsed as f64) / inflation).floor() as u64)
+                        .min(jobs[req].remaining.saturating_sub(1));
+                    jobs[req].remaining -= consumed;
+                    preemptions += 1;
+                    // Yield costs delay the next slice.
+                    next_start_extra += yield_cost;
+                    workers[worker].queue.push_back(req);
+                } else {
+                    jobs[req].remaining = 0;
+                    let id = req as u64;
+                    if id >= warmup {
+                        slowdown.record(jobs[req].service, now - jobs[req].arrival);
+                    }
+                    completed += 1;
+                    next_start_extra += cost.coop_switch;
+                }
+                // Pop own queue, else steal from the longest peer.
+                if let Some(next) = workers[worker].queue.pop_front() {
+                    start_slice(
+                        worker, next, now + next_start_extra, &mut workers, &jobs, quantum,
+                        inflation, start_cost, probe_spacing, &mut events,
+                    );
+                } else {
+                    let victim = (0..workers.len())
+                        .filter(|&v| v != worker)
+                        .max_by_key(|&v| workers[v].queue.len());
+                    if let Some(v) = victim {
+                        if let Some(stolenreq) = workers[v].queue.pop_front() {
+                            steals += 1;
+                            start_slice(
+                                worker, stolenreq, now + next_start_extra + steal_cost,
+                                &mut workers, &jobs, quantum, inflation, start_cost,
+                                probe_spacing, &mut events,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let mut censored = 0;
+    for (i, j) in jobs.iter().enumerate() {
+        if j.remaining > 0 && i as u64 >= warmup {
+            censored += 1;
+            slowdown.record(j.service, clock.saturating_sub(j.arrival).max(j.service));
+        }
+    }
+    LqResult {
+        completed,
+        censored,
+        slowdown,
+        preemptions,
+        steals,
+        span_cycles: clock,
+        ghz: cost.ghz,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concord_workloads::mix;
+    use concord_workloads::Workload;
+
+    #[test]
+    fn low_load_completes_everything() {
+        let cfg = LogicalQueueConfig::concord_lq(4, 5_000);
+        let r = simulate_lq(&cfg, mix::fixed_1us(), 100_000.0, 10_000, 42);
+        assert_eq!(r.completed, 10_000);
+        assert_eq!(r.censored, 0);
+        assert!(r.p999_slowdown() < 5.0, "p999={}", r.p999_slowdown());
+    }
+
+    #[test]
+    fn no_dispatcher_ceiling_on_fixed_1us() {
+        // The central-dispatcher systems cap around 3.5-4 MRps on Fixed(1)
+        // (Fig. 8); the logical-queue design must sustain far more with 14
+        // workers (ideal 14 MRps).
+        let cfg = LogicalQueueConfig::concord_lq(14, 5_000);
+        let r = simulate_lq(&cfg, mix::fixed_1us(), 8_000_000.0, 120_000, 42);
+        assert!(r.censored < 20, "censored={}", r.censored);
+        assert!(
+            r.p999_slowdown() < 50.0,
+            "p999={} at 8MRps",
+            r.p999_slowdown()
+        );
+    }
+
+    #[test]
+    fn preemption_still_rescues_short_requests() {
+        let wl = mix::bimodal_995_05_05_500();
+        let cap = 14.0 / (wl.mean_service_ns() * 1e-9);
+        let rate = 0.6 * cap;
+        let with = simulate_lq(
+            &LogicalQueueConfig::concord_lq(14, 5_000),
+            mix::bimodal_995_05_05_500(),
+            rate,
+            60_000,
+            42,
+        );
+        let without = simulate_lq(
+            &LogicalQueueConfig::concord_lq(14, 0),
+            mix::bimodal_995_05_05_500(),
+            rate,
+            60_000,
+            42,
+        );
+        assert!(with.preemptions > 0);
+        assert_eq!(without.preemptions, 0);
+        assert!(
+            with.p999_slowdown() < without.p999_slowdown(),
+            "with={} without={}",
+            with.p999_slowdown(),
+            without.p999_slowdown()
+        );
+    }
+
+    #[test]
+    fn stealing_balances_skewed_arrivals() {
+        // Round-robin spreading plus stealing: even at high load the tail
+        // stays bounded because idle workers take over queued work.
+        let cfg = LogicalQueueConfig::concord_lq(8, 5_000);
+        let wl = mix::bimodal_50_1_50_100();
+        let cap = 8.0 / (wl.mean_service_ns() * 1e-9);
+        let r = simulate_lq(&cfg, mix::bimodal_50_1_50_100(), 0.7 * cap, 40_000, 42);
+        assert!(r.steals > 0, "no steals happened");
+        assert!(r.p999_slowdown() < 100.0, "p999={}", r.p999_slowdown());
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = LogicalQueueConfig::concord_lq(4, 5_000);
+        let a = simulate_lq(&cfg, mix::tpcc(), 100_000.0, 5_000, 9);
+        let b = simulate_lq(&cfg, mix::tpcc(), 100_000.0, 5_000, 9);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.span_cycles, b.span_cycles);
+        assert_eq!(a.p999_slowdown(), b.p999_slowdown());
+    }
+}

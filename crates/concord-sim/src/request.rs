@@ -1,0 +1,205 @@
+//! Request state and the central queue.
+
+use crate::config::Policy;
+use std::collections::VecDeque;
+
+/// Index of a request in the simulation's arena.
+pub type ReqId = usize;
+
+/// The lifetime state of one simulated request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Arrival-order id (also the warmup cutoff key).
+    pub id: u64,
+    /// Workload class tag.
+    pub class: u16,
+    /// Un-instrumented service time, in cycles. This is the denominator of
+    /// the slowdown metric.
+    pub service: u64,
+    /// Un-instrumented work still to be done, in cycles.
+    pub remaining: u64,
+    /// Arrival timestamp, cycles.
+    pub arrival: u64,
+    /// How many times this request has been preempted.
+    pub preemptions: u32,
+    /// True once any thread has executed part of this request. The
+    /// work-conserving dispatcher may only steal non-started requests
+    /// (§3.3: instruction pointers differ between the two instrumented
+    /// code versions).
+    pub started: bool,
+    /// True if the dispatcher owns this request (it can then never migrate
+    /// back to a worker).
+    pub dispatcher_owned: bool,
+    /// Completion timestamp, cycles.
+    pub completion: Option<u64>,
+}
+
+impl Request {
+    /// Creates a fresh request.
+    pub fn new(id: u64, class: u16, service_cycles: u64, arrival: u64) -> Self {
+        Self {
+            id,
+            class,
+            service: service_cycles.max(1),
+            remaining: service_cycles.max(1),
+            arrival,
+            preemptions: 0,
+            started: false,
+            dispatcher_owned: false,
+            completion: None,
+        }
+    }
+
+    /// Sojourn time in cycles if completed.
+    pub fn sojourn(&self) -> Option<u64> {
+        self.completion.map(|c| c.saturating_sub(self.arrival))
+    }
+}
+
+/// The central queue maintained by the dispatcher, ordered per [`Policy`].
+///
+/// FCFS is a plain FIFO; preempted requests re-join at the tail, which is
+/// what approximates processor sharing (§3.1). SRPT keeps the queue sorted
+/// by remaining work (insertion position found by linear scan from the
+/// tail — queues are short in regimes where SRPT matters).
+#[derive(Debug)]
+pub struct CentralQueue {
+    policy: Policy,
+    queue: VecDeque<ReqId>,
+}
+
+impl CentralQueue {
+    /// Creates an empty queue with the given policy.
+    pub fn new(policy: Policy) -> Self {
+        Self {
+            policy,
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// Number of queued requests.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True if no requests are queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Enqueues a new or preempted request. `requests` is the arena (needed
+    /// for SRPT ordering).
+    pub fn push(&mut self, id: ReqId, requests: &[Request]) {
+        match self.policy {
+            Policy::Fcfs => self.queue.push_back(id),
+            Policy::Srpt => {
+                let key = requests[id].remaining;
+                // Insert before the first entry with strictly greater
+                // remaining work, scanning from the back (new arrivals are
+                // usually near the tail).
+                let mut pos = self.queue.len();
+                while pos > 0 && requests[self.queue[pos - 1]].remaining > key {
+                    pos -= 1;
+                }
+                self.queue.insert(pos, id);
+            }
+        }
+    }
+
+    /// Pops the head request.
+    pub fn pop(&mut self) -> Option<ReqId> {
+        self.queue.pop_front()
+    }
+
+    /// Removes and returns the first *non-started* request, if any — the
+    /// only kind the work-conserving dispatcher may take (§3.3).
+    pub fn pop_first_non_started(&mut self, requests: &[Request]) -> Option<ReqId> {
+        let pos = self.queue.iter().position(|&id| !requests[id].started)?;
+        self.queue.remove(pos)
+    }
+
+    /// Immutable view of the queued ids (head first), for tests.
+    pub fn iter(&self) -> impl Iterator<Item = ReqId> + '_ {
+        self.queue.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arena(remainings: &[u64]) -> Vec<Request> {
+        remainings
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| Request::new(i as u64, 0, r, 0))
+            .collect()
+    }
+
+    #[test]
+    fn fcfs_is_fifo() {
+        let reqs = arena(&[30, 10, 20]);
+        let mut q = CentralQueue::new(Policy::Fcfs);
+        for i in 0..3 {
+            q.push(i, &reqs);
+        }
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn srpt_orders_by_remaining() {
+        let reqs = arena(&[30, 10, 20]);
+        let mut q = CentralQueue::new(Policy::Srpt);
+        for i in 0..3 {
+            q.push(i, &reqs);
+        }
+        assert_eq!(q.pop(), Some(1)); // remaining 10
+        assert_eq!(q.pop(), Some(2)); // remaining 20
+        assert_eq!(q.pop(), Some(0)); // remaining 30
+    }
+
+    #[test]
+    fn srpt_ties_keep_arrival_order() {
+        let reqs = arena(&[10, 10, 10]);
+        let mut q = CentralQueue::new(Policy::Srpt);
+        for i in 0..3 {
+            q.push(i, &reqs);
+        }
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn steal_skips_started_requests() {
+        let mut reqs = arena(&[10, 20, 30]);
+        reqs[0].started = true;
+        reqs[1].started = true;
+        let mut q = CentralQueue::new(Policy::Fcfs);
+        for i in 0..3 {
+            q.push(i, &reqs);
+        }
+        assert_eq!(q.pop_first_non_started(&reqs), Some(2));
+        // The started ones remain, in order.
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop_first_non_started(&reqs), None);
+    }
+
+    #[test]
+    fn request_sojourn() {
+        let mut r = Request::new(0, 0, 100, 1_000);
+        assert_eq!(r.sojourn(), None);
+        r.completion = Some(1_500);
+        assert_eq!(r.sojourn(), Some(500));
+    }
+
+    #[test]
+    fn zero_service_clamps_to_one_cycle() {
+        let r = Request::new(0, 0, 0, 0);
+        assert_eq!(r.service, 1);
+        assert_eq!(r.remaining, 1);
+    }
+}

@@ -1,0 +1,176 @@
+//! Aggregated output of one simulation run.
+
+use concord_metrics::{Histogram, SlowdownTracker, Summary};
+
+/// Everything a figure or test needs from one run of the system simulator.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// The simulated system's display name.
+    pub system: String,
+    /// Offered load in requests per second.
+    pub offered_rps: f64,
+    /// Requests that completed inside the measurement window.
+    pub completed: u64,
+    /// Requests still in the system when the run ended; their partial
+    /// sojourns are recorded as (censored) slowdowns so that overload shows
+    /// up in the tail instead of silently vanishing.
+    pub censored: u64,
+    /// Requests completed by the work-conserving dispatcher itself.
+    pub dispatcher_completed: u64,
+    /// Total simulated span, cycles.
+    pub span_cycles: u64,
+    /// Clock frequency used, GHz (for unit conversion in reports).
+    pub ghz: f64,
+    /// Slowdown distribution (sojourn / un-instrumented service time),
+    /// measured after warmup.
+    pub slowdown: SlowdownTracker,
+    /// Per-request-class slowdown distributions, indexed by class id.
+    pub slowdown_by_class: Vec<SlowdownTracker>,
+    /// Sojourn-time distribution in nanoseconds, after warmup.
+    pub latency_ns: Histogram,
+    /// Per-slice-start feed gap in cycles: time from a worker becoming
+    /// ready until application code progressed again (Fig. 3's `c_next`).
+    pub feed_gap: Histogram,
+    /// Total preemptions performed.
+    pub preemptions: u64,
+    /// Cycles workers spent running application slices.
+    pub worker_busy_cycles: u64,
+    /// Cycles workers spent idle *while the central queue or their share of
+    /// load had work for them* — i.e. waiting for the dispatcher to feed
+    /// them after finishing a request (`c_next` idling, §2.2.2).
+    pub worker_idle_wait_cycles: u64,
+    /// Cycles workers spent in preemption-receive and context-switch paths.
+    pub worker_transition_cycles: u64,
+    /// Worker-cycles available in total (`n_workers × span`).
+    pub worker_total_cycles: u64,
+    /// Cycles the dispatcher spent on scheduling micro-ops.
+    pub dispatcher_sched_cycles: u64,
+    /// Cycles the dispatcher spent executing stolen application work.
+    pub dispatcher_app_cycles: u64,
+    /// Achieved preemption intervals (wall time from slice start to yield),
+    /// in cycles — the "timeliness" distribution of §5.4 / Table 1.
+    pub achieved_quantum: Summary,
+    /// Number of events processed (run-cost statistic).
+    pub events_processed: u64,
+}
+
+impl SimResult {
+    /// p99.9 slowdown — the paper's SLO metric.
+    pub fn p999_slowdown(&self) -> f64 {
+        self.slowdown.p999()
+    }
+
+    /// Median slowdown.
+    pub fn median_slowdown(&self) -> f64 {
+        self.slowdown.median()
+    }
+
+    /// Goodput in requests per second over the measured span.
+    pub fn goodput_rps(&self) -> f64 {
+        if self.span_cycles == 0 {
+            return 0.0;
+        }
+        let span_s = self.span_cycles as f64 / (self.ghz * 1e9);
+        self.completed as f64 / span_s
+    }
+
+    /// Fraction of worker capacity lost to waiting for the next request.
+    pub fn worker_idle_wait_frac(&self) -> f64 {
+        let denom = self.worker_busy_cycles + self.worker_idle_wait_cycles;
+        if denom == 0 {
+            0.0
+        } else {
+            self.worker_idle_wait_cycles as f64 / denom as f64
+        }
+    }
+
+    /// Dispatcher utilization (scheduling + stolen work) over the span.
+    pub fn dispatcher_util(&self) -> f64 {
+        if self.span_cycles == 0 {
+            return 0.0;
+        }
+        (self.dispatcher_sched_cycles + self.dispatcher_app_cycles) as f64
+            / self.span_cycles as f64
+    }
+
+    /// Median feed gap in microseconds (Fig. 3's per-request measure).
+    pub fn feed_gap_median_us(&self) -> f64 {
+        self.feed_gap.value_at_quantile(0.5) as f64 / (self.ghz * 1_000.0)
+    }
+
+    /// Standard deviation of the achieved preemption interval, µs.
+    pub fn quantum_std_us(&self) -> f64 {
+        self.achieved_quantum.population_std_dev() / (self.ghz * 1_000.0)
+    }
+
+    /// Mean achieved preemption interval, µs.
+    pub fn quantum_mean_us(&self) -> f64 {
+        self.achieved_quantum.mean() / (self.ghz * 1_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blank() -> SimResult {
+        SimResult {
+            system: "test".into(),
+            offered_rps: 0.0,
+            completed: 0,
+            censored: 0,
+            dispatcher_completed: 0,
+            span_cycles: 0,
+            ghz: 2.0,
+            slowdown: SlowdownTracker::new(),
+            slowdown_by_class: Vec::new(),
+            latency_ns: Histogram::new(3),
+            feed_gap: Histogram::new(3),
+            preemptions: 0,
+            worker_busy_cycles: 0,
+            worker_idle_wait_cycles: 0,
+            worker_transition_cycles: 0,
+            worker_total_cycles: 0,
+            dispatcher_sched_cycles: 0,
+            dispatcher_app_cycles: 0,
+            achieved_quantum: Summary::new(),
+            events_processed: 0,
+        }
+    }
+
+    #[test]
+    fn empty_result_is_benign() {
+        let r = blank();
+        assert_eq!(r.goodput_rps(), 0.0);
+        assert_eq!(r.worker_idle_wait_frac(), 0.0);
+        assert_eq!(r.dispatcher_util(), 0.0);
+        assert_eq!(r.p999_slowdown(), 0.0);
+    }
+
+    #[test]
+    fn goodput_uses_clock() {
+        let mut r = blank();
+        r.completed = 1_000;
+        r.span_cycles = 2_000_000_000; // 1 second at 2 GHz
+        assert!((r.goodput_rps() - 1_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_frac_is_share_of_busy_plus_wait() {
+        let mut r = blank();
+        r.worker_busy_cycles = 900;
+        r.worker_idle_wait_cycles = 100;
+        assert!((r.worker_idle_wait_frac() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantum_stats_convert_to_us() {
+        let mut r = blank();
+        // 10k cycles at 2GHz = 5µs.
+        for _ in 0..100 {
+            r.achieved_quantum.record(10_000.0);
+        }
+        assert!((r.quantum_mean_us() - 5.0).abs() < 1e-9);
+        assert_eq!(r.quantum_std_us(), 0.0);
+    }
+}

@@ -1,0 +1,239 @@
+//! End-to-end checks of the paper's headline evaluation claims (§5).
+//!
+//! These run the full-system simulator at reduced fidelity and assert the
+//! *shape* of every major result: who wins, in what direction, and within
+//! loose factor bounds. The high-fidelity numbers live in EXPERIMENTS.md.
+
+use concord_sim::experiments::{capacity_at_slo, ideal_capacity_rps, Fidelity, PAPER_WORKERS};
+use concord_sim::{simulate, SimParams, SystemConfig};
+use concord_workloads::mix;
+use concord_workloads::Workload;
+
+fn fid() -> Fidelity {
+    Fidelity {
+        requests: 30_000,
+        load_points: 6,
+        seed: 42,
+    }
+}
+
+/// Returns (shinjuku, concord) capacities at the 50x p99.9-slowdown SLO.
+fn capacities<F>(make: F, mean_ns: f64, quantum_ns: u64) -> (f64, f64)
+where
+    F: Fn() -> mix::Mix + Copy,
+{
+    let max = 1.2 * ideal_capacity_rps(PAPER_WORKERS, mean_ns);
+    let f = fid();
+    let shinjuku = capacity_at_slo(&SystemConfig::shinjuku(PAPER_WORKERS, quantum_ns), make, max, &f)
+        .expect("shinjuku sustains some load")
+        .capacity;
+    let concord = capacity_at_slo(&SystemConfig::concord(PAPER_WORKERS, quantum_ns), make, max, &f)
+        .expect("concord sustains some load")
+        .capacity;
+    (shinjuku, concord)
+}
+
+/// §5.2 / Fig. 6: Bimodal(50:1, 50:100). Paper: Concord +18% at q=5µs and
+/// +45% at q=2µs over Shinjuku.
+#[test]
+fn bimodal_50_50_concord_beats_shinjuku() {
+    let wl = mix::bimodal_50_1_50_100();
+    let mean = wl.mean_service_ns();
+
+    let (s5, c5) = capacities(mix::bimodal_50_1_50_100, mean, 5_000);
+    let gain5 = c5 / s5 - 1.0;
+    assert!(
+        gain5 > 0.05 && gain5 < 0.60,
+        "q=5us: shinjuku={s5:.0} concord={c5:.0} gain={gain5:.2}"
+    );
+
+    let (s2, c2) = capacities(mix::bimodal_50_1_50_100, mean, 2_000);
+    let gain2 = c2 / s2 - 1.0;
+    assert!(
+        gain2 > 0.20 && gain2 < 1.2,
+        "q=2us: shinjuku={s2:.0} concord={c2:.0} gain={gain2:.2}"
+    );
+    // The gain grows as the quantum shrinks (the paper's central trend).
+    assert!(gain2 > gain5, "gain2={gain2:.2} gain5={gain5:.2}");
+}
+
+/// §5.2 / Fig. 7: Bimodal(99.5:0.5, 0.5:500). Paper: +20% at 5µs, +52% at
+/// 2µs.
+#[test]
+fn bimodal_995_concord_beats_shinjuku() {
+    let wl = mix::bimodal_995_05_05_500();
+    let mean = wl.mean_service_ns();
+    let (s2, c2) = capacities(mix::bimodal_995_05_05_500, mean, 2_000);
+    let gain2 = c2 / s2 - 1.0;
+    assert!(
+        gain2 > 0.10 && gain2 < 1.5,
+        "q=2us: shinjuku={s2:.0} concord={c2:.0} gain={gain2:.2}"
+    );
+}
+
+/// §5.2 / Fig. 6: Persephone-FCFS (no preemption) crosses the SLO much
+/// earlier than the preemptive systems on the 50%-long bimodal, where
+/// head-of-line blocking by 100µs requests is unavoidable without
+/// preemption.
+#[test]
+fn persephone_fcfs_saturates_early_on_high_dispersion() {
+    let wl = mix::bimodal_50_1_50_100();
+    let max = 1.2 * ideal_capacity_rps(PAPER_WORKERS, wl.mean_service_ns());
+    let f = fid();
+    let pers = capacity_at_slo(
+        &SystemConfig::persephone_fcfs(PAPER_WORKERS),
+        mix::bimodal_50_1_50_100,
+        max,
+        &f,
+    )
+    .map(|r| r.capacity)
+    .unwrap_or(0.0);
+    let conc = capacity_at_slo(
+        &SystemConfig::concord(PAPER_WORKERS, 5_000),
+        mix::bimodal_50_1_50_100,
+        max,
+        &f,
+    )
+    .expect("concord sustains load")
+    .capacity;
+    assert!(
+        conc > 1.2 * pers.max(max * 0.02),
+        "persephone={pers:.0} concord={conc:.0}"
+    );
+}
+
+/// §5.3 / Fig. 9: LevelDB 50% GET / 50% SCAN. Paper: Concord +52% at 5µs,
+/// +83% at 2µs.
+#[test]
+fn leveldb_50_50_large_gains() {
+    let wl = mix::leveldb_get_scan();
+    let mean = wl.mean_service_ns();
+    let (s2, c2) = capacities(mix::leveldb_get_scan, mean, 2_000);
+    let gain2 = c2 / s2 - 1.0;
+    assert!(
+        gain2 > 0.25 && gain2 < 2.5,
+        "q=2us: shinjuku={s2:.0} concord={c2:.0} gain={gain2:.2}"
+    );
+}
+
+/// §5.2 / Fig. 8 (left): on Fixed(1) all three systems are dispatcher-bound
+/// and Concord is within a few percent of Shinjuku (paper: 2% less).
+#[test]
+fn fixed_1us_concord_within_few_percent() {
+    let f = fid();
+    let max = 5_000_000.0;
+    let s = capacity_at_slo(&SystemConfig::shinjuku(PAPER_WORKERS, 5_000), mix::fixed_1us, max, &f)
+        .expect("shinjuku sustains load")
+        .capacity;
+    let c = capacity_at_slo(&SystemConfig::concord(PAPER_WORKERS, 5_000), mix::fixed_1us, max, &f)
+        .expect("concord sustains load")
+        .capacity;
+    let ratio = c / s;
+    assert!(
+        ratio > 0.85 && ratio < 1.25,
+        "shinjuku={s:.0} concord={c:.0} ratio={ratio:.3}"
+    );
+}
+
+/// §5.2 / Fig. 8 (right): on TPCC (low dispersion, no benefit from
+/// preemption) Persephone-FCFS is competitive, and Concord still beats
+/// Shinjuku thanks to its cheaper preemption.
+#[test]
+fn tpcc_concord_still_beats_shinjuku() {
+    let wl = mix::tpcc();
+    let mean = wl.mean_service_ns();
+    let (s, c) = capacities(mix::tpcc, mean, 10_000);
+    assert!(c >= 0.95 * s, "shinjuku={s:.0} concord={c:.0}");
+}
+
+/// §5.5 / Fig. 14: at low load, Concord's tail slowdown is allowed to be
+/// slightly above Shinjuku's (stolen requests run slower), but by far less
+/// than the 50x SLO headroom.
+#[test]
+fn low_load_approximation_cost_is_small() {
+    let wl = mix::bimodal_50_1_50_100();
+    let cap = ideal_capacity_rps(PAPER_WORKERS, wl.mean_service_ns());
+    let rate = 0.2 * cap;
+    let params = SimParams::new(rate, 30_000, 42);
+    let shinjuku = simulate(
+        &SystemConfig::shinjuku(PAPER_WORKERS, 5_000),
+        mix::bimodal_50_1_50_100(),
+        &params,
+    );
+    let concord = simulate(
+        &SystemConfig::concord(PAPER_WORKERS, 5_000),
+        mix::bimodal_50_1_50_100(),
+        &params,
+    );
+    let delta = concord.p999_slowdown() - shinjuku.p999_slowdown();
+    assert!(
+        delta < 15.0,
+        "low-load p999: concord={} shinjuku={}",
+        concord.p999_slowdown(),
+        shinjuku.p999_slowdown()
+    );
+    assert!(concord.p999_slowdown() < 50.0);
+}
+
+/// §5.4 / Fig. 13: on a small VM (2 workers), the work-conserving
+/// dispatcher extends sustainable throughput (paper: +33%).
+#[test]
+fn small_vm_dispatcher_work_helps() {
+    let wl = mix::leveldb_get_scan();
+    let mean = wl.mean_service_ns();
+    let max = 2.0 * ideal_capacity_rps(2, mean);
+    let f = fid();
+    let without = capacity_at_slo(
+        &SystemConfig::concord_no_steal(2, 5_000),
+        mix::leveldb_get_scan,
+        max,
+        &f,
+    )
+    .expect("baseline sustains load")
+    .capacity;
+    let with = capacity_at_slo(&SystemConfig::concord(2, 5_000), mix::leveldb_get_scan, max, &f)
+        .expect("work-conserving sustains load")
+        .capacity;
+    assert!(
+        with > 1.05 * without,
+        "without={without:.0} with={with:.0}"
+    );
+}
+
+/// §5.4 / Fig. 11 ordering: each mechanism adds throughput on the LevelDB
+/// 50/50 workload at q=2µs.
+#[test]
+fn mechanism_breakdown_is_cumulative() {
+    let wl = mix::leveldb_get_scan();
+    let mean = wl.mean_service_ns();
+    let max = 1.3 * ideal_capacity_rps(PAPER_WORKERS, mean);
+    let f = fid();
+    let cap = |cfg: &SystemConfig| {
+        capacity_at_slo(cfg, mix::leveldb_get_scan, max, &f)
+            .map(|r| r.capacity)
+            .unwrap_or(0.0)
+    };
+    let shinjuku = cap(&SystemConfig::shinjuku(PAPER_WORKERS, 2_000));
+    let coop_sq = cap(&SystemConfig::concord_coop_sq(PAPER_WORKERS, 2_000));
+    let coop_jbsq = cap(&SystemConfig::concord_coop_jbsq(PAPER_WORKERS, 2_000));
+    let full = cap(&SystemConfig::concord(PAPER_WORKERS, 2_000));
+    // Allow small noise between adjacent steps but require the overall
+    // staircase to rise.
+    assert!(coop_sq > shinjuku, "coop_sq={coop_sq:.0} shinjuku={shinjuku:.0}");
+    assert!(coop_jbsq > 0.97 * coop_sq, "coop_jbsq={coop_jbsq:.0} coop_sq={coop_sq:.0}");
+    assert!(full > 0.97 * coop_jbsq, "full={full:.0} coop_jbsq={coop_jbsq:.0}");
+    assert!(full > 1.10 * shinjuku, "full={full:.0} shinjuku={shinjuku:.0}");
+}
+
+/// §5.4 / Table 1: the achieved quantum's standard deviation stays within
+/// the tolerable 2µs band at a 5µs quantum.
+#[test]
+fn preemption_timeliness_within_2us() {
+    let cfg = SystemConfig::concord(PAPER_WORKERS, 5_000);
+    let wl = mix::bimodal_50_1_50_100();
+    let cap = ideal_capacity_rps(PAPER_WORKERS, wl.mean_service_ns());
+    let r = simulate(&cfg, mix::bimodal_50_1_50_100(), &SimParams::new(0.6 * cap, 30_000, 42));
+    assert!(r.preemptions > 0);
+    assert!(r.quantum_std_us() < 2.0, "std={}µs", r.quantum_std_us());
+    assert!(r.quantum_mean_us() >= 5.0, "mean={}µs", r.quantum_mean_us());
+}

@@ -1,0 +1,131 @@
+//! Property tests over the discrete-event simulator: conservation,
+//! determinism and sanity invariants must hold for arbitrary
+//! configurations and loads, not just the figure operating points.
+
+use concord_sim::{simulate, Policy, PreemptMechanism, QueueDiscipline, SimParams, SystemConfig};
+use concord_workloads::dist::Dist;
+use concord_workloads::mix::{ClassSpec, Mix};
+use proptest::prelude::*;
+
+fn arb_mechanism() -> impl Strategy<Value = PreemptMechanism> {
+    prop_oneof![
+        Just(PreemptMechanism::None),
+        Just(PreemptMechanism::Ipi),
+        Just(PreemptMechanism::LinuxIpi),
+        Just(PreemptMechanism::Uipi),
+        Just(PreemptMechanism::Rdtsc),
+        Just(PreemptMechanism::Coop),
+    ]
+}
+
+fn arb_config() -> impl Strategy<Value = SystemConfig> {
+    (
+        1usize..=6,              // workers
+        prop_oneof![Just(0u64), Just(2_000u64), Just(5_000), Just(20_000)], // quantum
+        arb_mechanism(),
+        prop_oneof![
+            Just(QueueDiscipline::SingleQueue),
+            Just(QueueDiscipline::Jbsq(1)),
+            Just(QueueDiscipline::Jbsq(2)),
+            Just(QueueDiscipline::Jbsq(4)),
+        ],
+        any::<bool>(), // work conserving
+        any::<bool>(), // srpt
+    )
+        .prop_map(|(n, q, mech, queue, wc, srpt)| {
+            let mut cfg = SystemConfig::concord(n, q);
+            cfg.preemption = mech;
+            cfg.queue = queue;
+            cfg.work_conserving = wc;
+            cfg.policy = if srpt { Policy::Srpt } else { Policy::Fcfs };
+            cfg.name = "prop".into();
+            cfg
+        })
+}
+
+fn arb_workload() -> impl Strategy<Value = Mix> {
+    (1u64..200, 1u64..500, 1u32..100).prop_map(|(short_us, long_us, short_weight)| {
+        Mix::new(
+            "prop",
+            vec![
+                ClassSpec::new("short", f64::from(short_weight), Dist::fixed_us(short_us as f64)),
+                ClassSpec::new(
+                    "long",
+                    f64::from(100 - short_weight.min(99)),
+                    Dist::fixed_us(long_us as f64),
+                ),
+            ],
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every generated request is accounted for: completed or censored.
+    #[test]
+    fn conservation_of_requests(
+        cfg in arb_config(),
+        wl in arb_workload(),
+        rate_scale in 1u32..40, // 2.5%..100% of a rough per-worker bound
+        seed in 0u64..1000,
+    ) {
+        use concord_workloads::Workload;
+        let requests = 2_000u64;
+        let cap = cfg.n_workers as f64 / (wl.mean_service_ns() * 1e-9);
+        let rate = cap * f64::from(rate_scale) / 40.0;
+        let r = simulate(&cfg, wl, &SimParams::new(rate, requests, seed));
+        // Warmup excludes 10% from metrics but not from completion
+        // accounting; censoring only records post-warmup stragglers.
+        prop_assert!(r.completed <= requests);
+        prop_assert!(r.completed + r.censored >= (requests as f64 * 0.9) as u64,
+            "completed={} censored={}", r.completed, r.censored);
+        prop_assert!(r.p999_slowdown() >= 0.99);
+        prop_assert!(r.span_cycles > 0);
+    }
+
+    /// Identical (config, workload, params) → identical results.
+    #[test]
+    fn determinism(
+        cfg in arb_config(),
+        wl in arb_workload(),
+        seed in 0u64..100,
+    ) {
+        let params = SimParams::new(50_000.0, 1_500, seed);
+        let a = simulate(&cfg, wl.clone(), &params);
+        let b = simulate(&cfg, wl, &params);
+        prop_assert_eq!(a.completed, b.completed);
+        prop_assert_eq!(a.censored, b.censored);
+        prop_assert_eq!(a.preemptions, b.preemptions);
+        prop_assert_eq!(a.span_cycles, b.span_cycles);
+        prop_assert_eq!(a.p999_slowdown(), b.p999_slowdown());
+        prop_assert_eq!(a.worker_busy_cycles, b.worker_busy_cycles);
+    }
+
+    /// Preemption never fires with run-to-completion configs, and the
+    /// achieved quantum is one-sided (≥ the target) for Coop.
+    #[test]
+    fn preemption_invariants(
+        n in 1usize..4,
+        seed in 0u64..100,
+    ) {
+        let wl = || Mix::new(
+            "bimodal",
+            vec![
+                ClassSpec::new("s", 1.0, Dist::fixed_us(1.0)),
+                ClassSpec::new("l", 1.0, Dist::fixed_us(100.0)),
+            ],
+        );
+        let none = SystemConfig::persephone_fcfs(n);
+        let r = simulate(&none, wl(), &SimParams::new(10_000.0, 1_000, seed));
+        prop_assert_eq!(r.preemptions, 0);
+
+        let coop = SystemConfig::concord(n, 5_000);
+        let r = simulate(&coop, wl(), &SimParams::new(10_000.0, 1_000, seed));
+        if r.preemptions > 0 {
+            // One-sided: cooperative yields land at or after the quantum.
+            prop_assert!(r.achieved_quantum.min() + 1.0 >= 10_000.0,
+                "min achieved {}", r.achieved_quantum.min());
+        }
+    }
+}

@@ -1,0 +1,431 @@
+//! The safe coroutine API over the raw context switch.
+
+use crate::arch::{concord_ctx_switch, init_stack};
+use crate::stack::Stack;
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::ptr;
+
+/// Result of a [`Coroutine::resume`] call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoState {
+    /// The coroutine yielded; call `resume` again to continue it.
+    Suspended,
+    /// The closure returned; further `resume` calls return `Complete`.
+    Complete,
+}
+
+/// Lifecycle of the control block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    /// Created, never resumed.
+    Ready,
+    /// Currently executing (between resume and yield/return).
+    Running,
+    /// Yielded, waiting for the next resume.
+    Suspended,
+    /// Closure returned (or panicked).
+    Done,
+}
+
+/// Heap-pinned control block shared between the caller and the coroutine.
+///
+/// It must not move while the coroutine is alive: the coroutine's stack
+/// holds pointers to it (through `Yielder`), so `Coroutine` owns it behind
+/// a `Box` and never moves it out.
+struct Inner {
+    stack: Stack,
+    /// Saved stack pointer of the *coroutine* while it is suspended.
+    co_sp: *mut u8,
+    /// Saved stack pointer of the *caller* while the coroutine runs.
+    caller_sp: *mut u8,
+    phase: Phase,
+    /// The entry closure, consumed on first activation.
+    entry: Option<Box<dyn FnOnce(&mut Yielder) + Send + 'static>>,
+    /// A panic payload captured inside the coroutine, re-thrown by resume.
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+/// A stackful coroutine.
+///
+/// The closure runs on its own stack and may call [`Yielder::yield_now`]
+/// at any depth; `resume` returns [`CoState::Suspended`] at each yield and
+/// [`CoState::Complete`] when the closure returns. A suspended coroutine
+/// may be sent to another thread and resumed there — this is how the
+/// Concord runtime migrates preempted requests between workers.
+///
+/// # Panics
+///
+/// A panic inside the coroutine is caught at the coroutine boundary and
+/// re-thrown from the `resume` call that observed it.
+///
+/// Dropping a coroutine that is merely `Suspended` frees its stack but
+/// does **not** run destructors of values live on that stack — the same
+/// contract as Shinjuku's contexts. Runtimes built on this type should
+/// drive every coroutine to completion.
+pub struct Coroutine {
+    inner: Box<Inner>,
+}
+
+// SAFETY: the entry closure is `Send`, the stack is owned, and `resume`
+// takes `&mut self`, so at most one thread ever executes the coroutine at
+// a time. Values the closure keeps on its stack across yields are part of
+// the closure's execution and were required to be `Send` via the closure
+// bound.
+unsafe impl Send for Coroutine {}
+
+impl Coroutine {
+    /// Creates a coroutine with a dedicated stack of `stack_size` bytes
+    /// (rounded up to a minimum; see [`crate::stack::Stack::new`]).
+    ///
+    /// Nothing runs until the first [`Coroutine::resume`].
+    pub fn new<F>(stack_size: usize, f: F) -> Self
+    where
+        F: FnOnce(&mut Yielder) + Send + 'static,
+    {
+        Self::with_stack(Stack::new(stack_size), f)
+    }
+
+    /// Creates a coroutine on a caller-provided stack — the allocation-free
+    /// path for runtimes that pool stacks across requests.
+    pub fn with_stack<F>(stack: Stack, f: F) -> Self
+    where
+        F: FnOnce(&mut Yielder) + Send + 'static,
+    {
+        let mut inner = Box::new(Inner {
+            stack,
+            co_sp: ptr::null_mut(),
+            caller_sp: ptr::null_mut(),
+            phase: Phase::Ready,
+            entry: Some(Box::new(f)),
+            panic: None,
+        });
+        let ctl: *mut Inner = &mut *inner;
+        // SAFETY: the stack was just allocated with ≥ MIN_STACK_SIZE bytes
+        // and an aligned top; `ctl` points into the heap `Box`, which stays
+        // pinned for the coroutine's lifetime (Inner is never moved out of
+        // the Box).
+        inner.co_sp = unsafe { init_stack(inner.stack.top(), ctl.cast()) };
+        Self { inner }
+    }
+
+    /// Runs the coroutine until it yields or completes.
+    pub fn resume(&mut self) -> CoState {
+        match self.inner.phase {
+            Phase::Done => return CoState::Complete,
+            Phase::Running => unreachable!("resume re-entered a running coroutine"),
+            Phase::Ready | Phase::Suspended => {}
+        }
+        self.inner.phase = Phase::Running;
+        let inner: *mut Inner = &mut *self.inner;
+        // SAFETY: `co_sp` was produced by `init_stack` (first resume) or by
+        // the coroutine's own yield switch; its stack is live and not
+        // executing anywhere (`&mut self` + phase checks guarantee this).
+        unsafe {
+            concord_ctx_switch(&mut (*inner).caller_sp, (*inner).co_sp);
+        }
+        // Back here: the coroutine yielded or finished.
+        if let Some(payload) = self.inner.panic.take() {
+            self.inner.phase = Phase::Done;
+            resume_unwind(payload);
+        }
+        match self.inner.phase {
+            Phase::Running => {
+                self.inner.phase = Phase::Suspended;
+                CoState::Suspended
+            }
+            Phase::Done => CoState::Complete,
+            _ => unreachable!("invalid phase after switch"),
+        }
+    }
+
+    /// True once the closure has returned (or panicked).
+    pub fn is_complete(&self) -> bool {
+        self.inner.phase == Phase::Done
+    }
+
+    /// Size of this coroutine's stack, bytes.
+    pub fn stack_size(&self) -> usize {
+        self.inner.stack.size()
+    }
+
+    /// Recovers the stack for reuse.
+    ///
+    /// Returns `Some` only when the coroutine has completed (or never ran):
+    /// a suspended coroutine's stack still holds live frames, so it is
+    /// dropped with the coroutine instead of being handed back.
+    pub fn into_stack(self) -> Option<Stack> {
+        match self.inner.phase {
+            Phase::Done | Phase::Ready => {
+                // Deconstruct the box without running any custom Drop
+                // (Inner has none); moving the stack out is plain field
+                // ownership transfer.
+                Some(self.inner.stack)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Yield handle passed to the coroutine closure.
+pub struct Yielder {
+    inner: *mut Inner,
+}
+
+impl Yielder {
+    /// Suspends the coroutine; the pending [`Coroutine::resume`] returns
+    /// [`CoState::Suspended`], and the next `resume` continues from here.
+    pub fn yield_now(&mut self) {
+        // SAFETY: `inner` outlives the coroutine body (it is boxed and
+        // owned by the `Coroutine` that is currently blocked inside
+        // `resume` on this very control block).
+        unsafe {
+            let inner = self.inner;
+            concord_ctx_switch(&mut (*inner).co_sp, (*inner).caller_sp);
+        }
+    }
+}
+
+/// First-activation entry point, reached via the assembly trampoline.
+///
+/// # Safety
+///
+/// Called only by `concord_co_entry` with the control-block pointer that
+/// `init_stack` stashed in the bootstrap frame.
+#[no_mangle]
+unsafe extern "C" fn concord_co_main(ctl: *mut u8) -> ! {
+    let inner: *mut Inner = ctl.cast();
+    {
+        // SAFETY: `inner` is the live control block; we are the only code
+        // running on this coroutine right now.
+        let entry = unsafe { (*inner).entry.take().expect("entry closure present") };
+        let mut yielder = Yielder { inner };
+        // Unwinding across the assembly frames below would be undefined
+        // behavior, so catch everything here and ferry the payload back.
+        let result = catch_unwind(AssertUnwindSafe(move || entry(&mut yielder)));
+        // SAFETY: as above; the closure has finished, nothing else aliases.
+        unsafe {
+            if let Err(payload) = result {
+                (*inner).panic = Some(payload);
+            }
+            (*inner).phase = Phase::Done;
+        }
+    }
+    // Hand control back to the caller forever; a completed coroutine can
+    // never be switched into again through the public API.
+    loop {
+        // SAFETY: caller_sp was saved by the resume that activated us.
+        unsafe {
+            concord_ctx_switch(&mut (*inner).co_sp, (*inner).caller_sp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn runs_to_completion_without_yield() {
+        let hit = Arc::new(AtomicUsize::new(0));
+        let h = hit.clone();
+        let mut co = Coroutine::new(16 * 1024, move |_| {
+            h.store(7, Ordering::SeqCst);
+        });
+        assert_eq!(co.resume(), CoState::Complete);
+        assert_eq!(hit.load(Ordering::SeqCst), 7);
+        assert!(co.is_complete());
+        assert_eq!(co.resume(), CoState::Complete);
+    }
+
+    #[test]
+    fn yields_are_observed_in_order() {
+        let log = Arc::new(parking_lot_free_log::Log::new());
+        let l = log.clone();
+        let mut co = Coroutine::new(32 * 1024, move |y| {
+            l.push(1);
+            y.yield_now();
+            l.push(2);
+            y.yield_now();
+            l.push(3);
+        });
+        assert_eq!(co.resume(), CoState::Suspended);
+        log.push(10);
+        assert_eq!(co.resume(), CoState::Suspended);
+        log.push(20);
+        assert_eq!(co.resume(), CoState::Complete);
+        assert_eq!(log.take(), vec![1, 10, 2, 20, 3]);
+    }
+
+    /// Tiny Mutex-based log to avoid pulling dev-deps into this test.
+    mod parking_lot_free_log {
+        use std::sync::Mutex;
+
+        pub struct Log(Mutex<Vec<u32>>);
+
+        impl Log {
+            pub fn new() -> Self {
+                Self(Mutex::new(Vec::new()))
+            }
+            pub fn push(&self, v: u32) {
+                self.0.lock().expect("log lock").push(v);
+            }
+            pub fn take(&self) -> Vec<u32> {
+                std::mem::take(&mut self.0.lock().expect("log lock"))
+            }
+        }
+    }
+
+    #[test]
+    fn state_survives_across_yields() {
+        // Locals on the coroutine stack must persist across suspensions.
+        let out = Arc::new(AtomicUsize::new(0));
+        let o = out.clone();
+        let mut co = Coroutine::new(32 * 1024, move |y| {
+            let mut acc: usize = 0;
+            let data = [1usize, 2, 3, 4, 5];
+            for &d in &data {
+                acc += d;
+                y.yield_now();
+            }
+            o.store(acc, Ordering::SeqCst);
+        });
+        let mut suspensions = 0;
+        while co.resume() == CoState::Suspended {
+            suspensions += 1;
+        }
+        assert_eq!(suspensions, 5);
+        assert_eq!(out.load(Ordering::SeqCst), 15);
+    }
+
+    #[test]
+    fn deep_call_stacks_work() {
+        fn recurse(y: &mut Yielder, depth: usize) -> usize {
+            if depth == 0 {
+                y.yield_now();
+                return 1;
+            }
+            recurse(y, depth - 1) + 1
+        }
+        let mut co = Coroutine::new(256 * 1024, move |y| {
+            assert_eq!(recurse(y, 100), 101);
+        });
+        assert_eq!(co.resume(), CoState::Suspended);
+        assert_eq!(co.resume(), CoState::Complete);
+    }
+
+    #[test]
+    fn panic_propagates_to_resume() {
+        let mut co = Coroutine::new(32 * 1024, move |y| {
+            y.yield_now();
+            panic!("boom from coroutine");
+        });
+        assert_eq!(co.resume(), CoState::Suspended);
+        let err = catch_unwind(AssertUnwindSafe(|| co.resume()));
+        let payload = err.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<&str>().expect("payload kind");
+        assert_eq!(*msg, "boom from coroutine");
+        assert!(co.is_complete());
+        assert_eq!(co.resume(), CoState::Complete);
+    }
+
+    #[test]
+    fn suspended_coroutine_migrates_across_threads() {
+        // The Concord runtime resumes preempted requests on whichever
+        // worker is free; the coroutine must tolerate that.
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = count.clone();
+        let mut co = Coroutine::new(64 * 1024, move |y| {
+            for _ in 0..10 {
+                c.fetch_add(1, Ordering::SeqCst);
+                y.yield_now();
+            }
+        });
+        assert_eq!(co.resume(), CoState::Suspended);
+        let co = std::thread::spawn(move || {
+            assert_eq!(co.resume(), CoState::Suspended);
+            co
+        })
+        .join()
+        .expect("worker thread");
+        let mut co = co;
+        while co.resume() == CoState::Suspended {}
+        assert_eq!(count.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn many_coroutines_interleave() {
+        let mut cos: Vec<Coroutine> = (0..100)
+            .map(|i| {
+                Coroutine::new(16 * 1024, move |y| {
+                    for _ in 0..i % 7 {
+                        y.yield_now();
+                    }
+                })
+            })
+            .collect();
+        let mut live = cos.len();
+        while live > 0 {
+            live = 0;
+            for co in &mut cos {
+                if !co.is_complete() && co.resume() == CoState::Suspended {
+                    live += 1;
+                }
+            }
+        }
+        assert!(cos.iter().all(|c| c.is_complete()));
+    }
+
+    #[test]
+    fn dropping_suspended_coroutine_is_safe() {
+        let mut co = Coroutine::new(32 * 1024, move |y| loop {
+            y.yield_now();
+        });
+        assert_eq!(co.resume(), CoState::Suspended);
+        drop(co); // frees the stack; must not crash
+    }
+
+    #[test]
+    fn completed_stack_can_be_recycled() {
+        let mut co = Coroutine::new(32 * 1024, |_| {});
+        assert_eq!(co.resume(), CoState::Complete);
+        let stack = co.into_stack().expect("completed: stack recoverable");
+        // Run a second, different coroutine on the recycled stack.
+        let mut co2 = Coroutine::with_stack(stack, |y| y.yield_now());
+        assert_eq!(co2.resume(), CoState::Suspended);
+        assert_eq!(co2.resume(), CoState::Complete);
+    }
+
+    #[test]
+    fn suspended_stack_is_not_recoverable() {
+        let mut co = Coroutine::new(32 * 1024, |y| y.yield_now());
+        assert_eq!(co.resume(), CoState::Suspended);
+        assert!(co.into_stack().is_none());
+    }
+
+    #[test]
+    fn fresh_stack_is_recoverable_before_first_resume() {
+        let co = Coroutine::new(32 * 1024, |_| {});
+        assert!(co.into_stack().is_some());
+    }
+
+    #[test]
+    fn switch_is_fast() {
+        // §3.1: cooperative switches land around 100 ns on the paper's
+        // testbed; sanity-check ours is within an order of magnitude.
+        let mut co = Coroutine::new(32 * 1024, move |y| loop {
+            y.yield_now();
+        });
+        co.resume();
+        let iters = 200_000u32;
+        let start = std::time::Instant::now();
+        for _ in 0..iters {
+            co.resume();
+        }
+        let per_pair = start.elapsed().as_nanos() as f64 / f64::from(iters);
+        // One resume is two switches (in + out).
+        assert!(per_pair < 2_000.0, "switch pair took {per_pair} ns");
+    }
+}

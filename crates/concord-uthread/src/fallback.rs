@@ -1,0 +1,168 @@
+//! Portable coroutine fallback for non-x86_64 targets.
+//!
+//! Each coroutine is an OS thread lock-stepped with its caller through a
+//! pair of rendezvous channels, so exactly one of the two ever runs at a
+//! time — the same observable semantics as the assembly implementation,
+//! at orders-of-magnitude higher switch cost. Good enough to keep the
+//! crate (and everything above it) building and testing everywhere.
+
+use crate::stack::Stack;
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::thread::JoinHandle;
+
+/// Result of a [`Coroutine::resume`] call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoState {
+    /// The coroutine yielded; call `resume` again to continue it.
+    Suspended,
+    /// The closure returned; further `resume` calls return `Complete`.
+    Complete,
+}
+
+enum FromCo {
+    Yielded,
+    Finished(Option<Box<dyn Any + Send>>),
+}
+
+/// A coroutine backed by a parked OS thread.
+pub struct Coroutine {
+    to_co: SyncSender<()>,
+    from_co: Receiver<FromCo>,
+    handle: Option<JoinHandle<()>>,
+    complete: bool,
+    stack_size: usize,
+    /// Stack supplied via `with_stack`, handed back by `into_stack`.
+    pooled_stack: Option<Stack>,
+}
+
+/// Yield handle passed to the coroutine closure.
+pub struct Yielder {
+    notify: SyncSender<FromCo>,
+    wait: Receiver<()>,
+}
+
+impl Yielder {
+    /// Suspends the coroutine until the next [`Coroutine::resume`].
+    pub fn yield_now(&mut self) {
+        self.notify
+            .send(FromCo::Yielded)
+            .expect("caller side alive");
+        // Block until resumed; if the Coroutine was dropped, park forever
+        // is wrong — exit by panicking inside the (detached) thread.
+        if self.wait.recv().is_err() {
+            // The owner dropped the coroutine: unwind this thread quietly.
+            resume_unwind(Box::new(CoroutineDropped));
+        }
+    }
+}
+
+/// Marker payload used to unwind a dropped coroutine's thread.
+struct CoroutineDropped;
+
+impl Coroutine {
+    /// Creates a coroutine on a caller-provided stack. The fallback backend
+    /// cannot point a thread at a foreign stack, so the stack only sizes
+    /// the thread; it is returned by [`Coroutine::into_stack`] afterwards.
+    pub fn with_stack<F>(stack: Stack, f: F) -> Self
+    where
+        F: FnOnce(&mut Yielder) + Send + 'static,
+    {
+        let size = stack.size();
+        let mut co = Self::new(size, f);
+        co.pooled_stack = Some(stack);
+        co
+    }
+
+    /// Creates a coroutine. `stack_size` sizes the backing thread's stack.
+    pub fn new<F>(stack_size: usize, f: F) -> Self
+    where
+        F: FnOnce(&mut Yielder) + Send + 'static,
+    {
+        let (to_co, co_wait) = sync_channel::<()>(0);
+        let (co_notify, from_co) = sync_channel::<FromCo>(0);
+        let notify = co_notify.clone();
+        let handle = std::thread::Builder::new()
+            .stack_size(stack_size.max(64 * 1024))
+            .name("concord-uthread-fallback".into())
+            .spawn(move || {
+                // Wait for the first resume.
+                if co_wait.recv().is_err() {
+                    return;
+                }
+                let mut yielder = Yielder {
+                    notify: co_notify,
+                    wait: co_wait,
+                };
+                let result = catch_unwind(AssertUnwindSafe(move || f(&mut yielder)));
+                let payload = match result {
+                    Ok(()) => None,
+                    Err(p) if p.is::<CoroutineDropped>() => return,
+                    Err(p) => Some(p),
+                };
+                let _ = notify.send(FromCo::Finished(payload));
+            })
+            .expect("spawn fallback coroutine thread");
+        Self {
+            to_co,
+            from_co,
+            handle: Some(handle),
+            complete: false,
+            stack_size,
+            pooled_stack: None,
+        }
+    }
+
+    /// Recovers the pooled stack, if one was supplied and the coroutine
+    /// has completed (or never ran).
+    pub fn into_stack(mut self) -> Option<Stack> {
+        if self.complete || self.handle.is_some() {
+            self.pooled_stack.take()
+        } else {
+            None
+        }
+    }
+
+    /// Runs the coroutine until it yields or completes.
+    pub fn resume(&mut self) -> CoState {
+        if self.complete {
+            return CoState::Complete;
+        }
+        self.to_co.send(()).expect("coroutine thread alive");
+        match self.from_co.recv().expect("coroutine reply") {
+            FromCo::Yielded => CoState::Suspended,
+            FromCo::Finished(None) => {
+                self.complete = true;
+                CoState::Complete
+            }
+            FromCo::Finished(Some(payload)) => {
+                self.complete = true;
+                resume_unwind(payload);
+            }
+        }
+    }
+
+    /// True once the closure has returned (or panicked).
+    pub fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    /// Configured stack size, bytes.
+    pub fn stack_size(&self) -> usize {
+        self.stack_size
+    }
+}
+
+impl Drop for Coroutine {
+    fn drop(&mut self) {
+        // Closing `to_co` unblocks a suspended coroutine, whose yielder
+        // then unwinds its thread; join to avoid leaking threads.
+        let (sender, _) = sync_channel::<()>(0);
+        // Replace the live sender so the channel disconnects.
+        self.to_co = sender;
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}

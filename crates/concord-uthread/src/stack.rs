@@ -1,0 +1,128 @@
+//! Owned coroutine stacks.
+//!
+//! Stacks are plain heap allocations with 16-byte alignment (the x86-64
+//! System V requirement). Guard pages would need `mmap`, which is outside
+//! this crate's dependency budget; instead the runtime sizes stacks
+//! generously (64 KiB default) and the coroutine API documents the
+//! overflow hazard.
+
+use std::alloc::{alloc, dealloc, handle_alloc_error, Layout};
+use std::ptr::NonNull;
+
+/// Stack alignment required by the x86-64 System V ABI.
+pub const STACK_ALIGN: usize = 16;
+
+/// Minimum stack size accepted (enough for the entry frame plus a small
+/// call chain).
+pub const MIN_STACK_SIZE: usize = 4 * 1024;
+
+/// An owned, aligned memory region used as a coroutine stack.
+#[derive(Debug)]
+pub struct Stack {
+    base: NonNull<u8>,
+    layout: Layout,
+}
+
+impl Stack {
+    /// Allocates a stack of at least `size` bytes (rounded up to the
+    /// alignment; clamped up to [`MIN_STACK_SIZE`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics (via `handle_alloc_error`) if the allocation fails.
+    pub fn new(size: usize) -> Self {
+        let size = size.max(MIN_STACK_SIZE).next_multiple_of(STACK_ALIGN);
+        let layout = Layout::from_size_align(size, STACK_ALIGN).expect("valid stack layout");
+        // SAFETY: `layout` has non-zero size and valid alignment.
+        let ptr = unsafe { alloc(layout) };
+        let Some(base) = NonNull::new(ptr) else {
+            handle_alloc_error(layout);
+        };
+        Self { base, layout }
+    }
+
+    /// Size in bytes.
+    pub fn size(&self) -> usize {
+        self.layout.size()
+    }
+
+    /// Lowest address of the stack region.
+    pub fn base(&self) -> *mut u8 {
+        self.base.as_ptr()
+    }
+
+    /// One-past-the-highest address — the initial stack top (stacks grow
+    /// downward on all supported targets). Always 16-byte aligned.
+    pub fn top(&self) -> *mut u8 {
+        // SAFETY: `base + size` is one past the end of the allocation,
+        // which is a valid provenance-carrying address to form.
+        unsafe { self.base.as_ptr().add(self.layout.size()) }
+    }
+
+    /// True if `addr` lies within this stack.
+    pub fn contains(&self, addr: *const u8) -> bool {
+        let lo = self.base.as_ptr() as usize;
+        let hi = lo + self.layout.size();
+        (addr as usize) >= lo && (addr as usize) < hi
+    }
+}
+
+impl Drop for Stack {
+    fn drop(&mut self) {
+        // SAFETY: `base` was allocated with exactly this layout and is
+        // freed once (Stack is not Clone/Copy).
+        unsafe { dealloc(self.base.as_ptr(), self.layout) };
+    }
+}
+
+// SAFETY: the stack is an owned memory region; transferring ownership to
+// another thread is sound (the coroutine machinery enforces exclusive
+// access separately).
+unsafe impl Send for Stack {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocates_requested_size() {
+        let s = Stack::new(64 * 1024);
+        assert_eq!(s.size(), 64 * 1024);
+    }
+
+    #[test]
+    fn rounds_small_sizes_up() {
+        let s = Stack::new(1);
+        assert!(s.size() >= MIN_STACK_SIZE);
+    }
+
+    #[test]
+    fn top_is_aligned() {
+        for size in [4096, 5000, 64 * 1024] {
+            let s = Stack::new(size);
+            assert_eq!(s.top() as usize % STACK_ALIGN, 0, "size={size}");
+            assert_eq!(s.base() as usize % STACK_ALIGN, 0, "size={size}");
+        }
+    }
+
+    #[test]
+    fn contains_covers_exactly_the_region() {
+        let s = Stack::new(4096);
+        assert!(s.contains(s.base()));
+        // SAFETY: address arithmetic only; pointer is not dereferenced.
+        let last = unsafe { s.base().add(s.size() - 1) };
+        assert!(s.contains(last));
+        assert!(!s.contains(s.top()));
+    }
+
+    #[test]
+    fn stack_is_writable_end_to_end() {
+        let s = Stack::new(8192);
+        // SAFETY: we own the region [base, base+size).
+        unsafe {
+            std::ptr::write_bytes(s.base(), 0xAB, s.size());
+            assert_eq!(*s.base(), 0xAB);
+            assert_eq!(*s.top().sub(1), 0xAB);
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests for the coroutine substrate: arbitrary yield patterns
+//! and stack usage must behave identically to a straight-line execution.
+
+use concord_uthread::{CoState, Coroutine};
+use proptest::prelude::*;
+use std::sync::mpsc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A coroutine that yields `yields` times needs exactly `yields`+1
+    /// resumes, and observes its own state unchanged across each yield.
+    #[test]
+    fn yield_count_matches_resume_count(yields in 0usize..200) {
+        let (tx, rx) = mpsc::channel::<usize>();
+        let mut co = Coroutine::new(64 * 1024, move |y| {
+            for i in 0..yields {
+                tx.send(i).expect("receiver alive");
+                y.yield_now();
+            }
+            tx.send(usize::MAX).expect("receiver alive");
+        });
+        let mut resumes = 0;
+        loop {
+            let state = co.resume();
+            resumes += 1;
+            if state == CoState::Complete {
+                break;
+            }
+        }
+        prop_assert_eq!(resumes, yields + 1);
+        for i in 0..yields {
+            prop_assert_eq!(rx.recv().expect("value"), i);
+        }
+        prop_assert_eq!(rx.recv().expect("sentinel"), usize::MAX);
+    }
+
+    /// Stack-held data survives arbitrary interleavings of many coroutines.
+    #[test]
+    fn interleaved_coroutines_keep_independent_state(
+        counts in prop::collection::vec(0usize..32, 1..20),
+        order_seed in 0u64..1_000,
+    ) {
+        let (tx, rx) = mpsc::channel::<(usize, usize)>();
+        let mut cos: Vec<Coroutine> = counts
+            .iter()
+            .enumerate()
+            .map(|(id, &n)| {
+                let tx = tx.clone();
+                Coroutine::new(32 * 1024, move |y| {
+                    let mut acc = 0usize;
+                    for step in 0..n {
+                        acc += step;
+                        y.yield_now();
+                    }
+                    tx.send((id, acc)).expect("receiver alive");
+                })
+            })
+            .collect();
+        drop(tx);
+        // Pseudo-random round-robin with a skip pattern.
+        let mut live: Vec<usize> = (0..cos.len()).collect();
+        let mut x = order_seed | 1;
+        while !live.is_empty() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let pick = (x >> 33) as usize % live.len();
+            let idx = live[pick];
+            if cos[idx].resume() == CoState::Complete {
+                live.swap_remove(pick);
+            }
+        }
+        let mut results: Vec<(usize, usize)> = rx.iter().collect();
+        results.sort_unstable();
+        prop_assert_eq!(results.len(), counts.len());
+        for (id, acc) in results {
+            let n = counts[id];
+            prop_assert_eq!(acc, n * n.saturating_sub(1) / 2, "id {}", id);
+        }
+    }
+
+    /// Coroutines survive moving to another thread at an arbitrary point in
+    /// their yield sequence.
+    #[test]
+    fn migration_at_any_point_is_safe(
+        yields in 1usize..50,
+        migrate_at in 0usize..50,
+    ) {
+        let migrate_at = migrate_at % yields;
+        let (tx, rx) = mpsc::channel::<usize>();
+        let mut co = Coroutine::new(64 * 1024, move |y| {
+            for i in 0..yields {
+                tx.send(i).expect("receiver alive");
+                y.yield_now();
+            }
+        });
+        for _ in 0..=migrate_at {
+            prop_assert_eq!(co.resume(), CoState::Suspended);
+        }
+        let mut co = std::thread::spawn(move || {
+            // Drive a few slices on the other thread.
+            co.resume();
+            co
+        })
+        .join()
+        .expect("thread");
+        while !co.is_complete() {
+            co.resume();
+        }
+        let seen: Vec<usize> = rx.iter().collect();
+        prop_assert_eq!(seen.len(), yields);
+        for (want, got) in seen.iter().enumerate() {
+            prop_assert_eq!(*got, want);
+        }
+    }
+}

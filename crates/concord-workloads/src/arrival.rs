@@ -1,0 +1,250 @@
+//! Open-loop arrival processes.
+//!
+//! The paper's load generator "sends requests according to a Poisson
+//! process … to mimic the bursty behavior of production traffic" (§5.1).
+//! Open-loop means arrivals do not slow down when the server queues up —
+//! which is exactly what makes tail latency explode at saturation.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A source of inter-arrival gaps (nanoseconds).
+pub trait ArrivalProcess {
+    /// Draws the gap until the next arrival.
+    fn next_gap_ns(&mut self, rng: &mut SmallRng) -> u64;
+
+    /// Mean offered rate in requests per second.
+    fn rate_rps(&self) -> f64;
+
+    /// Returns a copy reconfigured to the given rate, preserving shape
+    /// parameters (burstiness etc.).
+    fn with_rate_rps(&self, rate: f64) -> Self
+    where
+        Self: Sized;
+}
+
+/// Poisson arrivals: exponential inter-arrival gaps.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Poisson {
+    rate_rps: f64,
+}
+
+impl Poisson {
+    /// Poisson arrivals at `rate` requests per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not positive.
+    pub fn with_rate(rate: f64) -> Self {
+        assert!(rate > 0.0, "arrival rate must be positive");
+        Self { rate_rps: rate }
+    }
+}
+
+impl ArrivalProcess for Poisson {
+    fn next_gap_ns(&mut self, rng: &mut SmallRng) -> u64 {
+        let mean_gap_ns = 1e9 / self.rate_rps;
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        (-mean_gap_ns * u.ln()).round() as u64
+    }
+
+    fn rate_rps(&self) -> f64 {
+        self.rate_rps
+    }
+
+    fn with_rate_rps(&self, rate: f64) -> Self {
+        Self::with_rate(rate)
+    }
+}
+
+/// Deterministic arrivals: a constant gap (useful for calibration and for
+/// isolating scheduling effects from arrival burstiness).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Deterministic {
+    rate_rps: f64,
+}
+
+impl Deterministic {
+    /// Constant-gap arrivals at `rate` requests per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not positive.
+    pub fn with_rate(rate: f64) -> Self {
+        assert!(rate > 0.0, "arrival rate must be positive");
+        Self { rate_rps: rate }
+    }
+}
+
+impl ArrivalProcess for Deterministic {
+    fn next_gap_ns(&mut self, _rng: &mut SmallRng) -> u64 {
+        (1e9 / self.rate_rps).round().max(1.0) as u64
+    }
+
+    fn rate_rps(&self) -> f64 {
+        self.rate_rps
+    }
+
+    fn with_rate_rps(&self, rate: f64) -> Self {
+        Self::with_rate(rate)
+    }
+}
+
+/// A two-state Markov-modulated Poisson process (MMPP-2): alternates between
+/// a calm state and a burst state with exponentially distributed dwell
+/// times. Burstier than Poisson at the same mean rate; used in stress tests
+/// beyond the paper's workloads.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Mmpp2 {
+    mean_rate_rps: f64,
+    /// Burst-state rate multiplier relative to the mean (> 1).
+    burst_factor: f64,
+    /// Mean dwell time in each state, nanoseconds.
+    dwell_ns: f64,
+    /// Remaining time in the current state.
+    remaining_ns: f64,
+    in_burst: bool,
+}
+
+impl Mmpp2 {
+    /// Creates an MMPP-2 with the given mean rate, burst multiplier and mean
+    /// state dwell time. The calm-state rate is chosen so that, with equal
+    /// dwell in both states, the long-run mean is `mean_rate_rps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_rate_rps` ≤ 0, `burst_factor` ≤ 1, or the implied
+    /// calm rate would be non-positive (i.e. `burst_factor` ≥ 2).
+    pub fn new(mean_rate_rps: f64, burst_factor: f64, dwell_us: f64) -> Self {
+        assert!(mean_rate_rps > 0.0, "arrival rate must be positive");
+        assert!(burst_factor > 1.0, "burst factor must exceed 1");
+        assert!(burst_factor < 2.0, "calm rate would be non-positive");
+        Self {
+            mean_rate_rps,
+            burst_factor,
+            dwell_ns: dwell_us * 1_000.0,
+            remaining_ns: 0.0,
+            in_burst: false,
+        }
+    }
+
+    fn current_rate(&self) -> f64 {
+        if self.in_burst {
+            self.mean_rate_rps * self.burst_factor
+        } else {
+            // Equal dwell: calm + burst = 2 * mean.
+            self.mean_rate_rps * (2.0 - self.burst_factor)
+        }
+    }
+}
+
+impl ArrivalProcess for Mmpp2 {
+    fn next_gap_ns(&mut self, rng: &mut SmallRng) -> u64 {
+        // Advance through state changes until the next arrival fires.
+        let mut gap = 0.0f64;
+        loop {
+            if self.remaining_ns <= 0.0 {
+                self.in_burst = !self.in_burst;
+                let u: f64 = 1.0 - rng.gen::<f64>();
+                self.remaining_ns = -self.dwell_ns * u.ln();
+            }
+            let mean_gap = 1e9 / self.current_rate();
+            let u: f64 = 1.0 - rng.gen::<f64>();
+            let candidate = -mean_gap * u.ln();
+            if candidate <= self.remaining_ns {
+                self.remaining_ns -= candidate;
+                gap += candidate;
+                return gap.round().max(1.0) as u64;
+            }
+            // No arrival before the state flips; consume the dwell.
+            gap += self.remaining_ns;
+            self.remaining_ns = 0.0;
+        }
+    }
+
+    fn rate_rps(&self) -> f64 {
+        self.mean_rate_rps
+    }
+
+    fn with_rate_rps(&self, rate: f64) -> Self {
+        Self {
+            mean_rate_rps: rate,
+            remaining_ns: 0.0,
+            in_burst: false,
+            ..*self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+
+    fn mean_gap<P: ArrivalProcess>(p: &mut P, n: usize) -> f64 {
+        let mut rng = seeded_rng(31);
+        (0..n).map(|_| p.next_gap_ns(&mut rng) as f64).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn poisson_mean_rate_converges() {
+        let mut p = Poisson::with_rate(100_000.0); // 10 µs mean gap
+        let m = mean_gap(&mut p, 200_000);
+        assert!((m - 10_000.0).abs() / 10_000.0 < 0.02, "mean gap={m}");
+    }
+
+    #[test]
+    fn poisson_gap_cv_is_one() {
+        let mut p = Poisson::with_rate(1_000_000.0);
+        let mut rng = seeded_rng(37);
+        let n = 100_000;
+        let gaps: Vec<f64> = (0..n).map(|_| p.next_gap_ns(&mut rng) as f64).collect();
+        let mean = gaps.iter().sum::<f64>() / n as f64;
+        let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / n as f64;
+        let cv = var.sqrt() / mean;
+        assert!((cv - 1.0).abs() < 0.05, "cv={cv}");
+    }
+
+    #[test]
+    fn deterministic_is_constant() {
+        let mut p = Deterministic::with_rate(500_000.0);
+        let mut rng = seeded_rng(41);
+        for _ in 0..100 {
+            assert_eq!(p.next_gap_ns(&mut rng), 2_000);
+        }
+    }
+
+    #[test]
+    fn mmpp_preserves_mean_rate() {
+        let mut p = Mmpp2::new(100_000.0, 1.8, 1_000.0);
+        let m = mean_gap(&mut p, 400_000);
+        assert!((m - 10_000.0).abs() / 10_000.0 < 0.1, "mean gap={m}");
+    }
+
+    #[test]
+    fn mmpp_is_burstier_than_poisson() {
+        let mut p = Mmpp2::new(100_000.0, 1.9, 5_000.0);
+        let mut rng = seeded_rng(43);
+        let n = 200_000;
+        let gaps: Vec<f64> = (0..n).map(|_| p.next_gap_ns(&mut rng) as f64).collect();
+        let mean = gaps.iter().sum::<f64>() / n as f64;
+        let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / n as f64;
+        let cv = var.sqrt() / mean;
+        assert!(cv > 1.02, "cv={cv}");
+    }
+
+    #[test]
+    fn with_rate_rescales() {
+        let p = Poisson::with_rate(1_000.0).with_rate_rps(2_000.0);
+        assert_eq!(p.rate_rps(), 2_000.0);
+        let m = Mmpp2::new(1_000.0, 1.5, 100.0).with_rate_rps(3_000.0);
+        assert_eq!(m.rate_rps(), 3_000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_panics() {
+        let _ = Poisson::with_rate(0.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Workload generation for microsecond-scale scheduling experiments.
+//!
+//! This crate provides the service-time distributions and arrival processes
+//! used throughout the Concord reproduction (paper §5.1–§5.3):
+//!
+//! - [`dist`] — primitive service-time distributions (fixed, exponential,
+//!   log-normal, uniform) sampled by inverse transform, so only `rand`'s
+//!   uniform source is needed.
+//! - [`mix`] — weighted mixtures of request classes, including constructors
+//!   for every named workload in the paper: `Bimodal(50:1, 50:100)` (YCSB-A
+//!   shaped), `Bimodal(99.5:0.5, 0.5:500)` (Meta USR shaped), `Fixed(1)`,
+//!   the TPC-C in-memory-database mix, the LevelDB 50% GET / 50% SCAN mix,
+//!   and the ZippyDB production mix.
+//! - [`arrival`] — open-loop arrival processes: Poisson (the paper's load
+//!   generator), deterministic, and a two-state Markov-modulated burst
+//!   process for stress tests.
+//! - [`trace`] — turns (arrival process × workload) into a deterministic,
+//!   seedable request trace consumed by both the simulator and the runtime.
+//!
+//! All times are nanoseconds held in `u64`.
+//!
+//! # Examples
+//!
+//! ```
+//! use concord_workloads::{mix, trace::TraceGenerator, arrival::Poisson};
+//!
+//! let workload = mix::bimodal_50_1_50_100();
+//! // 10k requests/sec offered load, seeded for reproducibility.
+//! let mut gen = TraceGenerator::new(Poisson::with_rate(10_000.0), workload, 42);
+//! let first = gen.next_arrival();
+//! assert!(first.spec.service_ns == 1_000 || first.spec.service_ns == 100_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrival;
+pub mod dist;
+pub mod mix;
+pub mod recorded;
+pub mod trace;
+
+pub use arrival::{ArrivalProcess, Poisson};
+pub use dist::Dist;
+pub use mix::{ClassSpec, Mix};
+pub use recorded::RecordedTrace;
+pub use trace::{Arrival, TraceGenerator};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// One generated request: a class tag and an un-instrumented service time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RequestSpec {
+    /// Index into the workload's class table (see [`Workload::class_names`]).
+    pub class: u16,
+    /// Service time in nanoseconds, excluding all scheduling overheads.
+    pub service_ns: u64,
+}
+
+/// A source of requests: every scheduling experiment draws from one of these.
+pub trait Workload {
+    /// Draws the next request.
+    fn next_request(&mut self, rng: &mut SmallRng) -> RequestSpec;
+
+    /// Mean service time in nanoseconds (exact where known, else analytic).
+    fn mean_service_ns(&self) -> f64;
+
+    /// Human-readable workload name as used in the paper.
+    fn name(&self) -> &str;
+
+    /// Names of the request classes, indexed by [`RequestSpec::class`].
+    fn class_names(&self) -> &[String];
+}
+
+/// Creates the deterministic RNG used across the reproduction.
+///
+/// `SmallRng` is fast and, once seeded, yields identical streams on every
+/// run of the same build, which keeps simulator experiments replayable.
+pub fn seeded_rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}

@@ -1,0 +1,218 @@
+//! Recorded traces: capture a generated request stream once, replay it
+//! anywhere.
+//!
+//! Production studies (and the paper's own methodology) depend on feeding
+//! *identical* request sequences to every system under comparison. The
+//! seeded generators already guarantee that for synthetic workloads; a
+//! [`RecordedTrace`] extends it to captured or externally produced traces
+//! via a plain-text format (one `time_ns,id,class,service_ns` line per
+//! arrival) that round-trips losslessly.
+
+use crate::arrival::ArrivalProcess;
+use crate::trace::{Arrival, TraceGenerator};
+use crate::{RequestSpec, Workload};
+use std::fmt::Write as _;
+use std::str::FromStr;
+
+/// A fully materialized arrival trace.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecordedTrace {
+    /// Arrivals in time order.
+    pub arrivals: Vec<Arrival>,
+}
+
+/// Error parsing a serialized trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending record.
+    pub line: usize,
+    /// What was wrong.
+    pub reason: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace parse error on line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl RecordedTrace {
+    /// Captures `count` arrivals from a generator.
+    pub fn capture<A: ArrivalProcess, W: Workload>(
+        gen: &mut TraceGenerator<A, W>,
+        count: usize,
+    ) -> Self {
+        Self {
+            arrivals: gen.take_count(count),
+        }
+    }
+
+    /// Number of arrivals.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// True if the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// Average offered rate over the trace span, requests/second.
+    pub fn rate_rps(&self) -> f64 {
+        match (self.arrivals.first(), self.arrivals.last()) {
+            (Some(first), Some(last)) if last.time_ns > first.time_ns => {
+                (self.arrivals.len() - 1) as f64
+                    / ((last.time_ns - first.time_ns) as f64 * 1e-9)
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Mean service time across the trace, nanoseconds.
+    pub fn mean_service_ns(&self) -> f64 {
+        if self.arrivals.is_empty() {
+            return 0.0;
+        }
+        self.arrivals.iter().map(|a| a.spec.service_ns as f64).sum::<f64>()
+            / self.arrivals.len() as f64
+    }
+
+    /// Serializes to the text format: a header line, then one
+    /// `time_ns,id,class,service_ns` line per arrival.
+    pub fn to_text(&self) -> String {
+        let mut out = String::with_capacity(self.arrivals.len() * 32 + 64);
+        out.push_str("# concord-trace v1: time_ns,id,class,service_ns\n");
+        for a in &self.arrivals {
+            let _ = writeln!(
+                out,
+                "{},{},{},{}",
+                a.time_ns, a.id, a.spec.class, a.spec.service_ns
+            );
+        }
+        out
+    }
+
+    /// Parses the text format produced by [`RecordedTrace::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] naming the first malformed line; comment
+    /// (`#`) and blank lines are skipped.
+    pub fn from_text(text: &str) -> Result<Self, ParseError> {
+        let mut arrivals = Vec::new();
+        let mut last_time = 0u64;
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut fields = line.split(',');
+            let mut next = |name: &str| -> Result<u64, ParseError> {
+                let raw = fields.next().ok_or_else(|| ParseError {
+                    line: i + 1,
+                    reason: format!("missing field `{name}`"),
+                })?;
+                u64::from_str(raw.trim()).map_err(|e| ParseError {
+                    line: i + 1,
+                    reason: format!("bad `{name}`: {e}"),
+                })
+            };
+            let time_ns = next("time_ns")?;
+            let id = next("id")?;
+            let class = next("class")? as u16;
+            let service_ns = next("service_ns")?;
+            if fields.next().is_some() {
+                return Err(ParseError {
+                    line: i + 1,
+                    reason: "trailing fields".to_string(),
+                });
+            }
+            if time_ns < last_time {
+                return Err(ParseError {
+                    line: i + 1,
+                    reason: format!("time goes backwards ({time_ns} < {last_time})"),
+                });
+            }
+            last_time = time_ns;
+            arrivals.push(Arrival {
+                time_ns,
+                id,
+                spec: RequestSpec { class, service_ns },
+            });
+        }
+        Ok(Self { arrivals })
+    }
+
+    /// A replay iterator over the arrivals.
+    pub fn iter(&self) -> std::slice::Iter<'_, Arrival> {
+        self.arrivals.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrival::Poisson;
+    use crate::mix;
+
+    fn capture(n: usize) -> RecordedTrace {
+        let mut gen = TraceGenerator::new(Poisson::with_rate(100_000.0), mix::tpcc(), 5);
+        RecordedTrace::capture(&mut gen, n)
+    }
+
+    #[test]
+    fn capture_preserves_order_and_count() {
+        let t = capture(500);
+        assert_eq!(t.len(), 500);
+        assert!(t.arrivals.windows(2).all(|w| w[0].time_ns <= w[1].time_ns));
+        assert!((t.rate_rps() - 100_000.0).abs() / 100_000.0 < 0.2);
+        assert!(t.mean_service_ns() > 5_000.0);
+    }
+
+    #[test]
+    fn text_round_trip_is_lossless() {
+        let t = capture(300);
+        let text = t.to_text();
+        let back = RecordedTrace::from_text(&text).expect("parse");
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let text = "# header\n\n100,0,1,500\n# mid comment\n200,1,0,700\n";
+        let t = RecordedTrace::from_text(text).expect("parse");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.arrivals[1].spec.service_ns, 700);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_location() {
+        let err = RecordedTrace::from_text("100,0,1\n").expect_err("missing field");
+        assert_eq!(err.line, 1);
+        assert!(err.reason.contains("service_ns"), "{}", err.reason);
+
+        let err = RecordedTrace::from_text("100,0,1,x\n").expect_err("bad number");
+        assert!(err.reason.contains("service_ns"));
+
+        let err = RecordedTrace::from_text("100,0,1,5,9\n").expect_err("extra field");
+        assert!(err.reason.contains("trailing"));
+    }
+
+    #[test]
+    fn non_monotonic_time_is_rejected() {
+        let err =
+            RecordedTrace::from_text("200,0,0,1\n100,1,0,1\n").expect_err("time reversal");
+        assert_eq!(err.line, 2);
+        assert!(err.reason.contains("backwards"));
+    }
+
+    #[test]
+    fn empty_trace_stats_are_zero() {
+        let t = RecordedTrace::default();
+        assert!(t.is_empty());
+        assert_eq!(t.rate_rps(), 0.0);
+        assert_eq!(t.mean_service_ns(), 0.0);
+    }
+}

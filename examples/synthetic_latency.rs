@@ -1,0 +1,74 @@
+//! Tail-latency-vs-load exploration with the deterministic simulator —
+//! a fast, laptop-friendly rendition of the paper's Figure 6 experiment.
+//!
+//! Sweeps offered load on the Bimodal(50:1, 50:100) workload for
+//! Persephone-FCFS, Shinjuku and Concord, prints the p99.9-slowdown
+//! curves, and reports each system's maximum throughput under the 50×
+//! slowdown SLO.
+//!
+//! ```text
+//! cargo run --release --example synthetic_latency
+//! ```
+
+use concord::metrics::Series;
+use concord::sim::experiments::{
+    capacity_at_slo, ideal_capacity_rps, load_grid, slowdown_vs_load, Fidelity, PAPER_WORKERS,
+};
+use concord::sim::SystemConfig;
+use concord::workloads::{mix, Workload};
+
+fn main() {
+    let quantum_ns = 5_000;
+    let fid = Fidelity {
+        requests: 40_000,
+        load_points: 10,
+        seed: 42,
+    };
+    let workload = mix::bimodal_50_1_50_100();
+    let capacity = ideal_capacity_rps(PAPER_WORKERS, workload.mean_service_ns());
+    println!(
+        "workload {} | mean service {:.1} us | ideal capacity {:.0} kRps on {} workers\n",
+        Workload::name(&workload),
+        workload.mean_service_ns() / 1_000.0,
+        capacity / 1e3,
+        PAPER_WORKERS
+    );
+
+    let systems = vec![
+        SystemConfig::persephone_fcfs(PAPER_WORKERS),
+        SystemConfig::shinjuku(PAPER_WORKERS, quantum_ns),
+        SystemConfig::concord(PAPER_WORKERS, quantum_ns),
+    ];
+    let table = slowdown_vs_load(
+        "p99.9 slowdown vs load, Bimodal(50:1,50:100), q=5us",
+        &systems,
+        mix::bimodal_50_1_50_100,
+        &load_grid(capacity, fid.load_points),
+        &fid,
+    );
+    print!("{table}");
+
+    println!("\nthroughput at the 50x p99.9-slowdown SLO:");
+    for cfg in &systems {
+        let cap = capacity_at_slo(cfg, mix::bimodal_50_1_50_100, 1.2 * capacity, &fid);
+        match cap {
+            Some(r) => println!(
+                "  {:<18} {:>8.0} kRps (tail {:.1}x at that load)",
+                cfg.name,
+                r.capacity / 1e3,
+                r.tail_at_capacity
+            ),
+            None => println!("  {:<18} below the measurable range", cfg.name),
+        }
+    }
+
+    // Read the SLO crossings straight off the swept curves as well.
+    println!("\nSLO crossings read from the sweep:");
+    for s in &table.series {
+        let cross: Option<f64> = Series::last_x_below(s, 50.0);
+        match cross {
+            Some(x) => println!("  {:<18} crosses 50x at ≈{x:.0} kRps", s.label),
+            None => println!("  {:<18} above SLO everywhere", s.label),
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Facade-crate smoke tests: every subsystem is reachable through the
+//! `concord::` paths a downstream user would import.
+
+use concord::instrument::passes::{instrument, PassConfig};
+use concord::instrument::{analyze, AnalysisParams, Function, Program, Segment};
+use concord::kv::Db;
+use concord::metrics::{Histogram, SlowdownTracker};
+use concord::sim::{simulate, SimParams, SystemConfig};
+use concord::uthread::{CoState, Coroutine};
+use concord::workloads::{mix, seeded_rng, Workload};
+
+#[test]
+fn metrics_are_reachable() {
+    let mut h = Histogram::new(3);
+    h.record(1_234);
+    assert_eq!(h.len(), 1);
+    let mut t = SlowdownTracker::new();
+    t.record(100, 500);
+    assert!(t.p999() > 4.0);
+}
+
+#[test]
+fn workloads_are_reachable() {
+    let mut wl = mix::tpcc();
+    let mut rng = seeded_rng(1);
+    let spec = wl.next_request(&mut rng);
+    assert!(spec.service_ns >= 5_700);
+}
+
+#[test]
+fn simulator_is_reachable() {
+    let cfg = SystemConfig::concord(2, 5_000);
+    let r = simulate(&cfg, mix::fixed_1us(), &SimParams::new(10_000.0, 1_000, 1));
+    assert_eq!(r.completed, 1_000);
+}
+
+#[test]
+fn kv_is_reachable() {
+    let db = Db::new();
+    db.put(b"k".to_vec(), b"v".to_vec());
+    assert!(db.get(b"k").is_some());
+}
+
+#[test]
+fn uthread_is_reachable() {
+    let mut co = Coroutine::new(16 * 1024, |y| y.yield_now());
+    assert_eq!(co.resume(), CoState::Suspended);
+    assert_eq!(co.resume(), CoState::Complete);
+}
+
+#[test]
+fn instrument_is_reachable() {
+    let p = Program::new(vec![Function::new(
+        "f",
+        vec![Segment::Loop {
+            body: vec![Segment::Straight(10)],
+            trips: 1_000,
+        }],
+    )]);
+    let out = instrument(&p, &PassConfig::concord_worker());
+    let report = analyze(&out, &AnalysisParams::default());
+    assert!(report.probes > 0);
+}

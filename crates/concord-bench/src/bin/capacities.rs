@@ -11,11 +11,20 @@ fn main() {
         "{:<34} {:>6} {:>14} {:>14} {:>14} {:>8}",
         "workload", "q(us)", "Persephone", "Shinjuku", "Concord", "gain"
     );
-    let cases: Vec<(&str, fn() -> mix::Mix, u64)> = vec![
+    type Case = (&'static str, fn() -> mix::Mix, u64);
+    let cases: Vec<Case> = vec![
         ("Bimodal(50:1,50:100)", mix::bimodal_50_1_50_100, 5_000),
         ("Bimodal(50:1,50:100)", mix::bimodal_50_1_50_100, 2_000),
-        ("Bimodal(99.5:0.5,0.5:500)", mix::bimodal_995_05_05_500, 5_000),
-        ("Bimodal(99.5:0.5,0.5:500)", mix::bimodal_995_05_05_500, 2_000),
+        (
+            "Bimodal(99.5:0.5,0.5:500)",
+            mix::bimodal_995_05_05_500,
+            5_000,
+        ),
+        (
+            "Bimodal(99.5:0.5,0.5:500)",
+            mix::bimodal_995_05_05_500,
+            2_000,
+        ),
         ("TPCC", mix::tpcc, 10_000),
         ("LevelDB(50:GET,50:SCAN)", mix::leveldb_get_scan, 5_000),
         ("LevelDB(50:GET,50:SCAN)", mix::leveldb_get_scan, 2_000),
@@ -30,7 +39,11 @@ fn main() {
         let p = cap(&SystemConfig::persephone_fcfs(PAPER_WORKERS));
         let s = cap(&SystemConfig::shinjuku(PAPER_WORKERS, q));
         let c = cap(&SystemConfig::concord(PAPER_WORKERS, q));
-        let gain = if s > 0.0 { 100.0 * (c / s - 1.0) } else { f64::NAN };
+        let gain = if s > 0.0 {
+            100.0 * (c / s - 1.0)
+        } else {
+            f64::NAN
+        };
         println!(
             "{:<34} {:>6} {:>13.0}k {:>13.0}k {:>13.0}k {:>+7.0}%",
             name,

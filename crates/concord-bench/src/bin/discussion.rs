@@ -3,5 +3,8 @@
 
 fn main() {
     let fid = concord_bench::fidelity_from_args();
-    print!("{}", concord_sim::experiments::discussion_logical_queue(&fid));
+    print!(
+        "{}",
+        concord_sim::experiments::discussion_logical_queue(&fid)
+    );
 }

@@ -1,21 +1,30 @@
-//! A flexible command-line driver for the discrete-event simulator.
+//! A flexible command-line driver for the discrete-event simulator —
+//! and, with `--runtime`, for the *real* runtime on the same workloads.
 //!
 //! ```text
 //! simulate [--system concord|shinjuku|persephone|coop-sq|coop-jbsq]
 //!          [--workload bimodal50|bimodal995|fixed1|tpcc|leveldb|zippydb]
 //!          [--rate RPS] [--load FRACTION] [--quantum US] [--workers N]
 //!          [--requests N] [--seed N] [--policy fcfs|srpt] [--batch N]
+//!          [--runtime] [--report-secs S]
 //! ```
 //!
 //! Either `--rate` (absolute requests/sec) or `--load` (fraction of the
 //! ideal worker capacity) sets the offered load; `--load 0.7` is the
-//! default.
+//! default. `--runtime` replaces the simulation with a real
+//! dispatcher+workers run (spin server) and prints the lifecycle
+//! telemetry from `Runtime::telemetry()`; `--report-secs` additionally
+//! enables the periodic reporter at that interval.
 
+use concord_core::{Runtime, RuntimeConfig, SpinApp};
+use concord_net::{ring, Collector, LoadGen, Request, Response, RttModel};
 use concord_sim::experiments::ideal_capacity_rps;
 use concord_sim::{simulate, Policy, SimParams, SystemConfig};
 use concord_workloads::mix::{self, Mix};
 use concord_workloads::Workload;
 use std::process::exit;
+use std::sync::Arc;
+use std::time::Duration;
 
 struct Args {
     system: String,
@@ -28,6 +37,8 @@ struct Args {
     seed: u64,
     policy: Policy,
     batch: u32,
+    runtime: bool,
+    report_secs: Option<f64>,
 }
 
 fn usage() -> ! {
@@ -35,7 +46,8 @@ fn usage() -> ! {
         "usage: simulate [--system concord|shinjuku|persephone|coop-sq|coop-jbsq] \
          [--workload bimodal50|bimodal995|fixed1|tpcc|leveldb|zippydb] \
          [--rate RPS | --load FRACTION] [--quantum US] [--workers N] \
-         [--requests N] [--seed N] [--policy fcfs|srpt] [--batch N]"
+         [--requests N] [--seed N] [--policy fcfs|srpt] [--batch N] \
+         [--runtime] [--report-secs S]"
     );
     exit(2);
 }
@@ -52,11 +64,19 @@ fn parse_args() -> Args {
         seed: 42,
         policy: Policy::Fcfs,
         batch: 1,
+        runtime: false,
+        report_secs: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
         let flag = argv[i].as_str();
+        // Boolean flags take no value.
+        if flag == "--runtime" {
+            args.runtime = true;
+            i += 1;
+            continue;
+        }
         let value = argv.get(i + 1).unwrap_or_else(|| usage()).clone();
         match flag {
             "--system" => args.system = value,
@@ -68,6 +88,7 @@ fn parse_args() -> Args {
             "--requests" => args.requests = value.parse().unwrap_or_else(|_| usage()),
             "--seed" => args.seed = value.parse().unwrap_or_else(|_| usage()),
             "--batch" => args.batch = value.parse().unwrap_or_else(|_| usage()),
+            "--report-secs" => args.report_secs = Some(value.parse().unwrap_or_else(|_| usage())),
             "--policy" => {
                 args.policy = match value.as_str() {
                     "fcfs" => Policy::Fcfs,
@@ -105,15 +126,63 @@ fn system_by_name(name: &str, workers: usize, quantum_ns: u64) -> SystemConfig {
     }
 }
 
+/// Drives the chosen workload through the real dispatcher+workers
+/// runtime (spin server) instead of the simulator, then prints the
+/// lifecycle telemetry aggregated by the dispatcher.
+fn run_runtime(args: &Args, workload: Mix, quantum_ns: u64, rate: f64) {
+    let mut cfg = RuntimeConfig::paper_defaults(args.workers)
+        .with_quantum(Duration::from_nanos(quantum_ns.max(1)));
+    if let Some(secs) = args.report_secs {
+        cfg = cfg.with_telemetry_report_every(Duration::from_secs_f64(secs));
+    }
+    println!(
+        "real runtime: {} workers, quantum {:?}, JBSQ({}), {:.0} rps, {} requests, seed {}",
+        cfg.n_workers, cfg.quantum, cfg.jbsq_depth, rate, args.requests, args.seed
+    );
+
+    let (req_tx, req_rx) = ring::<Request>(32 * 1024);
+    let (resp_tx, resp_rx) = ring::<Response>(32 * 1024);
+    let rt = Runtime::start(cfg, Arc::new(SpinApp::new()), req_rx, resp_tx);
+    let gen = LoadGen::start(req_tx, workload, rate, args.requests, args.seed);
+    let mut collector = Collector::new(resp_rx, RttModel::zero(), args.seed);
+    let ok = collector.collect(args.requests, Duration::from_secs(600));
+    let report = gen.join();
+    let telemetry = rt.telemetry();
+    let stats = rt.shutdown();
+
+    println!();
+    println!(
+        "sent {} (dropped {} at RX ring), received {}",
+        report.sent,
+        report.dropped,
+        collector.received()
+    );
+    if !ok {
+        println!("WARNING: timed out before all responses arrived");
+    }
+    println!("\nlifecycle telemetry (Runtime::telemetry()):");
+    print!("{}", telemetry.render());
+    println!("\nruntime counters:");
+    for (name, value) in stats.snapshot() {
+        println!("  {name:<22}{value}");
+    }
+}
+
 fn main() {
     let args = parse_args();
     let workload = workload_by_name(&args.workload);
     let quantum_ns = (args.quantum_us * 1_000.0) as u64;
+    let capacity = ideal_capacity_rps(args.workers, workload.mean_service_ns());
+    let rate = args.rate.unwrap_or(args.load * capacity);
+
+    if args.runtime {
+        run_runtime(&args, workload, quantum_ns, rate);
+        return;
+    }
+
     let cfg = system_by_name(&args.system, args.workers, quantum_ns)
         .with_policy(args.policy)
         .with_batch(args.batch);
-    let capacity = ideal_capacity_rps(args.workers, workload.mean_service_ns());
-    let rate = args.rate.unwrap_or(args.load * capacity);
 
     println!(
         "system={} workload={} workers={} quantum={}us policy={:?} batch={}",
@@ -133,7 +202,11 @@ fn main() {
         args.seed
     );
 
-    let r = simulate(&cfg, workload, &SimParams::new(rate, args.requests, args.seed));
+    let r = simulate(
+        &cfg,
+        workload,
+        &SimParams::new(rate, args.requests, args.seed),
+    );
     println!();
     println!("completed            {}", r.completed);
     println!("censored             {}", r.censored);
@@ -143,7 +216,10 @@ fn main() {
     println!("p50 slowdown         {:.2}x", r.median_slowdown());
     println!("p99 slowdown         {:.2}x", r.slowdown.p99());
     println!("p99.9 slowdown       {:.2}x", r.p999_slowdown());
-    println!("worker idle (c_next) {:.2}%", 100.0 * r.worker_idle_wait_frac());
+    println!(
+        "worker idle (c_next) {:.2}%",
+        100.0 * r.worker_idle_wait_frac()
+    );
     println!("dispatcher util      {:.1}%", 100.0 * r.dispatcher_util());
     if r.preemptions > 0 {
         println!(
@@ -154,6 +230,12 @@ fn main() {
     }
     println!();
     println!("latency distribution:");
-    print!("{}", concord_metrics::ascii_chart(&r.latency_ns, 1_000.0, "us", 40));
-    println!("{}", concord_metrics::percentile_line(&r.latency_ns, 1_000.0, "us"));
+    print!(
+        "{}",
+        concord_metrics::ascii_chart(&r.latency_ns, 1_000.0, "us", 40)
+    );
+    println!(
+        "{}",
+        concord_metrics::percentile_line(&r.latency_ns, 1_000.0, "us")
+    );
 }

@@ -113,7 +113,8 @@ impl ConcordApp for SpinApp {
     fn handle_request(&self, req: &Request, ctx: &mut RequestContext<'_, '_>) -> u64 {
         let busy = Duration::from_nanos(req.service_ns);
         ctx.spin_for(busy, Duration::from_micros(1));
-        self.total_spun_ns.fetch_add(req.service_ns, Ordering::Relaxed);
+        self.total_spun_ns
+            .fetch_add(req.service_ns, Ordering::Relaxed);
         u64::from(ctx.preemptions())
     }
 }
@@ -150,7 +151,7 @@ mod tests {
     #[test]
     fn preempt_point_yields_on_signal() {
         let shared = Arc::new(WorkerShared::new());
-        shared.line.signal();
+        shared.signal_current();
         let s = shared.clone();
         let mut co = Coroutine::new(64 * 1024, move |y| {
             set_mode(PreemptMode::Worker(s));
@@ -167,7 +168,7 @@ mod tests {
     #[test]
     fn lock_suppresses_preemption_until_exit() {
         let shared = Arc::new(WorkerShared::new());
-        shared.line.signal();
+        shared.signal_current();
         let s = shared.clone();
         let mut co = Coroutine::new(64 * 1024, move |y| {
             set_mode(PreemptMode::Worker(s));

@@ -25,6 +25,9 @@ pub struct RuntimeConfig {
     /// in flight); beyond it, ingress pauses (the RX ring then fills and
     /// drops, preserving open-loop semantics).
     pub max_in_flight: usize,
+    /// If set, the dispatcher prints a human-readable telemetry report
+    /// (queueing/service/sojourn percentiles) to stderr at this interval.
+    pub telemetry_report_every: Option<Duration>,
 }
 
 impl RuntimeConfig {
@@ -38,6 +41,7 @@ impl RuntimeConfig {
             stack_size: 64 * 1024,
             dispatcher_slice: Duration::from_micros(5),
             max_in_flight: 16 * 1024,
+            telemetry_report_every: None,
         }
     }
 
@@ -52,6 +56,7 @@ impl RuntimeConfig {
             stack_size: 64 * 1024,
             dispatcher_slice: Duration::from_millis(1),
             max_in_flight: 4 * 1024,
+            telemetry_report_every: None,
         }
     }
 
@@ -70,6 +75,12 @@ impl RuntimeConfig {
     /// Enables or disables dispatcher work conservation.
     pub fn with_work_conserving(mut self, on: bool) -> Self {
         self.work_conserving = on;
+        self
+    }
+
+    /// Enables the periodic telemetry reporter at the given interval.
+    pub fn with_telemetry_report_every(mut self, every: Duration) -> Self {
+        self.telemetry_report_every = Some(every);
         self
     }
 }
@@ -92,9 +103,20 @@ mod tests {
         let c = RuntimeConfig::small_test()
             .with_quantum(Duration::from_micros(100))
             .with_jbsq_depth(0)
-            .with_work_conserving(false);
+            .with_work_conserving(false)
+            .with_telemetry_report_every(Duration::from_secs(1));
         assert_eq!(c.quantum, Duration::from_micros(100));
         assert_eq!(c.jbsq_depth, 1, "depth clamps to 1");
         assert!(!c.work_conserving);
+        assert_eq!(c.telemetry_report_every, Some(Duration::from_secs(1)));
+    }
+
+    #[test]
+    fn reporter_defaults_off() {
+        assert_eq!(
+            RuntimeConfig::paper_defaults(2).telemetry_report_every,
+            None
+        );
+        assert_eq!(RuntimeConfig::small_test().telemetry_report_every, None);
     }
 }

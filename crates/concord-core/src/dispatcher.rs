@@ -1,11 +1,12 @@
 //! The dispatcher thread: ingest, central queue, quantum policing, JBSQ
-//! dispatch, and work conservation.
+//! dispatch, work conservation, and telemetry aggregation.
 
 use crate::app::ConcordApp;
 use crate::config::RuntimeConfig;
 use crate::preempt::{set_mode, PreemptMode, WorkerShared};
 use crate::stats::RuntimeStats;
 use crate::task::{SliceEnd, Task};
+use crate::telemetry::{CompletionRecord, TelemetryHandle, DISPATCHER};
 use crate::worker::WorkerMsg;
 use concord_net::ring::{Consumer, Producer};
 use concord_net::{Request, Response};
@@ -21,6 +22,8 @@ pub struct WorkerSlot {
     pub shared: Arc<WorkerShared>,
     /// Producer side of the worker's bounded local ring.
     pub ring: Producer<Task>,
+    /// Consumer side of the worker's completion-telemetry ring.
+    pub telemetry: Consumer<CompletionRecord>,
     /// Requests pushed but not yet completed/re-queued (JBSQ occupancy).
     pub inflight: usize,
 }
@@ -39,6 +42,8 @@ pub struct DispatcherLoop<A: ConcordApp> {
     pub workers: Vec<WorkerSlot>,
     /// Channel from workers.
     pub from_workers: Arc<SegQueue<WorkerMsg>>,
+    /// Aggregated lifecycle telemetry (shared with `Runtime::telemetry`).
+    pub telemetry: TelemetryHandle,
     /// Runtime epoch.
     pub epoch: Instant,
     /// Request to stop: drain and exit.
@@ -57,16 +62,20 @@ impl<A: ConcordApp> DispatcherLoop<A> {
     pub fn run(mut self) {
         let mut central: VecDeque<Task> = VecDeque::new();
         let mut stolen: Option<Task> = None;
-        let mut stack_pool: Vec<concord_uthread::stack::Stack> =
-            Vec::with_capacity(STACK_POOL_CAP);
+        let mut stack_pool: Vec<concord_uthread::stack::Stack> = Vec::with_capacity(STACK_POOL_CAP);
+        let mut records: Vec<CompletionRecord> = Vec::with_capacity(64);
+        let mut last_report = Instant::now();
         loop {
             let mut progressed = false;
 
             // 1. Quantum policing: signal workers whose slice expired
             //    (§3.1 — the dispatcher owns *when*, the worker owns *how*).
+            //    The claim returns the expired slice's generation and the
+            //    signal carries it, so a worker that has already moved on
+            //    ignores the (now stale) signal.
             for w in &self.workers {
-                if w.shared.claim_expired(self.epoch) {
-                    w.shared.line.signal();
+                if let Some(gen) = w.shared.claim_expired(self.epoch) {
+                    w.shared.line.signal(gen);
                     self.stats.signals_sent.fetch_add(1, Ordering::Relaxed);
                     progressed = true;
                 }
@@ -75,19 +84,26 @@ impl<A: ConcordApp> DispatcherLoop<A> {
             // 2. Worker messages: completions free JBSQ slots and emit
             //    responses; requeues re-enter the central queue (FCFS
             //    tail, the processor-sharing approximation of §3.1).
+            //    Telemetry rings drain *before* the response is emitted:
+            //    the worker pushed record-before-message, so anything the
+            //    collector can observe is already aggregated.
             while let Some(msg) = self.from_workers.pop() {
                 progressed = true;
                 match msg {
-                    WorkerMsg::Completed { worker, resp, stack } => {
+                    WorkerMsg::Completed {
+                        worker,
+                        resp,
+                        stack,
+                    } => {
                         self.workers[worker].inflight =
                             self.workers[worker].inflight.saturating_sub(1);
                         if let Some(s) = stack {
-                            if stack_pool.len() < STACK_POOL_CAP
-                                && s.size() >= self.cfg.stack_size
+                            if stack_pool.len() < STACK_POOL_CAP && s.size() >= self.cfg.stack_size
                             {
                                 stack_pool.push(s);
                             }
                         }
+                        self.drain_telemetry(worker, &mut records);
                         self.emit(resp);
                     }
                     WorkerMsg::Requeue { worker, task } => {
@@ -120,7 +136,9 @@ impl<A: ConcordApp> DispatcherLoop<A> {
 
             // 4. JBSQ dispatch: shortest queue first, bounded by k.
             while !central.is_empty() {
-                let Some(target) = self.pick_worker() else { break };
+                let Some(target) = self.pick_worker() else {
+                    break;
+                };
                 let task = central.pop_front().expect("checked non-empty");
                 self.workers[target].inflight += 1;
                 self.stats.dispatched.fetch_add(1, Ordering::Relaxed);
@@ -149,14 +167,10 @@ impl<A: ConcordApp> DispatcherLoop<A> {
                     set_mode(PreemptMode::None);
                     match end {
                         SliceEnd::Completed => {
-                            self.stats.dispatcher_completed.fetch_add(1, Ordering::Relaxed);
-                            let resp = task.response();
-                            self.emit(resp);
-                            if let Some(s) = task.recycle() {
-                                if stack_pool.len() < STACK_POOL_CAP {
-                                    stack_pool.push(s);
-                                }
-                            }
+                            self.stats
+                                .dispatcher_completed
+                                .fetch_add(1, Ordering::Relaxed);
+                            self.finish_stolen(task, false, &mut stack_pool);
                         }
                         // Saved to the dedicated buffer; resumed when the
                         // dispatcher is next idle. It can never migrate to
@@ -164,16 +178,21 @@ impl<A: ConcordApp> DispatcherLoop<A> {
                         SliceEnd::Preempted => stolen = Some(task),
                         SliceEnd::Failed => {
                             self.stats.failed.fetch_add(1, Ordering::Relaxed);
-                            let resp = task.response();
-                            self.emit(resp);
-                            if let Some(s) = task.recycle() {
-                                if stack_pool.len() < STACK_POOL_CAP {
-                                    stack_pool.push(s);
-                                }
-                            }
+                            self.finish_stolen(task, true, &mut stack_pool);
                         }
                     }
                     progressed = true;
+                }
+            }
+
+            // Periodic human-readable telemetry report, if configured.
+            if let Some(every) = self.cfg.telemetry_report_every {
+                if last_report.elapsed() >= every {
+                    last_report = Instant::now();
+                    let snap = self.telemetry.lock().snapshot();
+                    if snap.recorded > 0 {
+                        eprintln!("{}", snap.render());
+                    }
                 }
             }
 
@@ -185,6 +204,11 @@ impl<A: ConcordApp> DispatcherLoop<A> {
                     && self.workers.iter().all(|w| w.inflight == 0)
                     && self.from_workers.is_empty();
                 if drained {
+                    // Catch any record whose completion message was
+                    // handled before this loop iteration's drain.
+                    for i in 0..self.workers.len() {
+                        self.drain_telemetry(i, &mut records);
+                    }
                     self.workers_stop.store(true, Ordering::Release);
                     return;
                 }
@@ -203,7 +227,9 @@ impl<A: ConcordApp> DispatcherLoop<A> {
     }
 
     fn all_workers_full(&self) -> bool {
-        self.workers.iter().all(|w| w.inflight >= self.cfg.jbsq_depth)
+        self.workers
+            .iter()
+            .all(|w| w.inflight >= self.cfg.jbsq_depth)
     }
 
     /// Shortest-queue selection among workers with a free JBSQ slot.
@@ -216,9 +242,44 @@ impl<A: ConcordApp> DispatcherLoop<A> {
             .map(|(i, _)| i)
     }
 
+    /// Drains `worker`'s telemetry ring into the aggregate.
+    fn drain_telemetry(&mut self, worker: usize, scratch: &mut Vec<CompletionRecord>) {
+        scratch.clear();
+        if self.workers[worker]
+            .telemetry
+            .pop_batch(scratch, usize::MAX)
+            == 0
+        {
+            return;
+        }
+        let mut telemetry = self.telemetry.lock();
+        for r in scratch.iter() {
+            telemetry.record(r);
+        }
+    }
+
+    /// Records and answers a request the dispatcher completed itself.
+    fn finish_stolen(
+        &mut self,
+        task: Task,
+        failed: bool,
+        stack_pool: &mut Vec<concord_uthread::stack::Stack>,
+    ) {
+        let record = CompletionRecord::from_task(&task, DISPATCHER, failed);
+        self.telemetry.lock().record(&record);
+        let resp = task.response();
+        self.emit(resp);
+        if let Some(s) = task.recycle() {
+            if stack_pool.len() < STACK_POOL_CAP {
+                stack_pool.push(s);
+            }
+        }
+    }
+
     /// Pushes a response, retrying briefly if the TX ring is full; a
     /// persistently full ring (no collector) drops the response rather
-    /// than wedging the runtime.
+    /// than wedging the runtime. Drops are counted in
+    /// [`RuntimeStats::tx_dropped`] and logged once per runtime.
     fn emit(&mut self, resp: Response) {
         let mut r = resp;
         for _ in 0..10_000 {
@@ -230,6 +291,15 @@ impl<A: ConcordApp> DispatcherLoop<A> {
                 }
             }
         }
-        // Collector gone; drop the response descriptor.
+        // Collector gone; drop the response descriptor — but never
+        // silently: the loss is counted and announced once.
+        let dropped_before = self.stats.tx_dropped.fetch_add(1, Ordering::Relaxed);
+        if dropped_before == 0 && !self.stats.tx_drop_logged.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "concord: TX ring full after 10000 retries; dropping response \
+                 for request {} (further drops counted in tx_dropped, not logged)",
+                r.id
+            );
+        }
     }
 }

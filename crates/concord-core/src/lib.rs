@@ -38,6 +38,9 @@
 //! let mut collector = Collector::new(resp_rx, RttModel::zero(), 1);
 //! assert!(collector.collect(200, Duration::from_secs(30)));
 //! gen.join();
+//! let telemetry = rt.telemetry(); // queueing/service/sojourn breakdown
+//! assert_eq!(telemetry.recorded, 200);
+//! assert!(telemetry.queueing_p99_ns() >= telemetry.queueing_p50_ns());
 //! rt.shutdown();
 //! ```
 
@@ -51,6 +54,7 @@ pub mod preempt;
 pub mod runtime;
 pub mod stats;
 pub mod task;
+pub mod telemetry;
 pub mod worker;
 
 pub use app::{ConcordApp, RequestContext, SpinApp};
@@ -58,3 +62,4 @@ pub use config::RuntimeConfig;
 pub use preempt::{LockDepthObserver, PreemptLine};
 pub use runtime::Runtime;
 pub use stats::{RuntimeStats, WorkerStats};
+pub use telemetry::{CompletionRecord, TelemetrySnapshot};

@@ -1,22 +1,54 @@
 //! Preemption signaling: the per-worker dedicated cache line and the
 //! lock-depth safety counter.
+//!
+//! Signals are *generation-tagged*. Every slice a worker starts gets a
+//! fresh generation number; the dispatcher's expiry claim returns the
+//! generation it claimed and the signal carries it, so a signal aimed at
+//! slice N can never preempt slice N+1 — even if the dispatcher's write
+//! lands after the worker has already moved on. (The earlier design used a
+//! bare boolean flag cleared at slice start, which left exactly that race
+//! open: claim slice N, worker finishes N and clears for N+1, late signal
+//! sets the flag, N+1's first preemption point spuriously yields.)
 
 use crossbeam_utils::CachePadded;
 use std::cell::Cell;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Bits of the slice state word holding the quantum deadline
+/// (microseconds since runtime epoch: 40 bits ≈ 34 years).
+const DEADLINE_BITS: u32 = 40;
+/// Mask extracting the deadline from a packed slice state.
+const DEADLINE_MASK: u64 = (1 << DEADLINE_BITS) - 1;
+/// Mask for the (wrapping) generation stored above the deadline.
+const GEN_MASK: u64 = (1 << (64 - DEADLINE_BITS)) - 1;
+/// Packed slice state meaning "idle, nothing to preempt".
+const IDLE: u64 = u64::MAX;
+
+/// Packs a slice generation and deadline into one state word.
+fn pack(gen: u64, deadline_us: u64) -> u64 {
+    ((gen & GEN_MASK) << DEADLINE_BITS) | (deadline_us & DEADLINE_MASK)
+}
 
 /// The per-worker dedicated cache line `L_i` (§3.1).
 ///
 /// The dispatcher writes it when the running request's quantum expires;
-/// the worker's preemption points read it. `CachePadded` keeps the flag on
+/// the worker's preemption points read it. `CachePadded` keeps the word on
 /// its own cache line so worker polls are L1 hits until the dispatcher's
 /// write — exactly the cost structure the paper measures (≈2-cycle check,
 /// one read-after-write miss when signaled).
+///
+/// The word holds `0` when unsignaled, otherwise the target slice
+/// generation plus one (so generation 0 is representable).
 #[derive(Debug, Default)]
 pub struct PreemptLine {
-    flag: CachePadded<AtomicBool>,
+    word: CachePadded<AtomicU64>,
+}
+
+/// Encodes a generation as a non-zero line token.
+fn token(gen: u64) -> u64 {
+    (gen & GEN_MASK) + 1
 }
 
 impl PreemptLine {
@@ -25,31 +57,47 @@ impl PreemptLine {
         Self::default()
     }
 
-    /// Dispatcher side: request a yield.
-    pub fn signal(&self) {
-        self.flag.store(true, Ordering::Release);
+    /// Dispatcher side: request that slice `gen` yield.
+    pub fn signal(&self, gen: u64) {
+        self.word.store(token(gen), Ordering::Release);
     }
 
-    /// Worker side: cheap poll without consuming the signal.
-    pub fn is_signaled(&self) -> bool {
-        self.flag.load(Ordering::Relaxed)
+    /// Worker side: cheap poll without consuming the signal. True only if
+    /// the pending signal targets slice `gen`.
+    pub fn is_signaled(&self, gen: u64) -> bool {
+        self.word.load(Ordering::Relaxed) == token(gen)
     }
 
-    /// Worker side: consume the signal if present.
-    pub fn take_signal(&self) -> bool {
-        if self.flag.load(Ordering::Relaxed) {
-            self.flag.store(false, Ordering::Relaxed);
+    /// Worker side: consume the signal if it targets slice `gen`.
+    ///
+    /// A pending signal for *another* generation is stale by definition
+    /// (each generation is signaled at most once, and only the current
+    /// slice polls); it is discarded so it cannot linger.
+    pub fn take_signal(&self, gen: u64) -> bool {
+        let w = self.word.load(Ordering::Relaxed);
+        if w == 0 {
+            return false;
+        }
+        if w == token(gen) {
+            // A second signal for the same slice is never sent (the
+            // dispatcher claims each slice's expiry exactly once), and no
+            // later generation can be signaled while this slice still
+            // runs, so a plain store cannot lose anything.
+            self.word.store(0, Ordering::Relaxed);
             true
         } else {
+            // Stale token: discard it, but only if it is still there — a
+            // fresh signal racing in must survive.
+            let _ = self
+                .word
+                .compare_exchange(w, 0, Ordering::Relaxed, Ordering::Relaxed);
             false
         }
     }
 
-    /// Worker side: clear any stale signal (called at slice start so a
-    /// signal aimed at the previous request cannot preempt the next one
-    /// immediately).
+    /// Worker side: discard any pending signal.
     pub fn clear(&self) {
-        self.flag.store(false, Ordering::Relaxed);
+        self.word.store(0, Ordering::Relaxed);
     }
 }
 
@@ -58,10 +106,16 @@ impl PreemptLine {
 pub struct WorkerShared {
     /// The dedicated preemption cache line.
     pub line: PreemptLine,
-    /// Quantum deadline of the currently running slice, as microseconds
-    /// since runtime start; `u64::MAX` when the worker is idle. Written by
-    /// the worker, read by the dispatcher's expiry scan.
-    pub deadline_us: AtomicU64,
+    /// Packed `(generation, deadline_us)` of the currently running slice;
+    /// [`IDLE`] when the worker has nothing preemptible. Written by the
+    /// worker at slice start/end, claimed (CAS to idle) by the dispatcher's
+    /// expiry scan — the CAS covers the generation too, so a claim can
+    /// never latch onto a *different* slice that happens to share the same
+    /// microsecond deadline.
+    slice: AtomicU64,
+    /// Generation of the current (or most recent) slice. Written by the
+    /// worker, read by its own preemption points.
+    gen: AtomicU64,
 }
 
 impl WorkerShared {
@@ -69,33 +123,61 @@ impl WorkerShared {
     pub fn new() -> Self {
         Self {
             line: PreemptLine::new(),
-            deadline_us: AtomicU64::new(u64::MAX),
+            slice: AtomicU64::new(IDLE),
+            gen: AtomicU64::new(0),
         }
     }
 
-    /// Worker: publish the quantum deadline for the slice starting now.
-    pub fn publish_deadline(&self, epoch: Instant, quantum: Duration) {
-        let deadline = epoch.elapsed() + quantum;
-        self.deadline_us
-            .store(deadline.as_micros() as u64, Ordering::Release);
+    /// Worker: start a new slice with its quantum deadline, returning the
+    /// slice's generation. Any signal still pending from an earlier slice
+    /// is discarded here; one that lands *after* this call carries a stale
+    /// generation and is rejected at the preemption point.
+    pub fn begin_slice(&self, epoch: Instant, quantum: Duration) -> u64 {
+        let gen = self.gen.load(Ordering::Relaxed).wrapping_add(1);
+        self.gen.store(gen, Ordering::Relaxed);
+        self.line.clear();
+        let deadline_us = (epoch.elapsed() + quantum).as_micros() as u64;
+        self.slice.store(pack(gen, deadline_us), Ordering::Release);
+        gen
     }
 
     /// Worker: mark idle (no slice to preempt).
-    pub fn clear_deadline(&self) {
-        self.deadline_us.store(u64::MAX, Ordering::Release);
+    pub fn end_slice(&self) {
+        self.slice.store(IDLE, Ordering::Release);
+    }
+
+    /// Generation of the slice currently running (meaningful only between
+    /// [`WorkerShared::begin_slice`] and [`WorkerShared::end_slice`], on
+    /// the worker itself).
+    pub fn generation(&self) -> u64 {
+        self.gen.load(Ordering::Relaxed)
+    }
+
+    /// Test helper: signal the *current* slice, as the dispatcher would
+    /// after claiming its expiry.
+    pub fn signal_current(&self) {
+        self.line.signal(self.generation());
     }
 
     /// Dispatcher: if the published deadline has passed, atomically claim
-    /// it (so each slice is signaled once) and return true.
-    pub fn claim_expired(&self, epoch: Instant) -> bool {
-        let now_us = epoch.elapsed().as_micros() as u64;
-        let deadline = self.deadline_us.load(Ordering::Acquire);
-        if deadline == u64::MAX || now_us < deadline {
-            return false;
+    /// the slice (so each slice is signaled once) and return its
+    /// generation for the signal.
+    pub fn claim_expired(&self, epoch: Instant) -> Option<u64> {
+        let state = self.slice.load(Ordering::Acquire);
+        if state == IDLE {
+            return None;
         }
-        self.deadline_us
-            .compare_exchange(deadline, u64::MAX, Ordering::AcqRel, Ordering::Relaxed)
-            .is_ok()
+        let now_us = epoch.elapsed().as_micros() as u64;
+        if now_us < (state & DEADLINE_MASK) {
+            return None;
+        }
+        // CAS on the full packed word: if the worker already moved to
+        // another slice (different generation *or* deadline), the claim
+        // fails and no signal is sent for it.
+        self.slice
+            .compare_exchange(state, IDLE, Ordering::AcqRel, Ordering::Relaxed)
+            .ok()
+            .map(|_| state >> DEADLINE_BITS)
     }
 }
 
@@ -154,7 +236,8 @@ impl concord_kv::LockObserver for LockDepthObserver {
 pub enum PreemptMode {
     /// Not inside the runtime (preemption points are no-ops).
     None,
-    /// On a worker: poll this dedicated cache line.
+    /// On a worker: poll this dedicated cache line, accepting only signals
+    /// aimed at the current slice generation.
     Worker(Arc<WorkerShared>),
     /// On the work-conserving dispatcher: self-preempt past this deadline
     /// (the rdtsc-instrumented code path of §3.3).
@@ -171,15 +254,16 @@ pub fn set_mode(mode: PreemptMode) {
     MODE.with(|m| *m.borrow_mut() = mode);
 }
 
-/// True if the current slice should yield now: a signal is pending (or the
-/// dispatcher deadline passed) *and* no lock is held. Consumes the signal.
+/// True if the current slice should yield now: a signal for *this* slice
+/// generation is pending (or the dispatcher deadline passed) *and* no lock
+/// is held. Consumes the signal.
 pub fn should_yield() -> bool {
     if lock_depth() != 0 {
         return false;
     }
     MODE.with(|m| match &*m.borrow() {
         PreemptMode::None => false,
-        PreemptMode::Worker(shared) => shared.line.take_signal(),
+        PreemptMode::Worker(shared) => shared.line.take_signal(shared.generation()),
         PreemptMode::DispatcherDeadline(deadline) => Instant::now() >= *deadline,
     })
 }
@@ -191,51 +275,93 @@ mod tests {
     #[test]
     fn line_signal_roundtrip() {
         let l = PreemptLine::new();
-        assert!(!l.is_signaled());
-        l.signal();
-        assert!(l.is_signaled());
-        assert!(l.take_signal());
-        assert!(!l.is_signaled());
-        assert!(!l.take_signal());
+        assert!(!l.is_signaled(0));
+        l.signal(0);
+        assert!(l.is_signaled(0));
+        assert!(l.take_signal(0));
+        assert!(!l.is_signaled(0));
+        assert!(!l.take_signal(0));
     }
 
     #[test]
     fn clear_discards_stale_signal() {
         let l = PreemptLine::new();
-        l.signal();
+        l.signal(7);
         l.clear();
-        assert!(!l.take_signal());
+        assert!(!l.take_signal(7));
     }
 
     #[test]
-    fn deadline_claim_fires_once() {
+    fn signal_for_other_generation_is_rejected_and_discarded() {
+        let l = PreemptLine::new();
+        l.signal(3);
+        assert!(!l.is_signaled(4));
+        assert!(!l.take_signal(4), "stale-generation signal must not yield");
+        // And it does not linger for a later poll either.
+        assert!(!l.take_signal(3));
+    }
+
+    #[test]
+    fn deadline_claim_fires_once_with_generation() {
         let s = WorkerShared::new();
         let epoch = Instant::now();
-        s.publish_deadline(epoch, Duration::ZERO); // expires immediately
+        let gen = s.begin_slice(epoch, Duration::ZERO); // expires immediately
         std::thread::sleep(Duration::from_millis(1));
-        assert!(s.claim_expired(epoch));
-        assert!(!s.claim_expired(epoch), "second claim must fail");
+        assert_eq!(s.claim_expired(epoch), Some(gen & GEN_MASK));
+        assert_eq!(s.claim_expired(epoch), None, "second claim must fail");
     }
 
     #[test]
     fn future_deadline_does_not_fire() {
         let s = WorkerShared::new();
         let epoch = Instant::now();
-        s.publish_deadline(epoch, Duration::from_secs(60));
-        assert!(!s.claim_expired(epoch));
+        s.begin_slice(epoch, Duration::from_secs(60));
+        assert_eq!(s.claim_expired(epoch), None);
     }
 
     #[test]
     fn idle_worker_never_expires() {
         let s = WorkerShared::new();
-        assert!(!s.claim_expired(Instant::now() - Duration::from_secs(1)));
+        assert_eq!(
+            s.claim_expired(Instant::now() - Duration::from_secs(1)),
+            None
+        );
+    }
+
+    #[test]
+    fn claim_of_ended_slice_fails() {
+        let s = WorkerShared::new();
+        let epoch = Instant::now();
+        s.begin_slice(epoch, Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(1));
+        s.end_slice();
+        assert_eq!(s.claim_expired(epoch), None, "ended slice is unclaimable");
+    }
+
+    #[test]
+    fn late_signal_from_previous_slice_cannot_preempt_next() {
+        // The exact interleaving of the stale-signal bug: the dispatcher
+        // claims slice N's expiry, the worker moves on to slice N+1, and
+        // only then does the signal land.
+        let s = WorkerShared::new();
+        let epoch = Instant::now();
+        let _n = s.begin_slice(epoch, Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(1));
+        let claimed = s.claim_expired(epoch).expect("slice N expired");
+        s.end_slice();
+        let next = s.begin_slice(epoch, Duration::from_secs(60));
+        s.line.signal(claimed); // the late write
+        assert!(
+            !s.line.take_signal(next),
+            "slice N's signal preempted slice N+1"
+        );
     }
 
     #[test]
     fn lock_depth_suppresses_yield() {
         let shared = Arc::new(WorkerShared::new());
         set_mode(PreemptMode::Worker(shared.clone()));
-        shared.line.signal();
+        shared.signal_current();
         lock_enter();
         assert!(!should_yield(), "locked: must not yield");
         lock_exit();

@@ -6,22 +6,33 @@ use crate::dispatcher::{DispatcherLoop, WorkerSlot};
 use crate::preempt::WorkerShared;
 use crate::stats::RuntimeStats;
 use crate::task::Task;
+use crate::telemetry::{CompletionRecord, Telemetry, TelemetryHandle, TelemetrySnapshot};
 use crate::worker::{WorkerLoop, WorkerMsg};
 use concord_net::ring::{ring, Consumer, Producer};
 use concord_net::{Request, Response};
 use crossbeam_queue::SegQueue;
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+/// Capacity of each per-worker completion-telemetry ring. Records are
+/// drained on every completion message, so occupancy tracks the JBSQ
+/// depth (2 in the paper); the slack only matters if the dispatcher
+/// stalls badly, and then records drop (counted) rather than block.
+const TELEMETRY_RING_CAP: usize = 1024;
+
 /// A running Concord instance.
 ///
 /// Construct with [`Runtime::start`]; stop with [`Runtime::shutdown`],
-/// which drains all in-flight requests before returning.
+/// which drains all in-flight requests before returning. Lifecycle
+/// telemetry (queueing/service/sojourn distributions) is available at any
+/// time through [`Runtime::telemetry`].
 pub struct Runtime {
     stop: Arc<AtomicBool>,
     stats: Arc<RuntimeStats>,
+    telemetry: TelemetryHandle,
     dispatcher: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -47,6 +58,7 @@ impl Runtime {
         let stop = Arc::new(AtomicBool::new(false));
         let workers_stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(RuntimeStats::with_workers(config.n_workers));
+        let telemetry: TelemetryHandle = Arc::new(Mutex::new(Telemetry::new()));
         let from_workers: Arc<SegQueue<WorkerMsg>> = Arc::new(SegQueue::new());
 
         let mut slots = Vec::with_capacity(config.n_workers);
@@ -54,9 +66,11 @@ impl Runtime {
         for idx in 0..config.n_workers {
             let shared = Arc::new(WorkerShared::new());
             let (task_tx, task_rx) = ring::<Task>(config.jbsq_depth.max(1));
+            let (rec_tx, rec_rx) = ring::<CompletionRecord>(TELEMETRY_RING_CAP);
             slots.push(WorkerSlot {
                 shared: shared.clone(),
                 ring: task_tx,
+                telemetry: rec_rx,
                 inflight: 0,
             });
             let wl = WorkerLoop {
@@ -64,6 +78,7 @@ impl Runtime {
                 shared,
                 local: task_rx,
                 to_dispatcher: from_workers.clone(),
+                telemetry: rec_tx,
                 epoch,
                 quantum: config.quantum,
                 stop: workers_stop.clone(),
@@ -87,6 +102,7 @@ impl Runtime {
             tx,
             workers: slots,
             from_workers,
+            telemetry: telemetry.clone(),
             epoch,
             stop: stop.clone(),
             workers_stop,
@@ -100,6 +116,7 @@ impl Runtime {
         Self {
             stop,
             stats,
+            telemetry,
             dispatcher: Some(dispatcher),
             workers: worker_handles,
         }
@@ -108,6 +125,19 @@ impl Runtime {
     /// Shared runtime counters (live).
     pub fn stats(&self) -> Arc<RuntimeStats> {
         self.stats.clone()
+    }
+
+    /// Point-in-time copy of the request-lifecycle telemetry: queueing
+    /// delay, measured service time and sojourn histograms (p50/p99/p99.9
+    /// accessors) plus slowdown.
+    ///
+    /// Records flow worker → dispatcher ahead of the matching responses,
+    /// so a snapshot taken after the collector has observed `n` responses
+    /// covers at least those `n` requests.
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        let mut t = self.telemetry.lock();
+        t.records_dropped = self.stats.telemetry_dropped.load(Ordering::Relaxed);
+        t.snapshot()
     }
 
     /// Stops ingesting, drains every in-flight request, joins all threads

@@ -1,6 +1,6 @@
 //! Runtime counters.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Per-worker counters (one row per worker thread).
 #[derive(Debug, Default)]
@@ -48,6 +48,14 @@ pub struct RuntimeStats {
     pub failed: AtomicU64,
     /// Requests whose coroutine ran on a recycled (pooled) stack.
     pub stack_reuses: AtomicU64,
+    /// Responses dropped because the TX ring stayed full through the
+    /// retry budget (collector gone or wedged). Every drop is a request
+    /// the runtime completed but the client never heard about.
+    pub tx_dropped: AtomicU64,
+    /// Completion telemetry records lost to a full per-worker ring.
+    pub telemetry_dropped: AtomicU64,
+    /// Latched by the first TX drop so it is logged exactly once.
+    pub tx_drop_logged: AtomicBool,
     /// Per-worker breakdowns, indexed by worker id.
     pub per_worker: Vec<WorkerStats>,
 }
@@ -69,12 +77,16 @@ impl RuntimeStats {
             + self.dispatcher_completed.load(Ordering::Relaxed)
     }
 
-    /// Snapshot of all counters as (name, value) pairs.
-    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
-        vec![
+    /// Snapshot of all counters as (name, value) pairs, including one row
+    /// of completed/preempted/failed per worker.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        let mut rows: Vec<(String, u64)> = [
             ("ingested", self.ingested.load(Ordering::Relaxed)),
             ("dispatched", self.dispatched.load(Ordering::Relaxed)),
-            ("worker_completed", self.worker_completed.load(Ordering::Relaxed)),
+            (
+                "worker_completed",
+                self.worker_completed.load(Ordering::Relaxed),
+            ),
             (
                 "dispatcher_completed",
                 self.dispatcher_completed.load(Ordering::Relaxed),
@@ -85,7 +97,22 @@ impl RuntimeStats {
             ("stolen", self.stolen.load(Ordering::Relaxed)),
             ("failed", self.failed.load(Ordering::Relaxed)),
             ("stack_reuses", self.stack_reuses.load(Ordering::Relaxed)),
+            ("tx_dropped", self.tx_dropped.load(Ordering::Relaxed)),
+            (
+                "telemetry_dropped",
+                self.telemetry_dropped.load(Ordering::Relaxed),
+            ),
         ]
+        .into_iter()
+        .map(|(n, v)| (n.to_string(), v))
+        .collect();
+        for (i, w) in self.per_worker.iter().enumerate() {
+            let (completed, preempted, failed) = w.snapshot();
+            rows.push((format!("worker{i}_completed"), completed));
+            rows.push((format!("worker{i}_preempted"), preempted));
+            rows.push((format!("worker{i}_failed"), failed));
+        }
+        rows
     }
 }
 
@@ -104,7 +131,7 @@ mod tests {
     #[test]
     fn snapshot_contains_all_counters() {
         let s = RuntimeStats::default();
-        let names: Vec<&str> = s.snapshot().iter().map(|(n, _)| *n).collect();
+        let names: Vec<String> = s.snapshot().into_iter().map(|(n, _)| n).collect();
         for want in [
             "ingested",
             "dispatched",
@@ -116,8 +143,28 @@ mod tests {
             "stolen",
             "failed",
             "stack_reuses",
+            "tx_dropped",
+            "telemetry_dropped",
         ] {
-            assert!(names.contains(&want), "{want} missing");
+            assert!(names.iter().any(|n| n == want), "{want} missing");
         }
+    }
+
+    #[test]
+    fn snapshot_includes_per_worker_rows() {
+        let s = RuntimeStats::with_workers(2);
+        s.per_worker[0].completed.store(7, Ordering::Relaxed);
+        s.per_worker[1].preempted.store(3, Ordering::Relaxed);
+        let snap = s.snapshot();
+        let get = |name: &str| {
+            snap.iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("{name} missing"))
+                .1
+        };
+        assert_eq!(get("worker0_completed"), 7);
+        assert_eq!(get("worker0_preempted"), 0);
+        assert_eq!(get("worker1_preempted"), 3);
+        assert_eq!(get("worker1_failed"), 0);
     }
 }

@@ -10,7 +10,7 @@ use concord_uthread::stack::Stack;
 use concord_uthread::{CoState, Coroutine};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Fields the coroutine closure writes and the runtime reads after
 /// completion.
@@ -31,6 +31,14 @@ pub struct Task {
     /// True once any thread has executed part of this task (the dispatcher
     /// may only steal non-started tasks, §3.3).
     pub started: bool,
+    /// When the dispatcher ingested the request (task creation time).
+    pub ingested_at: Instant,
+    /// When the first slice started executing; `None` until dispatched.
+    pub first_run_at: Option<Instant>,
+    /// Accumulated executed-slice wall time.
+    pub busy: Duration,
+    /// Number of slices executed so far.
+    pub slices: u32,
 }
 
 /// What a single execution slice ended with.
@@ -70,6 +78,10 @@ impl Task {
             co,
             output,
             started: false,
+            ingested_at: Instant::now(),
+            first_run_at: None,
+            busy: Duration::ZERO,
+            slices: 0,
         }
     }
 
@@ -82,12 +94,28 @@ impl Task {
     /// [`SliceEnd::Failed`] instead of unwinding the runtime thread.
     pub fn run_slice(&mut self) -> SliceEnd {
         self.started = true;
+        // Telemetry stamps: one clock read on entry, one on exit (§5's
+        // measurements all derive from these). ~20-25 ns per slice total
+        // on current hardware — far below the µs-scale slice lengths.
+        let start = Instant::now();
+        if self.first_run_at.is_none() {
+            self.first_run_at = Some(start);
+        }
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.co.resume()));
+        self.busy += start.elapsed();
+        self.slices += 1;
         match outcome {
             Ok(CoState::Suspended) => SliceEnd::Preempted,
             Ok(CoState::Complete) => SliceEnd::Completed,
             Err(_panic) => SliceEnd::Failed,
         }
+    }
+
+    /// Queueing delay (ingest → first execution). Valid once started.
+    pub fn queue_delay(&self) -> Duration {
+        self.first_run_at
+            .map(|t| t.saturating_duration_since(self.ingested_at))
+            .unwrap_or(Duration::ZERO)
     }
 
     /// Total preemptions recorded (valid after completion).
@@ -100,7 +128,8 @@ impl Task {
         self.co.into_stack()
     }
 
-    /// Builds the response descriptor for this (completed) task.
+    /// Builds the response descriptor for this (completed) task, carrying
+    /// the server-measured queueing and busy times.
     pub fn response(&self) -> Response {
         Response {
             id: self.req.id,
@@ -108,6 +137,8 @@ impl Task {
             service_ns: self.req.service_ns,
             sent_at: self.req.sent_at,
             finished_at: Instant::now(),
+            queue_ns: self.queue_delay().as_nanos() as u64,
+            busy_ns: self.busy.as_nanos() as u64,
         }
     }
 }
@@ -148,7 +179,7 @@ mod tests {
         // 500 µs of spinning with checks every 1 µs: signal early, expect a
         // suspension, then run to completion.
         let mut t = Task::new(Arc::new(SpinApp::new()), req(500_000), 64 * 1024);
-        shared.line.signal();
+        shared.signal_current();
         assert_eq!(t.run_slice(), SliceEnd::Preempted);
         // No more signals: the remainder completes (maybe after a few
         // spurious checks).
@@ -162,7 +193,7 @@ mod tests {
         let shared = Arc::new(WorkerShared::new());
         set_mode(PreemptMode::Worker(shared.clone()));
         let mut t = Task::new(Arc::new(SpinApp::new()), req(200_000), 64 * 1024);
-        shared.line.signal();
+        shared.signal_current();
         assert_eq!(t.run_slice(), SliceEnd::Preempted);
         set_mode(PreemptMode::None);
         // Finish on another thread.
@@ -205,6 +236,36 @@ mod tests {
         // The thread survives and can run other tasks.
         let mut ok = Task::new(Arc::new(SpinApp::new()), req(1_000), 64 * 1024);
         assert_eq!(ok.run_slice(), SliceEnd::Completed);
+    }
+
+    #[test]
+    fn lifecycle_stamps_accumulate() {
+        set_mode(PreemptMode::None);
+        let mut t = Task::new(Arc::new(SpinApp::new()), req(300_000), 64 * 1024);
+        assert!(t.first_run_at.is_none());
+        assert_eq!(t.queue_delay(), Duration::ZERO, "not yet started");
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(t.run_slice(), SliceEnd::Completed);
+        assert!(t.first_run_at.is_some());
+        assert!(t.queue_delay() >= Duration::from_millis(2), "queued 2ms+");
+        assert!(t.busy >= Duration::from_micros(300), "spun 300us");
+        assert_eq!(t.slices, 1);
+        let resp = t.response();
+        assert!(resp.queue_ns >= 2_000_000);
+        assert!(resp.busy_ns >= 300_000);
+    }
+
+    #[test]
+    fn preempted_task_counts_slices() {
+        let shared = Arc::new(WorkerShared::new());
+        set_mode(PreemptMode::Worker(shared.clone()));
+        let mut t = Task::new(Arc::new(SpinApp::new()), req(500_000), 64 * 1024);
+        shared.signal_current();
+        assert_eq!(t.run_slice(), SliceEnd::Preempted);
+        set_mode(PreemptMode::None);
+        assert_eq!(t.run_slice(), SliceEnd::Completed);
+        assert_eq!(t.slices, 2);
+        assert!(t.busy >= Duration::from_micros(500));
     }
 
     #[test]

@@ -1,0 +1,252 @@
+//! Request-lifecycle telemetry: per-request latency breakdowns without
+//! slowing the hot path down.
+//!
+//! Every [`Task`](crate::task::Task) carries monotonic stamps (ingest,
+//! first execution, per-slice busy time). When a request finishes, the
+//! serving worker folds the stamps into a tiny [`CompletionRecord`] and
+//! pushes it onto its private SPSC ring — a few nanoseconds, no locks, no
+//! allocation, no cache-line sharing with other workers. The dispatcher
+//! drains those rings on its normal message path and aggregates into a
+//! [`LatencyBreakdown`] (HDR histograms for queueing delay, service time,
+//! sojourn, plus the paper's slowdown metric); requests the dispatcher
+//! completes itself (§3.3 work conservation) are recorded directly.
+//!
+//! Ordering guarantee: a worker pushes its record *before* the completion
+//! message, and the dispatcher records *before* emitting the response, so
+//! any response observable by the collector is already in the aggregate —
+//! `Runtime::telemetry()` taken after the last response arrives is exact.
+
+use crate::task::Task;
+use concord_metrics::LatencyBreakdown;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Worker index used for requests completed by the dispatcher itself.
+pub const DISPATCHER: usize = usize::MAX;
+
+/// The per-request fact a worker reports on completion. 48 bytes, built
+/// from stamps the task already carries.
+#[derive(Clone, Copy, Debug)]
+pub struct CompletionRecord {
+    /// Ingest → first execution, nanoseconds.
+    pub queue_ns: u64,
+    /// Measured busy time (sum of slice durations), nanoseconds.
+    pub service_ns: u64,
+    /// Ingest → completion, nanoseconds (server-side sojourn).
+    pub sojourn_ns: u64,
+    /// Nominal un-instrumented service time (slowdown denominator).
+    pub nominal_ns: u64,
+    /// Slices this request ran (1 = never preempted).
+    pub slices: u32,
+    /// Serving worker index, or [`DISPATCHER`].
+    pub worker: usize,
+    /// True if the handler panicked (the request was answered with an
+    /// error response).
+    pub failed: bool,
+}
+
+impl CompletionRecord {
+    /// Builds the record for a task that just finished on `worker`.
+    pub fn from_task(task: &Task, worker: usize, failed: bool) -> Self {
+        Self {
+            queue_ns: task.queue_delay().as_nanos() as u64,
+            service_ns: task.busy.as_nanos() as u64,
+            sojourn_ns: task.ingested_at.elapsed().as_nanos() as u64,
+            nominal_ns: task.req.service_ns,
+            slices: task.slices,
+            worker,
+            failed,
+        }
+    }
+}
+
+/// Aggregated lifecycle telemetry, owned by the dispatcher and shared
+/// (behind a mutex the hot path never touches) with [`Runtime::telemetry`]
+/// snapshots.
+///
+/// [`Runtime::telemetry`]: crate::Runtime::telemetry
+#[derive(Debug)]
+pub struct Telemetry {
+    /// Queueing/service/sojourn/slowdown distributions of completions.
+    pub breakdown: LatencyBreakdown,
+    /// Requests recorded (completions + contained failures).
+    pub recorded: u64,
+    /// Contained-failure records among them.
+    pub failures: u64,
+    /// Completion records lost to a full per-worker telemetry ring (only
+    /// possible if the dispatcher stalls for a long time).
+    pub records_dropped: u64,
+}
+
+impl Telemetry {
+    /// Creates an empty aggregate.
+    pub fn new() -> Self {
+        Self {
+            breakdown: LatencyBreakdown::new(),
+            recorded: 0,
+            failures: 0,
+            records_dropped: 0,
+        }
+    }
+
+    /// Folds one completion record into the aggregate.
+    pub fn record(&mut self, r: &CompletionRecord) {
+        self.recorded += 1;
+        if r.failed {
+            self.failures += 1;
+        }
+        self.breakdown
+            .record(r.queue_ns, r.service_ns, r.sojourn_ns, r.nominal_ns);
+    }
+
+    /// Copies the current aggregate out as an immutable snapshot.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            breakdown: self.breakdown.clone(),
+            recorded: self.recorded,
+            failures: self.failures,
+            records_dropped: self.records_dropped,
+            taken_at: Instant::now(),
+        }
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Shared handle: the dispatcher records through it, snapshots read it.
+pub type TelemetryHandle = Arc<Mutex<Telemetry>>;
+
+/// A point-in-time copy of the runtime's lifecycle telemetry.
+///
+/// All durations are nanoseconds of *server-side* time: queueing is
+/// ingest → first execution, service is measured busy time, sojourn is
+/// ingest → completion. Slowdown divides sojourn by the request's nominal
+/// service time (§5.1 of the paper).
+#[derive(Clone, Debug)]
+pub struct TelemetrySnapshot {
+    /// The latency distributions.
+    pub breakdown: LatencyBreakdown,
+    /// Requests recorded (completions + contained failures).
+    pub recorded: u64,
+    /// Contained-failure records among them.
+    pub failures: u64,
+    /// Completion records lost to full telemetry rings.
+    pub records_dropped: u64,
+    /// When this snapshot was taken.
+    pub taken_at: Instant,
+}
+
+impl TelemetrySnapshot {
+    /// Median queueing delay, nanoseconds.
+    pub fn queueing_p50_ns(&self) -> u64 {
+        self.breakdown.queueing_ns(0.50)
+    }
+
+    /// 99th-percentile queueing delay, nanoseconds.
+    pub fn queueing_p99_ns(&self) -> u64 {
+        self.breakdown.queueing_ns(0.99)
+    }
+
+    /// 99.9th-percentile queueing delay, nanoseconds.
+    pub fn queueing_p999_ns(&self) -> u64 {
+        self.breakdown.queueing_ns(0.999)
+    }
+
+    /// Median measured service time, nanoseconds.
+    pub fn service_p50_ns(&self) -> u64 {
+        self.breakdown.service_ns(0.50)
+    }
+
+    /// 99th-percentile measured service time, nanoseconds.
+    pub fn service_p99_ns(&self) -> u64 {
+        self.breakdown.service_ns(0.99)
+    }
+
+    /// 99.9th-percentile measured service time, nanoseconds.
+    pub fn service_p999_ns(&self) -> u64 {
+        self.breakdown.service_ns(0.999)
+    }
+
+    /// 99.9th-percentile slowdown — the paper's headline metric.
+    pub fn slowdown_p999(&self) -> f64 {
+        self.breakdown.slowdown(0.999)
+    }
+
+    /// Renders the human-readable report printed by the periodic reporter
+    /// and the examples.
+    pub fn render(&self) -> String {
+        format!(
+            "telemetry: {} recorded ({} failed, {} records dropped)\n{}",
+            self.recorded,
+            self.failures,
+            self.records_dropped,
+            self.breakdown.render(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(queue_ns: u64, service_ns: u64, failed: bool) -> CompletionRecord {
+        CompletionRecord {
+            queue_ns,
+            service_ns,
+            sojourn_ns: queue_ns + service_ns,
+            nominal_ns: service_ns,
+            slices: 1,
+            worker: 0,
+            failed,
+        }
+    }
+
+    #[test]
+    fn record_counts_and_classifies() {
+        let mut t = Telemetry::new();
+        t.record(&rec(1_000, 10_000, false));
+        t.record(&rec(2_000, 20_000, true));
+        assert_eq!(t.recorded, 2);
+        assert_eq!(t.failures, 1);
+        assert_eq!(t.breakdown.len(), 2);
+    }
+
+    #[test]
+    fn snapshot_is_detached() {
+        let mut t = Telemetry::new();
+        t.record(&rec(1_000, 10_000, false));
+        let snap = t.snapshot();
+        t.record(&rec(5_000, 50_000, false));
+        assert_eq!(snap.recorded, 1, "snapshot must not track later records");
+        assert_eq!(t.recorded, 2);
+    }
+
+    #[test]
+    fn percentile_accessors_are_ordered() {
+        let mut t = Telemetry::new();
+        for i in 1..=1000u64 {
+            t.record(&rec(i * 10, i * 100, false));
+        }
+        let s = t.snapshot();
+        assert!(s.queueing_p99_ns() >= s.queueing_p50_ns());
+        assert!(s.queueing_p999_ns() >= s.queueing_p99_ns());
+        assert!(s.service_p99_ns() >= s.service_p50_ns());
+        assert!(s.service_p999_ns() >= s.service_p99_ns());
+        assert!(s.slowdown_p999() >= 1.0);
+    }
+
+    #[test]
+    fn render_is_complete() {
+        let mut t = Telemetry::new();
+        t.record(&rec(1_000, 10_000, false));
+        let out = t.snapshot().render();
+        for needle in ["recorded", "queueing", "service", "sojourn", "slowdown"] {
+            assert!(out.contains(needle), "missing {needle}:\n{out}");
+        }
+    }
+}

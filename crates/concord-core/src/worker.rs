@@ -4,7 +4,8 @@
 use crate::preempt::{set_mode, PreemptMode, WorkerShared};
 use crate::stats::RuntimeStats;
 use crate::task::{SliceEnd, Task};
-use concord_net::ring::Consumer;
+use crate::telemetry::CompletionRecord;
+use concord_net::ring::{Consumer, Producer};
 use concord_net::Response;
 use crossbeam_queue::SegQueue;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -41,6 +42,10 @@ pub struct WorkerLoop {
     pub local: Consumer<Task>,
     /// Channel back to the dispatcher.
     pub to_dispatcher: Arc<SegQueue<WorkerMsg>>,
+    /// Lock-free lane for completion telemetry records, drained by the
+    /// dispatcher. Pushed *before* the completion message so a drained
+    /// message implies the record is visible.
+    pub telemetry: Producer<CompletionRecord>,
     /// Runtime epoch for deadline arithmetic.
     pub epoch: Instant,
     /// Scheduling quantum.
@@ -57,26 +62,21 @@ impl WorkerLoop {
         loop {
             match self.local.pop() {
                 Some(mut task) => {
-                    // A stale signal aimed at the previous slice must not
-                    // preempt this one instantly.
-                    self.shared.line.clear();
-                    self.shared.publish_deadline(self.epoch, self.quantum);
+                    // Each slice gets a fresh generation: a late signal
+                    // claimed against the previous slice carries the old
+                    // generation and cannot preempt this one.
+                    self.shared.begin_slice(self.epoch, self.quantum);
                     set_mode(PreemptMode::Worker(self.shared.clone()));
                     let end = task.run_slice();
                     set_mode(PreemptMode::None);
-                    self.shared.clear_deadline();
+                    self.shared.end_slice();
                     match end {
                         SliceEnd::Completed => {
                             self.stats.worker_completed.fetch_add(1, Ordering::Relaxed);
                             if let Some(ws) = self.stats.per_worker.get(self.idx) {
                                 ws.completed.fetch_add(1, Ordering::Relaxed);
                             }
-                            let resp = task.response();
-                            self.to_dispatcher.push(WorkerMsg::Completed {
-                                worker: self.idx,
-                                resp,
-                                stack: task.recycle(),
-                            });
+                            self.finish(task, false);
                         }
                         SliceEnd::Preempted => {
                             self.stats.preemptions.fetch_add(1, Ordering::Relaxed);
@@ -96,12 +96,7 @@ impl WorkerLoop {
                             if let Some(ws) = self.stats.per_worker.get(self.idx) {
                                 ws.failed.fetch_add(1, Ordering::Relaxed);
                             }
-                            let resp = task.response();
-                            self.to_dispatcher.push(WorkerMsg::Completed {
-                                worker: self.idx,
-                                resp,
-                                stack: task.recycle(),
-                            });
+                            self.finish(task, true);
                         }
                     }
                 }
@@ -115,5 +110,22 @@ impl WorkerLoop {
                 }
             }
         }
+    }
+
+    /// Reports a finished (completed or failed) request: telemetry record
+    /// first, then the completion message that releases the JBSQ slot.
+    fn finish(&mut self, task: Task, failed: bool) {
+        let record = CompletionRecord::from_task(&task, self.idx, failed);
+        if self.telemetry.push(record).is_err() {
+            // Ring full: the dispatcher has not drained in a long time.
+            // Losing a telemetry record must never block request flow.
+            self.stats.telemetry_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        let resp = task.response();
+        self.to_dispatcher.push(WorkerMsg::Completed {
+            worker: self.idx,
+            resp,
+            stack: task.recycle(),
+        });
     }
 }

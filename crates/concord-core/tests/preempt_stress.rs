@@ -1,0 +1,159 @@
+//! Stress test for the stale-preemption-signal race.
+//!
+//! The window: the dispatcher claims slice N's expired deadline, the
+//! worker finishes N and begins slice N+1, and only then does the
+//! dispatcher's `signal()` store land. Under the original boolean
+//! preempt line (cleared at slice start), that late store set the flag
+//! and slice N+1's *first* preemption point spuriously yielded. With
+//! generation-tagged signals, the late store carries slice N's
+//! generation and the new slice rejects it.
+//!
+//! The test drives the real `WorkerShared`/`PreemptLine` protocol from
+//! two threads exactly as the dispatcher and worker do, with the worker
+//! alternating instantly-expiring "bait" slices (which the dispatcher
+//! races to claim-and-signal) and long-quantum "victim" slices that must
+//! never observe a signal. Run against the pre-fix flag-based line, the
+//! victim assertion fires within a few thousand iterations.
+
+use concord_core::preempt::WorkerShared;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[test]
+fn late_signal_never_preempts_the_next_slice() {
+    let shared = Arc::new(WorkerShared::new());
+    let epoch = Instant::now();
+    let stop = Arc::new(AtomicBool::new(false));
+    let claims = Arc::new(AtomicU64::new(0));
+
+    // Dispatcher side: spin on the expiry scan, signaling whatever slice
+    // it manages to claim — with a tiny stall between claim and signal to
+    // widen the race window the bug needs.
+    let dispatcher = {
+        let shared = shared.clone();
+        let stop = stop.clone();
+        let claims = claims.clone();
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Acquire) {
+                if let Some(gen) = shared.claim_expired(epoch) {
+                    claims.fetch_add(1, Ordering::Relaxed);
+                    std::hint::spin_loop(); // claim → signal gap
+                    shared.line.signal(gen);
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        })
+    };
+
+    // Worker side: bait slices expire immediately (inviting a claim and a
+    // possibly-late signal), victim slices have an hour-long quantum so
+    // the *only* way they can see a signal is the stale-signal bug.
+    let iterations = 30_000;
+    for i in 0..iterations {
+        let _bait = shared.begin_slice(epoch, Duration::ZERO);
+        // Stay in the bait slice long enough for the dispatcher to claim
+        // it some of the time; vary the dwell so the claim→signal store
+        // straddles the slice boundary in both directions.
+        for _ in 0..(i % 7) * 10 {
+            std::hint::spin_loop();
+        }
+        if i % 16 == 0 {
+            // Hand the core over so single-core hosts still interleave
+            // the dispatcher's claim with a live bait slice.
+            std::thread::yield_now();
+        }
+        let consumed = shared.line.take_signal(shared.generation());
+        let _ = consumed; // a timely signal for the bait slice is fine
+        shared.end_slice();
+
+        let victim = shared.begin_slice(epoch, Duration::from_secs(3600));
+        assert!(
+            !shared.line.take_signal(victim),
+            "iteration {i}: a stale signal leaked into a fresh slice"
+        );
+        shared.end_slice();
+    }
+
+    stop.store(true, Ordering::Release);
+    dispatcher.join().expect("dispatcher thread");
+
+    // The race was actually provoked: the dispatcher must have claimed a
+    // healthy number of bait slices, otherwise the test tested nothing.
+    let n = claims.load(Ordering::Relaxed);
+    assert!(
+        n > 100,
+        "dispatcher claimed only {n} slices; race not exercised"
+    );
+}
+
+/// The same window, forced deterministically: a handshake holds the
+/// dispatcher's `signal()` store until the worker has already started
+/// the next slice. Every iteration exercises the exact interleaving the
+/// probabilistic test only sometimes hits, so the pre-fix flag-based
+/// line fails on iteration 0.
+#[test]
+fn late_signal_window_forced_by_handshake() {
+    let shared = Arc::new(WorkerShared::new());
+    let epoch = Instant::now();
+    // 0 = idle, 1 = bait published, 2 = claimed, 3 = victim started,
+    // 4 = late signal sent.
+    let phase = Arc::new(AtomicU64::new(0));
+    let claimed_gen = Arc::new(AtomicU64::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let dispatcher = {
+        let shared = shared.clone();
+        let phase = phase.clone();
+        let claimed_gen = claimed_gen.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Acquire) {
+                if phase.load(Ordering::Acquire) == 1 {
+                    // Claim the expired bait slice... but sit on the
+                    // signal until the worker has moved on.
+                    let gen = shared
+                        .claim_expired(epoch)
+                        .expect("bait slice has a zero quantum; claim must succeed");
+                    claimed_gen.store(gen, Ordering::Relaxed);
+                    phase.store(2, Ordering::Release);
+                    while phase.load(Ordering::Acquire) != 3 {
+                        std::thread::yield_now();
+                    }
+                    shared.line.signal(gen); // deliberately late
+                    phase.store(4, Ordering::Release);
+                }
+                std::thread::yield_now();
+            }
+        })
+    };
+
+    for i in 0..1_000 {
+        let _bait = shared.begin_slice(epoch, Duration::ZERO);
+        phase.store(1, Ordering::Release);
+        while phase.load(Ordering::Acquire) != 2 {
+            std::thread::yield_now();
+        }
+        shared.end_slice();
+
+        let victim = shared.begin_slice(epoch, Duration::from_secs(3600));
+        phase.store(3, Ordering::Release);
+        while phase.load(Ordering::Acquire) != 4 {
+            std::thread::yield_now();
+        }
+        // The stale signal for the bait generation is now definitely in
+        // the line; a correct implementation rejects it.
+        assert!(
+            !shared.line.take_signal(victim),
+            "iteration {i}: stale signal for generation {} preempted \
+             the victim slice (generation {victim})",
+            claimed_gen.load(Ordering::Relaxed),
+        );
+        shared.end_slice();
+        phase.store(0, Ordering::Release);
+    }
+
+    stop.store(true, Ordering::Release);
+    dispatcher.join().expect("dispatcher thread");
+}

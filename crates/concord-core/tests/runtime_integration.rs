@@ -6,7 +6,9 @@
 //! work conservation) with generous quanta; the quantitative reproduction
 //! lives in the simulator.
 
-use concord_core::{ConcordApp, LockDepthObserver, RequestContext, Runtime, RuntimeConfig, SpinApp};
+use concord_core::{
+    ConcordApp, LockDepthObserver, RequestContext, Runtime, RuntimeConfig, SpinApp,
+};
 use concord_kv::Db;
 use concord_net::ring::ring;
 use concord_net::{Collector, LoadGen, Request, Response, RttModel};
@@ -81,7 +83,9 @@ fn long_requests_get_preempted() {
         stats.requeues.load(Ordering::Relaxed),
         "every preemption requeues exactly once"
     );
-    assert!(stats.signals_sent.load(Ordering::Relaxed) >= stats.preemptions.load(Ordering::Relaxed));
+    assert!(
+        stats.signals_sent.load(Ordering::Relaxed) >= stats.preemptions.load(Ordering::Relaxed)
+    );
 }
 
 #[test]
@@ -195,7 +199,10 @@ impl KvApp {
     fn new() -> Self {
         let db = Db::new().with_lock_observer(Arc::new(LockDepthObserver));
         for i in 0..2_000u32 {
-            db.put(format!("key{i:05}").into_bytes(), format!("value{i}").into_bytes());
+            db.put(
+                format!("key{i:05}").into_bytes(),
+                format!("value{i}").into_bytes(),
+            );
         }
         Self { db }
     }
@@ -278,7 +285,10 @@ fn app_panics_are_contained_end_to_end() {
     std::panic::set_hook(prev_hook);
     assert_eq!(collector.received(), 200, "every request gets a response");
     assert_eq!(stats.failed.load(Ordering::Relaxed), 20);
-    assert_eq!(stats.completed() + stats.failed.load(Ordering::Relaxed), 200);
+    assert_eq!(
+        stats.completed() + stats.failed.load(Ordering::Relaxed),
+        200
+    );
 }
 
 #[test]
@@ -295,7 +305,10 @@ fn per_worker_stats_sum_to_totals() {
         .iter()
         .map(|w| w.snapshot())
         .fold((0, 0), |(c, p), (wc, wp, _)| (c + wc, p + wp));
-    assert_eq!(sum_completed, stats.worker_completed.load(Ordering::Relaxed));
+    assert_eq!(
+        sum_completed,
+        stats.worker_completed.load(Ordering::Relaxed)
+    );
     assert_eq!(sum_preempted, stats.preemptions.load(Ordering::Relaxed));
     assert_eq!(stats.per_worker.len(), 2);
 }

@@ -153,7 +153,11 @@ pub fn analyze(prog: &InstrumentedProgram, params: &AnalysisParams) -> Report {
     Report {
         base_cycles: base,
         instrumented_cycles: c.cycles,
-        overhead_frac: if base > 0.0 { c.cycles / base - 1.0 } else { 0.0 },
+        overhead_frac: if base > 0.0 {
+            c.cycles / base - 1.0
+        } else {
+            0.0
+        },
         probes: c.probes,
         mean_gap_cycles: mean_gap,
         max_gap_cycles: c.max,
@@ -205,6 +209,7 @@ fn walk(
 /// Dynamic cycles of the original (un-instrumented) program, reconstructed
 /// from the instrumented tree: drop probes, and undo the unroll savings by
 /// charging loop control per original iteration.
+#[allow(clippy::only_used_in_recursion)] // `factor_hint` threads through `Call` recursion
 fn base_cycles(prog: &InstrumentedProgram, params: &AnalysisParams) -> f64 {
     fn segs_cycles(
         segs: &[ISeg],
@@ -350,8 +355,12 @@ mod tests {
         )]);
         let r = analyze(&worker(&p), &AnalysisParams::default());
         let g = r.mean_gap_cycles;
-        assert!((r.lag_mean_cycles - g / 2.0).abs() / g < 0.05,
-            "mean lag {} vs g/2 {}", r.lag_mean_cycles, g / 2.0);
+        assert!(
+            (r.lag_mean_cycles - g / 2.0).abs() / g < 0.05,
+            "mean lag {} vs g/2 {}",
+            r.lag_mean_cycles,
+            g / 2.0
+        );
         let expect_std = g / 12f64.sqrt();
         assert!(
             (r.lag_std_cycles - expect_std).abs() / expect_std < 0.10,
@@ -380,7 +389,11 @@ mod tests {
             }],
         )]);
         let r = analyze(&worker(&p), &AnalysisParams::default());
-        assert!((r.max_gap_cycles - 20_000.0).abs() < 10.0, "max={}", r.max_gap_cycles);
+        assert!(
+            (r.max_gap_cycles - 20_000.0).abs() < 10.0,
+            "max={}",
+            r.max_gap_cycles
+        );
         let tight = Program::new(vec![Function::new(
             "f",
             vec![Segment::Loop {

@@ -155,30 +155,270 @@ macro_rules! profile {
 /// how positive, and the external share/length set the timeliness std.
 pub fn benchmarks() -> Vec<BenchProfile> {
     vec![
-        profile!("water-nsquared", "Splash-2", -0.3, 3.0, 0.24, tiny=30, calls=0,  ext=150, extlen=2_500),
-        profile!("water-spatial",  "Splash-2", -0.6, 4.0, 0.23, tiny=45, calls=0,  ext=140, extlen=2_500),
-        profile!("ocean-cp",       "Splash-2",  0.1, 10.0, 1.8, tiny=25, calls=20, ext=400, extlen=12_000),
-        profile!("ocean-ncp",      "Splash-2",  1.0, 6.0,  1.1, tiny=0,  calls=40, ext=350, extlen=8_000),
-        profile!("volrend",        "Splash-2",  0.5, 13.0, 0.47, tiny=10, calls=25, ext=250, extlen=3_900),
-        profile!("fmm",            "Splash-2",  0.4, -2.0, 0.11, tiny=10, calls=15, ext=100, extlen=1_500),
-        profile!("raytrace",       "Splash-2", -0.2, 4.0,  0.03, tiny=28, calls=0,  ext=0,   extlen=1),
-        profile!("radix",          "Splash-2",  0.9, 4.0,  0.56, tiny=0,  calls=30, ext=250, extlen=4_700),
-        profile!("fft",            "Splash-2",  1.2, 1.0,  0.63, tiny=0,  calls=60, ext=260, extlen=5_200),
-        profile!("lu-c",           "Splash-2",  4.6, 13.0, 0.63, tiny=0,  calls=420, ext=250, extlen=5_200),
-        profile!("lu-nc",          "Splash-2", -3.7, 23.0, 0.58, tiny=160, calls=0, ext=240, extlen=4_800),
-        profile!("cholesky",       "Splash-2", -2.9, 29.0, 0.86, tiny=125, calls=0, ext=300, extlen=6_500),
-        profile!("histogram",      "Phoenix",   1.6, 20.0, 0.57, tiny=0,  calls=130, ext=250, extlen=4_700),
-        profile!("kmeans",         "Phoenix",  -0.3, 3.0,  1.0,  tiny=33, calls=0,  ext=330, extlen=7_500),
-        profile!("pca",            "Phoenix",  -2.7, 25.0, 0.06, tiny=120, calls=0, ext=20,  extlen=800),
-        profile!("string_match",   "Phoenix",   2.0, 18.0, 0.86, tiny=0,  calls=170, ext=300, extlen=6_500),
-        profile!("linear_regression", "Phoenix", 6.7, 37.0, 0.78, tiny=0, calls=620, ext=280, extlen=6_000),
-        profile!("word_count",     "Phoenix",   2.4, 30.0, 1.11, tiny=0,  calls=210, ext=350, extlen=8_200),
-        profile!("blackscholes",   "Parsec",    4.0, 10.0, 1.14, tiny=0,  calls=360, ext=350, extlen=8_300),
-        profile!("fluidanimate",   "Parsec",    1.3, 2.0,  0.04, tiny=0,  calls=100, ext=10,  extlen=900),
-        profile!("swapoptions",    "Parsec",    2.2, 24.0, 0.86, tiny=0,  calls=185, ext=300, extlen=6_500),
-        profile!("canneal",        "Parsec",    1.5, 34.0, 0.02, tiny=0,  calls=120, ext=0,   extlen=1),
-        profile!("streamcluster",  "Parsec",   -2.1, 6.0,  0.08, tiny=98, calls=0,  ext=25,  extlen=900),
-        profile!("dedup",          "Parsec",    0.4, 4.0,  1.2,  tiny=15, calls=40, ext=370, extlen=8_500),
+        profile!(
+            "water-nsquared",
+            "Splash-2",
+            -0.3,
+            3.0,
+            0.24,
+            tiny = 30,
+            calls = 0,
+            ext = 150,
+            extlen = 2_500
+        ),
+        profile!(
+            "water-spatial",
+            "Splash-2",
+            -0.6,
+            4.0,
+            0.23,
+            tiny = 45,
+            calls = 0,
+            ext = 140,
+            extlen = 2_500
+        ),
+        profile!(
+            "ocean-cp",
+            "Splash-2",
+            0.1,
+            10.0,
+            1.8,
+            tiny = 25,
+            calls = 20,
+            ext = 400,
+            extlen = 12_000
+        ),
+        profile!(
+            "ocean-ncp",
+            "Splash-2",
+            1.0,
+            6.0,
+            1.1,
+            tiny = 0,
+            calls = 40,
+            ext = 350,
+            extlen = 8_000
+        ),
+        profile!(
+            "volrend",
+            "Splash-2",
+            0.5,
+            13.0,
+            0.47,
+            tiny = 10,
+            calls = 25,
+            ext = 250,
+            extlen = 3_900
+        ),
+        profile!(
+            "fmm",
+            "Splash-2",
+            0.4,
+            -2.0,
+            0.11,
+            tiny = 10,
+            calls = 15,
+            ext = 100,
+            extlen = 1_500
+        ),
+        profile!(
+            "raytrace",
+            "Splash-2",
+            -0.2,
+            4.0,
+            0.03,
+            tiny = 28,
+            calls = 0,
+            ext = 0,
+            extlen = 1
+        ),
+        profile!(
+            "radix",
+            "Splash-2",
+            0.9,
+            4.0,
+            0.56,
+            tiny = 0,
+            calls = 30,
+            ext = 250,
+            extlen = 4_700
+        ),
+        profile!(
+            "fft",
+            "Splash-2",
+            1.2,
+            1.0,
+            0.63,
+            tiny = 0,
+            calls = 60,
+            ext = 260,
+            extlen = 5_200
+        ),
+        profile!(
+            "lu-c",
+            "Splash-2",
+            4.6,
+            13.0,
+            0.63,
+            tiny = 0,
+            calls = 420,
+            ext = 250,
+            extlen = 5_200
+        ),
+        profile!(
+            "lu-nc",
+            "Splash-2",
+            -3.7,
+            23.0,
+            0.58,
+            tiny = 160,
+            calls = 0,
+            ext = 240,
+            extlen = 4_800
+        ),
+        profile!(
+            "cholesky",
+            "Splash-2",
+            -2.9,
+            29.0,
+            0.86,
+            tiny = 125,
+            calls = 0,
+            ext = 300,
+            extlen = 6_500
+        ),
+        profile!(
+            "histogram",
+            "Phoenix",
+            1.6,
+            20.0,
+            0.57,
+            tiny = 0,
+            calls = 130,
+            ext = 250,
+            extlen = 4_700
+        ),
+        profile!(
+            "kmeans",
+            "Phoenix",
+            -0.3,
+            3.0,
+            1.0,
+            tiny = 33,
+            calls = 0,
+            ext = 330,
+            extlen = 7_500
+        ),
+        profile!(
+            "pca",
+            "Phoenix",
+            -2.7,
+            25.0,
+            0.06,
+            tiny = 120,
+            calls = 0,
+            ext = 20,
+            extlen = 800
+        ),
+        profile!(
+            "string_match",
+            "Phoenix",
+            2.0,
+            18.0,
+            0.86,
+            tiny = 0,
+            calls = 170,
+            ext = 300,
+            extlen = 6_500
+        ),
+        profile!(
+            "linear_regression",
+            "Phoenix",
+            6.7,
+            37.0,
+            0.78,
+            tiny = 0,
+            calls = 620,
+            ext = 280,
+            extlen = 6_000
+        ),
+        profile!(
+            "word_count",
+            "Phoenix",
+            2.4,
+            30.0,
+            1.11,
+            tiny = 0,
+            calls = 210,
+            ext = 350,
+            extlen = 8_200
+        ),
+        profile!(
+            "blackscholes",
+            "Parsec",
+            4.0,
+            10.0,
+            1.14,
+            tiny = 0,
+            calls = 360,
+            ext = 350,
+            extlen = 8_300
+        ),
+        profile!(
+            "fluidanimate",
+            "Parsec",
+            1.3,
+            2.0,
+            0.04,
+            tiny = 0,
+            calls = 100,
+            ext = 10,
+            extlen = 900
+        ),
+        profile!(
+            "swapoptions",
+            "Parsec",
+            2.2,
+            24.0,
+            0.86,
+            tiny = 0,
+            calls = 185,
+            ext = 300,
+            extlen = 6_500
+        ),
+        profile!(
+            "canneal",
+            "Parsec",
+            1.5,
+            34.0,
+            0.02,
+            tiny = 0,
+            calls = 120,
+            ext = 0,
+            extlen = 1
+        ),
+        profile!(
+            "streamcluster",
+            "Parsec",
+            -2.1,
+            6.0,
+            0.08,
+            tiny = 98,
+            calls = 0,
+            ext = 25,
+            extlen = 900
+        ),
+        profile!(
+            "dedup",
+            "Parsec",
+            0.4,
+            4.0,
+            1.2,
+            tiny = 15,
+            calls = 40,
+            ext = 370,
+            extlen = 8_500
+        ),
     ]
 }
 

@@ -225,7 +225,10 @@ mod tests {
 
     #[test]
     fn function_entry_gets_probe() {
-        let p = instrument(&prog(vec![Segment::Straight(10)]), &PassConfig::concord_worker());
+        let p = instrument(
+            &prog(vec![Segment::Straight(10)]),
+            &PassConfig::concord_worker(),
+        );
         assert_eq!(p.functions[0].body[0], ISeg::Probe);
     }
 

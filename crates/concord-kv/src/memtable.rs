@@ -89,12 +89,14 @@ impl MemTable {
 
     /// Inserts a live value at sequence `seq`.
     pub fn put(&mut self, key: Bytes, seq: u64, value: Bytes) {
-        self.index.insert(InternalKey::new(key, seq), Slot::Value(value));
+        self.index
+            .insert(InternalKey::new(key, seq), Slot::Value(value));
     }
 
     /// Inserts a tombstone at sequence `seq`.
     pub fn delete(&mut self, key: Bytes, seq: u64) {
-        self.index.insert(InternalKey::new(key, seq), Slot::Tombstone);
+        self.index
+            .insert(InternalKey::new(key, seq), Slot::Tombstone);
     }
 
     /// Looks up `key` as of `at_seq`: `None` = unknown here (check older
@@ -127,7 +129,9 @@ impl MemTable {
     /// In-order iterator over all versions: `(user_key, seq, slot)`,
     /// newest-first within each user key.
     pub fn iter_versions(&self) -> impl Iterator<Item = (&Bytes, u64, Slot)> + '_ {
-        self.index.iter().map(|(k, v)| (&k.user, k.seq(), v.clone()))
+        self.index
+            .iter()
+            .map(|(k, v)| (&k.user, k.seq(), v.clone()))
     }
 
     /// All versions with `user_key >= from`, as of any sequence.
@@ -222,8 +226,7 @@ mod tests {
         m.put(b("b"), 2, b("b2"));
         m.put(b("a"), 3, b("a3"));
         m.put(b("a"), 1, b("a1"));
-        let items: Vec<(Bytes, u64)> =
-            m.iter_versions().map(|(k, s, _)| (k.clone(), s)).collect();
+        let items: Vec<(Bytes, u64)> = m.iter_versions().map(|(k, s, _)| (k.clone(), s)).collect();
         assert_eq!(items, vec![(b("a"), 3), (b("a"), 1), (b("b"), 2)]);
     }
 
@@ -232,9 +235,15 @@ mod tests {
         let mut m = MemTable::new();
         m.put(b("a"), 1, b("x"));
         m.put(b("c"), 2, b("y"));
-        let keys: Vec<Bytes> = m.range_versions_from(b"b").map(|(k, _, _)| k.clone()).collect();
+        let keys: Vec<Bytes> = m
+            .range_versions_from(b"b")
+            .map(|(k, _, _)| k.clone())
+            .collect();
         assert_eq!(keys, vec![b("c")]);
-        let keys: Vec<Bytes> = m.range_versions_from(b"a").map(|(k, _, _)| k.clone()).collect();
+        let keys: Vec<Bytes> = m
+            .range_versions_from(b"a")
+            .map(|(k, _, _)| k.clone())
+            .collect();
         assert_eq!(keys, vec![b("a"), b("c")]);
     }
 

@@ -53,8 +53,11 @@ impl PartialOrd for HeapItem {
 impl Ord for HeapItem {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert for (key asc, rev_seq asc, age asc).
-        (other.key.as_ref(), other.rev_seq, other.age)
-            .cmp(&(self.key.as_ref(), self.rev_seq, self.age))
+        (other.key.as_ref(), other.rev_seq, other.age).cmp(&(
+            self.key.as_ref(),
+            self.rev_seq,
+            self.age,
+        ))
     }
 }
 
@@ -195,12 +198,22 @@ mod tests {
             src(1, vec![("a", 3, Some("a3")), ("c", 1, Some("c1"))]),
         ]);
         let got: Vec<(Bytes, u64)> = m.map(|(k, s, _)| (k, s)).collect();
-        assert_eq!(got, vec![(b("a"), 5), (b("a"), 3), (b("b"), 2), (b("c"), 1)]);
+        assert_eq!(
+            got,
+            vec![(b("a"), 5), (b("a"), 3), (b("b"), 2), (b("c"), 1)]
+        );
     }
 
     #[test]
     fn visible_picks_newest_at_or_below_snapshot() {
-        let sources = vec![src(0, vec![("k", 9, Some("v9")), ("k", 4, Some("v4")), ("k", 1, Some("v1"))])];
+        let sources = vec![src(
+            0,
+            vec![
+                ("k", 9, Some("v9")),
+                ("k", 4, Some("v4")),
+                ("k", 1, Some("v1")),
+            ],
+        )];
         assert_eq!(visible(sources, 5), vec![(b("k"), b("v4"))]);
     }
 
@@ -246,7 +259,10 @@ mod tests {
             src(1, vec![("k", 5, None)]),
             src(2, vec![("k", 2, Some("v2")), ("z", 1, Some("zz"))]),
         ];
-        assert_eq!(visible(sources, u64::MAX), vec![(b("k"), b("v9")), (b("z"), b("zz"))]);
+        assert_eq!(
+            visible(sources, u64::MAX),
+            vec![(b("k"), b("v9")), (b("z"), b("zz"))]
+        );
         let sources = vec![
             src(0, vec![("k", 9, Some("v9"))]),
             src(1, vec![("k", 5, None)]),
@@ -257,7 +273,10 @@ mod tests {
 
     #[test]
     fn empty_sources_are_fine() {
-        assert_eq!(visible(vec![src(0, vec![]), src(1, vec![])], u64::MAX), vec![]);
+        assert_eq!(
+            visible(vec![src(0, vec![]), src(1, vec![])], u64::MAX),
+            vec![]
+        );
         assert_eq!(visible(vec![], u64::MAX), vec![]);
     }
 }

@@ -91,7 +91,7 @@ impl<K: Ord + Weigh, V: Weigh> SkipList<K, V> {
             self.rng ^= self.rng << 13;
             self.rng ^= self.rng >> 7;
             self.rng ^= self.rng << 17;
-            if h >= MAX_HEIGHT || (self.rng % u64::from(BRANCHING)) != 0 {
+            if h >= MAX_HEIGHT || !self.rng.is_multiple_of(u64::from(BRANCHING)) {
                 return h;
             }
             h += 1;
@@ -125,6 +125,7 @@ impl<K: Ord + Weigh, V: Weigh> SkipList<K, V> {
 
     /// Inserts or replaces `key` → `value`. Returns the previous value if
     /// the key existed.
+    #[allow(clippy::needless_range_loop)] // `level` indexes several arrays
     pub fn insert(&mut self, key: K, value: V) -> Option<V> {
         let (prev, candidate) = self.find(&key);
         if candidate != NIL && self.arena[candidate as usize].key == key {
@@ -289,7 +290,9 @@ mod tests {
         // Pseudo-random but deterministic key order.
         let mut x: u64 = 12345;
         for _ in 0..10_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let key = format!("key{:06}", x % 50_000);
             let val = format!("val{x}");
             l.insert(b(&key), b(&val));
@@ -325,7 +328,11 @@ mod tests {
         }
         // With p = 1/4 the expected max height over 10k inserts is ~7-8;
         // it must exceed 1 and stay within the cap.
-        assert!(l.height > 3 && l.height <= MAX_HEIGHT, "height={}", l.height);
+        assert!(
+            l.height > 3 && l.height <= MAX_HEIGHT,
+            "height={}",
+            l.height
+        );
     }
 
     #[test]

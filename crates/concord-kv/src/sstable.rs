@@ -106,9 +106,7 @@ impl SsTable {
             Err(i) => self.sparse[i - 1].1,
         };
         let end = (block + INDEX_STRIDE).min(self.entries.len());
-        block
-            + self.entries[block..end]
-                .partition_point(|e| e.internal_key() < *probe)
+        block + self.entries[block..end].partition_point(|e| e.internal_key() < *probe)
     }
 
     /// Point lookup as of `at_seq`: the newest version of `key` with
@@ -171,7 +169,10 @@ mod tests {
         let t = table(&refs);
         for k in &keys {
             let got = t.get(k.as_bytes(), u64::MAX).expect("present");
-            assert_eq!(got.live().map(|v| v.as_ref()), Some(format!("v-{k}").as_bytes()));
+            assert_eq!(
+                got.live().map(|v| v.as_ref()),
+                Some(format!("v-{k}").as_bytes())
+            );
         }
     }
 
@@ -186,9 +187,21 @@ mod tests {
     #[test]
     fn versioned_get_respects_sequence() {
         let entries = vec![
-            Entry { key: b("k"), seq: 9, slot: Slot::Value(b("v9")) },
-            Entry { key: b("k"), seq: 4, slot: Slot::Tombstone },
-            Entry { key: b("k"), seq: 2, slot: Slot::Value(b("v2")) },
+            Entry {
+                key: b("k"),
+                seq: 9,
+                slot: Slot::Value(b("v9")),
+            },
+            Entry {
+                key: b("k"),
+                seq: 4,
+                slot: Slot::Tombstone,
+            },
+            Entry {
+                key: b("k"),
+                seq: 2,
+                slot: Slot::Value(b("v2")),
+            },
         ];
         let t = SsTable::from_sorted(entries);
         assert_eq!(t.get(b"k", 1), None);

@@ -670,7 +670,11 @@ mod tests {
             db.put(format!("more{i}").into_bytes(), b"x".to_vec());
         }
         assert!(db.stats().compactions > 0);
-        assert_eq!(snap.get(b"k").as_deref(), Some(&b"old"[..]), "pinned version survives");
+        assert_eq!(
+            snap.get(b"k").as_deref(),
+            Some(&b"old"[..]),
+            "pinned version survives"
+        );
         assert_eq!(db.get(b"k").as_deref(), Some(&b"new"[..]));
     }
 
@@ -757,7 +761,9 @@ mod tests {
         db.put(b"a".to_vec(), b"0".to_vec());
         let before = db.snapshot();
         let mut batch = WriteBatch::new();
-        batch.put(b"a".to_vec(), b"1".to_vec()).put(b"b".to_vec(), b"1".to_vec());
+        batch
+            .put(b"a".to_vec(), b"1".to_vec())
+            .put(b"b".to_vec(), b"1".to_vec());
         db.write(batch);
         let after = db.snapshot();
         assert_eq!(before.get(b"a").as_deref(), Some(&b"0"[..]));
@@ -790,7 +796,11 @@ mod tests {
             batch.put(format!("k{i}").into_bytes(), b"v".to_vec());
         }
         db.write(batch);
-        assert_eq!(counter.0.load(Ordering::SeqCst), 1, "one acquisition for 50 writes");
+        assert_eq!(
+            counter.0.load(Ordering::SeqCst),
+            1,
+            "one acquisition for 50 writes"
+        );
     }
 
     #[test]
@@ -824,7 +834,11 @@ mod tests {
         drop(snap);
         db.delete(b"a".to_vec());
         db.flush();
-        assert_eq!(counter.depth.load(Ordering::SeqCst), 0, "unbalanced lock events");
+        assert_eq!(
+            counter.depth.load(Ordering::SeqCst),
+            0,
+            "unbalanced lock events"
+        );
         assert!(counter.events.load(Ordering::SeqCst) >= 6);
         assert_eq!(counter.max.load(Ordering::SeqCst), 1);
     }

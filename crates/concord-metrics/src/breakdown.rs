@@ -1,0 +1,177 @@
+//! Per-request latency breakdown: where did the time go?
+//!
+//! The runtime's telemetry layer decomposes each request's sojourn into
+//! *queueing delay* (ingest → first execution) and *service time* (sum of
+//! executed slice durations); this module bundles the three distributions —
+//! queueing, service, sojourn — plus the paper's slowdown metric into one
+//! recordable, mergeable unit with the tail accessors every report needs.
+//!
+//! # Examples
+//!
+//! ```
+//! use concord_metrics::LatencyBreakdown;
+//!
+//! let mut b = LatencyBreakdown::new();
+//! b.record(2_000, 10_000, 12_000, 10_000); // 2µs queued, 10µs served
+//! assert_eq!(b.len(), 1);
+//! assert_eq!(b.queueing_ns(0.50), 2_000);
+//! assert!((b.slowdown(0.50) - 1.2).abs() < 0.01);
+//! ```
+
+use crate::{percentile_line, Histogram, SlowdownTracker};
+use serde::{Deserialize, Serialize};
+
+/// Queueing / service / sojourn distributions of one request population.
+///
+/// All values are nanoseconds. Recording is three O(1) histogram inserts
+/// plus one fixed-point slowdown insert; cloning snapshots the counts.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LatencyBreakdown {
+    /// Ingest → first execution.
+    pub queueing: Histogram,
+    /// Sum of executed slice durations (measured, not nominal).
+    pub service: Histogram,
+    /// Ingest → completion.
+    pub sojourn: Histogram,
+    /// Sojourn divided by *nominal* service time (the paper's §5.1 metric).
+    pub slowdown: SlowdownTracker,
+}
+
+impl LatencyBreakdown {
+    /// Creates an empty breakdown at 3 significant figures.
+    pub fn new() -> Self {
+        Self {
+            queueing: Histogram::new(3),
+            service: Histogram::new(3),
+            sojourn: Histogram::new(3),
+            slowdown: SlowdownTracker::new(),
+        }
+    }
+
+    /// Records one completed request.
+    ///
+    /// `nominal_ns` is the un-instrumented service time used as the
+    /// slowdown denominator; pass the measured `service_ns` when no
+    /// nominal time exists (slowdown then reflects queueing alone).
+    pub fn record(&mut self, queue_ns: u64, service_ns: u64, sojourn_ns: u64, nominal_ns: u64) {
+        // The histogram tracks [1, max]; zero (sub-nanosecond queueing on
+        // an idle worker) clamps up to 1 ns rather than being dropped.
+        self.queueing.record(queue_ns.max(1));
+        self.service.record(service_ns.max(1));
+        self.sojourn.record(sojourn_ns.max(1));
+        self.slowdown.record(nominal_ns, sojourn_ns);
+    }
+
+    /// Number of requests recorded.
+    pub fn len(&self) -> u64 {
+        self.sojourn.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.sojourn.is_empty()
+    }
+
+    /// Queueing delay at quantile `q` (0.0..=1.0), nanoseconds.
+    pub fn queueing_ns(&self, q: f64) -> u64 {
+        self.queueing.value_at_quantile(q)
+    }
+
+    /// Service time at quantile `q` (0.0..=1.0), nanoseconds.
+    pub fn service_ns(&self, q: f64) -> u64 {
+        self.service.value_at_quantile(q)
+    }
+
+    /// Sojourn time at quantile `q` (0.0..=1.0), nanoseconds.
+    pub fn sojourn_ns(&self, q: f64) -> u64 {
+        self.sojourn.value_at_quantile(q)
+    }
+
+    /// Slowdown at quantile `q` (0.0..=1.0).
+    pub fn slowdown(&self, q: f64) -> f64 {
+        self.slowdown.at_quantile(q)
+    }
+
+    /// Merges another breakdown into this one.
+    pub fn merge(&mut self, other: &LatencyBreakdown) {
+        self.queueing.merge(&other.queueing);
+        self.service.merge(&other.service);
+        self.sojourn.merge(&other.sojourn);
+        self.slowdown.merge(&other.slowdown);
+    }
+
+    /// Clears all distributions.
+    pub fn clear(&mut self) {
+        self.queueing.clear();
+        self.service.clear();
+        self.sojourn.clear();
+        self.slowdown.clear();
+    }
+
+    /// Renders a compact human-readable report (one line per dimension).
+    pub fn render(&self) -> String {
+        format!(
+            "queueing  {}\nservice   {}\nsojourn   {}\nslowdown  p50={:.2}x p99={:.2}x p99.9={:.2}x\n",
+            percentile_line(&self.queueing, 1_000.0, "us"),
+            percentile_line(&self.service, 1_000.0, "us"),
+            percentile_line(&self.sojourn, 1_000.0, "us"),
+            self.slowdown(0.50),
+            self.slowdown(0.99),
+            self.slowdown(0.999),
+        )
+    }
+}
+
+impl Default for LatencyBreakdown {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_populates_every_dimension() {
+        let mut b = LatencyBreakdown::new();
+        for i in 1..=100u64 {
+            b.record(i * 100, i * 1_000, i * 1_100, i * 1_000);
+        }
+        assert_eq!(b.len(), 100);
+        assert_eq!(b.queueing.len(), 100);
+        assert_eq!(b.service.len(), 100);
+        assert_eq!(b.slowdown.len(), 100);
+        assert!(b.queueing_ns(0.99) >= b.queueing_ns(0.50));
+        assert!(b.sojourn_ns(0.50) >= b.service_ns(0.50));
+    }
+
+    #[test]
+    fn zero_values_clamp_instead_of_vanishing() {
+        let mut b = LatencyBreakdown::new();
+        b.record(0, 0, 0, 0);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.queueing_ns(0.50), 1);
+    }
+
+    #[test]
+    fn merge_combines_populations() {
+        let mut a = LatencyBreakdown::new();
+        let mut b = LatencyBreakdown::new();
+        a.record(100, 1_000, 1_100, 1_000);
+        b.record(200, 2_000, 2_200, 2_000);
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.queueing.len(), 2);
+    }
+
+    #[test]
+    fn render_mentions_every_dimension() {
+        let mut b = LatencyBreakdown::new();
+        b.record(1_000, 10_000, 11_000, 10_000);
+        let out = b.render();
+        for needle in ["queueing", "service", "sojourn", "slowdown", "p99.9"] {
+            assert!(out.contains(needle), "missing {needle} in {out}");
+        }
+    }
+}

@@ -87,7 +87,10 @@ pub fn find_capacity<F>(cfg: &CapacitySearch, mut measure: F) -> Option<Capacity
 where
     F: FnMut(f64) -> f64,
 {
-    assert!(cfg.min_load > 0.0 && cfg.max_load > cfg.min_load, "invalid load range");
+    assert!(
+        cfg.min_load > 0.0 && cfg.max_load > cfg.min_load,
+        "invalid load range"
+    );
     let mut probes = 0u32;
     let mut probe = |load: f64, probes: &mut u32| -> f64 {
         *probes += 1;
@@ -155,10 +158,16 @@ mod tests {
 
     #[test]
     fn finds_the_slo_crossing() {
-        let cfg = CapacitySearch::new(1.0, 1000.0).with_slo(50.0).with_tolerance(0.005);
+        let cfg = CapacitySearch::new(1.0, 1000.0)
+            .with_slo(50.0)
+            .with_tolerance(0.005);
         let r = find_capacity(&cfg, mm1_tail(500.0)).unwrap();
         // 5/(1-x/500)=50 => x=450.
-        assert!((r.capacity - 450.0).abs() / 450.0 < 0.02, "capacity={}", r.capacity);
+        assert!(
+            (r.capacity - 450.0).abs() / 450.0 < 0.02,
+            "capacity={}",
+            r.capacity
+        );
         assert!(r.tail_at_capacity <= 50.0);
     }
 

@@ -124,7 +124,10 @@ mod tests {
         let chart = ascii_chart(&h, 1.0, "ns", 20);
         let total: f64 = chart
             .lines()
-            .filter_map(|l| l.rsplit_once('|').map(|(_, p)| p.trim().trim_end_matches('%')))
+            .filter_map(|l| {
+                l.rsplit_once('|')
+                    .map(|(_, p)| p.trim().trim_end_matches('%'))
+            })
             .filter_map(|p| p.trim().parse::<f64>().ok())
             .sum();
         assert!((total - 100.0).abs() < 1.5, "total={total}");

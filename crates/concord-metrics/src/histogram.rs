@@ -28,7 +28,9 @@ pub struct Histogram {
     sub_bucket_count_magnitude: u32,
     /// Half the sub-bucket count; the linear region of every bucket > 0.
     sub_bucket_half_count: usize,
-    /// Number of exponential buckets.
+    /// Number of exponential buckets. Retained (and serialized) as a
+    /// geometry descriptor even though lookups derive indices directly.
+    #[allow(dead_code)]
     bucket_count: usize,
     /// Highest trackable value; larger values are clamped and counted in
     /// [`Histogram::clamped`].
@@ -229,7 +231,9 @@ impl Histogram {
         for (i, &c) in self.counts.iter().enumerate() {
             cumulative += c;
             if cumulative >= target {
-                return self.highest_equivalent(self.value_for_index(i)).min(self.max);
+                return self
+                    .highest_equivalent(self.value_for_index(i))
+                    .min(self.max);
             }
         }
         self.max
@@ -264,7 +268,8 @@ impl Histogram {
 
     fn bucket_index(&self, value: u64) -> usize {
         // Index of the highest set bit, relative to the sub-bucket range.
-        let pow2ceiling = 64 - (value | ((1 << self.sub_bucket_count_magnitude) - 1)).leading_zeros();
+        let pow2ceiling =
+            64 - (value | ((1 << self.sub_bucket_count_magnitude) - 1)).leading_zeros();
         (pow2ceiling - self.sub_bucket_count_magnitude) as usize
     }
 

@@ -9,6 +9,8 @@
 //! - [`Summary`] — streaming mean/variance/min/max (Welford's algorithm).
 //! - [`SlowdownTracker`] — records request *slowdown* (sojourn time divided
 //!   by un-instrumented service time), the paper's primary metric (§5.1).
+//! - [`LatencyBreakdown`] — the runtime telemetry bundle: queueing, service
+//!   and sojourn histograms plus slowdown, with tail accessors.
 //! - [`capacity`] — searches for the maximum sustainable load under a tail
 //!   slowdown SLO, i.e. the "x-axis crossing" that the paper's throughput
 //!   claims (18%, 52%, 83%, ...) are derived from.
@@ -32,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod breakdown;
 pub mod capacity;
 pub mod display;
 pub mod histogram;
@@ -40,6 +43,7 @@ pub mod slowdown;
 pub mod summary;
 pub mod throughput;
 
+pub use breakdown::LatencyBreakdown;
 pub use capacity::{find_capacity, CapacityResult, CapacitySearch};
 pub use display::{ascii_chart, percentile_line};
 pub use histogram::Histogram;

@@ -42,7 +42,10 @@ impl Series {
         if x >= last.0 {
             return Some(last.1);
         }
-        let idx = self.points.windows(2).position(|w| w[0].0 <= x && x <= w[1].0)?;
+        let idx = self
+            .points
+            .windows(2)
+            .position(|w| w[0].0 <= x && x <= w[1].0)?;
         let (x0, y0) = self.points[idx];
         let (x1, y1) = self.points[idx + 1];
         if x1 == x0 {
@@ -221,7 +224,9 @@ mod tests {
         assert!(text.contains("ramp"));
         assert!(text.contains("other"));
         // The "other" series has no point at x=50 → dash.
-        assert!(text.lines().any(|l| l.contains("50.000") && l.contains('-')));
+        assert!(text
+            .lines()
+            .any(|l| l.contains("50.000") && l.contains('-')));
     }
 
     #[test]

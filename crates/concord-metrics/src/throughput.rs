@@ -124,7 +124,7 @@ mod tests {
     #[test]
     fn sustained_rate_is_min_over_best_run() {
         let mut t = ThroughputTracker::new(100, 100.0); // rate == count
-        // Window counts: 10, 50, 60, 55, 5.
+                                                        // Window counts: 10, 50, 60, 55, 5.
         for (w, n) in [(0u64, 10u64), (1, 50), (2, 60), (3, 55), (4, 5)] {
             for i in 0..n {
                 t.record(w * 100 + i % 100);
@@ -154,7 +154,11 @@ mod tests {
         for i in 0..1_000 {
             t.record(i * 2_000); // 1000 events in the first ms
         }
-        assert!((t.window_rate(0) - 1_000_000.0).abs() < 1.0, "{}", t.window_rate(0));
+        assert!(
+            (t.window_rate(0) - 1_000_000.0).abs() < 1.0,
+            "{}",
+            t.window_rate(0)
+        );
     }
 
     #[test]

@@ -282,7 +282,14 @@ mod tests {
         let (resp_tx, resp_rx) = ring::<Response>(64);
         let server = echo_server(req_rx, resp_tx, 100);
         let gen = LoadGen::start(req_tx, mix::fixed_1us(), 50_000.0, 100, 3);
-        let mut c = Collector::new(resp_rx, RttModel { base_ns: 1_000_000, jitter_ns: 0 }, 3);
+        let mut c = Collector::new(
+            resp_rx,
+            RttModel {
+                base_ns: 1_000_000,
+                jitter_ns: 0,
+            },
+            3,
+        );
         assert!(c.collect(100, Duration::from_secs(20)));
         gen.join();
         server.join().expect("server");

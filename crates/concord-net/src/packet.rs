@@ -30,10 +30,17 @@ pub struct Response {
     pub sent_at: Instant,
     /// When the server finished the request.
     pub finished_at: Instant,
+    /// Server-measured queueing delay (ingest → first execution),
+    /// nanoseconds. Zero when the serving path doesn't measure it.
+    pub queue_ns: u64,
+    /// Server-measured busy time (sum of executed slice durations),
+    /// nanoseconds. Zero when the serving path doesn't measure it.
+    pub busy_ns: u64,
 }
 
 impl Response {
-    /// Builds the response for a completed request.
+    /// Builds the response for a completed request (no server-side
+    /// lifecycle measurements; the runtime fills those from task stamps).
     pub fn completed(req: &Request) -> Self {
         Self {
             id: req.id,
@@ -41,6 +48,8 @@ impl Response {
             service_ns: req.service_ns,
             sent_at: req.sent_at,
             finished_at: Instant::now(),
+            queue_ns: 0,
+            busy_ns: 0,
         }
     }
 
@@ -69,6 +78,8 @@ mod tests {
         assert_eq!(resp.class, 3);
         assert_eq!(resp.service_ns, 1_000);
         assert!(resp.finished_at >= resp.sent_at);
+        assert_eq!(resp.queue_ns, 0, "no runtime measurements on this path");
+        assert_eq!(resp.busy_ns, 0);
     }
 
     #[test]

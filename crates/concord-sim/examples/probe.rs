@@ -16,7 +16,11 @@ fn main() {
         println!("== {}", cfg.name);
         for frac in [0.2, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9] {
             let rate = frac * cap;
-            let r = simulate(&cfg, mix::bimodal_995_05_05_500(), &SimParams::new(rate, 60_000, 42));
+            let r = simulate(
+                &cfg,
+                mix::bimodal_995_05_05_500(),
+                &SimParams::new(rate, 60_000, 42),
+            );
             println!(
                 "  load {:.0}k ({:.0}%): p50={:.1} p999={:.1} censored={} disp_util={:.2} preempt={}",
                 rate / 1e3,

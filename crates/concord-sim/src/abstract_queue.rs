@@ -76,8 +76,14 @@ fn standard_normal(rng: &mut SmallRng) -> f64 {
 
 #[derive(Clone, Copy, Debug)]
 enum Event {
-    Arrival { req: usize },
-    SliceEnd { server: usize, epoch: u64, preempt: bool },
+    Arrival {
+        req: usize,
+    },
+    SliceEnd {
+        server: usize,
+        epoch: u64,
+        preempt: bool,
+    },
 }
 
 struct Job {
@@ -124,8 +130,8 @@ pub fn run<W: Workload>(
     let mut tracker = SlowdownTracker::new();
 
     let push_arrival = |jobs: &mut Vec<Job>,
-                            events: &mut EventQueue<Event>,
-                            gen: &mut TraceGenerator<Poisson, W>| {
+                        events: &mut EventQueue<Event>,
+                        gen: &mut TraceGenerator<Poisson, W>| {
         let a = gen.next_arrival();
         let id = jobs.len();
         jobs.push(Job {
@@ -139,6 +145,7 @@ pub fn run<W: Workload>(
     let mut arrivals_left = requests - 1;
 
     // Starting a slice on `server` for job `req` at time `now`.
+    #[allow(clippy::too_many_arguments)]
     fn start_slice(
         server: usize,
         req: usize,
@@ -182,12 +189,25 @@ pub fn run<W: Workload>(
                     arrivals_left -= 1;
                 }
                 if let Some(server) = idle.pop() {
-                    start_slice(server, req, now, &mut servers, &jobs, &model, &mut rng, &mut events);
+                    start_slice(
+                        server,
+                        req,
+                        now,
+                        &mut servers,
+                        &jobs,
+                        &model,
+                        &mut rng,
+                        &mut events,
+                    );
                 } else {
                     queue.push_back(req);
                 }
             }
-            Event::SliceEnd { server, epoch, preempt } => {
+            Event::SliceEnd {
+                server,
+                epoch,
+                preempt,
+            } => {
                 if servers[server].epoch != epoch {
                     continue;
                 }
@@ -208,7 +228,16 @@ pub fn run<W: Workload>(
                 }
                 servers[server].epoch += 1;
                 if let Some(next) = queue.pop_front() {
-                    start_slice(server, next, now, &mut servers, &jobs, &model, &mut rng, &mut events);
+                    start_slice(
+                        server,
+                        next,
+                        now,
+                        &mut servers,
+                        &jobs,
+                        &model,
+                        &mut rng,
+                        &mut events,
+                    );
                 } else {
                     idle.push(server);
                 }
@@ -249,7 +278,14 @@ mod tests {
         // The core Fig. 5 claim: with no preemption, short requests stuck
         // behind 500µs monsters blow the tail; precise PS keeps it low.
         let rate = 0.75 * capacity_rps();
-        let none = run(N, PreemptionModel::None, mix::bimodal_995_05_05_500(), rate, 60_000, 7);
+        let none = run(
+            N,
+            PreemptionModel::None,
+            mix::bimodal_995_05_05_500(),
+            rate,
+            60_000,
+            7,
+        );
         let precise = run(
             N,
             PreemptionModel::Precise { quantum_ns: 5_000 },
@@ -290,7 +326,12 @@ mod tests {
             7,
         );
         let ratio = fuzzy.p999() / precise.p999().max(1.0);
-        assert!(ratio < 2.0, "precise={} fuzzy={}", precise.p999(), fuzzy.p999());
+        assert!(
+            ratio < 2.0,
+            "precise={} fuzzy={}",
+            precise.p999(),
+            fuzzy.p999()
+        );
     }
 
     #[test]
@@ -305,7 +346,15 @@ mod tests {
             11,
         )
         .p999();
-        let none = run(N, PreemptionModel::None, mix::bimodal_995_05_05_500(), rate, 80_000, 11).p999();
+        let none = run(
+            N,
+            PreemptionModel::None,
+            mix::bimodal_995_05_05_500(),
+            rate,
+            80_000,
+            11,
+        )
+        .p999();
         assert!(p0 < none, "precise={p0} none={none}");
     }
 

@@ -67,7 +67,7 @@ pub fn notification_overhead(
 ) -> f64 {
     let s = cost.ns_to_cycles(s_ns);
     let q = cost.ns_to_cycles(q_ns);
-    let n_pre = if q == 0 { 0 } else { s / q };
+    let n_pre = s.checked_div(q).unwrap_or(0);
     let (c_proc, c_notif) = match mech {
         PreemptMechanism::None => (0.0, 0),
         PreemptMechanism::Ipi => (0.0, cost.ipi_recv),
@@ -90,7 +90,7 @@ pub fn preemption_overhead_full(
 ) -> f64 {
     let s = cost.ns_to_cycles(s_ns);
     let q = cost.ns_to_cycles(q_ns);
-    let n_pre = if q == 0 { 0 } else { s / q };
+    let n_pre = s.checked_div(q).unwrap_or(0);
     let (c_proc, notif, switch) = match mech {
         PreemptMechanism::None => (0.0, 0, 0),
         PreemptMechanism::Ipi => (0.0, cost.ipi_recv, cost.preemptive_switch),
@@ -110,7 +110,11 @@ pub fn preemption_overhead_full(
     } else {
         2 * cost.coherence_one_way + cost.disp_dispatch
     };
-    let pre = PreemptCosts { notif, switch, next };
+    let pre = PreemptCosts {
+        notif,
+        switch,
+        next,
+    };
     (c_proc * s as f64 + (n_pre * pre.total()) as f64) / s as f64
 }
 
@@ -139,7 +143,11 @@ mod tests {
         let c = cost();
         let posted = notification_overhead(PreemptMechanism::Ipi, &c, 5_000, 500_000);
         let linux = notification_overhead(PreemptMechanism::LinuxIpi, &c, 5_000, 500_000);
-        assert!((linux / posted - 2.0).abs() < 0.05, "ratio={}", linux / posted);
+        assert!(
+            (linux / posted - 2.0).abs() < 0.05,
+            "ratio={}",
+            linux / posted
+        );
     }
 
     #[test]
@@ -207,8 +215,10 @@ mod tests {
         let shinjuku = preemption_overhead_full(PreemptMechanism::Ipi, false, &c, 2_000, 500_000);
         let coop_sq = preemption_overhead_full(PreemptMechanism::Coop, false, &c, 2_000, 500_000);
         let concord = preemption_overhead_full(PreemptMechanism::Coop, true, &c, 2_000, 500_000);
-        assert!(shinjuku > coop_sq && coop_sq > concord,
-            "shinjuku={shinjuku} coop_sq={coop_sq} concord={concord}");
+        assert!(
+            shinjuku > coop_sq && coop_sq > concord,
+            "shinjuku={shinjuku} coop_sq={coop_sq} concord={concord}"
+        );
     }
 
     #[test]
@@ -221,14 +231,22 @@ mod tests {
 
     #[test]
     fn eq2_no_preemption_reduces_to_fin_term() {
-        let pre = PreemptCosts { notif: 0, switch: 0, next: 0 };
+        let pre = PreemptCosts {
+            notif: 0,
+            switch: 0,
+            next: 0,
+        };
         let o = overhead_worker(10_000, u64::MAX, 0.0, pre, 500);
         assert!((o - 0.05).abs() < 1e-12);
     }
 
     #[test]
     fn eq2_overhead_scales_inverse_to_quantum() {
-        let pre = PreemptCosts { notif: 1200, switch: 400, next: 400 };
+        let pre = PreemptCosts {
+            notif: 1200,
+            switch: 400,
+            next: 400,
+        };
         let s = 1_000_000;
         let a = overhead_worker(s, 4_000, 0.0, pre, 0);
         let b = overhead_worker(s, 8_000, 0.0, pre, 0);

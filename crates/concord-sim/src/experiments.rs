@@ -485,7 +485,10 @@ pub fn fig15(quanta_us: &[f64]) -> Table {
     let mechs = [
         ("User-space IPIs", PreemptMechanism::Uipi),
         ("rdtsc() instrumentation", PreemptMechanism::Rdtsc),
-        ("Concord's compiler-enforced cooperation", PreemptMechanism::Coop),
+        (
+            "Concord's compiler-enforced cooperation",
+            PreemptMechanism::Coop,
+        ),
     ];
     for (label, mech) in mechs {
         let mut s = Series::new(label);
@@ -541,7 +544,11 @@ pub fn discussion_logical_queue(fid: &Fidelity) -> Table {
     let mut central = Series::new("Concord (single dispatcher)");
     let cfg = SystemConfig::concord(PAPER_WORKERS, 5_000);
     for &rate in &loads {
-        let r = simulate(&cfg, mix::fixed_1us(), &SimParams::new(rate, fid.requests, fid.seed));
+        let r = simulate(
+            &cfg,
+            mix::fixed_1us(),
+            &SimParams::new(rate, fid.requests, fid.seed),
+        );
         central.push(rate / 1e3, r.p999_slowdown());
     }
     table.push(central);
@@ -678,7 +685,10 @@ mod tests {
         let cap = ideal_capacity_rps(4, wl.mean_service_ns());
         let cfg = SystemConfig::concord(4, 5_000);
         let r = capacity_at_slo(&cfg, mix::bimodal_50_1_50_100, 1.3 * cap, &tiny()).unwrap();
-        assert!(r.capacity > 0.3 * cap && r.capacity <= 1.3 * cap,
-            "capacity={} ideal={cap}", r.capacity);
+        assert!(
+            r.capacity > 0.3 * cap && r.capacity <= 1.3 * cap,
+            "capacity={} ideal={cap}",
+            r.capacity
+        );
     }
 }

@@ -79,8 +79,15 @@ impl LqResult {
 
 #[derive(Clone, Copy, Debug)]
 enum Event {
-    Arrival { req: usize, worker: usize },
-    SliceEnd { worker: usize, epoch: u64, preempt: bool },
+    Arrival {
+        req: usize,
+        worker: usize,
+    },
+    SliceEnd {
+        worker: usize,
+        epoch: u64,
+        preempt: bool,
+    },
 }
 
 struct Job {
@@ -138,30 +145,33 @@ pub fn simulate_lq<W: Workload>(
     let mut clock = 0u64;
 
     // Pre-generate nothing; pull arrivals lazily.
-    let push_arrival =
-        |jobs: &mut Vec<Job>, events: &mut EventQueue<Event>, gen: &mut TraceGenerator<Poisson, W>, i: u64| {
-            let a = gen.next_arrival();
-            let t = cost.ns_to_cycles(a.time_ns);
-            let id = jobs.len();
-            jobs.push(Job {
-                service: cost.ns_to_cycles(a.spec.service_ns).max(1),
-                remaining: cost.ns_to_cycles(a.spec.service_ns).max(1),
-                arrival: t,
-            });
-            // RSS spreading: round-robin across workers.
-            events.push(
-                t,
-                Event::Arrival {
-                    req: id,
-                    worker: (i % cfg.n_workers as u64) as usize,
-                },
-            );
-        };
+    let push_arrival = |jobs: &mut Vec<Job>,
+                        events: &mut EventQueue<Event>,
+                        gen: &mut TraceGenerator<Poisson, W>,
+                        i: u64| {
+        let a = gen.next_arrival();
+        let t = cost.ns_to_cycles(a.time_ns);
+        let id = jobs.len();
+        jobs.push(Job {
+            service: cost.ns_to_cycles(a.spec.service_ns).max(1),
+            remaining: cost.ns_to_cycles(a.spec.service_ns).max(1),
+            arrival: t,
+        });
+        // RSS spreading: round-robin across workers.
+        events.push(
+            t,
+            Event::Arrival {
+                req: id,
+                worker: (i % cfg.n_workers as u64) as usize,
+            },
+        );
+    };
     push_arrival(&mut jobs, &mut events, &mut gen, 0);
     let mut generated = 1u64;
 
     // Starts a slice of `req` on `worker` at `now` with startup cost
     // `extra` already included by the caller's timeline.
+    #[allow(clippy::too_many_arguments)]
     fn start_slice(
         worker: usize,
         req: usize,
@@ -216,26 +226,43 @@ pub fn simulate_lq<W: Workload>(
                 }
                 if workers[worker].running.is_none() {
                     workers[worker].queue.push_back(req);
-                    let next = workers[worker]
-                        .queue
-                        .pop_front()
-                        .expect("just pushed");
+                    let next = workers[worker].queue.pop_front().expect("just pushed");
                     start_slice(
-                        worker, next, now + pop_cost, &mut workers, &jobs, quantum, inflation,
-                        start_cost, probe_spacing, &mut events,
+                        worker,
+                        next,
+                        now + pop_cost,
+                        &mut workers,
+                        &jobs,
+                        quantum,
+                        inflation,
+                        start_cost,
+                        probe_spacing,
+                        &mut events,
                     );
                 } else if let Some(idle) = workers.iter().position(|w| w.running.is_none()) {
                     // An idle peer steals the new arrival immediately.
                     steals += 1;
                     start_slice(
-                        idle, req, now + steal_cost, &mut workers, &jobs, quantum, inflation,
-                        start_cost, probe_spacing, &mut events,
+                        idle,
+                        req,
+                        now + steal_cost,
+                        &mut workers,
+                        &jobs,
+                        quantum,
+                        inflation,
+                        start_cost,
+                        probe_spacing,
+                        &mut events,
                     );
                 } else {
                     workers[worker].queue.push_back(req);
                 }
             }
-            Event::SliceEnd { worker, epoch, preempt } => {
+            Event::SliceEnd {
+                worker,
+                epoch,
+                preempt,
+            } => {
                 if workers[worker].epoch != epoch {
                     continue;
                 }
@@ -262,8 +289,16 @@ pub fn simulate_lq<W: Workload>(
                 // Pop own queue, else steal from the longest peer.
                 if let Some(next) = workers[worker].queue.pop_front() {
                     start_slice(
-                        worker, next, now + next_start_extra, &mut workers, &jobs, quantum,
-                        inflation, start_cost, probe_spacing, &mut events,
+                        worker,
+                        next,
+                        now + next_start_extra,
+                        &mut workers,
+                        &jobs,
+                        quantum,
+                        inflation,
+                        start_cost,
+                        probe_spacing,
+                        &mut events,
                     );
                 } else {
                     let victim = (0..workers.len())
@@ -273,9 +308,16 @@ pub fn simulate_lq<W: Workload>(
                         if let Some(stolenreq) = workers[v].queue.pop_front() {
                             steals += 1;
                             start_slice(
-                                worker, stolenreq, now + next_start_extra + steal_cost,
-                                &mut workers, &jobs, quantum, inflation, start_cost,
-                                probe_spacing, &mut events,
+                                worker,
+                                stolenreq,
+                                now + next_start_extra + steal_cost,
+                                &mut workers,
+                                &jobs,
+                                quantum,
+                                inflation,
+                                start_cost,
+                                probe_spacing,
+                                &mut events,
                             );
                         }
                     }

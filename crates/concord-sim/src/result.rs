@@ -89,8 +89,7 @@ impl SimResult {
         if self.span_cycles == 0 {
             return 0.0;
         }
-        (self.dispatcher_sched_cycles + self.dispatcher_app_cycles) as f64
-            / self.span_cycles as f64
+        (self.dispatcher_sched_cycles + self.dispatcher_app_cycles) as f64 / self.span_cycles as f64
     }
 
     /// Median feed gap in microseconds (Fig. 3's per-request measure).

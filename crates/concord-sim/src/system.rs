@@ -62,14 +62,25 @@ enum Duty {
 }
 
 /// The operation the dispatcher is currently executing.
+///
+/// `Duties` dominates the size on purpose — see [`MAX_DUTY_BATCH`].
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Copy, Debug)]
 enum DispOp {
-    Signal { worker: usize, epoch: u64 },
-    Dispatch { worker: usize, req: ReqId },
+    Signal {
+        worker: usize,
+        epoch: u64,
+    },
+    Dispatch {
+        worker: usize,
+        req: ReqId,
+    },
     /// One batched run of bookkeeping duties (1..=dispatcher_batch of them).
     Duties([Option<Duty>; MAX_DUTY_BATCH]),
     /// One slice of stolen application work (work-conserving dispatcher).
-    Slice { wall: u64 },
+    Slice {
+        wall: u64,
+    },
 }
 
 /// Upper bound on duty batching (keeps `DispOp` `Copy` and allocation-free).
@@ -198,26 +209,22 @@ struct Sim<'a> {
 
 /// Runs one simulation of `cfg` serving `workload` under `params`.
 pub fn simulate<W: Workload>(cfg: &SystemConfig, workload: W, params: &SimParams) -> SimResult {
-    let mut gen = TraceGenerator::new(
-        Poisson::with_rate(params.rate_rps),
-        workload,
-        params.seed,
-    );
+    let mut gen = TraceGenerator::new(Poisson::with_rate(params.rate_rps), workload, params.seed);
     let arrivals = Box::new(std::iter::from_fn(move || Some(gen.next_arrival())));
-    run_simulation(cfg, arrivals, params.requests, params.warmup_frac, params.rate_rps)
+    run_simulation(
+        cfg,
+        arrivals,
+        params.requests,
+        params.warmup_frac,
+        params.rate_rps,
+    )
 }
 
 /// Replays a [`RecordedTrace`] through the system — every compared system
 /// sees the *identical* request sequence, arrival times included.
 pub fn simulate_recorded(cfg: &SystemConfig, trace: &RecordedTrace) -> SimResult {
     let arrivals = Box::new(trace.iter().copied());
-    run_simulation(
-        cfg,
-        arrivals,
-        trace.len() as u64,
-        0.1,
-        trace.rate_rps(),
-    )
+    run_simulation(cfg, arrivals, trace.len() as u64, 0.1, trace.rate_rps())
 }
 
 fn run_simulation<'a>(
@@ -421,16 +428,12 @@ impl<'a> Sim<'a> {
         }
 
         let dur = self.inflate(self.requests[req].remaining);
-        self.events.push(
-            app_begin + dur,
-            Event::WorkerDone { worker, epoch },
-        );
+        self.events
+            .push(app_begin + dur, Event::WorkerDone { worker, epoch });
         let q = self.cfg.quantum_cycles();
         if q < dur {
-            self.events.push(
-                app_begin + q,
-                Event::QuantumExpiry { worker, epoch },
-            );
+            self.events
+                .push(app_begin + q, Event::QuantumExpiry { worker, epoch });
         }
     }
 
@@ -456,7 +459,8 @@ impl<'a> Sim<'a> {
             QueueDiscipline::SingleQueue => {
                 // The worker raises its "requesting" flag; the dispatcher
                 // sees the slot free after one coherence transfer.
-                self.events.push(now + coherence, Event::SlotFree { worker });
+                self.events
+                    .push(now + coherence, Event::SlotFree { worker });
             }
             QueueDiscipline::Jbsq(_) => {
                 self.events.push(
@@ -468,7 +472,8 @@ impl<'a> Sim<'a> {
         self.workers[worker].transition_cycles += self.cost().coop_switch;
         let free_at = now + self.cost().coop_switch;
         let epoch = self.workers[worker].epoch;
-        self.events.push(free_at, Event::WorkerFree { worker, epoch });
+        self.events
+            .push(free_at, Event::WorkerFree { worker, epoch });
     }
 
     fn on_worker_free(&mut self, worker: usize, epoch: u64) {
@@ -522,8 +527,7 @@ impl<'a> Sim<'a> {
 
     fn on_preempt_at(&mut self, worker: usize, epoch: u64) {
         let now = self.clock;
-        if self.workers[worker].epoch != epoch
-            || self.workers[worker].state != WorkerState::Running
+        if self.workers[worker].epoch != epoch || self.workers[worker].state != WorkerState::Running
         {
             return;
         }
@@ -563,7 +567,8 @@ impl<'a> Sim<'a> {
         }
         let free_at = now + recv + switch;
         let epoch = self.workers[worker].epoch;
-        self.events.push(free_at, Event::WorkerFree { worker, epoch });
+        self.events
+            .push(free_at, Event::WorkerFree { worker, epoch });
         // The yielded request becomes runnable again once the dispatcher
         // processes the requeue notice.
         self.events.push(
@@ -601,9 +606,9 @@ impl<'a> Sim<'a> {
             if w.epoch == epoch && w.state == WorkerState::Running {
                 let c = match self.cfg.preemption {
                     PreemptMechanism::Coop => cost.coop_signal_write,
-                    PreemptMechanism::Ipi
-                    | PreemptMechanism::LinuxIpi
-                    | PreemptMechanism::Uipi => cost.ipi_send,
+                    PreemptMechanism::Ipi | PreemptMechanism::LinuxIpi | PreemptMechanism::Uipi => {
+                        cost.ipi_send
+                    }
                     _ => cost.coop_signal_write,
                 };
                 return Some((DispOp::Signal { worker, epoch }, c, false));
@@ -635,7 +640,9 @@ impl<'a> Sim<'a> {
             let mut total = 0u64;
             let mut n = 0usize;
             while n < batch_limit {
-                let Some(d) = self.disp.duties.pop_front() else { break };
+                let Some(d) = self.disp.duties.pop_front() else {
+                    break;
+                };
                 let c = match d {
                     Duty::Ingest(_) => cost.disp_ingest,
                     Duty::Completion { .. } => cost.disp_completion,
@@ -659,8 +666,7 @@ impl<'a> Sim<'a> {
             }
             if let Some(req) = self.disp.stolen {
                 let f = 1.0 + cost.rdtsc_proc_overhead();
-                let remaining_wall =
-                    ((self.requests[req].remaining as f64) * f).ceil() as u64;
+                let remaining_wall = ((self.requests[req].remaining as f64) * f).ceil() as u64;
                 let check = cost.ns_to_cycles(self.cfg.dispatcher_check_ns).max(1);
                 let wall = remaining_wall.min(check);
                 return Some((DispOp::Slice { wall }, wall, true));
@@ -674,10 +680,7 @@ impl<'a> Sim<'a> {
     fn pick_dispatch_target(&self) -> Option<usize> {
         let k = self.cfg.queue.depth();
         match self.cfg.queue {
-            QueueDiscipline::SingleQueue => self
-                .workers
-                .iter()
-                .position(|w| w.inflight == 0),
+            QueueDiscipline::SingleQueue => self.workers.iter().position(|w| w.inflight == 0),
             QueueDiscipline::Jbsq(_) => self
                 .workers
                 .iter()
@@ -894,8 +897,16 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let cfg = SystemConfig::concord(4, 2_000);
-        let a = simulate(&cfg, mix::leveldb_get_scan(), &SimParams::new(5_000.0, 3_000, 1));
-        let b = simulate(&cfg, mix::leveldb_get_scan(), &SimParams::new(5_000.0, 3_000, 2));
+        let a = simulate(
+            &cfg,
+            mix::leveldb_get_scan(),
+            &SimParams::new(5_000.0, 3_000, 1),
+        );
+        let b = simulate(
+            &cfg,
+            mix::leveldb_get_scan(),
+            &SimParams::new(5_000.0, 3_000, 2),
+        );
         assert_ne!(a.span_cycles, b.span_cycles);
     }
 
@@ -932,13 +943,17 @@ mod tests {
             ..SystemConfig::concord(8, 0)
         };
         // 5µs fixed service at 90% of 8-worker capacity.
-        let wl = || {
-            Mixed5us
-        };
+        let wl = || Mixed5us;
         struct Mixed5us;
         impl Workload for Mixed5us {
-            fn next_request(&mut self, _rng: &mut rand::rngs::SmallRng) -> concord_workloads::RequestSpec {
-                concord_workloads::RequestSpec { class: 0, service_ns: 5_000 }
+            fn next_request(
+                &mut self,
+                _rng: &mut rand::rngs::SmallRng,
+            ) -> concord_workloads::RequestSpec {
+                concord_workloads::RequestSpec {
+                    class: 0,
+                    service_ns: 5_000,
+                }
             }
             fn mean_service_ns(&self) -> f64 {
                 5_000.0
@@ -1012,11 +1027,8 @@ mod tests {
         use concord_workloads::{RecordedTrace, TraceGenerator};
         let cfg = SystemConfig::concord(4, 5_000);
         // Capture the exact trace the seeded generator would produce...
-        let mut gen = TraceGenerator::new(
-            Poisson::with_rate(20_000.0),
-            mix::bimodal_50_1_50_100(),
-            42,
-        );
+        let mut gen =
+            TraceGenerator::new(Poisson::with_rate(20_000.0), mix::bimodal_50_1_50_100(), 42);
         let trace = RecordedTrace::capture(&mut gen, 5_000);
         // ...and replaying it must match the generator-driven run.
         let live = simulate(&cfg, mix::bimodal_50_1_50_100(), &params(20_000.0, 5_000));
@@ -1045,7 +1057,10 @@ mod tests {
     fn goodput_tracks_offered_load_below_saturation() {
         let cfg = SystemConfig::concord(8, 5_000);
         let r = simulate(&cfg, mix::tpcc(), &params(100_000.0, 50_000));
-        assert!((r.goodput_rps() - 100_000.0).abs() / 100_000.0 < 0.05,
-            "goodput={}", r.goodput_rps());
+        assert!(
+            (r.goodput_rps() - 100_000.0).abs() / 100_000.0 < 0.05,
+            "goodput={}",
+            r.goodput_rps()
+        );
     }
 }

@@ -24,12 +24,22 @@ where
 {
     let max = 1.2 * ideal_capacity_rps(PAPER_WORKERS, mean_ns);
     let f = fid();
-    let shinjuku = capacity_at_slo(&SystemConfig::shinjuku(PAPER_WORKERS, quantum_ns), make, max, &f)
-        .expect("shinjuku sustains some load")
-        .capacity;
-    let concord = capacity_at_slo(&SystemConfig::concord(PAPER_WORKERS, quantum_ns), make, max, &f)
-        .expect("concord sustains some load")
-        .capacity;
+    let shinjuku = capacity_at_slo(
+        &SystemConfig::shinjuku(PAPER_WORKERS, quantum_ns),
+        make,
+        max,
+        &f,
+    )
+    .expect("shinjuku sustains some load")
+    .capacity;
+    let concord = capacity_at_slo(
+        &SystemConfig::concord(PAPER_WORKERS, quantum_ns),
+        make,
+        max,
+        &f,
+    )
+    .expect("concord sustains some load")
+    .capacity;
     (shinjuku, concord)
 }
 
@@ -122,12 +132,22 @@ fn leveldb_50_50_large_gains() {
 fn fixed_1us_concord_within_few_percent() {
     let f = fid();
     let max = 5_000_000.0;
-    let s = capacity_at_slo(&SystemConfig::shinjuku(PAPER_WORKERS, 5_000), mix::fixed_1us, max, &f)
-        .expect("shinjuku sustains load")
-        .capacity;
-    let c = capacity_at_slo(&SystemConfig::concord(PAPER_WORKERS, 5_000), mix::fixed_1us, max, &f)
-        .expect("concord sustains load")
-        .capacity;
+    let s = capacity_at_slo(
+        &SystemConfig::shinjuku(PAPER_WORKERS, 5_000),
+        mix::fixed_1us,
+        max,
+        &f,
+    )
+    .expect("shinjuku sustains load")
+    .capacity;
+    let c = capacity_at_slo(
+        &SystemConfig::concord(PAPER_WORKERS, 5_000),
+        mix::fixed_1us,
+        max,
+        &f,
+    )
+    .expect("concord sustains load")
+    .capacity;
     let ratio = c / s;
     assert!(
         ratio > 0.85 && ratio < 1.25,
@@ -191,13 +211,15 @@ fn small_vm_dispatcher_work_helps() {
     )
     .expect("baseline sustains load")
     .capacity;
-    let with = capacity_at_slo(&SystemConfig::concord(2, 5_000), mix::leveldb_get_scan, max, &f)
-        .expect("work-conserving sustains load")
-        .capacity;
-    assert!(
-        with > 1.05 * without,
-        "without={without:.0} with={with:.0}"
-    );
+    let with = capacity_at_slo(
+        &SystemConfig::concord(2, 5_000),
+        mix::leveldb_get_scan,
+        max,
+        &f,
+    )
+    .expect("work-conserving sustains load")
+    .capacity;
+    assert!(with > 1.05 * without, "without={without:.0} with={with:.0}");
 }
 
 /// §5.4 / Fig. 11 ordering: each mechanism adds throughput on the LevelDB
@@ -219,10 +241,22 @@ fn mechanism_breakdown_is_cumulative() {
     let full = cap(&SystemConfig::concord(PAPER_WORKERS, 2_000));
     // Allow small noise between adjacent steps but require the overall
     // staircase to rise.
-    assert!(coop_sq > shinjuku, "coop_sq={coop_sq:.0} shinjuku={shinjuku:.0}");
-    assert!(coop_jbsq > 0.97 * coop_sq, "coop_jbsq={coop_jbsq:.0} coop_sq={coop_sq:.0}");
-    assert!(full > 0.97 * coop_jbsq, "full={full:.0} coop_jbsq={coop_jbsq:.0}");
-    assert!(full > 1.10 * shinjuku, "full={full:.0} shinjuku={shinjuku:.0}");
+    assert!(
+        coop_sq > shinjuku,
+        "coop_sq={coop_sq:.0} shinjuku={shinjuku:.0}"
+    );
+    assert!(
+        coop_jbsq > 0.97 * coop_sq,
+        "coop_jbsq={coop_jbsq:.0} coop_sq={coop_sq:.0}"
+    );
+    assert!(
+        full > 0.97 * coop_jbsq,
+        "full={full:.0} coop_jbsq={coop_jbsq:.0}"
+    );
+    assert!(
+        full > 1.10 * shinjuku,
+        "full={full:.0} shinjuku={shinjuku:.0}"
+    );
 }
 
 /// §5.4 / Table 1: the achieved quantum's standard deviation stays within
@@ -232,7 +266,11 @@ fn preemption_timeliness_within_2us() {
     let cfg = SystemConfig::concord(PAPER_WORKERS, 5_000);
     let wl = mix::bimodal_50_1_50_100();
     let cap = ideal_capacity_rps(PAPER_WORKERS, wl.mean_service_ns());
-    let r = simulate(&cfg, mix::bimodal_50_1_50_100(), &SimParams::new(0.6 * cap, 30_000, 42));
+    let r = simulate(
+        &cfg,
+        mix::bimodal_50_1_50_100(),
+        &SimParams::new(0.6 * cap, 30_000, 42),
+    );
     assert!(r.preemptions > 0);
     assert!(r.quantum_std_us() < 2.0, "std={}µs", r.quantum_std_us());
     assert!(r.quantum_mean_us() >= 5.0, "mean={}µs", r.quantum_mean_us());

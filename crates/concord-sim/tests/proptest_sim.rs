@@ -20,7 +20,7 @@ fn arb_mechanism() -> impl Strategy<Value = PreemptMechanism> {
 
 fn arb_config() -> impl Strategy<Value = SystemConfig> {
     (
-        1usize..=6,              // workers
+        1usize..=6,                                                         // workers
         prop_oneof![Just(0u64), Just(2_000u64), Just(5_000), Just(20_000)], // quantum
         arb_mechanism(),
         prop_oneof![
@@ -48,7 +48,11 @@ fn arb_workload() -> impl Strategy<Value = Mix> {
         Mix::new(
             "prop",
             vec![
-                ClassSpec::new("short", f64::from(short_weight), Dist::fixed_us(short_us as f64)),
+                ClassSpec::new(
+                    "short",
+                    f64::from(short_weight),
+                    Dist::fixed_us(short_us as f64),
+                ),
                 ClassSpec::new(
                     "long",
                     f64::from(100 - short_weight.min(99)),

@@ -104,7 +104,8 @@ pub unsafe fn init_stack(stack_top: *mut u8, ctl: *mut u8) -> *mut u8 {
     // SAFETY: caller guarantees ≥56 writable bytes below `stack_top`.
     unsafe {
         let top = stack_top.cast::<u64>();
-        top.sub(1).write(concord_co_entry as unsafe extern "C" fn() as usize as u64); // ret target
+        top.sub(1)
+            .write(concord_co_entry as unsafe extern "C" fn() as usize as u64); // ret target
         top.sub(2).write(0); // rbp
         top.sub(3).write(ctl as u64); // rbx -> rdi in the trampoline
         top.sub(4).write(0); // r12

@@ -33,6 +33,8 @@ enum Phase {
 /// It must not move while the coroutine is alive: the coroutine's stack
 /// holds pointers to it (through `Yielder`), so `Coroutine` owns it behind
 /// a `Box` and never moves it out.
+type EntryFn = Box<dyn FnOnce(&mut Yielder) + Send + 'static>;
+
 struct Inner {
     stack: Stack,
     /// Saved stack pointer of the *coroutine* while it is suspended.
@@ -41,7 +43,7 @@ struct Inner {
     caller_sp: *mut u8,
     phase: Phase,
     /// The entry closure, consumed on first activation.
-    entry: Option<Box<dyn FnOnce(&mut Yielder) + Send + 'static>>,
+    entry: Option<EntryFn>,
     /// A panic payload captured inside the coroutine, re-thrown by resume.
     panic: Option<Box<dyn Any + Send>>,
 }

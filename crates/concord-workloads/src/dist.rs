@@ -105,7 +105,11 @@ impl Dist {
                 let s = mean_ns + std_ns * standard_normal(rng);
                 s.max(min_ns as f64)
             }
-            Dist::Pareto { min_ns, alpha, cap_ns } => {
+            Dist::Pareto {
+                min_ns,
+                alpha,
+                cap_ns,
+            } => {
                 // Inverse transform: x = min / U^(1/alpha), capped.
                 let u: f64 = (1.0 - rng.gen::<f64>()).max(f64::MIN_POSITIVE);
                 (min_ns as f64 / u.powf(1.0 / alpha)).min(cap_ns as f64)
@@ -132,7 +136,11 @@ impl Dist {
             Dist::Uniform { lo_ns, hi_ns } => (lo_ns + hi_ns) as f64 / 2.0,
             Dist::LogNormal { mean_ns, .. } => mean_ns,
             Dist::TruncatedNormal { mean_ns, .. } => mean_ns,
-            Dist::Pareto { min_ns, alpha, cap_ns } => {
+            Dist::Pareto {
+                min_ns,
+                alpha,
+                cap_ns,
+            } => {
                 // Mean of a bounded Pareto on [L, H].
                 let (l, h, a) = (min_ns as f64, cap_ns as f64, alpha);
                 if (a - 1.0).abs() < 1e-9 {
@@ -150,6 +158,7 @@ impl Dist {
 
 /// Lanczos approximation of the gamma function (g = 7, n = 9 — ~15 digits
 /// over the range used here).
+#[allow(clippy::excessive_precision)] // canonical published coefficients
 fn gamma(x: f64) -> f64 {
     const G: f64 = 7.0;
     const COEF: [f64; 9] = [
@@ -273,7 +282,11 @@ mod tests {
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
         assert!((mean - 1_000_000.0).abs() < 100.0, "mean={mean}");
-        assert!((var.sqrt() - 1_000.0).abs() / 1_000.0 < 0.05, "std={}", var.sqrt());
+        assert!(
+            (var.sqrt() - 1_000.0).abs() / 1_000.0 < 0.05,
+            "std={}",
+            var.sqrt()
+        );
     }
 
     #[test]
@@ -285,7 +298,10 @@ mod tests {
         };
         let m = sample_mean(&d, 400_000);
         let want = d.mean_ns();
-        assert!((m - want).abs() / want < 0.05, "sampled={m} analytic={want}");
+        assert!(
+            (m - want).abs() / want < 0.05,
+            "sampled={m} analytic={want}"
+        );
     }
 
     #[test]
@@ -328,7 +344,10 @@ mod tests {
                 shape,
             };
             let m = sample_mean(&d, 400_000);
-            assert!((m - 5_000.0).abs() / 5_000.0 < 0.05, "shape={shape} mean={m}");
+            assert!(
+                (m - 5_000.0).abs() / 5_000.0 < 0.05,
+                "shape={shape} mean={m}"
+            );
         }
     }
 

@@ -245,7 +245,11 @@ mod tests {
     fn tpcc_mean_matches_hand_computation() {
         let m = tpcc();
         // 0.44*5.7 + 0.04*6 + 0.44*20 + 0.04*88 + 0.04*100 = 19.068 µs.
-        assert!((m.mean_service_ns() - 19_068.0).abs() < 1.0, "{}", m.mean_service_ns());
+        assert!(
+            (m.mean_service_ns() - 19_068.0).abs() < 1.0,
+            "{}",
+            m.mean_service_ns()
+        );
     }
 
     #[test]
@@ -253,7 +257,11 @@ mod tests {
         let mut m = zippydb();
         let fracs = empirical_class_fracs(&mut m, 200_000);
         for (i, want) in [0.78, 0.13, 0.06, 0.03].iter().enumerate() {
-            assert!((fracs[i] - want).abs() < 0.005, "class {i}: {} vs {want}", fracs[i]);
+            assert!(
+                (fracs[i] - want).abs() < 0.005,
+                "class {i}: {} vs {want}",
+                fracs[i]
+            );
         }
     }
 
@@ -289,7 +297,11 @@ mod tests {
     fn probabilities_sum_to_one() {
         for m in all_named() {
             let total: f64 = (0..m.classes().len()).map(|i| m.probability(i)).sum();
-            assert!((total - 1.0).abs() < 1e-12, "{}: {total}", Workload::name(&m));
+            assert!(
+                (total - 1.0).abs() < 1e-12,
+                "{}: {total}",
+                Workload::name(&m)
+            );
         }
     }
 
@@ -309,9 +321,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "positive")]
     fn zero_weight_mix_panics() {
-        let _ = Mix::new(
-            "zero",
-            vec![ClassSpec::new("a", 0.0, Dist::fixed_us(1.0))],
-        );
+        let _ = Mix::new("zero", vec![ClassSpec::new("a", 0.0, Dist::fixed_us(1.0))]);
     }
 }

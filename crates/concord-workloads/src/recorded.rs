@@ -32,7 +32,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "trace parse error on line {}: {}", self.line, self.reason)
+        write!(
+            f,
+            "trace parse error on line {}: {}",
+            self.line, self.reason
+        )
     }
 }
 
@@ -63,8 +67,7 @@ impl RecordedTrace {
     pub fn rate_rps(&self) -> f64 {
         match (self.arrivals.first(), self.arrivals.last()) {
             (Some(first), Some(last)) if last.time_ns > first.time_ns => {
-                (self.arrivals.len() - 1) as f64
-                    / ((last.time_ns - first.time_ns) as f64 * 1e-9)
+                (self.arrivals.len() - 1) as f64 / ((last.time_ns - first.time_ns) as f64 * 1e-9)
             }
             _ => 0.0,
         }
@@ -75,7 +78,10 @@ impl RecordedTrace {
         if self.arrivals.is_empty() {
             return 0.0;
         }
-        self.arrivals.iter().map(|a| a.spec.service_ns as f64).sum::<f64>()
+        self.arrivals
+            .iter()
+            .map(|a| a.spec.service_ns as f64)
+            .sum::<f64>()
             / self.arrivals.len() as f64
     }
 
@@ -202,8 +208,7 @@ mod tests {
 
     #[test]
     fn non_monotonic_time_is_rejected() {
-        let err =
-            RecordedTrace::from_text("200,0,0,1\n100,1,0,1\n").expect_err("time reversal");
+        let err = RecordedTrace::from_text("200,0,0,1\n100,1,0,1\n").expect_err("time reversal");
         assert_eq!(err.line, 2);
         assert!(err.reason.contains("backwards"));
     }

@@ -110,19 +110,44 @@ fn main() {
     let mut collector = Collector::new(resp_rx, RttModel::paper_testbed(), 7);
     let ok = collector.collect(requests, Duration::from_secs(180));
     gen.join();
+    let telemetry = rt.telemetry();
     let stats = rt.shutdown();
     assert!(ok, "timed out waiting for responses");
 
     let db_stats = app.db.stats();
     println!("\nstore:");
-    println!("  gets={} puts={} deletes={} scans={}", db_stats.gets, db_stats.puts, db_stats.deletes, db_stats.scans);
-    println!("  runs={} flushes={} compactions={}", db_stats.runs, db_stats.flushes, db_stats.compactions);
-    println!("  rows returned by scans: {}", app.scanned_rows.load(Ordering::Relaxed));
+    println!(
+        "  gets={} puts={} deletes={} scans={}",
+        db_stats.gets, db_stats.puts, db_stats.deletes, db_stats.scans
+    );
+    println!(
+        "  runs={} flushes={} compactions={}",
+        db_stats.runs, db_stats.flushes, db_stats.compactions
+    );
+    println!(
+        "  rows returned by scans: {}",
+        app.scanned_rows.load(Ordering::Relaxed)
+    );
 
-    println!("\nlatency (client-observed, includes {}us modeled RTT):", 10);
-    println!("  p50  : {:>10.1} us", collector.latency_ns().percentile(50.0) as f64 / 1e3);
-    println!("  p99  : {:>10.1} us", collector.latency_ns().percentile(99.0) as f64 / 1e3);
-    println!("  p99.9: {:>10.1} us", collector.latency_ns().percentile(99.9) as f64 / 1e3);
+    println!(
+        "\nlatency (client-observed, includes {}us modeled RTT):",
+        10
+    );
+    println!(
+        "  p50  : {:>10.1} us",
+        collector.latency_ns().percentile(50.0) as f64 / 1e3
+    );
+    println!(
+        "  p99  : {:>10.1} us",
+        collector.latency_ns().percentile(99.0) as f64 / 1e3
+    );
+    println!(
+        "  p99.9: {:>10.1} us",
+        collector.latency_ns().percentile(99.9) as f64 / 1e3
+    );
+
+    println!("\nserver-side lifecycle telemetry:");
+    print!("{}", telemetry.render());
 
     println!("\nruntime:");
     for (name, value) in stats.snapshot() {

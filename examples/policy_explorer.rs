@@ -15,7 +15,6 @@ use concord::workloads::dist::Dist;
 use concord::workloads::mix::{self, ClassSpec, Mix};
 use concord::workloads::Workload;
 
-
 fn main() {
     let fid = Fidelity {
         requests: 40_000,
@@ -25,7 +24,10 @@ fn main() {
     // Run near saturation so the central queue actually builds up —
     // below ~60% load every policy makes the same decisions.
     println!("== policy comparison at 80% load, Bimodal(50:1,50:100), q=5us ==");
-    println!("{:<10} {:>10} {:>14} {:>14}", "policy", "p50", "p99.9 slowdown", "preemptions");
+    println!(
+        "{:<10} {:>10} {:>14} {:>14}",
+        "policy", "p50", "p99.9 slowdown", "preemptions"
+    );
     let wl2 = mix::bimodal_50_1_50_100();
     let cap2 = ideal_capacity_rps(PAPER_WORKERS, wl2.mean_service_ns());
     for policy in [Policy::Fcfs, Policy::Srpt] {
@@ -54,12 +56,19 @@ fn main() {
     };
     let cap3 = ideal_capacity_rps(PAPER_WORKERS, fixed5().mean_service_ns());
     println!("\n== JBSQ depth sweep at 85% load, Fixed(5us) (k=2 is the paper's sweet spot) ==");
-    println!("{:<8} {:>14} {:>16}", "k", "p99.9 slowdown", "worker idle (%)");
+    println!(
+        "{:<8} {:>14} {:>16}",
+        "k", "p99.9 slowdown", "worker idle (%)"
+    );
     for k in [1u8, 2, 3, 4, 8] {
         let mut cfg = SystemConfig::concord(PAPER_WORKERS, 5_000);
         cfg.queue = QueueDiscipline::Jbsq(k);
         cfg.name = format!("JBSQ({k})");
-        let r = simulate(&cfg, fixed5(), &SimParams::new(0.85 * cap3, fid.requests, fid.seed));
+        let r = simulate(
+            &cfg,
+            fixed5(),
+            &SimParams::new(0.85 * cap3, fid.requests, fid.seed),
+        );
         println!(
             "{:<8} {:>14.1} {:>16.2}",
             k,

@@ -37,14 +37,21 @@ fn main() {
     let mut collector = Collector::new(resp_rx, RttModel::paper_testbed(), 42);
     let done = collector.collect(requests, Duration::from_secs(120));
     let report = gen.join();
+    let telemetry = rt.telemetry();
     let stats = rt.shutdown();
 
     assert!(done, "timed out waiting for responses");
     println!("\nclient side:");
     println!("  sent      : {} (dropped {})", report.sent, report.dropped);
     println!("  received  : {}", collector.received());
-    println!("  p50 latency : {:>10.1} us", collector.latency_ns().percentile(50.0) as f64 / 1e3);
-    println!("  p99 latency : {:>10.1} us", collector.latency_ns().percentile(99.0) as f64 / 1e3);
+    println!(
+        "  p50 latency : {:>10.1} us",
+        collector.latency_ns().percentile(50.0) as f64 / 1e3
+    );
+    println!(
+        "  p99 latency : {:>10.1} us",
+        collector.latency_ns().percentile(99.0) as f64 / 1e3
+    );
     println!("  p99.9 slowdown: {:>8.1}x", collector.slowdown().p999());
 
     println!("\nlatency distribution:");
@@ -52,6 +59,9 @@ fn main() {
         "{}",
         concord::metrics::ascii_chart(collector.latency_ns(), 1_000.0, "us", 40)
     );
+
+    println!("\nserver-side lifecycle telemetry (Runtime::telemetry()):");
+    print!("{}", telemetry.render());
 
     println!("\nruntime side:");
     for (name, value) in stats.snapshot() {

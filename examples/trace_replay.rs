@@ -37,7 +37,10 @@ fn main() {
     let trace = RecordedTrace::from_text(&text).expect("round trip");
 
     // 3. Replay the identical sequence through each system.
-    println!("\n{:<22} {:>10} {:>12} {:>14} {:>12}", "system", "completed", "p50", "p99.9 slowdown", "preemptions");
+    println!(
+        "\n{:<22} {:>10} {:>12} {:>14} {:>12}",
+        "system", "completed", "p50", "p99.9 slowdown", "preemptions"
+    );
     for cfg in [
         SystemConfig::persephone_fcfs(PAPER_WORKERS),
         SystemConfig::shinjuku(PAPER_WORKERS, 2_000),

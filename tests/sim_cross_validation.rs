@@ -63,8 +63,7 @@ fn sim_worker_overhead_tracks_analytic_model() {
     // Busy-cycle accounting excludes the yield-side switch costs, so the
     // measured value is a bit lower; both must be small and same-order.
     assert!(
-        measured_overhead > 0.2 * analytic_overhead
-            && measured_overhead < 3.0 * analytic_overhead,
+        measured_overhead > 0.2 * analytic_overhead && measured_overhead < 3.0 * analytic_overhead,
         "measured={measured_overhead:.4} analytic={analytic_overhead:.4}"
     );
 }
@@ -81,8 +80,7 @@ fn sim_shinjuku_vs_concord_overhead_ratio() {
     let measure = |cfg: &SystemConfig| -> f64 {
         let r = simulate(cfg, fixed_mix(500.0), &SimParams::new(500.0, n, 42));
         assert_eq!(r.completed, n);
-        (r.worker_busy_cycles + r.worker_transition_cycles) as f64 / n as f64 / service_cycles
-            - 1.0
+        (r.worker_busy_cycles + r.worker_transition_cycles) as f64 / n as f64 / service_cycles - 1.0
     };
     let shinjuku = measure(&SystemConfig::shinjuku(4, quantum_ns));
     let concord = measure(&SystemConfig::concord_coop_jbsq(4, quantum_ns));
@@ -109,12 +107,14 @@ fn timeliness_models_agree_on_order_of_magnitude() {
 
     // Pass model: corpus average.
     let rows = corpus::table1();
-    let avg_std_us =
-        rows.iter().map(|row| row.std_us).sum::<f64>() / rows.len() as f64;
+    let avg_std_us = rows.iter().map(|row| row.std_us).sum::<f64>() / rows.len() as f64;
 
     // The synthetic spin code is probe-dense, so its std is the floor;
     // real applications (the corpus) are above it but all within 2 µs.
-    assert!(sim_std_us < avg_std_us + 0.2, "sim={sim_std_us} corpus avg={avg_std_us}");
+    assert!(
+        sim_std_us < avg_std_us + 0.2,
+        "sim={sim_std_us} corpus avg={avg_std_us}"
+    );
     assert!(avg_std_us < 2.0);
 }
 

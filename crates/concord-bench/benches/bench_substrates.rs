@@ -1,10 +1,14 @@
 //! Microbenchmarks of the measurement / queueing / threading substrates:
 //! the costs that make microsecond-scale scheduling viable.
 
+use concord_core::clock::Clock;
+use concord_core::preempt::{set_mode, should_yield, PreemptMode, WorkerShared};
 use concord_metrics::{Histogram, SlowdownTracker};
 use concord_net::ring::ring;
 use concord_uthread::Coroutine;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
 
 fn bench_histogram(c: &mut Criterion) {
     let mut g = c.benchmark_group("histogram");
@@ -64,5 +68,47 @@ fn bench_coroutine(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_histogram, bench_ring, bench_coroutine);
+fn bench_preempt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("preempt");
+    // §3.1: one preemption-point check must stay in the ~nanosecond
+    // range. This is the hot path the (default-off) `fault-injection`
+    // feature must not tax — compare against a build with the feature
+    // enabled to verify the zero-cost claim.
+    g.bench_function("should_yield_worker_mode", |b| {
+        let shared = Arc::new(WorkerShared::new());
+        set_mode(PreemptMode::Worker(shared.clone()));
+        b.iter(|| black_box(should_yield()));
+        set_mode(PreemptMode::None);
+    });
+    g.bench_function("line_poll_empty", |b| {
+        let shared = WorkerShared::new();
+        b.iter(|| black_box(shared.take_signal_current()));
+    });
+    g.bench_function("begin_end_slice", |b| {
+        let shared = WorkerShared::new();
+        let clock = Clock::monotonic();
+        let quantum = Duration::from_micros(5);
+        b.iter(|| {
+            black_box(shared.begin_slice(&clock, quantum));
+            shared.end_slice();
+        });
+    });
+    g.bench_function("clock_now_monotonic", |b| {
+        let clock = Clock::monotonic();
+        b.iter(|| black_box(clock.now_ns()));
+    });
+    g.bench_function("clock_now_virtual", |b| {
+        let (clock, _handle) = Clock::manual();
+        b.iter(|| black_box(clock.now_ns()));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_histogram,
+    bench_ring,
+    bench_coroutine,
+    bench_preempt
+);
 criterion_main!(benches);

@@ -164,7 +164,7 @@ fn run_runtime(args: &Args, workload: Mix, quantum_ns: u64, rate: f64) {
     print!("{}", telemetry.render());
     println!("\nruntime counters:");
     for (name, value) in stats.snapshot() {
-        println!("  {name:<22}{value}");
+        println!("  {name:<30}{value}");
     }
 }
 

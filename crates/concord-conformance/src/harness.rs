@@ -1,0 +1,320 @@
+//! Case execution: drive one [`CaseConfig`] through the real runtime and
+//! the simulator, and collect everything the oracles need.
+
+use crate::case::{ArrivalKind, CaseConfig, FaultKind};
+use concord_core::preempt::SignalAccounting;
+use concord_core::{
+    Clock, ConcordApp, FaultInjector, Runtime, RuntimeConfig, SpinApp, TelemetrySnapshot,
+};
+use concord_net::ring::ring;
+use concord_net::{Collector, LoadGen, Request, Response, RttModel};
+use concord_sim::{simulate, Policy, QueueDiscipline, SimParams, SimResult, SystemConfig};
+use concord_workloads::arrival::Deterministic;
+use concord_workloads::dist::Dist;
+use concord_workloads::mix::{ClassSpec, Mix};
+use concord_workloads::{Poisson, Workload};
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One per-worker counter row of a runtime execution.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkerRow {
+    /// Requests completed on this worker.
+    pub completed: u64,
+    /// Slices preempted on this worker.
+    pub preempted: u64,
+    /// Contained failures on this worker.
+    pub failed: u64,
+    /// JBSQ occupancy high watermark.
+    pub queue_max: u64,
+}
+
+/// Everything the oracles need to know about one runtime execution.
+#[derive(Clone, Debug)]
+pub struct RuntimeObservation {
+    /// The case that produced this run.
+    pub case: CaseConfig,
+    /// Requests the load generator enqueued (RX drops excluded).
+    pub sent: u64,
+    /// Requests the load generator failed to enqueue (RX ring full).
+    pub rx_dropped: u64,
+    /// Responses the collector received.
+    pub received: u64,
+    /// Whether the collector saw every expected response before timeout.
+    pub collected_ok: bool,
+    /// Responses the harness expected (requests minus injected TX drops).
+    pub expected: u64,
+    /// `RuntimeStats::ingested` at quiescence.
+    pub ingested: u64,
+    /// Worker + dispatcher completions at quiescence.
+    pub completed: u64,
+    /// Contained failures at quiescence.
+    pub failed: u64,
+    /// Responses dropped on the TX path.
+    pub tx_dropped: u64,
+    /// Telemetry records lost to full rings.
+    pub telemetry_dropped: u64,
+    /// Preemption signals stored to worker lines.
+    pub signals_sent: u64,
+    /// Claimed expiries whose store the injector suppressed.
+    pub signals_dropped_injected: u64,
+    /// Slices that actually yielded.
+    pub preemptions: u64,
+    /// Work-conservation tripwire (must be 0).
+    pub work_conservation_violations: u64,
+    /// Summed signal fates across workers (post-sweep).
+    pub acct: SignalAccounting,
+    /// Per-worker counter rows.
+    pub per_worker: Vec<WorkerRow>,
+    /// Final lifecycle telemetry.
+    pub telemetry: TelemetrySnapshot,
+}
+
+/// The two-class fixed-service mix a case describes.
+pub fn mix_of(case: &CaseConfig) -> Mix {
+    Mix::new(
+        "conformance",
+        vec![
+            ClassSpec::new(
+                "short",
+                f64::from(case.short_weight),
+                Dist::fixed_us(case.short_us as f64),
+            ),
+            ClassSpec::new(
+                "long",
+                f64::from(100u32.saturating_sub(case.short_weight).max(1)),
+                Dist::fixed_us(case.long_us as f64),
+            ),
+        ],
+    )
+}
+
+/// Offered rate for a case: `load_pct`% of rough capacity.
+pub fn rate_of(case: &CaseConfig) -> f64 {
+    let mean_s = mix_of(case).mean_service_ns() * 1e-9;
+    (case.n_workers as f64 / mean_s) * (case.load_pct as f64 / 100.0)
+}
+
+/// Builds the fault injector for a case; `None` when the case is
+/// fault-free.
+pub fn injector_of(case: &CaseConfig) -> Option<Arc<FaultInjector>> {
+    let inj = Arc::new(FaultInjector::new());
+    match case.fault {
+        FaultKind::None => return None,
+        FaultKind::DropSignals(n) => inj.drop_next_signals(u64::from(n)),
+        FaultKind::DelaySignals { n, delay_us } => {
+            inj.delay_next_signals(u64::from(n), delay_us * 1_000)
+        }
+        FaultKind::RejectTx(n) => inj.reject_next_tx(u64::from(n)),
+        FaultKind::StallWorker { worker, stall_us } => {
+            inj.stall_worker(worker % case.n_workers.max(1), stall_us * 1_000)
+        }
+        FaultKind::PanicOn { request } => inj.panic_on(request % case.requests.max(1), 0),
+    }
+    Some(inj)
+}
+
+/// Runs the case through the real multi-threaded runtime (wall clock,
+/// spin server) and returns the oracle inputs. Never hangs: collection
+/// is bounded by `timeout` and shutdown always drains.
+pub fn run_runtime(case: &CaseConfig, timeout: Duration) -> RuntimeObservation {
+    run_runtime_with(case, Clock::monotonic(), Arc::new(SpinApp::new()), timeout)
+}
+
+/// [`run_runtime`] with an explicit time source and application — the
+/// entry point for virtual-time executions, which pair a
+/// [`Clock::from_virtual`](concord_core::Clock) source with an app from
+/// [`crate::apps`] that advances the same timeline.
+pub fn run_runtime_with<A: ConcordApp>(
+    case: &CaseConfig,
+    clock: Clock,
+    app: Arc<A>,
+    timeout: Duration,
+) -> RuntimeObservation {
+    let (req_tx, req_rx) = ring::<Request>(4096);
+    let (resp_tx, resp_rx) = ring::<Response>(4096);
+
+    let mut cfg = RuntimeConfig {
+        n_workers: case.n_workers,
+        quantum: Duration::from_micros(case.quantum_us),
+        jbsq_depth: case.jbsq_depth,
+        work_conserving: case.work_conserving,
+        stack_size: 64 * 1024,
+        dispatcher_slice: Duration::from_micros(case.quantum_us),
+        max_in_flight: 16 * 1024,
+        telemetry_report_every: None,
+        clock,
+        fault_injector: None,
+    };
+    cfg.fault_injector = injector_of(case);
+
+    let rt = Runtime::start(cfg, app, req_rx, resp_tx);
+
+    let rate = rate_of(case);
+    let gen = match case.arrival {
+        ArrivalKind::Poisson => LoadGen::start_with(
+            req_tx,
+            Poisson::with_rate(rate),
+            mix_of(case),
+            case.requests,
+            case.seed,
+        ),
+        ArrivalKind::Uniform => LoadGen::start_with(
+            req_tx,
+            Deterministic::with_rate(rate),
+            mix_of(case),
+            case.requests,
+            case.seed,
+        ),
+    };
+
+    let expected = match case.fault {
+        FaultKind::RejectTx(n) => case.requests.saturating_sub(u64::from(n)),
+        _ => case.requests,
+    };
+    let mut collector = Collector::new(resp_rx, RttModel::zero(), case.seed);
+    let collected_ok = collector.collect(expected, timeout);
+    let report = gen.join();
+
+    let mut rt = rt;
+    rt.quiesce();
+    let stats = rt.stats();
+    let telemetry = rt.telemetry();
+    let acct = rt.signal_accounting();
+
+    let per_worker = stats
+        .per_worker
+        .iter()
+        .map(|w| WorkerRow {
+            completed: w.completed.load(Ordering::Relaxed),
+            preempted: w.preempted.load(Ordering::Relaxed),
+            failed: w.failed.load(Ordering::Relaxed),
+            queue_max: w.queue_max.load(Ordering::Relaxed),
+        })
+        .collect();
+
+    RuntimeObservation {
+        case: case.clone(),
+        sent: report.sent,
+        rx_dropped: report.dropped,
+        received: collector.received(),
+        collected_ok,
+        expected,
+        ingested: stats.ingested.load(Ordering::Relaxed),
+        completed: stats.completed(),
+        failed: stats.failed.load(Ordering::Relaxed),
+        tx_dropped: stats.tx_dropped.load(Ordering::Relaxed),
+        telemetry_dropped: stats.telemetry_dropped.load(Ordering::Relaxed),
+        signals_sent: stats.signals_sent.load(Ordering::Relaxed),
+        signals_dropped_injected: stats.signals_dropped_injected.load(Ordering::Relaxed),
+        preemptions: stats.preemptions.load(Ordering::Relaxed),
+        work_conservation_violations: stats.work_conservation_violations.load(Ordering::Relaxed),
+        acct,
+        per_worker,
+        telemetry,
+    }
+}
+
+/// Runs the same case through the discrete-event simulator.
+pub fn run_sim(case: &CaseConfig) -> SimResult {
+    let mut cfg = SystemConfig::concord(case.n_workers, case.quantum_us * 1_000);
+    cfg.queue = QueueDiscipline::Jbsq(case.jbsq_depth.min(u8::MAX as usize) as u8);
+    cfg.work_conserving = case.work_conserving;
+    cfg.policy = Policy::Fcfs;
+    cfg.name = "conformance".into();
+    simulate(
+        &cfg,
+        mix_of(case),
+        &SimParams::new(rate_of(case), case.requests, case.seed),
+    )
+}
+
+/// Runs one case end to end and returns every oracle violation found.
+///
+/// Oracles always run on the runtime execution. Fault-free Poisson cases
+/// additionally run the simulator, check its oracles, and cross-validate
+/// the two latency distributions.
+pub fn run_case(case: &CaseConfig, timeout: Duration) -> Vec<String> {
+    let obs = run_runtime(case, timeout);
+    let mut violations = crate::oracles::check_runtime(&obs);
+    if case.fault == FaultKind::None && case.arrival == ArrivalKind::Poisson {
+        let sim = run_sim(case);
+        violations.extend(crate::oracles::check_sim(&sim, case));
+        violations.extend(crate::oracles::check_cross(&obs, &sim));
+    }
+    violations
+}
+
+/// Path of the checked-in regression corpus
+/// (`proptest-regressions/conformance.txt` in this crate).
+pub fn corpus_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("proptest-regressions")
+        .join("conformance.txt")
+}
+
+/// Parses the corpus: one `cc <case>` line per pinned regression;
+/// `#`-comments and blank lines are ignored. Panics on a malformed `cc`
+/// line — a corrupt corpus must fail loudly, not shrink coverage.
+pub fn load_corpus() -> Vec<CaseConfig> {
+    let Ok(text) = std::fs::read_to_string(corpus_path()) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|l| {
+            let l = l.trim();
+            let rest = l.strip_prefix("cc ")?;
+            Some(CaseConfig::decode(rest).unwrap_or_else(|| panic!("malformed corpus line: {l}")))
+        })
+        .collect()
+}
+
+/// Appends a minimised failing case to the corpus (best effort — the
+/// tree may be read-only in some CI steps; the failure message always
+/// carries the `cc` line regardless).
+pub fn append_to_corpus(case: &CaseConfig) {
+    use std::io::Write;
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(corpus_path())
+    {
+        let _ = writeln!(f, "cc {}", case.encode());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case::CaseConfig;
+
+    #[test]
+    fn rate_scales_with_load_and_workers() {
+        let mut c = CaseConfig::generate(1);
+        c.short_us = 10;
+        c.long_us = 10;
+        c.short_weight = 50;
+        c.load_pct = 50;
+        c.n_workers = 2;
+        // mean service 10µs → capacity 2/10µs = 200k rps → 50% = 100k.
+        assert!((rate_of(&c) - 100_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn injector_only_for_faulty_cases() {
+        let mut c = CaseConfig::generate(1);
+        c.fault = FaultKind::None;
+        assert!(injector_of(&c).is_none());
+        c.fault = FaultKind::DropSignals(2);
+        assert!(injector_of(&c).is_some());
+    }
+
+    #[test]
+    fn corpus_path_is_inside_this_crate() {
+        let p = corpus_path();
+        assert!(p.ends_with("proptest-regressions/conformance.txt"));
+        assert!(p.starts_with(env!("CARGO_MANIFEST_DIR")));
+    }
+}

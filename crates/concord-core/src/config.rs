@@ -1,5 +1,6 @@
 //! Runtime configuration.
 
+use crate::clock::Clock;
 use std::time::Duration;
 
 /// Configuration of a [`Runtime`](crate::Runtime).
@@ -28,6 +29,14 @@ pub struct RuntimeConfig {
     /// If set, the dispatcher prints a human-readable telemetry report
     /// (queueing/service/sojourn percentiles) to stderr at this interval.
     pub telemetry_report_every: Option<Duration>,
+    /// Time source for every deadline and telemetry stamp in the runtime.
+    /// Defaults to monotonic wall time; tests install a
+    /// [`VirtualClock`](crate::clock::VirtualClock) for determinism.
+    pub clock: Clock,
+    /// Deterministic fault schedule consulted by the dispatcher and
+    /// workers (conformance testing only; `None` in production).
+    #[cfg(feature = "fault-injection")]
+    pub fault_injector: Option<std::sync::Arc<crate::fault::FaultInjector>>,
 }
 
 impl RuntimeConfig {
@@ -42,6 +51,9 @@ impl RuntimeConfig {
             dispatcher_slice: Duration::from_micros(5),
             max_in_flight: 16 * 1024,
             telemetry_report_every: None,
+            clock: Clock::monotonic(),
+            #[cfg(feature = "fault-injection")]
+            fault_injector: None,
         }
     }
 
@@ -57,6 +69,9 @@ impl RuntimeConfig {
             dispatcher_slice: Duration::from_millis(1),
             max_in_flight: 4 * 1024,
             telemetry_report_every: None,
+            clock: Clock::monotonic(),
+            #[cfg(feature = "fault-injection")]
+            fault_injector: None,
         }
     }
 
@@ -83,6 +98,23 @@ impl RuntimeConfig {
         self.telemetry_report_every = Some(every);
         self
     }
+
+    /// Installs a time source (e.g. a virtual clock for deterministic
+    /// tests).
+    pub fn with_clock(mut self, clock: Clock) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Installs a fault schedule for this runtime (conformance testing).
+    #[cfg(feature = "fault-injection")]
+    pub fn with_fault_injector(
+        mut self,
+        injector: std::sync::Arc<crate::fault::FaultInjector>,
+    ) -> Self {
+        self.fault_injector = Some(injector);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -96,19 +128,23 @@ mod tests {
         assert_eq!(c.jbsq_depth, 2);
         assert!(c.work_conserving);
         assert_eq!(c.quantum, Duration::from_micros(5));
+        assert!(!c.clock.is_virtual(), "production clock is wall time");
     }
 
     #[test]
     fn builders_apply() {
+        let (clock, _v) = Clock::manual();
         let c = RuntimeConfig::small_test()
             .with_quantum(Duration::from_micros(100))
             .with_jbsq_depth(0)
             .with_work_conserving(false)
-            .with_telemetry_report_every(Duration::from_secs(1));
+            .with_telemetry_report_every(Duration::from_secs(1))
+            .with_clock(clock);
         assert_eq!(c.quantum, Duration::from_micros(100));
         assert_eq!(c.jbsq_depth, 1, "depth clamps to 1");
         assert!(!c.work_conserving);
         assert_eq!(c.telemetry_report_every, Some(Duration::from_secs(1)));
+        assert!(c.clock.is_virtual());
     }
 
     #[test]
@@ -118,5 +154,16 @@ mod tests {
             None
         );
         assert_eq!(RuntimeConfig::small_test().telemetry_report_every, None);
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn fault_injector_defaults_off_and_installs() {
+        use crate::fault::FaultInjector;
+        let c = RuntimeConfig::small_test();
+        assert!(c.fault_injector.is_none());
+        let inj = std::sync::Arc::new(FaultInjector::new());
+        let c = c.with_fault_injector(inj.clone());
+        assert!(c.fault_injector.is_some());
     }
 }

@@ -2,6 +2,7 @@
 //! dispatch, work conservation, and telemetry aggregation.
 
 use crate::app::ConcordApp;
+use crate::clock::Clock;
 use crate::config::RuntimeConfig;
 use crate::preempt::{set_mode, PreemptMode, WorkerShared};
 use crate::stats::RuntimeStats;
@@ -14,7 +15,6 @@ use crossbeam_queue::SegQueue;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Dispatcher-side view of one worker.
 pub struct WorkerSlot {
@@ -44,8 +44,8 @@ pub struct DispatcherLoop<A: ConcordApp> {
     pub from_workers: Arc<SegQueue<WorkerMsg>>,
     /// Aggregated lifecycle telemetry (shared with `Runtime::telemetry`).
     pub telemetry: TelemetryHandle,
-    /// Runtime epoch.
-    pub epoch: Instant,
+    /// Runtime time source.
+    pub clock: Clock,
     /// Request to stop: drain and exit.
     pub stop: Arc<AtomicBool>,
     /// Set by the dispatcher once drained, releasing the workers.
@@ -57,6 +57,15 @@ pub struct DispatcherLoop<A: ConcordApp> {
 /// Upper bound on pooled request stacks (64 KiB each by default).
 const STACK_POOL_CAP: usize = 256;
 
+/// A preemption signal the fault injector deferred: deliver to `worker`
+/// for generation `gen` once the clock reaches `due_ns`.
+#[cfg(feature = "fault-injection")]
+struct DeferredSignal {
+    worker: usize,
+    gen: u64,
+    due_ns: u64,
+}
+
 impl<A: ConcordApp> DispatcherLoop<A> {
     /// Runs until stopped and drained. Consumes the loop state.
     pub fn run(mut self) {
@@ -64,7 +73,9 @@ impl<A: ConcordApp> DispatcherLoop<A> {
         let mut stolen: Option<Task> = None;
         let mut stack_pool: Vec<concord_uthread::stack::Stack> = Vec::with_capacity(STACK_POOL_CAP);
         let mut records: Vec<CompletionRecord> = Vec::with_capacity(64);
-        let mut last_report = Instant::now();
+        let mut last_report_ns = self.clock.now_ns();
+        #[cfg(feature = "fault-injection")]
+        let mut deferred: Vec<DeferredSignal> = Vec::new();
         loop {
             let mut progressed = false;
 
@@ -73,11 +84,49 @@ impl<A: ConcordApp> DispatcherLoop<A> {
             //    The claim returns the expired slice's generation and the
             //    signal carries it, so a worker that has already moved on
             //    ignores the (now stale) signal.
-            for w in &self.workers {
-                if let Some(gen) = w.shared.claim_expired(self.epoch) {
-                    w.shared.line.signal(gen);
-                    self.stats.signals_sent.fetch_add(1, Ordering::Relaxed);
+            for i in 0..self.workers.len() {
+                if let Some(gen) = self.workers[i].shared.claim_expired(&self.clock) {
                     progressed = true;
+                    #[cfg(feature = "fault-injection")]
+                    if let Some(inj) = self.cfg.fault_injector.as_deref() {
+                        if inj.take_drop_signal() {
+                            // The claim happened but the signal never
+                            // lands: a lost preemption, visible to the
+                            // oracles through this counter.
+                            self.stats
+                                .signals_dropped_injected
+                                .fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                        if let Some(delay_ns) = inj.take_signal_delay() {
+                            deferred.push(DeferredSignal {
+                                worker: i,
+                                gen,
+                                due_ns: self.clock.now_ns().saturating_add(delay_ns),
+                            });
+                            continue;
+                        }
+                    }
+                    self.send_signal(i, gen);
+                }
+            }
+
+            // 1b. Deliver injected-delay signals whose release time has
+            //     passed. A delayed store typically lands after its slice
+            //     ended — exactly the stale-signal window the generation
+            //     tag defends against.
+            #[cfg(feature = "fault-injection")]
+            if !deferred.is_empty() {
+                let now = self.clock.now_ns();
+                let mut j = 0;
+                while j < deferred.len() {
+                    if deferred[j].due_ns <= now {
+                        let d = deferred.swap_remove(j);
+                        self.send_signal(d.worker, d.gen);
+                        progressed = true;
+                    } else {
+                        j += 1;
+                    }
                 }
             }
 
@@ -122,12 +171,13 @@ impl<A: ConcordApp> DispatcherLoop<A> {
                 while self.in_flight(&central, &stolen) < self.cfg.max_in_flight {
                     let Some(req) = self.rx.pop() else { break };
                     self.stats.ingested.fetch_add(1, Ordering::Relaxed);
+                    let now_ns = self.clock.now_ns();
                     let task = match stack_pool.pop() {
                         Some(stack) => {
                             self.stats.stack_reuses.fetch_add(1, Ordering::Relaxed);
-                            Task::with_stack(self.app.clone(), req, stack)
+                            Task::with_stack(self.app.clone(), req, stack, now_ns)
                         }
-                        None => Task::new(self.app.clone(), req, self.cfg.stack_size),
+                        None => Task::new(self.app.clone(), req, self.cfg.stack_size, now_ns),
                     };
                     central.push_back(task);
                     progressed = true;
@@ -142,6 +192,10 @@ impl<A: ConcordApp> DispatcherLoop<A> {
                 let task = central.pop_front().expect("checked non-empty");
                 self.workers[target].inflight += 1;
                 self.stats.dispatched.fetch_add(1, Ordering::Relaxed);
+                if let Some(ws) = self.stats.per_worker.get(target) {
+                    ws.queue_max
+                        .fetch_max(self.workers[target].inflight as u64, Ordering::Relaxed);
+                }
                 if let Err(_task) = self.workers[target].ring.push(task) {
                     unreachable!("JBSQ bound guarantees ring capacity");
                 }
@@ -160,10 +214,22 @@ impl<A: ConcordApp> DispatcherLoop<A> {
                     }
                 }
                 if let Some(mut task) = stolen.take() {
-                    set_mode(PreemptMode::DispatcherDeadline(
-                        Instant::now() + self.cfg.dispatcher_slice,
-                    ));
-                    let end = task.run_slice();
+                    // The injected-panic target must fire wherever the
+                    // request runs — a steal must not dodge the fault.
+                    #[cfg(feature = "fault-injection")]
+                    if let Some(inj) = self.cfg.fault_injector.as_deref() {
+                        if inj.take_panic(task.req.id, task.slices) {
+                            crate::preempt::arm_injected_panic();
+                        }
+                    }
+                    set_mode(PreemptMode::DispatcherDeadline {
+                        clock: self.clock.clone(),
+                        deadline_ns: self
+                            .clock
+                            .now_ns()
+                            .saturating_add(self.cfg.dispatcher_slice.as_nanos() as u64),
+                    });
+                    let end = task.run_slice(&self.clock);
                     set_mode(PreemptMode::None);
                     match end {
                         SliceEnd::Completed => {
@@ -187,8 +253,9 @@ impl<A: ConcordApp> DispatcherLoop<A> {
 
             // Periodic human-readable telemetry report, if configured.
             if let Some(every) = self.cfg.telemetry_report_every {
-                if last_report.elapsed() >= every {
-                    last_report = Instant::now();
+                let now_ns = self.clock.now_ns();
+                if now_ns.saturating_sub(last_report_ns) >= every.as_nanos() as u64 {
+                    last_report_ns = now_ns;
                     let snap = self.telemetry.lock().snapshot();
                     if snap.recorded > 0 {
                         eprintln!("{}", snap.render());
@@ -204,6 +271,13 @@ impl<A: ConcordApp> DispatcherLoop<A> {
                     && self.workers.iter().all(|w| w.inflight == 0)
                     && self.from_workers.is_empty();
                 if drained {
+                    // Flush any still-deferred injected signals so the
+                    // signal accounting closes (they land in idle lines
+                    // and are swept as obsolete after the join).
+                    #[cfg(feature = "fault-injection")]
+                    for d in deferred.drain(..) {
+                        self.send_signal(d.worker, d.gen);
+                    }
                     // Catch any record whose completion message was
                     // handled before this loop iteration's drain.
                     for i in 0..self.workers.len() {
@@ -215,9 +289,31 @@ impl<A: ConcordApp> DispatcherLoop<A> {
             }
 
             if !progressed {
+                // Tripwire for the work-conservation oracle: this branch
+                // with runnable work queued and capacity available would
+                // mean the dispatch logic above regressed. The conditions
+                // mirror steps 4 and 5 exactly, so this is unreachable
+                // today — the conformance suite asserts it stays that way.
+                if !central.is_empty()
+                    && (self.pick_worker().is_some()
+                        || (self.cfg.work_conserving
+                            && stolen.is_none()
+                            && self.all_workers_full()
+                            && central.iter().any(|t| !t.started)))
+                {
+                    self.stats
+                        .work_conservation_violations
+                        .fetch_add(1, Ordering::Relaxed);
+                }
                 std::thread::yield_now();
             }
         }
+    }
+
+    /// Stores a preemption signal for `gen` on `worker`'s line.
+    fn send_signal(&self, worker: usize, gen: u64) {
+        self.workers[worker].shared.line.signal(gen);
+        self.stats.signals_sent.fetch_add(1, Ordering::Relaxed);
     }
 
     fn in_flight(&self, central: &VecDeque<Task>, stolen: &Option<Task>) -> usize {
@@ -265,7 +361,7 @@ impl<A: ConcordApp> DispatcherLoop<A> {
         failed: bool,
         stack_pool: &mut Vec<concord_uthread::stack::Stack>,
     ) {
-        let record = CompletionRecord::from_task(&task, DISPATCHER, failed);
+        let record = CompletionRecord::from_task(&task, self.clock.now_ns(), DISPATCHER, failed);
         self.telemetry.lock().record(&record);
         let resp = task.response();
         self.emit(resp);
@@ -279,10 +375,19 @@ impl<A: ConcordApp> DispatcherLoop<A> {
     /// Pushes a response, retrying briefly if the TX ring is full; a
     /// persistently full ring (no collector) drops the response rather
     /// than wedging the runtime. Drops are counted in
-    /// [`RuntimeStats::tx_dropped`] and logged once per runtime.
+    /// [`RuntimeStats::tx_dropped`] and logged once per runtime. The
+    /// fault injector can zero the retry budget to force the drop path.
     fn emit(&mut self, resp: Response) {
+        #[cfg_attr(not(feature = "fault-injection"), allow(unused_mut))]
+        let mut budget = 10_000;
+        #[cfg(feature = "fault-injection")]
+        if let Some(inj) = self.cfg.fault_injector.as_deref() {
+            if inj.take_tx_reject() {
+                budget = 0;
+            }
+        }
         let mut r = resp;
-        for _ in 0..10_000 {
+        for _ in 0..budget {
             match self.tx.push(r) {
                 Ok(()) => return,
                 Err(back) => {
@@ -291,8 +396,9 @@ impl<A: ConcordApp> DispatcherLoop<A> {
                 }
             }
         }
-        // Collector gone; drop the response descriptor — but never
-        // silently: the loss is counted and announced once.
+        // Collector gone (or backpressure injected); drop the response
+        // descriptor — but never silently: the loss is counted and
+        // announced once.
         let dropped_before = self.stats.tx_dropped.fetch_add(1, Ordering::Relaxed);
         if dropped_before == 0 && !self.stats.tx_drop_logged.swap(true, Ordering::Relaxed) {
             eprintln!(

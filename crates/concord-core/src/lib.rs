@@ -48,8 +48,11 @@
 #![forbid(unsafe_code)]
 
 pub mod app;
+pub mod clock;
 pub mod config;
 pub mod dispatcher;
+#[cfg(feature = "fault-injection")]
+pub mod fault;
 pub mod preempt;
 pub mod runtime;
 pub mod stats;
@@ -58,8 +61,11 @@ pub mod telemetry;
 pub mod worker;
 
 pub use app::{ConcordApp, RequestContext, SpinApp};
+pub use clock::{Clock, VirtualClock};
 pub use config::RuntimeConfig;
-pub use preempt::{LockDepthObserver, PreemptLine};
+#[cfg(feature = "fault-injection")]
+pub use fault::FaultInjector;
+pub use preempt::{LockDepthObserver, PreemptLine, SignalAccounting, SignalPoll};
 pub use runtime::Runtime;
 pub use stats::{RuntimeStats, WorkerStats};
 pub use telemetry::{CompletionRecord, TelemetrySnapshot};

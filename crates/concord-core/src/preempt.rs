@@ -9,15 +9,23 @@
 //! bare boolean flag cleared at slice start, which left exactly that race
 //! open: claim slice N, worker finishes N and clears for N+1, late signal
 //! sets the flag, N+1's first preemption point spuriously yields.)
+//!
+//! Every signal's fate is accounted on the [`WorkerShared`] it targeted:
+//! *consumed* (the slice yielded), *obsolete* (it landed for the current
+//! slice after the slice had already finished), or *stale* (it carried an
+//! old generation and was rejected). The conformance oracles assert that
+//! `signals_sent == consumed + obsolete + stale` at quiescence — the
+//! no-lost-preemption invariant.
 
+use crate::clock::Clock;
 use crossbeam_utils::CachePadded;
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Bits of the slice state word holding the quantum deadline
-/// (microseconds since runtime epoch: 40 bits ≈ 34 years).
+/// (microseconds since the clock epoch: 40 bits ≈ 34 years).
 const DEADLINE_BITS: u32 = 40;
 /// Mask extracting the deadline from a packed slice state.
 const DEADLINE_MASK: u64 = (1 << DEADLINE_BITS) - 1;
@@ -29,6 +37,17 @@ const IDLE: u64 = u64::MAX;
 /// Packs a slice generation and deadline into one state word.
 fn pack(gen: u64, deadline_us: u64) -> u64 {
     ((gen & GEN_MASK) << DEADLINE_BITS) | (deadline_us & DEADLINE_MASK)
+}
+
+/// What a worker-side poll found in the preemption line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SignalPoll {
+    /// No signal pending.
+    Empty,
+    /// A signal for the polled generation was consumed (yield now).
+    Consumed,
+    /// A signal for a *different* generation was discarded.
+    Stale,
 }
 
 /// The per-worker dedicated cache line `L_i` (§3.1).
@@ -68,15 +87,16 @@ impl PreemptLine {
         self.word.load(Ordering::Relaxed) == token(gen)
     }
 
-    /// Worker side: consume the signal if it targets slice `gen`.
+    /// Worker side: consume the signal if it targets slice `gen`,
+    /// classifying what was found.
     ///
     /// A pending signal for *another* generation is stale by definition
     /// (each generation is signaled at most once, and only the current
     /// slice polls); it is discarded so it cannot linger.
-    pub fn take_signal(&self, gen: u64) -> bool {
+    pub fn poll(&self, gen: u64) -> SignalPoll {
         let w = self.word.load(Ordering::Relaxed);
         if w == 0 {
-            return false;
+            return SignalPoll::Empty;
         }
         if w == token(gen) {
             // A second signal for the same slice is never sent (the
@@ -84,20 +104,49 @@ impl PreemptLine {
             // later generation can be signaled while this slice still
             // runs, so a plain store cannot lose anything.
             self.word.store(0, Ordering::Relaxed);
-            true
+            SignalPoll::Consumed
         } else {
             // Stale token: discard it, but only if it is still there — a
             // fresh signal racing in must survive.
             let _ = self
                 .word
                 .compare_exchange(w, 0, Ordering::Relaxed, Ordering::Relaxed);
-            false
+            SignalPoll::Stale
         }
+    }
+
+    /// Worker side: consume the signal if it targets slice `gen`.
+    pub fn take_signal(&self, gen: u64) -> bool {
+        self.poll(gen) == SignalPoll::Consumed
+    }
+
+    /// Worker side: discard any pending signal, reporting whether one was
+    /// pending.
+    pub fn drain(&self) -> bool {
+        self.word.swap(0, Ordering::Relaxed) != 0
     }
 
     /// Worker side: discard any pending signal.
     pub fn clear(&self) {
         self.word.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Final tally of signal fates for one worker (see [`WorkerShared`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SignalAccounting {
+    /// Signals consumed at a preemption point (each one a preemption).
+    pub consumed: u64,
+    /// Signals that landed for the current slice after it had finished.
+    pub obsolete: u64,
+    /// Signals rejected because they carried an old generation.
+    pub stale: u64,
+}
+
+impl SignalAccounting {
+    /// Total signals this worker observed, whatever their fate.
+    pub fn total(&self) -> u64 {
+        self.consumed + self.obsolete + self.stale
     }
 }
 
@@ -116,6 +165,12 @@ pub struct WorkerShared {
     /// Generation of the current (or most recent) slice. Written by the
     /// worker, read by its own preemption points.
     gen: AtomicU64,
+    /// Signals consumed at preemption points (== preemptions taken).
+    consumed: AtomicU64,
+    /// Signals that arrived for a slice that had already ended.
+    obsolete: AtomicU64,
+    /// Signals discarded because they carried a stale generation.
+    stale: AtomicU64,
 }
 
 impl WorkerShared {
@@ -125,25 +180,44 @@ impl WorkerShared {
             line: PreemptLine::new(),
             slice: AtomicU64::new(IDLE),
             gen: AtomicU64::new(0),
+            consumed: AtomicU64::new(0),
+            obsolete: AtomicU64::new(0),
+            stale: AtomicU64::new(0),
         }
     }
 
     /// Worker: start a new slice with its quantum deadline, returning the
     /// slice's generation. Any signal still pending from an earlier slice
-    /// is discarded here; one that lands *after* this call carries a stale
-    /// generation and is rejected at the preemption point.
-    pub fn begin_slice(&self, epoch: Instant, quantum: Duration) -> u64 {
+    /// is discarded (and accounted stale) here; one that lands *after*
+    /// this call carries a stale generation and is rejected at the
+    /// preemption point.
+    pub fn begin_slice(&self, clock: &Clock, quantum: Duration) -> u64 {
         let gen = self.gen.load(Ordering::Relaxed).wrapping_add(1);
         self.gen.store(gen, Ordering::Relaxed);
-        self.line.clear();
-        let deadline_us = (epoch.elapsed() + quantum).as_micros() as u64;
+        if self.line.drain() {
+            self.stale.fetch_add(1, Ordering::Relaxed);
+        }
+        let quantum_ns = quantum.as_nanos().min(u64::MAX as u128) as u64;
+        let deadline_us = clock.now_ns().saturating_add(quantum_ns) / 1_000;
         self.slice.store(pack(gen, deadline_us), Ordering::Release);
         gen
     }
 
-    /// Worker: mark idle (no slice to preempt).
+    /// Worker: mark idle (no slice to preempt). A signal that landed for
+    /// the just-finished slice between its last preemption point and here
+    /// is consumed and accounted obsolete — it arrived too late to matter
+    /// but must not linger into the next slice.
     pub fn end_slice(&self) {
         self.slice.store(IDLE, Ordering::Release);
+        match self.line.poll(self.generation()) {
+            SignalPoll::Empty => {}
+            SignalPoll::Consumed => {
+                self.obsolete.fetch_add(1, Ordering::Relaxed);
+            }
+            SignalPoll::Stale => {
+                self.stale.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Generation of the slice currently running (meaningful only between
@@ -151,6 +225,22 @@ impl WorkerShared {
     /// the worker itself).
     pub fn generation(&self) -> u64 {
         self.gen.load(Ordering::Relaxed)
+    }
+
+    /// Worker preemption point: consume a signal for the current slice,
+    /// accounting its fate. True means "yield now".
+    pub fn take_signal_current(&self) -> bool {
+        match self.line.poll(self.generation()) {
+            SignalPoll::Empty => false,
+            SignalPoll::Consumed => {
+                self.consumed.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            SignalPoll::Stale => {
+                self.stale.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
     }
 
     /// Test helper: signal the *current* slice, as the dispatcher would
@@ -162,12 +252,12 @@ impl WorkerShared {
     /// Dispatcher: if the published deadline has passed, atomically claim
     /// the slice (so each slice is signaled once) and return its
     /// generation for the signal.
-    pub fn claim_expired(&self, epoch: Instant) -> Option<u64> {
+    pub fn claim_expired(&self, clock: &Clock) -> Option<u64> {
         let state = self.slice.load(Ordering::Acquire);
         if state == IDLE {
             return None;
         }
-        let now_us = epoch.elapsed().as_micros() as u64;
+        let now_us = clock.now_ns() / 1_000;
         if now_us < (state & DEADLINE_MASK) {
             return None;
         }
@@ -178,6 +268,24 @@ impl WorkerShared {
             .compare_exchange(state, IDLE, Ordering::AcqRel, Ordering::Relaxed)
             .ok()
             .map(|_| state >> DEADLINE_BITS)
+    }
+
+    /// Shutdown sweep (call only when no runtime thread touches this
+    /// state anymore): account a signal still sitting in the line as
+    /// obsolete, so `signals_sent` balances against the fates.
+    pub fn sweep_pending(&self) {
+        if self.line.drain() {
+            self.obsolete.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Tally of signal fates observed so far.
+    pub fn signal_accounting(&self) -> SignalAccounting {
+        SignalAccounting {
+            consumed: self.consumed.load(Ordering::Relaxed),
+            obsolete: self.obsolete.load(Ordering::Relaxed),
+            stale: self.stale.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -239,14 +347,40 @@ pub enum PreemptMode {
     /// On a worker: poll this dedicated cache line, accepting only signals
     /// aimed at the current slice generation.
     Worker(Arc<WorkerShared>),
-    /// On the work-conserving dispatcher: self-preempt past this deadline
-    /// (the rdtsc-instrumented code path of §3.3).
-    DispatcherDeadline(Instant),
+    /// On the work-conserving dispatcher: self-preempt once `clock` passes
+    /// `deadline_ns` (the rdtsc-instrumented code path of §3.3).
+    DispatcherDeadline {
+        /// The runtime's time source.
+        clock: Clock,
+        /// Yield once the clock reads at least this, nanoseconds.
+        deadline_ns: u64,
+    },
 }
 
 thread_local! {
     static MODE: std::cell::RefCell<PreemptMode> =
         const { std::cell::RefCell::new(PreemptMode::None) };
+}
+
+#[cfg(feature = "fault-injection")]
+thread_local! {
+    /// Armed by the worker loop when the fault injector targets the slice
+    /// about to run; the next preemption point on this thread panics
+    /// (inside the request's coroutine).
+    static INJECTED_PANIC: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Arms a forced panic at this thread's next preemption point (fault
+/// injection only; see [`FaultInjector::panic_on`](crate::fault::FaultInjector::panic_on)).
+#[cfg(feature = "fault-injection")]
+pub fn arm_injected_panic() {
+    INJECTED_PANIC.with(|c| c.set(true));
+}
+
+/// Disarms a pending injected panic (worker loop cleanup after a slice).
+#[cfg(feature = "fault-injection")]
+pub fn disarm_injected_panic() {
+    INJECTED_PANIC.with(|c| c.set(false));
 }
 
 /// Installs the preemption mode for the slice about to run on this thread.
@@ -258,19 +392,24 @@ pub fn set_mode(mode: PreemptMode) {
 /// generation is pending (or the dispatcher deadline passed) *and* no lock
 /// is held. Consumes the signal.
 pub fn should_yield() -> bool {
+    #[cfg(feature = "fault-injection")]
+    if INJECTED_PANIC.with(|c| c.replace(false)) {
+        panic!("fault-injection: forced panic at preemption point");
+    }
     if lock_depth() != 0 {
         return false;
     }
     MODE.with(|m| match &*m.borrow() {
         PreemptMode::None => false,
-        PreemptMode::Worker(shared) => shared.line.take_signal(shared.generation()),
-        PreemptMode::DispatcherDeadline(deadline) => Instant::now() >= *deadline,
+        PreemptMode::Worker(shared) => shared.take_signal_current(),
+        PreemptMode::DispatcherDeadline { clock, deadline_ns } => clock.now_ns() >= *deadline_ns,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::clock::Clock;
 
     #[test]
     fn line_signal_roundtrip() {
@@ -296,65 +435,129 @@ mod tests {
         let l = PreemptLine::new();
         l.signal(3);
         assert!(!l.is_signaled(4));
-        assert!(!l.take_signal(4), "stale-generation signal must not yield");
+        assert_eq!(l.poll(4), SignalPoll::Stale, "stale signal must not yield");
         // And it does not linger for a later poll either.
-        assert!(!l.take_signal(3));
+        assert_eq!(l.poll(3), SignalPoll::Empty);
     }
 
     #[test]
     fn deadline_claim_fires_once_with_generation() {
+        let (clock, v) = Clock::manual();
         let s = WorkerShared::new();
-        let epoch = Instant::now();
-        let gen = s.begin_slice(epoch, Duration::ZERO); // expires immediately
-        std::thread::sleep(Duration::from_millis(1));
-        assert_eq!(s.claim_expired(epoch), Some(gen & GEN_MASK));
-        assert_eq!(s.claim_expired(epoch), None, "second claim must fail");
+        let gen = s.begin_slice(&clock, Duration::ZERO); // expires immediately
+        v.advance(Duration::from_micros(1));
+        assert_eq!(s.claim_expired(&clock), Some(gen & GEN_MASK));
+        assert_eq!(s.claim_expired(&clock), None, "second claim must fail");
     }
 
     #[test]
     fn future_deadline_does_not_fire() {
+        let (clock, v) = Clock::manual();
         let s = WorkerShared::new();
-        let epoch = Instant::now();
-        s.begin_slice(epoch, Duration::from_secs(60));
-        assert_eq!(s.claim_expired(epoch), None);
+        s.begin_slice(&clock, Duration::from_micros(100));
+        v.advance(Duration::from_micros(99));
+        assert_eq!(s.claim_expired(&clock), None);
+        v.advance(Duration::from_micros(1));
+        assert!(s.claim_expired(&clock).is_some(), "deadline reached");
     }
 
     #[test]
     fn idle_worker_never_expires() {
+        let (clock, v) = Clock::manual();
         let s = WorkerShared::new();
-        assert_eq!(
-            s.claim_expired(Instant::now() - Duration::from_secs(1)),
-            None
-        );
+        v.advance(Duration::from_secs(1));
+        assert_eq!(s.claim_expired(&clock), None);
     }
 
     #[test]
     fn claim_of_ended_slice_fails() {
+        let (clock, v) = Clock::manual();
         let s = WorkerShared::new();
-        let epoch = Instant::now();
-        s.begin_slice(epoch, Duration::ZERO);
-        std::thread::sleep(Duration::from_millis(1));
+        s.begin_slice(&clock, Duration::ZERO);
+        v.advance(Duration::from_micros(1));
         s.end_slice();
-        assert_eq!(s.claim_expired(epoch), None, "ended slice is unclaimable");
+        assert_eq!(s.claim_expired(&clock), None, "ended slice is unclaimable");
     }
 
     #[test]
     fn late_signal_from_previous_slice_cannot_preempt_next() {
         // The exact interleaving of the stale-signal bug: the dispatcher
         // claims slice N's expiry, the worker moves on to slice N+1, and
-        // only then does the signal land.
+        // only then does the signal land. Virtual time makes the expiry
+        // deterministic — no sleeps, no wall clock.
+        let (clock, v) = Clock::manual();
         let s = WorkerShared::new();
-        let epoch = Instant::now();
-        let _n = s.begin_slice(epoch, Duration::ZERO);
-        std::thread::sleep(Duration::from_millis(1));
-        let claimed = s.claim_expired(epoch).expect("slice N expired");
+        let _n = s.begin_slice(&clock, Duration::ZERO);
+        v.advance(Duration::from_micros(1));
+        let claimed = s.claim_expired(&clock).expect("slice N expired");
         s.end_slice();
-        let next = s.begin_slice(epoch, Duration::from_secs(60));
+        let next = s.begin_slice(&clock, Duration::from_secs(60));
         s.line.signal(claimed); // the late write
         assert!(
-            !s.line.take_signal(next),
+            !s.take_signal_current(),
             "slice N's signal preempted slice N+1"
         );
+        let _ = next;
+        assert_eq!(
+            s.signal_accounting().stale,
+            1,
+            "the stale signal must be accounted"
+        );
+    }
+
+    #[test]
+    fn signal_accounting_balances() {
+        let (clock, v) = Clock::manual();
+        let s = WorkerShared::new();
+
+        // Consumed: signal for the current slice, taken at a poll.
+        s.begin_slice(&clock, Duration::from_secs(60));
+        s.signal_current();
+        assert!(s.take_signal_current());
+        s.end_slice();
+
+        // Obsolete: signal lands after the work, consumed by end_slice.
+        s.begin_slice(&clock, Duration::ZERO);
+        v.advance(Duration::from_micros(1));
+        let gen = s.claim_expired(&clock).expect("expired");
+        s.line.signal(gen);
+        s.end_slice();
+
+        // Stale: late signal from a claimed slice hits the next slice.
+        s.begin_slice(&clock, Duration::ZERO);
+        v.advance(Duration::from_micros(1));
+        let gen = s.claim_expired(&clock).expect("expired");
+        s.end_slice();
+        s.begin_slice(&clock, Duration::from_secs(60));
+        s.line.signal(gen);
+        assert!(!s.take_signal_current());
+        s.end_slice();
+
+        let acc = s.signal_accounting();
+        assert_eq!(
+            acc,
+            SignalAccounting {
+                consumed: 1,
+                obsolete: 1,
+                stale: 1
+            }
+        );
+        assert_eq!(acc.total(), 3, "every signal accounted exactly once");
+    }
+
+    #[test]
+    fn sweep_accounts_a_parked_signal() {
+        let (clock, v) = Clock::manual();
+        let s = WorkerShared::new();
+        s.begin_slice(&clock, Duration::ZERO);
+        v.advance(Duration::from_micros(1));
+        let gen = s.claim_expired(&clock).expect("expired");
+        s.end_slice();
+        s.line.signal(gen); // lands after the final end_slice
+        s.sweep_pending();
+        assert_eq!(s.signal_accounting().obsolete, 1);
+        s.sweep_pending();
+        assert_eq!(s.signal_accounting().obsolete, 1, "sweep is idempotent");
     }
 
     #[test]
@@ -372,14 +575,16 @@ mod tests {
 
     #[test]
     fn dispatcher_deadline_mode() {
-        set_mode(PreemptMode::DispatcherDeadline(
-            Instant::now() + Duration::from_secs(60),
-        ));
+        let (clock, v) = Clock::manual();
+        set_mode(PreemptMode::DispatcherDeadline {
+            clock: clock.clone(),
+            deadline_ns: 1_000,
+        });
         assert!(!should_yield());
-        set_mode(PreemptMode::DispatcherDeadline(
-            Instant::now() - Duration::from_millis(1),
-        ));
-        assert!(should_yield());
+        v.advance_ns(999);
+        assert!(!should_yield(), "999 < 1000");
+        v.advance_ns(1);
+        assert!(should_yield(), "deadline reached exactly");
         set_mode(PreemptMode::None);
     }
 
@@ -404,5 +609,19 @@ mod tests {
         o.unlocked();
         o.unlocked();
         assert_eq!(lock_depth(), 0);
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn injected_panic_fires_once_at_next_point() {
+        std::thread::spawn(|| {
+            set_mode(PreemptMode::None);
+            arm_injected_panic();
+            let fired = std::panic::catch_unwind(should_yield).is_err();
+            assert!(fired, "armed panic must fire");
+            assert!(!should_yield(), "disarmed after firing");
+        })
+        .join()
+        .expect("injected-panic thread");
     }
 }

@@ -1,9 +1,10 @@
 //! Runtime assembly: spawn the dispatcher and workers, wire the rings.
 
 use crate::app::ConcordApp;
+use crate::clock::Clock;
 use crate::config::RuntimeConfig;
 use crate::dispatcher::{DispatcherLoop, WorkerSlot};
-use crate::preempt::WorkerShared;
+use crate::preempt::{SignalAccounting, WorkerShared};
 use crate::stats::RuntimeStats;
 use crate::task::Task;
 use crate::telemetry::{CompletionRecord, Telemetry, TelemetryHandle, TelemetrySnapshot};
@@ -15,7 +16,6 @@ use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
 
 /// Capacity of each per-worker completion-telemetry ring. Records are
 /// drained on every completion message, so occupancy tracks the JBSQ
@@ -33,6 +33,7 @@ pub struct Runtime {
     stop: Arc<AtomicBool>,
     stats: Arc<RuntimeStats>,
     telemetry: TelemetryHandle,
+    shared: Vec<Arc<WorkerShared>>,
     dispatcher: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -54,7 +55,7 @@ impl Runtime {
         assert!(config.n_workers >= 1, "need at least one worker");
         app.setup();
 
-        let epoch = Instant::now();
+        let clock: Clock = config.clock.clone();
         let stop = Arc::new(AtomicBool::new(false));
         let workers_stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(RuntimeStats::with_workers(config.n_workers));
@@ -63,8 +64,10 @@ impl Runtime {
 
         let mut slots = Vec::with_capacity(config.n_workers);
         let mut worker_handles = Vec::with_capacity(config.n_workers);
+        let mut shared_lines = Vec::with_capacity(config.n_workers);
         for idx in 0..config.n_workers {
             let shared = Arc::new(WorkerShared::new());
+            shared_lines.push(shared.clone());
             let (task_tx, task_rx) = ring::<Task>(config.jbsq_depth.max(1));
             let (rec_tx, rec_rx) = ring::<CompletionRecord>(TELEMETRY_RING_CAP);
             slots.push(WorkerSlot {
@@ -79,10 +82,12 @@ impl Runtime {
                 local: task_rx,
                 to_dispatcher: from_workers.clone(),
                 telemetry: rec_tx,
-                epoch,
+                clock: clock.clone(),
                 quantum: config.quantum,
                 stop: workers_stop.clone(),
                 stats: stats.clone(),
+                #[cfg(feature = "fault-injection")]
+                injector: config.fault_injector.clone(),
             };
             let app_for_worker = app.clone();
             let handle = std::thread::Builder::new()
@@ -97,16 +102,16 @@ impl Runtime {
 
         let dl = DispatcherLoop {
             app,
-            cfg: config,
             rx,
             tx,
             workers: slots,
             from_workers,
             telemetry: telemetry.clone(),
-            epoch,
+            clock,
             stop: stop.clone(),
             workers_stop,
             stats: stats.clone(),
+            cfg: config,
         };
         let dispatcher = std::thread::Builder::new()
             .name("concord-dispatcher".into())
@@ -117,6 +122,7 @@ impl Runtime {
             stop,
             stats,
             telemetry,
+            shared: shared_lines,
             dispatcher: Some(dispatcher),
             workers: worker_handles,
         }
@@ -140,9 +146,29 @@ impl Runtime {
         t.snapshot()
     }
 
-    /// Stops ingesting, drains every in-flight request, joins all threads
-    /// and returns the final counters.
-    pub fn shutdown(mut self) -> Arc<RuntimeStats> {
+    /// Sum of every worker's signal-fate tally (consumed / obsolete /
+    /// stale). At quiescence (after [`Runtime::shutdown`], which also
+    /// sweeps still-parked signals) the conformance oracle asserts
+    /// `total() == signals_sent` — injector-suppressed stores never
+    /// increment `signals_sent` and are tallied separately in
+    /// `signals_dropped_injected`.
+    pub fn signal_accounting(&self) -> SignalAccounting {
+        let mut sum = SignalAccounting::default();
+        for s in &self.shared {
+            let a = s.signal_accounting();
+            sum.consumed += a.consumed;
+            sum.obsolete += a.obsolete;
+            sum.stale += a.stale;
+        }
+        sum
+    }
+
+    /// Stops ingesting, drains every in-flight request and joins all
+    /// threads, leaving the runtime queryable: after this returns,
+    /// [`Runtime::stats`], [`Runtime::telemetry`] and
+    /// [`Runtime::signal_accounting`] are final (quiescent) values.
+    /// Idempotent.
+    pub fn quiesce(&mut self) {
         self.stop.store(true, Ordering::Release);
         if let Some(d) = self.dispatcher.take() {
             d.join().expect("dispatcher thread");
@@ -150,6 +176,24 @@ impl Runtime {
         for w in self.workers.drain(..) {
             w.join().expect("worker thread");
         }
+        // All threads quiesced: account any signal that landed after its
+        // worker's final slice, then publish the per-worker signal fates
+        // into the stats rows so they survive this Runtime being dropped.
+        for (i, s) in self.shared.iter().enumerate() {
+            s.sweep_pending();
+            let a = s.signal_accounting();
+            if let Some(ws) = self.stats.per_worker.get(i) {
+                ws.signals_consumed.store(a.consumed, Ordering::Relaxed);
+                ws.signals_obsolete.store(a.obsolete, Ordering::Relaxed);
+                ws.signals_stale.store(a.stale, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Stops ingesting, drains every in-flight request, joins all threads
+    /// and returns the final counters.
+    pub fn shutdown(mut self) -> Arc<RuntimeStats> {
+        self.quiesce();
         self.stats.clone()
     }
 }

@@ -11,6 +11,17 @@ pub struct WorkerStats {
     pub preempted: AtomicU64,
     /// Contained application panics on this worker.
     pub failed: AtomicU64,
+    /// High-watermark of this worker's JBSQ occupancy (the conformance
+    /// oracle asserts it never exceeds the configured depth `k`).
+    pub queue_max: AtomicU64,
+    /// Signals this worker consumed at a preemption point (copied from
+    /// the shared preemption state at shutdown).
+    pub signals_consumed: AtomicU64,
+    /// Signals that landed after their slice finished (copied at
+    /// shutdown).
+    pub signals_obsolete: AtomicU64,
+    /// Stale-generation signals rejected (copied at shutdown).
+    pub signals_stale: AtomicU64,
 }
 
 impl WorkerStats {
@@ -54,6 +65,16 @@ pub struct RuntimeStats {
     pub tx_dropped: AtomicU64,
     /// Completion telemetry records lost to a full per-worker ring.
     pub telemetry_dropped: AtomicU64,
+    /// Preemption signals suppressed by the fault injector (claimed
+    /// expiries whose store was deliberately never performed). Always 0
+    /// without the `fault-injection` feature.
+    pub signals_dropped_injected: AtomicU64,
+    /// Tripwire: dispatcher loop iterations that made no progress while
+    /// runnable work was queued and capacity existed (a free JBSQ slot, or
+    /// a stealable non-started request with work conservation on). The
+    /// dispatch logic makes this unreachable; the conformance oracle
+    /// asserts it stays 0 so a future regression is caught immediately.
+    pub work_conservation_violations: AtomicU64,
     /// Latched by the first TX drop so it is logged exactly once.
     pub tx_drop_logged: AtomicBool,
     /// Per-worker breakdowns, indexed by worker id.
@@ -78,7 +99,7 @@ impl RuntimeStats {
     }
 
     /// Snapshot of all counters as (name, value) pairs, including one row
-    /// of completed/preempted/failed per worker.
+    /// of completed/preempted/failed/queue_max per worker.
     pub fn snapshot(&self) -> Vec<(String, u64)> {
         let mut rows: Vec<(String, u64)> = [
             ("ingested", self.ingested.load(Ordering::Relaxed)),
@@ -102,6 +123,14 @@ impl RuntimeStats {
                 "telemetry_dropped",
                 self.telemetry_dropped.load(Ordering::Relaxed),
             ),
+            (
+                "signals_dropped_injected",
+                self.signals_dropped_injected.load(Ordering::Relaxed),
+            ),
+            (
+                "work_conservation_violations",
+                self.work_conservation_violations.load(Ordering::Relaxed),
+            ),
         ]
         .into_iter()
         .map(|(n, v)| (n.to_string(), v))
@@ -111,6 +140,10 @@ impl RuntimeStats {
             rows.push((format!("worker{i}_completed"), completed));
             rows.push((format!("worker{i}_preempted"), preempted));
             rows.push((format!("worker{i}_failed"), failed));
+            rows.push((
+                format!("worker{i}_queue_max"),
+                w.queue_max.load(Ordering::Relaxed),
+            ));
         }
         rows
     }
@@ -145,6 +178,8 @@ mod tests {
             "stack_reuses",
             "tx_dropped",
             "telemetry_dropped",
+            "signals_dropped_injected",
+            "work_conservation_violations",
         ] {
             assert!(names.iter().any(|n| n == want), "{want} missing");
         }
@@ -155,6 +190,7 @@ mod tests {
         let s = RuntimeStats::with_workers(2);
         s.per_worker[0].completed.store(7, Ordering::Relaxed);
         s.per_worker[1].preempted.store(3, Ordering::Relaxed);
+        s.per_worker[1].queue_max.store(2, Ordering::Relaxed);
         let snap = s.snapshot();
         let get = |name: &str| {
             snap.iter()
@@ -166,5 +202,6 @@ mod tests {
         assert_eq!(get("worker0_preempted"), 0);
         assert_eq!(get("worker1_preempted"), 3);
         assert_eq!(get("worker1_failed"), 0);
+        assert_eq!(get("worker1_queue_max"), 2);
     }
 }

@@ -3,8 +3,13 @@
 //! Tasks migrate freely: created by the dispatcher, executed on any
 //! worker, possibly finished by a different worker (or by the dispatcher
 //! itself for stolen, non-started requests).
+//!
+//! All lifecycle stamps are nanosecond readings of the runtime's
+//! [`Clock`], so under a virtual clock the queueing/service/sojourn
+//! telemetry is an exact, deterministic function of the schedule.
 
 use crate::app::{ConcordApp, RequestContext};
+use crate::clock::Clock;
 use concord_net::{Request, Response};
 use concord_uthread::stack::Stack;
 use concord_uthread::{CoState, Coroutine};
@@ -31,12 +36,12 @@ pub struct Task {
     /// True once any thread has executed part of this task (the dispatcher
     /// may only steal non-started tasks, §3.3).
     pub started: bool,
-    /// When the dispatcher ingested the request (task creation time).
-    pub ingested_at: Instant,
-    /// When the first slice started executing; `None` until dispatched.
-    pub first_run_at: Option<Instant>,
-    /// Accumulated executed-slice wall time.
-    pub busy: Duration,
+    /// Clock reading when the dispatcher ingested the request.
+    pub ingested_at_ns: u64,
+    /// Clock reading when the first slice started; `None` until dispatched.
+    pub first_run_ns: Option<u64>,
+    /// Accumulated executed-slice clock time, nanoseconds.
+    pub busy_ns: u64,
     /// Number of slices executed so far.
     pub slices: u32,
 }
@@ -55,13 +60,14 @@ pub enum SliceEnd {
 }
 
 impl Task {
-    /// Binds `req` to a fresh coroutine running `app.handle_request`.
-    pub fn new<A: ConcordApp>(app: Arc<A>, req: Request, stack_size: usize) -> Self {
-        Self::with_stack(app, req, Stack::new(stack_size))
+    /// Binds `req` to a fresh coroutine running `app.handle_request`,
+    /// stamped as ingested at clock reading `now_ns`.
+    pub fn new<A: ConcordApp>(app: Arc<A>, req: Request, stack_size: usize, now_ns: u64) -> Self {
+        Self::with_stack(app, req, Stack::new(stack_size), now_ns)
     }
 
     /// Like [`Task::new`] but on a recycled stack (the pooled fast path).
-    pub fn with_stack<A: ConcordApp>(app: Arc<A>, req: Request, stack: Stack) -> Self {
+    pub fn with_stack<A: ConcordApp>(app: Arc<A>, req: Request, stack: Stack, now_ns: u64) -> Self {
         let output = Arc::new(TaskOutput::default());
         let out = output.clone();
         let co = Coroutine::with_stack(stack, move |y| {
@@ -78,9 +84,9 @@ impl Task {
             co,
             output,
             started: false,
-            ingested_at: Instant::now(),
-            first_run_at: None,
-            busy: Duration::ZERO,
+            ingested_at_ns: now_ns,
+            first_run_ns: None,
+            busy_ns: 0,
             slices: 0,
         }
     }
@@ -92,17 +98,17 @@ impl Task {
     /// An application panic is contained here (the coroutine machinery
     /// already stopped it at the coroutine boundary): the slice reports
     /// [`SliceEnd::Failed`] instead of unwinding the runtime thread.
-    pub fn run_slice(&mut self) -> SliceEnd {
+    pub fn run_slice(&mut self, clock: &Clock) -> SliceEnd {
         self.started = true;
         // Telemetry stamps: one clock read on entry, one on exit (§5's
         // measurements all derive from these). ~20-25 ns per slice total
         // on current hardware — far below the µs-scale slice lengths.
-        let start = Instant::now();
-        if self.first_run_at.is_none() {
-            self.first_run_at = Some(start);
+        let start_ns = clock.now_ns();
+        if self.first_run_ns.is_none() {
+            self.first_run_ns = Some(start_ns);
         }
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.co.resume()));
-        self.busy += start.elapsed();
+        self.busy_ns += clock.now_ns().saturating_sub(start_ns);
         self.slices += 1;
         match outcome {
             Ok(CoState::Suspended) => SliceEnd::Preempted,
@@ -113,9 +119,14 @@ impl Task {
 
     /// Queueing delay (ingest → first execution). Valid once started.
     pub fn queue_delay(&self) -> Duration {
-        self.first_run_at
-            .map(|t| t.saturating_duration_since(self.ingested_at))
-            .unwrap_or(Duration::ZERO)
+        Duration::from_nanos(self.queue_delay_ns())
+    }
+
+    /// Queueing delay in clock nanoseconds (ingest → first execution).
+    pub fn queue_delay_ns(&self) -> u64 {
+        self.first_run_ns
+            .map(|t| t.saturating_sub(self.ingested_at_ns))
+            .unwrap_or(0)
     }
 
     /// Total preemptions recorded (valid after completion).
@@ -137,8 +148,8 @@ impl Task {
             service_ns: self.req.service_ns,
             sent_at: self.req.sent_at,
             finished_at: Instant::now(),
-            queue_ns: self.queue_delay().as_nanos() as u64,
-            busy_ns: self.busy.as_nanos() as u64,
+            queue_ns: self.queue_delay_ns(),
+            busy_ns: self.busy_ns,
         }
     }
 }
@@ -147,6 +158,7 @@ impl Task {
 mod tests {
     use super::*;
     use crate::app::SpinApp;
+    use crate::clock::VirtualClock;
     use crate::preempt::{set_mode, PreemptMode, WorkerShared};
     use std::time::Duration;
 
@@ -159,12 +171,34 @@ mod tests {
         }
     }
 
+    fn task(service_ns: u64) -> (Task, Clock) {
+        let clock = Clock::monotonic();
+        let now = clock.now_ns();
+        (
+            Task::new(Arc::new(SpinApp::new()), req(service_ns), 64 * 1024, now),
+            clock,
+        )
+    }
+
+    /// Test application that models service time by advancing a virtual
+    /// clock instead of spinning wall time: `busy_ns` becomes exactly the
+    /// request's nominal service time, deterministically.
+    struct VirtualSpin(Arc<VirtualClock>);
+
+    impl crate::app::ConcordApp for VirtualSpin {
+        fn handle_request(&self, req: &Request, ctx: &mut RequestContext<'_, '_>) -> u64 {
+            self.0.advance_ns(req.service_ns);
+            ctx.preempt_point();
+            0
+        }
+    }
+
     #[test]
     fn short_task_completes_in_one_slice() {
         set_mode(PreemptMode::None);
-        let mut t = Task::new(Arc::new(SpinApp::new()), req(10_000), 64 * 1024);
+        let (mut t, clock) = task(10_000);
         assert!(!t.started);
-        assert_eq!(t.run_slice(), SliceEnd::Completed);
+        assert_eq!(t.run_slice(&clock), SliceEnd::Completed);
         assert!(t.started);
         assert_eq!(t.preemptions(), 0);
         let resp = t.response();
@@ -178,13 +212,13 @@ mod tests {
         set_mode(PreemptMode::Worker(shared.clone()));
         // 500 µs of spinning with checks every 1 µs: signal early, expect a
         // suspension, then run to completion.
-        let mut t = Task::new(Arc::new(SpinApp::new()), req(500_000), 64 * 1024);
+        let (mut t, clock) = task(500_000);
         shared.signal_current();
-        assert_eq!(t.run_slice(), SliceEnd::Preempted);
+        assert_eq!(t.run_slice(&clock), SliceEnd::Preempted);
         // No more signals: the remainder completes (maybe after a few
         // spurious checks).
         set_mode(PreemptMode::None);
-        assert_eq!(t.run_slice(), SliceEnd::Completed);
+        assert_eq!(t.run_slice(&clock), SliceEnd::Completed);
         assert_eq!(t.preemptions(), 1);
     }
 
@@ -192,15 +226,16 @@ mod tests {
     fn task_migrates_between_threads() {
         let shared = Arc::new(WorkerShared::new());
         set_mode(PreemptMode::Worker(shared.clone()));
-        let mut t = Task::new(Arc::new(SpinApp::new()), req(200_000), 64 * 1024);
+        let (mut t, clock) = task(200_000);
         shared.signal_current();
-        assert_eq!(t.run_slice(), SliceEnd::Preempted);
+        assert_eq!(t.run_slice(&clock), SliceEnd::Preempted);
         set_mode(PreemptMode::None);
         // Finish on another thread.
         let done = std::thread::spawn(move || {
             set_mode(PreemptMode::None);
+            let clock = Clock::monotonic();
             let mut t = t;
-            let end = t.run_slice();
+            let end = t.run_slice(&clock);
             (end, t.preemptions())
         })
         .join()
@@ -211,11 +246,11 @@ mod tests {
     #[test]
     fn completed_task_recycles_its_stack() {
         set_mode(PreemptMode::None);
-        let mut t = Task::new(Arc::new(SpinApp::new()), req(1_000), 64 * 1024);
-        assert_eq!(t.run_slice(), SliceEnd::Completed);
+        let (mut t, clock) = task(1_000);
+        assert_eq!(t.run_slice(&clock), SliceEnd::Completed);
         let stack = t.recycle().expect("stack back");
-        let mut t2 = Task::with_stack(Arc::new(SpinApp::new()), req(1_000), stack);
-        assert_eq!(t2.run_slice(), SliceEnd::Completed);
+        let mut t2 = Task::with_stack(Arc::new(SpinApp::new()), req(1_000), stack, clock.now_ns());
+        assert_eq!(t2.run_slice(&clock), SliceEnd::Completed);
     }
 
     #[test]
@@ -231,52 +266,78 @@ mod tests {
             }
         }
         set_mode(PreemptMode::None);
-        let mut t = Task::new(Arc::new(Bomb), req(1_000), 64 * 1024);
-        assert_eq!(t.run_slice(), SliceEnd::Failed);
+        let clock = Clock::monotonic();
+        let mut t = Task::new(Arc::new(Bomb), req(1_000), 64 * 1024, clock.now_ns());
+        assert_eq!(t.run_slice(&clock), SliceEnd::Failed);
         // The thread survives and can run other tasks.
-        let mut ok = Task::new(Arc::new(SpinApp::new()), req(1_000), 64 * 1024);
-        assert_eq!(ok.run_slice(), SliceEnd::Completed);
+        let (mut ok, clock) = task(1_000);
+        assert_eq!(ok.run_slice(&clock), SliceEnd::Completed);
     }
 
     #[test]
-    fn lifecycle_stamps_accumulate() {
+    fn lifecycle_stamps_are_exact_on_virtual_time() {
+        // Virtual time replaces the old sleep-based test: the queueing
+        // delay is exactly the 2 ms advanced before the first slice, and
+        // the busy time exactly the 300 µs the handler "executes".
         set_mode(PreemptMode::None);
-        let mut t = Task::new(Arc::new(SpinApp::new()), req(300_000), 64 * 1024);
-        assert!(t.first_run_at.is_none());
+        let (clock, v) = Clock::manual();
+        let app = Arc::new(VirtualSpin(v.clone()));
+        let mut t = Task::new(app, req(300_000), 64 * 1024, clock.now_ns());
+        assert!(t.first_run_ns.is_none());
         assert_eq!(t.queue_delay(), Duration::ZERO, "not yet started");
-        std::thread::sleep(Duration::from_millis(2));
-        assert_eq!(t.run_slice(), SliceEnd::Completed);
-        assert!(t.first_run_at.is_some());
-        assert!(t.queue_delay() >= Duration::from_millis(2), "queued 2ms+");
-        assert!(t.busy >= Duration::from_micros(300), "spun 300us");
+        v.advance(Duration::from_millis(2)); // deterministic "queueing"
+        assert_eq!(t.run_slice(&clock), SliceEnd::Completed);
+        assert!(t.first_run_ns.is_some());
+        assert_eq!(t.queue_delay_ns(), 2_000_000, "queued exactly 2 ms");
+        assert_eq!(t.busy_ns, 300_000, "executed exactly 300 µs");
         assert_eq!(t.slices, 1);
         let resp = t.response();
-        assert!(resp.queue_ns >= 2_000_000);
-        assert!(resp.busy_ns >= 300_000);
+        assert_eq!(resp.queue_ns, 2_000_000);
+        assert_eq!(resp.busy_ns, 300_000);
     }
 
     #[test]
     fn preempted_task_counts_slices() {
         let shared = Arc::new(WorkerShared::new());
         set_mode(PreemptMode::Worker(shared.clone()));
-        let mut t = Task::new(Arc::new(SpinApp::new()), req(500_000), 64 * 1024);
+        let (mut t, clock) = task(500_000);
         shared.signal_current();
-        assert_eq!(t.run_slice(), SliceEnd::Preempted);
+        assert_eq!(t.run_slice(&clock), SliceEnd::Preempted);
         set_mode(PreemptMode::None);
-        assert_eq!(t.run_slice(), SliceEnd::Completed);
+        assert_eq!(t.run_slice(&clock), SliceEnd::Completed);
         assert_eq!(t.slices, 2);
-        assert!(t.busy >= Duration::from_micros(500));
+        assert!(t.busy_ns >= 500_000);
     }
 
     #[test]
-    fn dispatcher_deadline_self_preempts() {
-        set_mode(PreemptMode::DispatcherDeadline(
-            Instant::now() + Duration::from_micros(100),
-        ));
-        let mut t = Task::new(Arc::new(SpinApp::new()), req(2_000_000), 64 * 1024);
-        // The 2 ms spin must hit the 100 µs deadline long before finishing.
-        assert_eq!(t.run_slice(), SliceEnd::Preempted);
+    fn dispatcher_deadline_self_preempts_on_virtual_time() {
+        // The handler advances virtual time in 50 µs steps with a check
+        // after each; the 100 µs deadline therefore fires deterministically
+        // on the second check (at exactly 100 µs), never before.
+        struct SteppedSpin(Arc<VirtualClock>);
+        impl crate::app::ConcordApp for SteppedSpin {
+            fn handle_request(&self, req: &Request, ctx: &mut RequestContext<'_, '_>) -> u64 {
+                let mut left = req.service_ns;
+                while left > 0 {
+                    let step = left.min(50_000);
+                    self.0.advance_ns(step);
+                    left -= step;
+                    ctx.preempt_point();
+                }
+                0
+            }
+        }
+        let (clock, v) = Clock::manual();
+        set_mode(PreemptMode::DispatcherDeadline {
+            clock: clock.clone(),
+            deadline_ns: clock.now_ns() + 100_000,
+        });
+        let app = Arc::new(SteppedSpin(v));
+        let mut t = Task::new(app, req(2_000_000), 64 * 1024, clock.now_ns());
+        assert_eq!(t.run_slice(&clock), SliceEnd::Preempted);
+        assert_eq!(t.busy_ns, 100_000, "yielded at exactly the second check");
         set_mode(PreemptMode::None);
-        assert_eq!(t.run_slice(), SliceEnd::Completed);
+        assert_eq!(t.run_slice(&clock), SliceEnd::Completed);
+        assert_eq!(t.busy_ns, 2_000_000, "total busy is exactly the service");
     }
 }

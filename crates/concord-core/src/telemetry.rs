@@ -1,7 +1,7 @@
 //! Request-lifecycle telemetry: per-request latency breakdowns without
 //! slowing the hot path down.
 //!
-//! Every [`Task`](crate::task::Task) carries monotonic stamps (ingest,
+//! Every [`Task`](crate::task::Task) carries clock stamps (ingest,
 //! first execution, per-slice busy time). When a request finishes, the
 //! serving worker folds the stamps into a tiny [`CompletionRecord`] and
 //! pushes it onto its private SPSC ring — a few nanoseconds, no locks, no
@@ -15,18 +15,25 @@
 //! message, and the dispatcher records *before* emitting the response, so
 //! any response observable by the collector is already in the aggregate —
 //! `Runtime::telemetry()` taken after the last response arrives is exact.
+//!
+//! Each record carries its completion stamp, and the aggregate checks
+//! that stamps are non-decreasing per source (worker or dispatcher) —
+//! the monotone-timestamp oracle of the conformance suite. A regression
+//! would mean the clock ran backwards or records were reordered inside
+//! one source's ring, both of which the design rules out.
 
 use crate::task::Task;
 use concord_metrics::LatencyBreakdown;
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
 /// Worker index used for requests completed by the dispatcher itself.
 pub const DISPATCHER: usize = usize::MAX;
 
-/// The per-request fact a worker reports on completion. 48 bytes, built
-/// from stamps the task already carries.
+/// The per-request fact a worker reports on completion. Built from
+/// stamps the task already carries.
 #[derive(Clone, Copy, Debug)]
 pub struct CompletionRecord {
     /// Ingest → first execution, nanoseconds.
@@ -37,6 +44,8 @@ pub struct CompletionRecord {
     pub sojourn_ns: u64,
     /// Nominal un-instrumented service time (slowdown denominator).
     pub nominal_ns: u64,
+    /// Clock reading at completion (monotonicity oracle input).
+    pub completed_at_ns: u64,
     /// Slices this request ran (1 = never preempted).
     pub slices: u32,
     /// Serving worker index, or [`DISPATCHER`].
@@ -47,13 +56,15 @@ pub struct CompletionRecord {
 }
 
 impl CompletionRecord {
-    /// Builds the record for a task that just finished on `worker`.
-    pub fn from_task(task: &Task, worker: usize, failed: bool) -> Self {
+    /// Builds the record for a task that just finished on `worker`, at
+    /// clock reading `now_ns`.
+    pub fn from_task(task: &Task, now_ns: u64, worker: usize, failed: bool) -> Self {
         Self {
-            queue_ns: task.queue_delay().as_nanos() as u64,
-            service_ns: task.busy.as_nanos() as u64,
-            sojourn_ns: task.ingested_at.elapsed().as_nanos() as u64,
+            queue_ns: task.queue_delay_ns(),
+            service_ns: task.busy_ns,
+            sojourn_ns: now_ns.saturating_sub(task.ingested_at_ns),
             nominal_ns: task.req.service_ns,
+            completed_at_ns: now_ns,
             slices: task.slices,
             worker,
             failed,
@@ -77,6 +88,11 @@ pub struct Telemetry {
     /// Completion records lost to a full per-worker telemetry ring (only
     /// possible if the dispatcher stalls for a long time).
     pub records_dropped: u64,
+    /// Records whose completion stamp ran backwards relative to an
+    /// earlier record from the same source (oracle tripwire; must be 0).
+    pub timestamp_regressions: u64,
+    /// Latest completion stamp seen per source.
+    last_completed_ns: HashMap<usize, u64>,
 }
 
 impl Telemetry {
@@ -87,6 +103,8 @@ impl Telemetry {
             recorded: 0,
             failures: 0,
             records_dropped: 0,
+            timestamp_regressions: 0,
+            last_completed_ns: HashMap::new(),
         }
     }
 
@@ -95,6 +113,12 @@ impl Telemetry {
         self.recorded += 1;
         if r.failed {
             self.failures += 1;
+        }
+        let last = self.last_completed_ns.entry(r.worker).or_insert(0);
+        if r.completed_at_ns < *last {
+            self.timestamp_regressions += 1;
+        } else {
+            *last = r.completed_at_ns;
         }
         self.breakdown
             .record(r.queue_ns, r.service_ns, r.sojourn_ns, r.nominal_ns);
@@ -107,6 +131,7 @@ impl Telemetry {
             recorded: self.recorded,
             failures: self.failures,
             records_dropped: self.records_dropped,
+            timestamp_regressions: self.timestamp_regressions,
             taken_at: Instant::now(),
         }
     }
@@ -123,7 +148,7 @@ pub type TelemetryHandle = Arc<Mutex<Telemetry>>;
 
 /// A point-in-time copy of the runtime's lifecycle telemetry.
 ///
-/// All durations are nanoseconds of *server-side* time: queueing is
+/// All durations are nanoseconds of *server-side* clock time: queueing is
 /// ingest → first execution, service is measured busy time, sojourn is
 /// ingest → completion. Slowdown divides sojourn by the request's nominal
 /// service time (§5.1 of the paper).
@@ -137,6 +162,8 @@ pub struct TelemetrySnapshot {
     pub failures: u64,
     /// Completion records lost to full telemetry rings.
     pub records_dropped: u64,
+    /// Per-source completion-stamp regressions observed (must be 0).
+    pub timestamp_regressions: u64,
     /// When this snapshot was taken.
     pub taken_at: Instant,
 }
@@ -172,6 +199,16 @@ impl TelemetrySnapshot {
         self.breakdown.service_ns(0.999)
     }
 
+    /// Median slowdown.
+    pub fn slowdown_p50(&self) -> f64 {
+        self.breakdown.slowdown(0.50)
+    }
+
+    /// 99th-percentile slowdown.
+    pub fn slowdown_p99(&self) -> f64 {
+        self.breakdown.slowdown(0.99)
+    }
+
     /// 99.9th-percentile slowdown — the paper's headline metric.
     pub fn slowdown_p999(&self) -> f64 {
         self.breakdown.slowdown(0.999)
@@ -200,6 +237,7 @@ mod tests {
             service_ns,
             sojourn_ns: queue_ns + service_ns,
             nominal_ns: service_ns,
+            completed_at_ns: queue_ns + service_ns,
             slices: 1,
             worker: 0,
             failed,
@@ -237,7 +275,41 @@ mod tests {
         assert!(s.queueing_p999_ns() >= s.queueing_p99_ns());
         assert!(s.service_p99_ns() >= s.service_p50_ns());
         assert!(s.service_p999_ns() >= s.service_p99_ns());
-        assert!(s.slowdown_p999() >= 1.0);
+        assert!(s.slowdown_p999() >= s.slowdown_p99());
+        assert!(s.slowdown_p99() >= s.slowdown_p50());
+        assert!(s.slowdown_p50() >= 1.0);
+    }
+
+    #[test]
+    fn timestamps_monotone_per_source_equal_ok() {
+        let mut t = Telemetry::new();
+        let mut a = rec(0, 1, false);
+        a.completed_at_ns = 100;
+        t.record(&a);
+        a.completed_at_ns = 100; // equal stamps are fine (frozen clock)
+        t.record(&a);
+        a.completed_at_ns = 200;
+        t.record(&a);
+        assert_eq!(t.timestamp_regressions, 0);
+    }
+
+    #[test]
+    fn timestamp_regression_is_counted_per_source() {
+        let mut t = Telemetry::new();
+        let mut a = rec(0, 1, false);
+        a.completed_at_ns = 100;
+        t.record(&a);
+        // A different source starting lower is NOT a regression.
+        let mut b = rec(0, 1, false);
+        b.worker = 1;
+        b.completed_at_ns = 50;
+        t.record(&b);
+        assert_eq!(t.timestamp_regressions, 0);
+        // The same source going backwards is.
+        a.completed_at_ns = 99;
+        t.record(&a);
+        assert_eq!(t.timestamp_regressions, 1);
+        assert_eq!(t.snapshot().timestamp_regressions, 1);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The worker thread: pull from the JBSQ local ring, run one slice, report
 //! back.
 
+use crate::clock::Clock;
 use crate::preempt::{set_mode, PreemptMode, WorkerShared};
 use crate::stats::RuntimeStats;
 use crate::task::{SliceEnd, Task};
@@ -10,7 +11,7 @@ use concord_net::Response;
 use crossbeam_queue::SegQueue;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Messages workers send the dispatcher.
 pub enum WorkerMsg {
@@ -46,28 +47,52 @@ pub struct WorkerLoop {
     /// dispatcher. Pushed *before* the completion message so a drained
     /// message implies the record is visible.
     pub telemetry: Producer<CompletionRecord>,
-    /// Runtime epoch for deadline arithmetic.
-    pub epoch: Instant,
+    /// Runtime time source for deadline arithmetic and telemetry stamps.
+    pub clock: Clock,
     /// Scheduling quantum.
     pub quantum: Duration,
     /// Set when the runtime wants workers to exit (after drain).
     pub stop: Arc<AtomicBool>,
     /// Shared counters.
     pub stats: Arc<RuntimeStats>,
+    /// Deterministic fault schedule (conformance testing only).
+    #[cfg(feature = "fault-injection")]
+    pub injector: Option<Arc<crate::fault::FaultInjector>>,
 }
 
 impl WorkerLoop {
     /// Runs until stopped. Consumes the loop state.
     pub fn run(mut self) {
         loop {
+            // Injected stall: park this worker for a stretch of clock
+            // time before serving anything else, creating JBSQ imbalance
+            // on demand. The stop flag still breaks the wait so shutdown
+            // cannot wedge.
+            #[cfg(feature = "fault-injection")]
+            if let Some(inj) = self.injector.as_deref() {
+                if let Some(stall_ns) = inj.take_stall(self.idx) {
+                    let until = self.clock.now_ns().saturating_add(stall_ns);
+                    while self.clock.now_ns() < until && !self.stop.load(Ordering::Acquire) {
+                        std::thread::yield_now();
+                    }
+                }
+            }
             match self.local.pop() {
                 Some(mut task) => {
                     // Each slice gets a fresh generation: a late signal
                     // claimed against the previous slice carries the old
                     // generation and cannot preempt this one.
-                    self.shared.begin_slice(self.epoch, self.quantum);
+                    self.shared.begin_slice(&self.clock, self.quantum);
                     set_mode(PreemptMode::Worker(self.shared.clone()));
-                    let end = task.run_slice();
+                    #[cfg(feature = "fault-injection")]
+                    if let Some(inj) = self.injector.as_deref() {
+                        if inj.take_panic(task.req.id, task.slices) {
+                            crate::preempt::arm_injected_panic();
+                        }
+                    }
+                    let end = task.run_slice(&self.clock);
+                    #[cfg(feature = "fault-injection")]
+                    crate::preempt::disarm_injected_panic();
                     set_mode(PreemptMode::None);
                     self.shared.end_slice();
                     match end {
@@ -115,7 +140,7 @@ impl WorkerLoop {
     /// Reports a finished (completed or failed) request: telemetry record
     /// first, then the completion message that releases the JBSQ slot.
     fn finish(&mut self, task: Task, failed: bool) {
-        let record = CompletionRecord::from_task(&task, self.idx, failed);
+        let record = CompletionRecord::from_task(&task, self.clock.now_ns(), self.idx, failed);
         if self.telemetry.push(record).is_err() {
             // Ring full: the dispatcher has not drained in a long time.
             // Losing a telemetry record must never block request flow.

@@ -1,4 +1,4 @@
-//! Stress test for the stale-preemption-signal race.
+//! Deterministic replays of the stale-preemption-signal race.
 //!
 //! The window: the dispatcher claims slice N's expired deadline, the
 //! worker finishes N and begins slice N+1, and only then does the
@@ -8,95 +8,139 @@
 //! generation-tagged signals, the late store carries slice N's
 //! generation and the new slice rejects it.
 //!
-//! The test drives the real `WorkerShared`/`PreemptLine` protocol from
-//! two threads exactly as the dispatcher and worker do, with the worker
-//! alternating instantly-expiring "bait" slices (which the dispatcher
-//! races to claim-and-signal) and long-quantum "victim" slices that must
-//! never observe a signal. Run against the pre-fix flag-based line, the
-//! victim assertion fires within a few thousand iterations.
+//! Before the runtime grew a virtual clock these tests had to provoke the
+//! window probabilistically from two free-running threads (30k iterations,
+//! spin-loop jitter, a claims>100 sanity floor). On virtual time the
+//! schedule is *replayed*: every step of the interleaving is executed in
+//! program order, so each test exercises the exact window on every
+//! iteration and a regression fails deterministically on iteration 0.
+//! `legacy_flag_line_loses_the_same_schedule` replays the identical
+//! schedule against a replica of the pre-fix boolean line and asserts it
+//! *does* mis-preempt — proving the replay reproduces the original bug,
+//! not a vacuous ordering.
 
+use concord_core::clock::Clock;
 use concord_core::preempt::WorkerShared;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
+/// The late-signal schedule, replayed step by step on virtual time.
+///
+/// Worker and "dispatcher" actions run from one thread in the exact
+/// order that loses under a flag-based line:
+///
+/// 1. worker: begin bait slice with a zero quantum (already expired)
+/// 2. dispatcher: claim the expired bait slice
+/// 3. worker: finish the bait slice, begin the victim slice
+/// 4. dispatcher: the signal store for the *bait* claim lands now
+/// 5. worker: hit a preemption point in the victim slice
+///
+/// Step 5 must not yield: the signal carries the bait generation.
 #[test]
-fn late_signal_never_preempts_the_next_slice() {
-    let shared = Arc::new(WorkerShared::new());
-    let epoch = Instant::now();
-    let stop = Arc::new(AtomicBool::new(false));
-    let claims = Arc::new(AtomicU64::new(0));
+fn late_signal_replay_is_exact() {
+    let (clock, vclock) = Clock::manual();
+    let shared = WorkerShared::new();
 
-    // Dispatcher side: spin on the expiry scan, signaling whatever slice
-    // it manages to claim — with a tiny stall between claim and signal to
-    // widen the race window the bug needs.
-    let dispatcher = {
-        let shared = shared.clone();
-        let stop = stop.clone();
-        let claims = claims.clone();
-        std::thread::spawn(move || {
-            while !stop.load(Ordering::Acquire) {
-                if let Some(gen) = shared.claim_expired(epoch) {
-                    claims.fetch_add(1, Ordering::Relaxed);
-                    std::hint::spin_loop(); // claim → signal gap
-                    shared.line.signal(gen);
-                } else {
-                    std::hint::spin_loop();
-                }
-            }
-        })
-    };
-
-    // Worker side: bait slices expire immediately (inviting a claim and a
-    // possibly-late signal), victim slices have an hour-long quantum so
-    // the *only* way they can see a signal is the stale-signal bug.
-    let iterations = 30_000;
+    let iterations = 1_000u64;
     for i in 0..iterations {
-        let _bait = shared.begin_slice(epoch, Duration::ZERO);
-        // Stay in the bait slice long enough for the dispatcher to claim
-        // it some of the time; vary the dwell so the claim→signal store
-        // straddles the slice boundary in both directions.
-        for _ in 0..(i % 7) * 10 {
-            std::hint::spin_loop();
-        }
-        if i % 16 == 0 {
-            // Hand the core over so single-core hosts still interleave
-            // the dispatcher's claim with a live bait slice.
-            std::thread::yield_now();
-        }
-        let consumed = shared.line.take_signal(shared.generation());
-        let _ = consumed; // a timely signal for the bait slice is fine
-        shared.end_slice();
+        // 1. Bait slice: zero quantum, expired the moment it starts.
+        let bait = shared.begin_slice(&clock, Duration::ZERO);
+        vclock.advance(Duration::from_micros(1));
 
-        let victim = shared.begin_slice(epoch, Duration::from_secs(3600));
+        // 2. Dispatcher claims the expiry (single claim per slice).
+        let claimed = shared
+            .claim_expired(&clock)
+            .expect("zero-quantum slice must be claimable");
+        assert_eq!(claimed, bait, "claim must return the bait generation");
         assert!(
-            !shared.line.take_signal(victim),
-            "iteration {i}: a stale signal leaked into a fresh slice"
+            shared.claim_expired(&clock).is_none(),
+            "a slice may be claimed only once"
+        );
+
+        // 3. Worker moves on before the signal store lands.
+        shared.end_slice();
+        let victim = shared.begin_slice(&clock, Duration::from_secs(3600));
+        assert_ne!(victim, bait);
+
+        // 4. The late store finally lands, tagged with the bait gen.
+        shared.line.signal(claimed);
+
+        // 5. Preemption point in the victim slice: must reject.
+        assert!(
+            !shared.take_signal_current(),
+            "iteration {i}: stale signal for generation {claimed} \
+             preempted the victim slice (generation {victim})"
         );
         shared.end_slice();
     }
 
-    stop.store(true, Ordering::Release);
-    dispatcher.join().expect("dispatcher thread");
+    // Every iteration parked exactly one stale signal and consumed none:
+    // the accounting replays as exactly as the schedule does.
+    let acct = shared.signal_accounting();
+    assert_eq!(acct.consumed, 0);
+    assert_eq!(acct.stale, iterations);
+    assert_eq!(acct.total(), iterations);
+}
 
-    // The race was actually provoked: the dispatcher must have claimed a
-    // healthy number of bait slices, otherwise the test tested nothing.
-    let n = claims.load(Ordering::Relaxed);
+/// Replica of the pre-fix preempt line: a single boolean flag, cleared
+/// at slice start, with no generation tag. (The real type was replaced
+/// by the packed generation word; this replica preserves its semantics
+/// so the losing schedule stays executable.)
+#[derive(Default)]
+struct FlagLine {
+    flag: AtomicBool,
+}
+
+impl FlagLine {
+    fn signal(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+    fn clear(&self) {
+        self.flag.store(false, Ordering::Release);
+    }
+    fn take_signal(&self) -> bool {
+        self.flag.swap(false, Ordering::AcqRel)
+    }
+}
+
+/// The schedule of `late_signal_replay_is_exact`, run against the old
+/// boolean design: the late store lands after the victim slice cleared
+/// the flag, so the victim's first preemption point observes it and
+/// spuriously yields — on the very first iteration. This is the bug the
+/// generation tag exists to kill; if someone "simplifies" the line back
+/// to a flag, `late_signal_replay_is_exact` fails exactly the way this
+/// test passes.
+#[test]
+fn legacy_flag_line_loses_the_same_schedule() {
+    let line = FlagLine::default();
+
+    // 1. Bait slice starts; pre-fix lines cleared the flag here.
+    line.clear();
+    // 2. Dispatcher claims the expired bait slice (no shared state to
+    //    race on in the replica; the claim is implicit).
+    // 3. Worker finishes bait, starts the victim slice, clears again.
+    line.clear();
+    // 4. The late, untagged signal store lands.
+    line.signal();
+    // 5. Victim's first preemption point.
     assert!(
-        n > 100,
-        "dispatcher claimed only {n} slices; race not exercised"
+        line.take_signal(),
+        "the flag-based line is expected to lose this schedule; if it \
+         no longer does, the replay above stopped covering the race"
     );
 }
 
-/// The same window, forced deterministically: a handshake holds the
-/// dispatcher's `signal()` store until the worker has already started
-/// the next slice. Every iteration exercises the exact interleaving the
-/// probabilistic test only sometimes hits, so the pre-fix flag-based
-/// line fails on iteration 0.
+/// The same window forced across *real* threads: a handshake holds the
+/// dispatcher thread's `signal()` store until the worker thread has
+/// started the victim slice. Unlike the single-thread replay this
+/// exercises the cross-core store/load path; the handshake (not chance)
+/// still makes every iteration hit the window. Virtual time expires the
+/// bait slice without any wall-clock dependence.
 #[test]
 fn late_signal_window_forced_by_handshake() {
+    let (clock, vclock) = Clock::manual();
     let shared = Arc::new(WorkerShared::new());
-    let epoch = Instant::now();
     // 0 = idle, 1 = bait published, 2 = claimed, 3 = victim started,
     // 4 = late signal sent.
     let phase = Arc::new(AtomicU64::new(0));
@@ -104,6 +148,7 @@ fn late_signal_window_forced_by_handshake() {
     let stop = Arc::new(AtomicBool::new(false));
 
     let dispatcher = {
+        let clock = clock.clone();
         let shared = shared.clone();
         let phase = phase.clone();
         let claimed_gen = claimed_gen.clone();
@@ -114,7 +159,7 @@ fn late_signal_window_forced_by_handshake() {
                     // Claim the expired bait slice... but sit on the
                     // signal until the worker has moved on.
                     let gen = shared
-                        .claim_expired(epoch)
+                        .claim_expired(&clock)
                         .expect("bait slice has a zero quantum; claim must succeed");
                     claimed_gen.store(gen, Ordering::Relaxed);
                     phase.store(2, Ordering::Release);
@@ -130,14 +175,15 @@ fn late_signal_window_forced_by_handshake() {
     };
 
     for i in 0..1_000 {
-        let _bait = shared.begin_slice(epoch, Duration::ZERO);
+        let _bait = shared.begin_slice(&clock, Duration::ZERO);
+        vclock.advance(Duration::from_micros(1));
         phase.store(1, Ordering::Release);
         while phase.load(Ordering::Acquire) != 2 {
             std::thread::yield_now();
         }
         shared.end_slice();
 
-        let victim = shared.begin_slice(epoch, Duration::from_secs(3600));
+        let victim = shared.begin_slice(&clock, Duration::from_secs(3600));
         phase.store(3, Ordering::Release);
         while phase.load(Ordering::Acquire) != 4 {
             std::thread::yield_now();
@@ -145,7 +191,7 @@ fn late_signal_window_forced_by_handshake() {
         // The stale signal for the bait generation is now definitely in
         // the line; a correct implementation rejects it.
         assert!(
-            !shared.line.take_signal(victim),
+            !shared.take_signal_current(),
             "iteration {i}: stale signal for generation {} preempted \
              the victim slice (generation {victim})",
             claimed_gen.load(Ordering::Relaxed),
@@ -156,4 +202,8 @@ fn late_signal_window_forced_by_handshake() {
 
     stop.store(true, Ordering::Release);
     dispatcher.join().expect("dispatcher thread");
+
+    let acct = shared.signal_accounting();
+    assert_eq!(acct.consumed, 0, "no signal may ever be consumed");
+    assert_eq!(acct.stale, 1_000, "every iteration parks one stale signal");
 }

@@ -7,7 +7,7 @@
 //! lives in the simulator.
 
 use concord_core::{
-    ConcordApp, LockDepthObserver, RequestContext, Runtime, RuntimeConfig, SpinApp,
+    Clock, ConcordApp, LockDepthObserver, RequestContext, Runtime, RuntimeConfig, SpinApp,
 };
 use concord_kv::Db;
 use concord_net::ring::ring;
@@ -90,8 +90,15 @@ fn long_requests_get_preempted() {
 
 #[test]
 fn short_requests_are_never_preempted() {
-    // 10 µs requests at a 100 ms quantum: no preemption possible.
-    let cfg = RuntimeConfig::small_test().with_quantum(Duration::from_millis(100));
+    // On a *frozen* virtual clock no quantum can ever expire, so "no
+    // preemption" is exact — it holds no matter how slowly a CI runner
+    // executes the 10 µs wall-clock spins. (The wall-clock version of
+    // this test was only as sound as the runner being faster than the
+    // quantum.)
+    let (clock, _handle) = Clock::manual();
+    let cfg = RuntimeConfig::small_test()
+        .with_quantum(Duration::from_millis(100))
+        .with_clock(clock);
     let (stats, _) = drive(
         cfg,
         Arc::new(SpinApp::new()),
@@ -100,6 +107,11 @@ fn short_requests_are_never_preempted() {
         300,
     );
     assert_eq!(stats.preemptions.load(Ordering::Relaxed), 0);
+    assert_eq!(
+        stats.signals_sent.load(Ordering::Relaxed),
+        0,
+        "frozen time must never expire a quantum"
+    );
 }
 
 #[test]

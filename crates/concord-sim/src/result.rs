@@ -9,7 +9,17 @@ pub struct SimResult {
     pub system: String,
     /// Offered load in requests per second.
     pub offered_rps: f64,
-    /// Requests that completed inside the measurement window.
+    /// Requests that arrived over the whole run (warmup included). The
+    /// conservation oracle checks `arrivals == completed + incomplete`.
+    pub arrivals: u64,
+    /// Requests that never completed before the run ended (whole run,
+    /// warmup included).
+    pub incomplete: u64,
+    /// Highest per-worker JBSQ occupancy ever reached; the bounded-queue
+    /// oracle asserts it never exceeds the configured depth `k`.
+    pub max_jbsq_inflight: u64,
+    /// Requests that completed over the whole run (warmup included; only
+    /// post-warmup completions feed the latency metrics).
     pub completed: u64,
     /// Requests still in the system when the run ended; their partial
     /// sojourns are recorded as (censored) slowdowns so that overload shows
@@ -116,6 +126,9 @@ mod tests {
         SimResult {
             system: "test".into(),
             offered_rps: 0.0,
+            arrivals: 0,
+            incomplete: 0,
+            max_jbsq_inflight: 0,
             completed: 0,
             censored: 0,
             dispatcher_completed: 0,

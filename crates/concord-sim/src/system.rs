@@ -204,6 +204,8 @@ struct Sim<'a> {
     achieved_quantum: Summary,
     preemptions: u64,
     completed: u64,
+    /// Highest per-worker queue occupancy ever reached (JBSQ bound oracle).
+    max_jbsq_inflight: u64,
     events_processed: u64,
 }
 
@@ -253,6 +255,7 @@ fn run_simulation<'a>(
         achieved_quantum: Summary::new(),
         preemptions: 0,
         completed: 0,
+        max_jbsq_inflight: 0,
         events_processed: 0,
     };
     sim.run(requests);
@@ -620,6 +623,9 @@ impl<'a> Sim<'a> {
             if let Some(worker) = self.pick_dispatch_target() {
                 let req = self.central.pop().expect("checked non-empty");
                 self.workers[worker].inflight += 1;
+                self.max_jbsq_inflight = self
+                    .max_jbsq_inflight
+                    .max(self.workers[worker].inflight as u64);
                 let c = match self.cfg.queue {
                     QueueDiscipline::SingleQueue => cost.disp_dispatch + cost.disp_sq_flag_read,
                     QueueDiscipline::Jbsq(_) => {
@@ -784,9 +790,17 @@ impl<'a> Sim<'a> {
                 self.slowdown.record(r.service, sojourn.max(r.service));
             }
         }
+        let incomplete = self
+            .requests
+            .iter()
+            .filter(|r| r.completion.is_none())
+            .count() as u64;
         SimResult {
             system: self.cfg.name.clone(),
             offered_rps,
+            arrivals: self.requests.len() as u64,
+            incomplete,
+            max_jbsq_inflight: self.max_jbsq_inflight,
             completed: self.completed,
             censored,
             dispatcher_completed: self.disp.completed,

@@ -1,0 +1,120 @@
+//! Deterministic value generation for property-style tests.
+//!
+//! The conformance suite and the simulator's property tests draw random
+//! configurations (worker counts, queue depths, workload shapes, fault
+//! schedules) from a seeded stream, replay failing seeds from a checked-in
+//! corpus, and shrink failures toward minimal cases. This module is the
+//! generation primitive behind all of that: a [SplitMix64] stream wrapped
+//! with the handful of typed draws the generators need.
+//!
+//! It deliberately mirrors the slice of `proptest`'s API the repo uses
+//! (ranged integers, booleans, weighted picks) without the macro
+//! machinery, so the tests stay plain Rust: a failing case is an ordinary
+//! value that can be printed, persisted and replayed by constructing
+//! `Gen::new(seed)` with the recorded seed.
+//!
+//! [SplitMix64]: https://prng.di.unimi.it/splitmix64.c
+
+/// A seeded deterministic value source. Identical seeds yield identical
+/// draw sequences on every platform and build.
+#[derive(Clone, Debug)]
+pub struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    /// Creates a stream; the same `seed` always produces the same values.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit value (SplitMix64 step).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[lo, hi]` (inclusive). `lo > hi` panics.
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        // Modulo bias is irrelevant at test-config ranges (span ≪ 2^64).
+        lo + self.next_u64() % (span + 1)
+    }
+
+    /// Uniform draw in `[lo, hi]` (inclusive) as `usize`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.u64_in(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn f64_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Fair coin.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Biased coin: true with probability `p`.
+    pub fn ratio(&mut self, p: f64) -> bool {
+        self.f64_unit() < p
+    }
+
+    /// Uniform pick from a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "pick from empty slice");
+        &items[self.usize_in(0, items.len() - 1)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Gen::new(7);
+        let mut b = Gen::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Gen::new(1);
+        let mut b = Gen::new(2);
+        assert_ne!((a.next_u64(), a.next_u64()), (b.next_u64(), b.next_u64()));
+    }
+
+    #[test]
+    fn ranged_draws_stay_in_range() {
+        let mut g = Gen::new(99);
+        for _ in 0..1_000 {
+            let v = g.u64_in(10, 20);
+            assert!((10..=20).contains(&v));
+            let u = g.f64_unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+        assert_eq!(g.u64_in(5, 5), 5, "degenerate range is the point");
+    }
+
+    #[test]
+    fn pick_covers_all_items() {
+        let mut g = Gen::new(3);
+        let items = [0usize, 1, 2, 3];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[*g.pick(&items)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all items reachable: {seen:?}");
+    }
+}

@@ -36,12 +36,14 @@
 
 pub mod arrival;
 pub mod dist;
+pub mod gen;
 pub mod mix;
 pub mod recorded;
 pub mod trace;
 
 pub use arrival::{ArrivalProcess, Poisson};
 pub use dist::Dist;
+pub use gen::Gen;
 pub use mix::{ClassSpec, Mix};
 pub use recorded::RecordedTrace;
 pub use trace::{Arrival, TraceGenerator};

@@ -151,6 +151,6 @@ fn main() {
 
     println!("\nruntime:");
     for (name, value) in stats.snapshot() {
-        println!("  {name:<22}{value}");
+        println!("  {name:<30}{value}");
     }
 }

@@ -65,6 +65,6 @@ fn main() {
 
     println!("\nruntime side:");
     for (name, value) in stats.snapshot() {
-        println!("  {name:<22}{value}");
+        println!("  {name:<30}{value}");
     }
 }

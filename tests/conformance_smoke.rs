@@ -1,0 +1,36 @@
+//! Tier-1 smoke of the conformance harness: replay the checked-in
+//! regression corpus and a handful of generated cases through every
+//! oracle. The full sweep (and the fault matrix) lives in
+//! `crates/concord-conformance/tests/conformance.rs`; this test keeps the
+//! harness itself on the critical path of `cargo test` at the root.
+
+use concord_conformance::harness::load_corpus;
+use concord_conformance::{run_case, CaseConfig};
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(20);
+
+#[test]
+fn corpus_and_sampled_cases_hold_all_oracles() {
+    let corpus = load_corpus();
+    assert!(!corpus.is_empty(), "regression corpus must be checked in");
+    for case in corpus.iter().take(4) {
+        let v = run_case(case, TIMEOUT);
+        assert!(
+            v.is_empty(),
+            "oracle violations for corpus case `cc {}`:\n  {}",
+            case.encode(),
+            v.join("\n  ")
+        );
+    }
+    for seed in 0..4 {
+        let case = CaseConfig::generate(seed);
+        let v = run_case(&case, TIMEOUT);
+        assert!(
+            v.is_empty(),
+            "oracle violations for `cc {}`:\n  {}",
+            case.encode(),
+            v.join("\n  ")
+        );
+    }
+}

@@ -1,6 +1,7 @@
 //! Facade-crate smoke tests: every subsystem is reachable through the
 //! `concord::` paths a downstream user would import.
 
+use concord::core::{Clock, RuntimeConfig, VirtualClock};
 use concord::instrument::passes::{instrument, PassConfig};
 use concord::instrument::{analyze, AnalysisParams, Function, Program, Segment};
 use concord::kv::Db;
@@ -8,6 +9,7 @@ use concord::metrics::{Histogram, SlowdownTracker};
 use concord::sim::{simulate, SimParams, SystemConfig};
 use concord::uthread::{CoState, Coroutine};
 use concord::workloads::{mix, seeded_rng, Workload};
+use std::sync::Arc;
 
 #[test]
 fn metrics_are_reachable() {
@@ -46,6 +48,25 @@ fn uthread_is_reachable() {
     let mut co = Coroutine::new(16 * 1024, |y| y.yield_now());
     assert_eq!(co.resume(), CoState::Suspended);
     assert_eq!(co.resume(), CoState::Complete);
+}
+
+#[test]
+fn virtual_clock_is_reachable() {
+    // No wall-clock dependence: the timeline is exactly what the test
+    // writes, so the assertions are equalities rather than sleeps.
+    let v = Arc::new(VirtualClock::new());
+    let clock = Clock::from_virtual(v.clone());
+    assert!(clock.is_virtual());
+    assert_eq!(clock.now_ns(), 0);
+    v.advance_ns(1_500);
+    assert_eq!(clock.now_ns(), 1_500);
+
+    let cfg = RuntimeConfig::small_test().with_clock(clock);
+    assert!(cfg.clock.is_virtual());
+    assert!(
+        !RuntimeConfig::paper_defaults(2).clock.is_virtual(),
+        "production default stays on wall time"
+    );
 }
 
 #[test]

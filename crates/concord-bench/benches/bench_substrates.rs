@@ -104,11 +104,61 @@ fn bench_preempt(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_trace(c: &mut Criterion) {
+    use concord_trace::{EventKind, TraceCollector, TraceEvent};
+
+    let mut g = c.benchmark_group("trace");
+    // The emit hot path the workers pay per scheduling event: one clock
+    // stamp is already in hand, so this is pack + SPSC ring write. Run
+    // `cargo bench -p concord-bench --no-default-features -- preempt` to
+    // compare should_yield/probe costs with tracing compiled out — the
+    // feature gate must make the difference indistinguishable.
+    g.bench_function("emit_hot_path", |b| {
+        let (mut collector, mut lanes) = TraceCollector::new(1, 64 * 1024);
+        let mut lane = lanes.remove(0);
+        let mut ts = 0u64;
+        b.iter(|| {
+            ts += 8;
+            let ok = lane.emit(TraceEvent::new(ts, EventKind::Resume, 7, 3));
+            if !ok {
+                // Ring full: drain like the dispatcher tick would, so the
+                // benchmark measures emit cost rather than drop cost.
+                collector.drain();
+            }
+            black_box(ok);
+        });
+    });
+    // Overflowed ring: the drop-and-count path taken under a stalled
+    // collector. Must stay as cheap as a successful emit (wait-free).
+    g.bench_function("emit_overflow_drop", |b| {
+        let (_collector, mut lanes) = TraceCollector::new(1, 16);
+        let mut lane = lanes.remove(0);
+        for i in 0..32u64 {
+            lane.emit(TraceEvent::new(i, EventKind::Resume, 7, 3));
+        }
+        let mut ts = 1_000u64;
+        b.iter(|| {
+            ts += 8;
+            black_box(lane.emit(TraceEvent::new(ts, EventKind::Resume, 7, 3)));
+        });
+    });
+    g.bench_function("event_pack_unpack", |b| {
+        let mut ts = 0u64;
+        b.iter(|| {
+            ts += 8;
+            let ev = TraceEvent::new(black_box(ts), EventKind::SignalSeen, 123_456, 42);
+            black_box((ev.kind(), ev.id(), ev.gen()));
+        });
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_histogram,
     bench_ring,
     bench_coroutine,
-    bench_preempt
+    bench_preempt,
+    bench_trace
 );
 criterion_main!(benches);

@@ -6,7 +6,7 @@
 //!          [--workload bimodal50|bimodal995|fixed1|tpcc|leveldb|zippydb]
 //!          [--rate RPS] [--load FRACTION] [--quantum US] [--workers N]
 //!          [--requests N] [--seed N] [--policy fcfs|srpt] [--batch N]
-//!          [--runtime] [--report-secs S]
+//!          [--runtime] [--report-secs S] [--trace PATH]
 //! ```
 //!
 //! Either `--rate` (absolute requests/sec) or `--load` (fraction of the
@@ -14,7 +14,10 @@
 //! default. `--runtime` replaces the simulation with a real
 //! dispatcher+workers run (spin server) and prints the lifecycle
 //! telemetry from `Runtime::telemetry()`; `--report-secs` additionally
-//! enables the periodic reporter at that interval.
+//! enables the periodic reporter at that interval. `--trace PATH` writes
+//! the scheduling-event trace of the run — Perfetto JSON if PATH ends in
+//! `.json`, the compact binary format otherwise — from the simulator or
+//! (with `--runtime`) from the real runtime's per-core rings.
 
 use concord_core::{Runtime, RuntimeConfig, SpinApp};
 use concord_net::{ring, Collector, LoadGen, Request, Response, RttModel};
@@ -39,6 +42,7 @@ struct Args {
     batch: u32,
     runtime: bool,
     report_secs: Option<f64>,
+    trace: Option<std::path::PathBuf>,
 }
 
 fn usage() -> ! {
@@ -47,7 +51,7 @@ fn usage() -> ! {
          [--workload bimodal50|bimodal995|fixed1|tpcc|leveldb|zippydb] \
          [--rate RPS | --load FRACTION] [--quantum US] [--workers N] \
          [--requests N] [--seed N] [--policy fcfs|srpt] [--batch N] \
-         [--runtime] [--report-secs S]"
+         [--runtime] [--report-secs S] [--trace PATH]"
     );
     exit(2);
 }
@@ -66,6 +70,7 @@ fn parse_args() -> Args {
         batch: 1,
         runtime: false,
         report_secs: None,
+        trace: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -89,6 +94,7 @@ fn parse_args() -> Args {
             "--seed" => args.seed = value.parse().unwrap_or_else(|_| usage()),
             "--batch" => args.batch = value.parse().unwrap_or_else(|_| usage()),
             "--report-secs" => args.report_secs = Some(value.parse().unwrap_or_else(|_| usage())),
+            "--trace" => args.trace = Some(value.into()),
             "--policy" => {
                 args.policy = match value.as_str() {
                     "fcfs" => Policy::Fcfs,
@@ -126,6 +132,25 @@ fn system_by_name(name: &str, workers: usize, quantum_ns: u64) -> SystemConfig {
     }
 }
 
+/// Writes `trace` to `path`: Perfetto trace-event JSON for a `.json`
+/// extension, the compact binary format otherwise.
+fn write_trace(trace: &concord_trace::Trace, path: &std::path::Path) {
+    let res = if path.extension().is_some_and(|e| e == "json") {
+        concord_trace::perfetto::write_json(trace, path)
+    } else {
+        concord_trace::binary::write_file(trace, path)
+    };
+    match res {
+        Ok(()) => println!(
+            "trace: {} events on {} tracks -> {}",
+            trace.records.len(),
+            trace.n_workers + 1,
+            path.display()
+        ),
+        Err(e) => eprintln!("trace: failed to write {}: {e}", path.display()),
+    }
+}
+
 /// Drives the chosen workload through the real dispatcher+workers
 /// runtime (spin server) instead of the simulator, then prints the
 /// lifecycle telemetry aggregated by the dispatcher.
@@ -142,12 +167,25 @@ fn run_runtime(args: &Args, workload: Mix, quantum_ns: u64, rate: f64) {
 
     let (req_tx, req_rx) = ring::<Request>(32 * 1024);
     let (resp_tx, resp_rx) = ring::<Response>(32 * 1024);
-    let rt = Runtime::start(cfg, Arc::new(SpinApp::new()), req_rx, resp_tx);
+    let mut rt = Runtime::start(cfg, Arc::new(SpinApp::new()), req_rx, resp_tx);
     let gen = LoadGen::start(req_tx, workload, rate, args.requests, args.seed);
     let mut collector = Collector::new(resp_rx, RttModel::zero(), args.seed);
     let ok = collector.collect(args.requests, Duration::from_secs(600));
     let report = gen.join();
     let telemetry = rt.telemetry();
+    if let Some(path) = &args.trace {
+        rt.quiesce();
+        #[cfg(feature = "trace")]
+        match rt.take_trace() {
+            Some(trace) => write_trace(&trace, path),
+            None => eprintln!("trace: tracer disarmed in RuntimeConfig, nothing to write"),
+        }
+        #[cfg(not(feature = "trace"))]
+        eprintln!(
+            "trace: compiled out (build with the `trace` feature), not writing {}",
+            path.display()
+        );
+    }
     let stats = rt.shutdown();
 
     println!();
@@ -202,11 +240,14 @@ fn main() {
         args.seed
     );
 
-    let r = simulate(
-        &cfg,
-        workload,
-        &SimParams::new(rate, args.requests, args.seed),
-    );
+    let params = SimParams::new(rate, args.requests, args.seed);
+    let r = if let Some(path) = &args.trace {
+        let (r, trace) = concord_sim::simulate_traced(&cfg, workload, &params);
+        write_trace(&trace, path);
+        r
+    } else {
+        simulate(&cfg, workload, &params)
+    };
     println!();
     println!("completed            {}", r.completed);
     println!("censored             {}", r.censored);

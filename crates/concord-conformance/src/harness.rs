@@ -18,7 +18,9 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
-/// One per-worker counter row of a runtime execution.
+/// One per-worker counter row of a runtime execution — the full
+/// [`WorkerStatsSnapshot`](concord_core::WorkerStatsSnapshot), including
+/// the per-fate signal counters.
 #[derive(Clone, Copy, Debug)]
 pub struct WorkerRow {
     /// Requests completed on this worker.
@@ -29,6 +31,14 @@ pub struct WorkerRow {
     pub failed: u64,
     /// JBSQ occupancy high watermark.
     pub queue_max: u64,
+    /// Signals consumed by this worker's probes.
+    pub signals_consumed: u64,
+    /// Signals that landed on an idle line.
+    pub signals_obsolete: u64,
+    /// Signals that arrived for an already-ended generation.
+    pub signals_stale: u64,
+    /// Trace events this worker dropped on ring overflow.
+    pub trace_dropped: u64,
 }
 
 /// Everything the oracles need to know about one runtime execution.
@@ -70,6 +80,10 @@ pub struct RuntimeObservation {
     pub per_worker: Vec<WorkerRow>,
     /// Final lifecycle telemetry.
     pub telemetry: TelemetrySnapshot,
+    /// Trace events dropped to ring overflow (all tracks).
+    pub trace_dropped: u64,
+    /// Derived observables of the quiescent scheduling-event trace.
+    pub trace: Option<concord_trace::TraceSummary>,
 }
 
 /// The two-class fixed-service mix a case describes.
@@ -146,6 +160,8 @@ pub fn run_runtime_with<A: ConcordApp>(
         max_in_flight: 16 * 1024,
         telemetry_report_every: None,
         clock,
+        trace: true,
+        trace_ring_cap: concord_core::config::DEFAULT_TRACE_RING_CAP,
         fault_injector: None,
     };
     cfg.fault_injector = injector_of(case);
@@ -187,13 +203,24 @@ pub fn run_runtime_with<A: ConcordApp>(
     let per_worker = stats
         .per_worker
         .iter()
-        .map(|w| WorkerRow {
-            completed: w.completed.load(Ordering::Relaxed),
-            preempted: w.preempted.load(Ordering::Relaxed),
-            failed: w.failed.load(Ordering::Relaxed),
-            queue_max: w.queue_max.load(Ordering::Relaxed),
+        .map(|w| {
+            let s = w.snapshot();
+            WorkerRow {
+                completed: s.completed,
+                preempted: s.preempted,
+                failed: s.failed,
+                queue_max: s.queue_max,
+                signals_consumed: s.signals_consumed,
+                signals_obsolete: s.signals_obsolete,
+                signals_stale: s.signals_stale,
+                trace_dropped: s.trace_dropped,
+            }
         })
         .collect();
+
+    let trace = rt
+        .take_trace()
+        .map(|t| concord_trace::TraceSummary::from_trace(&t));
 
     RuntimeObservation {
         case: case.clone(),
@@ -214,6 +241,8 @@ pub fn run_runtime_with<A: ConcordApp>(
         acct,
         per_worker,
         telemetry,
+        trace_dropped: stats.trace_dropped.load(Ordering::Relaxed),
+        trace,
     }
 }
 
@@ -239,6 +268,7 @@ pub fn run_sim(case: &CaseConfig) -> SimResult {
 pub fn run_case(case: &CaseConfig, timeout: Duration) -> Vec<String> {
     let obs = run_runtime(case, timeout);
     let mut violations = crate::oracles::check_runtime(&obs);
+    violations.extend(crate::oracles::check_trace(&obs));
     if case.fault == FaultKind::None && case.arrival == ArrivalKind::Poisson {
         let sim = run_sim(case);
         violations.extend(crate::oracles::check_sim(&sim, case));

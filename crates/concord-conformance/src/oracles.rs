@@ -181,6 +181,109 @@ impl RuntimeObservation {
     }
 }
 
+/// Trace-replay oracle: re-derives the scheduling invariants from the
+/// quiescent event stream *alone* and checks them against the counter
+/// world. The two views share no bookkeeping — the counters are atomics
+/// bumped at the action sites, the trace is what the per-core rings
+/// carried — so agreement here means the events faithfully describe what
+/// the scheduler did.
+///
+/// With `trace_dropped > 0` (overflow under a stalled collector) only the
+/// structural per-track timestamp monotonicity is checked: a lossy trace
+/// cannot support exact replay accounting.
+pub fn check_trace(obs: &RuntimeObservation) -> Vec<String> {
+    use concord_trace::EventKind;
+    let mut v = Vec::new();
+    let Some(s) = obs.trace.as_ref() else {
+        return v; // tracer disarmed or compiled out
+    };
+
+    check(&mut v, s.monotone_violations == 0, || {
+        format!(
+            "trace: {} per-track timestamp regressions",
+            s.monotone_violations
+        )
+    });
+    if obs.trace_dropped > 0 {
+        return v;
+    }
+
+    check(&mut v, s.negative_occupancy == 0, || {
+        format!(
+            "trace: occupancy replay went negative {} times",
+            s.negative_occupancy
+        )
+    });
+    // JBSQ ≤ k, re-derived purely from DISPATCH/YIELD/COMPLETE events.
+    for (i, &occ) in s.max_occupancy.iter().enumerate() {
+        check(&mut v, u64::from(occ) <= obs.case.jbsq_depth as u64, || {
+            format!(
+                "trace: replayed occupancy {} on worker {i} > k={}",
+                occ, obs.case.jbsq_depth
+            )
+        });
+    }
+
+    let pairs = [
+        (EventKind::Arrive, obs.ingested, "ingested"),
+        (EventKind::Complete, obs.completed + obs.failed, "finished"),
+        (EventKind::SignalSent, obs.signals_sent, "signals_sent"),
+        (EventKind::TxDrop, obs.tx_dropped, "tx_dropped"),
+    ];
+    for (kind, counter, name) in pairs {
+        check(&mut v, s.count(kind) == counter, || {
+            format!(
+                "trace: {} {} events but counter {name} is {counter}",
+                s.count(kind),
+                kind.name()
+            )
+        });
+    }
+    check(&mut v, s.worker_yields == obs.preemptions, || {
+        format!(
+            "trace: {} worker YIELDs but preemptions counter is {}",
+            s.worker_yields, obs.preemptions
+        )
+    });
+    // Signal-fate accounting from events alone: every consumed signal is
+    // a SIGNAL_SENT→YIELD pair on the same (worker, generation).
+    check(&mut v, s.matched_preemptions == obs.acct.consumed, || {
+        format!(
+            "trace: {} matched signal->yield pairs but {} signals consumed",
+            s.matched_preemptions, obs.acct.consumed
+        )
+    });
+    check(
+        &mut v,
+        s.matched_preemptions == obs.telemetry.preemptions_recorded(),
+        || {
+            format!(
+                "trace: {} matched pairs but telemetry recorded {} preemption latencies",
+                s.matched_preemptions,
+                obs.telemetry.preemptions_recorded()
+            )
+        },
+    );
+    // The trace-derived signal->yield p99 and the telemetry histogram
+    // measure the same stamps through independent channels; they must
+    // agree within the cross-validation envelope.
+    if !s.signal_to_yield.is_empty() && obs.telemetry.preemptions_recorded() > 0 {
+        let tp99 = s.signal_to_yield.percentile(99.0) as f64;
+        let mp99 = obs.telemetry.preemption_p99_ns() as f64;
+        let tol = cross_tolerance();
+        let slack = cross_slack_us() * 1_000.0; // µs of wall noise, in ns
+        let within = tp99 <= mp99 * tol + slack && mp99 <= tp99 * tol + slack;
+        check(&mut v, within, || {
+            format!(
+                "trace: signal->yield p99 disagrees beyond {tol}x (+{slack:.0}ns): \
+                 trace {tp99:.0}ns vs telemetry {mp99:.0}ns"
+            )
+        });
+    }
+
+    v
+}
+
 /// Simulator oracles on the same case.
 pub fn check_sim(r: &SimResult, case: &CaseConfig) -> Vec<String> {
     let mut v = Vec::new();
@@ -340,6 +443,10 @@ mod tests {
                     failed: false,
                 });
             }
+            // The two preemptions each measured a 2ns signal->yield
+            // interval (matches the hand-built trace in matching_trace).
+            t.record_preemption_latency(2);
+            t.record_preemption_latency(2);
             t.snapshot()
         };
         RuntimeObservation {
@@ -369,16 +476,65 @@ mod tests {
                     preempted: 2,
                     failed: 0,
                     queue_max: 2,
+                    signals_consumed: 2,
+                    signals_obsolete: 1,
+                    signals_stale: 0,
+                    trace_dropped: 0,
                 },
                 crate::harness::WorkerRow {
                     completed: 4,
                     preempted: 0,
                     failed: 0,
                     queue_max: 1,
+                    signals_consumed: 0,
+                    signals_obsolete: 0,
+                    signals_stale: 0,
+                    trace_dropped: 0,
                 },
             ],
             telemetry,
+            trace_dropped: 0,
+            trace: None,
         }
+    }
+
+    /// A hand-built event stream that exactly matches [`clean_obs`]'s
+    /// counters: 10 arrivals through worker 0, the first two preempted
+    /// by matched signals, one extra signal landing obsolete.
+    fn matching_trace() -> concord_trace::TraceSummary {
+        use concord_trace::{EventKind as K, Trace, TraceEvent};
+        fn step(t: &mut Trace, ts: &mut u64, track: u32, k: K, id: u64, gen: u64) {
+            *ts += 1;
+            t.record(track, TraceEvent::new(*ts, k, id, gen));
+        }
+        let mut t = Trace::new(2);
+        let d = 2; // dispatcher track
+        let mut ts = 0u64;
+        for i in 0..10u64 {
+            let gen = i + 1;
+            step(&mut t, &mut ts, d, K::Arrive, i, 0);
+            step(&mut t, &mut ts, d, K::Dispatch, i, 0);
+            step(&mut t, &mut ts, 0, K::Resume, i, gen);
+            if i < 2 {
+                step(&mut t, &mut ts, d, K::SignalSent, 0, gen);
+                step(&mut t, &mut ts, 0, K::SignalSeen, i, gen);
+                step(&mut t, &mut ts, 0, K::Yield, i, gen);
+                step(&mut t, &mut ts, d, K::Dispatch, i, 0);
+                step(&mut t, &mut ts, 0, K::Resume, i, gen + 100);
+            }
+            step(
+                &mut t,
+                &mut ts,
+                0,
+                K::Complete,
+                i,
+                if i < 2 { 2 } else { 1 },
+            );
+        }
+        // Third signal store: landed on an idle line (obsolete fate) —
+        // no YIELD ever matches it.
+        step(&mut t, &mut ts, d, K::SignalSent, 0, 999);
+        concord_trace::TraceSummary::from_trace(&t)
     }
 
     #[test]
@@ -434,6 +590,44 @@ mod tests {
             v.iter().any(|m| m.contains("without panic injection")),
             "{v:?}"
         );
+    }
+
+    #[test]
+    fn absent_trace_passes_trace_oracle() {
+        // trace: None models a lossy build (feature off / disarmed);
+        // the replay oracle must be a no-op, not a failure.
+        let v = check_trace(&clean_obs());
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn matching_trace_passes_trace_oracle() {
+        let mut obs = clean_obs();
+        obs.trace = Some(matching_trace());
+        let v = check_trace(&obs);
+        assert!(v.is_empty(), "unexpected violations: {v:?}");
+    }
+
+    #[test]
+    fn trace_counter_mismatch_is_reported() {
+        let mut obs = clean_obs();
+        // An empty event stream cannot account for 10 ingested requests.
+        obs.trace = Some(concord_trace::TraceSummary::from_trace(
+            &concord_trace::Trace::new(2),
+        ));
+        let v = check_trace(&obs);
+        assert!(v.iter().any(|m| m.contains("trace:")), "{v:?}");
+    }
+
+    #[test]
+    fn lossy_trace_skips_exact_accounting() {
+        let mut obs = clean_obs();
+        obs.trace = Some(concord_trace::TraceSummary::from_trace(
+            &concord_trace::Trace::new(2),
+        ));
+        obs.trace_dropped = 7; // overflow: counts are truncated, not wrong
+        let v = check_trace(&obs);
+        assert!(v.is_empty(), "lossy trace must skip count checks: {v:?}");
     }
 
     #[test]

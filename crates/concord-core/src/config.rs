@@ -33,11 +33,26 @@ pub struct RuntimeConfig {
     /// Defaults to monotonic wall time; tests install a
     /// [`VirtualClock`](crate::clock::VirtualClock) for determinism.
     pub clock: Clock,
+    /// Whether the scheduling-event tracer is armed. On by default (the
+    /// tracer is designed to be left on); setting it false skips lane
+    /// construction entirely, so emit hooks see no lane and cost one
+    /// branch. Compiling without the `trace` feature removes even that.
+    #[cfg(feature = "trace")]
+    pub trace: bool,
+    /// Capacity of each per-track trace ring, in events (16 bytes each).
+    /// Rings absorb bursts between periodic collector drains; overflow is
+    /// drop-and-count, never a stall.
+    #[cfg(feature = "trace")]
+    pub trace_ring_cap: usize,
     /// Deterministic fault schedule consulted by the dispatcher and
     /// workers (conformance testing only; `None` in production).
     #[cfg(feature = "fault-injection")]
     pub fault_injector: Option<std::sync::Arc<crate::fault::FaultInjector>>,
 }
+
+/// Default per-track trace-ring capacity (events).
+#[cfg(feature = "trace")]
+pub const DEFAULT_TRACE_RING_CAP: usize = 64 * 1024;
 
 impl RuntimeConfig {
     /// The paper's defaults: JBSQ(2), work conservation on, 5 µs quantum.
@@ -52,6 +67,10 @@ impl RuntimeConfig {
             max_in_flight: 16 * 1024,
             telemetry_report_every: None,
             clock: Clock::monotonic(),
+            #[cfg(feature = "trace")]
+            trace: true,
+            #[cfg(feature = "trace")]
+            trace_ring_cap: DEFAULT_TRACE_RING_CAP,
             #[cfg(feature = "fault-injection")]
             fault_injector: None,
         }
@@ -70,6 +89,10 @@ impl RuntimeConfig {
             max_in_flight: 4 * 1024,
             telemetry_report_every: None,
             clock: Clock::monotonic(),
+            #[cfg(feature = "trace")]
+            trace: true,
+            #[cfg(feature = "trace")]
+            trace_ring_cap: DEFAULT_TRACE_RING_CAP,
             #[cfg(feature = "fault-injection")]
             fault_injector: None,
         }
@@ -103,6 +126,20 @@ impl RuntimeConfig {
     /// tests).
     pub fn with_clock(mut self, clock: Clock) -> Self {
         self.clock = clock;
+        self
+    }
+
+    /// Arms or disarms the scheduling-event tracer.
+    #[cfg(feature = "trace")]
+    pub fn with_trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
+    /// Sets the per-track trace-ring capacity (clamped to ≥ 1).
+    #[cfg(feature = "trace")]
+    pub fn with_trace_ring_cap(mut self, cap: usize) -> Self {
+        self.trace_ring_cap = cap.max(1);
         self
     }
 
@@ -154,6 +191,17 @@ mod tests {
             None
         );
         assert_eq!(RuntimeConfig::small_test().telemetry_report_every, None);
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn trace_defaults_on_and_builders_apply() {
+        let c = RuntimeConfig::paper_defaults(2);
+        assert!(c.trace, "tracer is always-on by default");
+        assert_eq!(c.trace_ring_cap, DEFAULT_TRACE_RING_CAP);
+        let c = c.with_trace(false).with_trace_ring_cap(0);
+        assert!(!c.trace);
+        assert_eq!(c.trace_ring_cap, 1, "ring cap clamps to 1");
     }
 
     #[cfg(feature = "fault-injection")]

@@ -8,7 +8,7 @@ use crate::preempt::{set_mode, PreemptMode, WorkerShared};
 use crate::stats::RuntimeStats;
 use crate::task::{SliceEnd, Task};
 use crate::telemetry::{CompletionRecord, TelemetryHandle, DISPATCHER};
-use crate::worker::WorkerMsg;
+use crate::worker::{TraceKind, WorkerMsg};
 use concord_net::ring::{Consumer, Producer};
 use concord_net::{Request, Response};
 use crossbeam_queue::SegQueue;
@@ -52,7 +52,22 @@ pub struct DispatcherLoop<A: ConcordApp> {
     pub workers_stop: Arc<AtomicBool>,
     /// Shared counters.
     pub stats: Arc<RuntimeStats>,
+    /// The dispatcher's own scheduling-event lane (`None` when tracing is
+    /// disarmed). Carries ARRIVE/DISPATCH/SIGNAL_SENT/STEAL/TX_DROP and
+    /// the work-conserving slice events.
+    #[cfg(feature = "trace")]
+    pub trace: Option<concord_trace::TraceLane>,
+    /// Collector holding the consumer side of every trace lane; the
+    /// dispatcher drains it periodically so rings never sit full across a
+    /// long run. `None` when tracing is disarmed.
+    #[cfg(feature = "trace")]
+    pub trace_collector: Option<Arc<parking_lot::Mutex<concord_trace::TraceCollector>>>,
 }
+
+/// Drain the trace collector every this-many dispatcher loop iterations.
+/// Power of two so the check is a mask.
+#[cfg(feature = "trace")]
+const TRACE_DRAIN_EVERY: u64 = 1024;
 
 /// Upper bound on pooled request stacks (64 KiB each by default).
 const STACK_POOL_CAP: usize = 256;
@@ -76,8 +91,21 @@ impl<A: ConcordApp> DispatcherLoop<A> {
         let mut last_report_ns = self.clock.now_ns();
         #[cfg(feature = "fault-injection")]
         let mut deferred: Vec<DeferredSignal> = Vec::new();
+        #[cfg(feature = "trace")]
+        let mut iter: u64 = 0;
         loop {
             let mut progressed = false;
+
+            // 0. Periodic trace drain: move events out of the per-track
+            //    rings so sustained runs don't overflow them. Cheap (a
+            //    mask test) on the 1023 iterations out of 1024 it skips.
+            #[cfg(feature = "trace")]
+            {
+                iter = iter.wrapping_add(1);
+                if iter & (TRACE_DRAIN_EVERY - 1) == 0 {
+                    self.drain_trace();
+                }
+            }
 
             // 1. Quantum policing: signal workers whose slice expired
             //    (§3.1 — the dispatcher owns *when*, the worker owns *how*).
@@ -85,7 +113,8 @@ impl<A: ConcordApp> DispatcherLoop<A> {
             //    signal carries it, so a worker that has already moved on
             //    ignores the (now stale) signal.
             for i in 0..self.workers.len() {
-                if let Some(gen) = self.workers[i].shared.claim_expired(&self.clock) {
+                let claimed = self.workers[i].shared.claim_expired(&self.clock);
+                if let Some(gen) = claimed {
                     progressed = true;
                     #[cfg(feature = "fault-injection")]
                     if let Some(inj) = self.cfg.fault_injector.as_deref() {
@@ -155,10 +184,20 @@ impl<A: ConcordApp> DispatcherLoop<A> {
                         self.drain_telemetry(worker, &mut records);
                         self.emit(resp);
                     }
-                    WorkerMsg::Requeue { worker, task } => {
+                    WorkerMsg::Requeue {
+                        worker,
+                        task,
+                        preempt_latency_ns,
+                    } => {
                         self.workers[worker].inflight =
                             self.workers[worker].inflight.saturating_sub(1);
                         self.stats.requeues.fetch_add(1, Ordering::Relaxed);
+                        // Signal-store → yield latency, measured from
+                        // stamps both sides already take. Aggregated here
+                        // (dispatcher thread) so workers never lock.
+                        self.telemetry
+                            .lock()
+                            .record_preemption_latency(preempt_latency_ns);
                         central.push_back(task);
                     }
                 }
@@ -172,6 +211,7 @@ impl<A: ConcordApp> DispatcherLoop<A> {
                     let Some(req) = self.rx.pop() else { break };
                     self.stats.ingested.fetch_add(1, Ordering::Relaxed);
                     let now_ns = self.clock.now_ns();
+                    self.trace_emit(now_ns, TraceKind::Arrive, req.id, 0);
                     let task = match stack_pool.pop() {
                         Some(stack) => {
                             self.stats.stack_reuses.fetch_add(1, Ordering::Relaxed);
@@ -196,6 +236,15 @@ impl<A: ConcordApp> DispatcherLoop<A> {
                     ws.queue_max
                         .fetch_max(self.workers[target].inflight as u64, Ordering::Relaxed);
                 }
+                // DISPATCH carries the target worker in the generation
+                // field so the replay oracle can rebuild per-worker JBSQ
+                // occupancy from the event stream alone.
+                #[cfg(feature = "trace")]
+                {
+                    let id = task.req.id;
+                    let now_ns = self.clock.now_ns();
+                    self.trace_emit(now_ns, TraceKind::Dispatch, id, target as u64);
+                }
                 if let Err(_task) = self.workers[target].ring.push(task) {
                     unreachable!("JBSQ bound guarantees ring capacity");
                 }
@@ -210,6 +259,12 @@ impl<A: ConcordApp> DispatcherLoop<A> {
                     if let Some(pos) = central.iter().position(|t| !t.started) {
                         let task = central.remove(pos).expect("position valid");
                         self.stats.stolen.fetch_add(1, Ordering::Relaxed);
+                        #[cfg(feature = "trace")]
+                        {
+                            let id = task.req.id;
+                            let now_ns = self.clock.now_ns();
+                            self.trace_emit(now_ns, TraceKind::Steal, id, 0);
+                        }
                         stolen = Some(task);
                     }
                 }
@@ -231,19 +286,45 @@ impl<A: ConcordApp> DispatcherLoop<A> {
                     });
                     let end = task.run_slice(&self.clock);
                     set_mode(PreemptMode::None);
+                    // Work-conserving slices trace on the dispatcher's
+                    // own track with generation 0: they are self-preempted
+                    // against a deadline, not against a signal line, so
+                    // there is no generation to tag. Timestamps reuse the
+                    // slice's own entry/exit stamps — no extra clock reads.
+                    self.trace_emit(task.last_slice_start_ns, TraceKind::Resume, task.req.id, 0);
                     match end {
                         SliceEnd::Completed => {
                             self.stats
                                 .dispatcher_completed
                                 .fetch_add(1, Ordering::Relaxed);
+                            self.trace_emit(
+                                task.last_slice_end_ns,
+                                TraceKind::Complete,
+                                task.req.id,
+                                u64::from(task.slices),
+                            );
                             self.finish_stolen(task, false, &mut stack_pool);
                         }
                         // Saved to the dedicated buffer; resumed when the
                         // dispatcher is next idle. It can never migrate to
                         // a worker (different "instrumentation", §3.3).
-                        SliceEnd::Preempted => stolen = Some(task),
+                        SliceEnd::Preempted => {
+                            self.trace_emit(
+                                task.last_slice_end_ns,
+                                TraceKind::Yield,
+                                task.req.id,
+                                0,
+                            );
+                            stolen = Some(task);
+                        }
                         SliceEnd::Failed => {
                             self.stats.failed.fetch_add(1, Ordering::Relaxed);
+                            self.trace_emit(
+                                task.last_slice_end_ns,
+                                TraceKind::Complete,
+                                task.req.id,
+                                u64::from(task.slices),
+                            );
                             self.finish_stolen(task, true, &mut stack_pool);
                         }
                     }
@@ -283,6 +364,10 @@ impl<A: ConcordApp> DispatcherLoop<A> {
                     for i in 0..self.workers.len() {
                         self.drain_telemetry(i, &mut records);
                     }
+                    // Final trace drain for the dispatcher's own lane;
+                    // worker lanes get a last sweep from Runtime::quiesce
+                    // after the joins.
+                    self.drain_trace();
                     self.workers_stop.store(true, Ordering::Release);
                     return;
                 }
@@ -310,11 +395,60 @@ impl<A: ConcordApp> DispatcherLoop<A> {
         }
     }
 
-    /// Stores a preemption signal for `gen` on `worker`'s line.
-    fn send_signal(&self, worker: usize, gen: u64) {
+    /// Stores a preemption signal for `gen` on `worker`'s line, stamping
+    /// the send time first (the stamp's Release store is ordered before
+    /// the signal's, so a worker that consumed the signal reads a stamp
+    /// at least as fresh).
+    fn send_signal(&mut self, worker: usize, gen: u64) {
+        let now_ns = self.clock.now_ns();
+        self.workers[worker].shared.note_signal_sent(now_ns);
         self.workers[worker].shared.line.signal(gen);
         self.stats.signals_sent.fetch_add(1, Ordering::Relaxed);
+        // SIGNAL_SENT identifies the *target worker* in the id field (the
+        // request is not known to the signaling side) and the slice
+        // generation in the gen field; the replay oracle matches it to
+        // the target's YIELD by (worker, gen).
+        self.trace_emit(now_ns, TraceKind::SignalSent, worker as u64, gen);
     }
+
+    /// Emits one scheduling event on the dispatcher's lane: a single
+    /// wait-free ring push. Overflow increments `trace_dropped` and drops
+    /// the event — never blocks. Compiles to nothing without the `trace`
+    /// feature.
+    #[cfg(feature = "trace")]
+    #[inline]
+    fn trace_emit(&mut self, ts_ns: u64, kind: TraceKind, id: u64, gen: u64) {
+        if let Some(lane) = self.trace.as_mut() {
+            if !lane.emit(concord_trace::TraceEvent::new(ts_ns, kind, id, gen)) {
+                self.stats.trace_dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    #[cfg(not(feature = "trace"))]
+    #[inline(always)]
+    fn trace_emit(&mut self, _ts_ns: u64, _kind: TraceKind, _id: u64, _gen: u64) {}
+
+    /// Drains every trace lane into the collector. The fault injector can
+    /// stall scheduled drains to simulate a wedged collector — emits then
+    /// overflow (drop-and-count) but no thread ever blocks on tracing.
+    #[cfg(feature = "trace")]
+    fn drain_trace(&mut self) {
+        let Some(collector) = self.trace_collector.as_ref() else {
+            return;
+        };
+        #[cfg(feature = "fault-injection")]
+        if let Some(inj) = self.cfg.fault_injector.as_deref() {
+            if inj.take_trace_drain_stall() {
+                return;
+            }
+        }
+        collector.lock().drain();
+    }
+
+    #[cfg(not(feature = "trace"))]
+    #[inline(always)]
+    fn drain_trace(&mut self) {}
 
     fn in_flight(&self, central: &VecDeque<Task>, stolen: &Option<Task>) -> usize {
         central.len()
@@ -399,6 +533,11 @@ impl<A: ConcordApp> DispatcherLoop<A> {
         // Collector gone (or backpressure injected); drop the response
         // descriptor — but never silently: the loss is counted and
         // announced once.
+        #[cfg(feature = "trace")]
+        {
+            let now_ns = self.clock.now_ns();
+            self.trace_emit(now_ns, TraceKind::TxDrop, r.id, 0);
+        }
         let dropped_before = self.stats.tx_dropped.fetch_add(1, Ordering::Relaxed);
         if dropped_before == 0 && !self.stats.tx_drop_logged.swap(true, Ordering::Relaxed) {
             eprintln!(

@@ -67,6 +67,10 @@ pub struct FaultInjector {
     panic_req_id: AtomicU64,
     panic_slice: AtomicU64,
     panics_fired: AtomicU64,
+    // Trace-collector stalls: skip the next N periodic trace drains, so
+    // lane rings fill and the drop-and-count overflow path is exercised.
+    trace_drain_stall_budget: AtomicU64,
+    trace_drains_stalled: AtomicU64,
 }
 
 impl FaultInjector {
@@ -116,6 +120,14 @@ impl FaultInjector {
     pub fn panic_on(&self, req_id: u64, slice: u32) {
         self.panic_slice.store(u64::from(slice), Ordering::Release);
         self.panic_req_id.store(req_id, Ordering::Release);
+    }
+
+    /// Skip the next `n` periodic trace-collector drains. With small lane
+    /// rings this forces overflow, proving emit stays wait-free
+    /// (drop-and-count) when the collector is wedged.
+    pub fn stall_trace_drains(&self, n: u64) {
+        self.trace_drain_stall_budget
+            .fetch_add(n, Ordering::Release);
     }
 
     // --- Runtime-side consumption --------------------------------------
@@ -183,6 +195,15 @@ impl FaultInjector {
         fire
     }
 
+    /// Dispatcher: should this periodic trace drain be skipped?
+    pub fn take_trace_drain_stall(&self) -> bool {
+        let fire = take_budget(&self.trace_drain_stall_budget);
+        if fire {
+            self.trace_drains_stalled.fetch_add(1, Ordering::Relaxed);
+        }
+        fire
+    }
+
     // --- Observability (for oracles) -----------------------------------
 
     /// Signal stores dropped so far.
@@ -208,6 +229,11 @@ impl FaultInjector {
     /// Injected handler panics actually fired so far.
     pub fn panics_fired(&self) -> u64 {
         self.panics_fired.load(Ordering::Acquire)
+    }
+
+    /// Periodic trace drains skipped so far.
+    pub fn trace_drains_stalled(&self) -> u64 {
+        self.trace_drains_stalled.load(Ordering::Acquire)
     }
 }
 
@@ -253,6 +279,17 @@ mod tests {
         assert!(f.take_panic(42, 1));
         assert!(!f.take_panic(42, 1), "target consumed");
         assert_eq!(f.panics_fired(), 1);
+    }
+
+    #[test]
+    fn trace_drain_stall_budget() {
+        let f = FaultInjector::new();
+        assert!(!f.take_trace_drain_stall());
+        f.stall_trace_drains(2);
+        assert!(f.take_trace_drain_stall());
+        assert!(f.take_trace_drain_stall());
+        assert!(!f.take_trace_drain_stall());
+        assert_eq!(f.trace_drains_stalled(), 2);
     }
 
     #[test]

@@ -67,5 +67,13 @@ pub use config::RuntimeConfig;
 pub use fault::FaultInjector;
 pub use preempt::{LockDepthObserver, PreemptLine, SignalAccounting, SignalPoll};
 pub use runtime::Runtime;
-pub use stats::{RuntimeStats, WorkerStats};
+pub use stats::{RuntimeStats, WorkerStats, WorkerStatsSnapshot};
 pub use telemetry::{CompletionRecord, TelemetrySnapshot};
+
+/// Re-export of the scheduling-event tracer (`concord-trace`) so
+/// downstream users of [`Runtime::take_trace`] can reach
+/// [`Trace`](concord_trace::Trace), the Perfetto/binary exporters and
+/// [`TraceSummary`](concord_trace::TraceSummary) without a separate
+/// dependency edge.
+#[cfg(feature = "trace")]
+pub use concord_trace as trace;

@@ -171,10 +171,25 @@ pub struct WorkerShared {
     obsolete: AtomicU64,
     /// Signals discarded because they carried a stale generation.
     stale: AtomicU64,
+    /// Clock stamp of the most recent signal store ([`note_signal_sent`]
+    /// — the dispatcher stamps *before* the store, so by the time a
+    /// worker observes the signal the stamp is in place). Feeds the
+    /// signal-to-yield preemption-latency histogram.
+    ///
+    /// [`note_signal_sent`]: WorkerShared::note_signal_sent
+    signal_sent_ns: AtomicU64,
+    /// Clock stamp taken when a preemption point consumed a signal;
+    /// 0 = none pending. Swapped out by the worker's YIELD hook.
+    #[cfg(feature = "trace")]
+    signal_seen_ns: AtomicU64,
+    /// Time source for the SIGNAL_SEEN stamp. Read only on the consumed
+    /// path (an actual preemption), never on the 1-load Empty fast path.
+    #[cfg(feature = "trace")]
+    trace_clock: Clock,
 }
 
 impl WorkerShared {
-    /// Creates idle shared state.
+    /// Creates idle shared state (monotonic clock for trace stamps).
     pub fn new() -> Self {
         Self {
             line: PreemptLine::new(),
@@ -183,6 +198,22 @@ impl WorkerShared {
             consumed: AtomicU64::new(0),
             obsolete: AtomicU64::new(0),
             stale: AtomicU64::new(0),
+            signal_sent_ns: AtomicU64::new(0),
+            #[cfg(feature = "trace")]
+            signal_seen_ns: AtomicU64::new(0),
+            #[cfg(feature = "trace")]
+            trace_clock: Clock::monotonic(),
+        }
+    }
+
+    /// Creates idle shared state whose SIGNAL_SEEN stamps use `clock` —
+    /// the runtime passes its configured clock so trace timestamps share
+    /// one timeline.
+    #[cfg(feature = "trace")]
+    pub fn with_clock(clock: Clock) -> Self {
+        Self {
+            trace_clock: clock,
+            ..Self::new()
         }
     }
 
@@ -234,6 +265,12 @@ impl WorkerShared {
             SignalPoll::Empty => false,
             SignalPoll::Consumed => {
                 self.consumed.fetch_add(1, Ordering::Relaxed);
+                // Stamp the moment the probe saw the signal. Costs one
+                // clock read, only on the (rare) consumed path — the
+                // Empty fast path above stays a single relaxed load.
+                #[cfg(feature = "trace")]
+                self.signal_seen_ns
+                    .store(self.trace_clock.now_ns().max(1), Ordering::Release);
                 true
             }
             SignalPoll::Stale => {
@@ -241,6 +278,25 @@ impl WorkerShared {
                 false
             }
         }
+    }
+
+    /// Dispatcher: stamp the clock time of a signal store, *before*
+    /// performing it ([`PreemptLine::signal`]); release/acquire on the
+    /// pair orders the stamp ahead of any observer of the signal.
+    pub fn note_signal_sent(&self, now_ns: u64) {
+        self.signal_sent_ns.store(now_ns, Ordering::Release);
+    }
+
+    /// Clock stamp of the most recent signal store (0 = never signaled).
+    pub fn last_signal_sent_ns(&self) -> u64 {
+        self.signal_sent_ns.load(Ordering::Acquire)
+    }
+
+    /// Worker: take the pending SIGNAL_SEEN stamp, if a preemption point
+    /// recorded one since the last call (0 = none).
+    #[cfg(feature = "trace")]
+    pub fn take_signal_seen_ns(&self) -> u64 {
+        self.signal_seen_ns.swap(0, Ordering::AcqRel)
     }
 
     /// Test helper: signal the *current* slice, as the dispatcher would

@@ -36,6 +36,10 @@ pub struct Runtime {
     shared: Vec<Arc<WorkerShared>>,
     dispatcher: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    /// Scheduling-event collector; `None` when the tracer is disarmed
+    /// via [`RuntimeConfig::with_trace`].
+    #[cfg(feature = "trace")]
+    trace: Option<Arc<Mutex<concord_trace::TraceCollector>>>,
 }
 
 impl Runtime {
@@ -62,10 +66,30 @@ impl Runtime {
         let telemetry: TelemetryHandle = Arc::new(Mutex::new(Telemetry::new()));
         let from_workers: Arc<SegQueue<WorkerMsg>> = Arc::new(SegQueue::new());
 
+        // One emit lane per track (workers 0..n, dispatcher last); the
+        // collector owns every consumer side and is drained by the
+        // dispatcher periodically and by quiesce() at the end.
+        #[cfg(feature = "trace")]
+        let (trace_collector, trace_lanes) = if config.trace {
+            let (c, lanes) =
+                concord_trace::TraceCollector::new(config.n_workers, config.trace_ring_cap);
+            (Some(Arc::new(Mutex::new(c))), lanes)
+        } else {
+            (None, Vec::new())
+        };
+        #[cfg(feature = "trace")]
+        let mut trace_lanes = trace_lanes.into_iter();
+
         let mut slots = Vec::with_capacity(config.n_workers);
         let mut worker_handles = Vec::with_capacity(config.n_workers);
         let mut shared_lines = Vec::with_capacity(config.n_workers);
         for idx in 0..config.n_workers {
+            // With tracing compiled in the shared state carries the
+            // runtime clock so the preemption point can stamp the moment
+            // a probe consumes a signal.
+            #[cfg(feature = "trace")]
+            let shared = Arc::new(WorkerShared::with_clock(clock.clone()));
+            #[cfg(not(feature = "trace"))]
             let shared = Arc::new(WorkerShared::new());
             shared_lines.push(shared.clone());
             let (task_tx, task_rx) = ring::<Task>(config.jbsq_depth.max(1));
@@ -86,6 +110,8 @@ impl Runtime {
                 quantum: config.quantum,
                 stop: workers_stop.clone(),
                 stats: stats.clone(),
+                #[cfg(feature = "trace")]
+                trace: trace_lanes.next(),
                 #[cfg(feature = "fault-injection")]
                 injector: config.fault_injector.clone(),
             };
@@ -100,6 +126,11 @@ impl Runtime {
             worker_handles.push(handle);
         }
 
+        // Lane order is workers 0..n then the dispatcher's, so after the
+        // worker loop the iterator holds exactly the dispatcher lane.
+        #[cfg(feature = "trace")]
+        let dispatcher_lane = trace_lanes.next();
+
         let dl = DispatcherLoop {
             app,
             rx,
@@ -111,6 +142,10 @@ impl Runtime {
             stop: stop.clone(),
             workers_stop,
             stats: stats.clone(),
+            #[cfg(feature = "trace")]
+            trace: dispatcher_lane,
+            #[cfg(feature = "trace")]
+            trace_collector: trace_collector.clone(),
             cfg: config,
         };
         let dispatcher = std::thread::Builder::new()
@@ -125,6 +160,8 @@ impl Runtime {
             shared: shared_lines,
             dispatcher: Some(dispatcher),
             workers: worker_handles,
+            #[cfg(feature = "trace")]
+            trace: trace_collector,
         }
     }
 
@@ -188,6 +225,22 @@ impl Runtime {
                 ws.signals_stale.store(a.stale, Ordering::Relaxed);
             }
         }
+        // Sweep any events still parked in worker lanes (the dispatcher's
+        // final drain ran before the workers were released).
+        #[cfg(feature = "trace")]
+        if let Some(c) = &self.trace {
+            c.lock().drain();
+        }
+    }
+
+    /// Takes the collected scheduling-event trace, leaving an empty one
+    /// behind. Returns `None` when tracing was disarmed via
+    /// [`RuntimeConfig::with_trace`]. Call after [`Runtime::quiesce`] for
+    /// a complete trace; calling mid-run yields whatever the collector
+    /// has drained so far plus everything still parked in the lanes.
+    #[cfg(feature = "trace")]
+    pub fn take_trace(&self) -> Option<concord_trace::Trace> {
+        self.trace.as_ref().map(|c| c.lock().take_trace())
     }
 
     /// Stops ingesting, drains every in-flight request, joins all threads

@@ -22,16 +22,51 @@ pub struct WorkerStats {
     pub signals_obsolete: AtomicU64,
     /// Stale-generation signals rejected (copied at shutdown).
     pub signals_stale: AtomicU64,
+    /// Trace events this worker dropped on a full lane ring (tracer
+    /// overflow is drop-and-count, never a stall). Always 0 without the
+    /// `trace` feature.
+    pub trace_dropped: AtomicU64,
+}
+
+/// A point-in-time copy of every [`WorkerStats`] counter.
+///
+/// `WorkerStats::snapshot()` used to return a `(completed, preempted,
+/// failed)` tuple, silently discarding the other counters; the named
+/// struct makes adding a counter a compile error at every consumer
+/// instead of a silent omission.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerStatsSnapshot {
+    /// Requests this worker completed.
+    pub completed: u64,
+    /// Slices this worker had preempted under it.
+    pub preempted: u64,
+    /// Contained application panics on this worker.
+    pub failed: u64,
+    /// High-watermark of this worker's JBSQ occupancy.
+    pub queue_max: u64,
+    /// Signals consumed at a preemption point.
+    pub signals_consumed: u64,
+    /// Signals that landed after their slice finished.
+    pub signals_obsolete: u64,
+    /// Stale-generation signals rejected.
+    pub signals_stale: u64,
+    /// Trace events dropped on a full lane ring.
+    pub trace_dropped: u64,
 }
 
 impl WorkerStats {
-    /// Snapshot as `(completed, preempted, failed)`.
-    pub fn snapshot(&self) -> (u64, u64, u64) {
-        (
-            self.completed.load(Ordering::Relaxed),
-            self.preempted.load(Ordering::Relaxed),
-            self.failed.load(Ordering::Relaxed),
-        )
+    /// Snapshot of all per-worker counters.
+    pub fn snapshot(&self) -> WorkerStatsSnapshot {
+        WorkerStatsSnapshot {
+            completed: self.completed.load(Ordering::Relaxed),
+            preempted: self.preempted.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            queue_max: self.queue_max.load(Ordering::Relaxed),
+            signals_consumed: self.signals_consumed.load(Ordering::Relaxed),
+            signals_obsolete: self.signals_obsolete.load(Ordering::Relaxed),
+            signals_stale: self.signals_stale.load(Ordering::Relaxed),
+            trace_dropped: self.trace_dropped.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -65,6 +100,9 @@ pub struct RuntimeStats {
     pub tx_dropped: AtomicU64,
     /// Completion telemetry records lost to a full per-worker ring.
     pub telemetry_dropped: AtomicU64,
+    /// Trace events lost to a full lane ring, summed across all tracks
+    /// (workers and dispatcher). Always 0 without the `trace` feature.
+    pub trace_dropped: AtomicU64,
     /// Preemption signals suppressed by the fault injector (claimed
     /// expiries whose store was deliberately never performed). Always 0
     /// without the `fault-injection` feature.
@@ -123,6 +161,7 @@ impl RuntimeStats {
                 "telemetry_dropped",
                 self.telemetry_dropped.load(Ordering::Relaxed),
             ),
+            ("trace_dropped", self.trace_dropped.load(Ordering::Relaxed)),
             (
                 "signals_dropped_injected",
                 self.signals_dropped_injected.load(Ordering::Relaxed),
@@ -136,14 +175,15 @@ impl RuntimeStats {
         .map(|(n, v)| (n.to_string(), v))
         .collect();
         for (i, w) in self.per_worker.iter().enumerate() {
-            let (completed, preempted, failed) = w.snapshot();
-            rows.push((format!("worker{i}_completed"), completed));
-            rows.push((format!("worker{i}_preempted"), preempted));
-            rows.push((format!("worker{i}_failed"), failed));
-            rows.push((
-                format!("worker{i}_queue_max"),
-                w.queue_max.load(Ordering::Relaxed),
-            ));
+            let s = w.snapshot();
+            rows.push((format!("worker{i}_completed"), s.completed));
+            rows.push((format!("worker{i}_preempted"), s.preempted));
+            rows.push((format!("worker{i}_failed"), s.failed));
+            rows.push((format!("worker{i}_queue_max"), s.queue_max));
+            rows.push((format!("worker{i}_signals_consumed"), s.signals_consumed));
+            rows.push((format!("worker{i}_signals_obsolete"), s.signals_obsolete));
+            rows.push((format!("worker{i}_signals_stale"), s.signals_stale));
+            rows.push((format!("worker{i}_trace_dropped"), s.trace_dropped));
         }
         rows
     }
@@ -178,6 +218,7 @@ mod tests {
             "stack_reuses",
             "tx_dropped",
             "telemetry_dropped",
+            "trace_dropped",
             "signals_dropped_injected",
             "work_conservation_violations",
         ] {
@@ -191,6 +232,10 @@ mod tests {
         s.per_worker[0].completed.store(7, Ordering::Relaxed);
         s.per_worker[1].preempted.store(3, Ordering::Relaxed);
         s.per_worker[1].queue_max.store(2, Ordering::Relaxed);
+        s.per_worker[1].signals_consumed.store(4, Ordering::Relaxed);
+        s.per_worker[1].signals_obsolete.store(5, Ordering::Relaxed);
+        s.per_worker[1].signals_stale.store(6, Ordering::Relaxed);
+        s.per_worker[1].trace_dropped.store(1, Ordering::Relaxed);
         let snap = s.snapshot();
         let get = |name: &str| {
             snap.iter()
@@ -203,5 +248,35 @@ mod tests {
         assert_eq!(get("worker1_preempted"), 3);
         assert_eq!(get("worker1_failed"), 0);
         assert_eq!(get("worker1_queue_max"), 2);
+        assert_eq!(get("worker1_signals_consumed"), 4);
+        assert_eq!(get("worker1_signals_obsolete"), 5);
+        assert_eq!(get("worker1_signals_stale"), 6);
+        assert_eq!(get("worker1_trace_dropped"), 1);
+    }
+
+    #[test]
+    fn worker_snapshot_carries_every_counter() {
+        let w = WorkerStats::default();
+        w.completed.store(1, Ordering::Relaxed);
+        w.preempted.store(2, Ordering::Relaxed);
+        w.failed.store(3, Ordering::Relaxed);
+        w.queue_max.store(4, Ordering::Relaxed);
+        w.signals_consumed.store(5, Ordering::Relaxed);
+        w.signals_obsolete.store(6, Ordering::Relaxed);
+        w.signals_stale.store(7, Ordering::Relaxed);
+        w.trace_dropped.store(8, Ordering::Relaxed);
+        assert_eq!(
+            w.snapshot(),
+            WorkerStatsSnapshot {
+                completed: 1,
+                preempted: 2,
+                failed: 3,
+                queue_max: 4,
+                signals_consumed: 5,
+                signals_obsolete: 6,
+                signals_stale: 7,
+                trace_dropped: 8,
+            }
+        );
     }
 }

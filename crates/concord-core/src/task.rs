@@ -44,6 +44,14 @@ pub struct Task {
     pub busy_ns: u64,
     /// Number of slices executed so far.
     pub slices: u32,
+    /// Clock reading when the most recent slice started (0 = never ran).
+    /// Reuses the entry stamp [`run_slice`](Task::run_slice) already
+    /// takes, so the tracer's RESUME events cost no extra clock read.
+    pub last_slice_start_ns: u64,
+    /// Clock reading when the most recent slice ended (0 = never ran).
+    /// Reuses `run_slice`'s exit stamp; feeds YIELD/COMPLETE events and
+    /// the signal-to-yield preemption-latency histogram.
+    pub last_slice_end_ns: u64,
 }
 
 /// What a single execution slice ended with.
@@ -88,6 +96,8 @@ impl Task {
             first_run_ns: None,
             busy_ns: 0,
             slices: 0,
+            last_slice_start_ns: 0,
+            last_slice_end_ns: 0,
         }
     }
 
@@ -107,8 +117,11 @@ impl Task {
         if self.first_run_ns.is_none() {
             self.first_run_ns = Some(start_ns);
         }
+        self.last_slice_start_ns = start_ns;
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.co.resume()));
-        self.busy_ns += clock.now_ns().saturating_sub(start_ns);
+        let end_ns = clock.now_ns();
+        self.last_slice_end_ns = end_ns;
+        self.busy_ns += end_ns.saturating_sub(start_ns);
         self.slices += 1;
         match outcome {
             Ok(CoState::Suspended) => SliceEnd::Preempted,

@@ -23,7 +23,7 @@
 //! one source's ring, both of which the design rules out.
 
 use crate::task::Task;
-use concord_metrics::LatencyBreakdown;
+use concord_metrics::{Histogram, LatencyBreakdown};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -91,6 +91,12 @@ pub struct Telemetry {
     /// Records whose completion stamp ran backwards relative to an
     /// earlier record from the same source (oracle tripwire; must be 0).
     pub timestamp_regressions: u64,
+    /// Signal-store → yield latency of each preemption, nanoseconds —
+    /// the paper's read-after-write signal-propagation claim (§3.1),
+    /// measured on every preemption from stamps the signal path already
+    /// takes. The trace-replay oracle cross-checks its p99 against the
+    /// same quantity derived from SIGNAL_SENT/YIELD trace events.
+    pub preemption_latency: Histogram,
     /// Latest completion stamp seen per source.
     last_completed_ns: HashMap<usize, u64>,
 }
@@ -104,6 +110,7 @@ impl Telemetry {
             failures: 0,
             records_dropped: 0,
             timestamp_regressions: 0,
+            preemption_latency: Histogram::new(3),
             last_completed_ns: HashMap::new(),
         }
     }
@@ -124,6 +131,12 @@ impl Telemetry {
             .record(r.queue_ns, r.service_ns, r.sojourn_ns, r.nominal_ns);
     }
 
+    /// Folds one preemption's signal-store → yield latency into the
+    /// aggregate (the dispatcher calls this when it receives a requeue).
+    pub fn record_preemption_latency(&mut self, latency_ns: u64) {
+        self.preemption_latency.record(latency_ns.max(1));
+    }
+
     /// Copies the current aggregate out as an immutable snapshot.
     pub fn snapshot(&self) -> TelemetrySnapshot {
         TelemetrySnapshot {
@@ -132,6 +145,7 @@ impl Telemetry {
             failures: self.failures,
             records_dropped: self.records_dropped,
             timestamp_regressions: self.timestamp_regressions,
+            preemption_latency: self.preemption_latency.clone(),
             taken_at: Instant::now(),
         }
     }
@@ -164,6 +178,9 @@ pub struct TelemetrySnapshot {
     pub records_dropped: u64,
     /// Per-source completion-stamp regressions observed (must be 0).
     pub timestamp_regressions: u64,
+    /// Signal-store → yield latency distribution (nanoseconds), one
+    /// sample per preemption.
+    pub preemption_latency: Histogram,
     /// When this snapshot was taken.
     pub taken_at: Instant,
 }
@@ -214,16 +231,47 @@ impl TelemetrySnapshot {
         self.breakdown.slowdown(0.999)
     }
 
+    /// Preemptions with a recorded signal-to-yield latency.
+    pub fn preemptions_recorded(&self) -> u64 {
+        self.preemption_latency.len()
+    }
+
+    /// Median signal-store → yield latency, nanoseconds (0 if no
+    /// preemption happened).
+    pub fn preemption_p50_ns(&self) -> u64 {
+        self.preemption_latency.percentile(50.0)
+    }
+
+    /// 99th-percentile signal-store → yield latency, nanoseconds.
+    pub fn preemption_p99_ns(&self) -> u64 {
+        self.preemption_latency.percentile(99.0)
+    }
+
+    /// 99.9th-percentile signal-store → yield latency, nanoseconds.
+    pub fn preemption_p999_ns(&self) -> u64 {
+        self.preemption_latency.percentile(99.9)
+    }
+
     /// Renders the human-readable report printed by the periodic reporter
     /// and the examples.
     pub fn render(&self) -> String {
-        format!(
+        let mut out = format!(
             "telemetry: {} recorded ({} failed, {} records dropped)\n{}",
             self.recorded,
             self.failures,
             self.records_dropped,
             self.breakdown.render(),
-        )
+        );
+        if !self.preemption_latency.is_empty() {
+            out.push_str(&format!(
+                "preemption signal->yield: {} samples, p50 {:.1}us p99 {:.1}us p99.9 {:.1}us\n",
+                self.preemptions_recorded(),
+                self.preemption_p50_ns() as f64 / 1e3,
+                self.preemption_p99_ns() as f64 / 1e3,
+                self.preemption_p999_ns() as f64 / 1e3,
+            ));
+        }
+        out
     }
 }
 
@@ -310,6 +358,20 @@ mod tests {
         t.record(&a);
         assert_eq!(t.timestamp_regressions, 1);
         assert_eq!(t.snapshot().timestamp_regressions, 1);
+    }
+
+    #[test]
+    fn preemption_latency_is_aggregated_and_snapshotted() {
+        let mut t = Telemetry::new();
+        assert_eq!(t.snapshot().preemptions_recorded(), 0);
+        assert_eq!(t.snapshot().preemption_p99_ns(), 0, "empty histogram");
+        t.record_preemption_latency(1_000);
+        t.record_preemption_latency(2_000);
+        t.record_preemption_latency(0); // clamped to 1, never lost
+        let s = t.snapshot();
+        assert_eq!(s.preemptions_recorded(), 3);
+        assert!(s.preemption_p99_ns() >= s.preemption_p50_ns());
+        assert!(s.render().contains("signal->yield"));
     }
 
     #[test]

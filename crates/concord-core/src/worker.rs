@@ -30,6 +30,10 @@ pub enum WorkerMsg {
         worker: usize,
         /// The suspended task.
         task: Task,
+        /// Signal-store → yield latency of this preemption, nanoseconds
+        /// (from stamps the signal path already takes). The dispatcher
+        /// folds it into the telemetry preemption-latency histogram.
+        preempt_latency_ns: u64,
     },
 }
 
@@ -55,6 +59,10 @@ pub struct WorkerLoop {
     pub stop: Arc<AtomicBool>,
     /// Shared counters.
     pub stats: Arc<RuntimeStats>,
+    /// This worker's scheduling-event lane (`None` when tracing is
+    /// disarmed). Emits are wait-free; overflow is drop-and-count.
+    #[cfg(feature = "trace")]
+    pub trace: Option<concord_trace::TraceLane>,
     /// Deterministic fault schedule (conformance testing only).
     #[cfg(feature = "fault-injection")]
     pub injector: Option<Arc<crate::fault::FaultInjector>>,
@@ -82,7 +90,7 @@ impl WorkerLoop {
                     // Each slice gets a fresh generation: a late signal
                     // claimed against the previous slice carries the old
                     // generation and cannot preempt this one.
-                    self.shared.begin_slice(&self.clock, self.quantum);
+                    let gen = self.shared.begin_slice(&self.clock, self.quantum);
                     set_mode(PreemptMode::Worker(self.shared.clone()));
                     #[cfg(feature = "fault-injection")]
                     if let Some(inj) = self.injector.as_deref() {
@@ -95,12 +103,26 @@ impl WorkerLoop {
                     crate::preempt::disarm_injected_panic();
                     set_mode(PreemptMode::None);
                     self.shared.end_slice();
+                    // RESUME reuses the slice's entry stamp — the tracer
+                    // adds no clock reads to the run path.
+                    self.trace_emit(
+                        task.last_slice_start_ns,
+                        TraceKind::Resume,
+                        task.req.id,
+                        gen,
+                    );
                     match end {
                         SliceEnd::Completed => {
                             self.stats.worker_completed.fetch_add(1, Ordering::Relaxed);
                             if let Some(ws) = self.stats.per_worker.get(self.idx) {
                                 ws.completed.fetch_add(1, Ordering::Relaxed);
                             }
+                            self.trace_emit(
+                                task.last_slice_end_ns,
+                                TraceKind::Complete,
+                                task.req.id,
+                                u64::from(task.slices),
+                            );
                             self.finish(task, false);
                         }
                         SliceEnd::Preempted => {
@@ -108,9 +130,27 @@ impl WorkerLoop {
                             if let Some(ws) = self.stats.per_worker.get(self.idx) {
                                 ws.preempted.fetch_add(1, Ordering::Relaxed);
                             }
+                            let yield_ns = task.last_slice_end_ns;
+                            // The preemption point stamped the moment its
+                            // probe consumed the signal; the dispatcher
+                            // stamped the store itself just before making
+                            // it. Both stamps precede the yield.
+                            #[cfg(feature = "trace")]
+                            {
+                                let seen_ns = self.shared.take_signal_seen_ns();
+                                self.trace_emit(
+                                    if seen_ns == 0 { yield_ns } else { seen_ns },
+                                    TraceKind::SignalSeen,
+                                    task.req.id,
+                                    gen,
+                                );
+                            }
+                            self.trace_emit(yield_ns, TraceKind::Yield, task.req.id, gen);
+                            let sent_ns = self.shared.last_signal_sent_ns();
                             self.to_dispatcher.push(WorkerMsg::Requeue {
                                 worker: self.idx,
                                 task,
+                                preempt_latency_ns: yield_ns.saturating_sub(sent_ns),
                             });
                         }
                         SliceEnd::Failed => {
@@ -121,6 +161,12 @@ impl WorkerLoop {
                             if let Some(ws) = self.stats.per_worker.get(self.idx) {
                                 ws.failed.fetch_add(1, Ordering::Relaxed);
                             }
+                            self.trace_emit(
+                                task.last_slice_end_ns,
+                                TraceKind::Complete,
+                                task.req.id,
+                                u64::from(task.slices),
+                            );
                             self.finish(task, true);
                         }
                     }
@@ -136,6 +182,27 @@ impl WorkerLoop {
             }
         }
     }
+
+    /// Emits one scheduling event on this worker's lane: a single
+    /// wait-free ring push. Overflow increments `trace_dropped` (global
+    /// and per-worker) and drops the event — never blocks. Compiles to
+    /// nothing without the `trace` feature.
+    #[cfg(feature = "trace")]
+    #[inline]
+    fn trace_emit(&mut self, ts_ns: u64, kind: TraceKind, id: u64, gen: u64) {
+        if let Some(lane) = self.trace.as_mut() {
+            if !lane.emit(concord_trace::TraceEvent::new(ts_ns, kind, id, gen)) {
+                self.stats.trace_dropped.fetch_add(1, Ordering::Relaxed);
+                if let Some(ws) = self.stats.per_worker.get(self.idx) {
+                    ws.trace_dropped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    #[cfg(not(feature = "trace"))]
+    #[inline(always)]
+    fn trace_emit(&mut self, _ts_ns: u64, _kind: TraceKind, _id: u64, _gen: u64) {}
 
     /// Reports a finished (completed or failed) request: telemetry record
     /// first, then the completion message that releases the JBSQ slot.
@@ -153,4 +220,27 @@ impl WorkerLoop {
             stack: task.recycle(),
         });
     }
+}
+
+/// Event-kind alias so call sites compile identically with and without
+/// the `trace` feature (the no-op stub still type-checks its arguments).
+#[cfg(feature = "trace")]
+pub(crate) use concord_trace::EventKind as TraceKind;
+
+/// Mirror of `concord_trace::EventKind` for feature-off builds: the
+/// variants worker/dispatcher hooks name must exist so the no-op
+/// `trace_emit` stubs type-check; the compiler then erases everything.
+#[cfg(not(feature = "trace"))]
+#[derive(Clone, Copy, Debug)]
+#[allow(missing_docs, dead_code)]
+pub(crate) enum TraceKind {
+    Arrive,
+    Dispatch,
+    SignalSent,
+    SignalSeen,
+    Yield,
+    Resume,
+    Steal,
+    Complete,
+    TxDrop,
 }

@@ -316,7 +316,7 @@ fn per_worker_stats_sum_to_totals() {
         .per_worker
         .iter()
         .map(|w| w.snapshot())
-        .fold((0, 0), |(c, p), (wc, wp, _)| (c + wc, p + wp));
+        .fold((0, 0), |(c, p), s| (c + s.completed, p + s.preempted));
     assert_eq!(
         sum_completed,
         stats.worker_completed.load(Ordering::Relaxed)

@@ -1,0 +1,89 @@
+//! Edge-case tests for [`concord_metrics::Histogram`]: empty-histogram
+//! queries, clamping at the trackable ceiling, and the merge layout
+//! contract — the behaviors trace-derived histograms (signal→yield
+//! latency) lean on when a run produces no preemptions or pathological
+//! outliers.
+
+use concord_metrics::Histogram;
+
+#[test]
+fn empty_percentiles_are_zero() {
+    let h = Histogram::new(3);
+    for p in [0.0, 50.0, 99.0, 99.9, 100.0] {
+        assert_eq!(h.percentile(p), 0, "p{p} of an empty histogram");
+    }
+    assert_eq!(h.min(), 0);
+    assert_eq!(h.max(), 0);
+    assert_eq!(h.mean(), 0.0);
+    assert_eq!(h.clamped(), 0);
+    assert_eq!(h.quantile_below(u64::MAX), 0.0);
+    assert_eq!(h.iter().count(), 0);
+}
+
+#[test]
+fn values_above_max_clamp_and_count() {
+    let mut h = Histogram::with_max(3, 10_000);
+    h.record(9_999); // inside range: not clamped
+    h.record(10_001);
+    h.record_n(u64::MAX, 3);
+    assert_eq!(h.clamped(), 4);
+    assert_eq!(h.len(), 5);
+    // Clamped values land at (the bucket of) the ceiling, never beyond
+    // the histogram's own resolution of it.
+    assert!(h.max() <= 10_000 + 10_000 / 1000);
+    assert!(h.percentile(100.0) >= 10_000);
+    // The exact sum uses the clamped value, keeping the mean in range.
+    assert!(h.mean() <= h.max() as f64);
+}
+
+#[test]
+fn merge_accumulates_clamped_counts() {
+    let mut a = Histogram::with_max(3, 1_000);
+    let mut b = Histogram::with_max(3, 1_000);
+    a.record(2_000);
+    b.record(3_000);
+    b.record(500);
+    a.merge(&b);
+    assert_eq!(a.clamped(), 2);
+    assert_eq!(a.len(), 3);
+    assert_eq!(a.min(), 500);
+}
+
+#[test]
+#[should_panic(expected = "identical layout")]
+fn merge_rejects_differing_sigfigs() {
+    let mut a = Histogram::with_max(2, 1 << 20);
+    let b = Histogram::with_max(3, 1 << 20);
+    a.merge(&b);
+}
+
+#[test]
+#[should_panic(expected = "identical layout")]
+fn merge_rejects_differing_max() {
+    let mut a = Histogram::with_max(3, 1 << 20);
+    let b = Histogram::with_max(3, 1 << 30);
+    a.merge(&b);
+}
+
+#[test]
+fn percentile_of_single_clamped_value_is_ceiling_bucket() {
+    let mut h = Histogram::with_max(2, 1_000);
+    h.record(u64::MAX);
+    assert_eq!(h.len(), 1);
+    assert_eq!(h.clamped(), 1);
+    let p50 = h.percentile(50.0);
+    assert!(
+        p50 >= 1_000,
+        "clamped value must not shrink below max: {p50}"
+    );
+}
+
+#[test]
+fn quantile_below_clamps_probe_values() {
+    let mut h = Histogram::with_max(3, 1_000);
+    h.record(400);
+    h.record(800);
+    // Probing beyond the trackable ceiling must saturate, not panic.
+    assert_eq!(h.quantile_below(u64::MAX), 1.0);
+    assert_eq!(h.quantile_below(0), 0.0);
+}

@@ -1,0 +1,151 @@
+//! Wait-free per-track event lanes and the collector that drains them.
+
+use crate::event::{Trace, TraceEvent};
+use concord_net::ring::{ring, Consumer, Producer};
+
+/// The producer half of one track's event ring. Owned by exactly one
+/// thread (its worker, or the dispatcher).
+pub struct TraceLane {
+    track: u32,
+    prod: Producer<TraceEvent>,
+}
+
+impl TraceLane {
+    /// The track index this lane emits on.
+    pub fn track(&self) -> u32 {
+        self.track
+    }
+
+    /// Emits one event. Wait-free: a single bounded push, never a spin.
+    /// Returns `false` when the ring is full — the caller counts the
+    /// drop (`trace_dropped`) and moves on; a stalled collector must
+    /// never block a worker.
+    #[inline]
+    pub fn emit(&mut self, ev: TraceEvent) -> bool {
+        self.prod.push(ev).is_ok()
+    }
+}
+
+/// Drains every lane's ring into one merged [`Trace`].
+///
+/// The collector lives on the control side (the `Runtime` owns it); the
+/// dispatcher ticks [`TraceCollector::drain`] periodically and once more
+/// at quiesce, so ring capacity only has to cover one tick's worth of
+/// events.
+pub struct TraceCollector {
+    lanes: Vec<(u32, Consumer<TraceEvent>)>,
+    trace: Trace,
+    scratch: Vec<TraceEvent>,
+}
+
+impl TraceCollector {
+    /// Builds a collector plus its producer lanes: one per worker
+    /// (tracks `0..n_workers`, in order) followed by the dispatcher lane
+    /// (track `n_workers`). Each ring holds `ring_cap` events (rounded
+    /// up to a power of two by the ring).
+    pub fn new(n_workers: usize, ring_cap: usize) -> (TraceCollector, Vec<TraceLane>) {
+        let mut lanes = Vec::with_capacity(n_workers + 1);
+        let mut consumers = Vec::with_capacity(n_workers + 1);
+        for track in 0..=n_workers as u32 {
+            let (prod, cons) = ring::<TraceEvent>(ring_cap.max(1));
+            lanes.push(TraceLane { track, prod });
+            consumers.push((track, cons));
+        }
+        let collector = TraceCollector {
+            lanes: consumers,
+            trace: Trace::new(n_workers),
+            scratch: Vec::with_capacity(256),
+        };
+        (collector, lanes)
+    }
+
+    /// Drains every lane into the merged trace, preserving each track's
+    /// emission order. Returns the number of events drained.
+    pub fn drain(&mut self) -> usize {
+        let mut total = 0;
+        for (track, cons) in &mut self.lanes {
+            loop {
+                self.scratch.clear();
+                let n = cons.pop_batch(&mut self.scratch, 1024);
+                if n == 0 {
+                    break;
+                }
+                total += n;
+                for ev in self.scratch.drain(..) {
+                    self.trace.record(*track, ev);
+                }
+            }
+        }
+        total
+    }
+
+    /// Events accumulated so far (after the last [`drain`](Self::drain)).
+    pub fn len(&self) -> usize {
+        self.trace.len()
+    }
+
+    /// Whether no events have been drained yet.
+    pub fn is_empty(&self) -> bool {
+        self.trace.is_empty()
+    }
+
+    /// Final drain, then hand the merged trace out, leaving the
+    /// collector empty (but reusable).
+    pub fn take_trace(&mut self) -> Trace {
+        self.drain();
+        let n = self.trace.n_workers;
+        std::mem::replace(&mut self.trace, Trace::new(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    #[test]
+    fn drain_preserves_per_track_fifo() {
+        let (mut col, mut lanes) = TraceCollector::new(2, 64);
+        assert_eq!(lanes.len(), 3);
+        assert_eq!(lanes[2].track(), 2); // dispatcher last
+        for i in 0..5u64 {
+            assert!(lanes[0].emit(TraceEvent::new(100 + i, EventKind::Resume, i, 0)));
+            assert!(lanes[2].emit(TraceEvent::new(200 + i, EventKind::Arrive, i, 0)));
+        }
+        assert_eq!(col.drain(), 10);
+        let trace = col.take_trace();
+        let w0: Vec<u64> = trace
+            .records
+            .iter()
+            .filter(|r| r.track == 0)
+            .map(|r| r.ev.ts_ns)
+            .collect();
+        assert_eq!(w0, vec![100, 101, 102, 103, 104]);
+    }
+
+    #[test]
+    fn overflow_drops_instead_of_blocking() {
+        let (mut col, mut lanes) = TraceCollector::new(1, 4);
+        let mut accepted = 0;
+        for i in 0..100u64 {
+            if lanes[0].emit(TraceEvent::new(i, EventKind::Yield, i, 0)) {
+                accepted += 1;
+            }
+        }
+        assert!(accepted < 100, "a 4-slot ring cannot absorb 100 events");
+        assert_eq!(col.drain(), accepted);
+    }
+
+    #[test]
+    fn take_trace_leaves_collector_reusable() {
+        let (mut col, mut lanes) = TraceCollector::new(1, 8);
+        lanes[0].emit(TraceEvent::new(1, EventKind::Arrive, 1, 0));
+        let t = col.take_trace();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.n_workers, 1);
+        lanes[1].emit(TraceEvent::new(2, EventKind::Arrive, 2, 0));
+        let t2 = col.take_trace();
+        assert_eq!(t2.len(), 1);
+        assert_eq!(t2.records[0].track, 1);
+    }
+}

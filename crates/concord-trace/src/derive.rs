@@ -1,0 +1,374 @@
+//! Trace-derived observables: the quantities the paper argues about,
+//! recomputed from raw events alone so they can cross-validate the
+//! runtime's counters.
+
+use crate::event::{EventKind, Trace, N_KINDS};
+use concord_metrics::Histogram;
+use std::collections::HashMap;
+
+/// Per-worker JBSQ occupancy timelines derived from a trace: for each
+/// worker, the `(ts_ns, depth)` points where occupancy changed.
+///
+/// Occupancy is `+1` at each `DISPATCH` targeting the worker and `-1` at
+/// each `YIELD`/`COMPLETE` on the worker's own track (a preempted slice
+/// leaves the worker's ring for the central queue; a completed one
+/// leaves the system). At equal timestamps decrements are applied first,
+/// so coarse clocks cannot manufacture phantom overshoot.
+pub fn queue_depth_timelines(trace: &Trace) -> Vec<Vec<(u64, u32)>> {
+    let deltas = occupancy_deltas(trace);
+    deltas
+        .into_iter()
+        .map(|worker_deltas| {
+            let mut depth: i64 = 0;
+            worker_deltas
+                .into_iter()
+                .map(|(ts, d)| {
+                    depth += i64::from(d);
+                    (ts, depth.max(0) as u32)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Per-worker `(ts, ±1)` occupancy deltas, tie-broken decrement-first.
+fn occupancy_deltas(trace: &Trace) -> Vec<Vec<(u64, i32)>> {
+    let mut deltas: Vec<Vec<(u64, i32)>> = vec![Vec::new(); trace.n_workers];
+    let dispatcher = trace.dispatcher_track();
+    for r in &trace.records {
+        match r.ev.kind() {
+            EventKind::Dispatch if r.track == dispatcher => {
+                let w = r.ev.gen() as usize;
+                if w < deltas.len() {
+                    deltas[w].push((r.ev.ts_ns, 1));
+                }
+            }
+            EventKind::Yield | EventKind::Complete if (r.track as usize) < trace.n_workers => {
+                deltas[r.track as usize].push((r.ev.ts_ns, -1));
+            }
+            _ => {}
+        }
+    }
+    for d in &mut deltas {
+        d.sort_by_key(|&(ts, delta)| (ts, delta));
+    }
+    deltas
+}
+
+/// Everything [`TraceSummary::from_trace`] derives from a raw trace.
+#[derive(Clone, Debug)]
+pub struct TraceSummary {
+    /// Worker count of the traced run.
+    pub n_workers: usize,
+    /// Per-kind event counts, indexed by `EventKind as usize`.
+    pub counts: [u64; N_KINDS],
+    /// Timestamps that ran backwards *in emission order* on some track.
+    /// Emission order is the order the producer pushed, so this checks
+    /// the producer's clock, not the collector's merge.
+    pub monotone_violations: u64,
+    /// SIGNAL_SENT → YIELD latency per matched (worker, generation)
+    /// pair, in nanoseconds.
+    pub signal_to_yield: Histogram,
+    /// Signal/yield pairs matched by (worker, generation).
+    pub matched_preemptions: u64,
+    /// Signals that never matched a yield (obsolete or stale fates).
+    pub unmatched_signals: u64,
+    /// Worker yields with no signal on record (trace drops, or a
+    /// same-timestamp inversion under a coarse virtual clock).
+    pub unmatched_yields: u64,
+    /// YIELD events on worker tracks.
+    pub worker_yields: u64,
+    /// YIELD events on the dispatcher track (self-preempting slices).
+    pub dispatcher_yields: u64,
+    /// Per-worker maximum derived JBSQ occupancy.
+    pub max_occupancy: Vec<u32>,
+    /// Occupancy decrements that would have gone below zero (indicates
+    /// trace drops or a corrupt trace).
+    pub negative_occupancy: u64,
+    /// Per-worker `(ts_ns, depth)` occupancy timelines.
+    pub queue_depth: Vec<Vec<(u64, u32)>>,
+    /// Nanoseconds the dispatcher spent running application slices
+    /// (RESUME→YIELD/COMPLETE on its own track).
+    pub dispatcher_busy_ns: u64,
+    /// Wall span of the trace (last − first timestamp).
+    pub span_ns: u64,
+}
+
+impl TraceSummary {
+    /// Derives every observable from a trace.
+    pub fn from_trace(trace: &Trace) -> TraceSummary {
+        let mut counts = [0u64; N_KINDS];
+        let mut monotone_violations = 0u64;
+        let mut last_ts: Vec<u64> = vec![0; trace.n_workers + 2];
+        let mut min_ts = u64::MAX;
+        let mut max_ts = 0u64;
+        for r in &trace.records {
+            counts[r.ev.kind() as usize] += 1;
+            let slot = (r.track as usize).min(trace.n_workers + 1);
+            if r.ev.ts_ns < last_ts[slot] {
+                monotone_violations += 1;
+            }
+            last_ts[slot] = r.ev.ts_ns;
+            min_ts = min_ts.min(r.ev.ts_ns);
+            max_ts = max_ts.max(r.ev.ts_ns);
+        }
+        let span_ns = max_ts.saturating_sub(min_ts);
+
+        let sorted = trace.sorted();
+        let dispatcher = trace.dispatcher_track();
+
+        // Signal → yield matching per (worker, 16-bit generation).
+        let mut signal_to_yield = Histogram::new(3);
+        let mut pending: HashMap<(u32, u64), u64> = HashMap::new();
+        let mut matched_preemptions = 0u64;
+        let mut unmatched_yields = 0u64;
+        let mut worker_yields = 0u64;
+        let mut dispatcher_yields = 0u64;
+        let mut dispatcher_busy_ns = 0u64;
+        let mut open_disp: Option<u64> = None;
+        for r in &sorted {
+            match r.ev.kind() {
+                EventKind::SignalSent if r.track == dispatcher => {
+                    pending.insert((r.ev.id() as u32, r.ev.gen()), r.ev.ts_ns);
+                }
+                EventKind::Yield if r.track != dispatcher => {
+                    worker_yields += 1;
+                    if let Some(sent) = pending.remove(&(r.track, r.ev.gen())) {
+                        matched_preemptions += 1;
+                        signal_to_yield.record(r.ev.ts_ns.saturating_sub(sent).max(1));
+                    } else {
+                        unmatched_yields += 1;
+                    }
+                }
+                EventKind::Yield => dispatcher_yields += 1,
+                EventKind::Resume if r.track == dispatcher => open_disp = Some(r.ev.ts_ns),
+                EventKind::Complete if r.track == dispatcher => {
+                    if let Some(start) = open_disp.take() {
+                        dispatcher_busy_ns += r.ev.ts_ns.saturating_sub(start);
+                    }
+                }
+                _ => {}
+            }
+            // A dispatcher YIELD also closes its open slice.
+            if r.ev.kind() == EventKind::Yield && r.track == dispatcher {
+                if let Some(start) = open_disp.take() {
+                    dispatcher_busy_ns += r.ev.ts_ns.saturating_sub(start);
+                }
+            }
+        }
+        let unmatched_signals = pending.len() as u64;
+
+        // Occupancy from the tie-broken delta streams.
+        let deltas = occupancy_deltas(trace);
+        let mut max_occupancy = vec![0u32; trace.n_workers];
+        let mut negative_occupancy = 0u64;
+        for (w, worker_deltas) in deltas.iter().enumerate() {
+            let mut depth: i64 = 0;
+            for &(_, d) in worker_deltas {
+                depth += i64::from(d);
+                if depth < 0 {
+                    negative_occupancy += 1;
+                    depth = 0;
+                }
+                max_occupancy[w] = max_occupancy[w].max(depth as u32);
+            }
+        }
+
+        TraceSummary {
+            n_workers: trace.n_workers,
+            counts,
+            monotone_violations,
+            signal_to_yield,
+            matched_preemptions,
+            unmatched_signals,
+            unmatched_yields,
+            worker_yields,
+            dispatcher_yields,
+            max_occupancy,
+            negative_occupancy,
+            queue_depth: queue_depth_timelines(trace),
+            dispatcher_busy_ns,
+            span_ns,
+        }
+    }
+
+    /// Count of one event kind.
+    pub fn count(&self, kind: EventKind) -> u64 {
+        self.counts[kind as usize]
+    }
+
+    /// Dispatcher work-conservation gauge `Overhead_d`: fraction of the
+    /// trace span the dispatcher spent running stolen application work
+    /// instead of scheduling.
+    pub fn overhead_d(&self) -> f64 {
+        if self.span_ns == 0 {
+            0.0
+        } else {
+            self.dispatcher_busy_ns as f64 / self.span_ns as f64
+        }
+    }
+
+    /// Re-checks the trace-visible invariants from events alone:
+    /// per-track monotone timestamps, non-negative derived occupancy,
+    /// and (when `jbsq_k` is given) derived occupancy ≤ k on every
+    /// worker. Returns human-readable violations, empty when clean.
+    pub fn check(&self, jbsq_k: Option<u32>) -> Vec<String> {
+        let mut v = Vec::new();
+        if self.monotone_violations > 0 {
+            v.push(format!(
+                "trace: {} timestamps ran backwards in emission order",
+                self.monotone_violations
+            ));
+        }
+        if self.negative_occupancy > 0 {
+            v.push(format!(
+                "trace: derived occupancy went negative {} times",
+                self.negative_occupancy
+            ));
+        }
+        if let Some(k) = jbsq_k {
+            for (w, &occ) in self.max_occupancy.iter().enumerate() {
+                if occ > k {
+                    v.push(format!("trace: worker {w} derived occupancy {occ} > k={k}"));
+                }
+            }
+        }
+        v
+    }
+
+    /// Human-readable summary, one observable per line.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "trace: {} events over {:.3} ms on {} workers + dispatcher\n",
+            self.counts.iter().sum::<u64>(),
+            self.span_ns as f64 / 1e6,
+            self.n_workers
+        ));
+        for kind in EventKind::ALL {
+            s.push_str(&format!("  {:<12} {}\n", kind.name(), self.count(kind)));
+        }
+        s.push_str(&format!(
+            "  yields: {} worker, {} dispatcher (self-preempt)\n",
+            self.worker_yields, self.dispatcher_yields
+        ));
+        s.push_str(&format!(
+            "  signal->yield: {} matched, {} unmatched signals, {} unmatched yields\n",
+            self.matched_preemptions, self.unmatched_signals, self.unmatched_yields
+        ));
+        if !self.signal_to_yield.is_empty() {
+            s.push_str(&format!(
+                "  signal->yield latency: p50 {:.1}us p99 {:.1}us p99.9 {:.1}us\n",
+                self.signal_to_yield.percentile(50.0) as f64 / 1e3,
+                self.signal_to_yield.percentile(99.0) as f64 / 1e3,
+                self.signal_to_yield.percentile(99.9) as f64 / 1e3,
+            ));
+        }
+        s.push_str(&format!(
+            "  max occupancy per worker: {:?}\n",
+            self.max_occupancy
+        ));
+        s.push_str(&format!(
+            "  dispatcher app time (Overhead_d): {:.2}% of span\n",
+            100.0 * self.overhead_d()
+        ));
+        if self.monotone_violations > 0 || self.negative_occupancy > 0 {
+            s.push_str(&format!(
+                "  WARNING: {} monotone violations, {} negative-occupancy events\n",
+                self.monotone_violations, self.negative_occupancy
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+
+    /// One request dispatched to worker 0, preempted once, re-dispatched,
+    /// completed; one request stolen and completed by the dispatcher.
+    fn sample() -> Trace {
+        let mut t = Trace::new(2);
+        let d = t.dispatcher_track();
+        t.record(d, TraceEvent::new(100, EventKind::Arrive, 1, 0));
+        t.record(d, TraceEvent::new(110, EventKind::Dispatch, 1, 0));
+        t.record(0, TraceEvent::new(120, EventKind::Resume, 1, 1));
+        t.record(d, TraceEvent::new(150, EventKind::SignalSent, 0, 1));
+        t.record(0, TraceEvent::new(160, EventKind::SignalSeen, 1, 1));
+        t.record(0, TraceEvent::new(165, EventKind::Yield, 1, 1));
+        t.record(d, TraceEvent::new(170, EventKind::Dispatch, 1, 0));
+        t.record(0, TraceEvent::new(175, EventKind::Resume, 1, 2));
+        t.record(0, TraceEvent::new(200, EventKind::Complete, 1, 2));
+        t.record(d, TraceEvent::new(180, EventKind::Arrive, 2, 0));
+        t.record(d, TraceEvent::new(185, EventKind::Steal, 2, 0));
+        t.record(d, TraceEvent::new(190, EventKind::Resume, 2, 0));
+        t.record(d, TraceEvent::new(220, EventKind::Complete, 2, 0));
+        t
+    }
+
+    #[test]
+    fn derives_signal_to_yield_latency() {
+        let s = TraceSummary::from_trace(&sample());
+        assert_eq!(s.matched_preemptions, 1);
+        assert_eq!(s.unmatched_signals, 0);
+        assert_eq!(s.unmatched_yields, 0);
+        assert_eq!(s.worker_yields, 1);
+        assert_eq!(s.signal_to_yield.len(), 1);
+        // 165 - 150 = 15ns.
+        assert_eq!(s.signal_to_yield.max(), 15);
+    }
+
+    #[test]
+    fn derives_occupancy_and_overhead() {
+        let s = TraceSummary::from_trace(&sample());
+        assert_eq!(s.max_occupancy, vec![1, 0]);
+        assert_eq!(s.negative_occupancy, 0);
+        // Dispatcher ran the stolen request 190..220.
+        assert_eq!(s.dispatcher_busy_ns, 30);
+        assert_eq!(s.span_ns, 120);
+        assert!(s.overhead_d() > 0.0);
+        assert!(s.check(Some(2)).is_empty(), "{:?}", s.check(Some(2)));
+    }
+
+    #[test]
+    fn occupancy_bound_violation_is_reported() {
+        let mut t = Trace::new(1);
+        let d = t.dispatcher_track();
+        for i in 0..3u64 {
+            t.record(d, TraceEvent::new(100 + i, EventKind::Dispatch, i, 0));
+        }
+        let s = TraceSummary::from_trace(&t);
+        assert_eq!(s.max_occupancy, vec![3]);
+        let v = s.check(Some(2));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("occupancy 3 > k=2"));
+    }
+
+    #[test]
+    fn monotone_violation_is_in_emission_order_not_merge_order() {
+        let mut t = Trace::new(1);
+        // Two tracks interleaved out of global order: fine.
+        t.record(0, TraceEvent::new(100, EventKind::Resume, 1, 1));
+        t.record(1, TraceEvent::new(50, EventKind::Arrive, 1, 0));
+        assert_eq!(TraceSummary::from_trace(&t).monotone_violations, 0);
+        // Same track running backwards: violation.
+        t.record(0, TraceEvent::new(90, EventKind::Yield, 1, 1));
+        let s = TraceSummary::from_trace(&t);
+        assert_eq!(s.monotone_violations, 1);
+        assert!(!s.check(None).is_empty());
+    }
+
+    #[test]
+    fn decrement_first_tie_break_avoids_phantom_overshoot() {
+        let mut t = Trace::new(1);
+        let d = t.dispatcher_track();
+        t.record(d, TraceEvent::new(100, EventKind::Dispatch, 1, 0));
+        // Complete and re-dispatch at the same timestamp.
+        t.record(0, TraceEvent::new(200, EventKind::Complete, 1, 1));
+        t.record(d, TraceEvent::new(200, EventKind::Dispatch, 2, 0));
+        let s = TraceSummary::from_trace(&t);
+        assert_eq!(s.max_occupancy, vec![1]);
+    }
+}

@@ -1,0 +1,197 @@
+//! Chrome/Perfetto trace-event JSON export.
+//!
+//! Hand-rolled writer: the workspace deliberately carries no JSON
+//! dependency, and the trace-event format only needs objects, arrays,
+//! strings of controlled ASCII, and numbers. Output loads in
+//! `chrome://tracing` and [ui.perfetto.dev](https://ui.perfetto.dev).
+//!
+//! Mapping:
+//! - each track becomes a thread (`tid` = track, named `worker N` or
+//!   `dispatcher`) in process 1 (`concord`);
+//! - `RESUME`→`YIELD`/`COMPLETE` pairs become `"X"` complete slices
+//!   named `req N`;
+//! - `ARRIVE`, `DISPATCH`, `SIGNAL_SENT`, `SIGNAL_SEEN`, `STEAL`,
+//!   `TX_DROP` become `"i"` instants on their track;
+//! - per-worker JBSQ occupancy becomes a `"C"` counter series
+//!   (`jbsq depth wN`), derived as in [`crate::derive`].
+
+use crate::event::{EventKind, Trace};
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Microsecond timestamp with sub-µs precision, as trace-event wants.
+fn ts_us(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1000.0)
+}
+
+fn push_event(out: &mut String, first: &mut bool, body: &str) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push('\n');
+    out.push_str(body);
+}
+
+fn track_name(trace: &Trace, track: u32) -> String {
+    if track == trace.dispatcher_track() {
+        "dispatcher".to_string()
+    } else {
+        format!("worker {track}")
+    }
+}
+
+/// Renders the trace as a trace-event JSON document.
+pub fn to_json(trace: &Trace) -> String {
+    let mut out = String::with_capacity(128 + trace.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+
+    // Metadata: one process, one named thread per track.
+    push_event(
+        &mut out,
+        &mut first,
+        "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\
+         \"args\":{\"name\":\"concord\"}}",
+    );
+    for track in 0..=trace.dispatcher_track() {
+        push_event(
+            &mut out,
+            &mut first,
+            &format!(
+                "{{\"ph\":\"M\",\"pid\":1,\"tid\":{track},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                track_name(trace, track)
+            ),
+        );
+    }
+
+    let sorted = trace.sorted();
+
+    // Slices: RESUME opens, YIELD/COMPLETE closes, per track.
+    let mut open: Vec<Option<(u64, u64, u64)>> = vec![None; trace.n_workers + 1]; // (ts, id, gen)
+    for r in &sorted {
+        let track = r.track as usize;
+        match r.ev.kind() {
+            EventKind::Resume => open[track] = Some((r.ev.ts_ns, r.ev.id(), r.ev.gen())),
+            EventKind::Yield | EventKind::Complete => {
+                if let Some((start, id, gen)) = open[track].take() {
+                    let dur = r.ev.ts_ns.saturating_sub(start);
+                    push_event(
+                        &mut out,
+                        &mut first,
+                        &format!(
+                            "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\
+                             \"name\":\"req {id}\",\"cat\":\"slice\",\
+                             \"args\":{{\"gen\":{gen},\"end\":\"{}\"}}}}",
+                            r.track,
+                            ts_us(start),
+                            ts_us(dur),
+                            r.ev.kind().name()
+                        ),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Instants.
+    for r in &sorted {
+        let kind = r.ev.kind();
+        let show = matches!(
+            kind,
+            EventKind::Arrive
+                | EventKind::Dispatch
+                | EventKind::SignalSent
+                | EventKind::SignalSeen
+                | EventKind::Steal
+                | EventKind::TxDrop
+        );
+        if show {
+            push_event(
+                &mut out,
+                &mut first,
+                &format!(
+                    "{{\"ph\":\"i\",\"pid\":1,\"tid\":{},\"ts\":{},\"s\":\"t\",\
+                     \"name\":\"{}\",\"cat\":\"event\",\
+                     \"args\":{{\"id\":{},\"gen\":{}}}}}",
+                    r.track,
+                    ts_us(r.ev.ts_ns),
+                    kind.name(),
+                    r.ev.id(),
+                    r.ev.gen()
+                ),
+            );
+        }
+    }
+
+    // Per-worker JBSQ occupancy counters.
+    for (w, timeline) in crate::derive::queue_depth_timelines(trace)
+        .iter()
+        .enumerate()
+    {
+        for &(ts, depth) in timeline {
+            push_event(
+                &mut out,
+                &mut first,
+                &format!(
+                    "{{\"ph\":\"C\",\"pid\":1,\"tid\":{w},\"ts\":{},\
+                     \"name\":\"jbsq depth w{w}\",\"args\":{{\"depth\":{depth}}}}}",
+                    ts_us(ts)
+                ),
+            );
+        }
+    }
+
+    let _ = write!(out, "\n],\"displayTimeUnit\":\"ns\"}}\n");
+    out
+}
+
+/// Writes [`to_json`] output to `path`.
+pub fn write_json(trace: &Trace, path: &Path) -> io::Result<()> {
+    std::fs::write(path, to_json(trace))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new(1);
+        let d = t.dispatcher_track();
+        t.record(d, TraceEvent::new(100, EventKind::Arrive, 7, 0));
+        t.record(d, TraceEvent::new(200, EventKind::Dispatch, 7, 0));
+        t.record(0, TraceEvent::new(300, EventKind::Resume, 7, 1));
+        t.record(d, TraceEvent::new(350, EventKind::SignalSent, 0, 1));
+        t.record(0, TraceEvent::new(400, EventKind::SignalSeen, 7, 1));
+        t.record(0, TraceEvent::new(410, EventKind::Yield, 7, 1));
+        t.record(d, TraceEvent::new(420, EventKind::Dispatch, 7, 0));
+        t.record(0, TraceEvent::new(430, EventKind::Resume, 7, 2));
+        t.record(0, TraceEvent::new(500, EventKind::Complete, 7, 2));
+        t
+    }
+
+    #[test]
+    fn json_has_slices_instants_and_counters() {
+        let json = to_json(&sample());
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"req 7\""));
+        assert!(json.contains("\"SIGNAL_SENT\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"displayTimeUnit\":\"ns\""));
+        // Two slices: 300..410 (yield) and 430..500 (complete).
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
+    }
+
+    #[test]
+    fn empty_trace_is_valid_json_scaffold() {
+        let json = to_json(&Trace::new(2));
+        // Metadata only: process name + 3 thread names.
+        assert_eq!(json.matches("\"ph\":\"M\"").count(), 4);
+        assert!(json.contains("\"dispatcher\""));
+    }
+}

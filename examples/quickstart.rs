@@ -4,10 +4,16 @@
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! Set `CONCORD_TRACE=<path>` to also write the run's scheduling-event
+//! trace: Perfetto trace-event JSON if the path ends in `.json`
+//! (load it at <https://ui.perfetto.dev>), the compact binary format
+//! otherwise (inspect with the `concord-trace` binary).
 
-use concord::core::{Runtime, RuntimeConfig, SpinApp};
+use concord::core::{trace, Runtime, RuntimeConfig, SpinApp};
 use concord::net::{ring, Collector, LoadGen, Request, Response, RttModel};
 use concord::workloads::mix;
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -27,7 +33,7 @@ fn main() {
         "starting runtime: {} workers, quantum {:?}, JBSQ({})",
         config.n_workers, config.quantum, config.jbsq_depth
     );
-    let rt = Runtime::start(config, Arc::new(SpinApp::new()), req_rx, resp_tx);
+    let mut rt = Runtime::start(config, Arc::new(SpinApp::new()), req_rx, resp_tx);
 
     // Open-loop Poisson client on the Bimodal(50:1, 50:100) workload.
     let workload = mix::bimodal_50_1_50_100();
@@ -38,6 +44,28 @@ fn main() {
     let done = collector.collect(requests, Duration::from_secs(120));
     let report = gen.join();
     let telemetry = rt.telemetry();
+
+    // With CONCORD_TRACE set, drain the per-core event rings at
+    // quiescence and export before shutdown consumes the runtime.
+    if let Ok(path) = std::env::var("CONCORD_TRACE") {
+        rt.quiesce();
+        if let Some(t) = rt.take_trace() {
+            let path = Path::new(&path);
+            let res = if path.extension().is_some_and(|e| e == "json") {
+                trace::perfetto::write_json(&t, path)
+            } else {
+                trace::binary::write_file(&t, path)
+            };
+            match res {
+                Ok(()) => println!(
+                    "\nwrote {} trace events to {}",
+                    t.records.len(),
+                    path.display()
+                ),
+                Err(e) => eprintln!("\nfailed to write trace {}: {e}", path.display()),
+            }
+        }
+    }
     let stats = rt.shutdown();
 
     assert!(done, "timed out waiting for responses");

@@ -101,6 +101,16 @@ fn bench_preempt(c: &mut Criterion) {
         let (clock, _handle) = Clock::manual();
         b.iter(|| black_box(clock.now_ns()));
     });
+    // The collector's idle wait: spin → yield → bounded park instead of
+    // a pure busy-spin. Each iteration times out an empty 50 µs wait, so
+    // the measured cost is the whole backoff ladder — compare CPU time
+    // against wall time to see the parking actually yields the core.
+    g.bench_function("collector_idle_timeout_50us", |b| {
+        use concord_net::{ring, Collector, Response, RttModel};
+        let (_tx, rx) = ring::<Response>(64);
+        let mut collector = Collector::new(rx, RttModel::zero(), 1);
+        b.iter(|| black_box(collector.collect(1, Duration::from_micros(50))));
+    });
     g.finish();
 }
 

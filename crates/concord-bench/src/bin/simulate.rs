@@ -155,11 +155,16 @@ fn write_trace(trace: &concord_trace::Trace, path: &std::path::Path) {
 /// runtime (spin server) instead of the simulator, then prints the
 /// lifecycle telemetry aggregated by the dispatcher.
 fn run_runtime(args: &Args, workload: Mix, quantum_ns: u64, rate: f64) {
-    let mut cfg = RuntimeConfig::paper_defaults(args.workers)
-        .with_quantum(Duration::from_nanos(quantum_ns.max(1)));
+    let mut builder = RuntimeConfig::builder()
+        .paper_defaults(args.workers)
+        .quantum(Duration::from_nanos(quantum_ns.max(1)));
     if let Some(secs) = args.report_secs {
-        cfg = cfg.with_telemetry_report_every(Duration::from_secs_f64(secs));
+        builder = builder.telemetry_report_every(Duration::from_secs_f64(secs));
     }
+    let cfg = builder.build().unwrap_or_else(|e| {
+        eprintln!("simulate: invalid runtime config: {e}");
+        exit(2);
+    });
     println!(
         "real runtime: {} workers, quantum {:?}, JBSQ({}), {:.0} rps, {} requests, seed {}",
         cfg.n_workers, cfg.quantum, cfg.jbsq_depth, rate, args.requests, args.seed

@@ -82,6 +82,9 @@ pub struct RuntimeObservation {
     pub telemetry: TelemetrySnapshot,
     /// Trace events dropped to ring overflow (all tracks).
     pub trace_dropped: u64,
+    /// Requests shed at the admission gate (0 when the ingress has no
+    /// gate, as with plain rings).
+    pub admission_shed: u64,
     /// Derived observables of the quiescent scheduling-event trace.
     pub trace: Option<concord_trace::TraceSummary>,
 }
@@ -159,6 +162,7 @@ pub fn run_runtime_with<A: ConcordApp>(
         dispatcher_slice: Duration::from_micros(case.quantum_us),
         max_in_flight: 16 * 1024,
         telemetry_report_every: None,
+        probe_period: concord_core::config::DEFAULT_PROBE_PERIOD,
         clock,
         trace: true,
         trace_ring_cap: concord_core::config::DEFAULT_TRACE_RING_CAP,
@@ -242,6 +246,7 @@ pub fn run_runtime_with<A: ConcordApp>(
         per_worker,
         telemetry,
         trace_dropped: stats.trace_dropped.load(Ordering::Relaxed),
+        admission_shed: stats.admission.as_ref().map_or(0, |a| a.shed()),
         trace,
     }
 }

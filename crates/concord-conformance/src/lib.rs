@@ -37,4 +37,4 @@ pub mod oracles;
 pub use apps::{FrozenApp, VirtualSpinApp};
 pub use case::{ArrivalKind, CaseConfig, FaultKind};
 pub use harness::{run_case, run_runtime, run_runtime_with, run_sim, RuntimeObservation};
-pub use oracles::{check_cross, check_runtime, check_sim};
+pub use oracles::{check_admission, check_cross, check_runtime, check_sim};

@@ -229,6 +229,7 @@ pub fn check_trace(obs: &RuntimeObservation) -> Vec<String> {
         (EventKind::Complete, obs.completed + obs.failed, "finished"),
         (EventKind::SignalSent, obs.signals_sent, "signals_sent"),
         (EventKind::TxDrop, obs.tx_dropped, "tx_dropped"),
+        (EventKind::AdmitDrop, obs.admission_shed, "admission_shed"),
     ];
     for (kind, counter, name) in pairs {
         check(&mut v, s.count(kind) == counter, || {
@@ -281,6 +282,49 @@ pub fn check_trace(obs: &RuntimeObservation) -> Vec<String> {
         });
     }
 
+    v
+}
+
+/// Admission-gate oracles, for any ingress that fronts the runtime with
+/// an [`AdmissionQueue`](concord_core::AdmissionQueue) (the TCP server,
+/// or an in-process gate):
+///
+/// 1. **Balance** — every offered request is admitted or shed, exactly
+///    once: `offered == admitted + shed`.
+/// 2. **Per-class agreement** — the per-class rows sum to the totals.
+/// 3. **Trace agreement** (when a loss-free quiescent trace is given) —
+///    one `ADMIT_DROP` event per shed request.
+pub fn check_admission(
+    counters: &concord_core::AdmissionCounters,
+    trace: Option<&concord_trace::TraceSummary>,
+) -> Vec<String> {
+    use concord_trace::EventKind;
+    let mut v = Vec::new();
+    let offered = counters.offered();
+    let shed = counters.shed();
+    let admitted = offered - shed; // offered is defined as admitted + shed
+    let per_class = counters.per_class();
+
+    let class_admitted: u64 = per_class.values().map(|c| c.admitted).sum();
+    let class_shed: u64 = per_class
+        .values()
+        .map(|c| c.dropped_newest + c.dropped_oldest + c.rejected)
+        .sum();
+    check(&mut v, class_admitted == admitted, || {
+        format!("admission: per-class admitted {class_admitted} != total {admitted}")
+    });
+    check(&mut v, class_shed == shed, || {
+        format!("admission: per-class shed {class_shed} != total {shed}")
+    });
+
+    if let Some(s) = trace {
+        check(&mut v, s.count(EventKind::AdmitDrop) == shed, || {
+            format!(
+                "admission: {} ADMIT_DROP trace events but shed counter is {shed}",
+                s.count(EventKind::AdmitDrop)
+            )
+        });
+    }
     v
 }
 
@@ -465,6 +509,7 @@ mod tests {
             signals_dropped_injected: 0,
             preemptions: 2,
             work_conservation_violations: 0,
+            admission_shed: 0,
             acct: SignalAccounting {
                 consumed: 2,
                 obsolete: 1,

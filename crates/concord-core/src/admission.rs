@@ -1,0 +1,551 @@
+//! Overload admission control at the ingress boundary.
+//!
+//! RackSched-style deployments put a bounded admission queue between the
+//! network and the scheduler: under overload the queue — not the
+//! scheduler's central queue — decides which requests to shed, and every
+//! shed request is *counted* so conservation (`sent == completed +
+//! rejected + dropped`) holds end to end. Three policies:
+//!
+//! - [`AdmissionPolicy::DropNewest`]: silently drop the arriving request
+//!   (what a full NIC ring does; the count makes it non-silent).
+//! - [`AdmissionPolicy::DropOldest`]: evict the head of the queue in
+//!   favour of the arrival — bounds queueing delay at the cost of wasted
+//!   upstream work.
+//! - [`AdmissionPolicy::RejectNewest`]: refuse the arrival but tell the
+//!   transport, which answers the client with an explicit RETRY so the
+//!   client can back off instead of timing out.
+//!
+//! The queue is multi-producer (one TCP reader thread per connection) and
+//! single-consumer (the dispatcher, through [`AdmissionIngress`]). Drops
+//! and rejects are recorded twice: in [`AdmissionCounters`] (folded into
+//! `RuntimeStats::snapshot()`) and as [`AdmissionEvent`]s the dispatcher
+//! drains into the tracer as `ADMIT_DROP` instants.
+
+use crate::clock::Clock;
+use concord_net::Request;
+use crossbeam_queue::SegQueue;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// What to do with an arriving request when the admission queue is full.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Drop the arriving request (counted, no reply).
+    DropNewest,
+    /// Evict the oldest queued request to make room for the arrival.
+    DropOldest,
+    /// Refuse the arrival and tell the transport to answer RETRY.
+    RejectNewest,
+}
+
+impl AdmissionPolicy {
+    /// Parses the CLI spelling (`drop-newest` / `drop-oldest` / `reject`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "drop-newest" => Some(Self::DropNewest),
+            "drop-oldest" => Some(Self::DropOldest),
+            "reject" => Some(Self::RejectNewest),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling accepted by [`AdmissionPolicy::parse`].
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::DropNewest => "drop-newest",
+            Self::DropOldest => "drop-oldest",
+            Self::RejectNewest => "reject",
+        }
+    }
+}
+
+/// Admission-queue configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct AdmissionConfig {
+    /// Maximum queued (admitted but not yet ingested) requests.
+    pub capacity: usize,
+    /// Overflow policy once `capacity` requests are queued.
+    pub policy: AdmissionPolicy,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        Self {
+            capacity: 1024,
+            policy: AdmissionPolicy::DropNewest,
+        }
+    }
+}
+
+/// Result of offering one request to the admission queue.
+#[derive(Debug)]
+pub enum AdmitOutcome {
+    /// Queued; the dispatcher will ingest it.
+    Admitted,
+    /// Queue full, policy dropped the arrival. No reply is owed.
+    DroppedNewest,
+    /// Queue full, the arrival was admitted by evicting this older
+    /// request. The transport may still owe the evicted client a reply
+    /// (the TCP server does not send one: the drop is visible in the
+    /// counters and the client accounts it as a timeout/loss).
+    DroppedOldest(Request),
+    /// Queue full (or draining), the arrival was refused; the transport
+    /// should answer RETRY.
+    Rejected,
+}
+
+/// Why an [`AdmissionEvent`] was recorded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmissionEventKind {
+    /// Arrival dropped under [`AdmissionPolicy::DropNewest`].
+    DroppedNewest,
+    /// Queued request evicted under [`AdmissionPolicy::DropOldest`].
+    DroppedOldest,
+    /// Arrival refused under [`AdmissionPolicy::RejectNewest`] (or while
+    /// draining).
+    Rejected,
+}
+
+/// One shed request, stamped at the admission gate. The dispatcher
+/// drains these every loop iteration and emits an `ADMIT_DROP` trace
+/// event per entry (request id in the id field, class in the generation
+/// field).
+#[derive(Clone, Copy, Debug)]
+pub struct AdmissionEvent {
+    /// When the gate shed the request (runtime clock).
+    pub ts_ns: u64,
+    /// Id of the shed request.
+    pub id: u64,
+    /// Class of the shed request.
+    pub class: u16,
+    /// How it was shed.
+    pub kind: AdmissionEventKind,
+}
+
+/// Per-class admission tallies (plain integers under the counters' lock).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClassAdmission {
+    /// Requests of this class admitted.
+    pub admitted: u64,
+    /// Requests of this class dropped as the newest arrival.
+    pub dropped_newest: u64,
+    /// Requests of this class evicted as the oldest queued entry.
+    pub dropped_oldest: u64,
+    /// Requests of this class refused with RETRY.
+    pub rejected: u64,
+}
+
+/// Shared admission counters, linked into
+/// [`RuntimeStats`](crate::stats::RuntimeStats) by `Runtime::start` so
+/// `snapshot()` reports them alongside the scheduler's own counters.
+#[derive(Default)]
+pub struct AdmissionCounters {
+    /// Requests admitted into the queue.
+    pub admitted: AtomicU64,
+    /// Arrivals dropped (drop-newest policy).
+    pub dropped_newest: AtomicU64,
+    /// Queued requests evicted (drop-oldest policy).
+    pub dropped_oldest: AtomicU64,
+    /// Arrivals refused with RETRY (reject policy, or draining).
+    pub rejected: AtomicU64,
+    per_class: Mutex<BTreeMap<u16, ClassAdmission>>,
+}
+
+impl std::fmt::Debug for AdmissionCounters {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdmissionCounters")
+            .field("admitted", &self.admitted.load(Ordering::Relaxed))
+            .field(
+                "dropped_newest",
+                &self.dropped_newest.load(Ordering::Relaxed),
+            )
+            .field(
+                "dropped_oldest",
+                &self.dropped_oldest.load(Ordering::Relaxed),
+            )
+            .field("rejected", &self.rejected.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl AdmissionCounters {
+    fn bump(&self, class: u16, kind: Option<AdmissionEventKind>) {
+        let mut per_class = self.per_class.lock();
+        let row = per_class.entry(class).or_default();
+        match kind {
+            None => {
+                self.admitted.fetch_add(1, Ordering::Relaxed);
+                row.admitted += 1;
+            }
+            Some(AdmissionEventKind::DroppedNewest) => {
+                self.dropped_newest.fetch_add(1, Ordering::Relaxed);
+                row.dropped_newest += 1;
+            }
+            Some(AdmissionEventKind::DroppedOldest) => {
+                self.dropped_oldest.fetch_add(1, Ordering::Relaxed);
+                row.dropped_oldest += 1;
+            }
+            Some(AdmissionEventKind::Rejected) => {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                row.rejected += 1;
+            }
+        }
+    }
+
+    /// Total requests shed (dropped either way, or rejected).
+    pub fn shed(&self) -> u64 {
+        self.dropped_newest.load(Ordering::Relaxed)
+            + self.dropped_oldest.load(Ordering::Relaxed)
+            + self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Total requests offered to the gate (admitted + shed).
+    pub fn offered(&self) -> u64 {
+        self.admitted.load(Ordering::Relaxed) + self.shed()
+    }
+
+    /// Point-in-time copy of the per-class tallies.
+    pub fn per_class(&self) -> BTreeMap<u16, ClassAdmission> {
+        self.per_class.lock().clone()
+    }
+
+    /// Counter rows in `RuntimeStats::snapshot()` shape: the four totals
+    /// plus one row per (class, outcome) actually observed.
+    pub fn snapshot_rows(&self) -> Vec<(String, u64)> {
+        let mut rows = vec![
+            (
+                "admit_admitted".to_string(),
+                self.admitted.load(Ordering::Relaxed),
+            ),
+            (
+                "admit_dropped_newest".to_string(),
+                self.dropped_newest.load(Ordering::Relaxed),
+            ),
+            (
+                "admit_dropped_oldest".to_string(),
+                self.dropped_oldest.load(Ordering::Relaxed),
+            ),
+            (
+                "admit_rejected".to_string(),
+                self.rejected.load(Ordering::Relaxed),
+            ),
+        ];
+        for (class, c) in self.per_class.lock().iter() {
+            rows.push((format!("admit_class{class}_admitted"), c.admitted));
+            if c.dropped_newest > 0 {
+                rows.push((
+                    format!("admit_class{class}_dropped_newest"),
+                    c.dropped_newest,
+                ));
+            }
+            if c.dropped_oldest > 0 {
+                rows.push((
+                    format!("admit_class{class}_dropped_oldest"),
+                    c.dropped_oldest,
+                ));
+            }
+            if c.rejected > 0 {
+                rows.push((format!("admit_class{class}_rejected"), c.rejected));
+            }
+        }
+        rows
+    }
+}
+
+/// The bounded accept queue between transport reader threads and the
+/// dispatcher. Multi-producer ([`AdmissionQueue::offer`] from any
+/// thread), single-consumer (the dispatcher via [`AdmissionIngress`]).
+pub struct AdmissionQueue {
+    cfg: AdmissionConfig,
+    inner: Mutex<VecDeque<Request>>,
+    events: SegQueue<AdmissionEvent>,
+    counters: Arc<AdmissionCounters>,
+    closed: AtomicBool,
+    clock: Clock,
+}
+
+impl AdmissionQueue {
+    /// Creates a queue with the given bound/policy, stamping shed events
+    /// with `clock` (pass the runtime's clock so trace timestamps share
+    /// one timeline).
+    pub fn new(cfg: AdmissionConfig, clock: Clock) -> Arc<Self> {
+        Arc::new(Self {
+            cfg: AdmissionConfig {
+                capacity: cfg.capacity.max(1),
+                policy: cfg.policy,
+            },
+            inner: Mutex::new(VecDeque::new()),
+            events: SegQueue::new(),
+            counters: Arc::new(AdmissionCounters::default()),
+            closed: AtomicBool::new(false),
+            clock,
+        })
+    }
+
+    /// The configured bound and policy.
+    pub fn config(&self) -> AdmissionConfig {
+        self.cfg
+    }
+
+    /// Shared admission counters.
+    pub fn counters(&self) -> Arc<AdmissionCounters> {
+        self.counters.clone()
+    }
+
+    /// The dispatcher-facing [`Ingress`](crate::transport::Ingress) view
+    /// of this queue.
+    pub fn ingress(self: &Arc<Self>) -> AdmissionIngress {
+        AdmissionIngress {
+            queue: self.clone(),
+        }
+    }
+
+    /// Offers one request at the gate. Thread-safe; never blocks beyond
+    /// the queue mutex. Once [`AdmissionQueue::close`] has been called
+    /// every offer is refused (`Rejected`), which is what makes shutdown
+    /// drain graceful: admitted work completes, new work is turned away.
+    pub fn offer(&self, req: Request) -> AdmitOutcome {
+        if self.closed.load(Ordering::Acquire) {
+            self.shed(&req, AdmissionEventKind::Rejected);
+            return AdmitOutcome::Rejected;
+        }
+        let evicted = {
+            let mut q = self.inner.lock();
+            if q.len() < self.cfg.capacity {
+                q.push_back(req);
+                None
+            } else {
+                match self.cfg.policy {
+                    AdmissionPolicy::DropNewest => {
+                        drop(q);
+                        self.shed(&req, AdmissionEventKind::DroppedNewest);
+                        return AdmitOutcome::DroppedNewest;
+                    }
+                    AdmissionPolicy::RejectNewest => {
+                        drop(q);
+                        self.shed(&req, AdmissionEventKind::Rejected);
+                        return AdmitOutcome::Rejected;
+                    }
+                    AdmissionPolicy::DropOldest => {
+                        let old = q.pop_front().expect("capacity >= 1 implies non-empty");
+                        q.push_back(req);
+                        Some(old)
+                    }
+                }
+            }
+        };
+        self.counters.bump(req.class, None);
+        match evicted {
+            None => AdmitOutcome::Admitted,
+            Some(old) => {
+                self.shed(&old, AdmissionEventKind::DroppedOldest);
+                AdmitOutcome::DroppedOldest(old)
+            }
+        }
+    }
+
+    fn shed(&self, req: &Request, kind: AdmissionEventKind) {
+        self.counters.bump(req.class, Some(kind));
+        self.events.push(AdmissionEvent {
+            ts_ns: self.clock.now_ns(),
+            id: req.id,
+            class: req.class,
+            kind,
+        });
+    }
+
+    /// Takes the next admitted request (dispatcher side).
+    pub fn pop(&self) -> Option<Request> {
+        self.inner.lock().pop_front()
+    }
+
+    /// Admitted requests not yet ingested.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether no admitted request is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Stops admitting: every subsequent offer is `Rejected`. Idempotent.
+    /// Already-admitted requests stay queued for the dispatcher.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+    }
+
+    /// Whether [`AdmissionQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
+    /// Moves all recorded shed events into `out`.
+    pub fn drain_events(&self, out: &mut Vec<AdmissionEvent>) {
+        while let Some(ev) = self.events.pop() {
+            out.push(ev);
+        }
+    }
+}
+
+/// The dispatcher-facing half of an [`AdmissionQueue`].
+pub struct AdmissionIngress {
+    queue: Arc<AdmissionQueue>,
+}
+
+impl AdmissionIngress {
+    /// The queue this ingress drains.
+    pub fn queue(&self) -> Arc<AdmissionQueue> {
+        self.queue.clone()
+    }
+}
+
+impl crate::transport::Ingress for AdmissionIngress {
+    fn poll(&mut self) -> Option<Request> {
+        self.queue.pop()
+    }
+
+    fn drain_admission(&mut self, out: &mut Vec<AdmissionEvent>) {
+        self.queue.drain_events(out);
+    }
+
+    fn admission_counters(&self) -> Option<Arc<AdmissionCounters>> {
+        Some(self.queue.counters())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::Ingress;
+    use std::time::Instant;
+
+    fn req(id: u64, class: u16) -> Request {
+        Request {
+            id,
+            class,
+            service_ns: 1_000,
+            sent_at: Instant::now(),
+        }
+    }
+
+    fn queue(capacity: usize, policy: AdmissionPolicy) -> Arc<AdmissionQueue> {
+        AdmissionQueue::new(AdmissionConfig { capacity, policy }, Clock::monotonic())
+    }
+
+    #[test]
+    fn admits_until_full_then_drops_newest() {
+        let q = queue(2, AdmissionPolicy::DropNewest);
+        assert!(matches!(q.offer(req(1, 0)), AdmitOutcome::Admitted));
+        assert!(matches!(q.offer(req(2, 0)), AdmitOutcome::Admitted));
+        assert!(matches!(q.offer(req(3, 1)), AdmitOutcome::DroppedNewest));
+        let c = q.counters();
+        assert_eq!(c.admitted.load(Ordering::Relaxed), 2);
+        assert_eq!(c.dropped_newest.load(Ordering::Relaxed), 1);
+        assert_eq!(c.offered(), 3);
+        // FIFO order preserved; the dropped arrival never appears.
+        assert_eq!(q.pop().map(|r| r.id), Some(1));
+        assert_eq!(q.pop().map(|r| r.id), Some(2));
+        assert!(q.pop().is_none());
+        // The shed request is visible as an event with its class.
+        let mut evs = Vec::new();
+        q.drain_events(&mut evs);
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].id, 3);
+        assert_eq!(evs[0].class, 1);
+        assert_eq!(evs[0].kind, AdmissionEventKind::DroppedNewest);
+    }
+
+    #[test]
+    fn drop_oldest_evicts_head() {
+        let q = queue(2, AdmissionPolicy::DropOldest);
+        q.offer(req(1, 0));
+        q.offer(req(2, 0));
+        match q.offer(req(3, 0)) {
+            AdmitOutcome::DroppedOldest(old) => assert_eq!(old.id, 1),
+            other => panic!("expected DroppedOldest, got {other:?}"),
+        }
+        assert_eq!(q.pop().map(|r| r.id), Some(2));
+        assert_eq!(q.pop().map(|r| r.id), Some(3));
+        let c = q.counters();
+        assert_eq!(
+            c.admitted.load(Ordering::Relaxed),
+            3,
+            "arrival was admitted"
+        );
+        assert_eq!(c.dropped_oldest.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn reject_refuses_and_counts() {
+        let q = queue(1, AdmissionPolicy::RejectNewest);
+        q.offer(req(1, 2));
+        assert!(matches!(q.offer(req(2, 2)), AdmitOutcome::Rejected));
+        assert_eq!(q.counters().rejected.load(Ordering::Relaxed), 1);
+        let pc = q.counters().per_class();
+        assert_eq!(pc.get(&2).unwrap().rejected, 1);
+        assert_eq!(pc.get(&2).unwrap().admitted, 1);
+    }
+
+    #[test]
+    fn closed_queue_rejects_but_keeps_admitted_work() {
+        let q = queue(4, AdmissionPolicy::DropNewest);
+        q.offer(req(1, 0));
+        q.close();
+        assert!(q.is_closed());
+        assert!(matches!(q.offer(req(2, 0)), AdmitOutcome::Rejected));
+        // Graceful drain: the admitted request is still served.
+        assert_eq!(q.pop().map(|r| r.id), Some(1));
+        assert_eq!(q.counters().rejected.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn ingress_view_drains_queue_and_events() {
+        let q = queue(1, AdmissionPolicy::RejectNewest);
+        q.offer(req(1, 0));
+        q.offer(req(2, 0));
+        let mut ing = q.ingress();
+        assert_eq!(ing.poll().map(|r| r.id), Some(1));
+        assert!(ing.poll().is_none());
+        let mut evs = Vec::new();
+        ing.drain_admission(&mut evs);
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].kind, AdmissionEventKind::Rejected);
+        let c = ing.admission_counters().expect("admitting ingress");
+        assert_eq!(c.offered(), 2);
+    }
+
+    #[test]
+    fn snapshot_rows_cover_totals_and_classes() {
+        let q = queue(1, AdmissionPolicy::DropNewest);
+        q.offer(req(1, 0));
+        q.offer(req(2, 3));
+        let rows = q.counters().snapshot_rows();
+        let get = |name: &str| {
+            rows.iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("{name} missing"))
+                .1
+        };
+        assert_eq!(get("admit_admitted"), 1);
+        assert_eq!(get("admit_dropped_newest"), 1);
+        assert_eq!(get("admit_dropped_oldest"), 0);
+        assert_eq!(get("admit_rejected"), 0);
+        assert_eq!(get("admit_class0_admitted"), 1);
+        assert_eq!(get("admit_class3_dropped_newest"), 1);
+    }
+
+    #[test]
+    fn policy_parse_round_trips() {
+        for p in [
+            AdmissionPolicy::DropNewest,
+            AdmissionPolicy::DropOldest,
+            AdmissionPolicy::RejectNewest,
+        ] {
+            assert_eq!(AdmissionPolicy::parse(p.name()), Some(p));
+        }
+        assert_eq!(AdmissionPolicy::parse("bogus"), None);
+    }
+}

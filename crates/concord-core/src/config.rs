@@ -1,9 +1,13 @@
-//! Runtime configuration.
+//! Runtime configuration: the validated builder and the config struct.
 
 use crate::clock::Clock;
 use std::time::Duration;
 
 /// Configuration of a [`Runtime`](crate::Runtime).
+///
+/// Build one with [`RuntimeConfig::builder`] (validated, returns
+/// [`ConfigError`] instead of panicking at start), or take a preset via
+/// [`RuntimeConfig::paper_defaults`] / [`RuntimeConfig::small_test`].
 #[derive(Clone, Debug)]
 pub struct RuntimeConfig {
     /// Number of worker threads.
@@ -11,6 +15,12 @@ pub struct RuntimeConfig {
     /// Scheduling quantum. Requests running longer than this are signaled
     /// to yield at their next preemption point.
     pub quantum: Duration,
+    /// Expected interval between the application's preemption-point
+    /// probes (the paper's instrumentation pass inserts one roughly every
+    /// microsecond of straight-line code). A quantum below this cannot be
+    /// honoured — the signal would always land between probes — so the
+    /// builder rejects `quantum < probe_period`.
+    pub probe_period: Duration,
     /// JBSQ per-worker queue bound `k` (§3.2; the paper uses 2).
     /// 1 is equivalent to a synchronous single queue.
     pub jbsq_depth: usize,
@@ -54,69 +64,277 @@ pub struct RuntimeConfig {
 #[cfg(feature = "trace")]
 pub const DEFAULT_TRACE_RING_CAP: usize = 64 * 1024;
 
+/// Default preemption-probe period assumed by the presets (1 µs, the
+/// paper's instrumentation granularity).
+pub const DEFAULT_PROBE_PERIOD: Duration = Duration::from_micros(1);
+
+/// A [`RuntimeBuilder`] configuration the runtime cannot run with.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `workers(0)`: the dispatcher needs at least one worker to feed.
+    NoWorkers,
+    /// `jbsq_depth(0)`: a zero JBSQ bound can never dispatch anything.
+    ZeroJbsqDepth,
+    /// The quantum is shorter than the preemption-probe period, so no
+    /// signal could ever be honoured on time.
+    QuantumShorterThanProbe {
+        /// The configured quantum.
+        quantum: Duration,
+        /// The configured probe period it must not undercut.
+        probe_period: Duration,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NoWorkers => write!(f, "runtime needs at least one worker"),
+            Self::ZeroJbsqDepth => write!(f, "JBSQ depth k must be at least 1"),
+            Self::QuantumShorterThanProbe {
+                quantum,
+                probe_period,
+            } => write!(
+                f,
+                "quantum {quantum:?} is shorter than the preemption-probe \
+                 period {probe_period:?}; signals could never be honoured"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validated builder for [`RuntimeConfig`].
+///
+/// Starts from the paper's per-field defaults with one worker; chain
+/// setters, then call [`RuntimeBuilder::build`] for the config or
+/// [`Runtime::builder`](crate::Runtime::builder)'s
+/// [`start`](RuntimeBuilder::start) to validate and launch in one step.
+#[derive(Clone, Debug)]
+pub struct RuntimeBuilder {
+    cfg: RuntimeConfig,
+}
+
+impl Default for RuntimeBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RuntimeBuilder {
+    /// A builder holding the paper's defaults with a single worker.
+    pub fn new() -> Self {
+        Self {
+            cfg: RuntimeConfig {
+                n_workers: 1,
+                quantum: Duration::from_micros(5),
+                probe_period: DEFAULT_PROBE_PERIOD,
+                jbsq_depth: 2,
+                work_conserving: true,
+                stack_size: 64 * 1024,
+                dispatcher_slice: Duration::from_micros(5),
+                max_in_flight: 16 * 1024,
+                telemetry_report_every: None,
+                clock: Clock::monotonic(),
+                #[cfg(feature = "trace")]
+                trace: true,
+                #[cfg(feature = "trace")]
+                trace_ring_cap: DEFAULT_TRACE_RING_CAP,
+                #[cfg(feature = "fault-injection")]
+                fault_injector: None,
+            },
+        }
+    }
+
+    /// Preset: the paper's defaults — JBSQ(2), work conservation on,
+    /// 5 µs quantum — with `n_workers` workers.
+    pub fn paper_defaults(self, n_workers: usize) -> Self {
+        let mut b = Self::new();
+        b.cfg.n_workers = n_workers;
+        b
+    }
+
+    /// Preset: a configuration suited to CI machines — 2 workers and a
+    /// coarse quantum so OS-scheduler noise doesn't drown the mechanism.
+    pub fn small_test(self) -> Self {
+        let mut b = Self::new();
+        b.cfg.n_workers = 2;
+        b.cfg.quantum = Duration::from_millis(1);
+        b.cfg.dispatcher_slice = Duration::from_millis(1);
+        b.cfg.max_in_flight = 4 * 1024;
+        b
+    }
+
+    /// Sets the number of worker threads.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.cfg.n_workers = n;
+        self
+    }
+
+    /// Sets the scheduling quantum.
+    pub fn quantum(mut self, quantum: Duration) -> Self {
+        self.cfg.quantum = quantum;
+        self
+    }
+
+    /// Sets the assumed preemption-probe period (validated against the
+    /// quantum at build time).
+    pub fn probe_period(mut self, period: Duration) -> Self {
+        self.cfg.probe_period = period;
+        self
+    }
+
+    /// Sets the JBSQ depth `k` (validated ≥ 1 at build time).
+    pub fn jbsq_depth(mut self, k: usize) -> Self {
+        self.cfg.jbsq_depth = k;
+        self
+    }
+
+    /// Enables or disables dispatcher work conservation.
+    pub fn work_conserving(mut self, on: bool) -> Self {
+        self.cfg.work_conserving = on;
+        self
+    }
+
+    /// Sets the coroutine stack size in bytes.
+    pub fn stack_size(mut self, bytes: usize) -> Self {
+        self.cfg.stack_size = bytes;
+        self
+    }
+
+    /// Sets the dispatcher's self-preemption slice for stolen requests.
+    pub fn dispatcher_slice(mut self, slice: Duration) -> Self {
+        self.cfg.dispatcher_slice = slice;
+        self
+    }
+
+    /// Sets the in-flight request cap.
+    pub fn max_in_flight(mut self, n: usize) -> Self {
+        self.cfg.max_in_flight = n;
+        self
+    }
+
+    /// Enables the periodic telemetry reporter at the given interval.
+    pub fn telemetry_report_every(mut self, every: Duration) -> Self {
+        self.cfg.telemetry_report_every = Some(every);
+        self
+    }
+
+    /// Installs a time source (e.g. a virtual clock for deterministic
+    /// tests).
+    pub fn clock(mut self, clock: Clock) -> Self {
+        self.cfg.clock = clock;
+        self
+    }
+
+    /// Arms or disarms the scheduling-event tracer.
+    #[cfg(feature = "trace")]
+    pub fn trace(mut self, on: bool) -> Self {
+        self.cfg.trace = on;
+        self
+    }
+
+    /// Sets the per-track trace-ring capacity (clamped to ≥ 1).
+    #[cfg(feature = "trace")]
+    pub fn trace_ring_cap(mut self, cap: usize) -> Self {
+        self.cfg.trace_ring_cap = cap.max(1);
+        self
+    }
+
+    /// Installs a fault schedule for this runtime (conformance testing).
+    #[cfg(feature = "fault-injection")]
+    pub fn fault_injector(mut self, injector: std::sync::Arc<crate::fault::FaultInjector>) -> Self {
+        self.cfg.fault_injector = Some(injector);
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<RuntimeConfig, ConfigError> {
+        if self.cfg.n_workers == 0 {
+            return Err(ConfigError::NoWorkers);
+        }
+        if self.cfg.jbsq_depth == 0 {
+            return Err(ConfigError::ZeroJbsqDepth);
+        }
+        if self.cfg.quantum < self.cfg.probe_period {
+            return Err(ConfigError::QuantumShorterThanProbe {
+                quantum: self.cfg.quantum,
+                probe_period: self.cfg.probe_period,
+            });
+        }
+        Ok(self.cfg)
+    }
+
+    /// Validates the configuration, then starts the runtime on the given
+    /// app and transport endpoints.
+    pub fn start<A, I, E>(
+        self,
+        app: std::sync::Arc<A>,
+        ingress: I,
+        egress: E,
+    ) -> Result<crate::Runtime, ConfigError>
+    where
+        A: crate::app::ConcordApp,
+        I: crate::transport::Ingress,
+        E: crate::transport::Egress,
+    {
+        Ok(crate::Runtime::start(self.build()?, app, ingress, egress))
+    }
+}
+
 impl RuntimeConfig {
+    /// A validated builder seeded with the paper's per-field defaults.
+    pub fn builder() -> RuntimeBuilder {
+        RuntimeBuilder::new()
+    }
+
     /// The paper's defaults: JBSQ(2), work conservation on, 5 µs quantum.
     pub fn paper_defaults(n_workers: usize) -> Self {
-        Self {
-            n_workers,
-            quantum: Duration::from_micros(5),
-            jbsq_depth: 2,
-            work_conserving: true,
-            stack_size: 64 * 1024,
-            dispatcher_slice: Duration::from_micros(5),
-            max_in_flight: 16 * 1024,
-            telemetry_report_every: None,
-            clock: Clock::monotonic(),
-            #[cfg(feature = "trace")]
-            trace: true,
-            #[cfg(feature = "trace")]
-            trace_ring_cap: DEFAULT_TRACE_RING_CAP,
-            #[cfg(feature = "fault-injection")]
-            fault_injector: None,
-        }
+        RuntimeBuilder::new()
+            .paper_defaults(n_workers.max(1))
+            .build()
+            .expect("paper defaults are valid")
     }
 
     /// A configuration suited to CI machines: 2 workers and a coarse
     /// quantum so OS-scheduler noise doesn't drown the mechanism.
     pub fn small_test() -> Self {
-        Self {
-            n_workers: 2,
-            quantum: Duration::from_millis(1),
-            jbsq_depth: 2,
-            work_conserving: true,
-            stack_size: 64 * 1024,
-            dispatcher_slice: Duration::from_millis(1),
-            max_in_flight: 4 * 1024,
-            telemetry_report_every: None,
-            clock: Clock::monotonic(),
-            #[cfg(feature = "trace")]
-            trace: true,
-            #[cfg(feature = "trace")]
-            trace_ring_cap: DEFAULT_TRACE_RING_CAP,
-            #[cfg(feature = "fault-injection")]
-            fault_injector: None,
-        }
+        RuntimeBuilder::new()
+            .small_test()
+            .build()
+            .expect("small-test defaults are valid")
     }
 
     /// Sets the scheduling quantum.
+    #[deprecated(since = "0.1.0", note = "use RuntimeConfig::builder().quantum(..)")]
     pub fn with_quantum(mut self, quantum: Duration) -> Self {
         self.quantum = quantum;
         self
     }
 
-    /// Sets the JBSQ depth (clamped to ≥ 1).
+    /// Sets the JBSQ depth (clamped to ≥ 1; the builder rejects 0
+    /// instead).
+    #[deprecated(since = "0.1.0", note = "use RuntimeConfig::builder().jbsq_depth(..)")]
     pub fn with_jbsq_depth(mut self, k: usize) -> Self {
         self.jbsq_depth = k.max(1);
         self
     }
 
     /// Enables or disables dispatcher work conservation.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use RuntimeConfig::builder().work_conserving(..)"
+    )]
     pub fn with_work_conserving(mut self, on: bool) -> Self {
         self.work_conserving = on;
         self
     }
 
     /// Enables the periodic telemetry reporter at the given interval.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use RuntimeConfig::builder().telemetry_report_every(..)"
+    )]
     pub fn with_telemetry_report_every(mut self, every: Duration) -> Self {
         self.telemetry_report_every = Some(every);
         self
@@ -124,6 +342,7 @@ impl RuntimeConfig {
 
     /// Installs a time source (e.g. a virtual clock for deterministic
     /// tests).
+    #[deprecated(since = "0.1.0", note = "use RuntimeConfig::builder().clock(..)")]
     pub fn with_clock(mut self, clock: Clock) -> Self {
         self.clock = clock;
         self
@@ -131,6 +350,7 @@ impl RuntimeConfig {
 
     /// Arms or disarms the scheduling-event tracer.
     #[cfg(feature = "trace")]
+    #[deprecated(since = "0.1.0", note = "use RuntimeConfig::builder().trace(..)")]
     pub fn with_trace(mut self, on: bool) -> Self {
         self.trace = on;
         self
@@ -138,6 +358,10 @@ impl RuntimeConfig {
 
     /// Sets the per-track trace-ring capacity (clamped to ≥ 1).
     #[cfg(feature = "trace")]
+    #[deprecated(
+        since = "0.1.0",
+        note = "use RuntimeConfig::builder().trace_ring_cap(..)"
+    )]
     pub fn with_trace_ring_cap(mut self, cap: usize) -> Self {
         self.trace_ring_cap = cap.max(1);
         self
@@ -145,6 +369,10 @@ impl RuntimeConfig {
 
     /// Installs a fault schedule for this runtime (conformance testing).
     #[cfg(feature = "fault-injection")]
+    #[deprecated(
+        since = "0.1.0",
+        note = "use RuntimeConfig::builder().fault_injector(..)"
+    )]
     pub fn with_fault_injector(
         mut self,
         injector: std::sync::Arc<crate::fault::FaultInjector>,
@@ -165,11 +393,61 @@ mod tests {
         assert_eq!(c.jbsq_depth, 2);
         assert!(c.work_conserving);
         assert_eq!(c.quantum, Duration::from_micros(5));
+        assert_eq!(c.probe_period, DEFAULT_PROBE_PERIOD);
         assert!(!c.clock.is_virtual(), "production clock is wall time");
     }
 
     #[test]
-    fn builders_apply() {
+    fn builder_applies_every_setter() {
+        let (clock, _v) = Clock::manual();
+        let c = RuntimeConfig::builder()
+            .small_test()
+            .quantum(Duration::from_micros(100))
+            .probe_period(Duration::from_micros(2))
+            .jbsq_depth(3)
+            .work_conserving(false)
+            .stack_size(128 * 1024)
+            .dispatcher_slice(Duration::from_micros(50))
+            .max_in_flight(256)
+            .telemetry_report_every(Duration::from_secs(1))
+            .clock(clock)
+            .build()
+            .expect("valid config");
+        assert_eq!(c.n_workers, 2, "small_test preset");
+        assert_eq!(c.quantum, Duration::from_micros(100));
+        assert_eq!(c.probe_period, Duration::from_micros(2));
+        assert_eq!(c.jbsq_depth, 3);
+        assert!(!c.work_conserving);
+        assert_eq!(c.stack_size, 128 * 1024);
+        assert_eq!(c.dispatcher_slice, Duration::from_micros(50));
+        assert_eq!(c.max_in_flight, 256);
+        assert_eq!(c.telemetry_report_every, Some(Duration::from_secs(1)));
+        assert!(c.clock.is_virtual());
+    }
+
+    #[test]
+    fn builder_rejects_invalid_configs() {
+        assert_eq!(
+            RuntimeConfig::builder().workers(0).build().unwrap_err(),
+            ConfigError::NoWorkers
+        );
+        assert_eq!(
+            RuntimeConfig::builder().jbsq_depth(0).build().unwrap_err(),
+            ConfigError::ZeroJbsqDepth
+        );
+        let err = RuntimeConfig::builder()
+            .quantum(Duration::from_nanos(100))
+            .probe_period(Duration::from_micros(1))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::QuantumShorterThanProbe { .. }));
+        // Errors render as human-readable text.
+        assert!(err.to_string().contains("probe"));
+    }
+
+    #[test]
+    fn deprecated_shims_still_apply() {
+        #![allow(deprecated)]
         let (clock, _v) = Clock::manual();
         let c = RuntimeConfig::small_test()
             .with_quantum(Duration::from_micros(100))
@@ -178,7 +456,7 @@ mod tests {
             .with_telemetry_report_every(Duration::from_secs(1))
             .with_clock(clock);
         assert_eq!(c.quantum, Duration::from_micros(100));
-        assert_eq!(c.jbsq_depth, 1, "depth clamps to 1");
+        assert_eq!(c.jbsq_depth, 1, "legacy shim clamps depth to 1");
         assert!(!c.work_conserving);
         assert_eq!(c.telemetry_report_every, Some(Duration::from_secs(1)));
         assert!(c.clock.is_virtual());
@@ -199,7 +477,11 @@ mod tests {
         let c = RuntimeConfig::paper_defaults(2);
         assert!(c.trace, "tracer is always-on by default");
         assert_eq!(c.trace_ring_cap, DEFAULT_TRACE_RING_CAP);
-        let c = c.with_trace(false).with_trace_ring_cap(0);
+        let c = RuntimeConfig::builder()
+            .trace(false)
+            .trace_ring_cap(0)
+            .build()
+            .expect("valid config");
         assert!(!c.trace);
         assert_eq!(c.trace_ring_cap, 1, "ring cap clamps to 1");
     }
@@ -211,7 +493,10 @@ mod tests {
         let c = RuntimeConfig::small_test();
         assert!(c.fault_injector.is_none());
         let inj = std::sync::Arc::new(FaultInjector::new());
-        let c = c.with_fault_injector(inj.clone());
+        let c = RuntimeConfig::builder()
+            .fault_injector(inj.clone())
+            .build()
+            .expect("valid config");
         assert!(c.fault_injector.is_some());
     }
 }

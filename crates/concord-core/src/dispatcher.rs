@@ -1,6 +1,7 @@
 //! The dispatcher thread: ingest, central queue, quantum policing, JBSQ
 //! dispatch, work conservation, and telemetry aggregation.
 
+use crate::admission::AdmissionEvent;
 use crate::app::ConcordApp;
 use crate::clock::Clock;
 use crate::config::RuntimeConfig;
@@ -8,9 +9,9 @@ use crate::preempt::{set_mode, PreemptMode, WorkerShared};
 use crate::stats::RuntimeStats;
 use crate::task::{SliceEnd, Task};
 use crate::telemetry::{CompletionRecord, TelemetryHandle, DISPATCHER};
+use crate::transport::{Egress, Ingress, SpscReceiver, SpscSender};
 use crate::worker::{TraceKind, WorkerMsg};
-use concord_net::ring::{Consumer, Producer};
-use concord_net::{Request, Response};
+use concord_net::Response;
 use crossbeam_queue::SegQueue;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -20,24 +21,25 @@ use std::sync::Arc;
 pub struct WorkerSlot {
     /// Shared preemption state.
     pub shared: Arc<WorkerShared>,
-    /// Producer side of the worker's bounded local ring.
-    pub ring: Producer<Task>,
-    /// Consumer side of the worker's completion-telemetry ring.
-    pub telemetry: Consumer<CompletionRecord>,
+    /// Sender side of the worker's bounded local task queue.
+    pub ring: SpscSender<Task>,
+    /// Receiver side of the worker's completion-telemetry lane.
+    pub telemetry: SpscReceiver<CompletionRecord>,
     /// Requests pushed but not yet completed/re-queued (JBSQ occupancy).
     pub inflight: usize,
 }
 
-/// Long-lived state of the dispatcher thread.
-pub struct DispatcherLoop<A: ConcordApp> {
+/// Long-lived state of the dispatcher thread, generic over how requests
+/// arrive (`I`) and how responses leave (`E`).
+pub struct DispatcherLoop<A: ConcordApp, I: Ingress, E: Egress> {
     /// Application (needed to build tasks at ingest).
     pub app: Arc<A>,
     /// Runtime configuration.
     pub cfg: RuntimeConfig,
-    /// NIC RX ring.
-    pub rx: Consumer<Request>,
-    /// NIC TX ring.
-    pub tx: Producer<Response>,
+    /// Request source (NIC-model RX ring, TCP admission queue, ...).
+    pub rx: I,
+    /// Response sink (NIC-model TX ring, TCP connection writers, ...).
+    pub tx: E,
     /// Per-worker slots.
     pub workers: Vec<WorkerSlot>,
     /// Channel from workers.
@@ -81,13 +83,14 @@ struct DeferredSignal {
     due_ns: u64,
 }
 
-impl<A: ConcordApp> DispatcherLoop<A> {
+impl<A: ConcordApp, I: Ingress, E: Egress> DispatcherLoop<A, I, E> {
     /// Runs until stopped and drained. Consumes the loop state.
     pub fn run(mut self) {
         let mut central: VecDeque<Task> = VecDeque::new();
         let mut stolen: Option<Task> = None;
         let mut stack_pool: Vec<concord_uthread::stack::Stack> = Vec::with_capacity(STACK_POOL_CAP);
         let mut records: Vec<CompletionRecord> = Vec::with_capacity(64);
+        let mut admission_events: Vec<AdmissionEvent> = Vec::new();
         let mut last_report_ns = self.clock.now_ns();
         #[cfg(feature = "fault-injection")]
         let mut deferred: Vec<DeferredSignal> = Vec::new();
@@ -203,12 +206,22 @@ impl<A: ConcordApp> DispatcherLoop<A> {
                 }
             }
 
+            // 2b. Admission events: fold ingress-side sheds into the
+            //     trace (ADMIT_DROP, class in the generation field). Runs
+            //     unconditionally — also while stopping, and with tracing
+            //     disarmed — so the ingress-side event queue stays
+            //     bounded no matter what.
+            self.rx.drain_admission(&mut admission_events);
+            for ev in admission_events.drain(..) {
+                self.trace_emit(ev.ts_ns, TraceKind::AdmitDrop, ev.id, u64::from(ev.class));
+            }
+
             // 3. Ingest new arrivals (unless stopping or at the in-flight
-            //    cap — the RX ring then backs up and drops, keeping the
+            //    cap — the ingress then backs up and sheds, keeping the
             //    open loop honest).
             if !self.stop.load(Ordering::Acquire) {
                 while self.in_flight(&central, &stolen) < self.cfg.max_in_flight {
-                    let Some(req) = self.rx.pop() else { break };
+                    let Some(req) = self.rx.poll() else { break };
                     self.stats.ingested.fetch_add(1, Ordering::Relaxed);
                     let now_ns = self.clock.now_ns();
                     self.trace_emit(now_ns, TraceKind::Arrive, req.id, 0);
@@ -522,7 +535,7 @@ impl<A: ConcordApp> DispatcherLoop<A> {
         }
         let mut r = resp;
         for _ in 0..budget {
-            match self.tx.push(r) {
+            match self.tx.send(r) {
                 Ok(()) => return,
                 Err(back) => {
                     r = back;

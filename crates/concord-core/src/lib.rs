@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod admission;
 pub mod app;
 pub mod clock;
 pub mod config;
@@ -58,17 +59,23 @@ pub mod runtime;
 pub mod stats;
 pub mod task;
 pub mod telemetry;
+pub mod transport;
 pub mod worker;
 
+pub use admission::{
+    AdmissionConfig, AdmissionCounters, AdmissionEvent, AdmissionIngress, AdmissionPolicy,
+    AdmissionQueue, AdmitOutcome,
+};
 pub use app::{ConcordApp, RequestContext, SpinApp};
 pub use clock::{Clock, VirtualClock};
-pub use config::RuntimeConfig;
+pub use config::{ConfigError, RuntimeBuilder, RuntimeConfig};
 #[cfg(feature = "fault-injection")]
 pub use fault::FaultInjector;
 pub use preempt::{LockDepthObserver, PreemptLine, SignalAccounting, SignalPoll};
 pub use runtime::Runtime;
 pub use stats::{RuntimeStats, WorkerStats, WorkerStatsSnapshot};
 pub use telemetry::{CompletionRecord, TelemetrySnapshot};
+pub use transport::{Egress, Ingress};
 
 /// Re-export of the scheduling-event tracer (`concord-trace`) so
 /// downstream users of [`Runtime::take_trace`] can reach

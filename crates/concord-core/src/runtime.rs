@@ -1,16 +1,16 @@
-//! Runtime assembly: spawn the dispatcher and workers, wire the rings.
+//! Runtime assembly: spawn the dispatcher and workers, wire the
+//! transport.
 
 use crate::app::ConcordApp;
 use crate::clock::Clock;
-use crate::config::RuntimeConfig;
+use crate::config::{RuntimeBuilder, RuntimeConfig};
 use crate::dispatcher::{DispatcherLoop, WorkerSlot};
 use crate::preempt::{SignalAccounting, WorkerShared};
 use crate::stats::RuntimeStats;
 use crate::task::Task;
 use crate::telemetry::{CompletionRecord, Telemetry, TelemetryHandle, TelemetrySnapshot};
+use crate::transport::{spsc, Egress, Ingress};
 use crate::worker::{WorkerLoop, WorkerMsg};
-use concord_net::ring::{ring, Consumer, Producer};
-use concord_net::{Request, Response};
 use crossbeam_queue::SegQueue;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -43,18 +43,30 @@ pub struct Runtime {
 }
 
 impl Runtime {
+    /// A validated [`RuntimeBuilder`]: chain setters, then
+    /// [`build`](RuntimeBuilder::build) the config or
+    /// [`start`](RuntimeBuilder::start) the runtime directly — invalid
+    /// combinations (zero workers, `k == 0`, quantum below the probe
+    /// period) come back as `Err(ConfigError)` instead of a panic.
+    pub fn builder() -> RuntimeBuilder {
+        RuntimeBuilder::new()
+    }
+
     /// Starts the runtime: one dispatcher thread plus
-    /// `config.n_workers` worker threads, serving requests from `rx` and
-    /// emitting responses on `tx`.
+    /// `config.n_workers` worker threads, serving requests polled from
+    /// `ingress` and emitting responses on `egress`. The in-process
+    /// NIC-model rings (`concord_net::ring`) implement both traits, as
+    /// does the TCP admission path in `concord-server`.
     ///
     /// # Panics
     ///
     /// Panics if `config.n_workers` is zero or thread spawning fails.
-    pub fn start<A: ConcordApp>(
+    /// Prefer [`Runtime::builder`], which validates instead.
+    pub fn start<A: ConcordApp, I: Ingress, E: Egress>(
         config: RuntimeConfig,
         app: Arc<A>,
-        rx: Consumer<Request>,
-        tx: Producer<Response>,
+        ingress: I,
+        egress: E,
     ) -> Self {
         assert!(config.n_workers >= 1, "need at least one worker");
         app.setup();
@@ -62,7 +74,14 @@ impl Runtime {
         let clock: Clock = config.clock.clone();
         let stop = Arc::new(AtomicBool::new(false));
         let workers_stop = Arc::new(AtomicBool::new(false));
-        let stats = Arc::new(RuntimeStats::with_workers(config.n_workers));
+        // Link the ingress's admission counters (if it has any) into the
+        // stats object so `RuntimeStats::snapshot()` reports admission
+        // alongside the scheduler's own counters.
+        let stats = {
+            let mut s = RuntimeStats::with_workers(config.n_workers);
+            s.admission = ingress.admission_counters();
+            Arc::new(s)
+        };
         let telemetry: TelemetryHandle = Arc::new(Mutex::new(Telemetry::new()));
         let from_workers: Arc<SegQueue<WorkerMsg>> = Arc::new(SegQueue::new());
 
@@ -92,8 +111,8 @@ impl Runtime {
             #[cfg(not(feature = "trace"))]
             let shared = Arc::new(WorkerShared::new());
             shared_lines.push(shared.clone());
-            let (task_tx, task_rx) = ring::<Task>(config.jbsq_depth.max(1));
-            let (rec_tx, rec_rx) = ring::<CompletionRecord>(TELEMETRY_RING_CAP);
+            let (task_tx, task_rx) = spsc::<Task>(config.jbsq_depth.max(1));
+            let (rec_tx, rec_rx) = spsc::<CompletionRecord>(TELEMETRY_RING_CAP);
             slots.push(WorkerSlot {
                 shared: shared.clone(),
                 ring: task_tx,
@@ -133,8 +152,8 @@ impl Runtime {
 
         let dl = DispatcherLoop {
             app,
-            rx,
-            tx,
+            rx: ingress,
+            tx: egress,
             workers: slots,
             from_workers,
             telemetry: telemetry.clone(),

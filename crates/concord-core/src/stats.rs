@@ -1,6 +1,8 @@
 //! Runtime counters.
 
+use crate::admission::AdmissionCounters;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Per-worker counters (one row per worker thread).
 #[derive(Debug, Default)]
@@ -115,6 +117,10 @@ pub struct RuntimeStats {
     pub work_conservation_violations: AtomicU64,
     /// Latched by the first TX drop so it is logged exactly once.
     pub tx_drop_logged: AtomicBool,
+    /// Admission-gate counters, linked by `Runtime::start` when the
+    /// ingress performs admission control (`None` for plain rings).
+    /// Shared with the gate itself, so these are live values.
+    pub admission: Option<Arc<AdmissionCounters>>,
     /// Per-worker breakdowns, indexed by worker id.
     pub per_worker: Vec<WorkerStats>,
 }
@@ -174,6 +180,9 @@ impl RuntimeStats {
         .into_iter()
         .map(|(n, v)| (n.to_string(), v))
         .collect();
+        if let Some(admission) = &self.admission {
+            rows.extend(admission.snapshot_rows());
+        }
         for (i, w) in self.per_worker.iter().enumerate() {
             let s = w.snapshot();
             rows.push((format!("worker{i}_completed"), s.completed));
@@ -252,6 +261,47 @@ mod tests {
         assert_eq!(get("worker1_signals_obsolete"), 5);
         assert_eq!(get("worker1_signals_stale"), 6);
         assert_eq!(get("worker1_trace_dropped"), 1);
+    }
+
+    #[test]
+    fn snapshot_reports_admission_when_linked() {
+        use crate::admission::{AdmissionConfig, AdmissionPolicy, AdmissionQueue};
+        use crate::clock::Clock;
+        use concord_net::Request;
+        use std::time::Instant;
+
+        let q = AdmissionQueue::new(
+            AdmissionConfig {
+                capacity: 1,
+                policy: AdmissionPolicy::RejectNewest,
+            },
+            Clock::monotonic(),
+        );
+        for id in 0..3 {
+            q.offer(Request {
+                id,
+                class: 0,
+                service_ns: 1,
+                sent_at: Instant::now(),
+            });
+        }
+        let mut s = RuntimeStats::with_workers(1);
+        s.admission = Some(q.counters());
+        let snap = s.snapshot();
+        let get = |name: &str| {
+            snap.iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("{name} missing"))
+                .1
+        };
+        assert_eq!(get("admit_admitted"), 1);
+        assert_eq!(get("admit_rejected"), 2);
+        // Unlinked stats expose no admission rows at all.
+        let bare = RuntimeStats::with_workers(1);
+        assert!(bare
+            .snapshot()
+            .iter()
+            .all(|(n, _)| !n.starts_with("admit_")));
     }
 
     #[test]

@@ -6,7 +6,7 @@ use crate::preempt::{set_mode, PreemptMode, WorkerShared};
 use crate::stats::RuntimeStats;
 use crate::task::{SliceEnd, Task};
 use crate::telemetry::CompletionRecord;
-use concord_net::ring::{Consumer, Producer};
+use crate::transport::{SpscReceiver, SpscSender};
 use concord_net::Response;
 use crossbeam_queue::SegQueue;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -43,14 +43,14 @@ pub struct WorkerLoop {
     pub idx: usize,
     /// Dispatcher-shared preemption state.
     pub shared: Arc<WorkerShared>,
-    /// The bounded local queue (JBSQ consumer side).
-    pub local: Consumer<Task>,
+    /// The bounded local queue (JBSQ receiving side).
+    pub local: SpscReceiver<Task>,
     /// Channel back to the dispatcher.
     pub to_dispatcher: Arc<SegQueue<WorkerMsg>>,
     /// Lock-free lane for completion telemetry records, drained by the
     /// dispatcher. Pushed *before* the completion message so a drained
     /// message implies the record is visible.
-    pub telemetry: Producer<CompletionRecord>,
+    pub telemetry: SpscSender<CompletionRecord>,
     /// Runtime time source for deadline arithmetic and telemetry stamps.
     pub clock: Clock,
     /// Scheduling quantum.
@@ -243,4 +243,5 @@ pub(crate) enum TraceKind {
     Steal,
     Complete,
     TxDrop,
+    AdmitDrop,
 }

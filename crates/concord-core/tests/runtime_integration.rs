@@ -64,7 +64,11 @@ fn every_request_completes_exactly_once() {
 fn long_requests_get_preempted() {
     // 20 ms requests at a 1 ms quantum: each must be signaled and yield
     // many times, and still complete exactly once.
-    let cfg = RuntimeConfig::small_test().with_quantum(Duration::from_millis(1));
+    let cfg = RuntimeConfig::builder()
+        .small_test()
+        .quantum(Duration::from_millis(1))
+        .build()
+        .expect("valid config");
     let (stats, collector) = drive(
         cfg,
         Arc::new(SpinApp::new()),
@@ -96,9 +100,12 @@ fn short_requests_are_never_preempted() {
     // this test was only as sound as the runner being faster than the
     // quantum.)
     let (clock, _handle) = Clock::manual();
-    let cfg = RuntimeConfig::small_test()
-        .with_quantum(Duration::from_millis(100))
-        .with_clock(clock);
+    let cfg = RuntimeConfig::builder()
+        .small_test()
+        .quantum(Duration::from_millis(100))
+        .clock(clock)
+        .build()
+        .expect("valid config");
     let (stats, _) = drive(
         cfg,
         Arc::new(SpinApp::new()),
@@ -116,7 +123,11 @@ fn short_requests_are_never_preempted() {
 
 #[test]
 fn jbsq_depth_one_behaves_like_single_queue() {
-    let cfg = RuntimeConfig::small_test().with_jbsq_depth(1);
+    let cfg = RuntimeConfig::builder()
+        .small_test()
+        .jbsq_depth(1)
+        .build()
+        .expect("valid config");
     let (stats, collector) = drive(
         cfg,
         Arc::new(SpinApp::new()),
@@ -153,11 +164,12 @@ fn work_conserving_dispatcher_steals_under_pressure() {
 
 #[test]
 fn disabling_work_conservation_disables_stealing() {
-    let cfg = RuntimeConfig {
-        n_workers: 1,
-        ..RuntimeConfig::small_test()
-    }
-    .with_work_conserving(false);
+    let cfg = RuntimeConfig::builder()
+        .small_test()
+        .workers(1)
+        .work_conserving(false)
+        .build()
+        .expect("valid config");
     let (stats, _) = drive(
         cfg,
         Arc::new(SpinApp::new()),
@@ -262,7 +274,11 @@ fn kv_app_serves_gets_and_scans_with_lock_safety() {
             ClassSpec::new("SCAN", 50.0, Dist::fixed_us(500.0)),
         ],
     );
-    let cfg = RuntimeConfig::small_test().with_quantum(Duration::from_micros(500));
+    let cfg = RuntimeConfig::builder()
+        .small_test()
+        .quantum(Duration::from_micros(500))
+        .build()
+        .expect("valid config");
     let (stats, collector) = drive(cfg, Arc::new(KvApp::new()), workload, 2_000.0, 400);
     assert_eq!(collector.received(), 400);
     assert_eq!(stats.completed(), 400);
@@ -306,7 +322,11 @@ fn app_panics_are_contained_end_to_end() {
 #[test]
 fn per_worker_stats_sum_to_totals() {
     let (stats, _) = drive(
-        RuntimeConfig::small_test().with_quantum(Duration::from_millis(1)),
+        RuntimeConfig::builder()
+            .small_test()
+            .quantum(Duration::from_millis(1))
+            .build()
+            .expect("valid config"),
         Arc::new(SpinApp::new()),
         fixed_us_mix(5_000.0),
         1_000.0,

@@ -140,7 +140,11 @@ fn preempted_requests_accumulate_service_across_slices() {
     // 20 ms requests at a 1 ms quantum: heavily sliced, yet the measured
     // service time must still cover the full spin (slices add up) and
     // every request appears exactly once.
-    let cfg = RuntimeConfig::small_test().with_quantum(Duration::from_millis(1));
+    let cfg = RuntimeConfig::builder()
+        .small_test()
+        .quantum(Duration::from_millis(1))
+        .build()
+        .expect("valid config");
     let (stats, telemetry, _collector) = drive(
         cfg,
         Arc::new(SpinApp::new()),

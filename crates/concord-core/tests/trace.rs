@@ -48,10 +48,13 @@ fn drive(cfg: RuntimeConfig, count: u64, rate_rps: f64, us: f64) -> (Runtime, Co
 fn stalled_collector_never_blocks_workers() {
     let inj = Arc::new(FaultInjector::new());
     inj.stall_trace_drains(u64::MAX);
-    let cfg = RuntimeConfig::small_test()
-        .with_quantum(Duration::from_millis(1))
-        .with_trace_ring_cap(16)
-        .with_fault_injector(inj.clone());
+    let cfg = RuntimeConfig::builder()
+        .small_test()
+        .quantum(Duration::from_millis(1))
+        .trace_ring_cap(16)
+        .fault_injector(inj.clone())
+        .build()
+        .expect("valid config");
     let (rt, collector) = drive(cfg, 300, 5_000.0, 200.0);
     let stats = rt.stats();
     assert_eq!(collector.received(), 300, "every request still completes");
@@ -79,7 +82,11 @@ fn stalled_collector_never_blocks_workers() {
 /// matched SIGNAL_SENT→YIELD pair per consumed signal.
 #[test]
 fn quiescent_trace_agrees_with_counters() {
-    let cfg = RuntimeConfig::small_test().with_quantum(Duration::from_millis(1));
+    let cfg = RuntimeConfig::builder()
+        .small_test()
+        .quantum(Duration::from_millis(1))
+        .build()
+        .expect("valid config");
     let (rt, _collector) = drive(cfg, 200, 2_000.0, 3_000.0);
     let stats = rt.stats();
     assert_eq!(stats.trace_dropped.load(Ordering::Relaxed), 0);
@@ -130,7 +137,11 @@ fn quiescent_trace_agrees_with_counters() {
 /// path: trace events vs. the Requeue message).
 #[test]
 fn trace_latency_agrees_with_telemetry() {
-    let cfg = RuntimeConfig::small_test().with_quantum(Duration::from_millis(1));
+    let cfg = RuntimeConfig::builder()
+        .small_test()
+        .quantum(Duration::from_millis(1))
+        .build()
+        .expect("valid config");
     let (rt, _collector) = drive(cfg, 30, 200.0, 20_000.0);
     let telemetry = rt.telemetry();
     assert!(
@@ -158,7 +169,11 @@ fn trace_latency_agrees_with_telemetry() {
 /// returns `None`, and nothing is counted dropped.
 #[test]
 fn disarmed_tracer_is_absent() {
-    let cfg = RuntimeConfig::small_test().with_trace(false);
+    let cfg = RuntimeConfig::builder()
+        .small_test()
+        .trace(false)
+        .build()
+        .expect("valid config");
     let (rt, collector) = drive(cfg, 100, 5_000.0, 20.0);
     assert_eq!(collector.received(), 100);
     assert!(rt.take_trace().is_none(), "disarmed tracer yields no trace");

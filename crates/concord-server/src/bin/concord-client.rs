@@ -1,0 +1,100 @@
+//! Load generator for `concord-serve`.
+//!
+//! ```text
+//! concord-client [--addr HOST:PORT] [--requests N] [--rate RPS]
+//!                [--closed-window N] [--workload NAME] [--seed N]
+//! ```
+//!
+//! Open loop by default (requests go out on a Poisson schedule whether
+//! or not responses came back — the paper's methodology); pass
+//! `--closed-window N` for a closed loop with at most `N` outstanding
+//! requests. Workload names match the `simulate` binary:
+//! `bimodal50 | bimodal995 | fixed1 | tpcc | leveldb | zippydb`.
+//!
+//! Exits non-zero if any request went entirely unaccounted (no
+//! response, no reject) — the smoke-test contract.
+
+use concord_server::{client, ClientConfig};
+use concord_workloads::mix::{self, Mix};
+use std::process::exit;
+
+struct Args {
+    addr: String,
+    cfg: ClientConfig,
+    workload: String,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: concord-client [--addr HOST:PORT] [--requests N] [--rate RPS] \
+         [--closed-window N] [--workload bimodal50|bimodal995|fixed1|tpcc|leveldb|zippydb] \
+         [--seed N]"
+    );
+    exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1:7070".into(),
+        cfg: ClientConfig::default(),
+        workload: "fixed1".into(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let value = argv.get(i + 1).unwrap_or_else(|| usage()).clone();
+        match flag {
+            "--addr" => args.addr = value,
+            "--requests" => args.cfg.requests = value.parse().unwrap_or_else(|_| usage()),
+            "--rate" => args.cfg.rate_rps = value.parse().unwrap_or_else(|_| usage()),
+            "--closed-window" => args.cfg.window = value.parse().unwrap_or_else(|_| usage()),
+            "--workload" => args.workload = value,
+            "--seed" => args.cfg.seed = value.parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+        i += 2;
+    }
+    args
+}
+
+fn workload_by_name(name: &str) -> Mix {
+    match name {
+        "bimodal50" => mix::bimodal_50_1_50_100(),
+        "bimodal995" => mix::bimodal_995_05_05_500(),
+        "fixed1" => mix::fixed_1us(),
+        "tpcc" => mix::tpcc(),
+        "leveldb" => mix::leveldb_get_scan(),
+        "zippydb" => mix::zippydb(),
+        _ => usage(),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let workload = workload_by_name(&args.workload);
+    let mode = if args.cfg.window > 0 {
+        format!("closed (window {})", args.cfg.window)
+    } else {
+        format!("open ({} rps)", args.cfg.rate_rps)
+    };
+    println!(
+        "loading {} with {} x {} [{} loop, seed {}]",
+        args.addr, args.cfg.requests, args.workload, mode, args.cfg.seed
+    );
+    let report = match client::run(&args.addr, &args.cfg, workload) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("concord-client: {}: {e}", args.addr);
+            exit(1);
+        }
+    };
+    print!("{}", report.render());
+    if report.unaccounted() > 0 {
+        eprintln!(
+            "concord-client: {} requests unaccounted for (silent loss)",
+            report.unaccounted()
+        );
+        exit(3);
+    }
+}

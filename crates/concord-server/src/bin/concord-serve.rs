@@ -1,0 +1,241 @@
+//! Hosts a Concord runtime behind a TCP listener.
+//!
+//! ```text
+//! concord-serve [--addr HOST:PORT] [--app spin|kv] [--workers N]
+//!               [--quantum-us US] [--admission-cap N]
+//!               [--admission-policy drop-newest|drop-oldest|reject]
+//!               [--oneshot] [--trace PATH]
+//! ```
+//!
+//! `--oneshot` serves until at least one client has connected and all
+//! clients have finished sending, then shuts down gracefully and prints
+//! the final report — the mode the CI smoke test uses. Without it the
+//! server runs until the process is killed. `--trace PATH` writes the
+//! run's scheduling-event trace on shutdown (Perfetto JSON if PATH ends
+//! in `.json`, compact binary otherwise).
+
+use concord_core::admission::{AdmissionConfig, AdmissionPolicy};
+use concord_core::{ConcordApp, RuntimeConfig};
+use concord_server::{Server, ServerConfig, ServerReport};
+use std::process::exit;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Args {
+    addr: String,
+    app: String,
+    workers: usize,
+    quantum_us: f64,
+    admission_cap: usize,
+    admission_policy: AdmissionPolicy,
+    oneshot: bool,
+    trace: Option<std::path::PathBuf>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: concord-serve [--addr HOST:PORT] [--app spin|kv] [--workers N] \
+         [--quantum-us US] [--admission-cap N] \
+         [--admission-policy drop-newest|drop-oldest|reject] [--oneshot] [--trace PATH]"
+    );
+    exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1:7070".into(),
+        app: "spin".into(),
+        workers: 2,
+        quantum_us: 5.0,
+        admission_cap: 4096,
+        admission_policy: AdmissionPolicy::RejectNewest,
+        oneshot: false,
+        trace: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        if flag == "--oneshot" {
+            args.oneshot = true;
+            i += 1;
+            continue;
+        }
+        let value = argv.get(i + 1).unwrap_or_else(|| usage()).clone();
+        match flag {
+            "--addr" => args.addr = value,
+            "--app" => args.app = value,
+            "--workers" => args.workers = value.parse().unwrap_or_else(|_| usage()),
+            "--quantum-us" => args.quantum_us = value.parse().unwrap_or_else(|_| usage()),
+            "--admission-cap" => args.admission_cap = value.parse().unwrap_or_else(|_| usage()),
+            "--admission-policy" => {
+                args.admission_policy = AdmissionPolicy::parse(&value).unwrap_or_else(|| usage())
+            }
+            "--trace" => args.trace = Some(value.into()),
+            _ => usage(),
+        }
+        i += 2;
+    }
+    args
+}
+
+fn print_report(report: &ServerReport, trace_path: Option<&std::path::Path>) {
+    println!(
+        "connections accepted {}  protocol errors {}  orphaned responses {}",
+        report.accepted, report.protocol_errors, report.orphaned_responses
+    );
+    println!(
+        "admission: offered {}  shed {}",
+        report.admission.offered(),
+        report.admission.shed()
+    );
+    // Per-policy and per-class admission rows ride in the stats snapshot.
+    for (k, v) in report.stats.snapshot() {
+        println!("{k} {v}");
+    }
+    println!("{}", report.telemetry.render());
+    if let (Some(path), Some(trace)) = (trace_path, report.trace.as_ref()) {
+        let res = if path.extension().is_some_and(|e| e == "json") {
+            concord_core::trace::perfetto::write_json(trace, path)
+        } else {
+            concord_core::trace::binary::write_file(trace, path)
+        };
+        match res {
+            Ok(()) => println!(
+                "trace: {} records -> {}",
+                trace.records.len(),
+                path.display()
+            ),
+            Err(e) => eprintln!("trace: failed to write {}: {e}", path.display()),
+        }
+    }
+}
+
+fn serve<A: ConcordApp>(args: &Args, app: Arc<A>) {
+    let cfg = ServerConfig {
+        runtime: RuntimeConfig::builder()
+            .workers(args.workers)
+            .quantum(Duration::from_nanos((args.quantum_us * 1000.0) as u64))
+            .build()
+            .unwrap_or_else(|e| {
+                eprintln!("concord-serve: invalid runtime config: {e}");
+                exit(2);
+            }),
+        admission: AdmissionConfig {
+            capacity: args.admission_cap,
+            policy: args.admission_policy,
+        },
+    };
+    let server = match Server::bind(&args.addr, cfg, app) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("concord-serve: bind {}: {e}", args.addr);
+            exit(1);
+        }
+    };
+    println!(
+        "serving {} on {} ({} workers, admission {} {})",
+        args.app,
+        server.local_addr(),
+        args.workers,
+        args.admission_cap,
+        args.admission_policy.name()
+    );
+    if args.oneshot {
+        // Serve until at least one client connected and all clients have
+        // half-closed (their readers exited), then drain and report.
+        while server.accepted() == 0 || server.active_connections() > 0 {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let report = server.shutdown();
+        print_report(&report, args.trace.as_deref());
+        return;
+    }
+    // Long-running mode: park the main thread; the OS tears us down.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    match args.app.as_str() {
+        "spin" => serve(&args, Arc::new(concord_core::SpinApp::new())),
+        "kv" => serve(&args, Arc::new(kv::KvApp::new())),
+        _ => usage(),
+    }
+}
+
+/// A self-contained KV app over `concord-kv`, mirroring the `kv_server`
+/// example: GET=class 0, PUT=1, DELETE=2, SCAN=3 against a pre-loaded
+/// store (§5.3's ZippyDB setup).
+mod kv {
+    use concord_core::{ConcordApp, LockDepthObserver, RequestContext};
+    use concord_kv::Db;
+    use concord_net::Request;
+    use std::sync::Arc;
+
+    const KEYS: u64 = 15_000;
+    const SCAN_CHUNK: usize = 512;
+
+    fn key(i: u64) -> Vec<u8> {
+        format!("user{i:012}").into_bytes()
+    }
+
+    pub struct KvApp {
+        db: Db,
+    }
+
+    impl KvApp {
+        pub fn new() -> Self {
+            let db = Db::new().with_lock_observer(Arc::new(LockDepthObserver));
+            for i in 0..KEYS {
+                db.put(key(i), format!("value-{i:016}").into_bytes());
+            }
+            db.flush();
+            Self { db }
+        }
+    }
+
+    impl ConcordApp for KvApp {
+        fn handle_request(&self, req: &Request, ctx: &mut RequestContext<'_, '_>) -> u64 {
+            let k = key(req.id.wrapping_mul(2_654_435_761) % KEYS);
+            match req.class {
+                1 => {
+                    self.db.put(k, format!("updated-{}", req.id).into_bytes());
+                    ctx.preempt_point();
+                    1
+                }
+                2 => {
+                    self.db.delete(k);
+                    ctx.preempt_point();
+                    1
+                }
+                3 => {
+                    // SCAN: walk the store in chunks, yielding between
+                    // chunks — never while the store's lock is held.
+                    let mut rows = 0u64;
+                    let mut from: Vec<u8> = Vec::new();
+                    loop {
+                        let chunk = self.db.scan(&from, SCAN_CHUNK);
+                        rows += chunk.len() as u64;
+                        ctx.preempt_point();
+                        match chunk.last() {
+                            Some((last_key, _)) if chunk.len() == SCAN_CHUNK => {
+                                from = last_key.to_vec();
+                                from.push(0);
+                            }
+                            _ => break,
+                        }
+                    }
+                    rows
+                }
+                _ => {
+                    let hit = self.db.get(&k).is_some();
+                    ctx.preempt_point();
+                    u64::from(hit)
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! TCP network front end for the Concord runtime.
+//!
+//! Three pieces:
+//!
+//! - [`wire`]: the length-prefixed binary protocol (version 1) carrying
+//!   requests and responses, with a zero-copy decoder.
+//! - [`server`]: a [`Server`] that binds a listener, feeds decoded
+//!   requests through an overload-aware admission gate into a
+//!   transport-generic [`Runtime`](concord_core::Runtime), and routes
+//!   responses back to their originating connection.
+//! - [`client`]: an open/closed-loop load generator reporting the same
+//!   slowdown percentiles as the in-process collector.
+//!
+//! ```no_run
+//! use concord_core::admission::{AdmissionConfig, AdmissionPolicy};
+//! use concord_core::{RuntimeConfig, SpinApp};
+//! use concord_server::{ClientConfig, Server, ServerConfig};
+//! use std::sync::Arc;
+//!
+//! let server = Server::bind(
+//!     "127.0.0.1:0",
+//!     ServerConfig {
+//!         runtime: RuntimeConfig::builder().workers(2).build().unwrap(),
+//!         admission: AdmissionConfig {
+//!             capacity: 4096,
+//!             policy: AdmissionPolicy::RejectNewest,
+//!         },
+//!     },
+//!     Arc::new(SpinApp::new()),
+//! )
+//! .unwrap();
+//! let addr = server.local_addr().to_string();
+//! let report = concord_server::client::run(
+//!     &addr,
+//!     &ClientConfig::default(),
+//!     concord_workloads::mix::fixed_1us(),
+//! )
+//! .unwrap();
+//! println!("{}", report.render());
+//! let final_report = server.shutdown();
+//! assert_eq!(final_report.protocol_errors, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::{ClientConfig, ClientReport};
+pub use server::{Server, ServerConfig, ServerReport};
+pub use wire::{Frame, RequestFrame, ResponseFrame, Status, WireError};

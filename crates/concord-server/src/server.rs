@@ -1,0 +1,484 @@
+//! The TCP front end: accept loop, per-connection reader threads feeding
+//! the admission gate, per-connection writer threads draining responses.
+//!
+//! Thread model (paper testbed analogue: the NIC and its descriptor
+//! rings):
+//!
+//! - One **accept** thread polls a non-blocking listener.
+//! - One **reader** thread per connection decodes frames and offers each
+//!   request to the shared [`AdmissionQueue`]; early-rejects are answered
+//!   with a RETRY frame right here, before the scheduler ever sees them.
+//! - One **writer** thread per connection drains a bounded outbox to the
+//!   socket, so a slow client stalls only its own connection — the
+//!   dispatcher's `Egress::send` never blocks on the kernel.
+//! - The runtime's dispatcher polls the admission queue through
+//!   [`AdmissionIngress`] exactly as it polls an in-process ring.
+//!
+//! Responses are routed back to their connection through the request id:
+//! the server rewrites each client id into `conn_id << 48 | client_id`
+//! before ingest and strips it again at encode time, so the runtime
+//! stays oblivious to connections.
+
+use crate::wire::{self, Frame, Status};
+use concord_core::admission::{AdmissionConfig, AdmissionQueue, AdmitOutcome};
+use concord_core::transport::Egress;
+use concord_core::{
+    AdmissionCounters, ConcordApp, Runtime, RuntimeConfig, RuntimeStats, TelemetrySnapshot,
+};
+use concord_net::Response;
+use std::collections::{HashMap, VecDeque};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Bits of the request id left to the client; the connection id lives in
+/// the top 16. Client ids above 2^48 alias — at 20k req/s that takes
+/// ~450 years to reach.
+const CLIENT_ID_BITS: u32 = 48;
+const CLIENT_ID_MASK: u64 = (1 << CLIENT_ID_BITS) - 1;
+
+/// Encoded frames a connection's outbox may hold before the egress
+/// reports backpressure to the dispatcher (which then retries briefly
+/// and counts `tx_dropped`, same as a full TX ring).
+const OUTBOX_CAP: usize = 64 * 1024;
+
+/// Composes the routed request id for `conn`.
+fn route_id(conn: u16, client_id: u64) -> u64 {
+    (u64::from(conn) << CLIENT_ID_BITS) | (client_id & CLIENT_ID_MASK)
+}
+
+/// A connection's outbox: encoded frames queued for its writer thread.
+struct ConnWriter {
+    outbox: Mutex<VecDeque<Vec<u8>>>,
+    wake: Condvar,
+    closed: AtomicBool,
+}
+
+impl ConnWriter {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            outbox: Mutex::new(VecDeque::new()),
+            wake: Condvar::new(),
+            closed: AtomicBool::new(false),
+        })
+    }
+
+    /// Queues one encoded frame. `false` means the connection is gone or
+    /// its outbox is full.
+    fn enqueue(&self, frame: Vec<u8>) -> bool {
+        if self.closed.load(Ordering::Acquire) {
+            return false;
+        }
+        let mut q = self.outbox.lock().expect("outbox lock");
+        if q.len() >= OUTBOX_CAP {
+            return false;
+        }
+        q.push_back(frame);
+        self.wake.notify_one();
+        true
+    }
+
+    fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        self.wake.notify_all();
+    }
+
+    /// Drains the outbox to the socket until closed and empty.
+    fn run(&self, mut stream: TcpStream) {
+        let mut batch: Vec<Vec<u8>> = Vec::new();
+        loop {
+            {
+                let mut q = self.outbox.lock().expect("outbox lock");
+                while q.is_empty() && !self.closed.load(Ordering::Acquire) {
+                    let (guard, _) = self
+                        .wake
+                        .wait_timeout(q, Duration::from_millis(100))
+                        .expect("outbox wait");
+                    q = guard;
+                }
+                if q.is_empty() {
+                    return; // closed and drained
+                }
+                batch.extend(q.drain(..));
+            }
+            for frame in batch.drain(..) {
+                if stream.write_all(&frame).is_err() {
+                    // Client is gone; further responses for this
+                    // connection become orphans at the egress.
+                    self.close();
+                    self.outbox.lock().expect("outbox lock").clear();
+                    return;
+                }
+            }
+            let _ = stream.flush();
+        }
+    }
+}
+
+type Registry = Arc<Mutex<HashMap<u16, Arc<ConnWriter>>>>;
+
+/// The dispatcher's response sink: encodes each response and routes it
+/// to its connection's outbox by the id's connection bits.
+pub struct ServerEgress {
+    conns: Registry,
+    orphaned: Arc<AtomicU64>,
+}
+
+impl Egress for ServerEgress {
+    fn send(&mut self, resp: Response) -> Result<(), Response> {
+        let conn = (resp.id >> CLIENT_ID_BITS) as u16;
+        let client_id = resp.id & CLIENT_ID_MASK;
+        let writer = self
+            .conns
+            .lock()
+            .expect("registry lock")
+            .get(&conn)
+            .cloned();
+        let Some(writer) = writer else {
+            // Connection already torn down: the response has no
+            // destination. Counted, never silent.
+            self.orphaned.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        };
+        if writer.closed.load(Ordering::Acquire) {
+            self.orphaned.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+        let mut buf = Vec::with_capacity(wire::HEADER_LEN + 64);
+        wire::encode_response(&mut buf, client_id, &resp, Status::Ok);
+        if writer.enqueue(buf) {
+            Ok(())
+        } else if writer.closed.load(Ordering::Acquire) {
+            self.orphaned.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        } else {
+            // Live connection, full outbox: real backpressure. Hand the
+            // response back so the dispatcher's retry-then-drop policy
+            // (and its tx_dropped accounting) applies unchanged.
+            Err(resp)
+        }
+    }
+}
+
+/// Server configuration: the runtime underneath plus the admission gate
+/// in front of it.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Scheduler configuration.
+    pub runtime: RuntimeConfig,
+    /// Admission-queue bound and overflow policy.
+    pub admission: AdmissionConfig,
+}
+
+/// Final accounting of a server's life, returned by [`Server::shutdown`].
+pub struct ServerReport {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Connections torn down on a malformed frame.
+    pub protocol_errors: u64,
+    /// Responses whose connection was gone at emit time (counted loss).
+    pub orphaned_responses: u64,
+    /// Admission-gate counters (admitted / dropped / rejected,
+    /// per-class).
+    pub admission: Arc<AdmissionCounters>,
+    /// Final runtime counters.
+    pub stats: Arc<RuntimeStats>,
+    /// Final request-lifecycle telemetry.
+    pub telemetry: TelemetrySnapshot,
+    /// The run's scheduling-event trace (`None` when disarmed).
+    pub trace: Option<concord_core::trace::Trace>,
+}
+
+/// A Concord runtime serving a wire-protocol TCP listener.
+pub struct Server {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    admission: Arc<AdmissionQueue>,
+    conns: Registry,
+    rt: Runtime,
+    accept: Option<JoinHandle<()>>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    writers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    accepted: Arc<AtomicU64>,
+    active_readers: Arc<AtomicU64>,
+    protocol_errors: Arc<AtomicU64>,
+    orphaned: Arc<AtomicU64>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts serving `app` on a
+    /// Concord runtime behind the configured admission gate.
+    pub fn bind<A: ConcordApp>(
+        addr: &str,
+        cfg: ServerConfig,
+        app: Arc<A>,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+
+        let admission = AdmissionQueue::new(cfg.admission, cfg.runtime.clock.clone());
+        let egress_conns: Registry = Arc::new(Mutex::new(HashMap::new()));
+        let orphaned = Arc::new(AtomicU64::new(0));
+        let rt = Runtime::start(
+            cfg.runtime,
+            app,
+            admission.ingress(),
+            ServerEgress {
+                conns: egress_conns.clone(),
+                orphaned: orphaned.clone(),
+            },
+        );
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let accepted = Arc::new(AtomicU64::new(0));
+        let active_readers = Arc::new(AtomicU64::new(0));
+        let protocol_errors = Arc::new(AtomicU64::new(0));
+        let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let writers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let accept = {
+            let stop = stop.clone();
+            let admission = admission.clone();
+            let conns = egress_conns.clone();
+            let accepted = accepted.clone();
+            let active_readers = active_readers.clone();
+            let protocol_errors = protocol_errors.clone();
+            let readers = readers.clone();
+            let writers = writers.clone();
+            std::thread::Builder::new()
+                .name("concord-accept".into())
+                .spawn(move || {
+                    let mut next_conn: u16 = 1;
+                    while !stop.load(Ordering::Acquire) {
+                        match listener.accept() {
+                            Ok((stream, _peer)) => {
+                                let conn = next_conn;
+                                next_conn = next_conn.wrapping_add(1).max(1);
+                                accepted.fetch_add(1, Ordering::Relaxed);
+                                let _ = stream.set_nodelay(true);
+                                let writer = ConnWriter::new();
+                                conns
+                                    .lock()
+                                    .expect("registry lock")
+                                    .insert(conn, writer.clone());
+                                let wstream = stream.try_clone().expect("clone stream");
+                                let w = writer.clone();
+                                writers.lock().expect("writers lock").push(
+                                    std::thread::Builder::new()
+                                        .name(format!("concord-conn{conn}-w"))
+                                        .spawn(move || w.run(wstream))
+                                        .expect("spawn conn writer"),
+                                );
+                                let admission = admission.clone();
+                                let stop = stop.clone();
+                                let protocol_errors = protocol_errors.clone();
+                                let active = active_readers.clone();
+                                active.fetch_add(1, Ordering::Relaxed);
+                                readers.lock().expect("readers lock").push(
+                                    std::thread::Builder::new()
+                                        .name(format!("concord-conn{conn}-r"))
+                                        .spawn(move || {
+                                            reader_loop(
+                                                conn,
+                                                stream,
+                                                writer,
+                                                admission,
+                                                stop,
+                                                protocol_errors,
+                                            );
+                                            active.fetch_sub(1, Ordering::Relaxed);
+                                        })
+                                        .expect("spawn conn reader"),
+                                );
+                            }
+                            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                                std::thread::sleep(Duration::from_millis(2));
+                            }
+                            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                        }
+                    }
+                })
+                .expect("spawn accept thread")
+        };
+
+        Ok(Server {
+            local_addr,
+            stop,
+            admission,
+            conns: egress_conns,
+            rt,
+            accept: Some(accept),
+            readers,
+            writers,
+            accepted,
+            active_readers,
+            protocol_errors,
+            orphaned,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Connections accepted so far.
+    pub fn accepted(&self) -> u64 {
+        self.accepted.load(Ordering::Relaxed)
+    }
+
+    /// Connections whose reader is still running (i.e. clients that have
+    /// not closed their sending side).
+    pub fn active_connections(&self) -> u64 {
+        self.active_readers.load(Ordering::Relaxed)
+    }
+
+    /// Live runtime counters.
+    pub fn stats(&self) -> Arc<RuntimeStats> {
+        self.rt.stats()
+    }
+
+    /// The admission gate (e.g. to inspect counters mid-run).
+    pub fn admission(&self) -> Arc<AdmissionQueue> {
+        self.admission.clone()
+    }
+
+    /// Graceful shutdown: close the admission gate (new requests are
+    /// answered RETRY), stop accepting, let every already-admitted
+    /// request complete, flush every connection's outbox, then join all
+    /// threads and return the final accounting.
+    pub fn shutdown(mut self) -> ServerReport {
+        // 1. No new work: admission rejects, accept loop stops, readers
+        //    wind down at their next timeout tick.
+        self.admission.close();
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.accept.take() {
+            h.join().expect("accept thread");
+        }
+        for h in self.readers.lock().expect("readers lock").drain(..) {
+            h.join().expect("reader thread");
+        }
+        // 2. Graceful drain: wait for the dispatcher to ingest everything
+        //    the gate admitted, then quiesce the runtime (which itself
+        //    drains all in-flight requests into the egress).
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while !self.admission.is_empty() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        self.rt.quiesce();
+        let trace = self.rt.take_trace();
+        let telemetry = self.rt.telemetry();
+        // 3. Flush: every response the runtime emitted is in an outbox;
+        //    closing after quiesce lets writers drain before exiting.
+        for (_, w) in self.conns.lock().expect("registry lock").drain() {
+            w.close();
+        }
+        for h in self.writers.lock().expect("writers lock").drain(..) {
+            h.join().expect("writer thread");
+        }
+        let admission = self.admission.counters();
+        let stats = self.rt.stats();
+        ServerReport {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            orphaned_responses: self.orphaned.load(Ordering::Relaxed),
+            admission,
+            stats,
+            telemetry,
+            trace,
+        }
+    }
+}
+
+/// One connection's read half: decode frames, offer requests to the
+/// gate, answer early-rejects with RETRY. A malformed frame tears the
+/// connection down (the stream is unsynchronized beyond it); the writer
+/// half stays up until shutdown so in-flight responses still flush.
+fn reader_loop(
+    conn: u16,
+    mut stream: TcpStream,
+    writer: Arc<ConnWriter>,
+    admission: Arc<AdmissionQueue>,
+    stop: Arc<AtomicBool>,
+    protocol_errors: Arc<AtomicU64>,
+) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut buf: Vec<u8> = Vec::with_capacity(16 * 1024);
+    let mut chunk = [0u8; 16 * 1024];
+    'conn: loop {
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // client closed its sending side
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                let mut at = 0;
+                loop {
+                    match wire::decode(&buf[at..]) {
+                        Ok(Some((Frame::Request(rf), consumed))) => {
+                            let rid = route_id(conn, rf.id);
+                            let req = rf.into_request(rid, Instant::now());
+                            if let AdmitOutcome::Rejected = admission.offer(req) {
+                                // Early-reject: tell the client now, from
+                                // the gate, without touching the
+                                // scheduler.
+                                let mut out = Vec::with_capacity(wire::HEADER_LEN + 64);
+                                wire::encode_retry(&mut out, rf.id, rf.class, rf.service_ns);
+                                let _ = writer.enqueue(out);
+                            }
+                            at += consumed;
+                        }
+                        Ok(Some((Frame::Response(_), _))) => {
+                            // Clients don't send responses.
+                            protocol_errors.fetch_add(1, Ordering::Relaxed);
+                            break 'conn;
+                        }
+                        Ok(None) => break,
+                        Err(_) => {
+                            protocol_errors.fetch_add(1, Ordering::Relaxed);
+                            break 'conn;
+                        }
+                    }
+                }
+                if at > 0 {
+                    buf.drain(..at);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                continue;
+            }
+            Err(_) => return,
+        }
+    }
+    // Protocol error: drop the connection entirely (reader and writer).
+    writer.close();
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_id_round_trips() {
+        let rid = route_id(0xABCD, 12345);
+        assert_eq!((rid >> CLIENT_ID_BITS) as u16, 0xABCD);
+        assert_eq!(rid & CLIENT_ID_MASK, 12345);
+        // Oversized client ids are masked, not corrupting the conn bits.
+        let rid = route_id(7, u64::MAX);
+        assert_eq!((rid >> CLIENT_ID_BITS) as u16, 7);
+    }
+
+    #[test]
+    fn outbox_backpressure_and_close() {
+        let w = ConnWriter::new();
+        assert!(w.enqueue(vec![1, 2, 3]));
+        w.close();
+        assert!(!w.enqueue(vec![4]), "closed outbox refuses frames");
+    }
+}

@@ -1,0 +1,258 @@
+//! End-to-end conformance over real loopback TCP: the conservation law
+//! (`sent == completed + rejected + counted drops`), admission-counter
+//! balance, and trace/counter agreement — the same invariants the
+//! in-process conformance harness checks, now across the wire.
+
+use concord_core::admission::{AdmissionConfig, AdmissionPolicy};
+use concord_core::trace::EventKind;
+use concord_core::{RuntimeConfig, SpinApp};
+use concord_server::client::{self, ClientConfig};
+use concord_server::{Server, ServerConfig, ServerReport};
+use concord_workloads::mix;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn start_server(capacity: usize, policy: AdmissionPolicy, workers: usize) -> Server {
+    Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            runtime: RuntimeConfig::builder()
+                .workers(workers)
+                .quantum(Duration::from_micros(100))
+                .build()
+                .expect("valid config"),
+            admission: AdmissionConfig { capacity, policy },
+        },
+        Arc::new(SpinApp::new()),
+    )
+    .expect("bind loopback")
+}
+
+fn stat(report: &ServerReport, name: &str) -> u64 {
+    let rows: HashMap<String, u64> = report.stats.snapshot().into_iter().collect();
+    rows.get(name).copied().unwrap_or_else(|| {
+        panic!("missing stats row {name}");
+    })
+}
+
+/// Shared assertions: every request the client wrote is accounted for
+/// somewhere — completed, rejected at the gate, or in a named server
+/// drop counter. Nothing vanishes silently.
+fn assert_conservation(report: &ServerReport, sent: u64, completed: u64, rejected: u64) {
+    assert_eq!(report.protocol_errors, 0, "clean frames only");
+
+    // Everything the client sent reached the admission gate.
+    assert_eq!(report.admission.offered(), sent, "gate saw every frame");
+
+    // Gate balance: offered splits exactly into admitted + shed.
+    let rows: HashMap<String, u64> = report.admission.snapshot_rows().into_iter().collect();
+    let admitted = rows["admit_admitted"];
+    assert_eq!(
+        admitted + report.admission.shed(),
+        report.admission.offered(),
+        "admission counters balance"
+    );
+
+    // Runtime conservation: every admitted request was ingested and then
+    // completed, failed, or dropped at the egress.
+    assert_eq!(
+        stat(report, "ingested"),
+        admitted,
+        "dispatcher drained the gate"
+    );
+    let runtime_completed = stat(report, "worker_completed") + stat(report, "dispatcher_completed");
+    assert_eq!(
+        runtime_completed + stat(report, "failed"),
+        admitted,
+        "runtime completed everything it admitted"
+    );
+
+    // Client-side conservation: responses observed match server emission
+    // minus the counted losses.
+    assert_eq!(
+        completed + stat(report, "tx_dropped") + report.orphaned_responses,
+        runtime_completed,
+        "every emitted response is observed or counted"
+    );
+
+    // Sheds at the gate are either rejected (answered RETRY, observed by
+    // the client) or dropped (counted server-side).
+    let dropped = rows["admit_dropped_newest"] + rows["admit_dropped_oldest"];
+    assert_eq!(
+        rejected, rows["admit_rejected"],
+        "every reject was answered"
+    );
+    assert_eq!(
+        sent,
+        completed
+            + rejected
+            + dropped
+            + stat(report, "tx_dropped")
+            + report.orphaned_responses
+            + stat(report, "failed"),
+        "conservation: sent == completed + rejected + counted drops"
+    );
+}
+
+/// Trace/counter agreement: the ADMIT_DROP instants recorded by the
+/// dispatcher match the gate's shed counters one-for-one, both by direct
+/// count and through the conformance crate's admission oracle.
+fn assert_trace_agreement(report: &ServerReport) {
+    let trace = report.trace.as_ref().expect("tracing is on by default");
+    let admit_drops = trace
+        .records
+        .iter()
+        .filter(|r| r.ev.kind() == EventKind::AdmitDrop)
+        .count() as u64;
+    assert_eq!(
+        admit_drops,
+        report.admission.shed(),
+        "one ADMIT_DROP trace event per shed request"
+    );
+    let summary = concord_core::trace::TraceSummary::from_trace(trace);
+    let violations = concord_conformance::check_admission(&report.admission, Some(&summary));
+    assert!(violations.is_empty(), "admission oracle: {violations:?}");
+}
+
+#[test]
+fn loopback_zero_loss_below_admission_threshold() {
+    let server = start_server(4096, AdmissionPolicy::RejectNewest, 2);
+    let addr = server.local_addr().to_string();
+    let report = client::run(
+        &addr,
+        &ClientConfig {
+            requests: 1_000,
+            rate_rps: 20_000.0,
+            window: 0,
+            seed: 7,
+        },
+        mix::fixed_1us(),
+    )
+    .expect("client run");
+    let server_report = server.shutdown();
+
+    assert_eq!(report.sent, 1_000);
+    assert_eq!(report.unaccounted(), 0, "zero silent loss below threshold");
+    assert_eq!(report.completed, 1_000, "nothing rejected at 2% load");
+    assert!(report.slowdown.len() > 0, "slowdown percentiles populated");
+    assert_conservation(
+        &server_report,
+        report.sent,
+        report.completed,
+        report.rejected,
+    );
+    assert_trace_agreement(&server_report);
+}
+
+#[test]
+fn loopback_closed_loop_completes_everything() {
+    let server = start_server(4096, AdmissionPolicy::RejectNewest, 1);
+    let addr = server.local_addr().to_string();
+    let report = client::run(
+        &addr,
+        &ClientConfig {
+            requests: 500,
+            rate_rps: 1_000_000.0, // schedule is irrelevant in closed loop
+            window: 16,
+            seed: 11,
+        },
+        mix::bimodal_50_1_50_100(),
+    )
+    .expect("client run");
+    let server_report = server.shutdown();
+
+    // A closed loop can never overrun a 4096-deep gate with window 16.
+    assert_eq!(report.completed, 500);
+    assert_eq!(report.rejected, 0);
+    assert_eq!(report.unaccounted(), 0);
+    assert_conservation(
+        &server_report,
+        report.sent,
+        report.completed,
+        report.rejected,
+    );
+    assert_trace_agreement(&server_report);
+}
+
+#[test]
+fn overload_rejects_are_answered_not_lost() {
+    // One slow worker (50/100µs bimodal), a 4-deep gate, and an open
+    // loop far beyond capacity: most requests must be turned away — and
+    // every one of them must come back as RETRY, not silence.
+    let server = start_server(4, AdmissionPolicy::RejectNewest, 1);
+    let addr = server.local_addr().to_string();
+    let report = client::run(
+        &addr,
+        &ClientConfig {
+            requests: 2_000,
+            rate_rps: 100_000.0,
+            window: 0,
+            seed: 13,
+        },
+        mix::bimodal_50_1_50_100(),
+    )
+    .expect("client run");
+    let server_report = server.shutdown();
+
+    assert!(report.rejected > 0, "overload must shed at the gate");
+    assert_eq!(report.unaccounted(), 0, "rejects are answered, not dropped");
+    assert_conservation(
+        &server_report,
+        report.sent,
+        report.completed,
+        report.rejected,
+    );
+    assert_trace_agreement(&server_report);
+}
+
+#[test]
+fn drop_newest_sheds_are_counted_not_silent() {
+    let server = start_server(4, AdmissionPolicy::DropNewest, 1);
+    let addr = server.local_addr().to_string();
+    let report = client::run(
+        &addr,
+        &ClientConfig {
+            requests: 2_000,
+            rate_rps: 100_000.0,
+            window: 0,
+            seed: 17,
+        },
+        mix::bimodal_50_1_50_100(),
+    )
+    .expect("client run");
+    let server_report = server.shutdown();
+
+    // Drops are silent on the wire by design — but the client's
+    // unaccounted tally must match the server's counted drops exactly.
+    let rows: HashMap<String, u64> = server_report
+        .admission
+        .snapshot_rows()
+        .into_iter()
+        .collect();
+    assert!(rows["admit_dropped_newest"] > 0, "overload must drop");
+    assert_eq!(
+        report.unaccounted(),
+        rows["admit_dropped_newest"]
+            + stat(&server_report, "tx_dropped")
+            + server_report.orphaned_responses
+            + stat(&server_report, "failed"),
+        "every missing response maps to a server-side counter"
+    );
+    assert_conservation(
+        &server_report,
+        report.sent,
+        report.completed,
+        report.rejected,
+    );
+    assert_trace_agreement(&server_report);
+}
+
+#[test]
+fn graceful_shutdown_while_idle_reports_cleanly() {
+    let server = start_server(64, AdmissionPolicy::RejectNewest, 1);
+    let report = server.shutdown();
+    assert_eq!(report.accepted, 0);
+    assert_eq!(report.admission.offered(), 0);
+    assert_eq!(report.orphaned_responses, 0);
+}

@@ -102,7 +102,7 @@ mod tests {
     fn roundtrip_preserves_everything() {
         let mut t = Trace::new(3);
         for i in 0..50u64 {
-            let kind = EventKind::ALL[(i % 9) as usize];
+            let kind = EventKind::ALL[(i as usize) % EventKind::ALL.len()];
             t.record((i % 4) as u32, TraceEvent::new(i * 10, kind, i, i % 7));
         }
         let mut buf = Vec::new();

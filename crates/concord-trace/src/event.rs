@@ -34,10 +34,14 @@ pub enum EventKind {
     /// A response was dropped on the TX path. `id` = request id;
     /// dispatcher track.
     TxDrop = 8,
+    /// The admission gate shed a request before ingest (dropped or
+    /// rejected under overload). `id` = request id, `gen` = service
+    /// class; dispatcher track.
+    AdmitDrop = 9,
 }
 
 /// Number of distinct event kinds (for per-kind count arrays).
-pub const N_KINDS: usize = 9;
+pub const N_KINDS: usize = 10;
 
 impl EventKind {
     /// All kinds, in discriminant order.
@@ -51,6 +55,7 @@ impl EventKind {
         EventKind::Steal,
         EventKind::Complete,
         EventKind::TxDrop,
+        EventKind::AdmitDrop,
     ];
 
     /// Decodes a discriminant; `None` if out of range.
@@ -70,6 +75,7 @@ impl EventKind {
             EventKind::Steal => "STEAL",
             EventKind::Complete => "COMPLETE",
             EventKind::TxDrop => "TX_DROP",
+            EventKind::AdmitDrop => "ADMIT_DROP",
         }
     }
 }

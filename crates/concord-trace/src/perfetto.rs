@@ -108,6 +108,7 @@ pub fn to_json(trace: &Trace) -> String {
                 | EventKind::SignalSeen
                 | EventKind::Steal
                 | EventKind::TxDrop
+                | EventKind::AdmitDrop
         );
         if show {
             push_event(

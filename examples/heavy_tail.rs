@@ -84,7 +84,11 @@ fn main() {
 /// request-lifecycle telemetry the dispatcher aggregated.
 fn run_real_runtime(wl: &Mix) {
     let requests = 5_000u64;
-    let cfg = RuntimeConfig::small_test().with_quantum(Duration::from_micros(500));
+    let cfg = RuntimeConfig::builder()
+        .small_test()
+        .quantum(Duration::from_micros(500))
+        .build()
+        .expect("valid config");
     // Offer 15% of the two-worker *ideal* capacity. The mean service time
     // is only ~4 us, so per-request runtime overhead (coroutine spawn,
     // ring hops) is a large fraction of real capacity — 15% of ideal is

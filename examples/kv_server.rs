@@ -102,7 +102,11 @@ fn main() {
     let (resp_tx, resp_rx) = ring::<Response>(8192);
 
     let app = Arc::new(KvServer::new());
-    let config = RuntimeConfig::small_test().with_quantum(Duration::from_micros(500));
+    let config = RuntimeConfig::builder()
+        .small_test()
+        .quantum(Duration::from_micros(500))
+        .build()
+        .expect("valid config");
     let rt = Runtime::start(config, app.clone(), req_rx, resp_tx);
 
     println!("serving ZippyDB mix (78% GET / 13% PUT / 6% DELETE / 3% SCAN) at {rate_rps} rps");

@@ -10,8 +10,9 @@
 //! (load it at <https://ui.perfetto.dev>), the compact binary format
 //! otherwise (inspect with the `concord-trace` binary).
 
-use concord::core::{trace, Runtime, RuntimeConfig, SpinApp};
-use concord::net::{ring, Collector, LoadGen, Request, Response, RttModel};
+use concord::core::trace;
+use concord::net::ring;
+use concord::prelude::*;
 use concord::workloads::mix;
 use std::path::Path;
 use std::sync::Arc;
@@ -28,7 +29,11 @@ fn main() {
     // The Concord runtime: 2 workers, JBSQ(2), work-conserving dispatcher.
     // The quantum is coarse because this example must behave on laptops
     // and CI boxes, not a pinned-core testbed.
-    let config = RuntimeConfig::small_test().with_quantum(Duration::from_micros(500));
+    let config = RuntimeConfig::builder()
+        .small_test()
+        .quantum(Duration::from_micros(500))
+        .build()
+        .expect("valid config");
     println!(
         "starting runtime: {} workers, quantum {:?}, JBSQ({})",
         config.n_workers, config.quantum, config.jbsq_depth

@@ -30,27 +30,25 @@
 //! | [`net`] | NIC-model SPSC rings, open-loop Poisson load generation, RTT accounting |
 //! | [`workloads`] | Every service-time distribution in the paper's evaluation |
 //! | [`metrics`] | HDR histograms, slowdown tracking, SLO capacity search |
+//! | [`server`] | Real network ingress: TCP wire protocol, admission gate, load client |
 //!
 //! # Quickstart
 //!
 //! ```
-//! use concord::core::{Runtime, RuntimeConfig, SpinApp};
-//! use concord::net::{ring, Request, Response, LoadGen, Collector, RttModel};
+//! use concord::prelude::*;
+//! use concord::net::ring;
 //! use concord::workloads::mix;
 //! use std::sync::Arc;
 //! use std::time::Duration;
 //!
-//! // NIC-model rings between the "client" and the server.
+//! // NIC-model rings between the "client" and the server; any
+//! // `Ingress`/`Egress` pair (e.g. a TCP front end) works the same way.
 //! let (req_tx, req_rx) = ring::<Request>(4096);
 //! let (resp_tx, resp_rx) = ring::<Response>(4096);
 //!
 //! // The Concord runtime: dispatcher + workers, JBSQ(2), work stealing.
-//! let rt = Runtime::start(
-//!     RuntimeConfig::small_test(),
-//!     Arc::new(SpinApp::new()),
-//!     req_rx,
-//!     resp_tx,
-//! );
+//! let config = RuntimeConfig::builder().small_test().build().unwrap();
+//! let rt = Runtime::start(config, Arc::new(SpinApp::new()), req_rx, resp_tx);
 //!
 //! // An open-loop Poisson client and its response collector.
 //! let gen = LoadGen::start(req_tx, mix::fixed_1us(), 20_000.0, 100, 42);
@@ -61,8 +59,9 @@
 //! assert_eq!(stats.completed(), 100);
 //! ```
 //!
-//! For the paper reproduction itself, see the `concord-bench` harness
-//! binaries (`fig2` … `fig15`, `table1`, `capacities`, `ablations`) and
+//! For serving the same runtime over real TCP, see [`server`]. For the
+//! paper reproduction itself, see the `concord-bench` harness binaries
+//! (`fig2` … `fig15`, `table1`, `capacities`, `ablations`) and
 //! EXPERIMENTS.md.
 
 #![warn(missing_docs)]
@@ -72,6 +71,20 @@ pub use concord_instrument as instrument;
 pub use concord_kv as kv;
 pub use concord_metrics as metrics;
 pub use concord_net as net;
+pub use concord_server as server;
 pub use concord_sim as sim;
 pub use concord_uthread as uthread;
 pub use concord_workloads as workloads;
+
+/// The types nearly every Concord program needs, in one import.
+///
+/// ```
+/// use concord::prelude::*;
+/// ```
+pub mod prelude {
+    pub use concord_core::{
+        ConfigError, Egress, Ingress, Runtime, RuntimeBuilder, RuntimeConfig, SpinApp,
+        TelemetrySnapshot,
+    };
+    pub use concord_net::{Collector, LoadGen, Request, Response, RttModel};
+}

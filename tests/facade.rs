@@ -61,7 +61,11 @@ fn virtual_clock_is_reachable() {
     v.advance_ns(1_500);
     assert_eq!(clock.now_ns(), 1_500);
 
-    let cfg = RuntimeConfig::small_test().with_clock(clock);
+    let cfg = RuntimeConfig::builder()
+        .small_test()
+        .clock(clock)
+        .build()
+        .expect("valid config");
     assert!(cfg.clock.is_virtual());
     assert!(
         !RuntimeConfig::paper_defaults(2).clock.is_virtual(),

@@ -4,7 +4,7 @@
 use concord_instrument::analysis::{analyze, AnalysisParams};
 use concord_instrument::corpus;
 use concord_instrument::passes::{instrument, PassConfig};
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use concord_microbench::{black_box, criterion_group, criterion_main, Criterion};
 
 fn bench_instrument(c: &mut Criterion) {
     let mut g = c.benchmark_group("instrument");

@@ -3,7 +3,7 @@
 //! SCAN ≈ 500 µs on a 15k-key in-memory database).
 
 use concord_kv::Db;
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use concord_microbench::{black_box, criterion_group, criterion_main, Criterion};
 
 const KEYS: u32 = 15_000;
 

@@ -2,9 +2,9 @@
 //! figure points (events/second matters because the paper sweep runs
 //! hundreds of points).
 
+use concord_microbench::{black_box, criterion_group, criterion_main, Criterion};
 use concord_sim::{simulate, SimParams, SystemConfig};
 use concord_workloads::mix;
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn bench_sim(c: &mut Criterion) {
     let mut g = c.benchmark_group("sim");

@@ -4,9 +4,9 @@
 use concord_core::clock::Clock;
 use concord_core::preempt::{set_mode, should_yield, PreemptMode, WorkerShared};
 use concord_metrics::{Histogram, SlowdownTracker};
+use concord_microbench::{black_box, criterion_group, criterion_main, Criterion};
 use concord_net::ring::ring;
 use concord_uthread::Coroutine;
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use std::sync::Arc;
 use std::time::Duration;
 

@@ -23,11 +23,11 @@
 
 use crate::clock::Clock;
 use concord_net::Request;
-use crossbeam_queue::SegQueue;
-use parking_lot::Mutex;
+use concord_sync::MpmcQueue;
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::sync::Mutex;
 
 /// What to do with an arriving request when the admission queue is full.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -172,7 +172,7 @@ impl std::fmt::Debug for AdmissionCounters {
 
 impl AdmissionCounters {
     fn bump(&self, class: u16, kind: Option<AdmissionEventKind>) {
-        let mut per_class = self.per_class.lock();
+        let mut per_class = self.per_class.lock().expect("lock poisoned");
         let row = per_class.entry(class).or_default();
         match kind {
             None => {
@@ -208,7 +208,7 @@ impl AdmissionCounters {
 
     /// Point-in-time copy of the per-class tallies.
     pub fn per_class(&self) -> BTreeMap<u16, ClassAdmission> {
-        self.per_class.lock().clone()
+        self.per_class.lock().expect("lock poisoned").clone()
     }
 
     /// Counter rows in `RuntimeStats::snapshot()` shape: the four totals
@@ -232,7 +232,7 @@ impl AdmissionCounters {
                 self.rejected.load(Ordering::Relaxed),
             ),
         ];
-        for (class, c) in self.per_class.lock().iter() {
+        for (class, c) in self.per_class.lock().expect("lock poisoned").iter() {
             rows.push((format!("admit_class{class}_admitted"), c.admitted));
             if c.dropped_newest > 0 {
                 rows.push((
@@ -260,7 +260,7 @@ impl AdmissionCounters {
 pub struct AdmissionQueue {
     cfg: AdmissionConfig,
     inner: Mutex<VecDeque<Request>>,
-    events: SegQueue<AdmissionEvent>,
+    events: MpmcQueue<AdmissionEvent>,
     counters: Arc<AdmissionCounters>,
     closed: AtomicBool,
     clock: Clock,
@@ -277,7 +277,7 @@ impl AdmissionQueue {
                 policy: cfg.policy,
             },
             inner: Mutex::new(VecDeque::new()),
-            events: SegQueue::new(),
+            events: MpmcQueue::new(),
             counters: Arc::new(AdmissionCounters::default()),
             closed: AtomicBool::new(false),
             clock,
@@ -312,7 +312,7 @@ impl AdmissionQueue {
             return AdmitOutcome::Rejected;
         }
         let evicted = {
-            let mut q = self.inner.lock();
+            let mut q = self.inner.lock().expect("lock poisoned");
             if q.len() < self.cfg.capacity {
                 q.push_back(req);
                 None
@@ -358,17 +358,17 @@ impl AdmissionQueue {
 
     /// Takes the next admitted request (dispatcher side).
     pub fn pop(&self) -> Option<Request> {
-        self.inner.lock().pop_front()
+        self.inner.lock().expect("lock poisoned").pop_front()
     }
 
     /// Admitted requests not yet ingested.
     pub fn len(&self) -> usize {
-        self.inner.lock().len()
+        self.inner.lock().expect("lock poisoned").len()
     }
 
     /// Whether no admitted request is waiting.
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().is_empty()
+        self.inner.lock().expect("lock poisoned").is_empty()
     }
 
     /// Stops admitting: every subsequent offer is `Rejected`. Idempotent.

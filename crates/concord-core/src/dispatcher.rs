@@ -12,7 +12,7 @@ use crate::telemetry::{CompletionRecord, TelemetryHandle, DISPATCHER};
 use crate::transport::{Egress, Ingress, SpscReceiver, SpscSender};
 use crate::worker::{TraceKind, WorkerMsg};
 use concord_net::Response;
-use crossbeam_queue::SegQueue;
+use concord_sync::MpmcQueue;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -43,7 +43,7 @@ pub struct DispatcherLoop<A: ConcordApp, I: Ingress, E: Egress> {
     /// Per-worker slots.
     pub workers: Vec<WorkerSlot>,
     /// Channel from workers.
-    pub from_workers: Arc<SegQueue<WorkerMsg>>,
+    pub from_workers: Arc<MpmcQueue<WorkerMsg>>,
     /// Aggregated lifecycle telemetry (shared with `Runtime::telemetry`).
     pub telemetry: TelemetryHandle,
     /// Runtime time source.
@@ -63,7 +63,7 @@ pub struct DispatcherLoop<A: ConcordApp, I: Ingress, E: Egress> {
     /// dispatcher drains it periodically so rings never sit full across a
     /// long run. `None` when tracing is disarmed.
     #[cfg(feature = "trace")]
-    pub trace_collector: Option<Arc<parking_lot::Mutex<concord_trace::TraceCollector>>>,
+    pub trace_collector: Option<Arc<std::sync::Mutex<concord_trace::TraceCollector>>>,
 }
 
 /// Drain the trace collector every this-many dispatcher loop iterations.
@@ -200,6 +200,7 @@ impl<A: ConcordApp, I: Ingress, E: Egress> DispatcherLoop<A, I, E> {
                         // (dispatcher thread) so workers never lock.
                         self.telemetry
                             .lock()
+                            .expect("lock poisoned")
                             .record_preemption_latency(preempt_latency_ns);
                         central.push_back(task);
                     }
@@ -350,7 +351,7 @@ impl<A: ConcordApp, I: Ingress, E: Egress> DispatcherLoop<A, I, E> {
                 let now_ns = self.clock.now_ns();
                 if now_ns.saturating_sub(last_report_ns) >= every.as_nanos() as u64 {
                     last_report_ns = now_ns;
-                    let snap = self.telemetry.lock().snapshot();
+                    let snap = self.telemetry.lock().expect("lock poisoned").snapshot();
                     if snap.recorded > 0 {
                         eprintln!("{}", snap.render());
                     }
@@ -456,7 +457,7 @@ impl<A: ConcordApp, I: Ingress, E: Egress> DispatcherLoop<A, I, E> {
                 return;
             }
         }
-        collector.lock().drain();
+        collector.lock().expect("lock poisoned").drain();
     }
 
     #[cfg(not(feature = "trace"))]
@@ -495,7 +496,7 @@ impl<A: ConcordApp, I: Ingress, E: Egress> DispatcherLoop<A, I, E> {
         {
             return;
         }
-        let mut telemetry = self.telemetry.lock();
+        let mut telemetry = self.telemetry.lock().expect("lock poisoned");
         for r in scratch.iter() {
             telemetry.record(r);
         }
@@ -509,7 +510,10 @@ impl<A: ConcordApp, I: Ingress, E: Egress> DispatcherLoop<A, I, E> {
         stack_pool: &mut Vec<concord_uthread::stack::Stack>,
     ) {
         let record = CompletionRecord::from_task(&task, self.clock.now_ns(), DISPATCHER, failed);
-        self.telemetry.lock().record(&record);
+        self.telemetry
+            .lock()
+            .expect("lock poisoned")
+            .record(&record);
         let resp = task.response();
         self.emit(resp);
         if let Some(s) = task.recycle() {

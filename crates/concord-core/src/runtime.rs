@@ -11,10 +11,10 @@ use crate::task::Task;
 use crate::telemetry::{CompletionRecord, Telemetry, TelemetryHandle, TelemetrySnapshot};
 use crate::transport::{spsc, Egress, Ingress};
 use crate::worker::{WorkerLoop, WorkerMsg};
-use crossbeam_queue::SegQueue;
-use parking_lot::Mutex;
+use concord_sync::MpmcQueue;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::sync::Mutex;
 use std::thread::JoinHandle;
 
 /// Capacity of each per-worker completion-telemetry ring. Records are
@@ -83,7 +83,7 @@ impl Runtime {
             Arc::new(s)
         };
         let telemetry: TelemetryHandle = Arc::new(Mutex::new(Telemetry::new()));
-        let from_workers: Arc<SegQueue<WorkerMsg>> = Arc::new(SegQueue::new());
+        let from_workers: Arc<MpmcQueue<WorkerMsg>> = Arc::new(MpmcQueue::new());
 
         // One emit lane per track (workers 0..n, dispatcher last); the
         // collector owns every consumer side and is drained by the
@@ -197,7 +197,7 @@ impl Runtime {
     /// so a snapshot taken after the collector has observed `n` responses
     /// covers at least those `n` requests.
     pub fn telemetry(&self) -> TelemetrySnapshot {
-        let mut t = self.telemetry.lock();
+        let mut t = self.telemetry.lock().expect("lock poisoned");
         t.records_dropped = self.stats.telemetry_dropped.load(Ordering::Relaxed);
         t.snapshot()
     }
@@ -248,7 +248,7 @@ impl Runtime {
         // final drain ran before the workers were released).
         #[cfg(feature = "trace")]
         if let Some(c) = &self.trace {
-            c.lock().drain();
+            c.lock().expect("lock poisoned").drain();
         }
     }
 
@@ -259,7 +259,9 @@ impl Runtime {
     /// has drained so far plus everything still parked in the lanes.
     #[cfg(feature = "trace")]
     pub fn take_trace(&self) -> Option<concord_trace::Trace> {
-        self.trace.as_ref().map(|c| c.lock().take_trace())
+        self.trace
+            .as_ref()
+            .map(|c| c.lock().expect("lock poisoned").take_trace())
     }
 
     /// Stops ingesting, drains every in-flight request, joins all threads

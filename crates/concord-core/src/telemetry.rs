@@ -24,9 +24,9 @@
 
 use crate::task::Task;
 use concord_metrics::{Histogram, LatencyBreakdown};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Worker index used for requests completed by the dispatcher itself.

@@ -8,7 +8,7 @@ use crate::task::{SliceEnd, Task};
 use crate::telemetry::CompletionRecord;
 use crate::transport::{SpscReceiver, SpscSender};
 use concord_net::Response;
-use crossbeam_queue::SegQueue;
+use concord_sync::MpmcQueue;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -46,7 +46,7 @@ pub struct WorkerLoop {
     /// The bounded local queue (JBSQ receiving side).
     pub local: SpscReceiver<Task>,
     /// Channel back to the dispatcher.
-    pub to_dispatcher: Arc<SegQueue<WorkerMsg>>,
+    pub to_dispatcher: Arc<MpmcQueue<WorkerMsg>>,
     /// Lock-free lane for completion telemetry records, drained by the
     /// dispatcher. Pushed *before* the completion message so a drained
     /// message implies the record is visible.

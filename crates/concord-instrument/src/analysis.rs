@@ -16,10 +16,9 @@
 //! and the standard deviation follows without simulating any signals.
 
 use crate::passes::{ISeg, InstrumentedProgram};
-use serde::{Deserialize, Serialize};
 
 /// Unit-conversion parameters for the analysis.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct AnalysisParams {
     /// Cycles per straight-line IR instruction.
     pub cycles_per_instr: f64,
@@ -37,7 +36,7 @@ impl Default for AnalysisParams {
 }
 
 /// Analysis output.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct Report {
     /// Dynamic cycles of the *un-instrumented* program.
     pub base_cycles: f64,

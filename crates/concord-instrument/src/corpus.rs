@@ -16,10 +16,9 @@
 use crate::analysis::{analyze, overhead_vs_original, AnalysisParams};
 use crate::ir::{Function, Program, Segment};
 use crate::passes::{instrument, PassConfig};
-use serde::{Deserialize, Serialize};
 
 /// Numbers published in the paper's Table 1.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Published {
     /// Concord instrumentation overhead, percent (negative = speedup).
     pub concord_pct: f64,
@@ -30,7 +29,7 @@ pub struct Published {
 }
 
 /// One benchmark's structural profile.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct BenchProfile {
     /// Benchmark name as in Table 1.
     pub name: &'static str,
@@ -423,7 +422,7 @@ pub fn benchmarks() -> Vec<BenchProfile> {
 }
 
 /// One row of the reproduced Table 1.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Table1Row {
     /// Benchmark name.
     pub name: &'static str,

@@ -7,10 +7,8 @@
 //! boundaries, loop back-edges, and external-call boundaries — without a
 //! full CFG.
 
-use serde::{Deserialize, Serialize};
-
 /// One element of a function body.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Segment {
     /// A run of straight-line IR instructions.
     Straight(u64),
@@ -44,7 +42,7 @@ pub enum Segment {
 pub const LOOP_CONTROL_INSTRS: u64 = 3;
 
 /// A function: a name and a body.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Function {
     /// Symbol name.
     pub name: String,
@@ -63,7 +61,7 @@ impl Function {
 }
 
 /// A whole program. `functions[0]` is the entry point.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Program {
     /// All functions; index 0 is the entry point.
     pub functions: Vec<Function>,

@@ -6,10 +6,9 @@
 //! least 200 IR instructions so that back-edge probes stay cheap.
 
 use crate::ir::{Function, Program, Segment, LOOP_CONTROL_INSTRS};
-use serde::{Deserialize, Serialize};
 
 /// The kind of probe a pass inserts.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ProbeKind {
     /// Concord worker probe: load the dedicated cache line + compare
     /// (≈2 cycles when L1-resident, §3.1).
@@ -30,7 +29,7 @@ impl ProbeKind {
 }
 
 /// Configuration of one instrumentation pass.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PassConfig {
     /// Probe flavor to insert.
     pub probe: ProbeKind,
@@ -73,7 +72,7 @@ impl PassConfig {
 }
 
 /// A segment of instrumented code.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ISeg {
     /// Straight-line instructions (1 cycle each in the analysis).
     Straight(u64),
@@ -100,7 +99,7 @@ pub enum ISeg {
 }
 
 /// An instrumented function.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct IFunction {
     /// Symbol name.
     pub name: String,
@@ -109,7 +108,7 @@ pub struct IFunction {
 }
 
 /// The output of [`instrument`].
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct InstrumentedProgram {
     /// Instrumented functions; index 0 is the entry point.
     pub functions: Vec<IFunction>,

@@ -4,7 +4,7 @@
 use concord_instrument::analysis::{analyze, AnalysisParams};
 use concord_instrument::ir::{Function, Program, Segment};
 use concord_instrument::passes::{instrument, ISeg, PassConfig};
-use proptest::prelude::*;
+use concord_testkit::prelude::*;
 
 /// Random programs: bounded nesting, bounded sizes.
 fn arb_segment(depth: u32) -> BoxedStrategy<Segment> {

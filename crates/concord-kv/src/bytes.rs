@@ -1,0 +1,187 @@
+//! Cheaply-cloneable immutable byte strings for keys and values.
+//!
+//! The store copies each key and value once at the write boundary and
+//! then shares the allocation — between the memtable, snapshots, merge
+//! iterators, and flushed runs — without further copies. An `Arc<[u8]>`
+//! gives exactly that: `clone` is a refcount bump, equality and ordering
+//! are byte-wise, and the allocation lives until the last run or
+//! snapshot referencing it drops. The API is the narrow slice of the
+//! conventional `bytes::Bytes` the store needs; sub-slicing copies
+//! (rare here: only `slice` callers pay), which keeps the type a single
+//! pointer-plus-length with no offset bookkeeping.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte string.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// The empty byte string (no allocation shared with anything else).
+    pub fn new() -> Self {
+        Self {
+            data: Arc::from(&[][..]),
+        }
+    }
+
+    /// Copies `data` into a fresh shared allocation.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Self {
+            data: Arc::from(data),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether this is the empty byte string.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// An owned, unshared copy of the contents.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.to_vec()
+    }
+
+    /// A copy of the sub-range as its own `Bytes`.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Self {
+        Self::copy_from_slice(&self.data[range])
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Self {
+            data: Arc::from(v.into_boxed_slice()),
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Self::copy_from_slice(v)
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(v: &str) -> Self {
+        Self::copy_from_slice(v.as_bytes())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.data[..] == other.data[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        &self.data[..] == other
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.data[..].cmp(&other.data[..])
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.data[..].hash(state);
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.data.iter() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_allocation() {
+        let a = Bytes::from(b"payload".to_vec());
+        let b = a.clone();
+        assert_eq!(a.as_ref().as_ptr(), b.as_ref().as_ptr());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ordering_and_equality_are_bytewise() {
+        let a = Bytes::from("abc");
+        let b = Bytes::from("abd");
+        assert!(a < b);
+        assert_eq!(a, *b"abc".as_slice());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn slice_copies_subrange() {
+        let a = Bytes::from("hello world");
+        let h = a.slice(0..5);
+        assert_eq!(h.as_ref(), b"hello");
+        assert_ne!(h.as_ref().as_ptr(), a.as_ref().as_ptr());
+    }
+
+    #[test]
+    fn debug_escapes_binary() {
+        let a = Bytes::from(vec![0x41, 0x00, 0xFF]);
+        assert_eq!(format!("{a:?}"), "b\"A\\x00\\xff\"");
+    }
+
+    #[test]
+    fn borrow_enables_slice_keyed_lookup() {
+        use std::collections::BTreeMap;
+        let mut m: BTreeMap<Bytes, u32> = BTreeMap::new();
+        m.insert(Bytes::from("k"), 1);
+        assert_eq!(m.get(b"k".as_slice()), Some(&1));
+    }
+}

@@ -34,10 +34,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bytes;
 pub mod memtable;
 pub mod merge;
 pub mod skiplist;
 pub mod sstable;
 pub mod store;
 
+pub use bytes::Bytes;
 pub use store::{BatchOp, Db, DbOptions, DbStats, LockObserver, Snapshot, WriteBatch};

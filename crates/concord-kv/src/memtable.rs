@@ -6,8 +6,8 @@
 //! of* a sequence number, which is what makes snapshots (`Db::snapshot`)
 //! consistent without blocking writers.
 
+use crate::bytes::Bytes;
 use crate::skiplist::{SkipList, Weigh};
-use bytes::Bytes;
 
 /// A value slot: either live bytes or a deletion marker.
 #[derive(Clone, Debug, PartialEq, Eq)]

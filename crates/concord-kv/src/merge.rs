@@ -6,8 +6,8 @@
 //! that stream to the *visible* view as of a snapshot sequence — the exact
 //! read semantics of LevelDB iterators.
 
+use crate::bytes::Bytes;
 use crate::memtable::Slot;
-use bytes::Bytes;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 

@@ -10,7 +10,7 @@
 //! index LevelDB-style *internal keys* — `(user_key, sequence)` pairs —
 //! directly, with the MVCC ordering expressed through `Ord`.
 
-use bytes::Bytes;
+use crate::bytes::Bytes;
 
 /// Maximum tower height (LevelDB uses 12).
 pub const MAX_HEIGHT: usize = 12;

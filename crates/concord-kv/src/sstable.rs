@@ -6,8 +6,8 @@
 //! memtable (key ascending, sequence descending) — with binary-search
 //! lookups and a sparse index block emulating the plain-table format.
 
+use crate::bytes::Bytes;
 use crate::memtable::{InternalKey, MemTable, Slot};
-use bytes::Bytes;
 
 /// One version in a table.
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -10,14 +10,14 @@
 //! [`LockObserver`] — the paper's §3.1 "4 lines of code" that let the
 //! Concord runtime refuse to preempt a worker inside a critical section.
 
+use crate::bytes::Bytes;
 use crate::memtable::{MemTable, Slot};
 use crate::merge::{MergeIter, TaggedSource, VisibleIter};
 use crate::sstable::{Entry, SsTable};
-use bytes::Bytes;
-use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::sync::{Mutex, RwLock};
 
 /// Observer of the store's internal lock activity.
 ///
@@ -129,11 +129,16 @@ struct SnapshotTracker {
 
 impl SnapshotTracker {
     fn pin(&self, seq: u64) {
-        *self.pinned.lock().entry(seq).or_insert(0) += 1;
+        *self
+            .pinned
+            .lock()
+            .expect("lock poisoned")
+            .entry(seq)
+            .or_insert(0) += 1;
     }
 
     fn unpin(&self, seq: u64) {
-        let mut pinned = self.pinned.lock();
+        let mut pinned = self.pinned.lock().expect("lock poisoned");
         if let Some(count) = pinned.get_mut(&seq) {
             *count -= 1;
             if *count == 0 {
@@ -144,11 +149,16 @@ impl SnapshotTracker {
 
     /// Sequence numbers currently pinned, ascending.
     fn live(&self) -> Vec<u64> {
-        self.pinned.lock().keys().copied().collect()
+        self.pinned
+            .lock()
+            .expect("lock poisoned")
+            .keys()
+            .copied()
+            .collect()
     }
 
     fn count(&self) -> usize {
-        self.pinned.lock().len()
+        self.pinned.lock().expect("lock poisoned").len()
     }
 }
 
@@ -266,7 +276,7 @@ impl Db {
         // Briefly exclude writers so the snapshot sequence is not torn
         // against a half-applied batch.
         self.observe_lock();
-        let _guard = self.inner.read();
+        let _guard = self.inner.read().expect("lock poisoned");
         let seq = self.seq.load(Ordering::Acquire);
         self.snapshots.pin(seq);
         drop(_guard);
@@ -282,7 +292,7 @@ impl Db {
     fn get_at(&self, key: &[u8], at_seq: u64) -> Option<Bytes> {
         self.gets.fetch_add(1, Ordering::Relaxed);
         self.observe_lock();
-        let inner = self.inner.read();
+        let inner = self.inner.read().expect("lock poisoned");
         let result = (|| {
             if let Some(slot) = inner.mem.get(key, at_seq) {
                 return slot.live().cloned();
@@ -304,7 +314,7 @@ impl Db {
         self.puts.fetch_add(1, Ordering::Relaxed);
         self.observe_lock();
         {
-            let mut inner = self.inner.write();
+            let mut inner = self.inner.write().expect("lock poisoned");
             let seq = self.seq.fetch_add(1, Ordering::AcqRel) + 1;
             inner.mem.put(key.into(), seq, value.into());
             self.maybe_flush(&mut inner);
@@ -321,7 +331,7 @@ impl Db {
         }
         self.observe_lock();
         {
-            let mut inner = self.inner.write();
+            let mut inner = self.inner.write().expect("lock poisoned");
             let seq = self.seq.fetch_add(1, Ordering::AcqRel) + 1;
             for op in batch.ops {
                 match op {
@@ -345,7 +355,7 @@ impl Db {
         self.deletes.fetch_add(1, Ordering::Relaxed);
         self.observe_lock();
         {
-            let mut inner = self.inner.write();
+            let mut inner = self.inner.write().expect("lock poisoned");
             let seq = self.seq.fetch_add(1, Ordering::AcqRel) + 1;
             inner.mem.delete(key.into(), seq);
             self.maybe_flush(&mut inner);
@@ -362,7 +372,7 @@ impl Db {
     fn scan_at(&self, from: &[u8], limit: usize, at_seq: u64) -> Vec<(Bytes, Bytes)> {
         self.scans.fetch_add(1, Ordering::Relaxed);
         self.observe_lock();
-        let inner = self.inner.read();
+        let inner = self.inner.read().expect("lock poisoned");
         let mut sources = Vec::with_capacity(1 + inner.runs.len());
         sources.push(TaggedSource::new(
             0,
@@ -395,7 +405,7 @@ impl Db {
     pub fn flush(&self) {
         self.observe_lock();
         {
-            let mut inner = self.inner.write();
+            let mut inner = self.inner.write().expect("lock poisoned");
             Self::flush_locked(&mut inner);
             self.maybe_compact(&mut inner);
         }
@@ -492,7 +502,7 @@ impl Db {
 
     /// Current statistics snapshot.
     pub fn stats(&self) -> DbStats {
-        let inner = self.inner.read();
+        let inner = self.inner.read().expect("lock poisoned");
         DbStats {
             memtable_entries: inner.mem.len(),
             runs: inner.runs.len(),
@@ -616,7 +626,7 @@ mod tests {
         // With no live snapshots, only the latest version per key remains,
         // and k's tombstone is gone entirely.
         let total_versions: usize = {
-            let inner = db.inner.read();
+            let inner = db.inner.read().expect("lock poisoned");
             inner.runs.iter().map(|r| r.len()).sum::<usize>() + inner.mem.len()
         };
         assert!(total_versions <= 4, "versions={total_versions}");
@@ -694,7 +704,7 @@ mod tests {
         for i in 0..10 {
             db.put(format!("pad{i}").into_bytes(), b"x".to_vec());
         }
-        let inner = db.inner.read();
+        let inner = db.inner.read().expect("lock poisoned");
         let k_versions = inner
             .runs
             .iter()

@@ -2,7 +2,7 @@
 //! arbitrary interleavings of put/delete/flush and implicit compaction.
 
 use concord_kv::{Db, DbOptions, Snapshot};
-use proptest::prelude::*;
+use concord_testkit::prelude::*;
 use std::collections::BTreeMap;
 
 #[derive(Clone, Debug)]

@@ -19,13 +19,12 @@
 //! ```
 
 use crate::{percentile_line, Histogram, SlowdownTracker};
-use serde::{Deserialize, Serialize};
 
 /// Queueing / service / sojourn distributions of one request population.
 ///
 /// All values are nanoseconds. Recording is three O(1) histogram inserts
 /// plus one fixed-point slowdown insert; cloning snapshots the counts.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct LatencyBreakdown {
     /// Ingest → first execution.
     pub queueing: Histogram,

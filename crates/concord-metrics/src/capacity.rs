@@ -9,10 +9,8 @@
 //! so the search brackets the crossing with a coarse geometric sweep and
 //! then bisects, re-measuring each probe point once.
 
-use serde::{Deserialize, Serialize};
-
 /// Result of a capacity search.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CapacityResult {
     /// Highest probed load (requests/sec or any rate unit) whose measured
     /// tail met the SLO.
@@ -24,7 +22,7 @@ pub struct CapacityResult {
 }
 
 /// Configuration for [`find_capacity`].
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct CapacitySearch {
     /// The tail-metric ceiling (the paper uses a p99.9 slowdown of 50.0).
     pub slo: f64,

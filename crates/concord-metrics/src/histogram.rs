@@ -10,8 +10,6 @@
 //! Values are plain `u64`s; callers pick the unit (the simulator records
 //! cycles and hundredths-of-slowdown, the runtime records nanoseconds).
 
-use serde::{Deserialize, Serialize};
-
 /// Maximum value trackable by default (2^44, ≈ 4.8 hours in nanoseconds).
 const DEFAULT_MAX_VALUE: u64 = 1 << 44;
 
@@ -20,7 +18,7 @@ const DEFAULT_MAX_VALUE: u64 = 1 << 44;
 /// Records `u64` values in O(1) without allocating. Quantile queries walk
 /// the (fixed-size) bucket array. Two histograms with identical precision
 /// can be [merged](Histogram::merge).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Histogram {
     /// Number of significant decimal digits preserved (1..=4).
     sigfigs: u8,

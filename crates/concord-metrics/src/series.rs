@@ -4,11 +4,10 @@
 //! paper's plot) into a [`Table`] and prints it, so the reproduction output
 //! can be compared row-by-row with the paper's figures.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One plotted line: a label and a list of (x, y) points.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Series {
     /// Legend label, e.g. `"Concord"` or `"Shinjuku"`.
     pub label: String,
@@ -82,7 +81,7 @@ impl Series {
 }
 
 /// A printable collection of series sharing an x axis.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Table {
     /// Table title (e.g. `"Figure 6 (left): Bimodal(50:1,50:100), q=5us"`).
     pub title: String,

@@ -6,7 +6,6 @@
 //! workloads share a single SLO (the paper uses p99.9 slowdown ≤ 50×).
 
 use crate::Histogram;
-use serde::{Deserialize, Serialize};
 
 /// Fixed-point scale: slowdowns are recorded in hundredths.
 const SCALE: f64 = 100.0;
@@ -24,7 +23,7 @@ const SCALE: f64 = 100.0;
 /// t.record(1_000, 5_000); // 1µs of work took 5µs end-to-end: slowdown 5×
 /// assert!((t.p999() - 5.0).abs() < 0.01);
 /// ```
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SlowdownTracker {
     hist: Histogram,
 }

@@ -1,7 +1,5 @@
 //! Streaming summary statistics (Welford's online algorithm).
 
-use serde::{Deserialize, Serialize};
-
 /// Streaming count/mean/variance/min/max over `f64` observations.
 ///
 /// Uses Welford's numerically stable online update, so it can absorb
@@ -17,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(s.mean(), 5.0);
 /// assert_eq!(s.population_std_dev(), 2.0);
 /// ```
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct Summary {
     count: u64,
     mean: f64,

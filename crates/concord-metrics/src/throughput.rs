@@ -5,14 +5,12 @@
 //! completions into fixed windows over (virtual or wall) time so
 //! experiments can report sustained vs. peak rates and detect collapse.
 
-use serde::{Deserialize, Serialize};
-
 /// Bins completion events into fixed time windows and reports rates.
 ///
 /// Time is a caller-supplied `u64` in any unit (the simulator feeds
 /// cycles, the runtime nanoseconds); rates come back in events per second
 /// given the unit-per-second conversion supplied at construction.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ThroughputTracker {
     window: u64,
     units_per_sec: f64,

@@ -1,7 +1,7 @@
 //! Property-based tests for the histogram's precision and merge invariants.
 
 use concord_metrics::{Histogram, SlowdownTracker, Summary};
-use proptest::prelude::*;
+use concord_testkit::prelude::*;
 
 proptest! {
     /// Any recorded value is recovered at its own quantile within the

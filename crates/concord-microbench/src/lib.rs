@@ -1,0 +1,246 @@
+//! First-party microbenchmark harness.
+//!
+//! The `concord-bench` crate's `[[bench]]` targets need a way to time
+//! small operations credibly: calibrate an iteration count so one sample
+//! runs long enough for the clock to resolve, repeat for several
+//! samples, and report a robust statistic. This crate provides exactly
+//! that, with a `criterion`-shaped API (`Criterion`, `benchmark_group`,
+//! `bench_function`, `b.iter(...)`, `black_box`) so the bench files read
+//! like standard Rust benches — and with no third-party dependencies,
+//! so `cargo bench` works offline and measures code checked into this
+//! repo rather than a stub.
+//!
+//! Reporting: one line per benchmark with the median and minimum
+//! nanoseconds per iteration over the sample set. The median is robust
+//! to scheduler noise; the minimum approximates the uncontended cost.
+//! There is no statistical regression testing — comparisons across runs
+//! are the caller's job (CI greps the emitted `ns/iter` numbers).
+//!
+//! Tuning via environment:
+//! * `MICROBENCH_SAMPLE_MS` — target wall-time per sample in
+//!   milliseconds (default 10; raise for steadier numbers).
+//! * `MICROBENCH_FILTER` — substring filter on `group/name`, mirroring
+//!   `cargo bench -- <filter>` (the harness also reads its first
+//!   non-flag CLI argument as a filter).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle; one per bench binary.
+pub struct Criterion {
+    filter: Option<String>,
+    sample_ms: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let cli_filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        let filter = std::env::var("MICROBENCH_FILTER").ok().or(cli_filter);
+        let sample_ms = std::env::var("MICROBENCH_SAMPLE_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10);
+        Self { filter, sample_ms }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 20,
+        }
+    }
+}
+
+/// A named set of related benchmarks, printed as `group/name` rows.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u32,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (default 20).
+    pub fn sample_size(&mut self, n: u32) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let id = format!("{}/{}", self.name, name);
+        if let Some(filter) = &self.criterion.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            target: Duration::from_millis(self.criterion.sample_ms),
+            sample_size: self.sample_size,
+            result: None,
+        };
+        f(&mut bencher);
+        match bencher.result {
+            Some(r) => println!(
+                "{id:<40} median {:>12} min {:>12}  ({} samples x {} iters)",
+                format_ns(r.median_ns),
+                format_ns(r.min_ns),
+                self.sample_size,
+                r.iters_per_sample,
+            ),
+            None => println!("{id:<40} (no measurement: b.iter was never called)"),
+        }
+        self
+    }
+
+    /// Kept for API familiarity; reports are printed eagerly.
+    pub fn finish(&mut self) {}
+}
+
+struct SampleResult {
+    median_ns: f64,
+    min_ns: f64,
+    iters_per_sample: u64,
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the
+/// operation to measure.
+pub struct Bencher {
+    target: Duration,
+    sample_size: u32,
+    result: Option<SampleResult>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and calibrate: grow the per-sample iteration count
+        // until one sample meets the target duration.
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= self.target || iters >= u64::MAX / 2 {
+                break;
+            }
+            // Overshoot the extrapolation slightly so we converge fast.
+            let grow = if elapsed.as_nanos() == 0 {
+                100
+            } else {
+                (self.target.as_nanos() * 2 / elapsed.as_nanos()).clamp(2, 100) as u64
+            };
+            iters = iters.saturating_mul(grow);
+        }
+
+        let mut per_iter_ns: Vec<f64> = (0..self.sample_size)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                t.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let min_ns = per_iter_ns[0];
+        let mid = per_iter_ns.len() / 2;
+        let median_ns = if per_iter_ns.len().is_multiple_of(2) {
+            (per_iter_ns[mid - 1] + per_iter_ns[mid]) / 2.0
+        } else {
+            per_iter_ns[mid]
+        };
+        self.result = Some(SampleResult {
+            median_ns,
+            min_ns,
+            iters_per_sample: iters,
+        });
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us/iter", ns / 1_000.0)
+    } else {
+        format!("{:.2} ms/iter", ns / 1_000_000.0)
+    }
+}
+
+/// Defines the registration function for a set of benchmark functions,
+/// mirroring criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    ($(#[$attr:meta])* name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        $(#[$attr])*
+        pub fn $name() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Defines `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_plausible() {
+        let mut b = Bencher {
+            target: Duration::from_micros(200),
+            sample_size: 5,
+            result: None,
+        };
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(black_box(1));
+            acc
+        });
+        let r = b.result.expect("measured");
+        assert!(r.median_ns > 0.0);
+        assert!(r.min_ns <= r.median_ns);
+        assert!(r.iters_per_sample >= 1);
+    }
+
+    #[test]
+    fn group_filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+            sample_ms: 1,
+        };
+        let mut ran = false;
+        c.benchmark_group("g").bench_function("x", |_| ran = true);
+        assert!(!ran, "filtered benchmark must not execute");
+    }
+
+    #[test]
+    fn formats_scale() {
+        assert!(format_ns(12.3).ends_with("ns/iter"));
+        assert!(format_ns(12_300.0).ends_with("us/iter"));
+        assert!(format_ns(12_300_000.0).ends_with("ms/iter"));
+    }
+}

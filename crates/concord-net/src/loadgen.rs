@@ -119,7 +119,7 @@ impl LoadGen {
 pub struct Collector {
     rx: Consumer<Response>,
     rtt: RttModel,
-    rng: rand::rngs::SmallRng,
+    rng: concord_rng::SmallRng,
     slowdown: SlowdownTracker,
     latency_ns: Histogram,
     by_class: HashMap<u16, SlowdownTracker>,

@@ -7,7 +7,7 @@
 //! Counters increase monotonically and are masked into the (power-of-two)
 //! buffer, so full/empty are distinguished without a spare slot.
 
-use crossbeam_utils::CachePadded;
+use concord_sync::CachePadded;
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicUsize, Ordering};

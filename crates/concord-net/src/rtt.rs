@@ -4,8 +4,8 @@
 //! which end-to-end latency measurements include. In-process there is no
 //! wire, so the collector adds a modeled RTT to every sample instead.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
+use concord_rng::Rng;
+use concord_rng::SmallRng;
 
 /// A fixed-plus-uniform-jitter RTT model.
 #[derive(Clone, Copy, Debug)]

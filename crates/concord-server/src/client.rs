@@ -117,7 +117,7 @@ impl ClientReport {
             self.elapsed.as_secs_f64(),
             self.goodput_rps()
         ));
-        if self.sojourn_ns.len() > 0 {
+        if !self.sojourn_ns.is_empty() {
             s.push_str(&format!(
                 "sojourn ns: p50 {}  p99 {}  p99.9 {}  max {}\n",
                 self.sojourn_ns.percentile(50.0),

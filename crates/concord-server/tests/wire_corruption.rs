@@ -6,7 +6,7 @@ use concord_core::admission::{AdmissionConfig, AdmissionPolicy};
 use concord_core::{RuntimeConfig, SpinApp};
 use concord_server::wire::{self, Frame};
 use concord_server::{Server, ServerConfig};
-use proptest::prelude::*;
+use concord_testkit::prelude::*;
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
@@ -77,8 +77,8 @@ fn poke_then_verify_alive(server: &Server, bytes: &[u8]) {
     }
 }
 
-/// Deterministic corruption cases that run even without the real
-/// proptest crate: each classic malformation, then liveness.
+/// Deterministic corruption cases complementing the randomized ones
+/// above: each classic malformation, then liveness.
 #[test]
 fn classic_malformations_cost_only_their_connection() {
     let server = start_server();

@@ -9,10 +9,10 @@
 //! *before* the quantum).
 
 use concord_metrics::SlowdownTracker;
+use concord_rng::Rng;
+use concord_rng::SmallRng;
 use concord_workloads::arrival::Poisson;
 use concord_workloads::{seeded_rng, TraceGenerator, Workload};
-use rand::rngs::SmallRng;
-use rand::Rng;
 use std::collections::VecDeque;
 
 use crate::engine::EventQueue;

@@ -3,10 +3,9 @@
 //! its §5.4 ablations are all presets over the same knobs.
 
 use crate::cost::CostModel;
-use serde::{Deserialize, Serialize};
 
 /// How (and whether) workers are preempted at quantum expiry.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PreemptMechanism {
     /// Run to completion; the quantum is ignored.
     None,
@@ -56,7 +55,7 @@ impl PreemptMechanism {
 }
 
 /// How requests reach workers.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum QueueDiscipline {
     /// A single physical queue: the worker pulls the next request only
     /// after finishing the previous one (synchronous, ≥ 2 coherence misses
@@ -91,7 +90,7 @@ impl QueueDiscipline {
 }
 
 /// Ordering of the central queue.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Policy {
     /// First come, first served; preempted requests re-join at the tail,
     /// which approximates processor sharing when combined with preemption.
@@ -102,7 +101,7 @@ pub enum Policy {
 }
 
 /// Full configuration of one simulated system.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SystemConfig {
     /// Display name (appears in tables/legends).
     pub name: String,

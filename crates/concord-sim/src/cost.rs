@@ -6,10 +6,8 @@
 //! struct, so "what if coherence misses were 1.5× pricier" (the Sapphire
 //! Rapids scenario of Fig. 15) is a one-field change.
 
-use serde::{Deserialize, Serialize};
-
 /// Cycle costs and clock configuration for a simulated machine.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CostModel {
     /// Clock frequency in GHz (cycles per nanosecond).
     pub ghz: f64,

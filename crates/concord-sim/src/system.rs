@@ -1109,7 +1109,7 @@ mod tests {
         impl Workload for Mixed5us {
             fn next_request(
                 &mut self,
-                _rng: &mut rand::rngs::SmallRng,
+                _rng: &mut concord_rng::SmallRng,
             ) -> concord_workloads::RequestSpec {
                 concord_workloads::RequestSpec {
                     class: 0,

@@ -1,0 +1,490 @@
+//! First-party property-testing engine.
+//!
+//! The repo's correctness story leans on property tests: the KV store
+//! against a `BTreeMap` model, the wire decoder against arbitrary bytes,
+//! the histogram against its precision contract, coroutines against
+//! arbitrary interleavings. Those tests need a generator of random
+//! structured values, a runner that executes many cases, and a failure
+//! report precise enough to replay. This crate provides all three with
+//! zero third-party dependencies, so the workspace builds offline and
+//! the semantics under test are the ones checked into this repo.
+//!
+//! The API mirrors the slice of `proptest`'s surface the tests use —
+//! [`Strategy`] with `prop_map`/`boxed`, [`prop_oneof!`], ranges and
+//! tuples as strategies, `prop::collection::vec`, [`any`], [`Just`],
+//! [`proptest!`], `prop_assert*!` — so the test files read like standard
+//! property tests. Differences from the real crate, deliberately:
+//!
+//! * **No shrinking.** A failure reports the deterministic seed, the
+//!   case index, and a `Debug` dump of every generated input; replay is
+//!   exact via `PROPTEST_SEED`. Shrinkers are the bulk of proptest's
+//!   complexity and the tests here keep their inputs small by
+//!   construction.
+//! * **Deterministic by default.** Each test function derives its
+//!   stream from a fixed default seed and the test's module path, so CI
+//!   failures reproduce locally without copying seeds around. Set
+//!   `PROPTEST_SEED` to explore a different stream.
+//! * `ProptestConfig::default()` honours `PROPTEST_CASES` (default 64).
+//!   An explicit `with_cases(n)` wins over the environment, matching
+//!   proptest's precedence.
+
+use concord_rng::{Rng, SampleRange, SmallRng, StandardSample};
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+pub mod runner;
+
+/// A failed property: carries the reason; the runner adds seed and
+/// input context when it reports.
+#[derive(Debug)]
+pub struct TestCaseError {
+    reason: String,
+}
+
+impl TestCaseError {
+    pub fn fail(reason: impl Into<String>) -> Self {
+        Self {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.reason)
+    }
+}
+
+/// Per-`proptest!`-block configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Exactly `n` cases, regardless of the environment.
+    pub fn with_cases(n: u32) -> Self {
+        Self { cases: n }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// `PROPTEST_CASES` from the environment, else 64.
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        Self { cases }
+    }
+}
+
+/// A generator of values of one type from a seeded stream.
+pub trait Strategy {
+    type Value: fmt::Debug;
+
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Post-process every generated value.
+    fn prop_map<U: fmt::Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase, for recursion and heterogeneous unions.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Object-safe core used by [`BoxedStrategy`].
+trait ErasedStrategy<T> {
+    fn sample_dyn(&self, rng: &mut SmallRng) -> T;
+}
+
+impl<S: Strategy> ErasedStrategy<S::Value> for S {
+    fn sample_dyn(&self, rng: &mut SmallRng) -> S::Value {
+        self.sample(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn ErasedStrategy<T>>);
+
+impl<T: fmt::Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        self.0.sample_dyn(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: fmt::Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut SmallRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+// Per-concrete-type rather than blanket over `UniformInt`, so the f64
+// range impl below cannot overlap under coherence rules.
+macro_rules! range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut SmallRng) -> $t {
+                self.clone().sample_from(rng)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut SmallRng) -> $t {
+                self.clone().sample_from(rng)
+            }
+        }
+    )+};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut SmallRng) -> f64 {
+        self.clone().sample_from(rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+
+/// Uniform over the whole domain of `T` (`any::<u8>()` etc.).
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+pub fn any<T: StandardSample + fmt::Debug>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: StandardSample + fmt::Debug> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        rng.gen()
+    }
+}
+
+/// Weighted union of same-valued strategies; built by [`prop_oneof!`].
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T: fmt::Debug> Union<T> {
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "prop_oneof! weights sum to zero");
+        Self { arms, total }
+    }
+}
+
+impl<T: fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        let mut pick = rng.gen_range(0..self.total);
+        for (w, s) in &self.arms {
+            let w = u64::from(*w);
+            if pick < w {
+                return s.sample(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weighted pick beyond total");
+    }
+}
+
+pub mod prop {
+    //! Namespace mirror of `proptest::prop` for the paths tests use.
+
+    pub mod collection {
+        use super::super::{SmallRng, Strategy};
+        use concord_rng::Rng;
+        use std::fmt;
+        use std::ops::Range;
+
+        /// `length` values drawn from `elem`, length uniform in `size`.
+        pub struct VecStrategy<S> {
+            elem: S,
+            size: Range<usize>,
+        }
+
+        pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+            assert!(size.start < size.end, "empty size range for vec strategy");
+            VecStrategy { elem, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S>
+        where
+            S::Value: fmt::Debug,
+        {
+            type Value = Vec<S::Value>;
+
+            fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+                let len = rng.gen_range(self.size.clone());
+                (0..len).map(|_| self.elem.sample(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Defines property-test functions. Each `fn name(arg in STRATEGY, ...)`
+/// becomes a `#[test]` that runs `config.cases` generated cases; a
+/// failing case panics with the reason, every generated input, and the
+/// seed/case pair that replays it.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@expand ($cfg) $($rest)*);
+    };
+    (@expand ($cfg:expr)
+        $( $(#[$meta:meta])*
+           fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let base = $crate::runner::base_seed(concat!(
+                    module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    let mut rng = $crate::runner::case_rng(base, case);
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                    let repro = format!(
+                        concat!($("  ", stringify!($arg), " = {:?}\n"),+),
+                        $(&$arg),+);
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(
+                            || -> ::std::result::Result<(), $crate::TestCaseError> {
+                                $body
+                                #[allow(unreachable_code)]
+                                ::std::result::Result::Ok(())
+                            }));
+                    $crate::runner::settle(outcome, case, base, &repro);
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@expand ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts inside a `proptest!` body; failure reports the generated
+/// inputs instead of tearing down the whole test binary immediately.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `prop_assert!` for equality, printing both sides.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?} == {:?}`", left, right);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?} == {:?}`: {}", left, right, format!($($fmt)+));
+    }};
+}
+
+/// `prop_assert!` for inequality.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?} != {:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Weighted (`w => strategy`) or uniform choice between strategies of
+/// one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::runner;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy,
+        Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use concord_rng::SeedableRng;
+
+    #[test]
+    fn ranges_tuples_and_vec_sample_in_bounds() {
+        let mut rng = concord_rng::SmallRng::seed_from_u64(1);
+        let s = (0u16..200, any::<u16>());
+        for _ in 0..1000 {
+            let (k, _v) = s.sample(&mut rng);
+            assert!(k < 200);
+        }
+        let v = prop::collection::vec(0u8..10, 3..7);
+        for _ in 0..1000 {
+            let xs = v.sample(&mut rng);
+            assert!((3..7).contains(&xs.len()));
+            assert!(xs.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn oneof_respects_weights_roughly() {
+        let mut rng = concord_rng::SmallRng::seed_from_u64(2);
+        let s = prop_oneof![
+            3 => Just(0u8),
+            1 => Just(1u8),
+        ];
+        let n = 40_000;
+        let ones: u32 = (0..n).map(|_| u32::from(s.sample(&mut rng))).sum();
+        let frac = f64::from(ones) / f64::from(n);
+        assert!(
+            (frac - 0.25).abs() < 0.02,
+            "weight-1 arm frequency {frac} far from 0.25"
+        );
+    }
+
+    #[test]
+    fn map_and_boxed_compose() {
+        let mut rng = concord_rng::SmallRng::seed_from_u64(3);
+        let s: BoxedStrategy<String> = (1u32..5).prop_map(|n| "x".repeat(n as usize)).boxed();
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!((1..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn config_with_cases_overrides() {
+        assert_eq!(ProptestConfig::with_cases(7).cases, 7);
+    }
+
+    // The macro itself, running for real: this block executes 8 cases
+    // and the invariant genuinely depends on the generated inputs.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn macro_generates_and_checks(
+            xs in prop::collection::vec(1u32..100, 1..20),
+            scale in 1u32..4,
+        ) {
+            let sum: u32 = xs.iter().sum();
+            let scaled: u32 = xs.iter().map(|x| x * scale).sum();
+            prop_assert_eq!(scaled, sum * scale);
+            prop_assert!(!xs.is_empty());
+        }
+    }
+
+    #[test]
+    fn failing_property_reports_inputs_and_seed() {
+        let caught = std::panic::catch_unwind(|| {
+            let config = ProptestConfig::with_cases(4);
+            let base = runner::base_seed("demo::always_fails");
+            for case in 0..config.cases {
+                let mut rng = runner::case_rng(base, case);
+                let x = Strategy::sample(&(0u8..10), &mut rng);
+                let repro = format!("  x = {x:?}\n");
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                    || -> Result<(), TestCaseError> {
+                        prop_assert!(x > 100, "x was {}", x);
+                        Ok(())
+                    },
+                ));
+                runner::settle(outcome, case, base, &repro);
+            }
+        });
+        let msg = *caught
+            .expect_err("property must fail")
+            .downcast::<String>()
+            .unwrap();
+        assert!(msg.contains("x was"), "missing reason: {msg}");
+        assert!(msg.contains("seed"), "missing replay seed: {msg}");
+        assert!(msg.contains("x = "), "missing input dump: {msg}");
+    }
+}

@@ -1,8 +1,8 @@
 //! Property tests for the coroutine substrate: arbitrary yield patterns
 //! and stack usage must behave identically to a straight-line execution.
 
+use concord_testkit::prelude::*;
 use concord_uthread::{CoState, Coroutine};
-use proptest::prelude::*;
 use std::sync::mpsc;
 
 proptest! {

@@ -5,9 +5,8 @@
 //! Open-loop means arrivals do not slow down when the server queues up —
 //! which is exactly what makes tail latency explode at saturation.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use concord_rng::Rng;
+use concord_rng::SmallRng;
 
 /// A source of inter-arrival gaps (nanoseconds).
 pub trait ArrivalProcess {
@@ -25,7 +24,7 @@ pub trait ArrivalProcess {
 }
 
 /// Poisson arrivals: exponential inter-arrival gaps.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct Poisson {
     rate_rps: f64,
 }
@@ -60,7 +59,7 @@ impl ArrivalProcess for Poisson {
 
 /// Deterministic arrivals: a constant gap (useful for calibration and for
 /// isolating scheduling effects from arrival burstiness).
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct Deterministic {
     rate_rps: f64,
 }
@@ -95,7 +94,7 @@ impl ArrivalProcess for Deterministic {
 /// a calm state and a burst state with exponentially distributed dwell
 /// times. Burstier than Poisson at the same mean rate; used in stress tests
 /// beyond the paper's workloads.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct Mmpp2 {
     mean_rate_rps: f64,
     /// Burst-state rate multiplier relative to the mean (> 1).

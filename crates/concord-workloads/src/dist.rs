@@ -1,15 +1,14 @@
 //! Primitive service-time distributions.
 //!
 //! Everything is sampled by inverse transform (or Box–Muller for normals)
-//! from `rand`'s uniform source, so no external distribution crate is
+//! from `concord_rng`'s uniform source, so no external distribution crate is
 //! needed and sampled streams are stable across platforms for a fixed seed.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use concord_rng::Rng;
+use concord_rng::SmallRng;
 
 /// A primitive service-time distribution over nanoseconds.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Dist {
     /// Every sample is exactly `ns`.
     Fixed {

@@ -4,7 +4,7 @@
 //! used throughout the Concord reproduction (paper §5.1–§5.3):
 //!
 //! - [`dist`] — primitive service-time distributions (fixed, exponential,
-//!   log-normal, uniform) sampled by inverse transform, so only `rand`'s
+//!   log-normal, uniform) sampled by inverse transform, so only the RNG's
 //!   uniform source is needed.
 //! - [`mix`] — weighted mixtures of request classes, including constructors
 //!   for every named workload in the paper: `Bimodal(50:1, 50:100)` (YCSB-A
@@ -48,8 +48,8 @@ pub use mix::{ClassSpec, Mix};
 pub use recorded::RecordedTrace;
 pub use trace::{Arrival, TraceGenerator};
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use concord_rng::SeedableRng;
+use concord_rng::SmallRng;
 
 /// One generated request: a class tag and an un-instrumented service time.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

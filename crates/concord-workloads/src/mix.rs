@@ -2,13 +2,12 @@
 
 use crate::dist::Dist;
 use crate::{RequestSpec, Workload};
-use rand::rngs::SmallRng;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use concord_rng::Rng;
+use concord_rng::SmallRng;
 
 /// One request class inside a [`Mix`]: a name, a probability weight, and a
 /// service-time distribution.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ClassSpec {
     /// Class name (e.g. `"GET"`, `"SCAN"`, `"NewOrder"`).
     pub name: String,
@@ -31,7 +30,7 @@ impl ClassSpec {
 
 /// A weighted mixture of request classes — the general form of every
 /// workload in the paper's evaluation.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Mix {
     name: String,
     classes: Vec<ClassSpec>,

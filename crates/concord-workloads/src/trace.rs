@@ -2,7 +2,7 @@
 
 use crate::arrival::ArrivalProcess;
 use crate::{seeded_rng, RequestSpec, Workload};
-use rand::rngs::SmallRng;
+use concord_rng::SmallRng;
 
 /// One arrival in a trace.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -71,6 +71,7 @@ pub use concord_instrument as instrument;
 pub use concord_kv as kv;
 pub use concord_metrics as metrics;
 pub use concord_net as net;
+pub use concord_rng as rng;
 pub use concord_server as server;
 pub use concord_sim as sim;
 pub use concord_uthread as uthread;

@@ -114,6 +114,63 @@ fn bench_preempt(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_central_queue(c: &mut Criterion) {
+    use concord_core::CentralQueue;
+
+    let mut g = c.benchmark_group("central_queue");
+    // The steal path (work-conserving dispatcher + inter-shard steals)
+    // used to scan the mixed run queue with `position(|t| !t.started)` —
+    // O(n) under backlog. The split-deque queue makes it a pop from the
+    // fresh deque's end: the two depths below differ 10× and their costs
+    // must be indistinguishable. Each iteration steals one entry and
+    // pushes a replacement so the depth stays constant.
+    for (name, depth) in [
+        ("steal_at_depth_1k", 1_000u64),
+        ("steal_at_depth_10k", 10_000u64),
+    ] {
+        g.bench_function(name, |b| {
+            let mut q = CentralQueue::new();
+            for i in 0..depth {
+                q.push_fresh(i);
+            }
+            b.iter(|| {
+                let v = q.steal_not_started().expect("depth is maintained");
+                q.push_fresh(black_box(v));
+            });
+        });
+    }
+    // Worst case for the old scan: the backlog is almost entirely
+    // *started* (requeued) work, so the scan walked the whole deque
+    // before finding the lone fresh victim. Now the started entries are
+    // in their own deque and never touched.
+    for (name, depth) in [
+        ("steal_past_1k_started", 1_000u64),
+        ("steal_past_10k_started", 10_000u64),
+    ] {
+        g.bench_function(name, |b| {
+            let mut q = CentralQueue::new();
+            for i in 0..depth {
+                q.push_requeued(i);
+            }
+            q.push_fresh(depth);
+            b.iter(|| {
+                let v = q.steal_not_started().expect("one fresh entry");
+                q.push_fresh(black_box(v));
+            });
+        });
+    }
+    // The idle tripwire reads the not-started count every dispatcher
+    // loop; it used to be an O(n) `iter().any()`.
+    g.bench_function("not_started_count_at_10k", |b| {
+        let mut q = CentralQueue::new();
+        for i in 0..10_000u64 {
+            q.push_requeued(i);
+        }
+        b.iter(|| black_box(q.not_started()));
+    });
+    g.finish();
+}
+
 fn bench_trace(c: &mut Criterion) {
     use concord_trace::{EventKind, TraceCollector, TraceEvent};
 
@@ -169,6 +226,7 @@ criterion_group!(
     bench_ring,
     bench_coroutine,
     bench_preempt,
+    bench_central_queue,
     bench_trace
 );
 criterion_main!(benches);

@@ -5,21 +5,26 @@
 //! simulate [--system concord|shinjuku|persephone|coop-sq|coop-jbsq]
 //!          [--workload bimodal50|bimodal995|fixed1|tpcc|leveldb|zippydb]
 //!          [--rate RPS] [--load FRACTION] [--quantum US] [--workers N]
-//!          [--requests N] [--seed N] [--policy fcfs|srpt] [--batch N]
-//!          [--runtime] [--report-secs S] [--trace PATH]
+//!          [--shards N] [--requests N] [--seed N] [--policy fcfs|srpt]
+//!          [--batch N] [--runtime] [--report-secs S] [--trace PATH]
 //! ```
 //!
 //! Either `--rate` (absolute requests/sec) or `--load` (fraction of the
 //! ideal worker capacity) sets the offered load; `--load 0.7` is the
-//! default. `--runtime` replaces the simulation with a real
-//! dispatcher+workers run (spin server) and prints the lifecycle
-//! telemetry from `Runtime::telemetry()`; `--report-secs` additionally
-//! enables the periodic reporter at that interval. `--trace PATH` writes
-//! the scheduling-event trace of the run — Perfetto JSON if PATH ends in
-//! `.json`, the compact binary format otherwise — from the simulator or
-//! (with `--runtime`) from the real runtime's per-core rings.
+//! default. `--shards N` runs N dispatcher+worker groups: in simulation
+//! each shard is an independent instance at `rate / N` with merged
+//! metrics; with `--runtime` the real `ShardedRuntime` runs with a
+//! round-robin front-end and the report adds per-shard counters plus the
+//! cross-shard conservation check. `--runtime` replaces the simulation
+//! with a real dispatcher+workers run (spin server) and prints the
+//! lifecycle telemetry from `Runtime::telemetry()`; `--report-secs`
+//! additionally enables the periodic reporter at that interval.
+//! `--trace PATH` writes the scheduling-event trace of the run — Perfetto
+//! JSON if PATH ends in `.json`, the compact binary format otherwise —
+//! from the simulator or (with `--runtime`) from the real runtime's
+//! per-core rings; sharded traces pack the shard id into the track word.
 
-use concord_core::{Runtime, RuntimeConfig, SpinApp};
+use concord_core::{Runtime, RuntimeConfig, ShardedRuntime, SpinApp};
 use concord_net::{ring, Collector, LoadGen, Request, Response, RttModel};
 use concord_sim::experiments::ideal_capacity_rps;
 use concord_sim::{simulate, Policy, SimParams, SystemConfig};
@@ -36,6 +41,7 @@ struct Args {
     load: f64,
     quantum_us: f64,
     workers: usize,
+    shards: usize,
     requests: u64,
     seed: u64,
     policy: Policy,
@@ -50,8 +56,8 @@ fn usage() -> ! {
         "usage: simulate [--system concord|shinjuku|persephone|coop-sq|coop-jbsq] \
          [--workload bimodal50|bimodal995|fixed1|tpcc|leveldb|zippydb] \
          [--rate RPS | --load FRACTION] [--quantum US] [--workers N] \
-         [--requests N] [--seed N] [--policy fcfs|srpt] [--batch N] \
-         [--runtime] [--report-secs S] [--trace PATH]"
+         [--shards N] [--requests N] [--seed N] [--policy fcfs|srpt] \
+         [--batch N] [--runtime] [--report-secs S] [--trace PATH]"
     );
     exit(2);
 }
@@ -64,6 +70,7 @@ fn parse_args() -> Args {
         load: 0.7,
         quantum_us: 5.0,
         workers: 14,
+        shards: 1,
         requests: 80_000,
         seed: 42,
         policy: Policy::Fcfs,
@@ -90,6 +97,12 @@ fn parse_args() -> Args {
             "--load" => args.load = value.parse().unwrap_or_else(|_| usage()),
             "--quantum" => args.quantum_us = value.parse().unwrap_or_else(|_| usage()),
             "--workers" => args.workers = value.parse().unwrap_or_else(|_| usage()),
+            "--shards" => {
+                args.shards = value.parse().unwrap_or_else(|_| usage());
+                if args.shards == 0 {
+                    usage();
+                }
+            }
             "--requests" => args.requests = value.parse().unwrap_or_else(|_| usage()),
             "--seed" => args.seed = value.parse().unwrap_or_else(|_| usage()),
             "--batch" => args.batch = value.parse().unwrap_or_else(|_| usage()),
@@ -211,6 +224,162 @@ fn run_runtime(args: &Args, workload: Mix, quantum_ns: u64, rate: f64) {
     }
 }
 
+/// Drives the chosen workload through a real [`ShardedRuntime`]: a
+/// round-robin splitter thread fans the load generator's stream across
+/// per-shard ingress rings, a merger thread funnels the per-shard egress
+/// rings back into one stream for the collector, and the report prints
+/// per-shard counters plus the cross-shard conservation check.
+fn run_runtime_sharded(args: &Args, workload: Mix, quantum_ns: u64, rate: f64) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let mut builder = RuntimeConfig::builder()
+        .paper_defaults(args.workers)
+        .num_shards(args.shards)
+        .quantum(Duration::from_nanos(quantum_ns.max(1)));
+    if let Some(secs) = args.report_secs {
+        builder = builder.telemetry_report_every(Duration::from_secs_f64(secs));
+    }
+    let cfg = builder.build().unwrap_or_else(|e| {
+        eprintln!("simulate: invalid runtime config: {e}");
+        exit(2);
+    });
+    println!(
+        "real sharded runtime: {} shards x {} workers, quantum {:?}, JBSQ({}), {:.0} rps, {} requests, seed {}",
+        args.shards, cfg.n_workers, cfg.quantum, cfg.jbsq_depth, rate, args.requests, args.seed
+    );
+
+    let (req_tx, mut req_rx) = ring::<Request>(32 * 1024);
+    let (mut merged_tx, merged_rx) = ring::<Response>(32 * 1024);
+    let mut shard_req_tx = Vec::with_capacity(args.shards);
+    let mut shard_req_rx = Vec::with_capacity(args.shards);
+    let mut shard_resp_tx = Vec::with_capacity(args.shards);
+    let mut shard_resp_rx = Vec::with_capacity(args.shards);
+    for _ in 0..args.shards {
+        let (tx, rx) = ring::<Request>(32 * 1024);
+        shard_req_tx.push(tx);
+        shard_req_rx.push(rx);
+        let (tx, rx) = ring::<Response>(32 * 1024);
+        shard_resp_tx.push(tx);
+        shard_resp_rx.push(rx);
+    }
+
+    let mut rt = ShardedRuntime::start(cfg, Arc::new(SpinApp::new()), shard_req_rx, shard_resp_tx);
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Round-robin front-end: the real server uses a hashing router with a
+    // power-of-two-choices fallback; for an offered-load benchmark a
+    // rotor gives the same perfectly balanced split without per-shard
+    // admission queues.
+    let splitter = {
+        let stop = Arc::clone(&stop);
+        let n = args.shards;
+        std::thread::spawn(move || {
+            let mut shard = 0usize;
+            loop {
+                match req_rx.pop() {
+                    Some(req) => {
+                        let mut r = req;
+                        loop {
+                            match shard_req_tx[shard].push(r) {
+                                Ok(()) => break,
+                                Err(_) if stop.load(Ordering::Acquire) => return,
+                                Err(back) => {
+                                    r = back;
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                        shard = (shard + 1) % n;
+                    }
+                    None if stop.load(Ordering::Acquire) => return,
+                    None => std::thread::yield_now(),
+                }
+            }
+        })
+    };
+    let merger = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || loop {
+            let mut moved = false;
+            for rx in shard_resp_rx.iter_mut() {
+                while let Some(resp) = rx.pop() {
+                    moved = true;
+                    let mut r = resp;
+                    loop {
+                        match merged_tx.push(r) {
+                            Ok(()) => break,
+                            Err(_) if stop.load(Ordering::Acquire) => return,
+                            Err(back) => {
+                                r = back;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                }
+            }
+            if !moved {
+                if stop.load(Ordering::Acquire) {
+                    return;
+                }
+                std::thread::yield_now();
+            }
+        })
+    };
+
+    let gen = LoadGen::start(req_tx, workload, rate, args.requests, args.seed);
+    let mut collector = Collector::new(merged_rx, RttModel::zero(), args.seed);
+    let ok = collector.collect(args.requests, Duration::from_secs(600));
+    let report = gen.join();
+    rt.quiesce();
+    stop.store(true, Ordering::Release);
+    let _ = splitter.join();
+    let _ = merger.join();
+
+    if let Some(path) = &args.trace {
+        #[cfg(feature = "trace")]
+        match rt.take_trace() {
+            Some(trace) => write_trace(&trace, path),
+            None => eprintln!("trace: tracer disarmed in RuntimeConfig, nothing to write"),
+        }
+        #[cfg(not(feature = "trace"))]
+        eprintln!(
+            "trace: compiled out (build with the `trace` feature), not writing {}",
+            path.display()
+        );
+    }
+    let rollup = rt.shutdown();
+
+    println!();
+    println!(
+        "sent {} (dropped {} at RX ring), received {}",
+        report.sent,
+        report.dropped,
+        collector.received()
+    );
+    if !ok {
+        println!("WARNING: timed out before all responses arrived");
+    }
+    println!("\nper-shard counters:");
+    for (i, s) in rollup.per_shard.iter().enumerate() {
+        println!(
+            "  shard {i}: ingested {} completed {} failed {} offloaded {} reclaimed {} steals_in {} steals_out {}",
+            s.ingested, s.completed, s.failed, s.offloaded, s.reclaimed, s.steals_in, s.steals_out
+        );
+    }
+    println!(
+        "cross-shard: ingested {} completed {} failed {} steals {} — conservation {}",
+        rollup.total_ingested(),
+        rollup.total_completed(),
+        rollup.total_failed(),
+        rollup.total_steals(),
+        if rollup.conservation_holds() {
+            "OK"
+        } else {
+            "VIOLATED"
+        }
+    );
+}
+
 fn main() {
     let args = parse_args();
     let workload = workload_by_name(&args.workload);
@@ -219,7 +388,11 @@ fn main() {
     let rate = args.rate.unwrap_or(args.load * capacity);
 
     if args.runtime {
-        run_runtime(&args, workload, quantum_ns, rate);
+        if args.shards > 1 {
+            run_runtime_sharded(&args, workload, quantum_ns, rate);
+        } else {
+            run_runtime(&args, workload, quantum_ns, rate);
+        }
         return;
     }
 
@@ -228,10 +401,11 @@ fn main() {
         .with_batch(args.batch);
 
     println!(
-        "system={} workload={} workers={} quantum={}us policy={:?} batch={}",
+        "system={} workload={} workers={} shards={} quantum={}us policy={:?} batch={}",
         cfg.name,
         Workload::name(&workload),
         args.workers,
+        args.shards,
         args.quantum_us,
         args.policy,
         args.batch
@@ -246,12 +420,19 @@ fn main() {
     );
 
     let params = SimParams::new(rate, args.requests, args.seed);
-    let r = if let Some(path) = &args.trace {
-        let (r, trace) = concord_sim::simulate_traced(&cfg, workload, &params);
-        write_trace(&trace, path);
-        r
-    } else {
-        simulate(&cfg, workload, &params)
+    let r = match (&args.trace, args.shards) {
+        (Some(path), 1) => {
+            let (r, trace) = concord_sim::simulate_traced(&cfg, workload, &params);
+            write_trace(&trace, path);
+            r
+        }
+        (Some(path), n) => {
+            let (r, trace) = concord_sim::simulate_sharded_traced(&cfg, workload, &params, n);
+            write_trace(&trace, path);
+            r
+        }
+        (None, 1) => simulate(&cfg, workload, &params),
+        (None, n) => concord_sim::simulate_sharded(&cfg, workload, &params, n),
     };
     println!();
     println!("completed            {}", r.completed);

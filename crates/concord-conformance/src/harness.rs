@@ -4,7 +4,8 @@
 use crate::case::{ArrivalKind, CaseConfig, FaultKind};
 use concord_core::preempt::SignalAccounting;
 use concord_core::{
-    Clock, ConcordApp, FaultInjector, Runtime, RuntimeConfig, SpinApp, TelemetrySnapshot,
+    Clock, ConcordApp, FaultInjector, Runtime, RuntimeConfig, ShardRollup, ShardedRuntime, SpinApp,
+    TelemetrySnapshot,
 };
 use concord_net::ring::ring;
 use concord_net::{Collector, LoadGen, Request, Response, RttModel};
@@ -155,6 +156,7 @@ pub fn run_runtime_with<A: ConcordApp>(
 
     let mut cfg = RuntimeConfig {
         n_workers: case.n_workers,
+        num_shards: 1,
         quantum: Duration::from_micros(case.quantum_us),
         jbsq_depth: case.jbsq_depth,
         work_conserving: case.work_conserving,
@@ -251,6 +253,178 @@ pub fn run_runtime_with<A: ConcordApp>(
     }
 }
 
+/// Shard count for conformance executions: `CONCORD_SHARDS` in the
+/// environment (default 1). Values above 1 make [`run_case`] additionally
+/// drive every fault-free case through a [`ShardedRuntime`] and check the
+/// cross-shard oracles.
+pub fn conf_shards() -> usize {
+    std::env::var("CONCORD_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+        .max(1)
+}
+
+/// Everything the cross-shard oracles need to know about one sharded
+/// runtime execution.
+#[derive(Clone, Debug)]
+pub struct ShardedObservation {
+    /// The case that produced this run.
+    pub case: CaseConfig,
+    /// Shards the runtime ran.
+    pub shards: usize,
+    /// Requests the load generator enqueued.
+    pub sent: u64,
+    /// Requests the load generator failed to enqueue (RX ring full).
+    pub rx_dropped: u64,
+    /// Responses the collector received (all shards merged).
+    pub received: u64,
+    /// Whether the collector saw every expected response before timeout.
+    pub collected_ok: bool,
+    /// Quiescent per-shard counter rows and cross-shard totals.
+    pub rollup: ShardRollup,
+    /// Per-shard invariants derived from the merged trace.
+    pub trace: Option<concord_trace::ShardTraceSummary>,
+}
+
+/// Runs a fault-free case through a [`ShardedRuntime`]: a splitter thread
+/// round-robins the load generator's stream across the shards' ingress
+/// rings, a merger thread funnels every shard's egress into the single
+/// collector ring, and the quiescent rollup plus the merged trace feed
+/// [`check_sharded`](crate::oracles::check_sharded).
+pub fn run_runtime_sharded(
+    case: &CaseConfig,
+    shards: usize,
+    timeout: Duration,
+) -> ShardedObservation {
+    use std::sync::atomic::AtomicBool;
+    let shards = shards.max(1);
+    let (req_tx, mut req_rx) = ring::<Request>(4096);
+    let (merged_tx, resp_rx) = ring::<Response>(8192);
+
+    let cfg = RuntimeConfig {
+        n_workers: case.n_workers,
+        num_shards: shards,
+        quantum: Duration::from_micros(case.quantum_us),
+        jbsq_depth: case.jbsq_depth,
+        work_conserving: case.work_conserving,
+        stack_size: 64 * 1024,
+        dispatcher_slice: Duration::from_micros(case.quantum_us),
+        max_in_flight: 16 * 1024,
+        telemetry_report_every: None,
+        probe_period: concord_core::config::DEFAULT_PROBE_PERIOD,
+        clock: Clock::monotonic(),
+        trace: true,
+        trace_ring_cap: concord_core::config::DEFAULT_TRACE_RING_CAP,
+        fault_injector: None,
+    };
+
+    let mut shard_req_tx = Vec::with_capacity(shards);
+    let mut shard_req_rx = Vec::with_capacity(shards);
+    let mut shard_resp_tx = Vec::with_capacity(shards);
+    let mut shard_resp_rx = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let (tx, rx) = ring::<Request>(4096);
+        shard_req_tx.push(tx);
+        shard_req_rx.push(rx);
+        let (tx, rx) = ring::<Response>(4096);
+        shard_resp_tx.push(tx);
+        shard_resp_rx.push(rx);
+    }
+    let srt = ShardedRuntime::start(cfg, Arc::new(SpinApp::new()), shard_req_rx, shard_resp_tx);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    // Splitter: round-robin the single generator stream across shards,
+    // never dropping (spin on a momentarily full shard ring).
+    let splitter = {
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut next = 0usize;
+            loop {
+                match req_rx.pop() {
+                    Some(mut req) => loop {
+                        match shard_req_tx[next % shards].push(req) {
+                            Ok(()) => {
+                                next += 1;
+                                break;
+                            }
+                            // A full shard ring after shutdown means the
+                            // run already timed out; don't wedge the join.
+                            Err(_) if stop.load(Ordering::Acquire) => break,
+                            Err(back) => {
+                                req = back;
+                                std::thread::yield_now();
+                            }
+                        }
+                    },
+                    None if stop.load(Ordering::Acquire) => return,
+                    None => std::thread::sleep(Duration::from_micros(50)),
+                }
+            }
+        })
+    };
+    // Merger: funnel every shard's egress into the collector's ring.
+    let merger = {
+        let stop = stop.clone();
+        let mut merged_tx = merged_tx;
+        std::thread::spawn(move || loop {
+            let mut idle = true;
+            for rx in shard_resp_rx.iter_mut() {
+                while let Some(mut resp) = rx.pop() {
+                    idle = false;
+                    loop {
+                        match merged_tx.push(resp) {
+                            Ok(()) => break,
+                            Err(back) => {
+                                resp = back;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                }
+            }
+            if idle {
+                if stop.load(Ordering::Acquire) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_micros(50));
+            }
+        })
+    };
+
+    let rate = rate_of(case);
+    let gen = LoadGen::start_with(
+        req_tx,
+        Poisson::with_rate(rate),
+        mix_of(case),
+        case.requests,
+        case.seed,
+    );
+    let mut collector = Collector::new(resp_rx, RttModel::zero(), case.seed);
+    let collected_ok = collector.collect(case.requests, timeout);
+    let report = gen.join();
+
+    let mut srt = srt;
+    srt.quiesce();
+    stop.store(true, Ordering::Release);
+    splitter.join().expect("splitter thread");
+    merger.join().expect("merger thread");
+    let received = collector.received();
+    let trace = srt
+        .take_trace()
+        .map(|t| concord_trace::ShardTraceSummary::from_trace(&t));
+    ShardedObservation {
+        case: case.clone(),
+        shards,
+        sent: report.sent,
+        rx_dropped: report.dropped,
+        received,
+        collected_ok,
+        rollup: srt.rollup(),
+        trace,
+    }
+}
+
 /// Runs the same case through the discrete-event simulator.
 pub fn run_sim(case: &CaseConfig) -> SimResult {
     let mut cfg = SystemConfig::concord(case.n_workers, case.quantum_us * 1_000);
@@ -269,7 +443,9 @@ pub fn run_sim(case: &CaseConfig) -> SimResult {
 ///
 /// Oracles always run on the runtime execution. Fault-free Poisson cases
 /// additionally run the simulator, check its oracles, and cross-validate
-/// the two latency distributions.
+/// the two latency distributions. With `CONCORD_SHARDS` > 1 in the
+/// environment, fault-free cases also run through a sharded runtime and
+/// the cross-shard oracles.
 pub fn run_case(case: &CaseConfig, timeout: Duration) -> Vec<String> {
     let obs = run_runtime(case, timeout);
     let mut violations = crate::oracles::check_runtime(&obs);
@@ -278,6 +454,11 @@ pub fn run_case(case: &CaseConfig, timeout: Duration) -> Vec<String> {
         let sim = run_sim(case);
         violations.extend(crate::oracles::check_sim(&sim, case));
         violations.extend(crate::oracles::check_cross(&obs, &sim));
+    }
+    let shards = conf_shards();
+    if shards > 1 && case.fault == FaultKind::None {
+        let sharded = run_runtime_sharded(case, shards, timeout);
+        violations.extend(crate::oracles::check_sharded(&sharded));
     }
     violations
 }

@@ -36,5 +36,8 @@ pub mod oracles;
 
 pub use apps::{FrozenApp, VirtualSpinApp};
 pub use case::{ArrivalKind, CaseConfig, FaultKind};
-pub use harness::{run_case, run_runtime, run_runtime_with, run_sim, RuntimeObservation};
-pub use oracles::{check_admission, check_cross, check_runtime, check_sim};
+pub use harness::{
+    conf_shards, run_case, run_runtime, run_runtime_sharded, run_runtime_with, run_sim,
+    RuntimeObservation, ShardedObservation,
+};
+pub use oracles::{check_admission, check_cross, check_runtime, check_sharded, check_sim};

@@ -328,6 +328,103 @@ pub fn check_admission(
     v
 }
 
+/// Cross-shard oracles on a quiescent [`ShardedRuntime`]
+/// (`concord_core::ShardedRuntime`) execution:
+///
+/// 1. **Cross-shard conservation** — per-shard conservation fails open
+///    under migration by design (ingest is charged to the polling shard,
+///    completion to the running shard), so the law that must hold is the
+///    sum: `Σ ingested == Σ completed + Σ failed`.
+/// 2. **Migration books balance** — every task a shard shed into its
+///    overflow ring was reclaimed by the owner or stolen by a sibling:
+///    `offloaded_i == reclaimed_i + steals_out_i` at quiescence, and
+///    thief-side and victim-side tallies agree in total.
+/// 3. **Per-shard JBSQ** — occupancy never exceeded `k` on any worker of
+///    any shard.
+/// 4. **Trace agreement** — the merged trace's per-shard invariants hold
+///    and its inter-shard Steal events match the counters.
+pub fn check_sharded(obs: &crate::harness::ShardedObservation) -> Vec<String> {
+    let mut v = Vec::new();
+    let r = &obs.rollup;
+
+    check(&mut v, obs.collected_ok, || {
+        format!(
+            "sharded: collector timed out at {} of {} responses",
+            obs.received, obs.sent
+        )
+    });
+    check(&mut v, obs.rx_dropped == 0, || {
+        format!(
+            "sharded: {} requests dropped on the RX ring",
+            obs.rx_dropped
+        )
+    });
+    check(&mut v, r.total_ingested() == obs.sent, || {
+        format!(
+            "sharded conservation: Σ ingested {} != sent {}",
+            r.total_ingested(),
+            obs.sent
+        )
+    });
+    check(&mut v, r.conservation_holds(), || {
+        format!(
+            "sharded conservation: Σ ingested {} != Σ completed {} + Σ failed {}",
+            r.total_ingested(),
+            r.total_completed(),
+            r.total_failed()
+        )
+    });
+    check(
+        &mut v,
+        obs.received == r.total_ingested() - r.total_tx_dropped().min(r.total_ingested()),
+        || {
+            format!(
+                "sharded conservation: received {} != Σ ingested {} - Σ tx_dropped {}",
+                obs.received,
+                r.total_ingested(),
+                r.total_tx_dropped()
+            )
+        },
+    );
+
+    let mut steals_in = 0u64;
+    let mut steals_out = 0u64;
+    for (i, s) in r.per_shard.iter().enumerate() {
+        steals_in += s.steals_in;
+        steals_out += s.steals_out;
+        check(&mut v, s.offloaded == s.reclaimed + s.steals_out, || {
+            format!(
+                "sharded migration: shard {i} offloaded {} != reclaimed {} + steals_out {}",
+                s.offloaded, s.reclaimed, s.steals_out
+            )
+        });
+        for (w, &qmax) in s.queue_max.iter().enumerate() {
+            check(&mut v, qmax <= obs.case.jbsq_depth as u64, || {
+                format!(
+                    "sharded jbsq bound: shard {i} worker {w} reached occupancy {} > k={}",
+                    qmax, obs.case.jbsq_depth
+                )
+            });
+        }
+    }
+    check(&mut v, steals_in == steals_out, || {
+        format!("sharded migration: Σ steals_in {steals_in} != Σ steals_out {steals_out}")
+    });
+
+    if let Some(s) = obs.trace.as_ref() {
+        for msg in s.check(Some(obs.case.jbsq_depth as u32)) {
+            v.push(format!("sharded trace: {msg}"));
+        }
+        check(&mut v, s.total_steals() == steals_in, || {
+            format!(
+                "sharded trace: {} Steal events but counters say {steals_in}",
+                s.total_steals()
+            )
+        });
+    }
+    v
+}
+
 /// Simulator oracles on the same case.
 pub fn check_sim(r: &SimResult, case: &CaseConfig) -> Vec<String> {
     let mut v = Vec::new();
@@ -673,6 +770,87 @@ mod tests {
         obs.trace_dropped = 7; // overflow: counts are truncated, not wrong
         let v = check_trace(&obs);
         assert!(v.is_empty(), "lossy trace must skip count checks: {v:?}");
+    }
+
+    fn clean_sharded_obs() -> crate::harness::ShardedObservation {
+        use concord_core::{ShardCounters, ShardRollup};
+        // Shard 0 ingested everything; two never-started tasks migrated
+        // to shard 1 through the overflow ring and completed there.
+        let shard0 = ShardCounters {
+            ingested: 10,
+            completed: 8,
+            failed: 0,
+            tx_dropped: 0,
+            offloaded: 3,
+            reclaimed: 1,
+            steals_in: 0,
+            steals_out: 2,
+            queue_max: vec![2, 1],
+        };
+        let shard1 = ShardCounters {
+            ingested: 0,
+            completed: 2,
+            failed: 0,
+            tx_dropped: 0,
+            offloaded: 0,
+            reclaimed: 0,
+            steals_in: 2,
+            steals_out: 0,
+            queue_max: vec![1, 0],
+        };
+        crate::harness::ShardedObservation {
+            case: clean_obs().case,
+            shards: 2,
+            sent: 10,
+            rx_dropped: 0,
+            received: 10,
+            collected_ok: true,
+            rollup: ShardRollup {
+                per_shard: vec![shard0, shard1],
+            },
+            trace: None,
+        }
+    }
+
+    #[test]
+    fn clean_sharded_observation_passes() {
+        let v = check_sharded(&clean_sharded_obs());
+        assert!(v.is_empty(), "unexpected violations: {v:?}");
+    }
+
+    #[test]
+    fn cross_shard_conservation_violation_is_reported() {
+        let mut obs = clean_sharded_obs();
+        obs.rollup.per_shard[1].completed = 1; // one stolen task vanished
+        let v = check_sharded(&obs);
+        assert!(
+            v.iter().any(|m| m.contains("sharded conservation")),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn migration_book_imbalance_is_reported() {
+        let mut obs = clean_sharded_obs();
+        obs.rollup.per_shard[0].reclaimed = 0; // an offloaded task has no fate
+        let v = check_sharded(&obs);
+        assert!(v.iter().any(|m| m.contains("sharded migration")), "{v:?}");
+    }
+
+    #[test]
+    fn steal_tally_asymmetry_is_reported() {
+        let mut obs = clean_sharded_obs();
+        obs.rollup.per_shard[1].steals_in = 3; // thief claims more than victims lost
+        let v = check_sharded(&obs);
+        assert!(v.iter().any(|m| m.contains("steals_in")), "{v:?}");
+    }
+
+    #[test]
+    fn per_shard_jbsq_overflow_is_reported() {
+        let mut obs = clean_sharded_obs();
+        obs.rollup.per_shard[1].queue_max[0] = 9;
+        let v = check_sharded(&obs);
+        assert!(v.iter().any(|m| m.contains("sharded jbsq bound")), "{v:?}");
     }
 
     #[test]

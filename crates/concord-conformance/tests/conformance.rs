@@ -11,8 +11,8 @@
 use concord_conformance::case::shrink;
 use concord_conformance::harness::{load_corpus, run_runtime_with};
 use concord_conformance::{
-    check_runtime, run_case, run_runtime, ArrivalKind, CaseConfig, FaultKind, FrozenApp,
-    VirtualSpinApp,
+    check_runtime, check_sharded, run_case, run_runtime, run_runtime_sharded, ArrivalKind,
+    CaseConfig, FaultKind, FrozenApp, VirtualSpinApp,
 };
 use concord_core::clock::VirtualClock;
 use concord_core::Clock;
@@ -308,4 +308,28 @@ fn virtual_spin_preempts_deterministically() {
     );
     let v = check_runtime(&obs);
     assert!(v.is_empty(), "oracles: {v:?}");
+}
+
+/// The cross-shard oracles on a live two-shard execution: conservation
+/// summed over shards, migration books balanced, per-shard JBSQ, and the
+/// merged trace agreeing with the counters. Runs unconditionally (the
+/// `CONCORD_SHARDS` env only extends `run_case`), so the sharded path is
+/// covered on every CI run.
+#[test]
+fn two_shard_runtime_holds_cross_shard_oracles() {
+    let mut case = base_case();
+    case.requests = 400;
+    let obs = run_runtime_sharded(&case, 2, TIMEOUT);
+    assert_eq!(obs.shards, 2);
+    let violations = check_sharded(&obs);
+    assert!(
+        violations.is_empty(),
+        "cross-shard oracle violations for `cc {}`:\n  {}",
+        case.encode(),
+        violations.join("\n  ")
+    );
+    // The round-robin splitter fed both shards.
+    for (i, s) in obs.rollup.per_shard.iter().enumerate() {
+        assert!(s.ingested > 0, "shard {i} starved: {:?}", obs.rollup);
+    }
 }

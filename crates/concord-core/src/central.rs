@@ -1,0 +1,210 @@
+//! The dispatcher's central queue, with the scheduling policy made
+//! explicit in the data structure.
+//!
+//! # Policy: processor-sharing round-robin
+//!
+//! The paper's quantum model (§3.1) approximates processor sharing by
+//! time-slicing: a request that exhausts its quantum yields and re-enters
+//! the run queue *behind everything currently queued* — later arrivals
+//! included — exactly like textbook round-robin. This is **not** FCFS
+//! re-entry (which would resume a preempted request ahead of requests
+//! that arrived after it); an earlier comment in the dispatcher claimed
+//! FCFS while the code did round-robin. The queue below makes the policy
+//! structural so the two cannot drift apart again:
+//!
+//! - Every entry carries a monotonically increasing sequence number
+//!   stamped at (re-)insertion time. [`CentralQueue::pop_next`] always
+//!   returns the smallest live sequence number, so the service order *is*
+//!   the insertion order, by construction.
+//! - Fresh (never-started) and requeued (preempted) entries live in two
+//!   internal deques. Each deque is individually seq-ordered, so the
+//!   global order is recovered with a single front-to-front comparison —
+//!   O(1), no scan.
+//!
+//! # Why two deques
+//!
+//! The work-conserving dispatcher (§3.3) and the inter-shard steal path
+//! may only take **not-yet-started** work: a started request's coroutine
+//! is affine to its instrumentation domain. The old representation kept
+//! one mixed deque and found a victim with `iter().position(|t|
+//! !t.started)` followed by `remove(pos)` — O(n) per steal under
+//! backlog, plus an O(n) `any()` in the idle tripwire. Splitting by
+//! started-ness makes the steal a `pop_front` of the fresh deque (the
+//! oldest not-started entry, the same victim the scan used to find), the
+//! not-started count a `len()`, and both O(1).
+
+use std::collections::VecDeque;
+
+/// A sequence-ordered entry.
+struct Entry<T> {
+    seq: u64,
+    item: T,
+}
+
+/// The central run queue: processor-sharing round-robin order, O(1)
+/// pop/steal, and a free not-yet-started count.
+///
+/// Generic over the queued item so the microbenchmarks can drive it with
+/// plain integers; the dispatcher instantiates it with `Task`.
+pub struct CentralQueue<T> {
+    /// Never-started entries, ascending `seq`.
+    fresh: VecDeque<Entry<T>>,
+    /// Preempted entries re-entering the round-robin cycle, ascending
+    /// `seq`.
+    requeued: VecDeque<Entry<T>>,
+    /// Next sequence number to stamp.
+    next_seq: u64,
+}
+
+impl<T> Default for CentralQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> CentralQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self {
+            fresh: VecDeque::new(),
+            requeued: VecDeque::new(),
+            next_seq: 0,
+        }
+    }
+
+    fn stamp(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+
+    /// Enqueues a new arrival at the round-robin tail.
+    pub fn push_fresh(&mut self, item: T) {
+        let seq = self.stamp();
+        self.fresh.push_back(Entry { seq, item });
+    }
+
+    /// Re-enqueues a preempted item at the round-robin tail: behind every
+    /// currently queued entry, later arrivals included (processor-sharing
+    /// round-robin, not FCFS re-entry — see the module docs).
+    pub fn push_requeued(&mut self, item: T) {
+        let seq = self.stamp();
+        self.requeued.push_back(Entry { seq, item });
+    }
+
+    /// Dequeues the next item in round-robin order: the smallest live
+    /// sequence number across both internal deques. O(1).
+    pub fn pop_next(&mut self) -> Option<T> {
+        let take_fresh = match (self.fresh.front(), self.requeued.front()) {
+            (Some(f), Some(r)) => f.seq < r.seq,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => return None,
+        };
+        let e = if take_fresh {
+            self.fresh.pop_front()
+        } else {
+            self.requeued.pop_front()
+        };
+        e.map(|e| e.item)
+    }
+
+    /// Removes and returns the oldest never-started item — the same
+    /// victim the old O(n) `position(|t| !t.started)` scan selected —
+    /// in O(1). Used by the work-conserving dispatcher and the
+    /// inter-shard steal path, both of which must not move started work.
+    pub fn steal_not_started(&mut self) -> Option<T> {
+        self.fresh.pop_front().map(|e| e.item)
+    }
+
+    /// Removes and returns the **youngest** never-started item. The
+    /// shard offload path sheds from this end so the oldest work keeps
+    /// its position in the local round-robin order.
+    pub fn take_youngest_not_started(&mut self) -> Option<T> {
+        self.fresh.pop_back().map(|e| e.item)
+    }
+
+    /// Queued items (both kinds).
+    pub fn len(&self) -> usize {
+        self.fresh.len() + self.requeued.len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.fresh.is_empty() && self.requeued.is_empty()
+    }
+
+    /// Never-started items currently queued. O(1) — this used to be an
+    /// O(n) `iter().any()` in the dispatcher's idle tripwire.
+    pub fn not_started(&self) -> usize {
+        self.fresh.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pop_order_is_global_insertion_order() {
+        let mut q = CentralQueue::new();
+        q.push_fresh("a");
+        q.push_requeued("b");
+        q.push_fresh("c");
+        q.push_requeued("d");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop_next()).collect();
+        assert_eq!(order, vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn requeue_goes_behind_later_arrivals() {
+        // Round-robin: a preempted item re-enters behind an arrival that
+        // came in while it ran.
+        let mut q = CentralQueue::new();
+        q.push_fresh("late-arrival");
+        q.push_requeued("preempted");
+        assert_eq!(q.pop_next(), Some("late-arrival"));
+        assert_eq!(q.pop_next(), Some("preempted"));
+        assert_eq!(q.pop_next(), None);
+    }
+
+    #[test]
+    fn steal_takes_oldest_fresh_only() {
+        let mut q = CentralQueue::new();
+        q.push_requeued(0); // started: never a steal victim
+        q.push_fresh(1);
+        q.push_fresh(2);
+        assert_eq!(q.not_started(), 2);
+        assert_eq!(q.steal_not_started(), Some(1));
+        assert_eq!(q.not_started(), 1);
+        // The started entry is untouched and keeps its order.
+        assert_eq!(q.pop_next(), Some(0));
+        assert_eq!(q.pop_next(), Some(2));
+        assert_eq!(q.steal_not_started(), None);
+    }
+
+    #[test]
+    fn offload_takes_youngest_fresh() {
+        let mut q = CentralQueue::new();
+        q.push_fresh(1);
+        q.push_fresh(2);
+        q.push_requeued(3);
+        assert_eq!(q.take_youngest_not_started(), Some(2));
+        assert_eq!(q.pop_next(), Some(1));
+        assert_eq!(q.pop_next(), Some(3));
+    }
+
+    #[test]
+    fn counts_and_emptiness() {
+        let mut q: CentralQueue<u32> = CentralQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        q.push_fresh(1);
+        q.push_requeued(2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.not_started(), 1);
+        q.pop_next();
+        q.pop_next();
+        assert!(q.is_empty());
+    }
+}

@@ -10,8 +10,15 @@ use std::time::Duration;
 /// [`RuntimeConfig::paper_defaults`] / [`RuntimeConfig::small_test`].
 #[derive(Clone, Debug)]
 pub struct RuntimeConfig {
-    /// Number of worker threads.
+    /// Number of worker threads (per shard, when sharded).
     pub n_workers: usize,
+    /// Number of dispatcher+worker shards a
+    /// [`ShardedRuntime`](crate::shard::ShardedRuntime) starts; each
+    /// shard runs its own dispatcher thread, `n_workers` workers, and
+    /// one ingress/egress pair, joined by the bounded inter-shard steal
+    /// path. A plain [`Runtime`](crate::Runtime) ignores this field
+    /// (it is always exactly one shard).
+    pub num_shards: usize,
     /// Scheduling quantum. Requests running longer than this are signaled
     /// to yield at their next preemption point.
     pub quantum: Duration,
@@ -73,6 +80,8 @@ pub const DEFAULT_PROBE_PERIOD: Duration = Duration::from_micros(1);
 pub enum ConfigError {
     /// `workers(0)`: the dispatcher needs at least one worker to feed.
     NoWorkers,
+    /// `num_shards(0)`: a sharded runtime needs at least one shard.
+    NoShards,
     /// `jbsq_depth(0)`: a zero JBSQ bound can never dispatch anything.
     ZeroJbsqDepth,
     /// The quantum is shorter than the preemption-probe period, so no
@@ -89,6 +98,7 @@ impl std::fmt::Display for ConfigError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::NoWorkers => write!(f, "runtime needs at least one worker"),
+            Self::NoShards => write!(f, "sharded runtime needs at least one shard"),
             Self::ZeroJbsqDepth => write!(f, "JBSQ depth k must be at least 1"),
             Self::QuantumShorterThanProbe {
                 quantum,
@@ -127,6 +137,7 @@ impl RuntimeBuilder {
         Self {
             cfg: RuntimeConfig {
                 n_workers: 1,
+                num_shards: 1,
                 quantum: Duration::from_micros(5),
                 probe_period: DEFAULT_PROBE_PERIOD,
                 jbsq_depth: 2,
@@ -168,6 +179,14 @@ impl RuntimeBuilder {
     /// Sets the number of worker threads.
     pub fn workers(mut self, n: usize) -> Self {
         self.cfg.n_workers = n;
+        self
+    }
+
+    /// Sets the number of dispatcher+worker shards (validated ≥ 1 at
+    /// build time; only [`ShardedRuntime`](crate::shard::ShardedRuntime)
+    /// consumes it).
+    pub fn num_shards(mut self, n: usize) -> Self {
+        self.cfg.num_shards = n;
         self
     }
 
@@ -252,6 +271,9 @@ impl RuntimeBuilder {
     pub fn build(self) -> Result<RuntimeConfig, ConfigError> {
         if self.cfg.n_workers == 0 {
             return Err(ConfigError::NoWorkers);
+        }
+        if self.cfg.num_shards == 0 {
+            return Err(ConfigError::NoShards);
         }
         if self.cfg.jbsq_depth == 0 {
             return Err(ConfigError::ZeroJbsqDepth);
@@ -426,10 +448,24 @@ mod tests {
     }
 
     #[test]
+    fn num_shards_defaults_to_one_and_applies() {
+        assert_eq!(RuntimeConfig::paper_defaults(2).num_shards, 1);
+        let c = RuntimeConfig::builder()
+            .num_shards(4)
+            .build()
+            .expect("valid config");
+        assert_eq!(c.num_shards, 4);
+    }
+
+    #[test]
     fn builder_rejects_invalid_configs() {
         assert_eq!(
             RuntimeConfig::builder().workers(0).build().unwrap_err(),
             ConfigError::NoWorkers
+        );
+        assert_eq!(
+            RuntimeConfig::builder().num_shards(0).build().unwrap_err(),
+            ConfigError::NoShards
         );
         assert_eq!(
             RuntimeConfig::builder().jbsq_depth(0).build().unwrap_err(),

@@ -3,9 +3,11 @@
 
 use crate::admission::AdmissionEvent;
 use crate::app::ConcordApp;
+use crate::central::CentralQueue;
 use crate::clock::Clock;
 use crate::config::RuntimeConfig;
 use crate::preempt::{set_mode, PreemptMode, WorkerShared};
+use crate::shard::ShardContext;
 use crate::stats::RuntimeStats;
 use crate::task::{SliceEnd, Task};
 use crate::telemetry::{CompletionRecord, TelemetryHandle, DISPATCHER};
@@ -13,7 +15,6 @@ use crate::transport::{Egress, Ingress, SpscReceiver, SpscSender};
 use crate::worker::{TraceKind, WorkerMsg};
 use concord_net::Response;
 use concord_sync::MpmcQueue;
-use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -54,6 +55,11 @@ pub struct DispatcherLoop<A: ConcordApp, I: Ingress, E: Egress> {
     pub workers_stop: Arc<AtomicBool>,
     /// Shared counters.
     pub stats: Arc<RuntimeStats>,
+    /// Shard topology when this dispatcher is one of several
+    /// ([`ShardedRuntime`](crate::shard::ShardedRuntime)); `None` for a
+    /// plain single-dispatcher runtime. Carries this shard's overflow
+    /// ring (offload/reclaim) and every sibling's (steal).
+    pub shard: Option<ShardContext>,
     /// The dispatcher's own scheduling-event lane (`None` when tracing is
     /// disarmed). Carries ARRIVE/DISPATCH/SIGNAL_SENT/STEAL/TX_DROP and
     /// the work-conserving slice events.
@@ -86,7 +92,13 @@ struct DeferredSignal {
 impl<A: ConcordApp, I: Ingress, E: Egress> DispatcherLoop<A, I, E> {
     /// Runs until stopped and drained. Consumes the loop state.
     pub fn run(mut self) {
-        let mut central: VecDeque<Task> = VecDeque::new();
+        let mut central: CentralQueue<Task> = CentralQueue::new();
+        // Requests currently inside this shard: central queue + worker
+        // rings + the dispatcher's own stolen slot + requeue messages in
+        // transit. Maintained incrementally (ingest/steal-in/reclaim
+        // increment; completion/offload decrement) so the ingest gate is
+        // O(1) instead of re-summing per poll.
+        let mut in_system: usize = 0;
         let mut stolen: Option<Task> = None;
         let mut stack_pool: Vec<concord_uthread::stack::Stack> = Vec::with_capacity(STACK_POOL_CAP);
         let mut records: Vec<CompletionRecord> = Vec::with_capacity(64);
@@ -163,8 +175,10 @@ impl<A: ConcordApp, I: Ingress, E: Egress> DispatcherLoop<A, I, E> {
             }
 
             // 2. Worker messages: completions free JBSQ slots and emit
-            //    responses; requeues re-enter the central queue (FCFS
-            //    tail, the processor-sharing approximation of §3.1).
+            //    responses; requeues re-enter the central queue at the
+            //    round-robin tail — behind later arrivals, the
+            //    processor-sharing round-robin of the paper's quantum
+            //    model (§3.1), *not* FCFS re-entry (see `central.rs`).
             //    Telemetry rings drain *before* the response is emitted:
             //    the worker pushed record-before-message, so anything the
             //    collector can observe is already aggregated.
@@ -178,6 +192,7 @@ impl<A: ConcordApp, I: Ingress, E: Egress> DispatcherLoop<A, I, E> {
                     } => {
                         self.workers[worker].inflight =
                             self.workers[worker].inflight.saturating_sub(1);
+                        in_system = in_system.saturating_sub(1);
                         if let Some(s) = stack {
                             if stack_pool.len() < STACK_POOL_CAP && s.size() >= self.cfg.stack_size
                             {
@@ -202,7 +217,7 @@ impl<A: ConcordApp, I: Ingress, E: Egress> DispatcherLoop<A, I, E> {
                             .lock()
                             .expect("lock poisoned")
                             .record_preemption_latency(preempt_latency_ns);
-                        central.push_back(task);
+                        central.push_requeued(task);
                     }
                 }
             }
@@ -221,9 +236,14 @@ impl<A: ConcordApp, I: Ingress, E: Egress> DispatcherLoop<A, I, E> {
             //    cap — the ingress then backs up and sheds, keeping the
             //    open loop honest).
             if !self.stop.load(Ordering::Acquire) {
-                while self.in_flight(&central, &stolen) < self.cfg.max_in_flight {
+                // Tasks parked in this shard's own overflow ring still
+                // count against the cap: they were ingested here and may
+                // come back via reclaim.
+                let parked = self.shard.as_ref().map_or(0, |c| c.own().len());
+                while in_system + parked < self.cfg.max_in_flight {
                     let Some(req) = self.rx.poll() else { break };
                     self.stats.ingested.fetch_add(1, Ordering::Relaxed);
+                    in_system += 1;
                     let now_ns = self.clock.now_ns();
                     self.trace_emit(now_ns, TraceKind::Arrive, req.id, 0);
                     let task = match stack_pool.pop() {
@@ -233,7 +253,7 @@ impl<A: ConcordApp, I: Ingress, E: Egress> DispatcherLoop<A, I, E> {
                         }
                         None => Task::new(self.app.clone(), req, self.cfg.stack_size, now_ns),
                     };
-                    central.push_back(task);
+                    central.push_fresh(task);
                     progressed = true;
                 }
             }
@@ -243,7 +263,7 @@ impl<A: ConcordApp, I: Ingress, E: Egress> DispatcherLoop<A, I, E> {
                 let Some(target) = self.pick_worker() else {
                     break;
                 };
-                let task = central.pop_front().expect("checked non-empty");
+                let task = central.pop_next().expect("checked non-empty");
                 self.workers[target].inflight += 1;
                 self.stats.dispatched.fetch_add(1, Ordering::Relaxed);
                 if let Some(ws) = self.stats.per_worker.get(target) {
@@ -270,8 +290,11 @@ impl<A: ConcordApp, I: Ingress, E: Egress> DispatcherLoop<A, I, E> {
             //    itself, one self-preempting slice at a time.
             if self.cfg.work_conserving {
                 if stolen.is_none() && self.all_workers_full() {
-                    if let Some(pos) = central.iter().position(|t| !t.started) {
-                        let task = central.remove(pos).expect("position valid");
+                    // O(1): the central queue keeps never-started work in
+                    // its own deque, so the victim (the oldest
+                    // not-started entry, same as the old O(n) scan
+                    // found) pops from a stable end.
+                    if let Some(task) = central.steal_not_started() {
                         self.stats.stolen.fetch_add(1, Ordering::Relaxed);
                         #[cfg(feature = "trace")]
                         {
@@ -308,6 +331,7 @@ impl<A: ConcordApp, I: Ingress, E: Egress> DispatcherLoop<A, I, E> {
                     self.trace_emit(task.last_slice_start_ns, TraceKind::Resume, task.req.id, 0);
                     match end {
                         SliceEnd::Completed => {
+                            in_system = in_system.saturating_sub(1);
                             self.stats
                                 .dispatcher_completed
                                 .fetch_add(1, Ordering::Relaxed);
@@ -332,6 +356,7 @@ impl<A: ConcordApp, I: Ingress, E: Egress> DispatcherLoop<A, I, E> {
                             stolen = Some(task);
                         }
                         SliceEnd::Failed => {
+                            in_system = in_system.saturating_sub(1);
                             self.stats.failed.fetch_add(1, Ordering::Relaxed);
                             self.trace_emit(
                                 task.last_slice_end_ns,
@@ -343,6 +368,85 @@ impl<A: ConcordApp, I: Ingress, E: Egress> DispatcherLoop<A, I, E> {
                         }
                     }
                     progressed = true;
+                }
+            }
+
+            // 5b. Inter-shard steal path (sharded runtimes only; see
+            //     `shard.rs` for the protocol). Only never-started tasks
+            //     ever migrate, so JBSQ ≤ k and signal-generation
+            //     invariants stay intact per shard.
+            if let Some(ctx) = self.shard.clone() {
+                let stopping = self.stop.load(Ordering::Acquire);
+                if ctx.links.len() > 1 && !stopping {
+                    // Offload: workers saturated (work conservation has
+                    // already taken its one task above) — shed the
+                    // youngest never-started work to our overflow ring
+                    // where idle siblings can see it.
+                    while self.all_workers_full()
+                        && central.not_started() > 0
+                        && ctx.own().has_room()
+                    {
+                        let Some(task) = central.take_youngest_not_started() else {
+                            break;
+                        };
+                        match ctx.own().offer(task) {
+                            Ok(()) => {
+                                in_system = in_system.saturating_sub(1);
+                                self.stats.shard_offloaded.fetch_add(1, Ordering::Relaxed);
+                                progressed = true;
+                            }
+                            Err(task) => {
+                                // Raced a concurrent capacity check; keep
+                                // the task local.
+                                central.push_fresh(task);
+                                break;
+                            }
+                        }
+                    }
+                    // Steal: this shard is idle with a free JBSQ slot —
+                    // pull one task from the most-loaded sibling's ring.
+                    if central.is_empty() && ctx.own().is_empty() && self.pick_worker().is_some() {
+                        if let Some(victim) = ctx.busiest_sibling() {
+                            if let Some(task) = ctx.links[victim].steal() {
+                                in_system += 1;
+                                self.stats.shard_steals_in.fetch_add(1, Ordering::Relaxed);
+                                // Inter-shard steals carry `1 + victim`
+                                // in the gen field; the work-conserving
+                                // dispatcher steal above uses gen 0.
+                                #[cfg(feature = "trace")]
+                                {
+                                    let id = task.req.id;
+                                    let now_ns = self.clock.now_ns();
+                                    self.trace_emit(
+                                        now_ns,
+                                        TraceKind::Steal,
+                                        id,
+                                        1 + victim as u64,
+                                    );
+                                }
+                                central.push_fresh(task);
+                                progressed = true;
+                            }
+                        }
+                    }
+                }
+                // Reclaim: a worker freed up (or we are draining) while
+                // our own shed work sat unstolen — pull it back. During
+                // shutdown the owner always empties its ring; siblings
+                // only pop, so the ring cannot wedge the drain.
+                while !ctx.own().is_empty()
+                    && (stopping || (central.is_empty() && self.pick_worker().is_some()))
+                {
+                    let Some(task) = ctx.own().reclaim() else {
+                        break;
+                    };
+                    in_system += 1;
+                    self.stats.shard_reclaimed.fetch_add(1, Ordering::Relaxed);
+                    central.push_fresh(task);
+                    progressed = true;
+                    if !stopping {
+                        break; // one per iteration outside of drain
+                    }
                 }
             }
 
@@ -364,7 +468,10 @@ impl<A: ConcordApp, I: Ingress, E: Egress> DispatcherLoop<A, I, E> {
                 let drained = central.is_empty()
                     && stolen.is_none()
                     && self.workers.iter().all(|w| w.inflight == 0)
-                    && self.from_workers.is_empty();
+                    && self.from_workers.is_empty()
+                    // Sharded: our own overflow ring must be empty too
+                    // (the reclaim step above empties it while draining).
+                    && self.shard.as_ref().is_none_or(|c| c.own().is_empty());
                 if drained {
                     // Flush any still-deferred injected signals so the
                     // signal accounting closes (they land in idle lines
@@ -398,7 +505,7 @@ impl<A: ConcordApp, I: Ingress, E: Egress> DispatcherLoop<A, I, E> {
                         || (self.cfg.work_conserving
                             && stolen.is_none()
                             && self.all_workers_full()
-                            && central.iter().any(|t| !t.started)))
+                            && central.not_started() > 0))
                 {
                     self.stats
                         .work_conservation_violations
@@ -463,12 +570,6 @@ impl<A: ConcordApp, I: Ingress, E: Egress> DispatcherLoop<A, I, E> {
     #[cfg(not(feature = "trace"))]
     #[inline(always)]
     fn drain_trace(&mut self) {}
-
-    fn in_flight(&self, central: &VecDeque<Task>, stolen: &Option<Task>) -> usize {
-        central.len()
-            + self.workers.iter().map(|w| w.inflight).sum::<usize>()
-            + usize::from(stolen.is_some())
-    }
 
     fn all_workers_full(&self) -> bool {
         self.workers

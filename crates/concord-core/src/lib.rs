@@ -49,6 +49,7 @@
 
 pub mod admission;
 pub mod app;
+pub mod central;
 pub mod clock;
 pub mod config;
 pub mod dispatcher;
@@ -56,6 +57,7 @@ pub mod dispatcher;
 pub mod fault;
 pub mod preempt;
 pub mod runtime;
+pub mod shard;
 pub mod stats;
 pub mod task;
 pub mod telemetry;
@@ -67,12 +69,14 @@ pub use admission::{
     AdmissionQueue, AdmitOutcome,
 };
 pub use app::{ConcordApp, RequestContext, SpinApp};
+pub use central::CentralQueue;
 pub use clock::{Clock, VirtualClock};
 pub use config::{ConfigError, RuntimeBuilder, RuntimeConfig};
 #[cfg(feature = "fault-injection")]
 pub use fault::FaultInjector;
 pub use preempt::{LockDepthObserver, PreemptLine, SignalAccounting, SignalPoll};
 pub use runtime::Runtime;
+pub use shard::{ShardCounters, ShardRollup, ShardedRuntime};
 pub use stats::{RuntimeStats, WorkerStats, WorkerStatsSnapshot};
 pub use telemetry::{CompletionRecord, TelemetrySnapshot};
 pub use transport::{Egress, Ingress};

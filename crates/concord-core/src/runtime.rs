@@ -68,6 +68,30 @@ impl Runtime {
         ingress: I,
         egress: E,
     ) -> Self {
+        Self::start_inner(config, app, ingress, egress, None)
+    }
+
+    /// [`Runtime::start`] as one shard of a
+    /// [`ShardedRuntime`](crate::shard::ShardedRuntime): identical in
+    /// every way except the dispatcher participates in the inter-shard
+    /// steal path described by `shard`.
+    pub(crate) fn start_sharded<A: ConcordApp, I: Ingress, E: Egress>(
+        config: RuntimeConfig,
+        app: Arc<A>,
+        ingress: I,
+        egress: E,
+        shard: crate::shard::ShardContext,
+    ) -> Self {
+        Self::start_inner(config, app, ingress, egress, Some(shard))
+    }
+
+    fn start_inner<A: ConcordApp, I: Ingress, E: Egress>(
+        config: RuntimeConfig,
+        app: Arc<A>,
+        ingress: I,
+        egress: E,
+        shard: Option<crate::shard::ShardContext>,
+    ) -> Self {
         assert!(config.n_workers >= 1, "need at least one worker");
         app.setup();
 
@@ -161,6 +185,7 @@ impl Runtime {
             stop: stop.clone(),
             workers_stop,
             stats: stats.clone(),
+            shard,
             #[cfg(feature = "trace")]
             trace: dispatcher_lane,
             #[cfg(feature = "trace")]
@@ -187,6 +212,14 @@ impl Runtime {
     /// Shared runtime counters (live).
     pub fn stats(&self) -> Arc<RuntimeStats> {
         self.stats.clone()
+    }
+
+    /// Asks the dispatcher to stop ingesting and drain, without joining
+    /// any thread. [`ShardedRuntime`](crate::shard::ShardedRuntime) uses
+    /// this to wind every shard down concurrently before joining them
+    /// one by one; follow with [`Runtime::quiesce`].
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::Release);
     }
 
     /// Point-in-time copy of the request-lifecycle telemetry: queueing

@@ -109,6 +109,16 @@ pub struct RuntimeStats {
     /// expiries whose store was deliberately never performed). Always 0
     /// without the `fault-injection` feature.
     pub signals_dropped_injected: AtomicU64,
+    /// Tasks this shard shed into its own overflow ring for idle
+    /// siblings to steal. Always 0 on unsharded runtimes.
+    pub shard_offloaded: AtomicU64,
+    /// Tasks this shard pulled back from its own overflow ring (a worker
+    /// freed up before any sibling stole). Always 0 on unsharded
+    /// runtimes.
+    pub shard_reclaimed: AtomicU64,
+    /// Tasks this shard stole from a sibling's overflow ring. Always 0
+    /// on unsharded runtimes.
+    pub shard_steals_in: AtomicU64,
     /// Tripwire: dispatcher loop iterations that made no progress while
     /// runnable work was queued and capacity existed (a free JBSQ slot, or
     /// a stealable non-started request with work conservation on). The
@@ -176,6 +186,18 @@ impl RuntimeStats {
                 "work_conservation_violations",
                 self.work_conservation_violations.load(Ordering::Relaxed),
             ),
+            (
+                "shard_offloaded",
+                self.shard_offloaded.load(Ordering::Relaxed),
+            ),
+            (
+                "shard_reclaimed",
+                self.shard_reclaimed.load(Ordering::Relaxed),
+            ),
+            (
+                "shard_steals_in",
+                self.shard_steals_in.load(Ordering::Relaxed),
+            ),
         ]
         .into_iter()
         .map(|(n, v)| (n.to_string(), v))
@@ -230,6 +252,9 @@ mod tests {
             "trace_dropped",
             "signals_dropped_injected",
             "work_conservation_violations",
+            "shard_offloaded",
+            "shard_reclaimed",
+            "shard_steals_in",
         ] {
             assert!(names.iter().any(|n| n == want), "{want} missing");
         }

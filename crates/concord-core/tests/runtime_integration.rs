@@ -319,6 +319,93 @@ fn app_panics_are_contained_end_to_end() {
     );
 }
 
+/// Pins the central queue's requeue policy: processor-sharing round
+/// robin. A preempted request re-enters the central queue *behind*
+/// requests that arrived after it was first dispatched — its quantum is
+/// spent, so the whole queue gets a slice before it runs again. On a
+/// virtual clock the schedule is a pure function of the arrival order
+/// and the quantum, so the completion order is exact, not statistical.
+#[test]
+fn requeue_is_processor_sharing_round_robin() {
+    use concord_core::VirtualClock;
+    use std::sync::Mutex;
+    use std::time::Instant;
+
+    const QUANTUM_US: u64 = 100;
+
+    struct OrderApp {
+        clock: Arc<VirtualClock>,
+        order: Mutex<Vec<u64>>,
+    }
+    impl ConcordApp for OrderApp {
+        fn handle_request(
+            &self,
+            req: &concord_net::Request,
+            ctx: &mut RequestContext<'_, '_>,
+        ) -> u64 {
+            if req.id == 0 {
+                // The long request: burn virtual quanta until the
+                // dispatcher's signal lands, then finish on the resumed
+                // slice. Everyone else completes within one quantum.
+                while ctx.preemptions() == 0 {
+                    self.clock.advance_ns(QUANTUM_US * 1_000 + 1);
+                    ctx.preempt_point();
+                }
+            }
+            self.order.lock().unwrap().push(req.id);
+            u64::from(ctx.preemptions())
+        }
+    }
+
+    let (clock, vclock) = Clock::manual();
+    let app = Arc::new(OrderApp {
+        clock: vclock,
+        order: Mutex::new(Vec::new()),
+    });
+    let cfg = RuntimeConfig::builder()
+        .small_test()
+        .workers(1)
+        .jbsq_depth(1)
+        .work_conserving(false) // keep every slice on the one worker
+        .quantum(Duration::from_micros(QUANTUM_US))
+        .clock(clock)
+        .build()
+        .expect("valid config");
+
+    let (mut req_tx, req_rx) = ring::<concord_net::Request>(16);
+    let (resp_tx, mut resp_rx) = ring::<concord_net::Response>(16);
+    // All three requests are in the ingress ring before the dispatcher's
+    // first iteration: request 0 is dispatched first, 1 and 2 wait in
+    // the central queue.
+    for id in 0..3u64 {
+        req_tx
+            .push(concord_net::Request {
+                id,
+                class: 0,
+                service_ns: 1,
+                sent_at: Instant::now(),
+            })
+            .expect("ring has room");
+    }
+    let rt = Runtime::start(cfg, app.clone(), req_rx, resp_tx);
+
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut got = 0;
+    while got < 3 && Instant::now() < deadline {
+        while resp_rx.pop().is_some() {
+            got += 1;
+        }
+        std::thread::yield_now();
+    }
+    rt.shutdown();
+    assert_eq!(got, 3, "timed out waiting for responses");
+    // Request 0 was preempted after its first quantum and requeued
+    // BEHIND 1 and 2 (which arrived while it ran): PS round robin. A
+    // front-of-queue requeue (the policy the old comment claimed) would
+    // complete 0 first.
+    assert_eq!(*app.order.lock().unwrap(), vec![1, 2, 0]);
+}
+
 #[test]
 fn per_worker_stats_sum_to_totals() {
     let (stats, _) = drive(

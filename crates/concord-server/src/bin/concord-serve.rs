@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! concord-serve [--addr HOST:PORT] [--app spin|kv] [--workers N]
-//!               [--quantum-us US] [--admission-cap N]
+//!               [--shards N] [--quantum-us US] [--admission-cap N]
 //!               [--admission-policy drop-newest|drop-oldest|reject]
 //!               [--oneshot] [--trace PATH]
 //! ```
@@ -13,10 +13,14 @@
 //! server runs until the process is killed. `--trace PATH` writes the
 //! run's scheduling-event trace on shutdown (Perfetto JSON if PATH ends
 //! in `.json`, compact binary otherwise).
+//!
+//! `--shards N` starts N independent dispatcher+worker groups (each with
+//! `--workers` workers) behind a hash/power-of-two-choices connection
+//! router, joined by the bounded inter-shard steal path.
 
 use concord_core::admission::{AdmissionConfig, AdmissionPolicy};
 use concord_core::{ConcordApp, RuntimeConfig};
-use concord_server::{Server, ServerConfig, ServerReport};
+use concord_server::{RouterPolicy, Server, ServerConfig, ServerReport};
 use std::process::exit;
 use std::sync::Arc;
 use std::time::Duration;
@@ -25,6 +29,7 @@ struct Args {
     addr: String,
     app: String,
     workers: usize,
+    shards: usize,
     quantum_us: f64,
     admission_cap: usize,
     admission_policy: AdmissionPolicy,
@@ -34,7 +39,7 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: concord-serve [--addr HOST:PORT] [--app spin|kv] [--workers N] \
+        "usage: concord-serve [--addr HOST:PORT] [--app spin|kv] [--workers N] [--shards N] \
          [--quantum-us US] [--admission-cap N] \
          [--admission-policy drop-newest|drop-oldest|reject] [--oneshot] [--trace PATH]"
     );
@@ -46,6 +51,7 @@ fn parse_args() -> Args {
         addr: "127.0.0.1:7070".into(),
         app: "spin".into(),
         workers: 2,
+        shards: 1,
         quantum_us: 5.0,
         admission_cap: 4096,
         admission_policy: AdmissionPolicy::RejectNewest,
@@ -66,6 +72,7 @@ fn parse_args() -> Args {
             "--addr" => args.addr = value,
             "--app" => args.app = value,
             "--workers" => args.workers = value.parse().unwrap_or_else(|_| usage()),
+            "--shards" => args.shards = value.parse().unwrap_or_else(|_| usage()),
             "--quantum-us" => args.quantum_us = value.parse().unwrap_or_else(|_| usage()),
             "--admission-cap" => args.admission_cap = value.parse().unwrap_or_else(|_| usage()),
             "--admission-policy" => {
@@ -81,14 +88,36 @@ fn parse_args() -> Args {
 
 fn print_report(report: &ServerReport, trace_path: Option<&std::path::Path>) {
     println!(
-        "connections accepted {}  protocol errors {}  orphaned responses {}",
-        report.accepted, report.protocol_errors, report.orphaned_responses
+        "connections accepted {}  refused {}  protocol errors {}  orphaned responses {}",
+        report.accepted, report.refused, report.protocol_errors, report.orphaned_responses
     );
-    println!(
-        "admission: offered {}  shed {}",
-        report.admission.offered(),
-        report.admission.shed()
-    );
+    for (shard, adm) in report.admission_per_shard.iter().enumerate() {
+        println!(
+            "admission shard {shard}: offered {}  shed {}",
+            adm.offered(),
+            adm.shed()
+        );
+    }
+    if report.rollup.per_shard.len() > 1 {
+        for (shard, s) in report.rollup.per_shard.iter().enumerate() {
+            println!(
+                "shard {shard}: ingested {}  completed {}  offloaded {}  reclaimed {}  \
+                 steals_in {}  steals_out {}",
+                s.ingested, s.completed, s.offloaded, s.reclaimed, s.steals_in, s.steals_out
+            );
+        }
+        println!(
+            "cross-shard: ingested {}  completed {}  failed {}  conservation {}",
+            report.rollup.total_ingested(),
+            report.rollup.total_completed(),
+            report.rollup.total_failed(),
+            if report.rollup.conservation_holds() {
+                "OK"
+            } else {
+                "VIOLATED"
+            }
+        );
+    }
     // Per-policy and per-class admission rows ride in the stats snapshot.
     for (k, v) in report.stats.snapshot() {
         println!("{k} {v}");
@@ -115,6 +144,7 @@ fn serve<A: ConcordApp>(args: &Args, app: Arc<A>) {
     let cfg = ServerConfig {
         runtime: RuntimeConfig::builder()
             .workers(args.workers)
+            .num_shards(args.shards)
             .quantum(Duration::from_nanos((args.quantum_us * 1000.0) as u64))
             .build()
             .unwrap_or_else(|e| {
@@ -125,6 +155,7 @@ fn serve<A: ConcordApp>(args: &Args, app: Arc<A>) {
             capacity: args.admission_cap,
             policy: args.admission_policy,
         },
+        router: RouterPolicy::HashP2c,
     };
     let server = match Server::bind(&args.addr, cfg, app) {
         Ok(s) => s,
@@ -134,9 +165,10 @@ fn serve<A: ConcordApp>(args: &Args, app: Arc<A>) {
         }
     };
     println!(
-        "serving {} on {} ({} workers, admission {} {})",
+        "serving {} on {} ({} shards x {} workers, admission {} {})",
         args.app,
         server.local_addr(),
+        args.shards,
         args.workers,
         args.admission_cap,
         args.admission_policy.name()

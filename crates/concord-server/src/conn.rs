@@ -1,0 +1,360 @@
+//! Connection identity and response routing: generation-tagged slots.
+//!
+//! The server routes responses back to connections through bits packed
+//! into the request id. The original scheme used a bare 16-bit counter
+//! as the connection id, which wraps after 65,536 accepts: a response
+//! still in flight for a closed connection would then be delivered to
+//! whatever *new* connection had been assigned the reused id —
+//! cross-connection delivery, the worst kind of silent corruption.
+//!
+//! This module replaces the counter with a slot table:
+//!
+//! - a **slot** (16 bits) indexes the table; slots are recycled through
+//!   a free list only after their connection is fully retired;
+//! - a **generation** (8 bits) is bumped on every slot reuse and packed
+//!   into the route id next to the slot. A response whose generation
+//!   does not match the slot's current occupant is counted as an orphan
+//!   instead of being delivered to the wrong client.
+//!
+//! A slot is released only when its writer exits, and the writer exits
+//! only once the client has half-closed *and* every response owed on
+//! the connection has been enqueued (or the server is shutting down).
+//! Releases therefore never race an owed in-flight response, which is
+//! what makes the 8-bit generation sufficient: stale ids can only be
+//! produced by responses that were already settled or counted.
+//!
+//! Route id layout (64 bits, most-significant first):
+//! `16-bit slot | 8-bit generation | 40-bit client id`.
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Bits of the request id left to the client. Client ids above 2^40
+/// alias — at 20k req/s per connection that takes ~1.7 years to reach.
+pub const CLIENT_ID_BITS: u32 = 40;
+/// Bits of the generation tag.
+pub const GEN_BITS: u32 = 8;
+/// Mask for the client-id field.
+pub const CLIENT_ID_MASK: u64 = (1 << CLIENT_ID_BITS) - 1;
+const GEN_MASK: u64 = (1 << GEN_BITS) - 1;
+
+/// Maximum concurrently-registered connections (16-bit slot space).
+pub const MAX_CONNS: usize = 1 << 16;
+
+/// Encoded frames a connection's outbox may hold before the egress
+/// reports backpressure to the dispatcher (which then retries briefly
+/// and counts `tx_dropped`, same as a full TX ring).
+const OUTBOX_CAP: usize = 64 * 1024;
+
+/// Composes the routed request id for a connection.
+pub fn route_id(slot: u16, gen: u8, client_id: u64) -> u64 {
+    (u64::from(slot) << (GEN_BITS + CLIENT_ID_BITS))
+        | (u64::from(gen) << CLIENT_ID_BITS)
+        | (client_id & CLIENT_ID_MASK)
+}
+
+/// Splits a routed id back into `(slot, generation, client_id)`.
+pub fn split_route_id(rid: u64) -> (u16, u8, u64) {
+    (
+        (rid >> (GEN_BITS + CLIENT_ID_BITS)) as u16,
+        ((rid >> CLIENT_ID_BITS) & GEN_MASK) as u8,
+        rid & CLIENT_ID_MASK,
+    )
+}
+
+/// A connection's outbox and retirement state: encoded frames queued for
+/// its writer thread, plus the books that decide when the writer may
+/// exit and release the slot.
+pub struct ConnWriter {
+    outbox: Mutex<VecDeque<Vec<u8>>>,
+    wake: Condvar,
+    closed: AtomicBool,
+    /// The client half-closed its sending side; no more requests can
+    /// arrive, so the writer exits once nothing more is owed.
+    read_closed: AtomicBool,
+    /// Admitted requests whose response has not yet reached the outbox.
+    /// Incremented by the reader at admission, decremented by the egress
+    /// at enqueue time (or when the admission gate evicts the request).
+    owed: AtomicU64,
+}
+
+impl ConnWriter {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Self {
+            outbox: Mutex::new(VecDeque::new()),
+            wake: Condvar::new(),
+            closed: AtomicBool::new(false),
+            read_closed: AtomicBool::new(false),
+            owed: AtomicU64::new(0),
+        })
+    }
+
+    /// Whether the connection has been torn down.
+    pub(crate) fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
+    /// Reader-side: one admitted request now owes this connection a
+    /// response.
+    pub(crate) fn note_owed(&self) {
+        self.owed.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Settles one owed response (enqueued, or evicted at the gate so no
+    /// response will ever come). Saturates rather than underflows: the
+    /// egress can settle a response whose request predates a reconnect.
+    pub(crate) fn settle_owed(&self) {
+        let _ = self
+            .owed
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| v.checked_sub(1));
+        self.wake.notify_all();
+    }
+
+    /// Reader-side: the client half-closed; the writer may retire once
+    /// the outbox is drained and nothing more is owed.
+    pub(crate) fn reader_done(&self) {
+        self.read_closed.store(true, Ordering::Release);
+        self.wake.notify_all();
+    }
+
+    /// Queues one encoded frame. `false` means the connection is gone or
+    /// its outbox is full.
+    pub(crate) fn enqueue(&self, frame: Vec<u8>) -> bool {
+        if self.closed.load(Ordering::Acquire) {
+            return false;
+        }
+        let mut q = self.outbox.lock().expect("outbox lock");
+        if q.len() >= OUTBOX_CAP {
+            return false;
+        }
+        q.push_back(frame);
+        self.wake.notify_one();
+        true
+    }
+
+    pub(crate) fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        self.wake.notify_all();
+    }
+
+    /// Whether the writer has nothing left to do: torn down, or the
+    /// client is done sending with the outbox drained and no response
+    /// still owed.
+    fn retired(&self, outbox_empty: bool) -> bool {
+        if !outbox_empty {
+            return false;
+        }
+        self.closed.load(Ordering::Acquire)
+            || (self.read_closed.load(Ordering::Acquire) && self.owed.load(Ordering::Acquire) == 0)
+    }
+
+    /// Drains the outbox to the socket until retired (see
+    /// [`ConnWriter::retired`]). The caller releases the slot afterwards.
+    pub(crate) fn run(&self, mut stream: TcpStream) {
+        let mut batch: Vec<Vec<u8>> = Vec::new();
+        loop {
+            {
+                let mut q = self.outbox.lock().expect("outbox lock");
+                while q.is_empty() && !self.retired(true) {
+                    let (guard, _) = self
+                        .wake
+                        .wait_timeout(q, Duration::from_millis(100))
+                        .expect("outbox wait");
+                    q = guard;
+                }
+                if q.is_empty() {
+                    return; // retired with nothing left to flush
+                }
+                batch.extend(q.drain(..));
+            }
+            for frame in batch.drain(..) {
+                if stream.write_all(&frame).is_err() {
+                    // Client is gone; further responses for this
+                    // connection become orphans at the egress.
+                    self.close();
+                    self.outbox.lock().expect("outbox lock").clear();
+                    return;
+                }
+            }
+            let _ = stream.flush();
+        }
+    }
+}
+
+struct SlotState {
+    gen: u8,
+    writer: Option<Arc<ConnWriter>>,
+}
+
+struct TableInner {
+    slots: Vec<SlotState>,
+    free: Vec<u16>,
+}
+
+/// The generation-tagged connection registry.
+pub struct ConnTable {
+    inner: Mutex<TableInner>,
+}
+
+impl Default for ConnTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ConnTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self {
+            inner: Mutex::new(TableInner {
+                slots: Vec::new(),
+                free: Vec::new(),
+            }),
+        }
+    }
+
+    /// Registers a connection: assigns a free slot (bumping its
+    /// generation) or grows the table. `None` when all 65,536 slots hold
+    /// live connections — the caller should refuse the connection.
+    pub fn register(&self, writer: Arc<ConnWriter>) -> Option<(u16, u8)> {
+        let mut t = self.inner.lock().expect("conn table lock");
+        if let Some(slot) = t.free.pop() {
+            let s = &mut t.slots[slot as usize];
+            s.gen = s.gen.wrapping_add(1);
+            s.writer = Some(writer);
+            return Some((slot, s.gen));
+        }
+        if t.slots.len() >= MAX_CONNS {
+            return None;
+        }
+        let slot = t.slots.len() as u16;
+        t.slots.push(SlotState {
+            gen: 0,
+            writer: Some(writer),
+        });
+        Some((slot, 0))
+    }
+
+    /// The writer registered at `slot` — only if the generation matches
+    /// the slot's current occupant. A stale generation (the connection
+    /// that produced this id is gone, the slot was reused) returns
+    /// `None`, turning a would-be cross-delivery into a counted orphan.
+    pub fn lookup(&self, slot: u16, gen: u8) -> Option<Arc<ConnWriter>> {
+        let t = self.inner.lock().expect("conn table lock");
+        let s = t.slots.get(slot as usize)?;
+        if s.gen != gen {
+            return None;
+        }
+        s.writer.clone()
+    }
+
+    /// Retires a connection, making its slot reusable. A stale
+    /// generation is a no-op (the slot was already recycled).
+    pub fn release(&self, slot: u16, gen: u8) {
+        let mut t = self.inner.lock().expect("conn table lock");
+        let Some(s) = t.slots.get_mut(slot as usize) else {
+            return;
+        };
+        if s.gen != gen || s.writer.is_none() {
+            return;
+        }
+        s.writer = None;
+        t.free.push(slot);
+    }
+
+    /// Connections currently registered.
+    pub fn live(&self) -> usize {
+        let t = self.inner.lock().expect("conn table lock");
+        t.slots.len() - t.free.len()
+    }
+
+    /// Closes every live writer (shutdown path). Writers drain their
+    /// outboxes and exit; slots are not recycled — the table is dying.
+    pub fn close_all(&self) {
+        let t = self.inner.lock().expect("conn table lock");
+        for s in &t.slots {
+            if let Some(w) = &s.writer {
+                w.close();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_id_round_trips() {
+        let rid = route_id(0xABCD, 0x7F, 12_345);
+        assert_eq!(split_route_id(rid), (0xABCD, 0x7F, 12_345));
+        // Oversized client ids are masked, not corrupting slot/gen bits.
+        let rid = route_id(7, 3, u64::MAX);
+        let (slot, gen, _) = split_route_id(rid);
+        assert_eq!((slot, gen), (7, 3));
+    }
+
+    #[test]
+    fn slot_reuse_bumps_generation_and_stales_old_ids() {
+        let t = ConnTable::new();
+        let w1 = ConnWriter::new();
+        let (slot, gen) = t.register(w1.clone()).expect("slot");
+        assert_eq!((slot, gen), (0, 0));
+        assert!(t.lookup(slot, gen).is_some());
+
+        t.release(slot, gen);
+        assert!(t.lookup(slot, gen).is_none(), "released slot is dead");
+        assert_eq!(t.live(), 0);
+
+        let w2 = ConnWriter::new();
+        let (slot2, gen2) = t.register(w2).expect("slot");
+        assert_eq!(slot2, slot, "slot recycled");
+        assert_eq!(gen2, 1, "generation bumped");
+        assert!(
+            t.lookup(slot, gen).is_none(),
+            "old generation must not reach the new connection"
+        );
+        assert!(t.lookup(slot2, gen2).is_some());
+    }
+
+    #[test]
+    fn release_with_stale_generation_is_a_noop() {
+        let t = ConnTable::new();
+        let (slot, gen) = t.register(ConnWriter::new()).expect("slot");
+        t.release(slot, gen);
+        let (slot2, gen2) = t.register(ConnWriter::new()).expect("slot");
+        assert_eq!(slot2, slot);
+        // A late release from the previous occupant must not retire the
+        // new connection.
+        t.release(slot, gen);
+        assert!(t.lookup(slot2, gen2).is_some());
+        assert_eq!(t.live(), 1);
+    }
+
+    #[test]
+    fn outbox_backpressure_and_close() {
+        let w = ConnWriter::new();
+        assert!(w.enqueue(vec![1, 2, 3]));
+        w.close();
+        assert!(!w.enqueue(vec![4]), "closed outbox refuses frames");
+    }
+
+    #[test]
+    fn retirement_requires_half_close_and_settled_books() {
+        let w = ConnWriter::new();
+        assert!(!w.retired(true), "open connection stays up");
+        w.note_owed();
+        w.reader_done();
+        assert!(!w.retired(true), "owed response pins the writer");
+        w.settle_owed();
+        assert!(w.retired(true), "half-closed + settled => retired");
+        assert!(!w.retired(false), "non-empty outbox always pins");
+        // Saturating settle: a spurious extra settle cannot underflow.
+        w.settle_owed();
+        assert!(w.retired(true));
+    }
+}

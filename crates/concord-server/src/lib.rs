@@ -4,17 +4,20 @@
 //!
 //! - [`wire`]: the length-prefixed binary protocol (version 1) carrying
 //!   requests and responses, with a zero-copy decoder.
-//! - [`server`]: a [`Server`] that binds a listener, feeds decoded
-//!   requests through an overload-aware admission gate into a
-//!   transport-generic [`Runtime`](concord_core::Runtime), and routes
-//!   responses back to their originating connection.
+//! - [`server`]: a [`Server`] that binds a listener, routes each
+//!   connection to one of N scheduler shards (hash with a
+//!   power-of-two-choices fallback on admission-queue depth), feeds
+//!   decoded requests through a per-shard overload-aware admission gate
+//!   into a [`ShardedRuntime`](concord_core::ShardedRuntime), and routes
+//!   responses back to their originating connection through
+//!   generation-tagged slots ([`conn`]).
 //! - [`client`]: an open/closed-loop load generator reporting the same
 //!   slowdown percentiles as the in-process collector.
 //!
 //! ```no_run
 //! use concord_core::admission::{AdmissionConfig, AdmissionPolicy};
 //! use concord_core::{RuntimeConfig, SpinApp};
-//! use concord_server::{ClientConfig, Server, ServerConfig};
+//! use concord_server::{ClientConfig, RouterPolicy, Server, ServerConfig};
 //! use std::sync::Arc;
 //!
 //! let server = Server::bind(
@@ -25,6 +28,7 @@
 //!             capacity: 4096,
 //!             policy: AdmissionPolicy::RejectNewest,
 //!         },
+//!         router: RouterPolicy::HashP2c,
 //!     },
 //!     Arc::new(SpinApp::new()),
 //! )
@@ -45,9 +49,10 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod conn;
 pub mod server;
 pub mod wire;
 
 pub use client::{ClientConfig, ClientReport};
-pub use server::{Server, ServerConfig, ServerReport};
+pub use server::{RouterPolicy, Server, ServerConfig, ServerReport};
 pub use wire::{Frame, RequestFrame, ResponseFrame, Status, WireError};

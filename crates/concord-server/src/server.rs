@@ -1,158 +1,142 @@
 //! The TCP front end: accept loop, per-connection reader threads feeding
-//! the admission gate, per-connection writer threads draining responses.
+//! per-shard admission gates, per-connection writer threads draining
+//! responses.
 //!
 //! Thread model (paper testbed analogue: the NIC and its descriptor
 //! rings):
 //!
-//! - One **accept** thread polls a non-blocking listener.
+//! - One **accept** thread polls a non-blocking listener and assigns
+//!   each connection a generation-tagged slot ([`crate::conn`]) plus a
+//!   home shard.
 //! - One **reader** thread per connection decodes frames and offers each
-//!   request to the shared [`AdmissionQueue`]; early-rejects are answered
-//!   with a RETRY frame right here, before the scheduler ever sees them.
+//!   request to its shard's [`AdmissionQueue`] — hash-on-connection with
+//!   a power-of-two-choices fallback on admission-queue depth; early
+//!   rejects are answered with a RETRY frame right here, before the
+//!   scheduler ever sees them.
 //! - One **writer** thread per connection drains a bounded outbox to the
 //!   socket, so a slow client stalls only its own connection — the
-//!   dispatcher's `Egress::send` never blocks on the kernel.
-//! - The runtime's dispatcher polls the admission queue through
-//!   [`AdmissionIngress`] exactly as it polls an in-process ring.
+//!   dispatcher's `Egress::send` never blocks on the kernel. The writer
+//!   retires (and recycles the connection's slot) once the client has
+//!   half-closed and every owed response has been flushed.
+//! - Each shard's dispatcher polls its own admission queue through
+//!   [`AdmissionIngress`](concord_core::AdmissionIngress) exactly as it
+//!   polls an in-process ring; shards balance residual skew through the
+//!   runtime's bounded inter-shard steal path.
 //!
 //! Responses are routed back to their connection through the request id:
-//! the server rewrites each client id into `conn_id << 48 | client_id`
-//! before ingest and strips it again at encode time, so the runtime
-//! stays oblivious to connections.
+//! the server rewrites each client id into
+//! `slot << 48 | generation << 40 | client_id` before ingest and strips
+//! it again at encode time, so the runtime stays oblivious to
+//! connections. The generation tag makes id reuse safe: a response for
+//! a connection whose slot has since been recycled is counted as an
+//! orphan instead of being delivered to the wrong client.
 
+use crate::conn::{route_id, split_route_id, ConnTable, ConnWriter, GEN_BITS};
 use crate::wire::{self, Frame, Status};
 use concord_core::admission::{AdmissionConfig, AdmissionQueue, AdmitOutcome};
 use concord_core::transport::Egress;
 use concord_core::{
-    AdmissionCounters, ConcordApp, Runtime, RuntimeConfig, RuntimeStats, TelemetrySnapshot,
+    AdmissionCounters, ConcordApp, RuntimeConfig, RuntimeStats, ShardRollup, ShardedRuntime,
+    TelemetrySnapshot,
 };
 use concord_net::Response;
-use std::collections::{HashMap, VecDeque};
-use std::io::{ErrorKind, Read, Write};
+use std::io::{ErrorKind, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Bits of the request id left to the client; the connection id lives in
-/// the top 16. Client ids above 2^48 alias — at 20k req/s that takes
-/// ~450 years to reach.
-const CLIENT_ID_BITS: u32 = 48;
-const CLIENT_ID_MASK: u64 = (1 << CLIENT_ID_BITS) - 1;
+/// Join finished reader/writer threads every this many accepts, so a
+/// connection-churn workload does not accumulate dead thread handles.
+const REAP_EVERY: u64 = 256;
 
-/// Encoded frames a connection's outbox may hold before the egress
-/// reports backpressure to the dispatcher (which then retries briefly
-/// and counts `tx_dropped`, same as a full TX ring).
-const OUTBOX_CAP: usize = 64 * 1024;
-
-/// Composes the routed request id for `conn`.
-fn route_id(conn: u16, client_id: u64) -> u64 {
-    (u64::from(conn) << CLIENT_ID_BITS) | (client_id & CLIENT_ID_MASK)
+/// How a connection is mapped to a shard.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouterPolicy {
+    /// Hash the connection identity to a primary shard; per request,
+    /// fall back to a second hashed candidate when it has the shorter
+    /// admission queue (power of two choices on queue depth).
+    HashP2c,
+    /// Route every connection to one shard (modulo the shard count).
+    /// For tests that need deliberate skew — e.g. to exercise the
+    /// inter-shard steal path.
+    Pin(usize),
 }
 
-/// A connection's outbox: encoded frames queued for its writer thread.
-struct ConnWriter {
-    outbox: Mutex<VecDeque<Vec<u8>>>,
-    wake: Condvar,
-    closed: AtomicBool,
+/// A connection's routing decision inputs: two hashed candidates.
+#[derive(Clone, Copy)]
+struct ShardRoute {
+    primary: usize,
+    alt: usize,
+    policy: RouterPolicy,
 }
 
-impl ConnWriter {
-    fn new() -> Arc<Self> {
-        Arc::new(Self {
-            outbox: Mutex::new(VecDeque::new()),
-            wake: Condvar::new(),
-            closed: AtomicBool::new(false),
-        })
-    }
-
-    /// Queues one encoded frame. `false` means the connection is gone or
-    /// its outbox is full.
-    fn enqueue(&self, frame: Vec<u8>) -> bool {
-        if self.closed.load(Ordering::Acquire) {
-            return false;
+impl ShardRoute {
+    fn new(slot: u16, gen: u8, n: usize, policy: RouterPolicy) -> Self {
+        let h = ((u64::from(slot) << GEN_BITS) | u64::from(gen))
+            .wrapping_add(0x9E37_79B9_7F4A_7C15)
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        let primary = ((h >> 32) as usize) % n;
+        let alt = if n > 1 {
+            (primary + 1 + (h as u32 as usize) % (n - 1)) % n
+        } else {
+            primary
+        };
+        Self {
+            primary,
+            alt,
+            policy,
         }
-        let mut q = self.outbox.lock().expect("outbox lock");
-        if q.len() >= OUTBOX_CAP {
-            return false;
-        }
-        q.push_back(frame);
-        self.wake.notify_one();
-        true
     }
 
-    fn close(&self) {
-        self.closed.store(true, Ordering::Release);
-        self.wake.notify_all();
-    }
-
-    /// Drains the outbox to the socket until closed and empty.
-    fn run(&self, mut stream: TcpStream) {
-        let mut batch: Vec<Vec<u8>> = Vec::new();
-        loop {
-            {
-                let mut q = self.outbox.lock().expect("outbox lock");
-                while q.is_empty() && !self.closed.load(Ordering::Acquire) {
-                    let (guard, _) = self
-                        .wake
-                        .wait_timeout(q, Duration::from_millis(100))
-                        .expect("outbox wait");
-                    q = guard;
-                }
-                if q.is_empty() {
-                    return; // closed and drained
-                }
-                batch.extend(q.drain(..));
-            }
-            for frame in batch.drain(..) {
-                if stream.write_all(&frame).is_err() {
-                    // Client is gone; further responses for this
-                    // connection become orphans at the egress.
-                    self.close();
-                    self.outbox.lock().expect("outbox lock").clear();
-                    return;
+    /// Picks the shard for one request: pinned, or the less-loaded of
+    /// the two hashed candidates (ties keep the primary, preserving
+    /// connection affinity).
+    fn pick(&self, shards: &[Arc<AdmissionQueue>]) -> usize {
+        match self.policy {
+            RouterPolicy::Pin(s) => s % shards.len(),
+            RouterPolicy::HashP2c => {
+                if self.alt != self.primary && shards[self.alt].len() < shards[self.primary].len() {
+                    self.alt
+                } else {
+                    self.primary
                 }
             }
-            let _ = stream.flush();
         }
     }
 }
-
-type Registry = Arc<Mutex<HashMap<u16, Arc<ConnWriter>>>>;
 
 /// The dispatcher's response sink: encodes each response and routes it
-/// to its connection's outbox by the id's connection bits.
+/// to its connection's outbox by the id's slot and generation bits.
 pub struct ServerEgress {
-    conns: Registry,
+    conns: Arc<ConnTable>,
     orphaned: Arc<AtomicU64>,
 }
 
 impl Egress for ServerEgress {
     fn send(&mut self, resp: Response) -> Result<(), Response> {
-        let conn = (resp.id >> CLIENT_ID_BITS) as u16;
-        let client_id = resp.id & CLIENT_ID_MASK;
-        let writer = self
-            .conns
-            .lock()
-            .expect("registry lock")
-            .get(&conn)
-            .cloned();
-        let Some(writer) = writer else {
-            // Connection already torn down: the response has no
-            // destination. Counted, never silent.
+        let (slot, gen, client_id) = split_route_id(resp.id);
+        let Some(writer) = self.conns.lookup(slot, gen) else {
+            // Connection gone, or the slot was recycled (stale
+            // generation): the response has no destination. Counted,
+            // never cross-delivered.
             self.orphaned.fetch_add(1, Ordering::Relaxed);
             return Ok(());
         };
-        if writer.closed.load(Ordering::Acquire) {
+        if writer.is_closed() {
             self.orphaned.fetch_add(1, Ordering::Relaxed);
+            writer.settle_owed();
             return Ok(());
         }
         let mut buf = Vec::with_capacity(wire::HEADER_LEN + 64);
         wire::encode_response(&mut buf, client_id, &resp, Status::Ok);
         if writer.enqueue(buf) {
+            writer.settle_owed();
             Ok(())
-        } else if writer.closed.load(Ordering::Acquire) {
+        } else if writer.is_closed() {
             self.orphaned.fetch_add(1, Ordering::Relaxed);
+            writer.settle_owed();
             Ok(())
         } else {
             // Live connection, full outbox: real backpressure. Hand the
@@ -163,32 +147,48 @@ impl Egress for ServerEgress {
     }
 }
 
-/// Server configuration: the runtime underneath plus the admission gate
-/// in front of it.
+/// Server configuration: the runtime underneath (whose `num_shards`
+/// decides how many dispatcher groups serve the listener), the
+/// admission gate in front of each shard, and the connection router.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
-    /// Scheduler configuration.
+    /// Scheduler configuration; `runtime.num_shards` dispatcher+worker
+    /// groups are started, each behind its own admission queue.
     pub runtime: RuntimeConfig,
-    /// Admission-queue bound and overflow policy.
+    /// Admission-queue bound and overflow policy (applied per shard).
     pub admission: AdmissionConfig,
+    /// Connection-to-shard routing policy.
+    pub router: RouterPolicy,
 }
 
 /// Final accounting of a server's life, returned by [`Server::shutdown`].
 pub struct ServerReport {
     /// Connections accepted.
     pub accepted: u64,
+    /// Connections refused because all 65,536 slots were live.
+    pub refused: u64,
     /// Connections torn down on a malformed frame.
     pub protocol_errors: u64,
-    /// Responses whose connection was gone at emit time (counted loss).
+    /// Responses whose connection was gone (or whose slot had been
+    /// recycled) at emit time — counted loss, never cross-delivery.
     pub orphaned_responses: u64,
-    /// Admission-gate counters (admitted / dropped / rejected,
-    /// per-class).
+    /// Shard 0's admission counters — the whole gate when
+    /// `num_shards == 1`.
     pub admission: Arc<AdmissionCounters>,
-    /// Final runtime counters.
+    /// Every shard's admission counters, indexed by shard id.
+    pub admission_per_shard: Vec<Arc<AdmissionCounters>>,
+    /// Shard 0's runtime counters — the whole runtime when
+    /// `num_shards == 1`.
     pub stats: Arc<RuntimeStats>,
-    /// Final request-lifecycle telemetry.
+    /// Per-shard counter rows and cross-shard totals (the conservation
+    /// law over all shards).
+    pub rollup: ShardRollup,
+    /// Shard 0's request-lifecycle telemetry.
     pub telemetry: TelemetrySnapshot,
-    /// The run's scheduling-event trace (`None` when disarmed).
+    /// The run's scheduling-event trace, merged across shards with the
+    /// shard id packed into each record's track word (`None` when
+    /// disarmed). Split per shard with
+    /// [`split_shards`](concord_core::trace::split_shards).
     pub trace: Option<concord_core::trace::Trace>,
 }
 
@@ -196,21 +196,23 @@ pub struct ServerReport {
 pub struct Server {
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    admission: Arc<AdmissionQueue>,
-    conns: Registry,
-    rt: Runtime,
+    admissions: Arc<Vec<Arc<AdmissionQueue>>>,
+    conns: Arc<ConnTable>,
+    rt: ShardedRuntime,
     accept: Option<JoinHandle<()>>,
     readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
     writers: Arc<Mutex<Vec<JoinHandle<()>>>>,
     accepted: Arc<AtomicU64>,
+    refused: Arc<AtomicU64>,
     active_readers: Arc<AtomicU64>,
     protocol_errors: Arc<AtomicU64>,
     orphaned: Arc<AtomicU64>,
 }
 
 impl Server {
-    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts serving `app` on a
-    /// Concord runtime behind the configured admission gate.
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts serving `app` on
+    /// `cfg.runtime.num_shards` Concord dispatcher groups, each behind
+    /// its own admission gate.
     pub fn bind<A: ConcordApp>(
         addr: &str,
         cfg: ServerConfig,
@@ -220,21 +222,29 @@ impl Server {
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
 
-        let admission = AdmissionQueue::new(cfg.admission, cfg.runtime.clock.clone());
-        let egress_conns: Registry = Arc::new(Mutex::new(HashMap::new()));
+        let n_shards = cfg.runtime.num_shards.max(1);
+        let admissions: Arc<Vec<Arc<AdmissionQueue>>> = Arc::new(
+            (0..n_shards)
+                .map(|_| AdmissionQueue::new(cfg.admission, cfg.runtime.clock.clone()))
+                .collect(),
+        );
+        let conns = Arc::new(ConnTable::new());
         let orphaned = Arc::new(AtomicU64::new(0));
-        let rt = Runtime::start(
+        let rt = ShardedRuntime::start(
             cfg.runtime,
             app,
-            admission.ingress(),
-            ServerEgress {
-                conns: egress_conns.clone(),
-                orphaned: orphaned.clone(),
-            },
+            admissions.iter().map(|a| a.ingress()).collect(),
+            (0..n_shards)
+                .map(|_| ServerEgress {
+                    conns: conns.clone(),
+                    orphaned: orphaned.clone(),
+                })
+                .collect(),
         );
 
         let stop = Arc::new(AtomicBool::new(false));
         let accepted = Arc::new(AtomicU64::new(0));
+        let refused = Arc::new(AtomicU64::new(0));
         let active_readers = Arc::new(AtomicU64::new(0));
         let protocol_errors = Arc::new(AtomicU64::new(0));
         let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
@@ -242,51 +252,65 @@ impl Server {
 
         let accept = {
             let stop = stop.clone();
-            let admission = admission.clone();
-            let conns = egress_conns.clone();
+            let admissions = admissions.clone();
+            let conns = conns.clone();
             let accepted = accepted.clone();
+            let refused = refused.clone();
             let active_readers = active_readers.clone();
             let protocol_errors = protocol_errors.clone();
             let readers = readers.clone();
             let writers = writers.clone();
+            let router = cfg.router;
             std::thread::Builder::new()
                 .name("concord-accept".into())
                 .spawn(move || {
-                    let mut next_conn: u16 = 1;
                     while !stop.load(Ordering::Acquire) {
                         match listener.accept() {
                             Ok((stream, _peer)) => {
-                                let conn = next_conn;
-                                next_conn = next_conn.wrapping_add(1).max(1);
-                                accepted.fetch_add(1, Ordering::Relaxed);
-                                let _ = stream.set_nodelay(true);
                                 let writer = ConnWriter::new();
-                                conns
-                                    .lock()
-                                    .expect("registry lock")
-                                    .insert(conn, writer.clone());
+                                let Some((slot, gen)) = conns.register(writer.clone()) else {
+                                    // Slot space exhausted: refuse rather
+                                    // than alias a live connection.
+                                    refused.fetch_add(1, Ordering::Relaxed);
+                                    drop(stream);
+                                    continue;
+                                };
+                                let count = accepted.fetch_add(1, Ordering::Relaxed) + 1;
+                                let _ = stream.set_nodelay(true);
+                                let route = ShardRoute::new(slot, gen, admissions.len(), router);
                                 let wstream = stream.try_clone().expect("clone stream");
                                 let w = writer.clone();
+                                let wconns = conns.clone();
                                 writers.lock().expect("writers lock").push(
                                     std::thread::Builder::new()
-                                        .name(format!("concord-conn{conn}-w"))
-                                        .spawn(move || w.run(wstream))
+                                        .name(format!("concord-conn{slot}.{gen}-w"))
+                                        .spawn(move || {
+                                            w.run(wstream);
+                                            // Retired: recycle the slot.
+                                            // New lookups for this
+                                            // connection now orphan.
+                                            wconns.release(slot, gen);
+                                        })
                                         .expect("spawn conn writer"),
                                 );
-                                let admission = admission.clone();
+                                let admissions = admissions.clone();
                                 let stop = stop.clone();
                                 let protocol_errors = protocol_errors.clone();
+                                let table = conns.clone();
                                 let active = active_readers.clone();
                                 active.fetch_add(1, Ordering::Relaxed);
                                 readers.lock().expect("readers lock").push(
                                     std::thread::Builder::new()
-                                        .name(format!("concord-conn{conn}-r"))
+                                        .name(format!("concord-conn{slot}.{gen}-r"))
                                         .spawn(move || {
                                             reader_loop(
-                                                conn,
+                                                slot,
+                                                gen,
+                                                route,
                                                 stream,
                                                 writer,
-                                                admission,
+                                                table,
+                                                admissions,
                                                 stop,
                                                 protocol_errors,
                                             );
@@ -294,6 +318,20 @@ impl Server {
                                         })
                                         .expect("spawn conn reader"),
                                 );
+                                if count.is_multiple_of(REAP_EVERY) {
+                                    // Drop handles of threads that have
+                                    // already exited (detaching a finished
+                                    // thread frees it immediately), so
+                                    // churny workloads don't hoard stacks.
+                                    readers
+                                        .lock()
+                                        .expect("readers lock")
+                                        .retain(|h| !h.is_finished());
+                                    writers
+                                        .lock()
+                                        .expect("writers lock")
+                                        .retain(|h| !h.is_finished());
+                                }
                             }
                             Err(e) if e.kind() == ErrorKind::WouldBlock => {
                                 std::thread::sleep(Duration::from_millis(2));
@@ -308,13 +346,14 @@ impl Server {
         Ok(Server {
             local_addr,
             stop,
-            admission,
-            conns: egress_conns,
+            admissions,
+            conns,
             rt,
             accept: Some(accept),
             readers,
             writers,
             accepted,
+            refused,
             active_readers,
             protocol_errors,
             orphaned,
@@ -337,24 +376,48 @@ impl Server {
         self.active_readers.load(Ordering::Relaxed)
     }
 
-    /// Live runtime counters.
+    /// Connections currently holding a slot (reader may have exited but
+    /// responses are still owed).
+    pub fn live_slots(&self) -> usize {
+        self.conns.live()
+    }
+
+    /// Number of shards serving this listener.
+    pub fn num_shards(&self) -> usize {
+        self.rt.num_shards()
+    }
+
+    /// Shard 0's live runtime counters (the whole runtime when
+    /// `num_shards == 1`).
     pub fn stats(&self) -> Arc<RuntimeStats> {
-        self.rt.stats()
+        self.rt.stats(0)
     }
 
-    /// The admission gate (e.g. to inspect counters mid-run).
+    /// Live cross-shard counter rollup.
+    pub fn rollup(&self) -> ShardRollup {
+        self.rt.rollup()
+    }
+
+    /// Shard 0's admission gate (the whole gate when `num_shards == 1`).
     pub fn admission(&self) -> Arc<AdmissionQueue> {
-        self.admission.clone()
+        self.admissions[0].clone()
     }
 
-    /// Graceful shutdown: close the admission gate (new requests are
+    /// Every shard's admission gate, indexed by shard id.
+    pub fn admission_shard(&self, shard: usize) -> Arc<AdmissionQueue> {
+        self.admissions[shard].clone()
+    }
+
+    /// Graceful shutdown: close every admission gate (new requests are
     /// answered RETRY), stop accepting, let every already-admitted
     /// request complete, flush every connection's outbox, then join all
     /// threads and return the final accounting.
     pub fn shutdown(mut self) -> ServerReport {
-        // 1. No new work: admission rejects, accept loop stops, readers
-        //    wind down at their next timeout tick.
-        self.admission.close();
+        // 1. No new work: gates reject, accept loop stops, readers wind
+        //    down at their next timeout tick.
+        for a in self.admissions.iter() {
+            a.close();
+        }
         self.stop.store(true, Ordering::Release);
         if let Some(h) = self.accept.take() {
             h.join().expect("accept thread");
@@ -362,32 +425,32 @@ impl Server {
         for h in self.readers.lock().expect("readers lock").drain(..) {
             h.join().expect("reader thread");
         }
-        // 2. Graceful drain: wait for the dispatcher to ingest everything
-        //    the gate admitted, then quiesce the runtime (which itself
-        //    drains all in-flight requests into the egress).
+        // 2. Graceful drain: wait for every dispatcher to ingest what its
+        //    gate admitted, then quiesce the shards (concurrently — each
+        //    drains its in-flight requests into the egress).
         let deadline = Instant::now() + Duration::from_secs(30);
-        while !self.admission.is_empty() && Instant::now() < deadline {
+        while self.admissions.iter().any(|a| !a.is_empty()) && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(1));
         }
         self.rt.quiesce();
         let trace = self.rt.take_trace();
-        let telemetry = self.rt.telemetry();
+        let telemetry = self.rt.telemetry(0);
         // 3. Flush: every response the runtime emitted is in an outbox;
         //    closing after quiesce lets writers drain before exiting.
-        for (_, w) in self.conns.lock().expect("registry lock").drain() {
-            w.close();
-        }
+        self.conns.close_all();
         for h in self.writers.lock().expect("writers lock").drain(..) {
             h.join().expect("writer thread");
         }
-        let admission = self.admission.counters();
-        let stats = self.rt.stats();
+        let rollup = self.rt.rollup();
         ServerReport {
             accepted: self.accepted.load(Ordering::Relaxed),
+            refused: self.refused.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
             orphaned_responses: self.orphaned.load(Ordering::Relaxed),
-            admission,
-            stats,
+            admission: self.admissions[0].counters(),
+            admission_per_shard: self.admissions.iter().map(|a| a.counters()).collect(),
+            stats: self.rt.stats(0),
+            rollup,
             telemetry,
             trace,
         }
@@ -395,14 +458,19 @@ impl Server {
 }
 
 /// One connection's read half: decode frames, offer requests to the
-/// gate, answer early-rejects with RETRY. A malformed frame tears the
-/// connection down (the stream is unsynchronized beyond it); the writer
-/// half stays up until shutdown so in-flight responses still flush.
+/// routed shard's gate, answer early-rejects with RETRY. A malformed
+/// frame tears the connection down (the stream is unsynchronized beyond
+/// it); on a clean half-close the writer stays up until every owed
+/// response has flushed, then retires the slot.
+#[allow(clippy::too_many_arguments)]
 fn reader_loop(
-    conn: u16,
+    slot: u16,
+    gen: u8,
+    route: ShardRoute,
     mut stream: TcpStream,
     writer: Arc<ConnWriter>,
-    admission: Arc<AdmissionQueue>,
+    table: Arc<ConnTable>,
+    admissions: Arc<Vec<Arc<AdmissionQueue>>>,
     stop: Arc<AtomicBool>,
     protocol_errors: Arc<AtomicU64>,
 ) {
@@ -411,25 +479,52 @@ fn reader_loop(
     let mut chunk = [0u8; 16 * 1024];
     'conn: loop {
         if stop.load(Ordering::Acquire) {
+            writer.reader_done();
             return;
         }
         match stream.read(&mut chunk) {
-            Ok(0) => return, // client closed its sending side
+            Ok(0) => {
+                // Client closed its sending side: no more requests. The
+                // writer retires once the owed responses have flushed.
+                writer.reader_done();
+                return;
+            }
             Ok(n) => {
                 buf.extend_from_slice(&chunk[..n]);
                 let mut at = 0;
                 loop {
                     match wire::decode(&buf[at..]) {
                         Ok(Some((Frame::Request(rf), consumed))) => {
-                            let rid = route_id(conn, rf.id);
+                            let rid = route_id(slot, gen, rf.id);
                             let req = rf.into_request(rid, Instant::now());
-                            if let AdmitOutcome::Rejected = admission.offer(req) {
-                                // Early-reject: tell the client now, from
-                                // the gate, without touching the
-                                // scheduler.
-                                let mut out = Vec::with_capacity(wire::HEADER_LEN + 64);
-                                wire::encode_retry(&mut out, rf.id, rf.class, rf.service_ns);
-                                let _ = writer.enqueue(out);
+                            let shard = route.pick(&admissions);
+                            match admissions[shard].offer(req) {
+                                AdmitOutcome::Admitted => writer.note_owed(),
+                                AdmitOutcome::Rejected => {
+                                    // Early-reject: tell the client now,
+                                    // from the gate, without touching the
+                                    // scheduler.
+                                    let mut out = Vec::with_capacity(wire::HEADER_LEN + 64);
+                                    wire::encode_retry(&mut out, rf.id, rf.class, rf.service_ns);
+                                    let _ = writer.enqueue(out);
+                                }
+                                AdmitOutcome::DroppedNewest => {
+                                    // This arrival was never admitted:
+                                    // nothing owed, drop is counted at
+                                    // the gate.
+                                }
+                                AdmitOutcome::DroppedOldest(old) => {
+                                    // The arrival was admitted by
+                                    // evicting an older queued request —
+                                    // settle the evicted connection's
+                                    // books (it gets no reply; the drop
+                                    // is counted at the gate).
+                                    writer.note_owed();
+                                    let (vslot, vgen, _) = split_route_id(old.id);
+                                    if let Some(victim) = table.lookup(vslot, vgen) {
+                                        victim.settle_owed();
+                                    }
+                                }
                             }
                             at += consumed;
                         }
@@ -452,7 +547,10 @@ fn reader_loop(
             Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
                 continue;
             }
-            Err(_) => return,
+            Err(_) => {
+                writer.reader_done();
+                return;
+            }
         }
     }
     // Protocol error: drop the connection entirely (reader and writer).
@@ -463,22 +561,76 @@ fn reader_loop(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use concord_core::admission::AdmissionPolicy;
+    use concord_core::Clock;
 
-    #[test]
-    fn route_id_round_trips() {
-        let rid = route_id(0xABCD, 12345);
-        assert_eq!((rid >> CLIENT_ID_BITS) as u16, 0xABCD);
-        assert_eq!(rid & CLIENT_ID_MASK, 12345);
-        // Oversized client ids are masked, not corrupting the conn bits.
-        let rid = route_id(7, u64::MAX);
-        assert_eq!((rid >> CLIENT_ID_BITS) as u16, 7);
+    fn queues(n: usize) -> Vec<Arc<AdmissionQueue>> {
+        (0..n)
+            .map(|_| {
+                AdmissionQueue::new(
+                    AdmissionConfig {
+                        capacity: 16,
+                        policy: AdmissionPolicy::RejectNewest,
+                    },
+                    Clock::monotonic(),
+                )
+            })
+            .collect()
+    }
+
+    fn req(id: u64) -> concord_net::Request {
+        concord_net::Request {
+            id,
+            class: 0,
+            service_ns: 1,
+            sent_at: Instant::now(),
+        }
     }
 
     #[test]
-    fn outbox_backpressure_and_close() {
-        let w = ConnWriter::new();
-        assert!(w.enqueue(vec![1, 2, 3]));
-        w.close();
-        assert!(!w.enqueue(vec![4]), "closed outbox refuses frames");
+    fn pinned_router_ignores_depth() {
+        let qs = queues(3);
+        qs[0].offer(req(1));
+        let route = ShardRoute::new(5, 0, 3, RouterPolicy::Pin(7));
+        assert_eq!(route.pick(&qs), 1, "pin is modulo the shard count");
+    }
+
+    #[test]
+    fn p2c_falls_back_to_shorter_queue() {
+        let qs = queues(2);
+        let route = ShardRoute::new(3, 1, 2, RouterPolicy::HashP2c);
+        assert_ne!(route.primary, route.alt, "two distinct candidates");
+        // Load the primary beyond the alt: the fallback must kick in.
+        for i in 0..5 {
+            qs[route.primary].offer(req(i));
+        }
+        assert_eq!(route.pick(&qs), route.alt);
+        // Equal depth keeps connection affinity on the primary.
+        for i in 0..5 {
+            qs[route.alt].offer(req(10 + i));
+        }
+        assert_eq!(route.pick(&qs), route.primary);
+    }
+
+    #[test]
+    fn single_shard_routes_everywhere_to_zero() {
+        let qs = queues(1);
+        for slot in 0..50u16 {
+            let route = ShardRoute::new(slot, 0, 1, RouterPolicy::HashP2c);
+            assert_eq!(route.pick(&qs), 0);
+        }
+    }
+
+    #[test]
+    fn hash_spreads_connections_across_shards() {
+        let n = 4;
+        let mut hit = vec![0u32; n];
+        for slot in 0..256u16 {
+            let route = ShardRoute::new(slot, 0, n, RouterPolicy::HashP2c);
+            hit[route.primary] += 1;
+        }
+        for (s, &c) in hit.iter().enumerate() {
+            assert!(c > 16, "shard {s} starved by the hash: {hit:?}");
+        }
     }
 }

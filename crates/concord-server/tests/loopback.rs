@@ -7,7 +7,7 @@ use concord_core::admission::{AdmissionConfig, AdmissionPolicy};
 use concord_core::trace::EventKind;
 use concord_core::{RuntimeConfig, SpinApp};
 use concord_server::client::{self, ClientConfig};
-use concord_server::{Server, ServerConfig, ServerReport};
+use concord_server::{RouterPolicy, Server, ServerConfig, ServerReport};
 use concord_workloads::mix;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -23,6 +23,7 @@ fn start_server(capacity: usize, policy: AdmissionPolicy, workers: usize) -> Ser
                 .build()
                 .expect("valid config"),
             admission: AdmissionConfig { capacity, policy },
+            router: RouterPolicy::HashP2c,
         },
         Arc::new(SpinApp::new()),
     )

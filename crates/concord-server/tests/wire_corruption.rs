@@ -5,7 +5,7 @@
 use concord_core::admission::{AdmissionConfig, AdmissionPolicy};
 use concord_core::{RuntimeConfig, SpinApp};
 use concord_server::wire::{self, Frame};
-use concord_server::{Server, ServerConfig};
+use concord_server::{RouterPolicy, Server, ServerConfig};
 use concord_testkit::prelude::*;
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -24,6 +24,7 @@ fn start_server() -> Server {
                 capacity: 64,
                 policy: AdmissionPolicy::RejectNewest,
             },
+            router: RouterPolicy::HashP2c,
         },
         Arc::new(SpinApp::new()),
     )

@@ -47,4 +47,7 @@ pub mod system;
 pub use config::{Policy, PreemptMechanism, QueueDiscipline, SystemConfig};
 pub use cost::CostModel;
 pub use result::SimResult;
-pub use system::{simulate, simulate_recorded, simulate_traced, SimParams};
+pub use system::{
+    simulate, simulate_recorded, simulate_sharded, simulate_sharded_traced, simulate_traced,
+    SimParams,
+};

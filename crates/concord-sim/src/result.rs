@@ -116,6 +116,45 @@ impl SimResult {
     pub fn quantum_mean_us(&self) -> f64 {
         self.achieved_quantum.mean() / (self.ghz * 1_000.0)
     }
+
+    /// Folds another shard's result into this one: counters and offered
+    /// load sum, distributions merge, bounds take the max. Shards run
+    /// concurrently in real deployments, so the merged span is the
+    /// longest shard's span, not the sum — goodput then reads as the
+    /// fleet's aggregate rate over the wall time of the slowest shard.
+    pub fn absorb(&mut self, other: &SimResult) {
+        self.offered_rps += other.offered_rps;
+        self.arrivals += other.arrivals;
+        self.incomplete += other.incomplete;
+        self.max_jbsq_inflight = self.max_jbsq_inflight.max(other.max_jbsq_inflight);
+        self.completed += other.completed;
+        self.censored += other.censored;
+        self.dispatcher_completed += other.dispatcher_completed;
+        self.span_cycles = self.span_cycles.max(other.span_cycles);
+        self.slowdown.merge(&other.slowdown);
+        if self.slowdown_by_class.len() < other.slowdown_by_class.len() {
+            self.slowdown_by_class
+                .resize_with(other.slowdown_by_class.len(), Default::default);
+        }
+        for (mine, theirs) in self
+            .slowdown_by_class
+            .iter_mut()
+            .zip(other.slowdown_by_class.iter())
+        {
+            mine.merge(theirs);
+        }
+        self.latency_ns.merge(&other.latency_ns);
+        self.feed_gap.merge(&other.feed_gap);
+        self.preemptions += other.preemptions;
+        self.worker_busy_cycles += other.worker_busy_cycles;
+        self.worker_idle_wait_cycles += other.worker_idle_wait_cycles;
+        self.worker_transition_cycles += other.worker_transition_cycles;
+        self.worker_total_cycles += other.worker_total_cycles;
+        self.dispatcher_sched_cycles += other.dispatcher_sched_cycles;
+        self.dispatcher_app_cycles += other.dispatcher_app_cycles;
+        self.achieved_quantum.merge(&other.achieved_quantum);
+        self.events_processed += other.events_processed;
+    }
 }
 
 #[cfg(test)]

@@ -253,6 +253,78 @@ pub fn simulate_traced<W: Workload>(
     (result, trace.expect("traced run produces a trace"))
 }
 
+/// Runs `shards` independent copies of `cfg`, splitting the offered load
+/// evenly across them, and merges the per-shard results with
+/// [`SimResult::absorb`]. This models the `ShardedRuntime` deployment
+/// shape — N dispatcher+worker groups, each a full Concord instance —
+/// under a perfectly balanced router; per-shard arrival streams use
+/// decorrelated seeds so shards do not see lock-step arrivals.
+pub fn simulate_sharded<W: Workload + Clone>(
+    cfg: &SystemConfig,
+    workload: W,
+    params: &SimParams,
+    shards: usize,
+) -> SimResult {
+    let (result, _) = run_sharded(cfg, workload, params, shards, false);
+    result
+}
+
+/// Like [`simulate_sharded`], but each shard records a scheduling-event
+/// trace; the shard traces are merged with
+/// [`merge_shard_traces`](concord_trace::merge_shard_traces), packing the
+/// shard id into the upper track bits exactly as the sharded runtime
+/// tracer does.
+pub fn simulate_sharded_traced<W: Workload + Clone>(
+    cfg: &SystemConfig,
+    workload: W,
+    params: &SimParams,
+    shards: usize,
+) -> (SimResult, concord_trace::Trace) {
+    let (result, trace) = run_sharded(cfg, workload, params, shards, true);
+    (result, trace.expect("traced run produces a trace"))
+}
+
+fn run_sharded<W: Workload + Clone>(
+    cfg: &SystemConfig,
+    workload: W,
+    params: &SimParams,
+    shards: usize,
+    traced: bool,
+) -> (SimResult, Option<concord_trace::Trace>) {
+    assert!(shards >= 1, "need at least one shard");
+    assert!(
+        params.requests >= shards as u64,
+        "need at least one request per shard"
+    );
+    let base = params.requests / shards as u64;
+    let rem = params.requests % shards as u64;
+    let mut merged: Option<SimResult> = None;
+    let mut traces = Vec::with_capacity(if traced { shards } else { 0 });
+    for shard in 0..shards {
+        let shard_params = SimParams {
+            rate_rps: params.rate_rps / shards as f64,
+            requests: base + if (shard as u64) < rem { 1 } else { 0 },
+            warmup_frac: params.warmup_frac,
+            seed: params
+                .seed
+                .wrapping_add((shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        };
+        let result = if traced {
+            let (r, t) = simulate_traced(cfg, workload.clone(), &shard_params);
+            traces.push(t);
+            r
+        } else {
+            simulate(cfg, workload.clone(), &shard_params)
+        };
+        match merged.as_mut() {
+            Some(m) => m.absorb(&result),
+            None => merged = Some(result),
+        }
+    }
+    let trace = traced.then(|| concord_trace::merge_shard_traces(traces));
+    (merged.expect("shards >= 1"), trace)
+}
+
 /// Replays a [`RecordedTrace`] through the system — every compared system
 /// sees the *identical* request sequence, arrival times included.
 pub fn simulate_recorded(cfg: &SystemConfig, trace: &RecordedTrace) -> SimResult {
@@ -1257,5 +1329,58 @@ mod tests {
             "goodput={}",
             r.goodput_rps()
         );
+    }
+
+    #[test]
+    fn sharded_sim_conserves_and_splits_load() {
+        let cfg = SystemConfig::concord(4, 5_000);
+        let p = params(80_000.0, 9_001); // odd count: remainder lands on shard 0
+        let r = simulate_sharded(&cfg, mix::bimodal_50_1_50_100(), &p, 3);
+        assert_eq!(r.arrivals, r.completed + r.incomplete, "conservation");
+        assert!(
+            r.completed + r.censored >= p.requests,
+            "all {} requests accounted for, got {} + {}",
+            p.requests,
+            r.completed,
+            r.censored
+        );
+        assert!((r.offered_rps - 80_000.0).abs() < 1e-6);
+        // Merged goodput reads the whole fleet over the slowest shard's
+        // span; below saturation it tracks the total offered load.
+        assert!(
+            (r.goodput_rps() - 80_000.0).abs() / 80_000.0 < 0.10,
+            "goodput={}",
+            r.goodput_rps()
+        );
+    }
+
+    #[test]
+    fn one_shard_sharded_sim_matches_plain_simulate() {
+        let cfg = SystemConfig::concord(4, 5_000);
+        let p = params(40_000.0, 5_000);
+        let plain = simulate(&cfg, mix::tpcc(), &p);
+        let sharded = simulate_sharded(&cfg, mix::tpcc(), &p, 1);
+        assert_eq!(plain.completed, sharded.completed);
+        assert_eq!(plain.preemptions, sharded.preemptions);
+        assert_eq!(plain.span_cycles, sharded.span_cycles);
+        assert_eq!(plain.p999_slowdown(), sharded.p999_slowdown());
+    }
+
+    #[test]
+    fn sharded_traced_sim_packs_shard_ids_into_tracks() {
+        use concord_trace::ShardTraceSummary;
+        let cfg = SystemConfig::concord(2, 5_000);
+        let p = params(30_000.0, 2_000);
+        let (r, trace) = simulate_sharded_traced(&cfg, mix::tpcc(), &p, 2);
+        let summary = ShardTraceSummary::from_trace(&trace);
+        assert_eq!(summary.per_shard.len(), 2, "both shards present in trace");
+        let arrives: u64 = summary
+            .per_shard
+            .iter()
+            .map(|s| s.count(concord_trace::EventKind::Arrive))
+            .sum();
+        assert_eq!(arrives, r.arrivals);
+        // Independent shards never steal from each other in the sim.
+        assert_eq!(summary.total_steals(), 0);
     }
 }

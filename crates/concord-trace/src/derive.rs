@@ -2,9 +2,30 @@
 //! recomputed from raw events alone so they can cross-validate the
 //! runtime's counters.
 
-use crate::event::{EventKind, Trace, N_KINDS};
+use crate::event::{lane_of, shard_of, EventKind, Trace, N_KINDS};
 use concord_metrics::Histogram;
 use std::collections::HashMap;
+
+/// Splits a merged multi-shard trace (tracks packed as
+/// `shard << 16 | lane` by [`crate::event::merge_shard_traces`]) back
+/// into per-shard traces with plain lane tracks. A single-shard trace
+/// comes back as one element, unchanged. Per-track emission order is
+/// preserved, so per-shard monotonicity checks remain valid.
+pub fn split_shards(merged: &Trace) -> Vec<Trace> {
+    let n_shards = merged
+        .records
+        .iter()
+        .map(|r| shard_of(r.track) as usize + 1)
+        .max()
+        .unwrap_or(1);
+    let mut shards: Vec<Trace> = (0..n_shards)
+        .map(|_| Trace::new(merged.n_workers))
+        .collect();
+    for r in &merged.records {
+        shards[shard_of(r.track) as usize].record(lane_of(r.track), r.ev);
+    }
+    shards
+}
 
 /// Per-worker JBSQ occupancy timelines derived from a trace: for each
 /// worker, the `(ts_ns, depth)` points where occupancy changed.
@@ -282,6 +303,94 @@ impl TraceSummary {
     }
 }
 
+/// Per-shard view of a merged multi-shard trace: one [`TraceSummary`]
+/// per shard plus the inter-shard steal traffic the merge makes visible.
+///
+/// Inter-shard steals are `STEAL` events with `gen > 0` (the thief's
+/// dispatcher records `gen = 1 + victim_shard`); the work-conserving
+/// dispatcher's own central-queue steals keep `gen = 0` and stay out of
+/// these counts.
+#[derive(Clone, Debug)]
+pub struct ShardTraceSummary {
+    /// One summary per shard, indexed by shard id.
+    pub per_shard: Vec<TraceSummary>,
+    /// Per thief shard: inter-shard steals it executed (`STEAL` with
+    /// `gen > 0` on that shard's dispatcher track).
+    pub steals_by_thief: Vec<u64>,
+    /// Per victim shard: inter-shard steals taken from it (decoded from
+    /// the thieves' `gen = 1 + victim` fields; a victim id at or past
+    /// the shard count indicates a corrupt trace and is dropped).
+    pub steals_from_victim: Vec<u64>,
+}
+
+impl ShardTraceSummary {
+    /// Splits a merged trace by shard and derives each shard's summary.
+    pub fn from_trace(merged: &Trace) -> ShardTraceSummary {
+        let shards = split_shards(merged);
+        let n = shards.len();
+        let mut steals_by_thief = vec![0u64; n];
+        let mut steals_from_victim = vec![0u64; n];
+        for (shard, t) in shards.iter().enumerate() {
+            let dispatcher = t.dispatcher_track();
+            for r in &t.records {
+                if r.ev.kind() == EventKind::Steal && r.track == dispatcher && r.ev.gen() > 0 {
+                    steals_by_thief[shard] += 1;
+                    let victim = (r.ev.gen() - 1) as usize;
+                    if victim < n {
+                        steals_from_victim[victim] += 1;
+                    }
+                }
+            }
+        }
+        ShardTraceSummary {
+            per_shard: shards.iter().map(TraceSummary::from_trace).collect(),
+            steals_by_thief,
+            steals_from_victim,
+        }
+    }
+
+    /// Number of shards seen in the merged trace.
+    pub fn n_shards(&self) -> usize {
+        self.per_shard.len()
+    }
+
+    /// Total inter-shard steals across all thieves.
+    pub fn total_steals(&self) -> u64 {
+        self.steals_by_thief.iter().sum()
+    }
+
+    /// Runs [`TraceSummary::check`] per shard, prefixing each violation
+    /// with the shard id. JBSQ ≤ k must hold within every shard
+    /// independently — stealing moves only never-started tasks between
+    /// central queues, so it cannot excuse an overfull worker ring.
+    pub fn check(&self, jbsq_k: Option<u32>) -> Vec<String> {
+        let mut v = Vec::new();
+        for (shard, s) in self.per_shard.iter().enumerate() {
+            for violation in s.check(jbsq_k) {
+                v.push(format!("shard {shard}: {violation}"));
+            }
+        }
+        v
+    }
+
+    /// Human-readable per-shard summary: event volume, `Overhead_d`, and
+    /// steal traffic in both directions.
+    pub fn render(&self) -> String {
+        let mut s = format!("sharded trace: {} shards\n", self.n_shards());
+        for (shard, sum) in self.per_shard.iter().enumerate() {
+            s.push_str(&format!(
+                "  shard {shard}: {} events, Overhead_d {:.2}%, \
+                 {} steals in, {} stolen from\n",
+                sum.counts.iter().sum::<u64>(),
+                100.0 * sum.overhead_d(),
+                self.steals_by_thief[shard],
+                self.steals_from_victim[shard],
+            ));
+        }
+        s
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -370,5 +479,62 @@ mod tests {
         t.record(d, TraceEvent::new(200, EventKind::Dispatch, 2, 0));
         let s = TraceSummary::from_trace(&t);
         assert_eq!(s.max_occupancy, vec![1]);
+    }
+
+    #[test]
+    fn split_shards_round_trips_merge() {
+        use crate::event::merge_shard_traces;
+        let mut a = Trace::new(2);
+        a.record(0, TraceEvent::new(10, EventKind::Resume, 1, 1));
+        a.record(2, TraceEvent::new(20, EventKind::Arrive, 2, 0));
+        let mut b = Trace::new(2);
+        b.record(1, TraceEvent::new(15, EventKind::Resume, 3, 1));
+        let merged = merge_shard_traces(vec![a.clone(), b.clone()]);
+        let split = split_shards(&merged);
+        assert_eq!(split.len(), 2);
+        assert_eq!(split[0].records, a.records);
+        assert_eq!(split[1].records, b.records);
+        // A plain single-shard trace splits to itself.
+        assert_eq!(split_shards(&a)[0].records, a.records);
+    }
+
+    #[test]
+    fn shard_summary_counts_inter_shard_steals_by_gen() {
+        use crate::event::merge_shard_traces;
+        let mut victim = Trace::new(1);
+        let d = victim.dispatcher_track();
+        victim.record(d, TraceEvent::new(100, EventKind::Arrive, 1, 0));
+        // Work-conserving steal on shard 0: gen = 0, not inter-shard.
+        victim.record(d, TraceEvent::new(110, EventKind::Steal, 1, 0));
+        let mut thief = Trace::new(1);
+        // Inter-shard steal by shard 1 from shard 0: gen = 1 + victim.
+        thief.record(d, TraceEvent::new(120, EventKind::Steal, 2, 1));
+        thief.record(d, TraceEvent::new(130, EventKind::Resume, 2, 0));
+        thief.record(d, TraceEvent::new(150, EventKind::Complete, 2, 0));
+        let merged = merge_shard_traces(vec![victim, thief]);
+        let s = ShardTraceSummary::from_trace(&merged);
+        assert_eq!(s.n_shards(), 2);
+        assert_eq!(s.steals_by_thief, vec![0, 1]);
+        assert_eq!(s.steals_from_victim, vec![1, 0]);
+        assert_eq!(s.total_steals(), 1);
+        assert_eq!(s.per_shard[0].count(EventKind::Steal), 1);
+        assert_eq!(s.per_shard[1].count(EventKind::Steal), 1);
+        assert!(s.per_shard[1].overhead_d() > 0.0);
+        assert!(s.check(Some(2)).is_empty(), "{:?}", s.check(Some(2)));
+    }
+
+    #[test]
+    fn shard_check_prefixes_shard_id() {
+        use crate::event::merge_shard_traces;
+        let clean = Trace::new(1);
+        let mut bad = Trace::new(1);
+        let d = bad.dispatcher_track();
+        for i in 0..3u64 {
+            bad.record(d, TraceEvent::new(100 + i, EventKind::Dispatch, i, 0));
+        }
+        let merged = merge_shard_traces(vec![clean, bad]);
+        let v = ShardTraceSummary::from_trace(&merged).check(Some(2));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].starts_with("shard 1:"), "{v:?}");
     }
 }

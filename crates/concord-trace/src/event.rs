@@ -125,8 +125,52 @@ impl TraceEvent {
     }
 }
 
+/// Bits of the track word holding the lane (worker/dispatcher index);
+/// the shard id occupies the bits above when per-shard traces are
+/// merged ([`merge_shard_traces`]).
+pub const TRACK_LANE_BITS: u32 = 16;
+
+/// Packs a shard id and a lane index into one track word:
+/// `track = shard << 16 | lane`. An unmerged (single-shard) trace uses
+/// bare lane indices, which is the same word with `shard == 0`.
+pub fn pack_track(shard: u32, lane: u32) -> u32 {
+    (shard << TRACK_LANE_BITS) | (lane & 0xFFFF)
+}
+
+/// The shard id packed into a track word (0 on unmerged traces).
+pub fn shard_of(track: u32) -> u32 {
+    track >> TRACK_LANE_BITS
+}
+
+/// The lane (worker index, or `n_workers` for the dispatcher) of a
+/// track word.
+pub fn lane_of(track: u32) -> u32 {
+    track & 0xFFFF
+}
+
+/// Merges per-shard traces into one, re-tagging each record's track
+/// word with its shard id (`track = shard << 16 | lane`, shard = the
+/// trace's index in `traces`). All shards must have the same worker
+/// count; the merged trace keeps that per-shard `n_workers`, so
+/// [`Trace::dispatcher_track`] remains the per-shard dispatcher *lane*.
+/// Use [`shard_of`]/[`lane_of`] to split records back out (or
+/// [`crate::derive::ShardTraceSummary`], which does it for you).
+pub fn merge_shard_traces(traces: Vec<Trace>) -> Trace {
+    let n_workers = traces.first().map_or(0, |t| t.n_workers);
+    let mut merged = Trace::new(n_workers);
+    for (shard, t) in traces.into_iter().enumerate() {
+        debug_assert_eq!(t.n_workers, n_workers, "uniform shard shape");
+        for r in t.records {
+            merged.record(pack_track(shard as u32, r.track), r.ev);
+        }
+    }
+    merged
+}
+
 /// An event tagged with the track (lane) that emitted it. Tracks
 /// `0..n_workers` are workers; track `n_workers` is the dispatcher.
+/// In a merged multi-shard trace the shard id occupies the track word's
+/// high bits (see [`pack_track`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TraceRecord {
     /// Emitting track index.

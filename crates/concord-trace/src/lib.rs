@@ -34,5 +34,7 @@ pub mod event;
 pub mod perfetto;
 
 pub use collector::{TraceCollector, TraceLane};
-pub use derive::TraceSummary;
-pub use event::{EventKind, Trace, TraceEvent, TraceRecord};
+pub use derive::{split_shards, ShardTraceSummary, TraceSummary};
+pub use event::{
+    lane_of, merge_shard_traces, pack_track, shard_of, EventKind, Trace, TraceEvent, TraceRecord,
+};

@@ -15,7 +15,8 @@
 //! - per-worker JBSQ occupancy becomes a `"C"` counter series
 //!   (`jbsq depth wN`), derived as in [`crate::derive`].
 
-use crate::event::{EventKind, Trace};
+use crate::event::{lane_of, pack_track, shard_of, EventKind, Trace};
+use std::collections::{BTreeSet, HashMap};
 use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
@@ -35,10 +36,18 @@ fn push_event(out: &mut String, first: &mut bool, body: &str) {
 }
 
 fn track_name(trace: &Trace, track: u32) -> String {
-    if track == trace.dispatcher_track() {
+    // Merged multi-shard traces pack `shard << 16 | lane`; a plain
+    // trace is the shard-0 special case of the same layout.
+    let (shard, lane) = (shard_of(track), lane_of(track));
+    let base = if lane == trace.dispatcher_track() {
         "dispatcher".to_string()
     } else {
-        format!("worker {track}")
+        format!("worker {lane}")
+    };
+    if shard == 0 {
+        base
+    } else {
+        format!("s{shard} {base}")
     }
 }
 
@@ -55,7 +64,11 @@ pub fn to_json(trace: &Trace) -> String {
         "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\
          \"args\":{\"name\":\"concord\"}}",
     );
-    for track in 0..=trace.dispatcher_track() {
+    // Shard 0's full lane set always gets a name; merged traces add
+    // whatever packed tracks actually emitted records.
+    let mut tracks: BTreeSet<u32> = (0..=trace.dispatcher_track()).collect();
+    tracks.extend(trace.records.iter().map(|r| r.track));
+    for track in tracks {
         push_event(
             &mut out,
             &mut first,
@@ -69,14 +82,17 @@ pub fn to_json(trace: &Trace) -> String {
 
     let sorted = trace.sorted();
 
-    // Slices: RESUME opens, YIELD/COMPLETE closes, per track.
-    let mut open: Vec<Option<(u64, u64, u64)>> = vec![None; trace.n_workers + 1]; // (ts, id, gen)
+    // Slices: RESUME opens, YIELD/COMPLETE closes, per track. Keyed by
+    // the raw track word so merged multi-shard traces (sparse, packed
+    // track ids) work the same as plain ones.
+    let mut open: HashMap<u32, (u64, u64, u64)> = HashMap::new(); // track -> (ts, id, gen)
     for r in &sorted {
-        let track = r.track as usize;
         match r.ev.kind() {
-            EventKind::Resume => open[track] = Some((r.ev.ts_ns, r.ev.id(), r.ev.gen())),
+            EventKind::Resume => {
+                open.insert(r.track, (r.ev.ts_ns, r.ev.id(), r.ev.gen()));
+            }
             EventKind::Yield | EventKind::Complete => {
-                if let Some((start, id, gen)) = open[track].take() {
+                if let Some((start, id, gen)) = open.remove(&r.track) {
                     let dur = r.ev.ts_ns.saturating_sub(start);
                     push_event(
                         &mut out,
@@ -128,21 +144,27 @@ pub fn to_json(trace: &Trace) -> String {
         }
     }
 
-    // Per-worker JBSQ occupancy counters.
-    for (w, timeline) in crate::derive::queue_depth_timelines(trace)
-        .iter()
-        .enumerate()
-    {
-        for &(ts, depth) in timeline {
-            push_event(
-                &mut out,
-                &mut first,
-                &format!(
-                    "{{\"ph\":\"C\",\"pid\":1,\"tid\":{w},\"ts\":{},\
-                     \"name\":\"jbsq depth w{w}\",\"args\":{{\"depth\":{depth}}}}}",
-                    ts_us(ts)
-                ),
-            );
+    // Per-worker JBSQ occupancy counters, derived per shard so a merged
+    // multi-shard trace gets a series per (shard, worker) lane.
+    for (shard, sub) in crate::derive::split_shards(trace).iter().enumerate() {
+        for (w, timeline) in crate::derive::queue_depth_timelines(sub).iter().enumerate() {
+            let tid = pack_track(shard as u32, w as u32);
+            let label = if shard == 0 {
+                format!("jbsq depth w{w}")
+            } else {
+                format!("jbsq depth s{shard} w{w}")
+            };
+            for &(ts, depth) in timeline {
+                push_event(
+                    &mut out,
+                    &mut first,
+                    &format!(
+                        "{{\"ph\":\"C\",\"pid\":1,\"tid\":{tid},\"ts\":{},\
+                         \"name\":\"{label}\",\"args\":{{\"depth\":{depth}}}}}",
+                        ts_us(ts)
+                    ),
+                );
+            }
         }
     }
 
@@ -194,5 +216,20 @@ mod tests {
         // Metadata only: process name + 3 thread names.
         assert_eq!(json.matches("\"ph\":\"M\"").count(), 4);
         assert!(json.contains("\"dispatcher\""));
+    }
+
+    #[test]
+    fn merged_multi_shard_trace_exports_without_panicking() {
+        use crate::event::merge_shard_traces;
+        let merged = merge_shard_traces(vec![sample(), sample()]);
+        let json = to_json(&merged);
+        // Shard 1's tracks are named with an s1 prefix; its slices land
+        // on packed tids (1 << 16 | lane).
+        assert!(json.contains("\"s1 dispatcher\""));
+        assert!(json.contains("\"s1 worker 0\""));
+        assert!(json.contains(&format!("\"tid\":{}", 1u32 << 16)));
+        // Both shards' slices survive: 2 per shard.
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 4);
+        assert!(json.contains("\"jbsq depth s1 w0\""));
     }
 }

@@ -649,8 +649,10 @@ impl<A: ConcordApp, I: Ingress, E: Egress> DispatcherLoop<A, I, E> {
             }
         }
         // Collector gone (or backpressure injected); drop the response
-        // descriptor — but never silently: the loss is counted and
-        // announced once.
+        // descriptor — but never silently: the loss is counted, the
+        // transport settles its per-connection books, and the first
+        // drop is announced.
+        self.tx.on_drop(&r);
         #[cfg(feature = "trace")]
         {
             let now_ns = self.clock.now_ns();

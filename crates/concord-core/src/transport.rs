@@ -75,6 +75,17 @@ pub trait Egress: Send + 'static {
     /// then drops-and-counts (`RuntimeStats::tx_dropped`), so a wedged
     /// client can never stall scheduling.
     fn send(&mut self, resp: Response) -> Result<(), Response>;
+
+    /// Called exactly once when the dispatcher gives up on a response
+    /// after its bounded retry (the `tx_dropped` path). Transports that
+    /// keep per-connection books — `concord-server` counts every
+    /// admitted request as *owed* a response until one is enqueued —
+    /// settle them here, so a dropped response can never pin a
+    /// connection's resources forever. Must not block. Default: no-op
+    /// (the NIC-model rings have no books).
+    fn on_drop(&mut self, resp: &Response) {
+        let _ = resp;
+    }
 }
 
 /// The NIC-model RX ring is the original ingress.

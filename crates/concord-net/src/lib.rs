@@ -14,11 +14,15 @@
 //! - [`loadgen`] — an open-loop generator that paces arrivals according to
 //!   a `concord-workloads` trace and a collector that turns responses into
 //!   client-side latency/slowdown measurements.
+//! - [`poll`] (Linux) — a first-party epoll/eventfd/`writev` wrapper,
+//!   the readiness layer under `concord-server`'s event-loop ingress.
 
 #![warn(missing_docs)]
 
 pub mod loadgen;
 pub mod packet;
+#[cfg(target_os = "linux")]
+pub mod poll;
 pub mod ring;
 pub mod rtt;
 

@@ -4,8 +4,13 @@
 //! concord-serve [--addr HOST:PORT] [--app spin|kv] [--workers N]
 //!               [--shards N] [--quantum-us US] [--admission-cap N]
 //!               [--admission-policy drop-newest|drop-oldest|reject]
+//!               [--ingress epoll|threads] [--loops N]
 //!               [--oneshot] [--trace PATH]
 //! ```
+//!
+//! `--ingress` selects the socket-servicing model: `epoll` (default)
+//! multiplexes all connections over a fixed pool of `--loops` I/O event
+//! loops; `threads` is the thread-per-connection baseline.
 //!
 //! `--oneshot` serves until at least one client has connected and all
 //! clients have finished sending, then shuts down gracefully and prints
@@ -20,7 +25,7 @@
 
 use concord_core::admission::{AdmissionConfig, AdmissionPolicy};
 use concord_core::{ConcordApp, RuntimeConfig};
-use concord_server::{RouterPolicy, Server, ServerConfig, ServerReport};
+use concord_server::{IngressMode, Server, ServerConfig, ServerReport};
 use std::process::exit;
 use std::sync::Arc;
 use std::time::Duration;
@@ -33,6 +38,8 @@ struct Args {
     quantum_us: f64,
     admission_cap: usize,
     admission_policy: AdmissionPolicy,
+    ingress: IngressMode,
+    loops: usize,
     oneshot: bool,
     trace: Option<std::path::PathBuf>,
 }
@@ -41,7 +48,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: concord-serve [--addr HOST:PORT] [--app spin|kv] [--workers N] [--shards N] \
          [--quantum-us US] [--admission-cap N] \
-         [--admission-policy drop-newest|drop-oldest|reject] [--oneshot] [--trace PATH]"
+         [--admission-policy drop-newest|drop-oldest|reject] \
+         [--ingress epoll|threads] [--loops N] [--oneshot] [--trace PATH]"
     );
     exit(2);
 }
@@ -55,6 +63,8 @@ fn parse_args() -> Args {
         quantum_us: 5.0,
         admission_cap: 4096,
         admission_policy: AdmissionPolicy::RejectNewest,
+        ingress: IngressMode::EventLoop,
+        loops: 0,
         oneshot: false,
         trace: None,
     };
@@ -78,6 +88,14 @@ fn parse_args() -> Args {
             "--admission-policy" => {
                 args.admission_policy = AdmissionPolicy::parse(&value).unwrap_or_else(|| usage())
             }
+            "--ingress" => {
+                args.ingress = match value.as_str() {
+                    "epoll" => IngressMode::EventLoop,
+                    "threads" => IngressMode::Threads,
+                    _ => usage(),
+                }
+            }
+            "--loops" => args.loops = value.parse().unwrap_or_else(|_| usage()),
             "--trace" => args.trace = Some(value.into()),
             _ => usage(),
         }
@@ -88,8 +106,13 @@ fn parse_args() -> Args {
 
 fn print_report(report: &ServerReport, trace_path: Option<&std::path::Path>) {
     println!(
-        "connections accepted {}  refused {}  protocol errors {}  orphaned responses {}",
-        report.accepted, report.refused, report.protocol_errors, report.orphaned_responses
+        "connections accepted {}  refused {}  protocol errors {}  orphaned responses {}  \
+         retries dropped {}",
+        report.accepted,
+        report.refused,
+        report.protocol_errors,
+        report.orphaned_responses,
+        report.retries_dropped
     );
     for (shard, adm) in report.admission_per_shard.iter().enumerate() {
         println!(
@@ -141,21 +164,23 @@ fn print_report(report: &ServerReport, trace_path: Option<&std::path::Path>) {
 }
 
 fn serve<A: ConcordApp>(args: &Args, app: Arc<A>) {
+    let runtime = RuntimeConfig::builder()
+        .workers(args.workers)
+        .num_shards(args.shards)
+        .quantum(Duration::from_nanos((args.quantum_us * 1000.0) as u64))
+        .build()
+        .unwrap_or_else(|e| {
+            eprintln!("concord-serve: invalid runtime config: {e}");
+            exit(2);
+        });
     let cfg = ServerConfig {
-        runtime: RuntimeConfig::builder()
-            .workers(args.workers)
-            .num_shards(args.shards)
-            .quantum(Duration::from_nanos((args.quantum_us * 1000.0) as u64))
-            .build()
-            .unwrap_or_else(|e| {
-                eprintln!("concord-serve: invalid runtime config: {e}");
-                exit(2);
-            }),
         admission: AdmissionConfig {
             capacity: args.admission_cap,
             policy: args.admission_policy,
         },
-        router: RouterPolicy::HashP2c,
+        ingress: args.ingress,
+        event_loops: args.loops,
+        ..ServerConfig::new(runtime)
     };
     let server = match Server::bind(&args.addr, cfg, app) {
         Ok(s) => s,

@@ -1,0 +1,381 @@
+//! Loopback ingress benchmark: thread-per-connection vs event-loop.
+//!
+//! Drives the same closed-loop workload against both ingress models at 1
+//! and 2 scheduler shards, then writes `BENCH_ingress.json` with
+//! throughput and sojourn percentiles per configuration plus the
+//! old-vs-new throughput speedup. CI runs this per PR; the checked-in
+//! copy at the repo root is the performance trajectory baseline.
+//!
+//! The load generator is a single thread multiplexing every connection
+//! through the same epoll wrapper the server uses, so client-side cost
+//! is flat across configurations and the measured difference is the
+//! server's socket-servicing model, not the harness.
+//!
+//! ```text
+//! ingress-bench [--requests N] [--conns N] [--window N] [--service-us F]
+//!               [--out PATH]
+//! ```
+
+use concord_core::admission::{AdmissionConfig, AdmissionPolicy};
+use concord_core::{RuntimeConfig, SpinApp};
+use concord_metrics::Histogram;
+use concord_net::poll::{Events, Interest, Poller};
+use concord_server::buf::RecvBuf;
+use concord_server::wire::{self, Frame, Status};
+use concord_server::{IngressMode, Server, ServerConfig};
+use std::collections::HashMap;
+use std::io::{ErrorKind, Write};
+use std::net::TcpStream;
+use std::os::fd::AsRawFd;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Args {
+    /// Total requests per configuration (split across connections).
+    requests: u64,
+    /// Concurrent closed-loop connections.
+    conns: usize,
+    /// In-flight window per connection.
+    window: usize,
+    /// Nominal spin per request, microseconds.
+    service_us: f64,
+    /// Output path for the JSON report.
+    out: String,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ingress-bench [--requests N] [--conns N] [--window N] \
+         [--service-us F] [--out PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        requests: 40_000,
+        conns: 64,
+        window: 4,
+        service_us: 0.5,
+        out: "BENCH_ingress.json".to_string(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let need = |i: usize| argv.get(i + 1).cloned().unwrap_or_else(|| usage());
+        match argv[i].as_str() {
+            "--requests" => args.requests = need(i).parse().unwrap_or_else(|_| usage()),
+            "--conns" => args.conns = need(i).parse().unwrap_or_else(|_| usage()),
+            "--window" => args.window = need(i).parse().unwrap_or_else(|_| usage()),
+            "--service-us" => args.service_us = need(i).parse().unwrap_or_else(|_| usage()),
+            "--out" => args.out = need(i),
+            _ => usage(),
+        }
+        i += 2;
+    }
+    if args.conns == 0 || args.requests == 0 || args.window == 0 {
+        usage();
+    }
+    args
+}
+
+/// One multiplexed closed-loop connection's client-side state.
+struct BenchConn {
+    stream: TcpStream,
+    rbuf: RecvBuf,
+    out: Vec<u8>,
+    out_off: usize,
+    token: u64,
+    next_id: u64,
+    to_send: u64,
+    inflight: HashMap<u64, Instant>,
+    interest: Interest,
+    done: bool,
+}
+
+/// Totals one [`drive`] call observed across every connection.
+struct DriveResult {
+    sent: u64,
+    completed: u64,
+    rejected: u64,
+    sojourn_ns: Histogram,
+    elapsed: Duration,
+}
+
+/// Single-threaded closed-loop load: `conns` connections, each keeping
+/// `window` requests in flight until it has sent `per_conn`, multiplexed
+/// over one epoll instance.
+fn drive(addr: &str, conns: usize, window: usize, per_conn: u64, service_ns: u64) -> DriveResult {
+    let poller = Poller::new().expect("epoll");
+    let mut table: Vec<BenchConn> = (0..conns)
+        .map(|i| {
+            let stream = TcpStream::connect(addr).expect("connect");
+            stream.set_nodelay(true).expect("nodelay");
+            stream.set_nonblocking(true).expect("nonblocking");
+            poller
+                .add(stream.as_raw_fd(), i as u64, Interest::READ)
+                .expect("register");
+            BenchConn {
+                stream,
+                rbuf: RecvBuf::new(),
+                out: Vec::with_capacity(4096),
+                out_off: 0,
+                token: i as u64,
+                next_id: 1,
+                to_send: per_conn,
+                inflight: HashMap::with_capacity(window),
+                interest: Interest::READ,
+                done: false,
+            }
+        })
+        .collect();
+
+    let mut hist = Histogram::default();
+    let (mut sent, mut completed, mut rejected) = (0u64, 0u64, 0u64);
+    let mut live = conns;
+    let started = Instant::now();
+    // Prime every window, then run off readiness.
+    for conn in table.iter_mut().take(conns) {
+        pump(&poller, conn, window, service_ns, &mut sent);
+    }
+    let mut events = Events::with_capacity(256);
+    let deadline = started + Duration::from_secs(300);
+    while live > 0 {
+        assert!(Instant::now() < deadline, "bench wedged");
+        poller.wait(&mut events, 100).expect("epoll wait");
+        for ev in events.iter() {
+            let conn = &mut table[ev.token as usize];
+            if conn.done {
+                continue;
+            }
+            if ev.readable || ev.hangup {
+                read_responses(conn, &mut hist, &mut completed, &mut rejected);
+            }
+            pump(&poller, conn, window, service_ns, &mut sent);
+            if conn.to_send == 0 && conn.inflight.is_empty() && conn.out_off == conn.out.len() {
+                conn.done = true;
+                live -= 1;
+                poller.delete(conn.stream.as_raw_fd()).expect("deregister");
+                let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+    DriveResult {
+        sent,
+        completed,
+        rejected,
+        sojourn_ns: hist,
+        elapsed: started.elapsed(),
+    }
+}
+
+/// Drains readable responses into the histogram.
+fn read_responses(
+    conn: &mut BenchConn,
+    hist: &mut Histogram,
+    completed: &mut u64,
+    rejected: &mut u64,
+) {
+    loop {
+        match conn.rbuf.fill(&mut conn.stream) {
+            Ok(0) => panic!("server closed a bench connection"),
+            Ok(_) => {
+                let now = Instant::now();
+                let mut at = 0;
+                loop {
+                    match wire::decode(&conn.rbuf.data()[at..]) {
+                        Ok(Some((Frame::Response(rf), used))) => {
+                            let stamp = conn
+                                .inflight
+                                .remove(&rf.id)
+                                .expect("response for an unknown id");
+                            match rf.status {
+                                Status::Retry => *rejected += 1,
+                                _ => {
+                                    *completed += 1;
+                                    hist.record(now.duration_since(stamp).as_nanos() as u64);
+                                }
+                            }
+                            at += used;
+                        }
+                        Ok(Some((Frame::Request(_), _))) => panic!("server sent a request"),
+                        Ok(None) => break,
+                        Err(e) => panic!("malformed response frame: {e:?}"),
+                    }
+                }
+                if at > 0 {
+                    conn.rbuf.consume(at);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => panic!("bench read failed: {e}"),
+        }
+    }
+}
+
+/// Tops the window up, flushes what it can without blocking, and keeps
+/// epoll write interest in sync with whether bytes are still pending.
+fn pump(poller: &Poller, conn: &mut BenchConn, window: usize, service_ns: u64, sent: &mut u64) {
+    while conn.to_send > 0 && conn.inflight.len() < window {
+        let id = conn.next_id;
+        conn.next_id += 1;
+        conn.to_send -= 1;
+        *sent += 1;
+        conn.inflight.insert(id, Instant::now());
+        wire::encode_request(&mut conn.out, id, 0, service_ns, &[]);
+    }
+    let mut blocked = false;
+    while conn.out_off < conn.out.len() {
+        match conn.stream.write(&conn.out[conn.out_off..]) {
+            Ok(n) => conn.out_off += n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                blocked = true;
+                break;
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => panic!("bench write failed: {e}"),
+        }
+    }
+    if conn.out_off == conn.out.len() {
+        conn.out.clear();
+        conn.out_off = 0;
+    }
+    let want = if blocked {
+        Interest::READ_WRITE
+    } else {
+        Interest::READ
+    };
+    if want != conn.interest {
+        poller
+            .modify(conn.stream.as_raw_fd(), conn.token, want)
+            .expect("rearm");
+        conn.interest = want;
+    }
+}
+
+struct RunResult {
+    ingress: &'static str,
+    shards: usize,
+    sent: u64,
+    completed: u64,
+    rejected: u64,
+    elapsed: Duration,
+    throughput_rps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    p999_us: f64,
+}
+
+/// One full configuration: bind a server, drive the closed loop, report.
+fn run_once(mode: IngressMode, shards: usize, args: &Args) -> RunResult {
+    let runtime = RuntimeConfig::builder()
+        .workers(1)
+        .num_shards(shards)
+        .quantum(Duration::from_micros(100))
+        .build()
+        .expect("valid config");
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            admission: AdmissionConfig {
+                capacity: 4096,
+                policy: AdmissionPolicy::RejectNewest,
+            },
+            ingress: mode,
+            ..ServerConfig::new(runtime)
+        },
+        Arc::new(SpinApp::new()),
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr().to_string();
+
+    let per_conn = args.requests / args.conns as u64;
+    let service_ns = (args.service_us * 1_000.0) as u64;
+    let r = drive(&addr, args.conns, args.window, per_conn, service_ns);
+    let report = server.shutdown();
+    assert_eq!(report.protocol_errors, 0, "bench must run clean");
+
+    let us = |q: f64| r.sojourn_ns.value_at_quantile(q) as f64 / 1_000.0;
+    RunResult {
+        ingress: match mode {
+            IngressMode::EventLoop => "event_loop",
+            IngressMode::Threads => "threads",
+        },
+        shards,
+        sent: r.sent,
+        completed: r.completed,
+        rejected: r.rejected,
+        elapsed: r.elapsed,
+        throughput_rps: r.completed as f64 / r.elapsed.as_secs_f64(),
+        p50_us: us(0.50),
+        p99_us: us(0.99),
+        p999_us: us(0.999),
+    }
+}
+
+fn json_run(r: &RunResult) -> String {
+    format!(
+        "    {{\"ingress\": \"{}\", \"shards\": {}, \"sent\": {}, \
+         \"completed\": {}, \"rejected\": {}, \"elapsed_s\": {:.3}, \
+         \"throughput_rps\": {:.0}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \
+         \"p999_us\": {:.1}}}",
+        r.ingress,
+        r.shards,
+        r.sent,
+        r.completed,
+        r.rejected,
+        r.elapsed.as_secs_f64(),
+        r.throughput_rps,
+        r.p50_us,
+        r.p99_us,
+        r.p999_us
+    )
+}
+
+fn main() {
+    let args = parse_args();
+    let shard_counts = [1usize, 2];
+    let mut runs: Vec<RunResult> = Vec::new();
+    for &shards in &shard_counts {
+        for mode in [IngressMode::Threads, IngressMode::EventLoop] {
+            let r = run_once(mode, shards, &args);
+            eprintln!(
+                "{:>10} x{} shard(s): {:>9.0} req/s  p50 {:>7.1}us  p99 {:>8.1}us  p99.9 {:>8.1}us",
+                r.ingress, r.shards, r.throughput_rps, r.p50_us, r.p99_us, r.p999_us
+            );
+            runs.push(r);
+        }
+    }
+
+    let speedup = |shards: usize| -> f64 {
+        let old = runs
+            .iter()
+            .find(|r| r.ingress == "threads" && r.shards == shards)
+            .expect("threads run");
+        let new = runs
+            .iter()
+            .find(|r| r.ingress == "event_loop" && r.shards == shards)
+            .expect("event_loop run");
+        new.throughput_rps / old.throughput_rps
+    };
+    let (s1, s2) = (speedup(1), speedup(2));
+    eprintln!("speedup (event_loop / threads): x{s1:.2} @ 1 shard, x{s2:.2} @ 2 shards");
+
+    let body = format!(
+        "{{\n  \"bench\": \"ingress\",\n  \"config\": {{\"requests\": {}, \
+         \"conns\": {}, \"window\": {}, \"service_us\": {}, \
+         \"workers_per_shard\": 1}},\n  \"runs\": [\n{}\n  ],\n  \
+         \"speedup_throughput\": {{\"1_shard\": {:.2}, \"2_shards\": {:.2}}}\n}}\n",
+        args.requests,
+        args.conns,
+        args.window,
+        args.service_us,
+        runs.iter().map(json_run).collect::<Vec<_>>().join(",\n"),
+        s1,
+        s2
+    );
+    let mut f = std::fs::File::create(&args.out).expect("create output");
+    f.write_all(body.as_bytes()).expect("write output");
+    eprintln!("wrote {}", args.out);
+}

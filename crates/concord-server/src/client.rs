@@ -18,7 +18,7 @@ use concord_workloads::arrival::Poisson;
 use concord_workloads::trace::TraceGenerator;
 use concord_workloads::Workload;
 use std::collections::BTreeMap;
-use std::io::{ErrorKind, Read, Write};
+use std::io::{ErrorKind, Write};
 use std::net::{Shutdown, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -317,16 +317,14 @@ fn reader_loop(mut stream: TcpStream, shared: Arc<ReaderShared>, epoch: Instant)
         slowdown: SlowdownTracker::new(),
         by_class: BTreeMap::new(),
     };
-    let mut buf: Vec<u8> = Vec::with_capacity(16 * 1024);
-    let mut chunk = [0u8; 16 * 1024];
+    let mut buf = crate::buf::RecvBuf::new();
     loop {
-        match stream.read(&mut chunk) {
+        match buf.fill(&mut stream) {
             Ok(0) => return stats,
-            Ok(n) => {
-                buf.extend_from_slice(&chunk[..n]);
+            Ok(_) => {
                 let mut at = 0;
                 loop {
-                    match wire::decode(&buf[at..]) {
+                    match wire::decode(&buf.data()[at..]) {
                         Ok(Some((Frame::Response(rf), consumed))) => {
                             at += consumed;
                             record_response(&rf, &shared, &mut stats, epoch);
@@ -340,7 +338,7 @@ fn reader_loop(mut stream: TcpStream, shared: Arc<ReaderShared>, epoch: Instant)
                     }
                 }
                 if at > 0 {
-                    buf.drain(..at);
+                    buf.consume(at);
                 }
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {

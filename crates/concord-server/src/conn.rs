@@ -30,7 +30,7 @@ use std::collections::VecDeque;
 use std::io::Write;
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Duration;
 
 /// Bits of the request id left to the client. Client ids above 2^40
@@ -45,10 +45,12 @@ const GEN_MASK: u64 = (1 << GEN_BITS) - 1;
 /// Maximum concurrently-registered connections (16-bit slot space).
 pub const MAX_CONNS: usize = 1 << 16;
 
-/// Encoded frames a connection's outbox may hold before the egress
-/// reports backpressure to the dispatcher (which then retries briefly
-/// and counts `tx_dropped`, same as a full TX ring).
-const OUTBOX_CAP: usize = 64 * 1024;
+/// Default bound on encoded frames a connection's outbox may hold
+/// before the egress reports backpressure to the dispatcher (which then
+/// retries briefly and counts `tx_dropped`, same as a full TX ring).
+/// Tests shrink it (`ServerConfig::outbox_cap`) to exercise the
+/// backpressure accounting deterministically.
+pub const DEFAULT_OUTBOX_CAP: usize = 64 * 1024;
 
 /// Composes the routed request id for a connection.
 pub fn route_id(slot: u16, gen: u8, client_id: u64) -> u64 {
@@ -66,11 +68,30 @@ pub fn split_route_id(rid: u64) -> (u16, u8, u64) {
     )
 }
 
+/// How a [`ConnWriter`] tells its owning I/O event loop that the
+/// connection needs service (a frame was enqueued, a book settled, the
+/// connection closed). Implemented by the event loop's shared state;
+/// absent in the thread-per-connection model, whose writer thread waits
+/// on the condvar instead.
+pub(crate) trait ConnNotify: Send + Sync {
+    /// Marks connection `(slot, gen)` dirty and wakes the loop.
+    fn notify(&self, slot: u16, gen: u8);
+}
+
+struct Binding {
+    notify: Arc<dyn ConnNotify>,
+    slot: u16,
+    gen: u8,
+}
+
 /// A connection's outbox and retirement state: encoded frames queued for
-/// its writer thread, plus the books that decide when the writer may
-/// exit and release the slot.
+/// flushing, plus the books that decide when the connection may retire
+/// and release its slot. Flushed either by a dedicated writer thread
+/// (thread-per-connection model, [`ConnWriter::run`]) or by the owning
+/// I/O event loop (notified through [`ConnNotify`]).
 pub struct ConnWriter {
     outbox: Mutex<VecDeque<Vec<u8>>>,
+    cap: usize,
     wake: Condvar,
     closed: AtomicBool,
     /// The client half-closed its sending side; no more requests can
@@ -78,24 +99,60 @@ pub struct ConnWriter {
     read_closed: AtomicBool,
     /// Admitted requests whose response has not yet reached the outbox.
     /// Incremented by the reader at admission, decremented by the egress
-    /// at enqueue time (or when the admission gate evicts the request).
+    /// at enqueue time (or when the admission gate evicts the request,
+    /// or when the dispatcher drops the response under backpressure).
     owed: AtomicU64,
+    /// Event-loop binding, set once right after slot registration.
+    binding: OnceLock<Binding>,
+    /// Dedup flag: `true` while a dirty notification for this connection
+    /// is outstanding, so a burst of enqueues wakes the loop once.
+    queued: AtomicBool,
 }
 
 impl ConnWriter {
-    pub(crate) fn new() -> Arc<Self> {
+    pub(crate) fn new(cap: usize) -> Arc<Self> {
         Arc::new(Self {
             outbox: Mutex::new(VecDeque::new()),
+            cap: cap.max(1),
             wake: Condvar::new(),
             closed: AtomicBool::new(false),
             read_closed: AtomicBool::new(false),
             owed: AtomicU64::new(0),
+            binding: OnceLock::new(),
+            queued: AtomicBool::new(false),
         })
+    }
+
+    /// Binds this writer to its owning event loop. Called once, after
+    /// the slot is registered and before any frame can be enqueued.
+    pub(crate) fn bind_notifier(&self, notify: Arc<dyn ConnNotify>, slot: u16, gen: u8) {
+        let _ = self.binding.set(Binding { notify, slot, gen });
+    }
+
+    /// Wakes the owning event loop (coalesced: one outstanding
+    /// notification at a time). No-op in the writer-thread model.
+    fn nudge(&self) {
+        if let Some(b) = self.binding.get() {
+            if !self.queued.swap(true, Ordering::AcqRel) {
+                b.notify.notify(b.slot, b.gen);
+            }
+        }
+    }
+
+    /// Event-loop side: accepts new dirty notifications again. Called
+    /// before servicing, so an enqueue racing the service re-notifies.
+    pub(crate) fn clear_queued(&self) {
+        self.queued.store(false, Ordering::Release);
     }
 
     /// Whether the connection has been torn down.
     pub(crate) fn is_closed(&self) -> bool {
         self.closed.load(Ordering::Acquire)
+    }
+
+    /// Responses still owed to this connection.
+    pub(crate) fn owed(&self) -> u64 {
+        self.owed.load(Ordering::Acquire)
     }
 
     /// Reader-side: one admitted request now owes this connection a
@@ -104,21 +161,25 @@ impl ConnWriter {
         self.owed.fetch_add(1, Ordering::AcqRel);
     }
 
-    /// Settles one owed response (enqueued, or evicted at the gate so no
-    /// response will ever come). Saturates rather than underflows: the
-    /// egress can settle a response whose request predates a reconnect.
+    /// Settles one owed response (enqueued, evicted at the gate, or
+    /// dropped by the dispatcher under backpressure — in every case no
+    /// further response will come for that request). Saturates rather
+    /// than underflows: the egress can settle a response whose request
+    /// predates a reconnect.
     pub(crate) fn settle_owed(&self) {
         let _ = self
             .owed
             .fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| v.checked_sub(1));
         self.wake.notify_all();
+        self.nudge();
     }
 
-    /// Reader-side: the client half-closed; the writer may retire once
-    /// the outbox is drained and nothing more is owed.
+    /// Reader-side: the client half-closed; the connection may retire
+    /// once the outbox is drained and nothing more is owed.
     pub(crate) fn reader_done(&self) {
         self.read_closed.store(true, Ordering::Release);
         self.wake.notify_all();
+        self.nudge();
     }
 
     /// Queues one encoded frame. `false` means the connection is gone or
@@ -127,18 +188,39 @@ impl ConnWriter {
         if self.closed.load(Ordering::Acquire) {
             return false;
         }
-        let mut q = self.outbox.lock().expect("outbox lock");
-        if q.len() >= OUTBOX_CAP {
-            return false;
+        {
+            let mut q = self.outbox.lock().expect("outbox lock");
+            if q.len() >= self.cap {
+                return false;
+            }
+            q.push_back(frame);
         }
-        q.push_back(frame);
         self.wake.notify_one();
+        self.nudge();
         true
+    }
+
+    /// Moves up to `max` queued frames into `out` (event-loop flushing).
+    pub(crate) fn take_batch(&self, out: &mut VecDeque<Vec<u8>>, max: usize) {
+        let mut q = self.outbox.lock().expect("outbox lock");
+        let n = q.len().min(max);
+        out.extend(q.drain(..n));
+    }
+
+    /// Whether no frames are queued.
+    pub(crate) fn outbox_is_empty(&self) -> bool {
+        self.outbox.lock().expect("outbox lock").is_empty()
+    }
+
+    /// Drops every queued frame (teardown of a dead connection).
+    pub(crate) fn clear_outbox(&self) {
+        self.outbox.lock().expect("outbox lock").clear();
     }
 
     pub(crate) fn close(&self) {
         self.closed.store(true, Ordering::Release);
         self.wake.notify_all();
+        self.nudge();
     }
 
     /// Whether the writer has nothing left to do: torn down, or the
@@ -301,7 +383,7 @@ mod tests {
     #[test]
     fn slot_reuse_bumps_generation_and_stales_old_ids() {
         let t = ConnTable::new();
-        let w1 = ConnWriter::new();
+        let w1 = ConnWriter::new(64);
         let (slot, gen) = t.register(w1.clone()).expect("slot");
         assert_eq!((slot, gen), (0, 0));
         assert!(t.lookup(slot, gen).is_some());
@@ -310,7 +392,7 @@ mod tests {
         assert!(t.lookup(slot, gen).is_none(), "released slot is dead");
         assert_eq!(t.live(), 0);
 
-        let w2 = ConnWriter::new();
+        let w2 = ConnWriter::new(64);
         let (slot2, gen2) = t.register(w2).expect("slot");
         assert_eq!(slot2, slot, "slot recycled");
         assert_eq!(gen2, 1, "generation bumped");
@@ -324,9 +406,9 @@ mod tests {
     #[test]
     fn release_with_stale_generation_is_a_noop() {
         let t = ConnTable::new();
-        let (slot, gen) = t.register(ConnWriter::new()).expect("slot");
+        let (slot, gen) = t.register(ConnWriter::new(64)).expect("slot");
         t.release(slot, gen);
-        let (slot2, gen2) = t.register(ConnWriter::new()).expect("slot");
+        let (slot2, gen2) = t.register(ConnWriter::new(64)).expect("slot");
         assert_eq!(slot2, slot);
         // A late release from the previous occupant must not retire the
         // new connection.
@@ -337,7 +419,7 @@ mod tests {
 
     #[test]
     fn outbox_backpressure_and_close() {
-        let w = ConnWriter::new();
+        let w = ConnWriter::new(64);
         assert!(w.enqueue(vec![1, 2, 3]));
         w.close();
         assert!(!w.enqueue(vec![4]), "closed outbox refuses frames");
@@ -345,7 +427,7 @@ mod tests {
 
     #[test]
     fn retirement_requires_half_close_and_settled_books() {
-        let w = ConnWriter::new();
+        let w = ConnWriter::new(64);
         assert!(!w.retired(true), "open connection stays up");
         w.note_owed();
         w.reader_done();

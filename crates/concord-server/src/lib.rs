@@ -10,26 +10,21 @@
 //!   decoded requests through a per-shard overload-aware admission gate
 //!   into a [`ShardedRuntime`](concord_core::ShardedRuntime), and routes
 //!   responses back to their originating connection through
-//!   generation-tagged slots ([`conn`]).
+//!   generation-tagged slots ([`conn`]). Sockets are serviced by either
+//!   a pool of epoll event loops ([`eventloop`], the default) or the
+//!   original thread-per-connection model ([`threads`]), selected by
+//!   [`IngressMode`].
 //! - [`client`]: an open/closed-loop load generator reporting the same
 //!   slowdown percentiles as the in-process collector.
 //!
 //! ```no_run
-//! use concord_core::admission::{AdmissionConfig, AdmissionPolicy};
 //! use concord_core::{RuntimeConfig, SpinApp};
-//! use concord_server::{ClientConfig, RouterPolicy, Server, ServerConfig};
+//! use concord_server::{ClientConfig, Server, ServerConfig};
 //! use std::sync::Arc;
 //!
 //! let server = Server::bind(
 //!     "127.0.0.1:0",
-//!     ServerConfig {
-//!         runtime: RuntimeConfig::builder().workers(2).build().unwrap(),
-//!         admission: AdmissionConfig {
-//!             capacity: 4096,
-//!             policy: AdmissionPolicy::RejectNewest,
-//!         },
-//!         router: RouterPolicy::HashP2c,
-//!     },
+//!     ServerConfig::new(RuntimeConfig::builder().workers(2).build().unwrap()),
 //!     Arc::new(SpinApp::new()),
 //! )
 //! .unwrap();
@@ -48,11 +43,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod buf;
 pub mod client;
 pub mod conn;
+mod eventloop;
 pub mod server;
+mod threads;
 pub mod wire;
 
 pub use client::{ClientConfig, ClientReport};
-pub use server::{RouterPolicy, Server, ServerConfig, ServerReport};
+pub use server::{IngressMode, RouterPolicy, Server, ServerConfig, ServerReport};
 pub use wire::{Frame, RequestFrame, ResponseFrame, Status, WireError};

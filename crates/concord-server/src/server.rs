@@ -1,27 +1,23 @@
-//! The TCP front end: accept loop, per-connection reader threads feeding
-//! per-shard admission gates, per-connection writer threads draining
-//! responses.
+//! The TCP front end: a listener served by either N I/O event loops
+//! (default) or the original thread-per-connection model, feeding
+//! per-shard admission gates.
 //!
-//! Thread model (paper testbed analogue: the NIC and its descriptor
-//! rings):
+//! Both ingress modes ([`IngressMode`]) share everything below the
+//! socket layer — the generation-tagged connection table
+//! ([`crate::conn`]), the per-shard [`AdmissionQueue`] gates, the
+//! hash-with-P2C-fallback router, and the owed/settled retirement books
+//! — so they are behaviorally interchangeable and the benchmark binary
+//! can measure one against the other:
 //!
-//! - One **accept** thread polls a non-blocking listener and assigns
-//!   each connection a generation-tagged slot ([`crate::conn`]) plus a
-//!   home shard.
-//! - One **reader** thread per connection decodes frames and offers each
-//!   request to its shard's [`AdmissionQueue`] — hash-on-connection with
-//!   a power-of-two-choices fallback on admission-queue depth; early
-//!   rejects are answered with a RETRY frame right here, before the
-//!   scheduler ever sees them.
-//! - One **writer** thread per connection drains a bounded outbox to the
-//!   socket, so a slow client stalls only its own connection — the
-//!   dispatcher's `Egress::send` never blocks on the kernel. The writer
-//!   retires (and recycles the connection's slot) once the client has
-//!   half-closed and every owed response has been flushed.
-//! - Each shard's dispatcher polls its own admission queue through
-//!   [`AdmissionIngress`](concord_core::AdmissionIngress) exactly as it
-//!   polls an in-process ring; shards balance residual skew through the
-//!   runtime's bounded inter-shard steal path.
+//! - [`IngressMode::EventLoop`] (default, [`crate::eventloop`]): a small
+//!   fixed set of I/O threads multiplex every connection through epoll.
+//!   Reads are batched into per-connection compacting buffers
+//!   ([`crate::buf::RecvBuf`]), frames decode zero-copy, and outboxes
+//!   flush through coalesced `writev` calls. Connection count does not
+//!   change the thread count.
+//! - [`IngressMode::Threads`] ([`crate::threads`]): one reader and one
+//!   writer thread per connection, blocking reads with a timeout tick.
+//!   Kept as the measured baseline and as a portability fallback.
 //!
 //! Responses are routed back to their connection through the request id:
 //! the server rewrites each client id into
@@ -30,26 +26,25 @@
 //! connections. The generation tag makes id reuse safe: a response for
 //! a connection whose slot has since been recycled is counted as an
 //! orphan instead of being delivered to the wrong client.
+//!
+//! The front end keeps one conservation law of its own on top of the
+//! runtime's: every admission-gate rejection is either answered with a
+//! RETRY frame or counted in [`ServerReport::retries_dropped`] when the
+//! connection's outbox had no room for the RETRY.
 
-use crate::conn::{route_id, split_route_id, ConnTable, ConnWriter, GEN_BITS};
-use crate::wire::{self, Frame, Status};
-use concord_core::admission::{AdmissionConfig, AdmissionQueue, AdmitOutcome};
+use crate::conn::{split_route_id, ConnTable, DEFAULT_OUTBOX_CAP, GEN_BITS};
+use crate::wire::{self, Status};
+use concord_core::admission::{AdmissionConfig, AdmissionPolicy, AdmissionQueue};
 use concord_core::transport::Egress;
 use concord_core::{
     AdmissionCounters, ConcordApp, RuntimeConfig, RuntimeStats, ShardRollup, ShardedRuntime,
     TelemetrySnapshot,
 };
 use concord_net::Response;
-use std::io::{ErrorKind, Read};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
-
-/// Join finished reader/writer threads every this many accepts, so a
-/// connection-churn workload does not accumulate dead thread handles.
-const REAP_EVERY: u64 = 256;
 
 /// How a connection is mapped to a shard.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -64,16 +59,28 @@ pub enum RouterPolicy {
     Pin(usize),
 }
 
+/// Which socket-servicing model the server runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum IngressMode {
+    /// Readiness-based event loops: a fixed pool of I/O threads
+    /// multiplexing all connections through epoll (Linux). The default.
+    #[default]
+    EventLoop,
+    /// One reader thread and one writer thread per connection. The
+    /// original model, kept as the measured baseline.
+    Threads,
+}
+
 /// A connection's routing decision inputs: two hashed candidates.
 #[derive(Clone, Copy)]
-struct ShardRoute {
-    primary: usize,
-    alt: usize,
+pub(crate) struct ShardRoute {
+    pub(crate) primary: usize,
+    pub(crate) alt: usize,
     policy: RouterPolicy,
 }
 
 impl ShardRoute {
-    fn new(slot: u16, gen: u8, n: usize, policy: RouterPolicy) -> Self {
+    pub(crate) fn new(slot: u16, gen: u8, n: usize, policy: RouterPolicy) -> Self {
         let h = ((u64::from(slot) << GEN_BITS) | u64::from(gen))
             .wrapping_add(0x9E37_79B9_7F4A_7C15)
             .wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -93,7 +100,7 @@ impl ShardRoute {
     /// Picks the shard for one request: pinned, or the less-loaded of
     /// the two hashed candidates (ties keep the primary, preserving
     /// connection affinity).
-    fn pick(&self, shards: &[Arc<AdmissionQueue>]) -> usize {
+    pub(crate) fn pick(&self, shards: &[Arc<AdmissionQueue>]) -> usize {
         match self.policy {
             RouterPolicy::Pin(s) => s % shards.len(),
             RouterPolicy::HashP2c => {
@@ -145,11 +152,24 @@ impl Egress for ServerEgress {
             Err(resp)
         }
     }
+
+    fn on_drop(&mut self, resp: &Response) {
+        // The dispatcher gave up on this response under backpressure
+        // (`tx_dropped`). The connection will never see it, so settle the
+        // owed book now — otherwise a half-closed connection whose last
+        // response was dropped would hold its slot (and, in the threads
+        // model, its writer thread) forever.
+        let (slot, gen, _) = split_route_id(resp.id);
+        if let Some(writer) = self.conns.lookup(slot, gen) {
+            writer.settle_owed();
+        }
+    }
 }
 
 /// Server configuration: the runtime underneath (whose `num_shards`
 /// decides how many dispatcher groups serve the listener), the
-/// admission gate in front of each shard, and the connection router.
+/// admission gate in front of each shard, the connection router, and
+/// the socket-servicing model.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Scheduler configuration; `runtime.num_shards` dispatcher+worker
@@ -159,19 +179,92 @@ pub struct ServerConfig {
     pub admission: AdmissionConfig,
     /// Connection-to-shard routing policy.
     pub router: RouterPolicy,
+    /// Socket-servicing model (default: [`IngressMode::EventLoop`]).
+    pub ingress: IngressMode,
+    /// I/O event-loop threads in [`IngressMode::EventLoop`]; `0` picks
+    /// a small count from the machine's parallelism. Ignored in
+    /// [`IngressMode::Threads`].
+    pub event_loops: usize,
+    /// Bound on encoded frames a connection's outbox may hold before
+    /// the egress reports backpressure (default:
+    /// [`DEFAULT_OUTBOX_CAP`]). Tests shrink it to exercise the
+    /// backpressure accounting deterministically.
+    pub outbox_cap: usize,
+    /// Failure injection: each accepted connection consumes one unit
+    /// and is refused while the counter is positive, as if the process
+    /// had hit its descriptor limit during connection setup. Tests use
+    /// it to exercise the setup-failure path deterministically.
+    pub conn_setup_faults: Arc<AtomicU64>,
+}
+
+impl ServerConfig {
+    /// A configuration with everything but the runtime at its default:
+    /// a 4096-deep reject-newest gate per shard, hash+P2C routing, the
+    /// event-loop ingress with an auto-sized loop count, and the
+    /// standard outbox bound.
+    pub fn new(runtime: RuntimeConfig) -> ServerConfig {
+        ServerConfig {
+            runtime,
+            admission: AdmissionConfig {
+                capacity: 4096,
+                policy: AdmissionPolicy::RejectNewest,
+            },
+            router: RouterPolicy::HashP2c,
+            ingress: IngressMode::default(),
+            event_loops: 0,
+            outbox_cap: DEFAULT_OUTBOX_CAP,
+            conn_setup_faults: Arc::new(AtomicU64::new(0)),
+        }
+    }
+}
+
+/// State shared between the [`Server`] facade and its ingress front end
+/// (event loops or accept/reader/writer threads).
+pub(crate) struct FrontShared {
+    /// Stop taking new connections and new requests.
+    pub(crate) stop: AtomicBool,
+    /// Final drain: outboxes are flushed; force-retire stragglers.
+    pub(crate) drain: AtomicBool,
+    pub(crate) conns: Arc<ConnTable>,
+    pub(crate) admissions: Arc<Vec<Arc<AdmissionQueue>>>,
+    pub(crate) router: RouterPolicy,
+    pub(crate) outbox_cap: usize,
+    pub(crate) accepted: AtomicU64,
+    pub(crate) refused: AtomicU64,
+    /// Connections whose client has not closed its sending side.
+    pub(crate) active_conns: AtomicU64,
+    pub(crate) protocol_errors: AtomicU64,
+    /// RETRY answers that could not be queued because the connection's
+    /// outbox was full (part of the rejection conservation law).
+    pub(crate) retries_dropped: AtomicU64,
+    pub(crate) setup_faults: Arc<AtomicU64>,
+}
+
+impl FrontShared {
+    /// Consumes one injected connection-setup fault, if armed.
+    pub(crate) fn take_setup_fault(&self) -> bool {
+        self.setup_faults
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| v.checked_sub(1))
+            .is_ok()
+    }
 }
 
 /// Final accounting of a server's life, returned by [`Server::shutdown`].
 pub struct ServerReport {
-    /// Connections accepted.
+    /// Connections accepted and fully set up.
     pub accepted: u64,
-    /// Connections refused because all 65,536 slots were live.
+    /// Connections refused: all 65,536 slots live, or connection setup
+    /// failed (descriptor exhaustion, injected setup fault).
     pub refused: u64,
     /// Connections torn down on a malformed frame.
     pub protocol_errors: u64,
     /// Responses whose connection was gone (or whose slot had been
     /// recycled) at emit time — counted loss, never cross-delivery.
     pub orphaned_responses: u64,
+    /// Admission-gate RETRY answers dropped because the connection's
+    /// outbox was full. Every gate rejection is either a RETRY frame on
+    /// the wire or counted here.
+    pub retries_dropped: u64,
     /// Shard 0's admission counters — the whole gate when
     /// `num_shards == 1`.
     pub admission: Arc<AdmissionCounters>,
@@ -192,21 +285,18 @@ pub struct ServerReport {
     pub trace: Option<concord_core::trace::Trace>,
 }
 
+enum Front {
+    Threads(crate::threads::ThreadsFront),
+    Loops(crate::eventloop::LoopsFront),
+}
+
 /// A Concord runtime serving a wire-protocol TCP listener.
 pub struct Server {
     local_addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    admissions: Arc<Vec<Arc<AdmissionQueue>>>,
-    conns: Arc<ConnTable>,
-    rt: ShardedRuntime,
-    accept: Option<JoinHandle<()>>,
-    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
-    writers: Arc<Mutex<Vec<JoinHandle<()>>>>,
-    accepted: Arc<AtomicU64>,
-    refused: Arc<AtomicU64>,
-    active_readers: Arc<AtomicU64>,
-    protocol_errors: Arc<AtomicU64>,
+    shared: Arc<FrontShared>,
     orphaned: Arc<AtomicU64>,
+    rt: ShardedRuntime,
+    front: Front,
 }
 
 impl Server {
@@ -242,121 +332,51 @@ impl Server {
                 .collect(),
         );
 
-        let stop = Arc::new(AtomicBool::new(false));
-        let accepted = Arc::new(AtomicU64::new(0));
-        let refused = Arc::new(AtomicU64::new(0));
-        let active_readers = Arc::new(AtomicU64::new(0));
-        let protocol_errors = Arc::new(AtomicU64::new(0));
-        let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-        let writers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let shared = Arc::new(FrontShared {
+            stop: AtomicBool::new(false),
+            drain: AtomicBool::new(false),
+            conns,
+            admissions,
+            router: cfg.router,
+            outbox_cap: cfg.outbox_cap.max(1),
+            accepted: AtomicU64::new(0),
+            refused: AtomicU64::new(0),
+            active_conns: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            retries_dropped: AtomicU64::new(0),
+            setup_faults: cfg.conn_setup_faults.clone(),
+        });
 
-        let accept = {
-            let stop = stop.clone();
-            let admissions = admissions.clone();
-            let conns = conns.clone();
-            let accepted = accepted.clone();
-            let refused = refused.clone();
-            let active_readers = active_readers.clone();
-            let protocol_errors = protocol_errors.clone();
-            let readers = readers.clone();
-            let writers = writers.clone();
-            let router = cfg.router;
-            std::thread::Builder::new()
-                .name("concord-accept".into())
-                .spawn(move || {
-                    while !stop.load(Ordering::Acquire) {
-                        match listener.accept() {
-                            Ok((stream, _peer)) => {
-                                let writer = ConnWriter::new();
-                                let Some((slot, gen)) = conns.register(writer.clone()) else {
-                                    // Slot space exhausted: refuse rather
-                                    // than alias a live connection.
-                                    refused.fetch_add(1, Ordering::Relaxed);
-                                    drop(stream);
-                                    continue;
-                                };
-                                let count = accepted.fetch_add(1, Ordering::Relaxed) + 1;
-                                let _ = stream.set_nodelay(true);
-                                let route = ShardRoute::new(slot, gen, admissions.len(), router);
-                                let wstream = stream.try_clone().expect("clone stream");
-                                let w = writer.clone();
-                                let wconns = conns.clone();
-                                writers.lock().expect("writers lock").push(
-                                    std::thread::Builder::new()
-                                        .name(format!("concord-conn{slot}.{gen}-w"))
-                                        .spawn(move || {
-                                            w.run(wstream);
-                                            // Retired: recycle the slot.
-                                            // New lookups for this
-                                            // connection now orphan.
-                                            wconns.release(slot, gen);
-                                        })
-                                        .expect("spawn conn writer"),
-                                );
-                                let admissions = admissions.clone();
-                                let stop = stop.clone();
-                                let protocol_errors = protocol_errors.clone();
-                                let table = conns.clone();
-                                let active = active_readers.clone();
-                                active.fetch_add(1, Ordering::Relaxed);
-                                readers.lock().expect("readers lock").push(
-                                    std::thread::Builder::new()
-                                        .name(format!("concord-conn{slot}.{gen}-r"))
-                                        .spawn(move || {
-                                            reader_loop(
-                                                slot,
-                                                gen,
-                                                route,
-                                                stream,
-                                                writer,
-                                                table,
-                                                admissions,
-                                                stop,
-                                                protocol_errors,
-                                            );
-                                            active.fetch_sub(1, Ordering::Relaxed);
-                                        })
-                                        .expect("spawn conn reader"),
-                                );
-                                if count.is_multiple_of(REAP_EVERY) {
-                                    // Drop handles of threads that have
-                                    // already exited (detaching a finished
-                                    // thread frees it immediately), so
-                                    // churny workloads don't hoard stacks.
-                                    readers
-                                        .lock()
-                                        .expect("readers lock")
-                                        .retain(|h| !h.is_finished());
-                                    writers
-                                        .lock()
-                                        .expect("writers lock")
-                                        .retain(|h| !h.is_finished());
-                                }
-                            }
-                            Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                                std::thread::sleep(Duration::from_millis(2));
-                            }
-                            Err(_) => std::thread::sleep(Duration::from_millis(10)),
-                        }
-                    }
-                })
-                .expect("spawn accept thread")
+        let front = match cfg.ingress {
+            IngressMode::Threads => Front::Threads(crate::threads::ThreadsFront::start(
+                listener,
+                shared.clone(),
+            )?),
+            IngressMode::EventLoop => {
+                let loops = if cfg.event_loops > 0 {
+                    cfg.event_loops
+                } else {
+                    // I/O is a small fraction of the work; a few loops
+                    // saturate the listener long before the scheduler.
+                    std::thread::available_parallelism()
+                        .map(|p| p.get() / 4)
+                        .unwrap_or(1)
+                        .clamp(1, 4)
+                };
+                Front::Loops(crate::eventloop::LoopsFront::start(
+                    listener,
+                    shared.clone(),
+                    loops,
+                )?)
+            }
         };
 
         Ok(Server {
             local_addr,
-            stop,
-            admissions,
-            conns,
-            rt,
-            accept: Some(accept),
-            readers,
-            writers,
-            accepted,
-            refused,
-            active_readers,
-            protocol_errors,
+            shared,
             orphaned,
+            rt,
+            front,
         })
     }
 
@@ -365,21 +385,20 @@ impl Server {
         self.local_addr
     }
 
-    /// Connections accepted so far.
+    /// Connections accepted (and fully set up) so far.
     pub fn accepted(&self) -> u64 {
-        self.accepted.load(Ordering::Relaxed)
+        self.shared.accepted.load(Ordering::Relaxed)
     }
 
-    /// Connections whose reader is still running (i.e. clients that have
-    /// not closed their sending side).
+    /// Connections whose client has not closed its sending side.
     pub fn active_connections(&self) -> u64 {
-        self.active_readers.load(Ordering::Relaxed)
+        self.shared.active_conns.load(Ordering::Relaxed)
     }
 
-    /// Connections currently holding a slot (reader may have exited but
-    /// responses are still owed).
+    /// Connections currently holding a slot (the client may be done
+    /// sending while responses are still owed or flushing).
     pub fn live_slots(&self) -> usize {
-        self.conns.live()
+        self.shared.conns.live()
     }
 
     /// Number of shards serving this listener.
@@ -400,162 +419,69 @@ impl Server {
 
     /// Shard 0's admission gate (the whole gate when `num_shards == 1`).
     pub fn admission(&self) -> Arc<AdmissionQueue> {
-        self.admissions[0].clone()
+        self.shared.admissions[0].clone()
     }
 
     /// Every shard's admission gate, indexed by shard id.
     pub fn admission_shard(&self, shard: usize) -> Arc<AdmissionQueue> {
-        self.admissions[shard].clone()
+        self.shared.admissions[shard].clone()
     }
 
     /// Graceful shutdown: close every admission gate (new requests are
     /// answered RETRY), stop accepting, let every already-admitted
-    /// request complete, flush every connection's outbox, then join all
-    /// threads and return the final accounting.
+    /// request complete, flush every connection's outbox, then join the
+    /// ingress and return the final accounting.
     pub fn shutdown(mut self) -> ServerReport {
-        // 1. No new work: gates reject, accept loop stops, readers wind
-        //    down at their next timeout tick.
-        for a in self.admissions.iter() {
+        // 1. No new work: gates reject, the ingress stops accepting and
+        //    stops reading (event loops drop read interest; reader
+        //    threads wind down at their next timeout tick).
+        for a in self.shared.admissions.iter() {
             a.close();
         }
-        self.stop.store(true, Ordering::Release);
-        if let Some(h) = self.accept.take() {
-            h.join().expect("accept thread");
-        }
-        for h in self.readers.lock().expect("readers lock").drain(..) {
-            h.join().expect("reader thread");
+        self.shared.stop.store(true, Ordering::Release);
+        match &mut self.front {
+            Front::Threads(t) => t.stop_ingest(),
+            Front::Loops(l) => l.stop_ingest(),
         }
         // 2. Graceful drain: wait for every dispatcher to ingest what its
         //    gate admitted, then quiesce the shards (concurrently — each
-        //    drains its in-flight requests into the egress).
+        //    drains its in-flight requests into the egress). Event loops
+        //    keep flushing outboxes throughout.
         let deadline = Instant::now() + Duration::from_secs(30);
-        while self.admissions.iter().any(|a| !a.is_empty()) && Instant::now() < deadline {
+        while self.shared.admissions.iter().any(|a| !a.is_empty()) && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(1));
         }
         self.rt.quiesce();
         let trace = self.rt.take_trace();
         let telemetry = self.rt.telemetry(0);
         // 3. Flush: every response the runtime emitted is in an outbox;
-        //    closing after quiesce lets writers drain before exiting.
-        self.conns.close_all();
-        for h in self.writers.lock().expect("writers lock").drain(..) {
-            h.join().expect("writer thread");
+        //    closing after quiesce lets the ingress drain before exiting.
+        self.shared.drain.store(true, Ordering::Release);
+        self.shared.conns.close_all();
+        match &mut self.front {
+            Front::Threads(t) => t.finish(),
+            Front::Loops(l) => l.finish(),
         }
         let rollup = self.rt.rollup();
         ServerReport {
-            accepted: self.accepted.load(Ordering::Relaxed),
-            refused: self.refused.load(Ordering::Relaxed),
-            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            accepted: self.shared.accepted.load(Ordering::Relaxed),
+            refused: self.shared.refused.load(Ordering::Relaxed),
+            protocol_errors: self.shared.protocol_errors.load(Ordering::Relaxed),
             orphaned_responses: self.orphaned.load(Ordering::Relaxed),
-            admission: self.admissions[0].counters(),
-            admission_per_shard: self.admissions.iter().map(|a| a.counters()).collect(),
+            retries_dropped: self.shared.retries_dropped.load(Ordering::Relaxed),
+            admission: self.shared.admissions[0].counters(),
+            admission_per_shard: self
+                .shared
+                .admissions
+                .iter()
+                .map(|a| a.counters())
+                .collect(),
             stats: self.rt.stats(0),
             rollup,
             telemetry,
             trace,
         }
     }
-}
-
-/// One connection's read half: decode frames, offer requests to the
-/// routed shard's gate, answer early-rejects with RETRY. A malformed
-/// frame tears the connection down (the stream is unsynchronized beyond
-/// it); on a clean half-close the writer stays up until every owed
-/// response has flushed, then retires the slot.
-#[allow(clippy::too_many_arguments)]
-fn reader_loop(
-    slot: u16,
-    gen: u8,
-    route: ShardRoute,
-    mut stream: TcpStream,
-    writer: Arc<ConnWriter>,
-    table: Arc<ConnTable>,
-    admissions: Arc<Vec<Arc<AdmissionQueue>>>,
-    stop: Arc<AtomicBool>,
-    protocol_errors: Arc<AtomicU64>,
-) {
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
-    let mut buf: Vec<u8> = Vec::with_capacity(16 * 1024);
-    let mut chunk = [0u8; 16 * 1024];
-    'conn: loop {
-        if stop.load(Ordering::Acquire) {
-            writer.reader_done();
-            return;
-        }
-        match stream.read(&mut chunk) {
-            Ok(0) => {
-                // Client closed its sending side: no more requests. The
-                // writer retires once the owed responses have flushed.
-                writer.reader_done();
-                return;
-            }
-            Ok(n) => {
-                buf.extend_from_slice(&chunk[..n]);
-                let mut at = 0;
-                loop {
-                    match wire::decode(&buf[at..]) {
-                        Ok(Some((Frame::Request(rf), consumed))) => {
-                            let rid = route_id(slot, gen, rf.id);
-                            let req = rf.into_request(rid, Instant::now());
-                            let shard = route.pick(&admissions);
-                            match admissions[shard].offer(req) {
-                                AdmitOutcome::Admitted => writer.note_owed(),
-                                AdmitOutcome::Rejected => {
-                                    // Early-reject: tell the client now,
-                                    // from the gate, without touching the
-                                    // scheduler.
-                                    let mut out = Vec::with_capacity(wire::HEADER_LEN + 64);
-                                    wire::encode_retry(&mut out, rf.id, rf.class, rf.service_ns);
-                                    let _ = writer.enqueue(out);
-                                }
-                                AdmitOutcome::DroppedNewest => {
-                                    // This arrival was never admitted:
-                                    // nothing owed, drop is counted at
-                                    // the gate.
-                                }
-                                AdmitOutcome::DroppedOldest(old) => {
-                                    // The arrival was admitted by
-                                    // evicting an older queued request —
-                                    // settle the evicted connection's
-                                    // books (it gets no reply; the drop
-                                    // is counted at the gate).
-                                    writer.note_owed();
-                                    let (vslot, vgen, _) = split_route_id(old.id);
-                                    if let Some(victim) = table.lookup(vslot, vgen) {
-                                        victim.settle_owed();
-                                    }
-                                }
-                            }
-                            at += consumed;
-                        }
-                        Ok(Some((Frame::Response(_), _))) => {
-                            // Clients don't send responses.
-                            protocol_errors.fetch_add(1, Ordering::Relaxed);
-                            break 'conn;
-                        }
-                        Ok(None) => break,
-                        Err(_) => {
-                            protocol_errors.fetch_add(1, Ordering::Relaxed);
-                            break 'conn;
-                        }
-                    }
-                }
-                if at > 0 {
-                    buf.drain(..at);
-                }
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                continue;
-            }
-            Err(_) => {
-                writer.reader_done();
-                return;
-            }
-        }
-    }
-    // Protocol error: drop the connection entirely (reader and writer).
-    writer.close();
-    let _ = stream.shutdown(std::net::Shutdown::Both);
 }
 
 #[cfg(test)]
@@ -632,5 +558,27 @@ mod tests {
         for (s, &c) in hit.iter().enumerate() {
             assert!(c > 16, "shard {s} starved by the hash: {hit:?}");
         }
+    }
+
+    #[test]
+    fn setup_faults_count_down_to_zero() {
+        let shared = FrontShared {
+            stop: AtomicBool::new(false),
+            drain: AtomicBool::new(false),
+            conns: Arc::new(ConnTable::new()),
+            admissions: Arc::new(Vec::new()),
+            router: RouterPolicy::HashP2c,
+            outbox_cap: 4,
+            accepted: AtomicU64::new(0),
+            refused: AtomicU64::new(0),
+            active_conns: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            retries_dropped: AtomicU64::new(0),
+            setup_faults: Arc::new(AtomicU64::new(2)),
+        };
+        assert!(shared.take_setup_fault());
+        assert!(shared.take_setup_fault());
+        assert!(!shared.take_setup_fault(), "faults are consumed");
+        assert!(!shared.take_setup_fault());
     }
 }

@@ -1,0 +1,276 @@
+//! The thread-per-connection ingress ([`IngressMode::Threads`]): one
+//! accept thread, one blocking reader thread and one writer thread per
+//! connection.
+//!
+//! This is the original server model, kept as the measured baseline for
+//! the event-loop ingress (`BENCH_ingress.json` compares the two) and
+//! as a fallback where epoll is unavailable. It shares the connection
+//! table, admission gates, router, and retirement books with the event
+//! loop, so the two modes are behaviorally interchangeable.
+//!
+//! [`IngressMode::Threads`]: crate::server::IngressMode::Threads
+
+use crate::buf::RecvBuf;
+use crate::conn::{route_id, split_route_id, ConnWriter};
+use crate::server::{FrontShared, ShardRoute};
+use crate::wire::{self, Frame};
+use concord_core::admission::AdmitOutcome;
+use std::io::ErrorKind;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Join finished reader/writer threads every this many accepts, so a
+/// connection-churn workload does not accumulate dead thread handles.
+const REAP_EVERY: u64 = 256;
+
+/// The running accept/reader/writer thread set.
+pub(crate) struct ThreadsFront {
+    accept: Option<JoinHandle<()>>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    writers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ThreadsFront {
+    /// Starts the accept thread on `listener`.
+    pub(crate) fn start(
+        listener: TcpListener,
+        shared: Arc<FrontShared>,
+    ) -> std::io::Result<ThreadsFront> {
+        let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let writers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let readers = readers.clone();
+            let writers = writers.clone();
+            std::thread::Builder::new()
+                .name("concord-accept".into())
+                .spawn(move || accept_loop(listener, shared, readers, writers))?
+        };
+        Ok(ThreadsFront {
+            accept: Some(accept),
+            readers,
+            writers,
+        })
+    }
+
+    /// Joins the accept thread and every reader (they observe the stop
+    /// flag at their next timeout tick).
+    pub(crate) fn stop_ingest(&mut self) {
+        if let Some(h) = self.accept.take() {
+            h.join().expect("accept thread");
+        }
+        for h in self.readers.lock().expect("readers lock").drain(..) {
+            h.join().expect("reader thread");
+        }
+    }
+
+    /// Joins every writer. Called after the connection table has been
+    /// closed, so writers flush their outboxes and exit.
+    pub(crate) fn finish(&mut self) {
+        for h in self.writers.lock().expect("writers lock").drain(..) {
+            h.join().expect("writer thread");
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<FrontShared>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    writers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    while !shared.stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shared.take_setup_fault() {
+                    // Injected setup failure (modeling descriptor
+                    // exhaustion mid-setup): refuse deterministically.
+                    shared.refused.fetch_add(1, Ordering::Relaxed);
+                    drop(stream);
+                    continue;
+                }
+                let writer = ConnWriter::new(shared.outbox_cap);
+                let Some((slot, gen)) = shared.conns.register(writer.clone()) else {
+                    // Slot space exhausted: refuse rather than alias a
+                    // live connection.
+                    shared.refused.fetch_add(1, Ordering::Relaxed);
+                    drop(stream);
+                    continue;
+                };
+                let _ = stream.set_nodelay(true);
+                // Under descriptor exhaustion the dup fails. Refuse this
+                // one connection and keep accepting — the accept thread
+                // must survive transient EMFILE/ENFILE.
+                let wstream = match stream.try_clone() {
+                    Ok(s) => s,
+                    Err(_) => {
+                        shared.conns.release(slot, gen);
+                        shared.refused.fetch_add(1, Ordering::Relaxed);
+                        drop(stream);
+                        continue;
+                    }
+                };
+                let route = ShardRoute::new(slot, gen, shared.admissions.len(), shared.router);
+                let w = writer.clone();
+                let wshared = shared.clone();
+                let wh = std::thread::Builder::new()
+                    .name(format!("concord-conn{slot}.{gen}-w"))
+                    .spawn(move || {
+                        w.run(wstream);
+                        // Retired: recycle the slot. New lookups for this
+                        // connection now orphan.
+                        wshared.conns.release(slot, gen);
+                    });
+                let wh = match wh {
+                    Ok(h) => h,
+                    Err(_) => {
+                        shared.conns.release(slot, gen);
+                        shared.refused.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                };
+                writers.lock().expect("writers lock").push(wh);
+                let rshared = shared.clone();
+                let rwriter = writer.clone();
+                shared.active_conns.fetch_add(1, Ordering::Relaxed);
+                let rh = std::thread::Builder::new()
+                    .name(format!("concord-conn{slot}.{gen}-r"))
+                    .spawn(move || {
+                        reader_loop(slot, gen, route, stream, rwriter, rshared.clone());
+                        rshared.active_conns.fetch_sub(1, Ordering::Relaxed);
+                    });
+                let rh = match rh {
+                    Ok(h) => h,
+                    Err(_) => {
+                        // The writer thread is already up; closing the
+                        // connection makes it exit and release the slot.
+                        shared.active_conns.fetch_sub(1, Ordering::Relaxed);
+                        writer.close();
+                        shared.refused.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                };
+                readers.lock().expect("readers lock").push(rh);
+                let count = shared.accepted.fetch_add(1, Ordering::Relaxed) + 1;
+                if count.is_multiple_of(REAP_EVERY) {
+                    // Drop handles of threads that have already exited
+                    // (detaching a finished thread frees it immediately),
+                    // so churny workloads don't hoard stacks.
+                    readers
+                        .lock()
+                        .expect("readers lock")
+                        .retain(|h| !h.is_finished());
+                    writers
+                        .lock()
+                        .expect("writers lock")
+                        .retain(|h| !h.is_finished());
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// One connection's read half: decode frames, offer requests to the
+/// routed shard's gate, answer early-rejects with RETRY. A malformed
+/// frame tears the connection down (the stream is unsynchronized beyond
+/// it); on a clean half-close the writer stays up until every owed
+/// response has flushed, then retires the slot.
+fn reader_loop(
+    slot: u16,
+    gen: u8,
+    route: ShardRoute,
+    mut stream: TcpStream,
+    writer: Arc<ConnWriter>,
+    shared: Arc<FrontShared>,
+) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut rbuf = RecvBuf::new();
+    'conn: loop {
+        if shared.stop.load(Ordering::Acquire) {
+            writer.reader_done();
+            return;
+        }
+        match rbuf.fill(&mut stream) {
+            Ok(0) => {
+                // Client closed its sending side: no more requests. The
+                // writer retires once the owed responses have flushed.
+                writer.reader_done();
+                return;
+            }
+            Ok(_) => {
+                let mut at = 0;
+                loop {
+                    match wire::decode(&rbuf.data()[at..]) {
+                        Ok(Some((Frame::Request(rf), consumed))) => {
+                            let (cid, class, service_ns) = (rf.id, rf.class, rf.service_ns);
+                            let req = rf.into_request(route_id(slot, gen, cid), Instant::now());
+                            let shard = route.pick(&shared.admissions);
+                            match shared.admissions[shard].offer(req) {
+                                AdmitOutcome::Admitted => writer.note_owed(),
+                                AdmitOutcome::Rejected => {
+                                    // Early-reject: tell the client now,
+                                    // from the gate, without touching the
+                                    // scheduler. A full outbox means even
+                                    // the RETRY has nowhere to go — count
+                                    // it so the rejection stays conserved.
+                                    let mut out = Vec::with_capacity(wire::HEADER_LEN + 64);
+                                    wire::encode_retry(&mut out, cid, class, service_ns);
+                                    if !writer.enqueue(out) {
+                                        shared.retries_dropped.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                                AdmitOutcome::DroppedNewest => {
+                                    // This arrival was never admitted:
+                                    // nothing owed, drop is counted at
+                                    // the gate.
+                                }
+                                AdmitOutcome::DroppedOldest(old) => {
+                                    // The arrival was admitted by
+                                    // evicting an older queued request —
+                                    // settle the evicted connection's
+                                    // books (it gets no reply; the drop
+                                    // is counted at the gate).
+                                    writer.note_owed();
+                                    let (vslot, vgen, _) = split_route_id(old.id);
+                                    if let Some(victim) = shared.conns.lookup(vslot, vgen) {
+                                        victim.settle_owed();
+                                    }
+                                }
+                            }
+                            at += consumed;
+                        }
+                        Ok(Some((Frame::Response(_), _))) => {
+                            // Clients don't send responses.
+                            shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                            break 'conn;
+                        }
+                        Ok(None) => break,
+                        Err(_) => {
+                            shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                            break 'conn;
+                        }
+                    }
+                }
+                if at > 0 {
+                    rbuf.consume(at);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                continue;
+            }
+            Err(_) => {
+                writer.reader_done();
+                return;
+            }
+        }
+    }
+    // Protocol error: drop the connection entirely (reader and writer).
+    writer.close();
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}

@@ -39,15 +39,17 @@ fn held_connection_survives_full_conn_id_wrap() {
     let server = Server::bind(
         "127.0.0.1:0",
         ServerConfig {
-            runtime: RuntimeConfig::builder()
-                .workers(1)
-                .build()
-                .expect("valid config"),
             admission: AdmissionConfig {
                 capacity: 1024,
                 policy: AdmissionPolicy::RejectNewest,
             },
             router: RouterPolicy::HashP2c,
+            ..ServerConfig::new(
+                RuntimeConfig::builder()
+                    .workers(1)
+                    .build()
+                    .expect("valid config"),
+            )
         },
         Arc::new(SpinApp::new()),
     )

@@ -19,18 +19,20 @@ fn start_server(shards: usize, workers: usize, router: RouterPolicy) -> Server {
     Server::bind(
         "127.0.0.1:0",
         ServerConfig {
-            runtime: RuntimeConfig::builder()
-                .workers(workers)
-                .num_shards(shards)
-                .jbsq_depth(JBSQ_K)
-                .quantum(Duration::from_micros(100))
-                .build()
-                .expect("valid config"),
             admission: AdmissionConfig {
                 capacity: 4096,
                 policy: AdmissionPolicy::RejectNewest,
             },
             router,
+            ..ServerConfig::new(
+                RuntimeConfig::builder()
+                    .workers(workers)
+                    .num_shards(shards)
+                    .jbsq_depth(JBSQ_K)
+                    .quantum(Duration::from_micros(100))
+                    .build()
+                    .expect("valid config"),
+            )
         },
         Arc::new(SpinApp::new()),
     )

@@ -16,15 +16,17 @@ fn start_server() -> Server {
     Server::bind(
         "127.0.0.1:0",
         ServerConfig {
-            runtime: RuntimeConfig::builder()
-                .workers(1)
-                .build()
-                .expect("valid config"),
             admission: AdmissionConfig {
                 capacity: 64,
                 policy: AdmissionPolicy::RejectNewest,
             },
             router: RouterPolicy::HashP2c,
+            ..ServerConfig::new(
+                RuntimeConfig::builder()
+                    .workers(1)
+                    .build()
+                    .expect("valid config"),
+            )
         },
         Arc::new(SpinApp::new()),
     )

@@ -5,7 +5,8 @@
 //! simulate [--system concord|shinjuku|persephone|coop-sq|coop-jbsq]
 //!          [--workload bimodal50|bimodal995|fixed1|tpcc|leveldb|zippydb]
 //!          [--rate RPS] [--load FRACTION] [--quantum US] [--workers N]
-//!          [--shards N] [--requests N] [--seed N] [--policy fcfs|srpt]
+//!          [--shards N] [--requests N] [--seed N]
+//!          [--policy ps|fcfs|srpt[:PCT]|boost[:US]]
 //!          [--batch N] [--runtime] [--report-secs S] [--trace PATH]
 //! ```
 //!
@@ -23,11 +24,17 @@
 //! JSON if PATH ends in `.json`, the compact binary format otherwise —
 //! from the simulator or (with `--runtime`) from the real runtime's
 //! per-core rings; sharded traces pack the shard id into the track word.
+//!
+//! `--policy` selects the scheduling policy in *both* engines: `ps`
+//! (quantum processor sharing, the default), `fcfs` (run-to-completion,
+//! preemption disabled), `srpt[:PCT]` (remaining-size priority; the
+//! noise percentage applies to the real runtime's size estimates), and
+//! `boost[:US]` (arrival-time-shifted priority, Yu & Scully).
 
-use concord_core::{Runtime, RuntimeConfig, ShardedRuntime, SpinApp};
+use concord_core::{PolicyKind, Runtime, RuntimeConfig, ShardedRuntime, SpinApp};
 use concord_net::{ring, Collector, LoadGen, Request, Response, RttModel};
 use concord_sim::experiments::ideal_capacity_rps;
-use concord_sim::{simulate, Policy, SimParams, SystemConfig};
+use concord_sim::{simulate, Policy, PreemptMechanism, SimParams, SystemConfig};
 use concord_workloads::mix::{self, Mix};
 use concord_workloads::Workload;
 use std::process::exit;
@@ -44,7 +51,7 @@ struct Args {
     shards: usize,
     requests: u64,
     seed: u64,
-    policy: Policy,
+    policy: PolicyKind,
     batch: u32,
     runtime: bool,
     report_secs: Option<f64>,
@@ -56,7 +63,8 @@ fn usage() -> ! {
         "usage: simulate [--system concord|shinjuku|persephone|coop-sq|coop-jbsq] \
          [--workload bimodal50|bimodal995|fixed1|tpcc|leveldb|zippydb] \
          [--rate RPS | --load FRACTION] [--quantum US] [--workers N] \
-         [--shards N] [--requests N] [--seed N] [--policy fcfs|srpt] \
+         [--shards N] [--requests N] [--seed N] \
+         [--policy ps|fcfs|srpt[:PCT]|boost[:US]] \
          [--batch N] [--runtime] [--report-secs S] [--trace PATH]"
     );
     exit(2);
@@ -73,7 +81,7 @@ fn parse_args() -> Args {
         shards: 1,
         requests: 80_000,
         seed: 42,
-        policy: Policy::Fcfs,
+        policy: PolicyKind::PsQuantum,
         batch: 1,
         runtime: false,
         report_secs: None,
@@ -108,13 +116,7 @@ fn parse_args() -> Args {
             "--batch" => args.batch = value.parse().unwrap_or_else(|_| usage()),
             "--report-secs" => args.report_secs = Some(value.parse().unwrap_or_else(|_| usage())),
             "--trace" => args.trace = Some(value.into()),
-            "--policy" => {
-                args.policy = match value.as_str() {
-                    "fcfs" => Policy::Fcfs,
-                    "srpt" => Policy::Srpt,
-                    _ => usage(),
-                }
-            }
+            "--policy" => args.policy = PolicyKind::parse(&value).unwrap_or_else(|| usage()),
             _ => usage(),
         }
         i += 2;
@@ -145,6 +147,28 @@ fn system_by_name(name: &str, workers: usize, quantum_ns: u64) -> SystemConfig {
     }
 }
 
+/// Maps the shared policy selector onto the simulator's queue policy
+/// and preemption mechanism. `ps` keeps the system preset's own
+/// mechanism (the sim's FCFS queue + quantum preemption *is* quantum
+/// processor sharing: requeues re-join at the tail); `fcfs`
+/// additionally disables preemption, making it run-to-completion like
+/// the real runtime's `Fcfs`. The SRPT noise percentage is a
+/// runtime-side estimate model; the simulator's SRPT is exact.
+fn apply_policy(mut cfg: SystemConfig, kind: PolicyKind) -> SystemConfig {
+    match kind {
+        PolicyKind::PsQuantum => cfg.with_policy(Policy::Fcfs),
+        PolicyKind::Fcfs => {
+            cfg.preemption = PreemptMechanism::None;
+            cfg.with_policy(Policy::Fcfs)
+        }
+        PolicyKind::Srpt { .. } => cfg.with_policy(Policy::Srpt),
+        PolicyKind::Boost { boost_us } => {
+            let boost = cfg.cost.ns_to_cycles(boost_us * 1_000);
+            cfg.with_policy(Policy::Boost { boost })
+        }
+    }
+}
+
 /// Writes `trace` to `path`: Perfetto trace-event JSON for a `.json`
 /// extension, the compact binary format otherwise.
 fn write_trace(trace: &concord_trace::Trace, path: &std::path::Path) {
@@ -170,6 +194,7 @@ fn write_trace(trace: &concord_trace::Trace, path: &std::path::Path) {
 fn run_runtime(args: &Args, workload: Mix, quantum_ns: u64, rate: f64) {
     let mut builder = RuntimeConfig::builder()
         .paper_defaults(args.workers)
+        .policy(args.policy)
         .quantum(Duration::from_nanos(quantum_ns.max(1)));
     if let Some(secs) = args.report_secs {
         builder = builder.telemetry_report_every(Duration::from_secs_f64(secs));
@@ -179,8 +204,8 @@ fn run_runtime(args: &Args, workload: Mix, quantum_ns: u64, rate: f64) {
         exit(2);
     });
     println!(
-        "real runtime: {} workers, quantum {:?}, JBSQ({}), {:.0} rps, {} requests, seed {}",
-        cfg.n_workers, cfg.quantum, cfg.jbsq_depth, rate, args.requests, args.seed
+        "real runtime: {} workers, quantum {:?}, JBSQ({}), policy {}, {:.0} rps, {} requests, seed {}",
+        cfg.n_workers, cfg.quantum, cfg.jbsq_depth, cfg.policy, rate, args.requests, args.seed
     );
 
     let (req_tx, req_rx) = ring::<Request>(32 * 1024);
@@ -235,6 +260,7 @@ fn run_runtime_sharded(args: &Args, workload: Mix, quantum_ns: u64, rate: f64) {
     let mut builder = RuntimeConfig::builder()
         .paper_defaults(args.workers)
         .num_shards(args.shards)
+        .policy(args.policy)
         .quantum(Duration::from_nanos(quantum_ns.max(1)));
     if let Some(secs) = args.report_secs {
         builder = builder.telemetry_report_every(Duration::from_secs_f64(secs));
@@ -244,8 +270,8 @@ fn run_runtime_sharded(args: &Args, workload: Mix, quantum_ns: u64, rate: f64) {
         exit(2);
     });
     println!(
-        "real sharded runtime: {} shards x {} workers, quantum {:?}, JBSQ({}), {:.0} rps, {} requests, seed {}",
-        args.shards, cfg.n_workers, cfg.quantum, cfg.jbsq_depth, rate, args.requests, args.seed
+        "real sharded runtime: {} shards x {} workers, quantum {:?}, JBSQ({}), policy {}, {:.0} rps, {} requests, seed {}",
+        args.shards, cfg.n_workers, cfg.quantum, cfg.jbsq_depth, cfg.policy, rate, args.requests, args.seed
     );
 
     let (req_tx, mut req_rx) = ring::<Request>(32 * 1024);
@@ -396,12 +422,14 @@ fn main() {
         return;
     }
 
-    let cfg = system_by_name(&args.system, args.workers, quantum_ns)
-        .with_policy(args.policy)
-        .with_batch(args.batch);
+    let cfg = apply_policy(
+        system_by_name(&args.system, args.workers, quantum_ns),
+        args.policy,
+    )
+    .with_batch(args.batch);
 
     println!(
-        "system={} workload={} workers={} shards={} quantum={}us policy={:?} batch={}",
+        "system={} workload={} workers={} shards={} quantum={}us policy={} batch={}",
         cfg.name,
         Workload::name(&workload),
         args.workers,

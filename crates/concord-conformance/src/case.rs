@@ -1,5 +1,6 @@
 //! Conformance case generation, shrinking, and the corpus text codec.
 
+use concord_core::PolicyKind;
 use concord_workloads::Gen;
 use std::fmt;
 
@@ -79,6 +80,8 @@ pub struct CaseConfig {
     /// Offered load as a percentage of rough capacity
     /// (`n_workers / mean_service`).
     pub load_pct: u64,
+    /// Scheduling policy the runtime applies (and the sim mirrors).
+    pub policy: PolicyKind,
     /// Injected fault schedule.
     pub fault: FaultKind,
 }
@@ -122,6 +125,18 @@ impl CaseConfig {
             short_weight: g.u64_in(1, 99) as u32,
             requests,
             load_pct: g.u64_in(10, 60),
+            // Drawn last so the other dimensions of a given seed are
+            // unchanged from the pre-policy corpus.
+            policy: match g.u64_in(0, 3) {
+                0 => PolicyKind::PsQuantum,
+                1 => PolicyKind::Fcfs,
+                2 => PolicyKind::Srpt {
+                    noise_pct: *g.pick(&[0, 10, 25]),
+                },
+                _ => PolicyKind::Boost {
+                    boost_us: *g.pick(&[1, 10, 100]),
+                },
+            },
             fault,
         }
     }
@@ -140,6 +155,12 @@ impl CaseConfig {
         // much stronger finding.
         push(CaseConfig {
             fault: FaultKind::None,
+            ..self.clone()
+        });
+        // Then the policy: a case that still fails under the default
+        // round-robin implicates the dispatcher, not the policy plane.
+        push(CaseConfig {
+            policy: PolicyKind::PsQuantum,
             ..self.clone()
         });
         push(CaseConfig {
@@ -197,6 +218,7 @@ impl CaseConfig {
             short_weight: 50,
             requests: 100,
             load_pct: 10,
+            policy: PolicyKind::PsQuantum,
             fault: FaultKind::None,
         };
         for kv in line.split_whitespace() {
@@ -219,6 +241,7 @@ impl CaseConfig {
                 "short_weight" => c.short_weight = val.parse().ok()?,
                 "requests" => c.requests = val.parse().ok()?,
                 "load_pct" => c.load_pct = val.parse().ok()?,
+                "policy" => c.policy = PolicyKind::parse(val)?,
                 "fault" => {
                     let mut parts = val.split(':');
                     c.fault = match parts.next()? {
@@ -269,7 +292,8 @@ impl fmt::Display for CaseConfig {
         write!(
             f,
             "seed={} workers={} k={} quantum_us={} wc={} arrival={arrival} \
-             short_us={} long_us={} short_weight={} requests={} load_pct={} fault={fault}",
+             short_us={} long_us={} short_weight={} requests={} load_pct={} \
+             policy={} fault={fault}",
             self.seed,
             self.n_workers,
             self.jbsq_depth,
@@ -280,6 +304,7 @@ impl fmt::Display for CaseConfig {
             self.short_weight,
             self.requests,
             self.load_pct,
+            self.policy,
         )
     }
 }
@@ -323,6 +348,16 @@ mod tests {
         assert!(CaseConfig::decode("workers=two").is_none());
         assert!(CaseConfig::decode("nonsense").is_none());
         assert!(CaseConfig::decode("fault=explode:1").is_none());
+        assert!(CaseConfig::decode("policy=lifo").is_none());
+    }
+
+    #[test]
+    fn decode_defaults_policy_for_pre_policy_corpus_lines() {
+        // Lines appended before the policy plane existed carry no
+        // policy key; they must keep replaying under the round-robin
+        // default.
+        let c = CaseConfig::decode("seed=7 workers=2 fault=drop:3").expect("old line decodes");
+        assert_eq!(c.policy, PolicyKind::PsQuantum);
     }
 
     #[test]

@@ -4,12 +4,14 @@
 use crate::case::{ArrivalKind, CaseConfig, FaultKind};
 use concord_core::preempt::SignalAccounting;
 use concord_core::{
-    Clock, ConcordApp, FaultInjector, Runtime, RuntimeConfig, ShardRollup, ShardedRuntime, SpinApp,
-    TelemetrySnapshot,
+    Clock, ConcordApp, FaultInjector, PolicyKind, Runtime, RuntimeConfig, ShardRollup,
+    ShardedRuntime, SpinApp, TelemetrySnapshot,
 };
 use concord_net::ring::ring;
 use concord_net::{Collector, LoadGen, Request, Response, RttModel};
-use concord_sim::{simulate, Policy, QueueDiscipline, SimParams, SimResult, SystemConfig};
+use concord_sim::{
+    simulate, Policy, PreemptMechanism, QueueDiscipline, SimParams, SimResult, SystemConfig,
+};
 use concord_workloads::arrival::Deterministic;
 use concord_workloads::dist::Dist;
 use concord_workloads::mix::{ClassSpec, Mix};
@@ -88,6 +90,10 @@ pub struct RuntimeObservation {
     pub admission_shed: u64,
     /// Derived observables of the quiescent scheduling-event trace.
     pub trace: Option<concord_trace::TraceSummary>,
+    /// The raw quiescent trace, for oracles that replay event order
+    /// (the per-policy priority-inversion and FIFO-completion checks)
+    /// rather than derived counters.
+    pub raw_trace: Option<concord_trace::Trace>,
 }
 
 /// The two-class fixed-service mix a case describes.
@@ -163,6 +169,7 @@ pub fn run_runtime_with<A: ConcordApp>(
         stack_size: 64 * 1024,
         dispatcher_slice: Duration::from_micros(case.quantum_us),
         max_in_flight: 16 * 1024,
+        policy: case.policy,
         telemetry_report_every: None,
         probe_period: concord_core::config::DEFAULT_PROBE_PERIOD,
         clock,
@@ -224,9 +231,10 @@ pub fn run_runtime_with<A: ConcordApp>(
         })
         .collect();
 
-    let trace = rt
-        .take_trace()
-        .map(|t| concord_trace::TraceSummary::from_trace(&t));
+    let raw_trace = rt.take_trace();
+    let trace = raw_trace
+        .as_ref()
+        .map(concord_trace::TraceSummary::from_trace);
 
     RuntimeObservation {
         case: case.clone(),
@@ -250,6 +258,7 @@ pub fn run_runtime_with<A: ConcordApp>(
         trace_dropped: stats.trace_dropped.load(Ordering::Relaxed),
         admission_shed: stats.admission.as_ref().map_or(0, |a| a.shed()),
         trace,
+        raw_trace,
     }
 }
 
@@ -311,6 +320,7 @@ pub fn run_runtime_sharded(
         stack_size: 64 * 1024,
         dispatcher_slice: Duration::from_micros(case.quantum_us),
         max_in_flight: 16 * 1024,
+        policy: case.policy,
         telemetry_report_every: None,
         probe_period: concord_core::config::DEFAULT_PROBE_PERIOD,
         clock: Clock::monotonic(),
@@ -425,12 +435,31 @@ pub fn run_runtime_sharded(
     }
 }
 
-/// Runs the same case through the discrete-event simulator.
+/// Runs the same case through the discrete-event simulator, mirroring
+/// the case's scheduling policy:
+///
+/// - `ps` → the sim's FCFS queue + cooperative quantum preemption
+///   (requeues re-join at the tail: quantum processor sharing — the
+///   pre-policy-plane behavior);
+/// - `fcfs` → FCFS queue with preemption disabled (run-to-completion);
+/// - `srpt` → the sim's exact SRPT queue (the noise percentage models
+///   runtime-side estimates; the sim schedules on true remaining size);
+/// - `boost` → arrival-time-shifted priority with `B` converted to
+///   cycles by the sim's cost model.
 pub fn run_sim(case: &CaseConfig) -> SimResult {
     let mut cfg = SystemConfig::concord(case.n_workers, case.quantum_us * 1_000);
     cfg.queue = QueueDiscipline::Jbsq(case.jbsq_depth.min(u8::MAX as usize) as u8);
     cfg.work_conserving = case.work_conserving;
-    cfg.policy = Policy::Fcfs;
+    cfg.policy = match case.policy {
+        PolicyKind::PsQuantum | PolicyKind::Fcfs => Policy::Fcfs,
+        PolicyKind::Srpt { .. } => Policy::Srpt,
+        PolicyKind::Boost { boost_us } => Policy::Boost {
+            boost: cfg.cost.ns_to_cycles(boost_us * 1_000),
+        },
+    };
+    if case.policy == PolicyKind::Fcfs {
+        cfg.preemption = PreemptMechanism::None;
+    }
     cfg.name = "conformance".into();
     simulate(
         &cfg,
@@ -450,6 +479,7 @@ pub fn run_case(case: &CaseConfig, timeout: Duration) -> Vec<String> {
     let obs = run_runtime(case, timeout);
     let mut violations = crate::oracles::check_runtime(&obs);
     violations.extend(crate::oracles::check_trace(&obs));
+    violations.extend(crate::oracles::check_policy(&obs));
     if case.fault == FaultKind::None && case.arrival == ArrivalKind::Poisson {
         let sim = run_sim(case);
         violations.extend(crate::oracles::check_sim(&sim, case));

@@ -40,4 +40,6 @@ pub use harness::{
     conf_shards, run_case, run_runtime, run_runtime_sharded, run_runtime_with, run_sim,
     RuntimeObservation, ShardedObservation,
 };
-pub use oracles::{check_admission, check_cross, check_runtime, check_sharded, check_sim};
+pub use oracles::{
+    check_admission, check_cross, check_policy, check_runtime, check_sharded, check_sim,
+};

@@ -549,6 +549,194 @@ pub fn check_cross(obs: &RuntimeObservation, sim: &SimResult) -> Vec<String> {
     v
 }
 
+/// Per-policy oracles: each scheduling policy makes a promise beyond the
+/// five shared invariants, checked here from counters and — where an
+/// exact replay is possible — from the raw event stream.
+///
+/// * **`PsQuantum`** — the quantum-PS baseline is pinned structurally by
+///   the golden-schedule tests on `CentralQueue` and by the virtual-time
+///   "short requests are never preempted" test; the five shared
+///   invariants already constrain its counters, so nothing extra here.
+/// * **`Fcfs`** — run to completion: the dispatcher never polices
+///   quanta, so zero preemption activity exists anywhere in the system —
+///   even under injected signal faults, which have no signals to act on.
+///   On a single worker without dispatcher work stealing, completion
+///   order must additionally equal arrival order (FIFO).
+/// * **`Srpt`** — a dispatched *fresh* (never-run) request must carry
+///   the minimum estimated service time among all fresh queued requests.
+///   The estimates are deterministic per request id (seeded noise), so
+///   the replay reproduces them exactly — noisy estimates are checked
+///   against their own noisy ordering, per Scully & Harchol-Balter.
+/// * **`Boost`** — the same replay with the boosted-arrival key
+///   `t_arrive − B²/size` (Yu & Scully).
+///
+/// The replay oracles need a loss-free raw trace and skip silently when
+/// the tracer is disarmed or overflowed.
+pub fn check_policy(obs: &RuntimeObservation) -> Vec<String> {
+    use concord_core::PolicyKind;
+    let mut v = Vec::new();
+    let replayable = obs.trace_dropped == 0;
+    match obs.case.policy {
+        PolicyKind::PsQuantum => {}
+        PolicyKind::Fcfs => {
+            check(&mut v, obs.signals_sent == 0, || {
+                format!(
+                    "fcfs: {} preemption signals sent under run-to-completion",
+                    obs.signals_sent
+                )
+            });
+            check(&mut v, obs.preemptions == 0, || {
+                format!(
+                    "fcfs: {} preemptions under run-to-completion",
+                    obs.preemptions
+                )
+            });
+            check(&mut v, obs.acct.total() == 0, || {
+                format!(
+                    "fcfs: signal fates recorded ({} consumed / {} obsolete / {} stale) \
+                     with quantum policing disabled",
+                    obs.acct.consumed, obs.acct.obsolete, obs.acct.stale
+                )
+            });
+            // Injected signal faults act on the policing path, which
+            // never runs: the injector must have found nothing to drop.
+            check(&mut v, obs.signals_dropped_injected == 0, || {
+                format!(
+                    "fcfs: fault injector claimed {} signals that were never sent",
+                    obs.signals_dropped_injected
+                )
+            });
+            if obs.case.n_workers == 1 && !obs.case.work_conserving && replayable {
+                if let Some(t) = obs.raw_trace.as_ref() {
+                    v.extend(check_fifo_completion(t));
+                }
+            }
+        }
+        PolicyKind::Srpt { noise_pct } => {
+            if replayable {
+                if let Some(t) = obs.raw_trace.as_ref() {
+                    let est = concord_core::Srpt {
+                        noise_pct,
+                        ..concord_core::Srpt::default()
+                    };
+                    v.extend(check_fresh_priority(t, "srpt", |id, service_ns, _| {
+                        est.estimate(id, service_ns)
+                    }));
+                }
+            }
+        }
+        PolicyKind::Boost { boost_us } => {
+            if replayable {
+                if let Some(t) = obs.raw_trace.as_ref() {
+                    let b = boost_us.saturating_mul(1_000);
+                    v.extend(check_fresh_priority(
+                        t,
+                        "boost",
+                        |_, service_ns, arrive_ns| {
+                            arrive_ns.saturating_sub(b.saturating_mul(b) / service_ns.max(1))
+                        },
+                    ));
+                }
+            }
+        }
+    }
+    v
+}
+
+/// FIFO replay for a single-worker, non-work-conserving FCFS execution:
+/// the id sequence of `COMPLETE` events on the worker track must equal
+/// the id sequence of `ARRIVE` events on the dispatcher track. (With one
+/// worker and no dispatcher slices, dispatch order is completion order.)
+fn check_fifo_completion(trace: &concord_trace::Trace) -> Vec<String> {
+    use concord_trace::EventKind;
+    let mut v = Vec::new();
+    let d = trace.dispatcher_track();
+    let arrivals: Vec<u64> = trace
+        .records
+        .iter()
+        .filter(|r| r.track == d && r.ev.kind() == EventKind::Arrive)
+        .map(|r| r.ev.id())
+        .collect();
+    let completions: Vec<u64> = trace
+        .records
+        .iter()
+        .filter(|r| r.track != d && r.ev.kind() == EventKind::Complete)
+        .map(|r| r.ev.id())
+        .collect();
+    check(&mut v, arrivals == completions, || {
+        let at = arrivals
+            .iter()
+            .zip(&completions)
+            .position(|(a, c)| a != c)
+            .unwrap_or_else(|| arrivals.len().min(completions.len()));
+        format!(
+            "fcfs: completion order diverges from arrival order at position {at} \
+             ({} arrivals, {} completions)",
+            arrivals.len(),
+            completions.len()
+        )
+    });
+    v
+}
+
+/// Replays the dispatcher track maintaining the set of *fresh*
+/// (never-dispatched) queued requests, and asserts that every fresh
+/// request leaving the queue — by `DISPATCH` or a work-conserving
+/// `STEAL`, both of which pop the best-ranked fresh entry — carried a
+/// key no greater than any fresh request left behind. Requeued requests
+/// carry keys the trace cannot reconstruct (their remaining work changes
+/// every slice), so only fresh picks are checked; for requests that are
+/// never preempted that is every pick.
+///
+/// `key(id, service_ns, arrive_ns)` mirrors the policy's fresh-task key;
+/// the service time is recovered from the `ARRIVE` generation field
+/// (microseconds).
+fn check_fresh_priority(
+    trace: &concord_trace::Trace,
+    name: &str,
+    key: impl Fn(u64, u64, u64) -> u64,
+) -> Vec<String> {
+    use concord_trace::EventKind;
+    use std::collections::HashMap;
+    let mut v = Vec::new();
+    let d = trace.dispatcher_track();
+    let mut fresh: HashMap<u64, u64> = HashMap::new();
+    let mut inversions = 0u64;
+    let mut example = None;
+    for r in trace.records.iter().filter(|r| r.track == d) {
+        match r.ev.kind() {
+            EventKind::Arrive => {
+                let service_ns = r.ev.gen().saturating_mul(1_000);
+                fresh.insert(r.ev.id(), key(r.ev.id(), service_ns, r.ev.ts_ns));
+            }
+            EventKind::Dispatch | EventKind::Steal => {
+                if let Some(k) = fresh.remove(&r.ev.id()) {
+                    let best = fresh.iter().min_by_key(|&(_, bk)| *bk);
+                    if let Some((&bid, &bk)) = best {
+                        if k > bk {
+                            inversions += 1;
+                            example.get_or_insert_with(|| {
+                                format!(
+                                    "request {} (key {k}) picked over request {bid} (key {bk})",
+                                    r.ev.id()
+                                )
+                            });
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    check(&mut v, inversions == 0, || {
+        format!(
+            "{name}: {inversions} priority inversions on fresh dispatches, e.g. {}",
+            example.unwrap_or_default()
+        )
+    });
+    v
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -569,6 +757,7 @@ mod tests {
             requests: 10,
             load_pct: 10,
             fault: FaultKind::None,
+            policy: concord_core::PolicyKind::PsQuantum,
         };
         let telemetry = {
             let mut t = concord_core::telemetry::Telemetry::new();
@@ -637,6 +826,7 @@ mod tests {
             telemetry,
             trace_dropped: 0,
             trace: None,
+            raw_trace: None,
         }
     }
 
@@ -851,6 +1041,145 @@ mod tests {
         obs.rollup.per_shard[1].queue_max[0] = 9;
         let v = check_sharded(&obs);
         assert!(v.iter().any(|m| m.contains("sharded jbsq bound")), "{v:?}");
+    }
+
+    /// Builds a dispatcher-track-only trace from `(kind, id, gen, ts)`
+    /// rows for the policy replay oracles (1 worker, dispatcher track 1).
+    fn dispatcher_trace(
+        rows: &[(concord_trace::EventKind, u64, u64, u64)],
+    ) -> concord_trace::Trace {
+        let mut t = concord_trace::Trace::new(1);
+        for &(kind, id, gen, ts) in rows {
+            t.record(1, concord_trace::TraceEvent::new(ts, kind, id, gen));
+        }
+        t
+    }
+
+    #[test]
+    fn ps_quantum_has_no_extra_policy_oracle() {
+        let v = check_policy(&clean_obs());
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn fcfs_preemption_activity_is_reported() {
+        // clean_obs carries quantum-PS counters (signals, preemptions);
+        // under FCFS every one of them is a violation.
+        let mut obs = clean_obs();
+        obs.case.policy = concord_core::PolicyKind::Fcfs;
+        let v = check_policy(&obs);
+        assert!(v.iter().any(|m| m.contains("signals sent")), "{v:?}");
+        assert!(v.iter().any(|m| m.contains("preemptions")), "{v:?}");
+        assert!(v.iter().any(|m| m.contains("signal fates")), "{v:?}");
+    }
+
+    #[test]
+    fn fcfs_silent_counters_pass() {
+        let mut obs = clean_obs();
+        obs.case.policy = concord_core::PolicyKind::Fcfs;
+        obs.signals_sent = 0;
+        obs.preemptions = 0;
+        obs.acct = SignalAccounting::default();
+        for w in &mut obs.per_worker {
+            w.preempted = 0;
+            w.signals_consumed = 0;
+            w.signals_obsolete = 0;
+        }
+        let v = check_policy(&obs);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn fcfs_fifo_violation_is_reported() {
+        use concord_trace::EventKind as K;
+        let mut obs = clean_obs();
+        obs.case.policy = concord_core::PolicyKind::Fcfs;
+        obs.case.n_workers = 1;
+        obs.case.work_conserving = false;
+        obs.signals_sent = 0;
+        obs.preemptions = 0;
+        obs.acct = SignalAccounting::default();
+        let mut t = dispatcher_trace(&[(K::Arrive, 0, 1, 10), (K::Arrive, 1, 1, 20)]);
+        // Worker (track 0) completed them out of order.
+        t.record(0, concord_trace::TraceEvent::new(30, K::Complete, 1, 1));
+        t.record(0, concord_trace::TraceEvent::new(40, K::Complete, 0, 1));
+        obs.raw_trace = Some(t);
+        let v = check_policy(&obs);
+        assert!(v.iter().any(|m| m.contains("completion order")), "{v:?}");
+
+        // The same trace is fine once FIFO cannot be asserted (2 workers).
+        obs.case.n_workers = 2;
+        let v = check_policy(&obs);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn srpt_priority_inversion_is_reported() {
+        use concord_trace::EventKind as K;
+        let mut obs = clean_obs();
+        obs.case.policy = concord_core::PolicyKind::Srpt { noise_pct: 0 };
+        // A 20µs request dispatched while a fresh 1µs request waits.
+        obs.raw_trace = Some(dispatcher_trace(&[
+            (K::Arrive, 0, 20, 10),
+            (K::Arrive, 1, 1, 20),
+            (K::Dispatch, 0, 0, 30),
+            (K::Dispatch, 1, 0, 40),
+        ]));
+        let v = check_policy(&obs);
+        assert!(v.iter().any(|m| m.contains("priority inversions")), "{v:?}");
+
+        // Shortest-first order passes.
+        obs.raw_trace = Some(dispatcher_trace(&[
+            (K::Arrive, 0, 20, 10),
+            (K::Arrive, 1, 1, 20),
+            (K::Dispatch, 1, 0, 30),
+            (K::Dispatch, 0, 0, 40),
+        ]));
+        let v = check_policy(&obs);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn boost_replay_uses_shifted_arrival_order() {
+        use concord_trace::EventKind as K;
+        let mut obs = clean_obs();
+        // B = 100µs: the 1µs request's head start (B²/s = 10ms) dwarfs
+        // both its later arrival and the 20µs request's 500µs head
+        // start, so dispatching the earlier 20µs request first is an
+        // inversion. (Arrivals sit late enough on the timeline that the
+        // long request's shifted key stays positive.)
+        obs.case.policy = concord_core::PolicyKind::Boost { boost_us: 100 };
+        let rows = [
+            (K::Arrive, 0, 20, 1_000_000),
+            (K::Arrive, 1, 1, 1_010_000),
+            (K::Dispatch, 0, 0, 1_020_000),
+            (K::Dispatch, 1, 0, 1_030_000),
+        ];
+        obs.raw_trace = Some(dispatcher_trace(&rows));
+        let v = check_policy(&obs);
+        assert!(v.iter().any(|m| m.contains("priority inversions")), "{v:?}");
+
+        // B = 1µs: the head start (≤ 1µs) no longer overcomes the 10µs
+        // arrival gap — the same FIFO-ish schedule is now conforming.
+        obs.case.policy = concord_core::PolicyKind::Boost { boost_us: 1 };
+        obs.raw_trace = Some(dispatcher_trace(&rows));
+        let v = check_policy(&obs);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn lossy_trace_skips_policy_replay() {
+        use concord_trace::EventKind as K;
+        let mut obs = clean_obs();
+        obs.case.policy = concord_core::PolicyKind::Srpt { noise_pct: 0 };
+        obs.raw_trace = Some(dispatcher_trace(&[
+            (K::Arrive, 0, 20, 10),
+            (K::Arrive, 1, 1, 20),
+            (K::Dispatch, 0, 0, 30),
+        ]));
+        obs.trace_dropped = 1;
+        let v = check_policy(&obs);
+        assert!(v.is_empty(), "lossy trace must skip replay: {v:?}");
     }
 
     #[test]

@@ -45,6 +45,7 @@ fn base_case() -> CaseConfig {
         requests: 150,
         load_pct: 40,
         fault: FaultKind::None,
+        policy: concord_core::PolicyKind::PsQuantum,
     }
 }
 

@@ -1,25 +1,32 @@
 //! The dispatcher's central queue, with the scheduling policy made
 //! explicit in the data structure.
 //!
-//! # Policy: processor-sharing round-robin
+//! # Ordering: priority key, then sequence
 //!
-//! The paper's quantum model (§3.1) approximates processor sharing by
-//! time-slicing: a request that exhausts its quantum yields and re-enters
-//! the run queue *behind everything currently queued* — later arrivals
-//! included — exactly like textbook round-robin. This is **not** FCFS
-//! re-entry (which would resume a preempted request ahead of requests
-//! that arrived after it); an earlier comment in the dispatcher claimed
-//! FCFS while the code did round-robin. The queue below makes the policy
-//! structural so the two cannot drift apart again:
+//! Every entry carries a `(key, seq)` pair: a priority key chosen by the
+//! active [`SchedPolicy`](crate::policy::SchedPolicy) at (re-)insertion
+//! time, and a monotonically increasing sequence number stamped by the
+//! queue. [`CentralQueue::pop_next`] always returns the smallest live
+//! `(key, seq)` pair, so *smaller key dispatches sooner* and ties
+//! resolve in insertion order.
 //!
-//! - Every entry carries a monotonically increasing sequence number
-//!   stamped at (re-)insertion time. [`CentralQueue::pop_next`] always
-//!   returns the smallest live sequence number, so the service order *is*
-//!   the insertion order, by construction.
-//! - Fresh (never-started) and requeued (preempted) entries live in two
-//!   internal deques. Each deque is individually seq-ordered, so the
-//!   global order is recovered with a single front-to-front comparison —
-//!   O(1), no scan.
+//! With every key 0 — the [`PsQuantum`](crate::policy::PsQuantum) and
+//! [`Fcfs`](crate::policy::Fcfs) policies — the order degenerates to
+//! pure sequence order, which is exactly the original hard-coded
+//! behavior of this queue (pinned by the golden-schedule tests below):
+//!
+//! - a fresh arrival enqueues at the tail;
+//! - a preempted request re-enters *behind everything currently
+//!   queued* — later arrivals included — exactly like textbook
+//!   round-robin processor sharing (§3.1 of the paper). This is **not**
+//!   FCFS re-entry (which would resume a preempted request ahead of
+//!   requests that arrived after it).
+//!
+//! Keyed policies ([`Srpt`](crate::policy::Srpt),
+//! [`Boost`](crate::policy::Boost)) insert by key with a tail-backward
+//! scan. Key-0 inserts stay O(1) (the seq stamp is monotone, so the
+//! tail is always the right spot); keyed inserts are O(distance from
+//! tail), which stays short because the queue drains in key order.
 //!
 //! # Why two deques
 //!
@@ -30,27 +37,36 @@
 //! !t.started)` followed by `remove(pos)` — O(n) per steal under
 //! backlog, plus an O(n) `any()` in the idle tripwire. Splitting by
 //! started-ness makes the steal a `pop_front` of the fresh deque (the
-//! oldest not-started entry, the same victim the scan used to find), the
-//! not-started count a `len()`, and both O(1).
+//! best-priority not-started entry; the oldest one under key-0
+//! policies, the same victim the scan used to find), the not-started
+//! count a `len()`, and both O(1).
 
 use std::collections::VecDeque;
 
-/// A sequence-ordered entry.
+/// A priority- and sequence-ordered entry.
 struct Entry<T> {
+    key: u64,
     seq: u64,
     item: T,
 }
 
-/// The central run queue: processor-sharing round-robin order, O(1)
-/// pop/steal, and a free not-yet-started count.
+impl<T> Entry<T> {
+    #[inline]
+    fn rank(&self) -> (u64, u64) {
+        (self.key, self.seq)
+    }
+}
+
+/// The central run queue: `(key, seq)` priority order, O(1) pop and
+/// steal, O(1) push for key-0 policies, and a free not-yet-started
+/// count.
 ///
 /// Generic over the queued item so the microbenchmarks can drive it with
 /// plain integers; the dispatcher instantiates it with `Task`.
 pub struct CentralQueue<T> {
-    /// Never-started entries, ascending `seq`.
+    /// Never-started entries, ascending `(key, seq)`.
     fresh: VecDeque<Entry<T>>,
-    /// Preempted entries re-entering the round-robin cycle, ascending
-    /// `seq`.
+    /// Preempted entries re-entering the cycle, ascending `(key, seq)`.
     requeued: VecDeque<Entry<T>>,
     /// Next sequence number to stamp.
     next_seq: u64,
@@ -60,6 +76,18 @@ impl<T> Default for CentralQueue<T> {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// Inserts an entry keeping the deque ascending by `(key, seq)`,
+/// scanning backward from the tail. A fresh stamp with key 0 (or any
+/// key ≥ the current tail's) lands immediately — O(1) on the paths the
+/// round-robin policies use.
+fn insert_sorted<T>(deque: &mut VecDeque<Entry<T>>, entry: Entry<T>) {
+    let mut at = deque.len();
+    while at > 0 && deque[at - 1].rank() > entry.rank() {
+        at -= 1;
+    }
+    deque.insert(at, entry);
 }
 
 impl<T> CentralQueue<T> {
@@ -78,25 +106,35 @@ impl<T> CentralQueue<T> {
         s
     }
 
-    /// Enqueues a new arrival at the round-robin tail.
+    /// Enqueues a new arrival with key 0: the round-robin tail.
     pub fn push_fresh(&mut self, item: T) {
-        let seq = self.stamp();
-        self.fresh.push_back(Entry { seq, item });
+        self.push_fresh_prio(0, item);
     }
 
-    /// Re-enqueues a preempted item at the round-robin tail: behind every
-    /// currently queued entry, later arrivals included (processor-sharing
+    /// Enqueues a new arrival with a policy-chosen priority key.
+    pub fn push_fresh_prio(&mut self, key: u64, item: T) {
+        let seq = self.stamp();
+        insert_sorted(&mut self.fresh, Entry { key, seq, item });
+    }
+
+    /// Re-enqueues a preempted item with key 0: behind every currently
+    /// queued key-0 entry, later arrivals included (processor-sharing
     /// round-robin, not FCFS re-entry — see the module docs).
     pub fn push_requeued(&mut self, item: T) {
-        let seq = self.stamp();
-        self.requeued.push_back(Entry { seq, item });
+        self.push_requeued_prio(0, item);
     }
 
-    /// Dequeues the next item in round-robin order: the smallest live
-    /// sequence number across both internal deques. O(1).
+    /// Re-enqueues a preempted item with a policy-chosen priority key.
+    pub fn push_requeued_prio(&mut self, key: u64, item: T) {
+        let seq = self.stamp();
+        insert_sorted(&mut self.requeued, Entry { key, seq, item });
+    }
+
+    /// Dequeues the next item: the smallest live `(key, seq)` pair
+    /// across both internal deques. O(1).
     pub fn pop_next(&mut self) -> Option<T> {
         let take_fresh = match (self.fresh.front(), self.requeued.front()) {
-            (Some(f), Some(r)) => f.seq < r.seq,
+            (Some(f), Some(r)) => f.rank() < r.rank(),
             (Some(_), None) => true,
             (None, Some(_)) => false,
             (None, None) => return None,
@@ -109,17 +147,19 @@ impl<T> CentralQueue<T> {
         e.map(|e| e.item)
     }
 
-    /// Removes and returns the oldest never-started item — the same
-    /// victim the old O(n) `position(|t| !t.started)` scan selected —
-    /// in O(1). Used by the work-conserving dispatcher and the
-    /// inter-shard steal path, both of which must not move started work.
+    /// Removes and returns the best-priority never-started item — under
+    /// key-0 policies the oldest one, the same victim the old O(n)
+    /// `position(|t| !t.started)` scan selected — in O(1). Used by the
+    /// work-conserving dispatcher and the inter-shard steal path, both
+    /// of which must not move started work.
     pub fn steal_not_started(&mut self) -> Option<T> {
         self.fresh.pop_front().map(|e| e.item)
     }
 
-    /// Removes and returns the **youngest** never-started item. The
-    /// shard offload path sheds from this end so the oldest work keeps
-    /// its position in the local round-robin order.
+    /// Removes and returns the **worst-priority** never-started item
+    /// (the youngest, under key-0 policies). The shard offload path
+    /// sheds from this end so the best-ranked local work keeps its
+    /// position in the local order.
     pub fn take_youngest_not_started(&mut self) -> Option<T> {
         self.fresh.pop_back().map(|e| e.item)
     }
@@ -192,6 +232,97 @@ mod tests {
         assert_eq!(q.take_youngest_not_started(), Some(2));
         assert_eq!(q.pop_next(), Some(1));
         assert_eq!(q.pop_next(), Some(3));
+    }
+
+    /// Golden schedule, single worker: drive the queue through the exact
+    /// dispatch/preempt/requeue cycle the dispatcher performs for one
+    /// worker with JBSQ depth 1, on a virtual timeline (each step is one
+    /// quantum). Pinned before the `SchedPolicy` extraction so the
+    /// `PsQuantum` refactor is provably behavior-preserving.
+    #[test]
+    fn golden_single_worker_requeue_schedule() {
+        let mut q = CentralQueue::new();
+        let mut schedule = Vec::new();
+        // t=0: "a" (needs 3 quanta) and "b" (1 quantum) arrive.
+        q.push_fresh("a");
+        q.push_fresh("b");
+        // Quantum 1: dispatch "a"; "c" (2 quanta) arrives while it runs;
+        // "a" is preempted and re-enters at the global tail.
+        schedule.push(q.pop_next().unwrap());
+        q.push_fresh("c");
+        q.push_requeued("a");
+        // Quantum 2: "b" runs to completion.
+        schedule.push(q.pop_next().unwrap());
+        // Quantum 3: "c" runs (arrived before "a" was requeued), gets
+        // preempted, re-enters behind "a".
+        schedule.push(q.pop_next().unwrap());
+        q.push_requeued("c");
+        // Quanta 4-7: round-robin between the two preempted tasks.
+        schedule.push(q.pop_next().unwrap());
+        q.push_requeued("a");
+        schedule.push(q.pop_next().unwrap());
+        schedule.push(q.pop_next().unwrap());
+        assert_eq!(q.pop_next(), None);
+        // Processor-sharing round-robin: preempted work cycles behind
+        // later arrivals, giving a-b-c-a-c-a — NOT FCFS re-entry
+        // (a-a-b-c...) and NOT SRPT (which would finish b then c first).
+        assert_eq!(schedule, vec!["a", "b", "c", "a", "c", "a"]);
+    }
+
+    /// Golden schedule, two workers: pops happen in pairs (both JBSQ
+    /// slots refill each virtual tick) with preemptions interleaved.
+    /// Requeue order must stay globally seq-ordered even when multiple
+    /// workers requeue between pops.
+    #[test]
+    fn golden_multi_worker_requeue_schedule() {
+        let mut q = CentralQueue::new();
+        let mut schedule = Vec::new();
+        // t=0: four arrivals.
+        for name in ["a", "b", "c", "d"] {
+            q.push_fresh(name);
+        }
+        // Tick 1: workers 0 and 1 take "a" and "b"; both are preempted
+        // (worker 0 first), re-entering behind "c" and "d".
+        schedule.push(q.pop_next().unwrap()); // a -> w0
+        schedule.push(q.pop_next().unwrap()); // b -> w1
+        q.push_requeued("a");
+        q.push_requeued("b");
+        // Tick 2: "e" arrives, then both workers refill with c, d.
+        q.push_fresh("e");
+        schedule.push(q.pop_next().unwrap()); // c -> w0
+        schedule.push(q.pop_next().unwrap()); // d -> w1
+                                              // Worker 1 preempts "d" before worker 0 preempts "c": the
+                                              // requeue order is the message-arrival order, and later pops
+                                              // must honor it.
+        q.push_requeued("d");
+        q.push_requeued("c");
+        // Tick 3 onward: drain one pop per step, completing each.
+        while let Some(t) = q.pop_next() {
+            schedule.push(t);
+        }
+        assert_eq!(schedule, vec!["a", "b", "c", "d", "a", "b", "e", "d", "c"]);
+    }
+
+    #[test]
+    fn keyed_pop_orders_by_key_then_seq() {
+        let mut q = CentralQueue::new();
+        q.push_fresh_prio(30, "slow");
+        q.push_fresh_prio(10, "fast");
+        q.push_fresh_prio(10, "fast2"); // tie: insertion order
+        q.push_requeued_prio(20, "mid");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop_next()).collect();
+        assert_eq!(order, vec!["fast", "fast2", "mid", "slow"]);
+    }
+
+    #[test]
+    fn keyed_steal_takes_best_priority_fresh() {
+        let mut q = CentralQueue::new();
+        q.push_fresh_prio(50, "long");
+        q.push_fresh_prio(5, "short");
+        q.push_requeued_prio(1, "running"); // started: never stolen
+        assert_eq!(q.steal_not_started(), Some("short"));
+        assert_eq!(q.take_youngest_not_started(), Some("long"));
+        assert_eq!(q.pop_next(), Some("running"));
     }
 
     #[test]

@@ -43,6 +43,11 @@ pub struct RuntimeConfig {
     /// in flight); beyond it, ingress pauses (the RX ring then fills and
     /// drops, preserving open-loop semantics).
     pub max_in_flight: usize,
+    /// Scheduling policy the dispatcher applies: queue ordering and
+    /// whether quanta are policed. Defaults to
+    /// [`PolicyKind::PsQuantum`], the paper's quantum-based
+    /// processor sharing. See [`crate::policy`].
+    pub policy: crate::policy::PolicyKind,
     /// If set, the dispatcher prints a human-readable telemetry report
     /// (queueing/service/sojourn percentiles) to stderr at this interval.
     pub telemetry_report_every: Option<Duration>,
@@ -145,6 +150,7 @@ impl RuntimeBuilder {
                 stack_size: 64 * 1024,
                 dispatcher_slice: Duration::from_micros(5),
                 max_in_flight: 16 * 1024,
+                policy: crate::policy::PolicyKind::PsQuantum,
                 telemetry_report_every: None,
                 clock: Clock::monotonic(),
                 #[cfg(feature = "trace")]
@@ -230,6 +236,13 @@ impl RuntimeBuilder {
     /// Sets the in-flight request cap.
     pub fn max_in_flight(mut self, n: usize) -> Self {
         self.cfg.max_in_flight = n;
+        self
+    }
+
+    /// Selects the scheduling policy (queue ordering + preemption
+    /// gating). See [`crate::policy::PolicyKind`].
+    pub fn policy(mut self, policy: crate::policy::PolicyKind) -> Self {
+        self.cfg.policy = policy;
         self
     }
 
@@ -431,6 +444,7 @@ mod tests {
             .stack_size(128 * 1024)
             .dispatcher_slice(Duration::from_micros(50))
             .max_in_flight(256)
+            .policy(crate::policy::PolicyKind::Srpt { noise_pct: 10 })
             .telemetry_report_every(Duration::from_secs(1))
             .clock(clock)
             .build()
@@ -443,6 +457,7 @@ mod tests {
         assert_eq!(c.stack_size, 128 * 1024);
         assert_eq!(c.dispatcher_slice, Duration::from_micros(50));
         assert_eq!(c.max_in_flight, 256);
+        assert_eq!(c.policy, crate::policy::PolicyKind::Srpt { noise_pct: 10 });
         assert_eq!(c.telemetry_report_every, Some(Duration::from_secs(1)));
         assert!(c.clock.is_virtual());
     }

@@ -92,6 +92,11 @@ struct DeferredSignal {
 impl<A: ConcordApp, I: Ingress, E: Egress> DispatcherLoop<A, I, E> {
     /// Runs until stopped and drained. Consumes the loop state.
     pub fn run(mut self) {
+        // The scheduling policy: chooses every entry's priority key and
+        // whether quanta are policed at all. Instantiated once; the
+        // boxed call is off the per-iteration fast path (it runs only
+        // on enqueue).
+        let policy = self.cfg.policy.instantiate();
         let mut central: CentralQueue<Task> = CentralQueue::new();
         // Requests currently inside this shard: central queue + worker
         // rings + the dispatcher's own stolen slot + requeue messages in
@@ -127,7 +132,17 @@ impl<A: ConcordApp, I: Ingress, E: Egress> DispatcherLoop<A, I, E> {
             //    The claim returns the expired slice's generation and the
             //    signal carries it, so a worker that has already moved on
             //    ignores the (now stale) signal.
-            for i in 0..self.workers.len() {
+            //
+            //    Run-to-completion policies (`Fcfs`) skip the whole step:
+            //    no claims, no signals — zero preemptions by
+            //    construction, which the conformance suite asserts
+            //    exactly.
+            let policed = if policy.preempts() {
+                self.workers.len()
+            } else {
+                0
+            };
+            for i in 0..policed {
                 let claimed = self.workers[i].shared.claim_expired(&self.clock);
                 if let Some(gen) = claimed {
                     progressed = true;
@@ -217,7 +232,8 @@ impl<A: ConcordApp, I: Ingress, E: Egress> DispatcherLoop<A, I, E> {
                             .lock()
                             .expect("lock poisoned")
                             .record_preemption_latency(preempt_latency_ns);
-                        central.push_requeued(task);
+                        let key = policy.key(&task);
+                        central.push_requeued_prio(key, task);
                     }
                 }
             }
@@ -245,7 +261,12 @@ impl<A: ConcordApp, I: Ingress, E: Egress> DispatcherLoop<A, I, E> {
                     self.stats.ingested.fetch_add(1, Ordering::Relaxed);
                     in_system += 1;
                     let now_ns = self.clock.now_ns();
-                    self.trace_emit(now_ns, TraceKind::Arrive, req.id, 0);
+                    // ARRIVE carries the request's service time in
+                    // microseconds in the generation field (16 bits —
+                    // µs, not ns, so realistic sizes fit) so the
+                    // per-policy priority-inversion oracle can replay
+                    // dispatch decisions from the trace alone.
+                    self.trace_emit(now_ns, TraceKind::Arrive, req.id, req.service_ns / 1_000);
                     let task = match stack_pool.pop() {
                         Some(stack) => {
                             self.stats.stack_reuses.fetch_add(1, Ordering::Relaxed);
@@ -253,7 +274,8 @@ impl<A: ConcordApp, I: Ingress, E: Egress> DispatcherLoop<A, I, E> {
                         }
                         None => Task::new(self.app.clone(), req, self.cfg.stack_size, now_ns),
                     };
-                    central.push_fresh(task);
+                    let key = policy.key(&task);
+                    central.push_fresh_prio(key, task);
                     progressed = true;
                 }
             }
@@ -398,7 +420,8 @@ impl<A: ConcordApp, I: Ingress, E: Egress> DispatcherLoop<A, I, E> {
                             Err(task) => {
                                 // Raced a concurrent capacity check; keep
                                 // the task local.
-                                central.push_fresh(task);
+                                let key = policy.key(&task);
+                                central.push_fresh_prio(key, task);
                                 break;
                             }
                         }
@@ -424,7 +447,8 @@ impl<A: ConcordApp, I: Ingress, E: Egress> DispatcherLoop<A, I, E> {
                                         1 + victim as u64,
                                     );
                                 }
-                                central.push_fresh(task);
+                                let key = policy.key(&task);
+                                central.push_fresh_prio(key, task);
                                 progressed = true;
                             }
                         }
@@ -442,7 +466,8 @@ impl<A: ConcordApp, I: Ingress, E: Egress> DispatcherLoop<A, I, E> {
                     };
                     in_system += 1;
                     self.stats.shard_reclaimed.fetch_add(1, Ordering::Relaxed);
-                    central.push_fresh(task);
+                    let key = policy.key(&task);
+                    central.push_fresh_prio(key, task);
                     progressed = true;
                     if !stopping {
                         break; // one per iteration outside of drain

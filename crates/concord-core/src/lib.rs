@@ -55,6 +55,7 @@ pub mod config;
 pub mod dispatcher;
 #[cfg(feature = "fault-injection")]
 pub mod fault;
+pub mod policy;
 pub mod preempt;
 pub mod runtime;
 pub mod shard;
@@ -74,6 +75,7 @@ pub use clock::{Clock, VirtualClock};
 pub use config::{ConfigError, RuntimeBuilder, RuntimeConfig};
 #[cfg(feature = "fault-injection")]
 pub use fault::FaultInjector;
+pub use policy::{Boost, Fcfs, PolicyKind, PsQuantum, SchedPolicy, Srpt};
 pub use preempt::{LockDepthObserver, PreemptLine, SignalAccounting, SignalPoll};
 pub use runtime::Runtime;
 pub use shard::{ShardCounters, ShardRollup, ShardedRuntime};

@@ -1,0 +1,327 @@
+//! Pluggable scheduling policies for the dispatcher.
+//!
+//! The paper's thesis is that *approximate* optimal scheduling —
+//! quantum-based processor sharing with fast preemption — gets close to
+//! the true tail-optimal policy. Measuring "close to what" requires the
+//! baselines to be swappable, so the dispatcher's ordering decisions are
+//! factored out behind [`SchedPolicy`]:
+//!
+//! - **pick-next / requeue ordering** via [`SchedPolicy::key`]: every
+//!   entry in the central queue carries a priority key; the dispatcher
+//!   always pops the smallest `(key, seq)` pair, so a policy shapes the
+//!   schedule purely by choosing keys. Constant keys degrade to the
+//!   sequence order — exactly the old hard-coded behavior.
+//! - **whether preemption signals are issued at all** via
+//!   [`SchedPolicy::preempts`]: run-to-completion baselines (Persephone)
+//!   never interrupt a running request, which is a property of the
+//!   policy, not of the quantum length.
+//!
+//! Four policies ship:
+//!
+//! | policy       | key                                   | preempts |
+//! |--------------|---------------------------------------|----------|
+//! | [`PsQuantum`]| `0` (pure round-robin seq order)      | yes      |
+//! | [`Fcfs`]     | `0` (arrival order, run-to-completion)| **no**   |
+//! | [`Srpt`]     | noisy service estimate − attained     | yes      |
+//! | [`Boost`]    | arrival − b(size), b(s) = B²/s        | yes      |
+//!
+//! `Srpt` follows the noisy-estimate model of Scully & Harchol-Balter,
+//! "How to Schedule Near-Optimally under Real-World Constraints": the
+//! scheduler sees the true size perturbed by a bounded multiplicative
+//! error, here a deterministic per-request factor in `±noise_pct%` so
+//! runs (and their oracles) are reproducible. `Boost` follows Yu &
+//! Scully, "Strongly Tail-Optimal Scheduling in the Light-Tailed
+//! M/G/1": each request's priority is its arrival time *boosted*
+//! (shifted earlier) by an amount inversely proportional to its size,
+//! which interpolates between FCFS (boost → 0) and SRPT (boost → ∞)
+//! and is tail-optimal in the light-tailed regime.
+
+use crate::task::Task;
+use concord_rng::{Rng, SeedableRng, SmallRng};
+
+/// A dispatcher-level scheduling policy.
+///
+/// Implementations must be cheap: [`key`](SchedPolicy::key) runs on the
+/// dispatcher's hot path once per (re-)enqueue. Keys are compared as
+/// `(key, seq)` with *smaller dispatched sooner*, and the sequence
+/// number breaks ties in insertion order, so any constant key yields
+/// the processor-sharing round-robin of the original dispatcher.
+pub trait SchedPolicy: Send + std::fmt::Debug {
+    /// Short stable name (used in logs, benches, and trace summaries).
+    fn name(&self) -> &'static str;
+
+    /// Whether the dispatcher polices quanta and sends preemption
+    /// signals at all. When `false` the runtime is run-to-completion:
+    /// zero signals are sent by construction, which the conformance
+    /// suite asserts exactly.
+    fn preempts(&self) -> bool {
+        true
+    }
+
+    /// Priority key for a task entering (or re-entering) the central
+    /// queue. Smaller is sooner; ties dispatch in insertion order.
+    fn key(&self, _task: &Task) -> u64 {
+        0
+    }
+}
+
+/// The paper's quantum-based processor-sharing policy (§3.1): every
+/// entry keyed 0, so service order is (re-)insertion order — textbook
+/// round-robin — and expired quanta trigger preemption signals.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PsQuantum;
+
+impl SchedPolicy for PsQuantum {
+    fn name(&self) -> &'static str {
+        "ps"
+    }
+}
+
+/// First-come-first-served, run-to-completion — the Persephone
+/// baseline. Arrival order (key 0) and no preemption signals: a
+/// dispatched request holds its worker until it completes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fcfs;
+
+impl SchedPolicy for Fcfs {
+    fn name(&self) -> &'static str {
+        "fcfs"
+    }
+
+    fn preempts(&self) -> bool {
+        false
+    }
+}
+
+/// Shortest-remaining-processing-time with noisy size estimates.
+///
+/// The key is the request's *estimated* service time minus the service
+/// it has already attained (`busy_ns`), so a preempted long request
+/// sinks toward the back while short fresh work jumps the queue. The
+/// estimate is the true `service_ns` perturbed by a deterministic
+/// per-request multiplicative factor in `±noise_pct%` (seeded from
+/// `noise_salt ^ request id`), modelling the bounded-error estimators
+/// of Scully & Harchol-Balter while keeping every run reproducible.
+/// `noise_pct = 0` is exact SRPT.
+#[derive(Debug, Clone, Copy)]
+pub struct Srpt {
+    /// Half-width of the multiplicative estimate error, in percent.
+    pub noise_pct: u32,
+    /// Salt mixed into the per-request noise seed.
+    pub noise_salt: u64,
+}
+
+impl Default for Srpt {
+    fn default() -> Self {
+        Self {
+            noise_pct: 0,
+            noise_salt: 0x5eed_5eed,
+        }
+    }
+}
+
+impl Srpt {
+    /// The (noisy) size estimate for a request, before subtracting
+    /// attained service.
+    pub fn estimate(&self, id: u64, service_ns: u64) -> u64 {
+        if self.noise_pct == 0 {
+            return service_ns;
+        }
+        let mut rng = SmallRng::seed_from_u64(self.noise_salt ^ id);
+        let pct = i64::from(rng.gen_range(-(self.noise_pct as i32)..=self.noise_pct as i32));
+        let shift = (service_ns as i64).saturating_mul(pct) / 100;
+        service_ns.saturating_add_signed(shift).max(1)
+    }
+}
+
+impl SchedPolicy for Srpt {
+    fn name(&self) -> &'static str {
+        "srpt"
+    }
+
+    fn key(&self, task: &Task) -> u64 {
+        self.estimate(task.req.id, task.req.service_ns)
+            .saturating_sub(task.busy_ns)
+    }
+}
+
+/// Boost scheduling (Yu & Scully): priority is the arrival time shifted
+/// *earlier* by `b(s) = B² / s` where `s` is the request's size and `B`
+/// is the boost parameter — short requests get a large head start,
+/// long requests almost none. With `B → 0` this is FCFS; with `B → ∞`
+/// it orders by size. `b` is applied to the remaining size on requeue,
+/// so attained service is respected like SRPT.
+#[derive(Debug, Clone, Copy)]
+pub struct Boost {
+    /// Boost parameter `B`, in microseconds.
+    pub boost_us: u64,
+}
+
+impl Default for Boost {
+    fn default() -> Self {
+        Self { boost_us: 10 }
+    }
+}
+
+impl SchedPolicy for Boost {
+    fn name(&self) -> &'static str {
+        "boost"
+    }
+
+    fn key(&self, task: &Task) -> u64 {
+        let b = self.boost_us * 1_000;
+        let remaining = task.req.service_ns.saturating_sub(task.busy_ns).max(1);
+        task.ingested_at_ns
+            .saturating_sub(b.saturating_mul(b) / remaining)
+    }
+}
+
+/// Config-level policy selector: a small `Copy` value that lives in
+/// [`RuntimeConfig`](crate::config::RuntimeConfig) (which must stay
+/// `Clone` + `Debug` + struct-literal friendly) and is instantiated
+/// into a boxed [`SchedPolicy`] by the dispatcher at startup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PolicyKind {
+    /// Quantum-based processor sharing (the paper's policy; default).
+    #[default]
+    PsQuantum,
+    /// FCFS run-to-completion (Persephone baseline).
+    Fcfs,
+    /// SRPT with `±noise_pct%` multiplicative estimate error.
+    Srpt {
+        /// Half-width of the estimate error, percent (0 = exact).
+        noise_pct: u32,
+    },
+    /// Boost scheduling with parameter `B = boost_us` microseconds.
+    Boost {
+        /// Boost parameter in microseconds.
+        boost_us: u64,
+    },
+}
+
+impl PolicyKind {
+    /// Instantiates the policy object the dispatcher consults.
+    pub fn instantiate(self) -> Box<dyn SchedPolicy> {
+        match self {
+            PolicyKind::PsQuantum => Box::new(PsQuantum),
+            PolicyKind::Fcfs => Box::new(Fcfs),
+            PolicyKind::Srpt { noise_pct } => Box::new(Srpt {
+                noise_pct,
+                ..Srpt::default()
+            }),
+            PolicyKind::Boost { boost_us } => Box::new(Boost { boost_us }),
+        }
+    }
+
+    /// Parses the CLI/env spelling: `ps`, `fcfs`, `srpt`, `srpt:<pct>`,
+    /// `boost`, `boost:<us>`.
+    pub fn parse(s: &str) -> Option<Self> {
+        let (head, arg) = match s.split_once(':') {
+            Some((h, a)) => (h, Some(a)),
+            None => (s, None),
+        };
+        match (head, arg) {
+            ("ps" | "ps-quantum", None) => Some(PolicyKind::PsQuantum),
+            ("fcfs", None) => Some(PolicyKind::Fcfs),
+            ("srpt", None) => Some(PolicyKind::Srpt { noise_pct: 0 }),
+            ("srpt", Some(p)) => Some(PolicyKind::Srpt {
+                noise_pct: p.parse().ok()?,
+            }),
+            ("boost", None) => Some(PolicyKind::Boost {
+                boost_us: Boost::default().boost_us,
+            }),
+            ("boost", Some(b)) => Some(PolicyKind::Boost {
+                boost_us: b.parse().ok()?,
+            }),
+            _ => None,
+        }
+    }
+
+    /// All four kinds with default parameters, for sweeps and benches.
+    pub const ALL: [PolicyKind; 4] = [
+        PolicyKind::PsQuantum,
+        PolicyKind::Fcfs,
+        PolicyKind::Srpt { noise_pct: 0 },
+        PolicyKind::Boost { boost_us: 10 },
+    ];
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolicyKind::PsQuantum => write!(f, "ps"),
+            PolicyKind::Fcfs => write!(f, "fcfs"),
+            PolicyKind::Srpt { noise_pct } => write!(f, "srpt:{noise_pct}"),
+            PolicyKind::Boost { boost_us } => write!(f, "boost:{boost_us}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_display() {
+        for kind in [
+            PolicyKind::PsQuantum,
+            PolicyKind::Fcfs,
+            PolicyKind::Srpt { noise_pct: 0 },
+            PolicyKind::Srpt { noise_pct: 25 },
+            PolicyKind::Boost { boost_us: 10 },
+            PolicyKind::Boost { boost_us: 500 },
+        ] {
+            assert_eq!(PolicyKind::parse(&kind.to_string()), Some(kind));
+        }
+        assert_eq!(PolicyKind::parse("ps"), Some(PolicyKind::PsQuantum));
+        assert_eq!(
+            PolicyKind::parse("srpt"),
+            Some(PolicyKind::Srpt { noise_pct: 0 })
+        );
+        assert_eq!(
+            PolicyKind::parse("boost"),
+            Some(PolicyKind::Boost { boost_us: 10 })
+        );
+        assert_eq!(PolicyKind::parse("lifo"), None);
+        assert_eq!(PolicyKind::parse("srpt:x"), None);
+    }
+
+    #[test]
+    fn only_fcfs_disables_preemption() {
+        for kind in PolicyKind::ALL {
+            let policy = kind.instantiate();
+            assert_eq!(policy.preempts(), kind != PolicyKind::Fcfs, "policy {kind}");
+        }
+    }
+
+    #[test]
+    fn srpt_estimate_is_deterministic_and_bounded() {
+        let srpt = Srpt {
+            noise_pct: 20,
+            ..Srpt::default()
+        };
+        for id in 0..200u64 {
+            let s = 50_000;
+            let e1 = srpt.estimate(id, s);
+            let e2 = srpt.estimate(id, s);
+            assert_eq!(e1, e2, "estimate must be deterministic per id");
+            assert!(e1 >= s - s / 5 && e1 <= s + s / 5, "id {id}: {e1}");
+        }
+        // Exact mode passes sizes through untouched.
+        let exact = Srpt::default();
+        assert_eq!(exact.estimate(7, 12_345), 12_345);
+    }
+
+    #[test]
+    fn boost_headstart_shrinks_with_size() {
+        let boost = Boost { boost_us: 10 };
+        let b = 10_000u64 * 10_000;
+        // b(s) = B²/s: a 1us request gets a 100ms head start, a 100us
+        // request only 1ms.
+        assert_eq!(b / 1_000, 100_000_000 / 1_000);
+        let short_shift = b / 1_000;
+        let long_shift = b / 100_000;
+        assert!(short_shift > long_shift * 50);
+        let _ = boost;
+    }
+}

@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! concord-serve [--addr HOST:PORT] [--app spin|kv] [--workers N]
-//!               [--shards N] [--quantum-us US] [--admission-cap N]
+//!               [--shards N] [--quantum-us US]
+//!               [--policy ps|fcfs|srpt[:PCT]|boost[:US]]
+//!               [--admission-cap N]
 //!               [--admission-policy drop-newest|drop-oldest|reject]
 //!               [--ingress epoll|threads] [--loops N]
 //!               [--oneshot] [--trace PATH]
@@ -22,9 +24,14 @@
 //! `--shards N` starts N independent dispatcher+worker groups (each with
 //! `--workers` workers) behind a hash/power-of-two-choices connection
 //! router, joined by the bounded inter-shard steal path.
+//!
+//! `--policy` selects each shard's scheduling policy: `ps` (quantum
+//! processor sharing, the default), `fcfs` (run-to-completion),
+//! `srpt[:PCT]` (remaining-size priority with PCT% estimate noise), or
+//! `boost[:US]` (arrival-time-shifted priority).
 
 use concord_core::admission::{AdmissionConfig, AdmissionPolicy};
-use concord_core::{ConcordApp, RuntimeConfig};
+use concord_core::{ConcordApp, PolicyKind, RuntimeConfig};
 use concord_server::{IngressMode, Server, ServerConfig, ServerReport};
 use std::process::exit;
 use std::sync::Arc;
@@ -36,6 +43,7 @@ struct Args {
     workers: usize,
     shards: usize,
     quantum_us: f64,
+    policy: PolicyKind,
     admission_cap: usize,
     admission_policy: AdmissionPolicy,
     ingress: IngressMode,
@@ -47,7 +55,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: concord-serve [--addr HOST:PORT] [--app spin|kv] [--workers N] [--shards N] \
-         [--quantum-us US] [--admission-cap N] \
+         [--quantum-us US] [--policy ps|fcfs|srpt[:PCT]|boost[:US]] [--admission-cap N] \
          [--admission-policy drop-newest|drop-oldest|reject] \
          [--ingress epoll|threads] [--loops N] [--oneshot] [--trace PATH]"
     );
@@ -61,6 +69,7 @@ fn parse_args() -> Args {
         workers: 2,
         shards: 1,
         quantum_us: 5.0,
+        policy: PolicyKind::PsQuantum,
         admission_cap: 4096,
         admission_policy: AdmissionPolicy::RejectNewest,
         ingress: IngressMode::EventLoop,
@@ -84,6 +93,7 @@ fn parse_args() -> Args {
             "--workers" => args.workers = value.parse().unwrap_or_else(|_| usage()),
             "--shards" => args.shards = value.parse().unwrap_or_else(|_| usage()),
             "--quantum-us" => args.quantum_us = value.parse().unwrap_or_else(|_| usage()),
+            "--policy" => args.policy = PolicyKind::parse(&value).unwrap_or_else(|| usage()),
             "--admission-cap" => args.admission_cap = value.parse().unwrap_or_else(|_| usage()),
             "--admission-policy" => {
                 args.admission_policy = AdmissionPolicy::parse(&value).unwrap_or_else(|| usage())
@@ -168,6 +178,7 @@ fn serve<A: ConcordApp>(args: &Args, app: Arc<A>) {
         .workers(args.workers)
         .num_shards(args.shards)
         .quantum(Duration::from_nanos((args.quantum_us * 1000.0) as u64))
+        .policy(args.policy)
         .build()
         .unwrap_or_else(|e| {
             eprintln!("concord-serve: invalid runtime config: {e}");
@@ -190,11 +201,12 @@ fn serve<A: ConcordApp>(args: &Args, app: Arc<A>) {
         }
     };
     println!(
-        "serving {} on {} ({} shards x {} workers, admission {} {})",
+        "serving {} on {} ({} shards x {} workers, policy {}, admission {} {})",
         args.app,
         server.local_addr(),
         args.shards,
         args.workers,
+        args.policy,
         args.admission_cap,
         args.admission_policy.name()
     );

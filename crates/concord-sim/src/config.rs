@@ -98,6 +98,14 @@ pub enum Policy {
     /// Shortest remaining processing time first (§3.1 notes Concord's
     /// dispatcher-centric design makes such policies easy to add).
     Srpt,
+    /// Boost scheduling (Yu & Scully, "Strongly Tail-Optimal Scheduling
+    /// in the Light-Tailed M/G/1"): ordered by arrival time shifted
+    /// earlier by `boost² / remaining` cycles — FCFS as `boost → 0`,
+    /// size-based as `boost → ∞`.
+    Boost {
+        /// Boost parameter `B`, in cycles.
+        boost: u64,
+    },
 }
 
 /// Full configuration of one simulated system.

@@ -103,6 +103,21 @@ impl CentralQueue {
                 }
                 self.queue.insert(pos, id);
             }
+            Policy::Boost { boost } => {
+                // Arrival time boosted (shifted earlier) by b(s) = B²/s
+                // on the remaining size: short work jumps the queue by a
+                // bounded head start, long work barely moves.
+                let key = |r: &Request| {
+                    r.arrival
+                        .saturating_sub(boost.saturating_mul(boost) / r.remaining.max(1))
+                };
+                let k = key(&requests[id]);
+                let mut pos = self.queue.len();
+                while pos > 0 && key(&requests[self.queue[pos - 1]]) > k {
+                    pos -= 1;
+                }
+                self.queue.insert(pos, id);
+            }
         }
     }
 
@@ -170,6 +185,41 @@ mod tests {
         assert_eq!(q.pop(), Some(0));
         assert_eq!(q.pop(), Some(1));
         assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn boost_interpolates_fcfs_and_srpt() {
+        // A short request (1k cycles) arriving well after two longs
+        // (100k cycles each).
+        let mk = |arrivals: &[(u64, u64)]| {
+            arrivals
+                .iter()
+                .enumerate()
+                .map(|(i, &(svc, arr))| Request::new(i as u64, 0, svc, arr))
+                .collect::<Vec<_>>()
+        };
+        let reqs = mk(&[
+            (100_000, 1_000_000),
+            (100_000, 2_000_000),
+            (1_000, 3_000_000),
+        ]);
+        // Tiny boost: arrival order, like FCFS.
+        let mut q = CentralQueue::new(Policy::Boost { boost: 10 });
+        for i in 0..3 {
+            q.push(i, &reqs);
+        }
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        // Large boost: the short request's b(s) = B²/s head start
+        // dominates its later arrival, like SRPT.
+        let mut q = CentralQueue::new(Policy::Boost { boost: 100_000 });
+        for i in 0..3 {
+            q.push(i, &reqs);
+        }
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), Some(1));
     }
 
     #[test]

@@ -6,7 +6,10 @@
 #[repr(u8)]
 pub enum EventKind {
     /// A request entered the dispatcher's central queue. `id` = request
-    /// id; emitted on the dispatcher track.
+    /// id, `gen` = the request's nominal service time in *microseconds*
+    /// (16-bit field; µs rather than ns so realistic sizes fit) — what
+    /// the per-policy replay oracles reconstruct priorities from;
+    /// emitted on the dispatcher track.
     Arrive = 0,
     /// A request was pushed onto a worker's JBSQ ring. `id` = request
     /// id, `gen` = target worker index; dispatcher track.

@@ -118,6 +118,83 @@ fn timeliness_models_agree_on_order_of_magnitude() {
     assert!(avg_std_us < 2.0);
 }
 
+/// Every scheduling policy cross-validates between the live runtime and
+/// the discrete-event simulator: same case, both engines, p50/p99
+/// slowdown within the conformance envelope (`CONCORD_CONF_TOL` ×, plus
+/// the `CONCORD_CONF_SLACK_US` wall-noise allowance). A policy whose two
+/// implementations diverge by an order of magnitude fails here even if
+/// each passes its own invariants.
+#[test]
+fn runtime_and_sim_agree_per_policy() {
+    use concord::core::PolicyKind;
+    use concord_conformance::harness::{run_runtime, run_sim};
+    use concord_conformance::{check_cross, ArrivalKind, CaseConfig, FaultKind};
+
+    for policy in PolicyKind::ALL {
+        let case = CaseConfig {
+            seed: 77,
+            n_workers: 2,
+            jbsq_depth: 2,
+            quantum_us: 100,
+            work_conserving: true,
+            arrival: ArrivalKind::Poisson,
+            short_us: 10,
+            long_us: 150,
+            short_weight: 50,
+            requests: 200,
+            load_pct: 40,
+            fault: FaultKind::None,
+            policy,
+        };
+        let obs = run_runtime(&case, std::time::Duration::from_secs(20));
+        assert!(obs.collected_ok, "{policy}: collector timed out");
+        let sim = run_sim(&case);
+        let violations = check_cross(&obs, &sim);
+        assert!(
+            violations.is_empty(),
+            "policy {policy} diverges between runtime and sim:\n  {}",
+            violations.join("\n  ")
+        );
+    }
+}
+
+/// FCFS as the closed-form anchor: a single run-to-completion worker fed
+/// Poisson arrivals is an M/G/1 queue, so the simulator's mean sojourn
+/// must match Pollaczek–Khinchine: `E[T] = E[S] + λE[S²] / (2(1−ρ))`.
+/// The other policies have no closed form at this generality — FCFS
+/// pins the simulator's queueing core to textbook truth, and the
+/// per-policy envelope above carries that trust to the rest.
+#[test]
+fn fcfs_sim_matches_mg1_closed_form() {
+    // Two-point service: 20 µs (90%) / 200 µs (10%).
+    let mix = Mix::new(
+        "mg1",
+        vec![
+            ClassSpec::new("short", 0.9, Dist::fixed_us(20.0)),
+            ClassSpec::new("long", 0.1, Dist::fixed_us(200.0)),
+        ],
+    );
+    let mean_s_us = 0.9 * 20.0 + 0.1 * 200.0; // E[S]   = 38 µs
+    let mean_s2_us2 = 0.9 * 400.0 + 0.1 * 40_000.0; // E[S²] = 4360 µs²
+    let rho = 0.6;
+    let lambda_per_us = rho / mean_s_us;
+    let expected_sojourn_us = mean_s_us + lambda_per_us * mean_s2_us2 / (2.0 * (1.0 - rho));
+
+    // Persephone-FCFS with one worker *is* M/G/1 up to the cost model's
+    // sub-µs dispatch overheads (< 2% of a 38 µs mean service).
+    let cfg = SystemConfig::persephone_fcfs(1);
+    let rate_rps = lambda_per_us * 1e6;
+    let r = simulate(&cfg, mix, &SimParams::new(rate_rps, 40_000, 9));
+    assert!(r.incomplete == 0, "{} incomplete", r.incomplete);
+    let measured_us = r.latency_ns.mean() / 1_000.0;
+    let ratio = measured_us / expected_sojourn_us;
+    assert!(
+        (0.8..=1.25).contains(&ratio),
+        "M/G/1 anchor: measured mean sojourn {measured_us:.1}µs vs \
+         Pollaczek–Khinchine {expected_sojourn_us:.1}µs (ratio {ratio:.3})"
+    );
+}
+
 /// Capacity ordering is invariant across seeds (the figure reproduction
 /// is not a seed artifact).
 #[test]

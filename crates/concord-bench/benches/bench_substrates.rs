@@ -220,6 +220,58 @@ fn bench_trace(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_registry(c: &mut Criterion) {
+    use concord_obs::{render_prometheus, MetricsRegistry};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    let mut g = c.benchmark_group("metrics_registry");
+    // The introspection plane's core claim: publication is wait-free
+    // because the hot path never changes. A/B: bumping a bare atomic vs
+    // bumping the same atomic after it has been registered as a counter
+    // source — the two must be within noise of each other, since the
+    // registry only reads at scrape time.
+    g.bench_function("publish_bare_atomic", |b| {
+        let n = Arc::new(AtomicU64::new(0));
+        b.iter(|| black_box(n.fetch_add(1, Ordering::Relaxed)));
+    });
+    g.bench_function("publish_registered_atomic", |b| {
+        let reg = MetricsRegistry::new();
+        let n = Arc::new(AtomicU64::new(0));
+        let src = n.clone();
+        reg.counter("bench_total", "a/b probe", &[], move || {
+            src.load(Ordering::Relaxed)
+        });
+        b.iter(|| black_box(n.fetch_add(1, Ordering::Relaxed)));
+        black_box(reg.snapshot());
+    });
+    // What a scrape costs (read side only, off the hot path): snapshot
+    // plus text render of a realistic series count.
+    g.bench_function("snapshot_and_render_64_series", |b| {
+        let reg = MetricsRegistry::new();
+        let n = Arc::new(AtomicU64::new(123_456));
+        for i in 0..60 {
+            let src = n.clone();
+            let shard = (i % 4).to_string();
+            reg.counter(
+                &format!("series_{}_total", i / 4),
+                "scrape-cost probe",
+                &[("shard", shard.as_str())],
+                move || src.load(Ordering::Relaxed),
+            );
+        }
+        let src = n.clone();
+        reg.histogram("lat_ns", "scrape-cost probe", &[], move || {
+            let mut h = Histogram::new(3);
+            for i in 1..128u64 {
+                h.record(i * 1000 + src.load(Ordering::Relaxed) % 97);
+            }
+            h
+        });
+        b.iter(|| black_box(render_prometheus(&black_box(reg.snapshot()))));
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_histogram,
@@ -227,6 +279,7 @@ criterion_group!(
     bench_coroutine,
     bench_preempt,
     bench_central_queue,
-    bench_trace
+    bench_trace,
+    bench_registry
 );
 criterion_main!(benches);

@@ -175,6 +175,7 @@ pub fn run_runtime_with<A: ConcordApp>(
         clock,
         trace: true,
         trace_ring_cap: concord_core::config::DEFAULT_TRACE_RING_CAP,
+        trace_retain: None,
         fault_injector: None,
     };
     cfg.fault_injector = injector_of(case);
@@ -326,6 +327,7 @@ pub fn run_runtime_sharded(
         clock: Clock::monotonic(),
         trace: true,
         trace_ring_cap: concord_core::config::DEFAULT_TRACE_RING_CAP,
+        trace_retain: None,
         fault_injector: None,
     };
 

@@ -770,6 +770,7 @@ mod tests {
                     completed_at_ns: 1_000 * (i + 1),
                     slices: 1,
                     worker: 0,
+                    class: 0,
                     failed: false,
                 });
             }

@@ -66,6 +66,14 @@ pub struct RuntimeConfig {
     /// drop-and-count, never a stall.
     #[cfg(feature = "trace")]
     pub trace_ring_cap: usize,
+    /// Flight-recorder mode: when set, the trace collector retains only
+    /// this much trailing wall time of events (older records age out at
+    /// periodic compactions) so a long-running server can keep the
+    /// tracer armed with bounded memory and export the last N seconds on
+    /// demand. `None` (the default) accumulates the whole run, which is
+    /// what batch experiments and the conformance oracles want.
+    #[cfg(feature = "trace")]
+    pub trace_retain: Option<Duration>,
     /// Deterministic fault schedule consulted by the dispatcher and
     /// workers (conformance testing only; `None` in production).
     #[cfg(feature = "fault-injection")]
@@ -157,6 +165,8 @@ impl RuntimeBuilder {
                 trace: true,
                 #[cfg(feature = "trace")]
                 trace_ring_cap: DEFAULT_TRACE_RING_CAP,
+                #[cfg(feature = "trace")]
+                trace_retain: None,
                 #[cfg(feature = "fault-injection")]
                 fault_injector: None,
             },
@@ -270,6 +280,15 @@ impl RuntimeBuilder {
     #[cfg(feature = "trace")]
     pub fn trace_ring_cap(mut self, cap: usize) -> Self {
         self.cfg.trace_ring_cap = cap.max(1);
+        self
+    }
+
+    /// Switches the tracer into flight-recorder mode: keep only the
+    /// trailing `window` of events (see
+    /// [`RuntimeConfig::trace_retain`]).
+    #[cfg(feature = "trace")]
+    pub fn trace_retain(mut self, window: Duration) -> Self {
+        self.cfg.trace_retain = Some(window);
         self
     }
 

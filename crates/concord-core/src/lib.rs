@@ -78,9 +78,11 @@ pub use fault::FaultInjector;
 pub use policy::{Boost, Fcfs, PolicyKind, PsQuantum, SchedPolicy, Srpt};
 pub use preempt::{LockDepthObserver, PreemptLine, SignalAccounting, SignalPoll};
 pub use runtime::Runtime;
+pub use runtime::RuntimeObserver;
+pub use shard::ShardObserver;
 pub use shard::{ShardCounters, ShardRollup, ShardedRuntime};
 pub use stats::{RuntimeStats, WorkerStats, WorkerStatsSnapshot};
-pub use telemetry::{CompletionRecord, TelemetrySnapshot};
+pub use telemetry::{ClassTelemetry, CompletionRecord, TelemetrySnapshot};
 pub use transport::{Egress, Ingress};
 
 /// Re-export of the scheduling-event tracer (`concord-trace`) so

@@ -114,8 +114,9 @@ impl Runtime {
         // dispatcher periodically and by quiesce() at the end.
         #[cfg(feature = "trace")]
         let (trace_collector, trace_lanes) = if config.trace {
-            let (c, lanes) =
+            let (mut c, lanes) =
                 concord_trace::TraceCollector::new(config.n_workers, config.trace_ring_cap);
+            c.set_retain_window_ns(config.trace_retain.map(|w| w.as_nanos() as u64));
             (Some(Arc::new(Mutex::new(c))), lanes)
         } else {
             (None, Vec::new())
@@ -302,6 +303,63 @@ impl Runtime {
     pub fn shutdown(mut self) -> Arc<RuntimeStats> {
         self.quiesce();
         self.stats.clone()
+    }
+
+    /// A read-only handle onto this runtime's published state — live
+    /// stats atomics, telemetry snapshots, and the flight-recorder
+    /// window — for the introspection plane (an admin thread scraping
+    /// `/metrics` or `/statz`). The observer only shares `Arc`s: it
+    /// stays valid while the threads run and keeps the final counters
+    /// readable after shutdown, but never blocks the data plane beyond
+    /// the same short telemetry/collector locks the runtime itself
+    /// takes.
+    pub fn observer(&self) -> RuntimeObserver {
+        RuntimeObserver {
+            stats: self.stats.clone(),
+            telemetry: self.telemetry.clone(),
+            #[cfg(feature = "trace")]
+            trace: self.trace.clone(),
+        }
+    }
+}
+
+/// Read-only view of a [`Runtime`]'s published state, detachable from
+/// the runtime's own lifetime. Obtained via [`Runtime::observer`] (or
+/// [`ShardedRuntime::observer`](crate::shard::ShardedRuntime::observer)
+/// for one per shard); cloneable and `Send`, so an admin listener can
+/// hold one on its own thread while the control path retains the
+/// `Runtime` (whose `shutdown` consumes it).
+#[derive(Clone)]
+pub struct RuntimeObserver {
+    stats: Arc<RuntimeStats>,
+    telemetry: TelemetryHandle,
+    #[cfg(feature = "trace")]
+    trace: Option<Arc<Mutex<concord_trace::TraceCollector>>>,
+}
+
+impl RuntimeObserver {
+    /// Shared runtime counters (live atomics — coherent enough for
+    /// monitoring, not a point-in-time snapshot).
+    pub fn stats(&self) -> &Arc<RuntimeStats> {
+        &self.stats
+    }
+
+    /// Point-in-time telemetry snapshot; same semantics as
+    /// [`Runtime::telemetry`] (including the dropped-record fold).
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        let mut t = self.telemetry.lock().expect("lock poisoned");
+        t.records_dropped = self.stats.telemetry_dropped.load(Ordering::Relaxed);
+        t.snapshot()
+    }
+
+    /// Freezes and copies the flight-recorder window (drain + compact +
+    /// clone) without consuming the collector — the recorder keeps
+    /// rolling. `None` when tracing is disarmed.
+    #[cfg(feature = "trace")]
+    pub fn trace_snapshot(&self) -> Option<concord_trace::Trace> {
+        self.trace
+            .as_ref()
+            .map(|c| c.lock().expect("lock poisoned").snapshot_window())
     }
 }
 

@@ -34,7 +34,7 @@
 
 use crate::app::ConcordApp;
 use crate::config::RuntimeConfig;
-use crate::runtime::Runtime;
+use crate::runtime::{Runtime, RuntimeObserver};
 use crate::stats::RuntimeStats;
 use crate::task::Task;
 use crate::telemetry::TelemetrySnapshot;
@@ -290,30 +290,18 @@ impl ShardedRuntime {
     /// Meaningful after [`ShardedRuntime::quiesce`]; mid-run values are
     /// live and may be mid-migration.
     pub fn rollup(&self) -> ShardRollup {
-        let per_shard = self
-            .shards
-            .iter()
-            .enumerate()
-            .map(|(i, rt)| {
-                let s = rt.stats();
-                ShardCounters {
-                    ingested: s.ingested.load(Ordering::Relaxed),
-                    completed: s.completed(),
-                    failed: s.failed.load(Ordering::Relaxed),
-                    tx_dropped: s.tx_dropped.load(Ordering::Relaxed),
-                    offloaded: s.shard_offloaded.load(Ordering::Relaxed),
-                    reclaimed: s.shard_reclaimed.load(Ordering::Relaxed),
-                    steals_in: s.shard_steals_in.load(Ordering::Relaxed),
-                    steals_out: self.links[i].steals_out(),
-                    queue_max: s
-                        .per_worker
-                        .iter()
-                        .map(|w| w.queue_max.load(Ordering::Relaxed))
-                        .collect(),
-                }
-            })
-            .collect();
-        ShardRollup { per_shard }
+        self.observer().rollup()
+    }
+
+    /// A read-only handle onto every shard's published state for the
+    /// introspection plane. Cloneable and `Send`; the admin thread
+    /// holds one while the control path keeps the `ShardedRuntime`
+    /// itself (whose [`shutdown`](Self::shutdown) consumes it).
+    pub fn observer(&self) -> ShardObserver {
+        ShardObserver {
+            shards: self.shards.iter().map(Runtime::observer).collect(),
+            links: self.links.clone(),
+        }
     }
 
     /// Stops every shard concurrently (so siblings keep draining while
@@ -354,5 +342,80 @@ impl ShardedRuntime {
     pub fn shutdown(mut self) -> ShardRollup {
         self.quiesce();
         self.rollup()
+    }
+}
+
+/// Read-only view of every shard's published state, detachable from the
+/// [`ShardedRuntime`]'s lifetime (it only shares `Arc`s). Obtained via
+/// [`ShardedRuntime::observer`]; the admin listener uses it to build
+/// `/metrics` and `/statz` responses and to export the flight-recorder
+/// window without owning the runtime.
+#[derive(Clone)]
+pub struct ShardObserver {
+    shards: Vec<RuntimeObserver>,
+    links: Arc<Vec<Arc<ShardLink>>>,
+}
+
+impl ShardObserver {
+    /// Number of shards observed.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// One shard's live counters.
+    pub fn stats(&self, shard: usize) -> &Arc<RuntimeStats> {
+        self.shards[shard].stats()
+    }
+
+    /// One shard's lifecycle-telemetry snapshot (including per-class
+    /// rows).
+    pub fn telemetry(&self, shard: usize) -> TelemetrySnapshot {
+        self.shards[shard].telemetry()
+    }
+
+    /// Per-shard counter rows plus cross-shard totals; live (may be
+    /// mid-migration), final once the runtime has quiesced.
+    pub fn rollup(&self) -> ShardRollup {
+        let per_shard = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, rt)| {
+                let s = rt.stats();
+                ShardCounters {
+                    ingested: s.ingested.load(Ordering::Relaxed),
+                    completed: s.completed(),
+                    failed: s.failed.load(Ordering::Relaxed),
+                    tx_dropped: s.tx_dropped.load(Ordering::Relaxed),
+                    offloaded: s.shard_offloaded.load(Ordering::Relaxed),
+                    reclaimed: s.shard_reclaimed.load(Ordering::Relaxed),
+                    steals_in: s.shard_steals_in.load(Ordering::Relaxed),
+                    steals_out: self.links[i].steals_out(),
+                    queue_max: s
+                        .per_worker
+                        .iter()
+                        .map(|w| w.queue_max.load(Ordering::Relaxed))
+                        .collect(),
+                }
+            })
+            .collect();
+        ShardRollup { per_shard }
+    }
+
+    /// Freezes and merges every shard's flight-recorder window into one
+    /// trace (`track = shard << 16 | lane`) without consuming any
+    /// collector — the recorders keep rolling. Returns `None` when
+    /// tracing is disarmed.
+    #[cfg(feature = "trace")]
+    pub fn trace_snapshot(&self) -> Option<concord_trace::Trace> {
+        let traces: Vec<concord_trace::Trace> = self
+            .shards
+            .iter()
+            .filter_map(|rt| rt.trace_snapshot())
+            .collect();
+        if traces.is_empty() {
+            return None;
+        }
+        Some(concord_trace::merge_shard_traces(traces))
     }
 }

@@ -23,14 +23,23 @@
 //! one source's ring, both of which the design rules out.
 
 use crate::task::Task;
-use concord_metrics::{Histogram, LatencyBreakdown};
-use std::collections::HashMap;
+use concord_metrics::{Histogram, LatencyBreakdown, SlowdownTracker};
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::sync::Mutex;
 use std::time::Instant;
 
 /// Worker index used for requests completed by the dispatcher itself.
 pub const DISPATCHER: usize = usize::MAX;
+
+/// Distinct request classes tracked with their own histograms. The wire
+/// header's class field is client-controlled, so the map must not grow
+/// unboundedly: once this many classes exist, further classes fold into
+/// [`OTHER_CLASS`].
+pub const MAX_TRACKED_CLASSES: usize = 32;
+
+/// Catch-all class id for completions beyond [`MAX_TRACKED_CLASSES`].
+pub const OTHER_CLASS: u16 = u16::MAX;
 
 /// The per-request fact a worker reports on completion. Built from
 /// stamps the task already carries.
@@ -50,6 +59,9 @@ pub struct CompletionRecord {
     pub slices: u32,
     /// Serving worker index, or [`DISPATCHER`].
     pub worker: usize,
+    /// Request class from the wire header's app/kind bits (per-class
+    /// telemetry key).
+    pub class: u16,
     /// True if the handler panicked (the request was answered with an
     /// error response).
     pub failed: bool,
@@ -67,8 +79,58 @@ impl CompletionRecord {
             completed_at_ns: now_ns,
             slices: task.slices,
             worker,
+            class: task.req.class,
             failed,
         }
+    }
+}
+
+/// Per-class completion telemetry: the substrate a per-class SLO
+/// controller (ROADMAP item 3) reads, and the source of the labeled
+/// `/metrics` series.
+#[derive(Clone, Debug)]
+pub struct ClassTelemetry {
+    /// Completions of this class (contained failures included).
+    pub completed: u64,
+    /// Contained-failure completions among them.
+    pub failed: u64,
+    /// Sojourn (ingest → completion) distribution, nanoseconds.
+    pub sojourn: Histogram,
+    /// Slowdown (sojourn / nominal service) distribution.
+    pub slowdown: SlowdownTracker,
+}
+
+impl ClassTelemetry {
+    fn new() -> Self {
+        Self {
+            completed: 0,
+            failed: 0,
+            sojourn: Histogram::new(3),
+            slowdown: SlowdownTracker::new(),
+        }
+    }
+
+    fn record(&mut self, r: &CompletionRecord) {
+        self.completed += 1;
+        if r.failed {
+            self.failed += 1;
+        }
+        self.sojourn.record(r.sojourn_ns.max(1));
+        self.slowdown.record(r.nominal_ns, r.sojourn_ns);
+    }
+
+    /// Merges another class aggregate (same class, different shard).
+    pub fn merge(&mut self, other: &ClassTelemetry) {
+        self.completed += other.completed;
+        self.failed += other.failed;
+        self.sojourn.merge(&other.sojourn);
+        self.slowdown.merge(&other.slowdown);
+    }
+}
+
+impl Default for ClassTelemetry {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -97,6 +159,10 @@ pub struct Telemetry {
     /// takes. The trace-replay oracle cross-checks its p99 against the
     /// same quantity derived from SIGNAL_SENT/YIELD trace events.
     pub preemption_latency: Histogram,
+    /// Per-class completion aggregates, keyed by the wire header's
+    /// class field (at most [`MAX_TRACKED_CLASSES`] entries plus
+    /// [`OTHER_CLASS`]).
+    pub per_class: BTreeMap<u16, ClassTelemetry>,
     /// Latest completion stamp seen per source.
     last_completed_ns: HashMap<usize, u64>,
 }
@@ -111,6 +177,7 @@ impl Telemetry {
             records_dropped: 0,
             timestamp_regressions: 0,
             preemption_latency: Histogram::new(3),
+            per_class: BTreeMap::new(),
             last_completed_ns: HashMap::new(),
         }
     }
@@ -129,6 +196,16 @@ impl Telemetry {
         }
         self.breakdown
             .record(r.queue_ns, r.service_ns, r.sojourn_ns, r.nominal_ns);
+        // Per-class aggregate, bounded against adversarial class churn:
+        // classes beyond the cap share the OTHER_CLASS bucket.
+        let key = if self.per_class.contains_key(&r.class)
+            || self.per_class.len() < MAX_TRACKED_CLASSES
+        {
+            r.class
+        } else {
+            OTHER_CLASS
+        };
+        self.per_class.entry(key).or_default().record(r);
     }
 
     /// Folds one preemption's signal-store → yield latency into the
@@ -146,6 +223,7 @@ impl Telemetry {
             records_dropped: self.records_dropped,
             timestamp_regressions: self.timestamp_regressions,
             preemption_latency: self.preemption_latency.clone(),
+            per_class: self.per_class.clone(),
             taken_at: Instant::now(),
         }
     }
@@ -181,6 +259,10 @@ pub struct TelemetrySnapshot {
     /// Signal-store → yield latency distribution (nanoseconds), one
     /// sample per preemption.
     pub preemption_latency: Histogram,
+    /// Per-class completion aggregates (see
+    /// [`Telemetry`]'s `per_class`); carries the histograms themselves
+    /// so multi-shard views can merge class-wise.
+    pub per_class: BTreeMap<u16, ClassTelemetry>,
     /// When this snapshot was taken.
     pub taken_at: Instant,
 }
@@ -271,6 +353,21 @@ impl TelemetrySnapshot {
                 self.preemption_p999_ns() as f64 / 1e3,
             ));
         }
+        if self.per_class.len() > 1 {
+            for (class, c) in &self.per_class {
+                out.push_str(&format!(
+                    "class {:>5}: {} completed ({} failed), sojourn p50 {:.1}us p99 {:.1}us \
+                     p99.9 {:.1}us, slowdown p99 {:.2}\n",
+                    class,
+                    c.completed,
+                    c.failed,
+                    c.sojourn.percentile(50.0) as f64 / 1e3,
+                    c.sojourn.percentile(99.0) as f64 / 1e3,
+                    c.sojourn.percentile(99.9) as f64 / 1e3,
+                    c.slowdown.p99(),
+                ));
+            }
+        }
         out
     }
 }
@@ -288,6 +385,7 @@ mod tests {
             completed_at_ns: queue_ns + service_ns,
             slices: 1,
             worker: 0,
+            class: 0,
             failed,
         }
     }
@@ -372,6 +470,64 @@ mod tests {
         assert_eq!(s.preemptions_recorded(), 3);
         assert!(s.preemption_p99_ns() >= s.preemption_p50_ns());
         assert!(s.render().contains("signal->yield"));
+    }
+
+    #[test]
+    fn per_class_aggregates_split_by_class() {
+        let mut t = Telemetry::new();
+        for i in 0..10u64 {
+            let mut r = rec(1_000, 10_000, i == 0);
+            r.class = 1;
+            t.record(&r);
+        }
+        let mut r = rec(2_000, 5_000, false);
+        r.class = 7;
+        t.record(&r);
+        let s = t.snapshot();
+        assert_eq!(s.per_class.len(), 2);
+        assert_eq!(s.per_class[&1].completed, 10);
+        assert_eq!(s.per_class[&1].failed, 1);
+        assert_eq!(s.per_class[&7].completed, 1);
+        assert_eq!(s.per_class[&7].sojourn.len(), 1);
+        assert!(s.per_class[&1].slowdown.p99() >= 1.0);
+        // Totals agree with the global aggregate.
+        let total: u64 = s.per_class.values().map(|c| c.completed).sum();
+        assert_eq!(total, s.recorded);
+    }
+
+    #[test]
+    fn class_explosion_folds_into_other() {
+        let mut t = Telemetry::new();
+        for class in 0..100u16 {
+            let mut r = rec(1, 1, false);
+            r.class = class;
+            t.record(&r);
+        }
+        assert!(t.per_class.len() <= MAX_TRACKED_CLASSES + 1);
+        let other = &t.per_class[&OTHER_CLASS];
+        assert_eq!(other.completed, 100 - MAX_TRACKED_CLASSES as u64);
+        // Already-tracked classes keep recording individually.
+        let mut r = rec(1, 1, false);
+        r.class = 3;
+        t.record(&r);
+        assert_eq!(t.per_class[&3].completed, 2);
+    }
+
+    #[test]
+    fn class_telemetry_merges_across_shards() {
+        let mut a = ClassTelemetry::default();
+        let mut b = ClassTelemetry::default();
+        let mut r = rec(1_000, 10_000, false);
+        r.class = 2;
+        a.record(&r);
+        r.failed = true;
+        b.record(&r);
+        b.record(&r);
+        a.merge(&b);
+        assert_eq!(a.completed, 3);
+        assert_eq!(a.failed, 2);
+        assert_eq!(a.sojourn.len(), 3);
+        assert_eq!(a.slowdown.len(), 3);
     }
 
     #[test]

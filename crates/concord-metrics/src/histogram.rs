@@ -262,6 +262,33 @@ impl Histogram {
             .map(|(i, &c)| (self.median_equivalent(self.value_for_index(i)), c))
     }
 
+    /// Exact sum of recorded values (after clamping to the trackable
+    /// range), for exposition `_sum` series.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Iterates over non-empty buckets as cumulative
+    /// `(upper_bound, cumulative_count)` pairs — the shape Prometheus
+    /// text exposition wants for `le`-labeled histogram buckets.
+    ///
+    /// Upper bounds are the highest value equivalent to each bucket
+    /// (inclusive), strictly increasing; cumulative counts are
+    /// non-decreasing and the last one equals [`Histogram::len`]. An
+    /// explicit `+Inf` bucket is the renderer's job (it is always
+    /// `len()`, clamped values included).
+    pub fn cumulative(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        let mut cum = 0u64;
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(move |(i, &c)| {
+                cum += c;
+                (self.highest_equivalent(self.value_for_index(i)), cum)
+            })
+    }
+
     // Bucket geometry -----------------------------------------------------
 
     fn bucket_index(&self, value: u64) -> usize {
@@ -476,6 +503,71 @@ mod tests {
         h.record(1_000_000);
         h.record(3_000_000);
         assert_eq!(h.mean(), 2_000_000.0);
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone() {
+        let mut h = Histogram::new(3);
+        let mut v = 1u64;
+        while v < 1_000_000_000 {
+            h.record(v);
+            v = v * 2 + 3;
+        }
+        let buckets: Vec<(u64, u64)> = h.cumulative().collect();
+        assert!(!buckets.is_empty());
+        for pair in buckets.windows(2) {
+            assert!(pair[1].0 > pair[0].0, "upper bounds strictly increase");
+            assert!(pair[1].1 >= pair[0].1, "cumulative counts never drop");
+        }
+    }
+
+    #[test]
+    fn cumulative_final_count_equals_len() {
+        // The implicit +Inf bucket of the exposition equals len(); the
+        // last finite bucket must already cover everything, clamped
+        // values included.
+        let mut h = Histogram::with_max(3, 10_000);
+        for v in [1u64, 5, 500, 9_999, 50_000, 90_000] {
+            h.record(v);
+        }
+        assert_eq!(h.clamped(), 2);
+        let last = h.cumulative().last().expect("non-empty");
+        assert_eq!(last.1, h.len());
+    }
+
+    #[test]
+    fn cumulative_counts_match_quantile_below() {
+        let mut h = Histogram::new(2);
+        for v in 1..=1_000u64 {
+            h.record(v * 13);
+        }
+        for (le, cum) in h.cumulative() {
+            let frac = h.quantile_below(le);
+            assert!(
+                (frac - cum as f64 / h.len() as f64).abs() < 1e-9,
+                "le={le} cum={cum}"
+            );
+        }
+    }
+
+    #[test]
+    fn sum_and_count_agree_after_merge() {
+        let mut a = Histogram::new(3);
+        let mut b = Histogram::new(3);
+        let mut want_sum = 0u128;
+        for v in 1..=100u64 {
+            a.record(v * 11);
+            want_sum += u128::from(v * 11);
+        }
+        for v in 1..=50u64 {
+            b.record(v * 7);
+            want_sum += u128::from(v * 7);
+        }
+        a.merge(&b);
+        assert_eq!(a.sum(), want_sum);
+        assert_eq!(a.len(), 150);
+        let last = a.cumulative().last().expect("non-empty");
+        assert_eq!(last.1, a.len(), "+Inf == count holds after merge");
     }
 
     #[test]

@@ -92,6 +92,14 @@ impl SlowdownTracker {
         self.hist.max() as f64 / SCALE
     }
 
+    /// The underlying fixed-point distribution: values are slowdown in
+    /// *hundredths* (a recorded ratio of 1.5 reads back as 150). For
+    /// exposition paths that need the whole distribution, not just a
+    /// quantile.
+    pub fn histogram(&self) -> &Histogram {
+        &self.hist
+    }
+
     /// Merges another tracker's samples into this one.
     pub fn merge(&mut self, other: &SlowdownTracker) {
         self.hist.merge(&other.hist);

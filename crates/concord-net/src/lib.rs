@@ -16,6 +16,8 @@
 //!   client-side latency/slowdown measurements.
 //! - [`poll`] (Linux) — a first-party epoll/eventfd/`writev` wrapper,
 //!   the readiness layer under `concord-server`'s event-loop ingress.
+//! - [`signal`] (Linux) — SIGINT/SIGTERM → shutdown-flag plumbing for
+//!   graceful server drain, bound through the same minimal FFI shim.
 
 #![warn(missing_docs)]
 
@@ -25,6 +27,8 @@ pub mod packet;
 pub mod poll;
 pub mod ring;
 pub mod rtt;
+#[cfg(target_os = "linux")]
+pub mod signal;
 
 pub use loadgen::{Collector, LoadGen, LoadGenReport};
 pub use packet::{Request, Response};

@@ -1,0 +1,109 @@
+//! First-party SIGINT/SIGTERM handling for graceful shutdown.
+//!
+//! Same zero-dependency stance as [`crate::poll`]: the platform C
+//! library is already linked by `std`, so we bind `signal(2)` directly
+//! instead of pulling in the `libc` crate. glibc's `signal` installs
+//! BSD semantics (the handler stays installed, interrupted syscalls
+//! restart), which is exactly what a polling server loop wants: the
+//! handler's only job is to flip a process-wide atomic flag that the
+//! main loop checks between poll ticks.
+//!
+//! The handler body is async-signal-safe by construction — two relaxed
+//! atomic stores, no allocation, no locks. A *second* delivery while
+//! shutdown is already pending hard-exits via `_exit(130)`, so a stuck
+//! drain can always be cut short with another Ctrl-C.
+
+use std::io;
+use std::os::raw::c_int;
+use std::sync::atomic::{AtomicBool, AtomicI32, Ordering};
+
+/// POSIX `SIGINT` (terminal interrupt, Ctrl-C).
+pub const SIGINT: c_int = 2;
+/// POSIX `SIGTERM` (polite termination request).
+pub const SIGTERM: c_int = 15;
+
+/// `signal(2)`'s error return, `SIG_ERR == (sighandler_t) -1`.
+const SIG_ERR: usize = usize::MAX;
+
+/// Set by the handler on the first SIGINT/SIGTERM delivery.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+/// The signal number that requested shutdown (0 = none yet).
+static CAUSE: AtomicI32 = AtomicI32::new(0);
+
+extern "C" {
+    /// `sighandler_t signal(int signum, sighandler_t handler)` — handler
+    /// pointers travel as `usize` so no function-pointer transmutes are
+    /// needed on either side.
+    fn signal(signum: c_int, handler: usize) -> usize;
+    fn _exit(status: c_int) -> !;
+}
+
+/// The process-wide handler: first delivery records the cause and raises
+/// the flag; a repeat while shutdown is already pending means the drain
+/// is stuck (or the operator is impatient) — exit immediately with the
+/// conventional 128+SIGINT status.
+extern "C" fn on_signal(sig: c_int) {
+    if SHUTDOWN.swap(true, Ordering::Release) {
+        unsafe { _exit(130) };
+    }
+    CAUSE.store(sig, Ordering::Relaxed);
+}
+
+/// Installs the shutdown handler for `SIGINT` and `SIGTERM`. Idempotent;
+/// call once near the top of `main`. After this, either signal makes
+/// [`shutdown_requested`] return `true` (and a second one hard-exits).
+pub fn install_shutdown_handler() -> io::Result<()> {
+    for sig in [SIGINT, SIGTERM] {
+        let handler = on_signal as extern "C" fn(c_int) as *const () as usize;
+        let prev = unsafe { signal(sig, handler) };
+        if prev == SIG_ERR {
+            return Err(io::Error::last_os_error());
+        }
+    }
+    Ok(())
+}
+
+/// Whether a SIGINT/SIGTERM has arrived since
+/// [`install_shutdown_handler`]. One relaxed-ish load — cheap enough to
+/// poll every loop iteration.
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::Acquire)
+}
+
+/// The signal that requested shutdown, if any.
+pub fn shutdown_cause() -> Option<c_int> {
+    match CAUSE.load(Ordering::Relaxed) {
+        0 => None,
+        sig => Some(sig),
+    }
+}
+
+/// Test hook: raises the flag exactly as the real handler would, so
+/// shutdown plumbing is testable without delivering a signal to the
+/// whole test process.
+pub fn request_shutdown(sig: c_int) {
+    if !SHUTDOWN.swap(true, Ordering::Release) {
+        CAUSE.store(sig, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The flag is process-wide, so keep every assertion in one test:
+    // cargo runs tests in threads of a single process.
+    #[test]
+    fn flag_lifecycle() {
+        install_shutdown_handler().expect("install");
+        install_shutdown_handler().expect("idempotent");
+        assert!(!shutdown_requested());
+        assert_eq!(shutdown_cause(), None);
+        request_shutdown(SIGTERM);
+        assert!(shutdown_requested());
+        assert_eq!(shutdown_cause(), Some(SIGTERM));
+        // Later requests don't overwrite the original cause.
+        request_shutdown(SIGINT);
+        assert_eq!(shutdown_cause(), Some(SIGTERM));
+    }
+}

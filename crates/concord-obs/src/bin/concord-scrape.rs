@@ -1,0 +1,70 @@
+//! `concord-scrape` — a curl-free admin-endpoint probe for CI and
+//! scripts: issues one request, prints the body to stdout, exits 0 only
+//! on a 200 with (for `/metrics`) a parseable exposition body.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: concord-scrape [--post] [--timeout SECS] ADDR PATH\n\
+         \n\
+         Fetches http://ADDR PATH and prints the body. Exits non-zero on\n\
+         connect failure or a non-200 status. GET /metrics responses are\n\
+         additionally validated as Prometheus text exposition."
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut method = "GET";
+    let mut timeout = Duration::from_secs(10);
+    let mut positional: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--post" => method = "POST",
+            "--timeout" => {
+                let secs: u64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                timeout = Duration::from_secs(secs.max(1));
+            }
+            "--help" | "-h" => usage(),
+            _ => positional.push(arg),
+        }
+    }
+    if positional.len() != 2 {
+        usage();
+    }
+    let (addr, path) = (&positional[0], &positional[1]);
+
+    let (status, body) = match concord_obs::client::fetch(addr.as_str(), method, path, timeout) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("concord-scrape: {method} {addr}{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = String::from_utf8_lossy(&body);
+    print!("{text}");
+    if status != 200 {
+        eprintln!("concord-scrape: status {status}");
+        return ExitCode::FAILURE;
+    }
+    if method == "GET" && path.starts_with("/metrics") {
+        match concord_obs::parse_scrape(&text) {
+            Ok(samples) if !samples.is_empty() => {}
+            Ok(_) => {
+                eprintln!("concord-scrape: empty exposition");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("concord-scrape: invalid exposition: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

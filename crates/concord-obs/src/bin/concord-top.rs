@@ -1,0 +1,212 @@
+//! `concord-top` — a live terminal dashboard for a running
+//! `concord-serve --admin` instance: polls `GET /statz` and renders
+//! per-shard depth/throughput, per-class latency percentiles, the
+//! preemption rate, and admission sheds.
+
+use concord_obs::json::Json;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: concord-top [--addr ADDR] [--interval MS] [--once]\n\
+         \n\
+         --addr ADDR     admin address to poll (default 127.0.0.1:9090)\n\
+         --interval MS   refresh period in milliseconds (default 1000)\n\
+         --once          print a single snapshot without clearing the screen"
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    addr: String,
+    interval: Duration,
+    once: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1:9090".to_string(),
+        interval: Duration::from_millis(1000),
+        once: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => args.addr = it.next().unwrap_or_else(|| usage()),
+            "--interval" => {
+                let ms: u64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                args.interval = Duration::from_millis(ms.max(100));
+            }
+            "--once" => args.once = true,
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn u(v: Option<&Json>) -> u64 {
+    v.and_then(Json::as_u64).unwrap_or(0)
+}
+
+fn f(v: Option<&Json>) -> f64 {
+    v.and_then(Json::as_f64).unwrap_or(0.0)
+}
+
+fn s(v: Option<&Json>) -> &str {
+    v.and_then(Json::as_str).unwrap_or("?")
+}
+
+/// Totals a rate is computed over between two polls.
+#[derive(Default, Clone, Copy)]
+struct Totals {
+    completed: u64,
+    preemptions: u64,
+    shed: u64,
+}
+
+fn totals(stat: &Json) -> Totals {
+    let t = stat.get("totals");
+    Totals {
+        completed: u(t.and_then(|t| t.get("completed"))),
+        preemptions: u(t.and_then(|t| t.get("preemptions"))),
+        shed: u(t.and_then(|t| t.get("shed"))),
+    }
+}
+
+fn rate(now: u64, before: u64, dt: f64) -> f64 {
+    if dt <= 0.0 {
+        0.0
+    } else {
+        now.saturating_sub(before) as f64 / dt
+    }
+}
+
+fn render(addr: &str, stat: &Json, prev: Option<(Totals, f64)>) -> String {
+    let mut out = String::new();
+    let server = stat.get("server");
+    let tot = stat.get("totals");
+    let t = totals(stat);
+    let (completed_s, preempt_s, shed_s) = match prev {
+        Some((p, dt)) => (
+            rate(t.completed, p.completed, dt),
+            rate(t.preemptions, p.preemptions, dt),
+            rate(t.shed, p.shed, dt),
+        ),
+        None => (0.0, 0.0, 0.0),
+    };
+    out.push_str(&format!(
+        "concord-top — {addr}  policy={}  uptime={}s  conns={}  draining={}\n",
+        s(server.and_then(|v| v.get("policy"))),
+        u(server.and_then(|v| v.get("uptime_s"))),
+        u(server.and_then(|v| v.get("active_connections"))),
+        stat.get("server")
+            .and_then(|v| v.get("draining"))
+            .map(|v| v == &Json::Bool(true))
+            .unwrap_or(false),
+    ));
+    out.push_str(&format!(
+        "totals: ingested={} completed={} failed={} tx_dropped={} shed={}\n",
+        u(tot.and_then(|v| v.get("ingested"))),
+        t.completed,
+        u(tot.and_then(|v| v.get("failed"))),
+        u(tot.and_then(|v| v.get("tx_dropped"))),
+        t.shed,
+    ));
+    out.push_str(&format!(
+        "rates:  {completed_s:.0} req/s   {preempt_s:.0} preempt/s   {shed_s:.0} shed/s\n\n"
+    ));
+
+    out.push_str(
+        "shard  depth  ingested  completed  preempt  stolen  q_p99us  sojourn_p99us  slowdn_p999\n",
+    );
+    for shard in stat
+        .get("shards")
+        .and_then(Json::as_arr)
+        .unwrap_or(&[])
+        .iter()
+    {
+        let tel = shard.get("telemetry");
+        out.push_str(&format!(
+            "{:>5}  {:>5}  {:>8}  {:>9}  {:>7}  {:>6}  {:>7.1}  {:>13.1}  {:>11.2}\n",
+            u(shard.get("shard")),
+            u(shard.get("depth")),
+            u(shard.get("ingested")),
+            u(shard.get("completed")),
+            u(shard.get("preemptions")),
+            u(shard.get("stolen")),
+            f(tel.and_then(|v| v.get("queueing_p99_us"))),
+            f(tel.and_then(|v| v.get("sojourn_p99_us"))),
+            f(tel.and_then(|v| v.get("slowdown_p999"))),
+        ));
+    }
+
+    let classes = stat.get("classes").and_then(Json::as_arr).unwrap_or(&[]);
+    if !classes.is_empty() {
+        out.push_str(
+            "\nclass  ingested  completed  rejected  p50us    p99us    p99.9us  slowdn_p99\n",
+        );
+        for class in classes {
+            out.push_str(&format!(
+                "{:>5}  {:>8}  {:>9}  {:>8}  {:>7.1}  {:>7.1}  {:>7.1}  {:>10.2}\n",
+                u(class.get("class")),
+                u(class.get("ingested")),
+                u(class.get("completed")),
+                u(class.get("rejected")),
+                f(class.get("sojourn_p50_us")),
+                f(class.get("sojourn_p99_us")),
+                f(class.get("sojourn_p999_us")),
+                f(class.get("slowdown_p99")),
+            ));
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let mut prev: Option<(Totals, Instant)> = None;
+    loop {
+        let body = match concord_obs::client::fetch(
+            args.addr.as_str(),
+            "GET",
+            "/statz",
+            Duration::from_secs(5),
+        ) {
+            Ok((200, body)) => body,
+            Ok((status, _)) => {
+                eprintln!("concord-top: {}/statz: status {status}", args.addr);
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("concord-top: {}/statz: {e}", args.addr);
+                return ExitCode::FAILURE;
+            }
+        };
+        let stat = match Json::parse(&String::from_utf8_lossy(&body)) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("concord-top: bad /statz body: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let now = Instant::now();
+        let prev_rates = prev
+            .as_ref()
+            .map(|(t, at)| (*t, now.duration_since(*at).as_secs_f64()));
+        let frame = render(&args.addr, &stat, prev_rates);
+        if args.once {
+            print!("{frame}");
+            return ExitCode::SUCCESS;
+        }
+        // ANSI: clear screen, home cursor.
+        print!("\x1b[2J\x1b[H{frame}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        prev = Some((totals(&stat), now));
+        std::thread::sleep(args.interval);
+    }
+}

@@ -1,0 +1,66 @@
+//! A tiny blocking HTTP/1.1 client for the admin endpoints — just
+//! enough for `concord-top`, `concord-scrape`, and the loopback tests
+//! (one request per connection, mirroring the listener's
+//! `Connection: close` policy).
+
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Issues one request and returns `(status, body)`.
+///
+/// `addr` is a socket address (`127.0.0.1:9090`), `path` an absolute
+/// path (`/metrics`). The connection is closed after the response.
+pub fn fetch(
+    addr: impl ToSocketAddrs,
+    method: &str,
+    path: &str,
+    timeout: Duration,
+) -> io::Result<(u16, Vec<u8>)> {
+    let addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "unresolvable address"))?;
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    stream.write_all(
+        format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+    )?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &[u8]) -> io::Result<(u16, Vec<u8>)> {
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no response head"))?;
+    let head = std::str::from_utf8(&raw[..head_end])
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 response head"))?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+    Ok((status, raw[head_end + 4..].to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_status_and_body() {
+        let (status, body) =
+            parse_response(b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nhi").expect("parse");
+        assert_eq!(status, 200);
+        assert_eq!(body, b"hi");
+    }
+
+    #[test]
+    fn rejects_headless_garbage() {
+        assert!(parse_response(b"not http").is_err());
+    }
+}

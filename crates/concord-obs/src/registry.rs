@@ -1,0 +1,273 @@
+//! The metrics registry: sources registered once, snapshotted coherently.
+//!
+//! Publication is **wait-free by construction**: the registry never asks
+//! the data plane to do anything. Hot paths keep bumping the relaxed
+//! atomics and per-worker rings they already own; each registered source
+//! is a read closure over those structures, and a scrape evaluates all
+//! of them in one pass under the registry lock. The only contention a
+//! scrape can cause is whatever the closure itself takes (e.g. the
+//! telemetry mutex the dispatcher folds records under — the same brief
+//! lock `Runtime::telemetry()` has always taken).
+
+use concord_metrics::Histogram;
+use std::sync::Mutex;
+
+/// Whether a scalar series is monotone (counter) or instantaneous
+/// (gauge) — drives the `# TYPE` line of the exposition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone non-decreasing (exposition type `counter`).
+    Counter,
+    /// Instantaneous value (exposition type `gauge`).
+    Gauge,
+}
+
+type ReadFn = Box<dyn Fn() -> u64 + Send + Sync>;
+type HistFn = Box<dyn Fn() -> Histogram + Send + Sync>;
+
+struct ScalarSource {
+    name: String,
+    help: String,
+    kind: MetricKind,
+    labels: Vec<(String, String)>,
+    read: ReadFn,
+}
+
+struct HistSource {
+    name: String,
+    help: String,
+    labels: Vec<(String, String)>,
+    read: HistFn,
+}
+
+#[derive(Default)]
+struct Inner {
+    scalars: Vec<ScalarSource>,
+    hists: Vec<HistSource>,
+}
+
+/// A registry of metric sources, registered once at startup and read in
+/// one coherent pass per scrape.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+fn owned_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a monotone counter series. `read` is evaluated at each
+    /// snapshot; it should load an existing atomic, not compute.
+    pub fn counter(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        read: impl Fn() -> u64 + Send + Sync + 'static,
+    ) {
+        self.scalar(name, help, MetricKind::Counter, labels, read);
+    }
+
+    /// Registers a gauge series (instantaneous value).
+    pub fn gauge(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        read: impl Fn() -> u64 + Send + Sync + 'static,
+    ) {
+        self.scalar(name, help, MetricKind::Gauge, labels, read);
+    }
+
+    fn scalar(
+        &self,
+        name: &str,
+        help: &str,
+        kind: MetricKind,
+        labels: &[(&str, &str)],
+        read: impl Fn() -> u64 + Send + Sync + 'static,
+    ) {
+        self.inner
+            .lock()
+            .expect("registry lock")
+            .scalars
+            .push(ScalarSource {
+                name: name.to_string(),
+                help: help.to_string(),
+                kind,
+                labels: owned_labels(labels),
+                read: Box::new(read),
+            });
+    }
+
+    /// Registers a histogram series. `read` returns a point-in-time copy
+    /// of the distribution (e.g. a merged clone of per-shard histograms).
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        read: impl Fn() -> Histogram + Send + Sync + 'static,
+    ) {
+        self.inner
+            .lock()
+            .expect("registry lock")
+            .hists
+            .push(HistSource {
+                name: name.to_string(),
+                help: help.to_string(),
+                labels: owned_labels(labels),
+                read: Box::new(read),
+            });
+    }
+
+    /// Evaluates every registered source in one pass and returns the
+    /// resulting coherent snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().expect("registry lock");
+        let scalars = inner
+            .scalars
+            .iter()
+            .map(|s| ScalarSample {
+                name: s.name.clone(),
+                help: s.help.clone(),
+                kind: s.kind,
+                labels: s.labels.clone(),
+                value: (s.read)(),
+            })
+            .collect();
+        let hists = inner
+            .hists
+            .iter()
+            .map(|h| {
+                let hist = (h.read)();
+                HistSample {
+                    name: h.name.clone(),
+                    help: h.help.clone(),
+                    labels: h.labels.clone(),
+                    buckets: hist.cumulative().collect(),
+                    count: hist.len(),
+                    sum: hist.sum(),
+                }
+            })
+            .collect();
+        MetricsSnapshot { scalars, hists }
+    }
+
+    /// Number of registered series (scalars + histograms).
+    pub fn len(&self) -> usize {
+        let inner = self.inner.lock().expect("registry lock");
+        inner.scalars.len() + inner.hists.len()
+    }
+
+    /// Whether no source has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One scalar series read at snapshot time.
+#[derive(Clone, Debug)]
+pub struct ScalarSample {
+    /// Family name (e.g. `concord_ingested_total`).
+    pub name: String,
+    /// `# HELP` text.
+    pub help: String,
+    /// Counter or gauge.
+    pub kind: MetricKind,
+    /// Label pairs identifying this series within the family.
+    pub labels: Vec<(String, String)>,
+    /// The value at snapshot time.
+    pub value: u64,
+}
+
+/// One histogram series read at snapshot time.
+#[derive(Clone, Debug)]
+pub struct HistSample {
+    /// Family name (without the `_bucket`/`_sum`/`_count` suffixes).
+    pub name: String,
+    /// `# HELP` text.
+    pub help: String,
+    /// Label pairs identifying this series within the family.
+    pub labels: Vec<(String, String)>,
+    /// Cumulative `(upper_bound, cumulative_count)` buckets.
+    pub buckets: Vec<(u64, u64)>,
+    /// Total recorded values (the `+Inf` bucket and `_count`).
+    pub count: u64,
+    /// Exact sum of recorded values (`_sum`).
+    pub sum: u128,
+}
+
+/// A coherent point-in-time read of every registered source.
+#[derive(Clone, Debug)]
+pub struct MetricsSnapshot {
+    /// All scalar series, in registration order.
+    pub scalars: Vec<ScalarSample>,
+    /// All histogram series, in registration order.
+    pub hists: Vec<HistSample>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn snapshot_reads_live_sources() {
+        let reg = MetricsRegistry::new();
+        let n = Arc::new(AtomicU64::new(0));
+        let src = n.clone();
+        reg.counter("c_total", "a counter", &[("shard", "0")], move || {
+            src.load(Ordering::Relaxed)
+        });
+        assert_eq!(reg.snapshot().scalars[0].value, 0);
+        n.store(42, Ordering::Relaxed);
+        let snap = reg.snapshot();
+        assert_eq!(snap.scalars[0].value, 42);
+        assert_eq!(snap.scalars[0].name, "c_total");
+        assert_eq!(snap.scalars[0].labels, vec![("shard".into(), "0".into())]);
+        assert_eq!(snap.scalars[0].kind, MetricKind::Counter);
+    }
+
+    #[test]
+    fn histogram_sources_expose_cumulative_buckets() {
+        let reg = MetricsRegistry::new();
+        reg.histogram("lat_ns", "latency", &[], || {
+            let mut h = Histogram::new(3);
+            for v in [10u64, 20, 30] {
+                h.record(v);
+            }
+            h
+        });
+        let snap = reg.snapshot();
+        let h = &snap.hists[0];
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 60);
+        assert_eq!(h.buckets.last().expect("non-empty").1, 3);
+        for pair in h.buckets.windows(2) {
+            assert!(pair[1].0 > pair[0].0);
+            assert!(pair[1].1 >= pair[0].1);
+        }
+    }
+
+    #[test]
+    fn registration_order_is_preserved() {
+        let reg = MetricsRegistry::new();
+        reg.gauge("b", "", &[], || 1);
+        reg.gauge("a", "", &[], || 2);
+        assert_eq!(reg.len(), 2);
+        let names: Vec<String> = reg.snapshot().scalars.into_iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["b", "a"]);
+    }
+}

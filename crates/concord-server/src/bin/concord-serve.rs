@@ -7,19 +7,30 @@
 //!               [--admission-cap N]
 //!               [--admission-policy drop-newest|drop-oldest|reject]
 //!               [--ingress epoll|threads] [--loops N]
-//!               [--oneshot] [--trace PATH]
+//!               [--admin HOST:PORT] [--report-interval SECS]
+//!               [--trace-retain SECS] [--oneshot] [--trace PATH]
 //! ```
 //!
 //! `--ingress` selects the socket-servicing model: `epoll` (default)
 //! multiplexes all connections over a fixed pool of `--loops` I/O event
 //! loops; `threads` is the thread-per-connection baseline.
 //!
+//! `--admin HOST:PORT` starts the introspection plane beside the data
+//! plane: `GET /metrics` (Prometheus text), `GET /healthz`, `GET /statz`
+//! (the JSON document `concord-top` renders), and `POST /trace/dump`
+//! (the flight-recorder window as Perfetto JSON). `--trace-retain SECS`
+//! turns the tracer into a flight recorder that keeps only the trailing
+//! window, so a long-running server can stay armed with bounded memory.
+//! `--report-interval SECS` prints the telemetry report periodically
+//! (0, the default, is off).
+//!
 //! `--oneshot` serves until at least one client has connected and all
 //! clients have finished sending, then shuts down gracefully and prints
 //! the final report — the mode the CI smoke test uses. Without it the
-//! server runs until the process is killed. `--trace PATH` writes the
-//! run's scheduling-event trace on shutdown (Perfetto JSON if PATH ends
-//! in `.json`, compact binary otherwise).
+//! server runs until SIGINT/SIGTERM, which triggers the same graceful
+//! drain and final report (a second signal hard-exits). `--trace PATH`
+//! writes the run's scheduling-event trace on shutdown (Perfetto JSON
+//! if PATH ends in `.json`, compact binary otherwise).
 //!
 //! `--shards N` starts N independent dispatcher+worker groups (each with
 //! `--workers` workers) behind a hash/power-of-two-choices connection
@@ -48,6 +59,9 @@ struct Args {
     admission_policy: AdmissionPolicy,
     ingress: IngressMode,
     loops: usize,
+    admin: Option<String>,
+    report_interval: u64,
+    trace_retain: u64,
     oneshot: bool,
     trace: Option<std::path::PathBuf>,
 }
@@ -57,7 +71,8 @@ fn usage() -> ! {
         "usage: concord-serve [--addr HOST:PORT] [--app spin|kv] [--workers N] [--shards N] \
          [--quantum-us US] [--policy ps|fcfs|srpt[:PCT]|boost[:US]] [--admission-cap N] \
          [--admission-policy drop-newest|drop-oldest|reject] \
-         [--ingress epoll|threads] [--loops N] [--oneshot] [--trace PATH]"
+         [--ingress epoll|threads] [--loops N] [--admin HOST:PORT] [--report-interval SECS] \
+         [--trace-retain SECS] [--oneshot] [--trace PATH]"
     );
     exit(2);
 }
@@ -74,6 +89,9 @@ fn parse_args() -> Args {
         admission_policy: AdmissionPolicy::RejectNewest,
         ingress: IngressMode::EventLoop,
         loops: 0,
+        admin: None,
+        report_interval: 0,
+        trace_retain: 0,
         oneshot: false,
         trace: None,
     };
@@ -106,6 +124,9 @@ fn parse_args() -> Args {
                 }
             }
             "--loops" => args.loops = value.parse().unwrap_or_else(|_| usage()),
+            "--admin" => args.admin = Some(value),
+            "--report-interval" => args.report_interval = value.parse().unwrap_or_else(|_| usage()),
+            "--trace-retain" => args.trace_retain = value.parse().unwrap_or_else(|_| usage()),
             "--trace" => args.trace = Some(value.into()),
             _ => usage(),
         }
@@ -174,16 +195,21 @@ fn print_report(report: &ServerReport, trace_path: Option<&std::path::Path>) {
 }
 
 fn serve<A: ConcordApp>(args: &Args, app: Arc<A>) {
-    let runtime = RuntimeConfig::builder()
+    let mut builder = RuntimeConfig::builder()
         .workers(args.workers)
         .num_shards(args.shards)
         .quantum(Duration::from_nanos((args.quantum_us * 1000.0) as u64))
-        .policy(args.policy)
-        .build()
-        .unwrap_or_else(|e| {
-            eprintln!("concord-serve: invalid runtime config: {e}");
-            exit(2);
-        });
+        .policy(args.policy);
+    if args.report_interval > 0 {
+        builder = builder.telemetry_report_every(Duration::from_secs(args.report_interval));
+    }
+    if args.trace_retain > 0 {
+        builder = builder.trace_retain(Duration::from_secs(args.trace_retain));
+    }
+    let runtime = builder.build().unwrap_or_else(|e| {
+        eprintln!("concord-serve: invalid runtime config: {e}");
+        exit(2);
+    });
     let cfg = ServerConfig {
         admission: AdmissionConfig {
             capacity: args.admission_cap,
@@ -191,6 +217,7 @@ fn serve<A: ConcordApp>(args: &Args, app: Arc<A>) {
         },
         ingress: args.ingress,
         event_loops: args.loops,
+        admin: args.admin.clone(),
         ..ServerConfig::new(runtime)
     };
     let server = match Server::bind(&args.addr, cfg, app) {
@@ -210,20 +237,39 @@ fn serve<A: ConcordApp>(args: &Args, app: Arc<A>) {
         args.admission_cap,
         args.admission_policy.name()
     );
+    if let Some(admin) = server.admin_addr() {
+        println!("admin on {admin} (/metrics /healthz /statz, POST /trace/dump)");
+    }
+    // Graceful shutdown on SIGINT/SIGTERM: drain, print the final
+    // report, export the trace — same path as --oneshot completion.
+    if let Err(e) = concord_net::signal::install_shutdown_handler() {
+        eprintln!("concord-serve: signal handler: {e}");
+    }
     if args.oneshot {
         // Serve until at least one client connected and all clients have
         // half-closed (their readers exited), then drain and report.
-        while server.accepted() == 0 || server.active_connections() > 0 {
+        while (server.accepted() == 0 || server.active_connections() > 0)
+            && !concord_net::signal::shutdown_requested()
+        {
             std::thread::sleep(Duration::from_millis(20));
         }
-        let report = server.shutdown();
-        print_report(&report, args.trace.as_deref());
-        return;
+    } else {
+        // Long-running mode: park the main thread until a signal asks
+        // for the drain.
+        while !concord_net::signal::shutdown_requested() {
+            std::thread::sleep(Duration::from_millis(50));
+        }
     }
-    // Long-running mode: park the main thread; the OS tears us down.
-    loop {
-        std::thread::sleep(Duration::from_secs(3600));
+    if let Some(sig) = concord_net::signal::shutdown_cause() {
+        let name = if sig == concord_net::signal::SIGINT {
+            "SIGINT"
+        } else {
+            "SIGTERM"
+        };
+        println!("{name}: draining...");
     }
+    let report = server.shutdown();
+    print_report(&report, args.trace.as_deref());
 }
 
 fn main() {

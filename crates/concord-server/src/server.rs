@@ -195,6 +195,10 @@ pub struct ServerConfig {
     /// had hit its descriptor limit during connection setup. Tests use
     /// it to exercise the setup-failure path deterministically.
     pub conn_setup_faults: Arc<AtomicU64>,
+    /// Admin/introspection listener address (e.g. `"127.0.0.1:9090"`,
+    /// or port 0 for tests). `None` (the default) runs no admin plane.
+    /// See [`crate::admin`] for the routes.
+    pub admin: Option<String>,
 }
 
 impl ServerConfig {
@@ -214,6 +218,7 @@ impl ServerConfig {
             event_loops: 0,
             outbox_cap: DEFAULT_OUTBOX_CAP,
             conn_setup_faults: Arc::new(AtomicU64::new(0)),
+            admin: None,
         }
     }
 }
@@ -297,6 +302,7 @@ pub struct Server {
     orphaned: Arc<AtomicU64>,
     rt: ShardedRuntime,
     front: Front,
+    admin: Option<crate::admin::AdminPlane>,
 }
 
 impl Server {
@@ -312,6 +318,7 @@ impl Server {
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
 
+        let policy_name = cfg.runtime.policy.to_string();
         let n_shards = cfg.runtime.num_shards.max(1);
         let admissions: Arc<Vec<Arc<AdmissionQueue>>> = Arc::new(
             (0..n_shards)
@@ -371,18 +378,38 @@ impl Server {
             }
         };
 
+        let admin = match &cfg.admin {
+            Some(admin_addr) => {
+                let state = crate::admin::AdminState::new(
+                    shared.clone(),
+                    rt.observer(),
+                    orphaned.clone(),
+                    policy_name,
+                );
+                Some(crate::admin::AdminPlane::start(admin_addr, state)?)
+            }
+            None => None,
+        };
+
         Ok(Server {
             local_addr,
             shared,
             orphaned,
             rt,
             front,
+            admin,
         })
     }
 
     /// The bound address (useful with port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// The admin plane's bound address, when one was configured
+    /// ([`ServerConfig::admin`]; useful with port 0).
+    pub fn admin_addr(&self) -> Option<SocketAddr> {
+        self.admin.as_ref().and_then(|a| a.local_addr())
     }
 
     /// Connections accepted (and fully set up) so far.
@@ -461,6 +488,11 @@ impl Server {
         match &mut self.front {
             Front::Threads(t) => t.finish(),
             Front::Loops(l) => l.finish(),
+        }
+        // The admin plane stayed up through the drain (scrapes keep
+        // working while connections flush); stop it last.
+        if let Some(a) = &mut self.admin {
+            a.shutdown();
         }
         let rollup = self.rt.rollup();
         ServerReport {

@@ -26,16 +26,37 @@ impl TraceLane {
     }
 }
 
+/// In flight-recorder mode ([`TraceCollector::set_retain_window_ns`]),
+/// compaction triggers when the merged trace grows past this many
+/// records beyond what the last compaction kept, so the amortized cost
+/// stays O(1) per record and memory stays bounded by the retain window
+/// (plus this slack).
+const COMPACT_SLACK: usize = 64 * 1024;
+
 /// Drains every lane's ring into one merged [`Trace`].
 ///
 /// The collector lives on the control side (the `Runtime` owns it); the
 /// dispatcher ticks [`TraceCollector::drain`] periodically and once more
 /// at quiesce, so ring capacity only has to cover one tick's worth of
-/// events.
+/// events. With a retain window set it doubles as a flight recorder:
+/// lanes keep rolling, old records age out, and
+/// [`TraceCollector::snapshot_window`] exports the last N seconds
+/// without pausing anything.
 pub struct TraceCollector {
     lanes: Vec<(u32, Consumer<TraceEvent>)>,
     trace: Trace,
     scratch: Vec<TraceEvent>,
+    /// Flight-recorder retain window: when set, records older than
+    /// `newest_ts - retain_ns` are discarded at compaction, turning the
+    /// merged trace into a continuous overwrite ring over wall time.
+    retain_ns: Option<u64>,
+    /// Newest event timestamp drained so far (compaction cutoff anchor).
+    newest_ts: u64,
+    /// Record count above which the next drain compacts.
+    compact_at: usize,
+    /// Records discarded by flight-recorder compaction (not drops — they
+    /// were observed, then aged out of the window).
+    aged_out: u64,
 }
 
 impl TraceCollector {
@@ -55,8 +76,46 @@ impl TraceCollector {
             lanes: consumers,
             trace: Trace::new(n_workers),
             scratch: Vec::with_capacity(256),
+            retain_ns: None,
+            newest_ts: 0,
+            compact_at: COMPACT_SLACK,
+            aged_out: 0,
         };
         (collector, lanes)
+    }
+
+    /// Switches the collector into flight-recorder mode: the merged
+    /// trace keeps only the last `retain_ns` nanoseconds of events
+    /// (relative to the newest drained timestamp), discarding older
+    /// records at periodic compactions. `None` restores unbounded
+    /// accumulation. The emit path is unaffected either way — lanes
+    /// stay wait-free; only the collector's retention policy changes.
+    pub fn set_retain_window_ns(&mut self, retain_ns: Option<u64>) {
+        self.retain_ns = retain_ns;
+        if retain_ns.is_some() {
+            self.compact();
+        }
+    }
+
+    /// The configured flight-recorder window, if any.
+    pub fn retain_window_ns(&self) -> Option<u64> {
+        self.retain_ns
+    }
+
+    /// Records discarded by flight-recorder compaction so far.
+    pub fn aged_out(&self) -> u64 {
+        self.aged_out
+    }
+
+    fn compact(&mut self) {
+        let Some(retain) = self.retain_ns else {
+            return;
+        };
+        let cutoff = self.newest_ts.saturating_sub(retain);
+        let before = self.trace.records.len();
+        self.trace.records.retain(|r| r.ev.ts_ns >= cutoff);
+        self.aged_out += (before - self.trace.records.len()) as u64;
+        self.compact_at = self.trace.records.len() + COMPACT_SLACK;
     }
 
     /// Drains every lane into the merged trace, preserving each track's
@@ -72,11 +131,30 @@ impl TraceCollector {
                 }
                 total += n;
                 for ev in self.scratch.drain(..) {
+                    if ev.ts_ns > self.newest_ts {
+                        self.newest_ts = ev.ts_ns;
+                    }
                     self.trace.record(*track, ev);
                 }
             }
         }
+        if self.retain_ns.is_some() && self.trace.records.len() >= self.compact_at {
+            self.compact();
+        }
         total
+    }
+
+    /// Freezes the flight recorder for export: drains the lanes, then
+    /// returns a copy of the retained window *without* consuming the
+    /// collector's state (the recorder keeps rolling). With no retain
+    /// window set this is simply a copy of everything drained so far.
+    ///
+    /// The caller holds the collector's lock only for the duration of
+    /// the drain + copy; emit lanes never block on it.
+    pub fn snapshot_window(&mut self) -> Trace {
+        self.drain();
+        self.compact();
+        self.trace.clone()
     }
 
     /// Events accumulated so far (after the last [`drain`](Self::drain)).
@@ -134,6 +212,58 @@ mod tests {
         }
         assert!(accepted < 100, "a 4-slot ring cannot absorb 100 events");
         assert_eq!(col.drain(), accepted);
+    }
+
+    #[test]
+    fn retain_window_ages_out_old_records() {
+        let (mut col, mut lanes) = TraceCollector::new(1, 1024);
+        col.set_retain_window_ns(Some(1_000));
+        for i in 0..100u64 {
+            lanes[0].emit(TraceEvent::new(i * 100, EventKind::Resume, i, 0));
+        }
+        col.drain();
+        let snap = col.snapshot_window();
+        // Newest ts is 9_900; everything older than 8_900 is gone.
+        assert!(snap.records.iter().all(|r| r.ev.ts_ns >= 8_900), "window");
+        assert!(!snap.is_empty());
+        assert!(col.aged_out() > 0);
+        // The recorder keeps rolling after a snapshot.
+        lanes[0].emit(TraceEvent::new(20_000, EventKind::Complete, 1, 0));
+        let snap2 = col.snapshot_window();
+        assert!(snap2.records.iter().any(|r| r.ev.ts_ns == 20_000));
+        assert!(snap2.records.iter().all(|r| r.ev.ts_ns >= 19_000));
+    }
+
+    #[test]
+    fn snapshot_window_without_retention_copies_everything() {
+        let (mut col, mut lanes) = TraceCollector::new(1, 64);
+        lanes[0].emit(TraceEvent::new(5, EventKind::Arrive, 1, 0));
+        lanes[1].emit(TraceEvent::new(6, EventKind::Dispatch, 1, 0));
+        let snap = col.snapshot_window();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(col.len(), 2, "snapshot does not consume");
+        // take_trace still hands out the same records afterwards.
+        assert_eq!(col.take_trace().len(), 2);
+    }
+
+    #[test]
+    fn compaction_bounds_memory_under_sustained_load() {
+        let (mut col, mut lanes) = TraceCollector::new(0, 512);
+        col.set_retain_window_ns(Some(100));
+        let mut ts = 0u64;
+        for _ in 0..2_000 {
+            for _ in 0..256 {
+                ts += 1_000; // every event instantly ages out predecessors
+                lanes[0].emit(TraceEvent::new(ts, EventKind::Arrive, 1, 0));
+            }
+            col.drain();
+        }
+        assert!(
+            col.len() <= super::COMPACT_SLACK + 512,
+            "retained {} records, window should bound this",
+            col.len()
+        );
+        assert!(col.aged_out() > 100_000);
     }
 
     #[test]

@@ -41,5 +41,6 @@ pub use harness::{
     RuntimeObservation, ShardedObservation,
 };
 pub use oracles::{
-    check_admission, check_cross, check_policy, check_runtime, check_sharded, check_sim,
+    check_admission, check_cross, check_policy, check_rack, check_runtime, check_sharded,
+    check_sim, RackClientTotals,
 };

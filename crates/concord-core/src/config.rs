@@ -358,82 +358,6 @@ impl RuntimeConfig {
             .build()
             .expect("small-test defaults are valid")
     }
-
-    /// Sets the scheduling quantum.
-    #[deprecated(since = "0.1.0", note = "use RuntimeConfig::builder().quantum(..)")]
-    pub fn with_quantum(mut self, quantum: Duration) -> Self {
-        self.quantum = quantum;
-        self
-    }
-
-    /// Sets the JBSQ depth (clamped to ≥ 1; the builder rejects 0
-    /// instead).
-    #[deprecated(since = "0.1.0", note = "use RuntimeConfig::builder().jbsq_depth(..)")]
-    pub fn with_jbsq_depth(mut self, k: usize) -> Self {
-        self.jbsq_depth = k.max(1);
-        self
-    }
-
-    /// Enables or disables dispatcher work conservation.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use RuntimeConfig::builder().work_conserving(..)"
-    )]
-    pub fn with_work_conserving(mut self, on: bool) -> Self {
-        self.work_conserving = on;
-        self
-    }
-
-    /// Enables the periodic telemetry reporter at the given interval.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use RuntimeConfig::builder().telemetry_report_every(..)"
-    )]
-    pub fn with_telemetry_report_every(mut self, every: Duration) -> Self {
-        self.telemetry_report_every = Some(every);
-        self
-    }
-
-    /// Installs a time source (e.g. a virtual clock for deterministic
-    /// tests).
-    #[deprecated(since = "0.1.0", note = "use RuntimeConfig::builder().clock(..)")]
-    pub fn with_clock(mut self, clock: Clock) -> Self {
-        self.clock = clock;
-        self
-    }
-
-    /// Arms or disarms the scheduling-event tracer.
-    #[cfg(feature = "trace")]
-    #[deprecated(since = "0.1.0", note = "use RuntimeConfig::builder().trace(..)")]
-    pub fn with_trace(mut self, on: bool) -> Self {
-        self.trace = on;
-        self
-    }
-
-    /// Sets the per-track trace-ring capacity (clamped to ≥ 1).
-    #[cfg(feature = "trace")]
-    #[deprecated(
-        since = "0.1.0",
-        note = "use RuntimeConfig::builder().trace_ring_cap(..)"
-    )]
-    pub fn with_trace_ring_cap(mut self, cap: usize) -> Self {
-        self.trace_ring_cap = cap.max(1);
-        self
-    }
-
-    /// Installs a fault schedule for this runtime (conformance testing).
-    #[cfg(feature = "fault-injection")]
-    #[deprecated(
-        since = "0.1.0",
-        note = "use RuntimeConfig::builder().fault_injector(..)"
-    )]
-    pub fn with_fault_injector(
-        mut self,
-        injector: std::sync::Arc<crate::fault::FaultInjector>,
-    ) -> Self {
-        self.fault_injector = Some(injector);
-        self
-    }
 }
 
 #[cfg(test)]
@@ -513,23 +437,6 @@ mod tests {
         assert!(matches!(err, ConfigError::QuantumShorterThanProbe { .. }));
         // Errors render as human-readable text.
         assert!(err.to_string().contains("probe"));
-    }
-
-    #[test]
-    fn deprecated_shims_still_apply() {
-        #![allow(deprecated)]
-        let (clock, _v) = Clock::manual();
-        let c = RuntimeConfig::small_test()
-            .with_quantum(Duration::from_micros(100))
-            .with_jbsq_depth(0)
-            .with_work_conserving(false)
-            .with_telemetry_report_every(Duration::from_secs(1))
-            .with_clock(clock);
-        assert_eq!(c.quantum, Duration::from_micros(100));
-        assert_eq!(c.jbsq_depth, 1, "legacy shim clamps depth to 1");
-        assert!(!c.work_conserving);
-        assert_eq!(c.telemetry_report_every, Some(Duration::from_secs(1)));
-        assert!(c.clock.is_virtual());
     }
 
     #[test]

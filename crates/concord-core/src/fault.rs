@@ -3,7 +3,7 @@
 //! hot paths carry zero cost).
 //!
 //! A [`FaultInjector`] is handed to the runtime via
-//! [`RuntimeConfig::with_fault_injector`](crate::RuntimeConfig::with_fault_injector)
+//! `RuntimeConfig::builder().fault_injector(..)`
 //! and consulted at four seams:
 //!
 //! - **Signal delivery** (dispatcher, after a successful expiry claim):

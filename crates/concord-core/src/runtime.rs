@@ -37,7 +37,7 @@ pub struct Runtime {
     dispatcher: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     /// Scheduling-event collector; `None` when the tracer is disarmed
-    /// via [`RuntimeConfig::with_trace`].
+    /// via `RuntimeConfig::builder().trace(..)`.
     #[cfg(feature = "trace")]
     trace: Option<Arc<Mutex<concord_trace::TraceCollector>>>,
 }
@@ -288,7 +288,7 @@ impl Runtime {
 
     /// Takes the collected scheduling-event trace, leaving an empty one
     /// behind. Returns `None` when tracing was disarmed via
-    /// [`RuntimeConfig::with_trace`]. Call after [`Runtime::quiesce`] for
+    /// `RuntimeConfig::builder().trace(..)`. Call after [`Runtime::quiesce`] for
     /// a complete trace; calling mid-run yields whatever the collector
     /// has drained so far plus everything still parked in the lanes.
     #[cfg(feature = "trace")]

@@ -18,6 +18,9 @@
 //!   the readiness layer under `concord-server`'s event-loop ingress.
 //! - [`signal`] (Linux) — SIGINT/SIGTERM → shutdown-flag plumbing for
 //!   graceful server drain, bound through the same minimal FFI shim.
+//! - [`sock`] (Linux) — `SO_REUSEADDR` listener binding so a restarted
+//!   server can re-bind its port through the previous owner's
+//!   `TIME_WAIT`, bound through the same minimal FFI shim.
 
 #![warn(missing_docs)]
 
@@ -29,6 +32,8 @@ pub mod ring;
 pub mod rtt;
 #[cfg(target_os = "linux")]
 pub mod signal;
+#[cfg(target_os = "linux")]
+pub mod sock;
 
 pub use loadgen::{Collector, LoadGen, LoadGenReport};
 pub use packet::{Request, Response};

@@ -1,0 +1,168 @@
+//! First-party socket binding with `SO_REUSEADDR`.
+//!
+//! `std::net::TcpListener::bind` does not set `SO_REUSEADDR` on Linux,
+//! so a restarted server can fail its bind for a full `TIME_WAIT`
+//! interval (60 s) after the previous process died with established
+//! connections — exactly the window in which a rack wants to bring a
+//! killed backend up again on the same port. Same zero-dependency
+//! stance as [`crate::poll`]: the platform C library is already linked
+//! by `std`, so the four socket calls are bound directly instead of
+//! pulling in the `libc` or `socket2` crates.
+//!
+//! IPv4 only, like every listen address in this workspace.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::os::fd::FromRawFd;
+use std::os::raw::{c_int, c_uint, c_void};
+
+const AF_INET: c_int = 2;
+const SOCK_STREAM: c_int = 1;
+/// `SOCK_CLOEXEC` == `O_CLOEXEC`.
+const SOCK_CLOEXEC: c_int = 0o2000000;
+const SOL_SOCKET: c_int = 1;
+const SO_REUSEADDR: c_int = 2;
+const LISTEN_BACKLOG: c_int = 1024;
+
+/// The kernel's `struct sockaddr_in` (all fields big-endian on the wire
+/// side; the family is host order).
+#[repr(C)]
+struct SockAddrIn {
+    family: u16,
+    port_be: u16,
+    addr_be: u32,
+    zero: [u8; 8],
+}
+
+extern "C" {
+    fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+    fn setsockopt(
+        fd: c_int,
+        level: c_int,
+        optname: c_int,
+        optval: *const c_void,
+        optlen: c_uint,
+    ) -> c_int;
+    fn bind(fd: c_int, addr: *const c_void, addrlen: c_uint) -> c_int;
+    fn listen(fd: c_int, backlog: c_int) -> c_int;
+    fn close(fd: c_int) -> c_int;
+}
+
+/// Binds a TCP listener with `SO_REUSEADDR` set, so the address can be
+/// re-bound immediately after a previous owner died with connections in
+/// `TIME_WAIT`. Resolves `addr` like [`TcpListener::bind`] does but
+/// accepts only IPv4 results.
+pub fn bind_reuse(addr: &str) -> io::Result<TcpListener> {
+    let resolved = addr.to_socket_addrs()?;
+    let mut last_err = None;
+    for sa in resolved {
+        let SocketAddr::V4(v4) = sa else {
+            continue;
+        };
+        match bind_reuse_v4(v4.ip().octets(), v4.port()) {
+            Ok(l) => return Ok(l),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(last_err.unwrap_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("{addr}: no IPv4 address to bind"),
+        )
+    }))
+}
+
+fn bind_reuse_v4(ip: [u8; 4], port: u16) -> io::Result<TcpListener> {
+    // SAFETY: plain syscall, no pointers.
+    let fd = unsafe { socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0) };
+    if fd < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    // Everything below returns through `fail` on error so the descriptor
+    // never leaks.
+    let fail = |fd: c_int| -> io::Error {
+        let e = io::Error::last_os_error();
+        // SAFETY: we own the descriptor and are abandoning it.
+        unsafe { close(fd) };
+        e
+    };
+    let one: c_int = 1;
+    // SAFETY: optval points at 4 valid bytes for the call's duration.
+    if unsafe {
+        setsockopt(
+            fd,
+            SOL_SOCKET,
+            SO_REUSEADDR,
+            (&one as *const c_int).cast(),
+            std::mem::size_of::<c_int>() as c_uint,
+        )
+    } < 0
+    {
+        return Err(fail(fd));
+    }
+    let sa = SockAddrIn {
+        family: AF_INET as u16,
+        port_be: port.to_be(),
+        addr_be: u32::from_be_bytes(ip).to_be(),
+        zero: [0; 8],
+    };
+    // SAFETY: `sa` outlives the call; the kernel copies it.
+    if unsafe {
+        bind(
+            fd,
+            (&sa as *const SockAddrIn).cast(),
+            std::mem::size_of::<SockAddrIn>() as c_uint,
+        )
+    } < 0
+    {
+        return Err(fail(fd));
+    }
+    // SAFETY: plain syscall on our descriptor.
+    if unsafe { listen(fd, LISTEN_BACKLOG) } < 0 {
+        return Err(fail(fd));
+    }
+    // SAFETY: `fd` is a freshly-created listening socket we exclusively
+    // own; `TcpListener` takes over closing it.
+    Ok(unsafe { TcpListener::from_raw_fd(fd) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    #[test]
+    fn listener_accepts_and_reports_its_address() {
+        let l = bind_reuse("127.0.0.1:0").expect("bind");
+        let addr = l.local_addr().expect("addr");
+        assert!(addr.port() != 0, "ephemeral port assigned");
+        let mut c = TcpStream::connect(addr).expect("connect");
+        let (mut s, _) = l.accept().expect("accept");
+        c.write_all(b"ping").expect("write");
+        let mut buf = [0u8; 4];
+        s.read_exact(&mut buf).expect("read");
+        assert_eq!(&buf, b"ping");
+    }
+
+    #[test]
+    fn port_rebinds_immediately_after_owner_death() {
+        // Kill a listener that closed an established connection first
+        // (which parks the server-side socket in TIME_WAIT), then rebind
+        // the same port at once — the restart path a rack backend takes.
+        let l = bind_reuse("127.0.0.1:0").expect("bind");
+        let addr = l.local_addr().expect("addr");
+        let c = TcpStream::connect(addr).expect("connect");
+        let (s, _) = l.accept().expect("accept");
+        drop(s); // server closes first => TIME_WAIT on the server side
+        drop(c);
+        drop(l);
+        let l2 = bind_reuse(&addr.to_string()).expect("rebind after TIME_WAIT");
+        assert_eq!(l2.local_addr().expect("addr").port(), addr.port());
+    }
+
+    #[test]
+    fn hostname_without_ipv4_is_an_error() {
+        assert!(bind_reuse("[::1]:0").is_err());
+    }
+}

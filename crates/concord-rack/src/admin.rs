@@ -1,0 +1,344 @@
+//! The rack's admin plane: the same introspection surface a backend
+//! exposes, one tier up.
+//!
+//! Routes:
+//!
+//! - `GET /metrics` — Prometheus text exposition of the rack counters
+//!   and per-backend series.
+//! - `GET /statz` — one JSON document: rack totals, the conservation
+//!   counters, and every backend's state/depth/in-flight view.
+//! - `GET /healthz` — `200` while at least one backend is accepting
+//!   work, `503` otherwise (a rack that can only reject is not healthy).
+//! - `POST /backend/<i>/drain` — stop routing *new* work to backend
+//!   `<i>`; in-flight requests finish normally.
+//! - `POST /backend/<i>/undrain` — resume routing to backend `<i>`.
+
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+use concord_obs::json::Json;
+use concord_obs::{render_prometheus, HttpRequest, HttpResponse, HttpServer, MetricsRegistry};
+
+use crate::balance::BackendState;
+use crate::proxy::RackShared;
+
+struct AdminState {
+    shared: Arc<RackShared>,
+    registry: MetricsRegistry,
+    started: Instant,
+}
+
+impl AdminState {
+    fn new(shared: Arc<RackShared>) -> AdminState {
+        let registry = MetricsRegistry::new();
+        register_rack(&registry, &shared);
+        AdminState {
+            shared,
+            registry,
+            started: Instant::now(),
+        }
+    }
+
+    fn metrics(&self) -> HttpResponse {
+        let text = render_prometheus(&self.registry.snapshot());
+        HttpResponse::ok("text/plain; version=0.0.4", text)
+    }
+
+    fn healthz(&self) -> HttpResponse {
+        let accepting = self.shared.table.iter().any(|b| b.accepting());
+        let body = Json::obj(vec![
+            (
+                "status",
+                Json::Str(if accepting { "ok" } else { "unavailable" }.into()),
+            ),
+            ("uptime_s", Json::U64(self.started.elapsed().as_secs())),
+        ])
+        .render();
+        HttpResponse {
+            status: if accepting { 200 } else { 503 },
+            content_type: "application/json".into(),
+            body: body.into_bytes(),
+        }
+    }
+
+    fn statz(&self) -> HttpResponse {
+        let s = &self.shared;
+        let t = &s.totals;
+        let backends: Vec<Json> = (0..s.table.len())
+            .map(|i| {
+                let b = s.table.get(i);
+                Json::obj(vec![
+                    ("backend", Json::U64(i as u64)),
+                    ("addr", Json::Str(b.addr().into())),
+                    (
+                        "admin",
+                        b.admin().map_or(Json::Null, |a| Json::Str(a.into())),
+                    ),
+                    ("state", Json::Str(b.state().name().into())),
+                    ("estimated_depth", Json::U64(s.table.estimated_depth(i))),
+                    ("inflight", Json::U64(b.inflight())),
+                    ("forwarded", Json::U64(b.forwarded())),
+                    ("deaths", Json::U64(b.deaths())),
+                ])
+            })
+            .collect();
+        let doc = Json::obj(vec![
+            (
+                "rack",
+                Json::obj(vec![
+                    ("uptime_s", Json::U64(self.started.elapsed().as_secs())),
+                    ("backends", Json::U64(s.table.len() as u64)),
+                    (
+                        "active_connections",
+                        Json::U64(s.active_connections.load(Ordering::Relaxed)),
+                    ),
+                    ("pending", Json::U64(s.pending_now.load(Ordering::Relaxed))),
+                    ("draining", Json::Bool(s.draining.load(Ordering::Relaxed))),
+                ]),
+            ),
+            (
+                "totals",
+                Json::obj(vec![
+                    (
+                        "requests_in",
+                        Json::U64(t.requests_in.load(Ordering::Relaxed)),
+                    ),
+                    ("forwarded", Json::U64(t.forwarded.load(Ordering::Relaxed))),
+                    (
+                        "rejected_local",
+                        Json::U64(t.rejected_local.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "relayed_ok",
+                        Json::U64(t.relayed_ok.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "relayed_failed",
+                        Json::U64(t.relayed_failed.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "relayed_retry",
+                        Json::U64(t.relayed_retry.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "failed_over",
+                        Json::U64(t.failed_over.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "relay_dropped",
+                        Json::U64(t.relay_dropped.load(Ordering::Relaxed)),
+                    ),
+                    ("orphaned", Json::U64(t.orphaned.load(Ordering::Relaxed))),
+                    (
+                        "protocol_errors",
+                        Json::U64(t.protocol_errors.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "conns_accepted",
+                        Json::U64(t.conns_accepted.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "conns_closed",
+                        Json::U64(t.conns_closed.load(Ordering::Relaxed)),
+                    ),
+                ]),
+            ),
+            ("backends", Json::Arr(backends)),
+        ]);
+        HttpResponse::ok("application/json", doc.render())
+    }
+
+    /// `POST /backend/<i>/drain` and `/backend/<i>/undrain`.
+    fn drain_control(&self, path: &str) -> HttpResponse {
+        let rest = path.strip_prefix("/backend/").unwrap_or("");
+        let (idx_str, action) = match rest.split_once('/') {
+            Some(parts) => parts,
+            None => return HttpResponse::text(404, "not found"),
+        };
+        let Ok(idx) = idx_str.parse::<usize>() else {
+            return HttpResponse::text(400, "backend index must be a number");
+        };
+        if idx >= self.shared.table.len() {
+            return HttpResponse::text(404, "no such backend");
+        }
+        let b = self.shared.table.get(idx);
+        match action {
+            "drain" => b.request_drain(),
+            "undrain" => b.clear_drain(),
+            _ => return HttpResponse::text(404, "not found"),
+        }
+        let body = Json::obj(vec![
+            ("backend", Json::U64(idx as u64)),
+            ("state", Json::Str(b.state().name().into())),
+        ])
+        .render();
+        HttpResponse::ok("application/json", body)
+    }
+
+    fn handle(&self, req: &HttpRequest) -> HttpResponse {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/metrics") => self.metrics(),
+            ("GET", "/healthz") => self.healthz(),
+            ("GET", "/statz") => self.statz(),
+            ("POST", path) if path.starts_with("/backend/") => self.drain_control(path),
+            _ => HttpResponse::text(404, "not found"),
+        }
+    }
+}
+
+/// Registers every rack metric against live closures over the shared
+/// state, mirroring the backend's `concord_*` naming one tier up.
+fn register_rack(reg: &MetricsRegistry, shared: &Arc<RackShared>) {
+    macro_rules! counter {
+        ($name:expr, $help:expr, $field:ident) => {{
+            let s = Arc::clone(shared);
+            reg.counter($name, $help, &[], move || {
+                s.totals.$field.load(Ordering::Relaxed)
+            });
+        }};
+    }
+    counter!(
+        "rack_requests_total",
+        "Requests decoded off client connections",
+        requests_in
+    );
+    counter!(
+        "rack_forwarded_total",
+        "Requests forwarded to a backend",
+        forwarded
+    );
+    counter!(
+        "rack_rejected_local_total",
+        "Requests the rack answered RETRY itself",
+        rejected_local
+    );
+    counter!(
+        "rack_failed_over_total",
+        "Forwarded requests RETRYed because their backend died",
+        failed_over
+    );
+    counter!(
+        "rack_relay_dropped_total",
+        "Settled requests whose client was already gone",
+        relay_dropped
+    );
+    counter!(
+        "rack_orphaned_responses_total",
+        "Backend responses matching no pending entry",
+        orphaned
+    );
+    counter!(
+        "rack_protocol_errors_total",
+        "Connections closed for malformed frames",
+        protocol_errors
+    );
+    counter!(
+        "rack_connections_accepted_total",
+        "Client connections accepted",
+        conns_accepted
+    );
+    counter!(
+        "rack_connections_closed_total",
+        "Client connections retired",
+        conns_closed
+    );
+    macro_rules! relayed {
+        ($status:expr, $field:ident) => {{
+            let s = Arc::clone(shared);
+            reg.counter(
+                "rack_relayed_total",
+                "Backend responses relayed to clients by status",
+                &[("status", $status)],
+                move || s.totals.$field.load(Ordering::Relaxed),
+            );
+        }};
+    }
+    relayed!("ok", relayed_ok);
+    relayed!("failed", relayed_failed);
+    relayed!("retry", relayed_retry);
+    {
+        let s = Arc::clone(shared);
+        reg.gauge(
+            "rack_active_connections",
+            "Open client connections",
+            &[],
+            move || s.active_connections.load(Ordering::Relaxed),
+        );
+    }
+    {
+        let s = Arc::clone(shared);
+        reg.gauge(
+            "rack_pending_requests",
+            "Requests parked in the pending table",
+            &[],
+            move || s.pending_now.load(Ordering::Relaxed),
+        );
+    }
+    for i in 0..shared.table.len() {
+        let label = i.to_string();
+        let labels: &[(&str, &str)] = &[("backend", &label)];
+        let s = Arc::clone(shared);
+        reg.gauge(
+            "rack_backend_up",
+            "1 while the backend is accepting new work",
+            labels,
+            move || u64::from(s.table.get(i).state() == BackendState::Healthy),
+        );
+        let s = Arc::clone(shared);
+        reg.gauge(
+            "rack_backend_inflight",
+            "Requests in flight to the backend",
+            labels,
+            move || s.table.get(i).inflight(),
+        );
+        let s = Arc::clone(shared);
+        reg.gauge(
+            "rack_backend_depth_estimate",
+            "Balancer's current queue-depth estimate",
+            labels,
+            move || s.table.estimated_depth(i),
+        );
+        let s = Arc::clone(shared);
+        reg.counter(
+            "rack_backend_forwarded_total",
+            "Requests ever forwarded to the backend",
+            labels,
+            move || s.table.get(i).forwarded(),
+        );
+        let s = Arc::clone(shared);
+        reg.counter(
+            "rack_backend_deaths_total",
+            "Times the backend's connection was lost",
+            labels,
+            move || s.table.get(i).deaths(),
+        );
+    }
+}
+
+/// The rack admin HTTP server; dropped (or [`AdminPlane::shutdown`]) to
+/// stop it.
+pub struct AdminPlane {
+    server: HttpServer,
+}
+
+impl AdminPlane {
+    /// Binds the admin listener on `addr` and serves the rack routes.
+    pub fn start(addr: &str, shared: Arc<RackShared>) -> io::Result<AdminPlane> {
+        let state = Arc::new(AdminState::new(shared));
+        let server = HttpServer::bind(addr, Arc::new(move |req: &HttpRequest| state.handle(req)))?;
+        Ok(AdminPlane { server })
+    }
+
+    /// The bound admin address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.server.local_addr()
+    }
+
+    /// Stops the admin listener.
+    pub fn shutdown(self) {
+        self.server.shutdown();
+    }
+}

@@ -14,6 +14,7 @@
 //! Exits non-zero if any request went entirely unaccounted (no
 //! response, no reject) — the smoke-test contract.
 
+use concord_args::Parser;
 use concord_server::{client, ClientConfig};
 use concord_workloads::mix::{self, Mix};
 use std::process::exit;
@@ -24,55 +25,63 @@ struct Args {
     workload: String,
 }
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: concord-client [--addr HOST:PORT] [--requests N] [--rate RPS] \
-         [--closed-window N] [--workload bimodal50|bimodal995|fixed1|tpcc|leveldb|zippydb] \
-         [--seed N]"
-    );
-    exit(2);
-}
+const WORKLOADS: &str = "bimodal50|bimodal995|fixed1|tpcc|leveldb|zippydb";
 
 fn parse_args() -> Args {
-    let mut args = Args {
-        addr: "127.0.0.1:7070".into(),
-        cfg: ClientConfig::default(),
-        workload: "fixed1".into(),
-    };
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    let mut i = 0;
-    while i < argv.len() {
-        let flag = argv[i].as_str();
-        let value = argv.get(i + 1).unwrap_or_else(|| usage()).clone();
-        match flag {
-            "--addr" => args.addr = value,
-            "--requests" => args.cfg.requests = value.parse().unwrap_or_else(|_| usage()),
-            "--rate" => args.cfg.rate_rps = value.parse().unwrap_or_else(|_| usage()),
-            "--closed-window" => args.cfg.window = value.parse().unwrap_or_else(|_| usage()),
-            "--workload" => args.workload = value,
-            "--seed" => args.cfg.seed = value.parse().unwrap_or_else(|_| usage()),
-            _ => usage(),
-        }
-        i += 2;
+    let defaults = ClientConfig::default();
+    let m = Parser::new("concord-client", "Load generator for concord-serve.")
+        .opt_default("addr", "HOST:PORT", "127.0.0.1:7070", "server to load")
+        .opt("requests", "N", "total requests to send")
+        .opt("rate", "RPS", "open-loop Poisson arrival rate")
+        .opt(
+            "closed-window",
+            "N",
+            "closed loop with N outstanding (0 = open loop)",
+        )
+        .opt_default("workload", WORKLOADS, "fixed1", "service-time mix")
+        .opt("seed", "N", "workload RNG seed")
+        .parse_env();
+    let mut cfg = defaults;
+    if let Some(v) = m.opt("requests").unwrap_or_else(|e| m.fatal(e)) {
+        cfg.requests = v;
     }
-    args
+    if let Some(v) = m.opt("rate").unwrap_or_else(|e| m.fatal(e)) {
+        cfg.rate_rps = v;
+    }
+    if let Some(v) = m.opt("closed-window").unwrap_or_else(|e| m.fatal(e)) {
+        cfg.window = v;
+    }
+    if let Some(v) = m.opt("seed").unwrap_or_else(|e| m.fatal(e)) {
+        cfg.seed = v;
+    }
+    Args {
+        addr: m.get("addr").expect("defaulted").to_string(),
+        cfg,
+        workload: m.get("workload").expect("defaulted").to_string(),
+    }
 }
 
-fn workload_by_name(name: &str) -> Mix {
+fn workload_by_name(name: &str) -> Option<Mix> {
     match name {
-        "bimodal50" => mix::bimodal_50_1_50_100(),
-        "bimodal995" => mix::bimodal_995_05_05_500(),
-        "fixed1" => mix::fixed_1us(),
-        "tpcc" => mix::tpcc(),
-        "leveldb" => mix::leveldb_get_scan(),
-        "zippydb" => mix::zippydb(),
-        _ => usage(),
+        "bimodal50" => Some(mix::bimodal_50_1_50_100()),
+        "bimodal995" => Some(mix::bimodal_995_05_05_500()),
+        "fixed1" => Some(mix::fixed_1us()),
+        "tpcc" => Some(mix::tpcc()),
+        "leveldb" => Some(mix::leveldb_get_scan()),
+        "zippydb" => Some(mix::zippydb()),
+        _ => None,
     }
 }
 
 fn main() {
     let args = parse_args();
-    let workload = workload_by_name(&args.workload);
+    let Some(workload) = workload_by_name(&args.workload) else {
+        eprintln!(
+            "concord-client: invalid --workload '{}' (expected {WORKLOADS})",
+            args.workload
+        );
+        exit(2);
+    };
     let mode = if args.cfg.window > 0 {
         format!("closed (window {})", args.cfg.window)
     } else {

@@ -1,7 +1,7 @@
 //! Hosts a Concord runtime behind a TCP listener.
 //!
 //! ```text
-//! concord-serve [--addr HOST:PORT] [--app spin|kv] [--workers N]
+//! concord-serve [--listen HOST:PORT] [--app spin|kv] [--workers N]
 //!               [--shards N] [--quantum-us US]
 //!               [--policy ps|fcfs|srpt[:PCT]|boost[:US]]
 //!               [--admission-cap N]
@@ -10,6 +10,10 @@
 //!               [--admin HOST:PORT] [--report-interval SECS]
 //!               [--trace-retain SECS] [--oneshot] [--trace PATH]
 //! ```
+//!
+//! `--listen` is the data-plane address (`--addr` remains an accepted
+//! alias for one release; the flag was renamed so every Concord binary
+//! that binds a socket spells it the same way).
 //!
 //! `--ingress` selects the socket-servicing model: `epoll` (default)
 //! multiplexes all connections over a fixed pool of `--loops` I/O event
@@ -41,6 +45,7 @@
 //! `srpt[:PCT]` (remaining-size priority with PCT% estimate noise), or
 //! `boost[:US]` (arrival-time-shifted priority).
 
+use concord_args::Parser;
 use concord_core::admission::{AdmissionConfig, AdmissionPolicy};
 use concord_core::{ConcordApp, PolicyKind, RuntimeConfig};
 use concord_server::{IngressMode, Server, ServerConfig, ServerReport};
@@ -49,7 +54,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 struct Args {
-    addr: String,
+    listen: String,
     app: String,
     workers: usize,
     shards: usize,
@@ -66,73 +71,101 @@ struct Args {
     trace: Option<std::path::PathBuf>,
 }
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: concord-serve [--addr HOST:PORT] [--app spin|kv] [--workers N] [--shards N] \
-         [--quantum-us US] [--policy ps|fcfs|srpt[:PCT]|boost[:US]] [--admission-cap N] \
-         [--admission-policy drop-newest|drop-oldest|reject] \
-         [--ingress epoll|threads] [--loops N] [--admin HOST:PORT] [--report-interval SECS] \
-         [--trace-retain SECS] [--oneshot] [--trace PATH]"
-    );
-    exit(2);
-}
-
 fn parse_args() -> Args {
-    let mut args = Args {
-        addr: "127.0.0.1:7070".into(),
-        app: "spin".into(),
-        workers: 2,
-        shards: 1,
-        quantum_us: 5.0,
-        policy: PolicyKind::PsQuantum,
-        admission_cap: 4096,
-        admission_policy: AdmissionPolicy::RejectNewest,
-        ingress: IngressMode::EventLoop,
-        loops: 0,
-        admin: None,
-        report_interval: 0,
-        trace_retain: 0,
-        oneshot: false,
-        trace: None,
-    };
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    let mut i = 0;
-    while i < argv.len() {
-        let flag = argv[i].as_str();
-        if flag == "--oneshot" {
-            args.oneshot = true;
-            i += 1;
-            continue;
-        }
-        let value = argv.get(i + 1).unwrap_or_else(|| usage()).clone();
-        match flag {
-            "--addr" => args.addr = value,
-            "--app" => args.app = value,
-            "--workers" => args.workers = value.parse().unwrap_or_else(|_| usage()),
-            "--shards" => args.shards = value.parse().unwrap_or_else(|_| usage()),
-            "--quantum-us" => args.quantum_us = value.parse().unwrap_or_else(|_| usage()),
-            "--policy" => args.policy = PolicyKind::parse(&value).unwrap_or_else(|| usage()),
-            "--admission-cap" => args.admission_cap = value.parse().unwrap_or_else(|_| usage()),
-            "--admission-policy" => {
-                args.admission_policy = AdmissionPolicy::parse(&value).unwrap_or_else(|| usage())
-            }
-            "--ingress" => {
-                args.ingress = match value.as_str() {
-                    "epoll" => IngressMode::EventLoop,
-                    "threads" => IngressMode::Threads,
-                    _ => usage(),
-                }
-            }
-            "--loops" => args.loops = value.parse().unwrap_or_else(|_| usage()),
-            "--admin" => args.admin = Some(value),
-            "--report-interval" => args.report_interval = value.parse().unwrap_or_else(|_| usage()),
-            "--trace-retain" => args.trace_retain = value.parse().unwrap_or_else(|_| usage()),
-            "--trace" => args.trace = Some(value.into()),
-            _ => usage(),
-        }
-        i += 2;
+    let m = Parser::new(
+        "concord-serve",
+        "Hosts a Concord runtime behind a TCP listener.",
+    )
+    .opt_default(
+        "listen",
+        "HOST:PORT",
+        "127.0.0.1:7070",
+        "data-plane address",
+    )
+    .alias("addr", "listen")
+    .opt_default("app", "spin|kv", "spin", "application to host")
+    .opt_default("workers", "N", "2", "workers per shard")
+    .opt_default("shards", "N", "1", "scheduler shards")
+    .opt_default("quantum-us", "US", "5", "scheduling quantum, microseconds")
+    .opt_default(
+        "policy",
+        "ps|fcfs|srpt[:PCT]|boost[:US]",
+        "ps",
+        "per-shard scheduling policy",
+    )
+    .opt_default(
+        "admission-cap",
+        "N",
+        "4096",
+        "admission queue capacity per shard",
+    )
+    .opt_default(
+        "admission-policy",
+        "drop-newest|drop-oldest|reject",
+        "reject",
+        "overload response at the admission gate",
+    )
+    .opt_default(
+        "ingress",
+        "epoll|threads",
+        "epoll",
+        "socket-servicing model",
+    )
+    .opt_default("loops", "N", "0", "event loops (0 = one per 4 workers)")
+    .opt(
+        "admin",
+        "HOST:PORT",
+        "introspection plane (off when absent)",
+    )
+    .opt_default(
+        "report-interval",
+        "SECS",
+        "0",
+        "periodic telemetry report (0 = off)",
+    )
+    .opt_default(
+        "trace-retain",
+        "SECS",
+        "0",
+        "flight-recorder window (0 = off)",
+    )
+    .switch("oneshot", "serve one client session, then drain and report")
+    .opt("trace", "PATH", "write the scheduling trace on shutdown")
+    .parse_env();
+    Args {
+        listen: m.get("listen").expect("defaulted").to_string(),
+        app: m.get("app").expect("defaulted").to_string(),
+        workers: m.require("workers").unwrap_or_else(|e| m.fatal(e)),
+        shards: m.require("shards").unwrap_or_else(|e| m.fatal(e)),
+        quantum_us: m.require("quantum-us").unwrap_or_else(|e| m.fatal(e)),
+        policy: m
+            .choice("policy", "ps|fcfs|srpt[:PCT]|boost[:US]", PolicyKind::parse)
+            .unwrap_or_else(|e| m.fatal(e))
+            .expect("defaulted"),
+        admission_cap: m.require("admission-cap").unwrap_or_else(|e| m.fatal(e)),
+        admission_policy: m
+            .choice(
+                "admission-policy",
+                "drop-newest|drop-oldest|reject",
+                AdmissionPolicy::parse,
+            )
+            .unwrap_or_else(|e| m.fatal(e))
+            .expect("defaulted"),
+        ingress: m
+            .choice("ingress", "epoll|threads", |v| match v {
+                "epoll" => Some(IngressMode::EventLoop),
+                "threads" => Some(IngressMode::Threads),
+                _ => None,
+            })
+            .unwrap_or_else(|e| m.fatal(e))
+            .expect("defaulted"),
+        loops: m.require("loops").unwrap_or_else(|e| m.fatal(e)),
+        admin: m.get("admin").map(String::from),
+        report_interval: m.require("report-interval").unwrap_or_else(|e| m.fatal(e)),
+        trace_retain: m.require("trace-retain").unwrap_or_else(|e| m.fatal(e)),
+        oneshot: m.has("oneshot"),
+        trace: m.get("trace").map(std::path::PathBuf::from),
     }
-    args
 }
 
 fn print_report(report: &ServerReport, trace_path: Option<&std::path::Path>) {
@@ -210,20 +243,24 @@ fn serve<A: ConcordApp>(args: &Args, app: Arc<A>) {
         eprintln!("concord-serve: invalid runtime config: {e}");
         exit(2);
     });
-    let cfg = ServerConfig {
-        admission: AdmissionConfig {
+    let mut builder = ServerConfig::builder(runtime)
+        .admission(AdmissionConfig {
             capacity: args.admission_cap,
             policy: args.admission_policy,
-        },
-        ingress: args.ingress,
-        event_loops: args.loops,
-        admin: args.admin.clone(),
-        ..ServerConfig::new(runtime)
-    };
-    let server = match Server::bind(&args.addr, cfg, app) {
+        })
+        .ingress(args.ingress)
+        .event_loops(args.loops);
+    if let Some(admin) = &args.admin {
+        builder = builder.admin(admin.clone());
+    }
+    let cfg = builder.build().unwrap_or_else(|e| {
+        eprintln!("concord-serve: invalid server config: {e}");
+        exit(2);
+    });
+    let server = match Server::bind(&args.listen, cfg, app) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("concord-serve: bind {}: {e}", args.addr);
+            eprintln!("concord-serve: bind {}: {e}", args.listen);
             exit(1);
         }
     };
@@ -277,7 +314,10 @@ fn main() {
     match args.app.as_str() {
         "spin" => serve(&args, Arc::new(concord_core::SpinApp::new())),
         "kv" => serve(&args, Arc::new(kv::KvApp::new())),
-        _ => usage(),
+        other => {
+            eprintln!("concord-serve: invalid --app '{other}' (expected spin|kv)");
+            exit(2);
+        }
     }
 }
 

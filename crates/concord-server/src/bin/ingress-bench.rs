@@ -20,9 +20,9 @@ use concord_core::admission::{AdmissionConfig, AdmissionPolicy};
 use concord_core::{RuntimeConfig, SpinApp};
 use concord_metrics::Histogram;
 use concord_net::poll::{Events, Interest, Poller};
-use concord_server::buf::RecvBuf;
-use concord_server::wire::{self, Frame, Status};
 use concord_server::{IngressMode, Server, ServerConfig};
+use concord_wire::frame::{self as wire, Frame, Status};
+use concord_wire::RecvBuf;
 use std::collections::HashMap;
 use std::io::{ErrorKind, Write};
 use std::net::TcpStream;
@@ -43,38 +43,35 @@ struct Args {
     out: String,
 }
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: ingress-bench [--requests N] [--conns N] [--window N] \
-         [--service-us F] [--out PATH]"
-    );
-    std::process::exit(2);
-}
-
 fn parse_args() -> Args {
-    let mut args = Args {
-        requests: 40_000,
-        conns: 64,
-        window: 4,
-        service_us: 0.5,
-        out: "BENCH_ingress.json".to_string(),
+    let m = concord_args::Parser::new(
+        "ingress-bench",
+        "Loopback ingress benchmark: thread-per-connection vs event-loop.",
+    )
+    .opt_default("requests", "N", "40000", "total requests per configuration")
+    .opt_default("conns", "N", "64", "concurrent closed-loop connections")
+    .opt_default("window", "N", "4", "in-flight window per connection")
+    .opt_default(
+        "service-us",
+        "F",
+        "0.5",
+        "nominal spin per request, microseconds",
+    )
+    .opt_default("out", "PATH", "BENCH_ingress.json", "JSON report path")
+    .parse_env();
+    let args = Args {
+        requests: m.require("requests").unwrap_or_else(|e| m.fatal(e)),
+        conns: m.require("conns").unwrap_or_else(|e| m.fatal(e)),
+        window: m.require("window").unwrap_or_else(|e| m.fatal(e)),
+        service_us: m.require("service-us").unwrap_or_else(|e| m.fatal(e)),
+        out: m.get("out").expect("defaulted").to_string(),
     };
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    let mut i = 0;
-    while i < argv.len() {
-        let need = |i: usize| argv.get(i + 1).cloned().unwrap_or_else(|| usage());
-        match argv[i].as_str() {
-            "--requests" => args.requests = need(i).parse().unwrap_or_else(|_| usage()),
-            "--conns" => args.conns = need(i).parse().unwrap_or_else(|_| usage()),
-            "--window" => args.window = need(i).parse().unwrap_or_else(|_| usage()),
-            "--service-us" => args.service_us = need(i).parse().unwrap_or_else(|_| usage()),
-            "--out" => args.out = need(i),
-            _ => usage(),
-        }
-        i += 2;
-    }
     if args.conns == 0 || args.requests == 0 || args.window == 0 {
-        usage();
+        m.fatal(concord_args::ArgError::BadValue {
+            flag: "requests/conns/window".into(),
+            value: "0".into(),
+            expected: "a positive count".into(),
+        });
     }
     args
 }

@@ -12,8 +12,8 @@
 //! - **Closed loop** (`window > 0`): at most `window` requests are
 //!   outstanding; a completion or reject returns its credit.
 
-use crate::wire::{self, Frame, Status};
 use concord_metrics::{Histogram, SlowdownTracker};
+use concord_wire::frame::{self as wire, Frame, Status};
 use concord_workloads::arrival::Poisson;
 use concord_workloads::trace::TraceGenerator;
 use concord_workloads::Workload;
@@ -317,7 +317,7 @@ fn reader_loop(mut stream: TcpStream, shared: Arc<ReaderShared>, epoch: Instant)
         slowdown: SlowdownTracker::new(),
         by_class: BTreeMap::new(),
     };
-    let mut buf = crate::buf::RecvBuf::new();
+    let mut buf = concord_wire::RecvBuf::new();
     loop {
         match buf.fill(&mut stream) {
             Ok(0) => return stats,

@@ -23,8 +23,10 @@
 //! what makes the 8-bit generation sufficient: stale ids can only be
 //! produced by responses that were already settled or counted.
 //!
-//! Route id layout (64 bits, most-significant first):
-//! `16-bit slot | 8-bit generation | 40-bit client id`.
+//! The route-id bit layout itself (`16-bit slot | 8-bit generation |
+//! 40-bit client id`) lives in [`concord_wire::route`], shared with the
+//! rack front end; deprecated re-exports below keep old import paths
+//! compiling for one release.
 
 use std::collections::VecDeque;
 use std::io::Write;
@@ -33,17 +35,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Duration;
 
-/// Bits of the request id left to the client. Client ids above 2^40
-/// alias — at 20k req/s per connection that takes ~1.7 years to reach.
-pub const CLIENT_ID_BITS: u32 = 40;
-/// Bits of the generation tag.
-pub const GEN_BITS: u32 = 8;
-/// Mask for the client-id field.
-pub const CLIENT_ID_MASK: u64 = (1 << CLIENT_ID_BITS) - 1;
-const GEN_MASK: u64 = (1 << GEN_BITS) - 1;
-
-/// Maximum concurrently-registered connections (16-bit slot space).
-pub const MAX_CONNS: usize = 1 << 16;
+#[deprecated(since = "0.1.0", note = "moved to concord_wire::route")]
+pub use concord_wire::route::{
+    route_id, split_route_id, CLIENT_ID_BITS, CLIENT_ID_MASK, GEN_BITS, MAX_CONNS,
+};
 
 /// Default bound on encoded frames a connection's outbox may hold
 /// before the egress reports backpressure to the dispatcher (which then
@@ -51,22 +46,6 @@ pub const MAX_CONNS: usize = 1 << 16;
 /// Tests shrink it (`ServerConfig::outbox_cap`) to exercise the
 /// backpressure accounting deterministically.
 pub const DEFAULT_OUTBOX_CAP: usize = 64 * 1024;
-
-/// Composes the routed request id for a connection.
-pub fn route_id(slot: u16, gen: u8, client_id: u64) -> u64 {
-    (u64::from(slot) << (GEN_BITS + CLIENT_ID_BITS))
-        | (u64::from(gen) << CLIENT_ID_BITS)
-        | (client_id & CLIENT_ID_MASK)
-}
-
-/// Splits a routed id back into `(slot, generation, client_id)`.
-pub fn split_route_id(rid: u64) -> (u16, u8, u64) {
-    (
-        (rid >> (GEN_BITS + CLIENT_ID_BITS)) as u16,
-        ((rid >> CLIENT_ID_BITS) & GEN_MASK) as u8,
-        rid & CLIENT_ID_MASK,
-    )
-}
 
 /// How a [`ConnWriter`] tells its owning I/O event loop that the
 /// connection needs service (a frame was enqueued, a book settled, the
@@ -310,7 +289,7 @@ impl ConnTable {
             s.writer = Some(writer);
             return Some((slot, s.gen));
         }
-        if t.slots.len() >= MAX_CONNS {
+        if t.slots.len() >= concord_wire::route::MAX_CONNS {
             return None;
         }
         let slot = t.slots.len() as u16;
@@ -369,16 +348,6 @@ impl ConnTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn route_id_round_trips() {
-        let rid = route_id(0xABCD, 0x7F, 12_345);
-        assert_eq!(split_route_id(rid), (0xABCD, 0x7F, 12_345));
-        // Oversized client ids are masked, not corrupting slot/gen bits.
-        let rid = route_id(7, 3, u64::MAX);
-        let (slot, gen, _) = split_route_id(rid);
-        assert_eq!((slot, gen), (7, 3));
-    }
 
     #[test]
     fn slot_reuse_bumps_generation_and_stales_old_ids() {

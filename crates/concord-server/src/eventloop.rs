@@ -27,12 +27,13 @@
 //!
 //! [`IngressMode::EventLoop`]: crate::server::IngressMode::EventLoop
 
-use crate::buf::RecvBuf;
-use crate::conn::{route_id, split_route_id, ConnNotify, ConnWriter};
+use crate::conn::{ConnNotify, ConnWriter};
 use crate::server::{FrontShared, ShardRoute};
-use crate::wire::{self, Frame};
 use concord_core::admission::AdmitOutcome;
 use concord_net::poll::{write_vectored, Events, Interest, Poller, Waker};
+use concord_wire::frame::{self as wire, Frame};
+use concord_wire::route::{route_id, split_route_id};
+use concord_wire::RecvBuf;
 use std::collections::{HashMap, VecDeque};
 use std::io::{ErrorKind, IoSlice};
 use std::net::{TcpListener, TcpStream};

@@ -2,8 +2,10 @@
 //!
 //! Three pieces:
 //!
-//! - [`wire`]: the length-prefixed binary protocol (version 1) carrying
-//!   requests and responses, with a zero-copy decoder.
+//! - the wire protocol: the length-prefixed binary frames (version 1)
+//!   carrying requests and responses live in the [`concord_wire`] crate,
+//!   shared with the `concord-rack` front-end balancer; the [`wire`] and
+//!   [`buf`] modules here are deprecated re-export shims.
 //! - [`server`]: a [`Server`] that binds a listener, routes each
 //!   connection to one of N scheduler shards (hash with a
 //!   power-of-two-choices fallback on admission-queue depth), feeds
@@ -53,5 +55,7 @@ mod threads;
 pub mod wire;
 
 pub use client::{ClientConfig, ClientReport};
-pub use server::{IngressMode, RouterPolicy, Server, ServerConfig, ServerReport};
-pub use wire::{Frame, RequestFrame, ResponseFrame, Status, WireError};
+pub use concord_wire::{Frame, RequestFrame, ResponseFrame, Status, WireError};
+pub use server::{
+    ConfigError, IngressMode, RouterPolicy, Server, ServerConfig, ServerConfigBuilder, ServerReport,
+};

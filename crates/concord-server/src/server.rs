@@ -12,7 +12,7 @@
 //! - [`IngressMode::EventLoop`] (default, [`crate::eventloop`]): a small
 //!   fixed set of I/O threads multiplex every connection through epoll.
 //!   Reads are batched into per-connection compacting buffers
-//!   ([`crate::buf::RecvBuf`]), frames decode zero-copy, and outboxes
+//!   ([`concord_wire::RecvBuf`]), frames decode zero-copy, and outboxes
 //!   flush through coalesced `writev` calls. Connection count does not
 //!   change the thread count.
 //! - [`IngressMode::Threads`] ([`crate::threads`]): one reader and one
@@ -32,8 +32,7 @@
 //! RETRY frame or counted in [`ServerReport::retries_dropped`] when the
 //! connection's outbox had no room for the RETRY.
 
-use crate::conn::{split_route_id, ConnTable, DEFAULT_OUTBOX_CAP, GEN_BITS};
-use crate::wire::{self, Status};
+use crate::conn::{ConnTable, DEFAULT_OUTBOX_CAP};
 use concord_core::admission::{AdmissionConfig, AdmissionPolicy, AdmissionQueue};
 use concord_core::transport::Egress;
 use concord_core::{
@@ -41,6 +40,8 @@ use concord_core::{
     TelemetrySnapshot,
 };
 use concord_net::Response;
+use concord_wire::frame::{self as wire, Status};
+use concord_wire::route::{split_route_id, GEN_BITS};
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -221,6 +222,118 @@ impl ServerConfig {
             admin: None,
         }
     }
+
+    /// A validated builder seeded with the same defaults as
+    /// [`ServerConfig::new`]. Prefer this over mutating the public
+    /// fields: [`ServerConfigBuilder::build`] rejects configurations the
+    /// struct would silently accept (a pinned router aimed past the last
+    /// shard, zero-capacity queues).
+    pub fn builder(runtime: RuntimeConfig) -> ServerConfigBuilder {
+        ServerConfigBuilder {
+            cfg: ServerConfig::new(runtime),
+        }
+    }
+}
+
+/// Why a [`ServerConfigBuilder`] refused to build.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The outbox must hold at least one frame, or no response could
+    /// ever be enqueued.
+    ZeroOutboxCap,
+    /// The admission gate must admit at least one request.
+    ZeroAdmissionCap,
+    /// [`RouterPolicy::Pin`] aimed at a shard the runtime does not have.
+    PinOutOfRange {
+        /// The pinned shard index.
+        pin: usize,
+        /// How many shards the runtime configuration starts.
+        shards: usize,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroOutboxCap => write!(f, "outbox_cap must be at least 1"),
+            ConfigError::ZeroAdmissionCap => {
+                write!(f, "admission capacity must be at least 1")
+            }
+            ConfigError::PinOutOfRange { pin, shards } => write!(
+                f,
+                "router pinned to shard {pin}, but the runtime has only {shards} shard(s)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Builder for [`ServerConfig`]; see [`ServerConfig::builder`].
+#[derive(Clone, Debug)]
+pub struct ServerConfigBuilder {
+    cfg: ServerConfig,
+}
+
+impl ServerConfigBuilder {
+    /// Sets the per-shard admission gate bound and overflow policy.
+    pub fn admission(mut self, admission: AdmissionConfig) -> Self {
+        self.cfg.admission = admission;
+        self
+    }
+
+    /// Sets the connection-to-shard routing policy.
+    pub fn router(mut self, router: RouterPolicy) -> Self {
+        self.cfg.router = router;
+        self
+    }
+
+    /// Sets the socket-servicing model.
+    pub fn ingress(mut self, ingress: IngressMode) -> Self {
+        self.cfg.ingress = ingress;
+        self
+    }
+
+    /// Sets the I/O event-loop thread count (`0` = auto-size).
+    pub fn event_loops(mut self, n: usize) -> Self {
+        self.cfg.event_loops = n;
+        self
+    }
+
+    /// Sets the per-connection outbox bound.
+    pub fn outbox_cap(mut self, cap: usize) -> Self {
+        self.cfg.outbox_cap = cap;
+        self
+    }
+
+    /// Arms `n` injected connection-setup failures (tests).
+    pub fn conn_setup_faults(mut self, faults: Arc<AtomicU64>) -> Self {
+        self.cfg.conn_setup_faults = faults;
+        self
+    }
+
+    /// Starts the admin/introspection plane on `addr`.
+    pub fn admin(mut self, addr: impl Into<String>) -> Self {
+        self.cfg.admin = Some(addr.into());
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<ServerConfig, ConfigError> {
+        if self.cfg.outbox_cap == 0 {
+            return Err(ConfigError::ZeroOutboxCap);
+        }
+        if self.cfg.admission.capacity == 0 {
+            return Err(ConfigError::ZeroAdmissionCap);
+        }
+        if let RouterPolicy::Pin(pin) = self.cfg.router {
+            let shards = self.cfg.runtime.num_shards;
+            if pin >= shards {
+                return Err(ConfigError::PinOutOfRange { pin, shards });
+            }
+        }
+        Ok(self.cfg)
+    }
 }
 
 /// State shared between the [`Server`] facade and its ingress front end
@@ -314,7 +427,18 @@ impl Server {
         cfg: ServerConfig,
         app: Arc<A>,
     ) -> std::io::Result<Server> {
-        let listener = TcpListener::bind(addr)?;
+        Server::serve(TcpListener::bind(addr)?, cfg, app)
+    }
+
+    /// Starts serving on a listener the caller already bound — e.g. one
+    /// from [`concord_net::sock::bind_reuse`], so a restarted backend
+    /// can take its old port back through the previous process's
+    /// `TIME_WAIT` sockets.
+    pub fn serve<A: ConcordApp>(
+        listener: TcpListener,
+        cfg: ServerConfig,
+        app: Arc<A>,
+    ) -> std::io::Result<Server> {
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
 
@@ -543,6 +667,43 @@ mod tests {
             service_ns: 1,
             sent_at: Instant::now(),
         }
+    }
+
+    #[test]
+    fn builder_validates_what_the_struct_accepts_silently() {
+        let rt = || RuntimeConfig::small_test();
+        let cfg = ServerConfig::builder(rt())
+            .outbox_cap(8)
+            .router(RouterPolicy::Pin(0))
+            .admin("127.0.0.1:0")
+            .build()
+            .expect("valid config");
+        assert_eq!(cfg.outbox_cap, 8);
+        assert_eq!(cfg.admin.as_deref(), Some("127.0.0.1:0"));
+
+        assert_eq!(
+            ServerConfig::builder(rt())
+                .outbox_cap(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroOutboxCap
+        );
+        assert_eq!(
+            ServerConfig::builder(rt())
+                .admission(AdmissionConfig {
+                    capacity: 0,
+                    policy: AdmissionPolicy::RejectNewest,
+                })
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroAdmissionCap
+        );
+        let err = ServerConfig::builder(rt())
+            .router(RouterPolicy::Pin(7))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::PinOutOfRange { pin: 7, .. }));
+        assert!(err.to_string().contains("shard"), "{err}");
     }
 
     #[test]

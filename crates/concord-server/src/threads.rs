@@ -10,11 +10,12 @@
 //!
 //! [`IngressMode::Threads`]: crate::server::IngressMode::Threads
 
-use crate::buf::RecvBuf;
-use crate::conn::{route_id, split_route_id, ConnWriter};
+use crate::conn::ConnWriter;
 use crate::server::{FrontShared, ShardRoute};
-use crate::wire::{self, Frame};
 use concord_core::admission::AdmitOutcome;
+use concord_wire::frame::{self as wire, Frame};
+use concord_wire::route::{route_id, split_route_id};
+use concord_wire::RecvBuf;
 use std::io::ErrorKind;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::Ordering;

@@ -12,8 +12,8 @@
 
 use concord_core::admission::{AdmissionConfig, AdmissionPolicy};
 use concord_core::{RuntimeConfig, SpinApp};
-use concord_server::wire::{self, Frame};
 use concord_server::{RouterPolicy, Server, ServerConfig};
+use concord_wire::frame::{self as wire, Frame};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::Arc;

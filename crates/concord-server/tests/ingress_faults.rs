@@ -17,8 +17,8 @@
 
 use concord_core::admission::{AdmissionConfig, AdmissionPolicy};
 use concord_core::{RuntimeConfig, SpinApp};
-use concord_server::wire::{self, Frame};
 use concord_server::{IngressMode, Server, ServerConfig};
+use concord_wire::frame::{self as wire, Frame};
 use std::fs::File;
 use std::io::{ErrorKind, Read, Write};
 use std::net::TcpStream;

@@ -8,8 +8,8 @@ use concord_core::fault::FaultInjector;
 use concord_core::trace::EventKind;
 use concord_core::{RuntimeConfig, SpinApp};
 use concord_server::client::{self, ClientConfig};
-use concord_server::wire::{self, Frame, Status};
 use concord_server::{IngressMode, RouterPolicy, Server, ServerConfig, ServerReport};
+use concord_wire::frame::{self as wire, Frame, Status};
 use concord_workloads::mix;
 use std::collections::HashMap;
 use std::io::{Read, Write};

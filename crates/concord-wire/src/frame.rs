@@ -1,0 +1,433 @@
+//! The Concord wire protocol: length-prefixed binary frames.
+//!
+//! Every frame is a 4-byte little-endian body length followed by the
+//! body. Bodies open with a versioned two-byte header (`version`,
+//! `kind`), then fixed little-endian fields, then an opaque payload:
+//!
+//! ```text
+//! frame     := len:u32le body[len]
+//! body      := version:u8 kind:u8 rest
+//! request   := class:u16le id:u64le service_ns:u64le payload...
+//! response  := class:u16le id:u64le service_ns:u64le
+//!              queue_ns:u64le busy_ns:u64le status:u8 payload...
+//! ```
+//!
+//! [`decode`] is zero-copy: it borrows the payload out of the caller's
+//! buffer and builds the runtime's `Request` without allocating. It
+//! distinguishes "need more bytes" (`Ok(None)` — keep reading) from a
+//! malformed frame (`Err` — the connection is garbage and must be
+//! closed): a framing error leaves the byte stream unsynchronized, so
+//! there is no sound way to skip just the bad frame.
+
+use concord_net::{Request, Response};
+use std::time::Instant;
+
+/// Protocol version carried in every body header.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Size of the frame length prefix.
+pub const HEADER_LEN: usize = 4;
+
+/// Largest accepted frame body. Anything bigger is a protocol error —
+/// the cap keeps a corrupt or hostile length prefix from pinning 4 GiB
+/// of buffer.
+pub const MAX_FRAME_BODY: usize = 1 << 20;
+
+/// Body kind discriminants.
+const KIND_REQUEST: u8 = 1;
+const KIND_RESPONSE: u8 = 2;
+
+/// Fixed body bytes in a request frame (version..service_ns).
+const REQUEST_FIXED: usize = 2 + 2 + 8 + 8;
+/// Fixed body bytes in a response frame (version..status).
+const RESPONSE_FIXED: usize = 2 + 2 + 8 + 8 + 8 + 8 + 1;
+
+/// How the server disposed of a request, carried in every response.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Status {
+    /// Completed normally.
+    Ok = 0,
+    /// The handler panicked; the runtime contained it and answered.
+    Failed = 1,
+    /// Shed by the admission gate — retry later against a less loaded
+    /// server.
+    Retry = 2,
+}
+
+impl Status {
+    fn from_u8(v: u8) -> Option<Status> {
+        match v {
+            0 => Some(Status::Ok),
+            1 => Some(Status::Failed),
+            2 => Some(Status::Retry),
+            _ => None,
+        }
+    }
+}
+
+/// A malformed frame. Any of these poisons the byte stream; close the
+/// connection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The length prefix exceeds [`MAX_FRAME_BODY`].
+    Oversize(u32),
+    /// The body is shorter than the smallest valid body (2 bytes).
+    Runt(usize),
+    /// Unknown protocol version.
+    BadVersion(u8),
+    /// Unknown body kind.
+    BadKind(u8),
+    /// The body is shorter than its kind's fixed fields.
+    Short {
+        /// Declared body kind.
+        kind: u8,
+        /// Actual body length.
+        len: usize,
+    },
+    /// Unknown response status byte.
+    BadStatus(u8),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Oversize(len) => write!(f, "frame body of {len} bytes exceeds the cap"),
+            Self::Runt(len) => write!(f, "frame body of {len} bytes is below the 2-byte header"),
+            Self::BadVersion(v) => write!(f, "unknown wire version {v}"),
+            Self::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            Self::Short { kind, len } => {
+                write!(f, "kind-{kind} body of {len} bytes is missing fixed fields")
+            }
+            Self::BadStatus(s) => write!(f, "unknown response status {s}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A decoded request frame borrowing its payload from the input buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RequestFrame<'a> {
+    /// Client-assigned request id (echoed in the response).
+    pub id: u64,
+    /// Service class (indexes the workload's class table).
+    pub class: u16,
+    /// Nominal service time in nanoseconds (spin apps spin this long;
+    /// real apps ignore it — it stays the slowdown denominator).
+    pub service_ns: u64,
+    /// Opaque application payload.
+    pub payload: &'a [u8],
+}
+
+impl RequestFrame<'_> {
+    /// Converts into the runtime's request descriptor, stamping `now` as
+    /// the arrival time (wall-clock instants cannot cross the wire; the
+    /// client measures its own round-trip separately).
+    pub fn into_request(self, id: u64, now: Instant) -> Request {
+        Request {
+            id,
+            class: self.class,
+            service_ns: self.service_ns,
+            sent_at: now,
+        }
+    }
+}
+
+/// A decoded response frame borrowing its payload from the input buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResponseFrame<'a> {
+    /// The request id this answers (client's id space).
+    pub id: u64,
+    /// Class echoed from the request.
+    pub class: u16,
+    /// Nominal service time echoed from the request.
+    pub service_ns: u64,
+    /// Server-measured queueing delay, nanoseconds.
+    pub queue_ns: u64,
+    /// Server-measured busy time, nanoseconds.
+    pub busy_ns: u64,
+    /// How the server disposed of the request.
+    pub status: Status,
+    /// Opaque application payload.
+    pub payload: &'a [u8],
+}
+
+/// One decoded frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Frame<'a> {
+    /// A client request.
+    Request(RequestFrame<'a>),
+    /// A server response.
+    Response(ResponseFrame<'a>),
+}
+
+/// Attempts to decode one frame from the front of `buf`.
+///
+/// Returns `Ok(Some((frame, consumed)))` on success (drain `consumed`
+/// bytes and decode again), `Ok(None)` when the buffer holds only part
+/// of a frame (read more bytes), or `Err` on a malformed frame (close
+/// the connection).
+pub fn decode(buf: &[u8]) -> Result<Option<(Frame<'_>, usize)>, WireError> {
+    if buf.len() < HEADER_LEN {
+        return Ok(None);
+    }
+    let body_len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+    if body_len as usize > MAX_FRAME_BODY {
+        return Err(WireError::Oversize(body_len));
+    }
+    let total = HEADER_LEN + body_len as usize;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let body = &buf[HEADER_LEN..total];
+    if body.len() < 2 {
+        return Err(WireError::Runt(body.len()));
+    }
+    if body[0] != WIRE_VERSION {
+        return Err(WireError::BadVersion(body[0]));
+    }
+    let kind = body[1];
+    let frame = match kind {
+        KIND_REQUEST => {
+            if body.len() < REQUEST_FIXED {
+                return Err(WireError::Short {
+                    kind,
+                    len: body.len(),
+                });
+            }
+            Frame::Request(RequestFrame {
+                class: u16::from_le_bytes([body[2], body[3]]),
+                id: u64_at(body, 4),
+                service_ns: u64_at(body, 12),
+                payload: &body[REQUEST_FIXED..],
+            })
+        }
+        KIND_RESPONSE => {
+            if body.len() < RESPONSE_FIXED {
+                return Err(WireError::Short {
+                    kind,
+                    len: body.len(),
+                });
+            }
+            let status = Status::from_u8(body[36]).ok_or(WireError::BadStatus(body[36]))?;
+            Frame::Response(ResponseFrame {
+                class: u16::from_le_bytes([body[2], body[3]]),
+                id: u64_at(body, 4),
+                service_ns: u64_at(body, 12),
+                queue_ns: u64_at(body, 20),
+                busy_ns: u64_at(body, 28),
+                status,
+                payload: &body[RESPONSE_FIXED..],
+            })
+        }
+        other => return Err(WireError::BadKind(other)),
+    };
+    Ok(Some((frame, total)))
+}
+
+fn u64_at(b: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(b[at..at + 8].try_into().expect("8 bytes"))
+}
+
+fn frame_header(out: &mut Vec<u8>, body_len: usize, kind: u8) {
+    debug_assert!(body_len <= MAX_FRAME_BODY);
+    out.extend_from_slice(&(body_len as u32).to_le_bytes());
+    out.push(WIRE_VERSION);
+    out.push(kind);
+}
+
+/// Appends one encoded request frame to `out`.
+pub fn encode_request(out: &mut Vec<u8>, id: u64, class: u16, service_ns: u64, payload: &[u8]) {
+    frame_header(out, REQUEST_FIXED + payload.len(), KIND_REQUEST);
+    out.extend_from_slice(&class.to_le_bytes());
+    out.extend_from_slice(&id.to_le_bytes());
+    out.extend_from_slice(&service_ns.to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Appends one encoded response frame to `out`. `id` is in the client's
+/// id space (the server strips its connection-routing bits first).
+pub fn encode_response(out: &mut Vec<u8>, id: u64, resp: &Response, status: Status) {
+    frame_header(out, RESPONSE_FIXED, KIND_RESPONSE);
+    out.extend_from_slice(&resp.class.to_le_bytes());
+    out.extend_from_slice(&id.to_le_bytes());
+    out.extend_from_slice(&resp.service_ns.to_le_bytes());
+    out.extend_from_slice(&resp.queue_ns.to_le_bytes());
+    out.extend_from_slice(&resp.busy_ns.to_le_bytes());
+    out.push(status as u8);
+}
+
+/// Appends one encoded response frame to `out`, re-emitting a decoded
+/// frame verbatim under a different id — the proxy relay path, where
+/// the rack restores the client's original id without re-interpreting
+/// anything else about the response.
+pub fn encode_relay(out: &mut Vec<u8>, id: u64, rf: &ResponseFrame<'_>) {
+    frame_header(out, RESPONSE_FIXED + rf.payload.len(), KIND_RESPONSE);
+    out.extend_from_slice(&rf.class.to_le_bytes());
+    out.extend_from_slice(&id.to_le_bytes());
+    out.extend_from_slice(&rf.service_ns.to_le_bytes());
+    out.extend_from_slice(&rf.queue_ns.to_le_bytes());
+    out.extend_from_slice(&rf.busy_ns.to_le_bytes());
+    out.push(rf.status as u8);
+    out.extend_from_slice(rf.payload);
+}
+
+/// Appends one encoded RETRY response (admission early-reject) to `out`.
+pub fn encode_retry(out: &mut Vec<u8>, id: u64, class: u16, service_ns: u64) {
+    frame_header(out, RESPONSE_FIXED, KIND_RESPONSE);
+    out.extend_from_slice(&class.to_le_bytes());
+    out.extend_from_slice(&id.to_le_bytes());
+    out.extend_from_slice(&service_ns.to_le_bytes());
+    out.extend_from_slice(&0u64.to_le_bytes());
+    out.extend_from_slice(&0u64.to_le_bytes());
+    out.push(Status::Retry as u8);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relay_reencodes_verbatim_under_a_new_id() {
+        let rf = ResponseFrame {
+            id: 0xFFFF_FFFF,
+            class: 7,
+            service_ns: 1_234,
+            queue_ns: 55,
+            busy_ns: 66,
+            status: Status::Failed,
+            payload: b"body",
+        };
+        let mut buf = Vec::new();
+        encode_relay(&mut buf, 42, &rf);
+        let (frame, consumed) = decode(&buf).expect("well-formed").expect("complete");
+        assert_eq!(consumed, buf.len());
+        let Frame::Response(got) = frame else {
+            panic!("expected a response frame");
+        };
+        assert_eq!(got, ResponseFrame { id: 42, ..rf });
+    }
+
+    #[test]
+    fn request_roundtrip_zero_copy() {
+        let mut buf = Vec::new();
+        encode_request(&mut buf, 42, 3, 7_000, b"hello");
+        let (frame, consumed) = decode(&buf).expect("well-formed").expect("complete");
+        assert_eq!(consumed, buf.len());
+        match frame {
+            Frame::Request(r) => {
+                assert_eq!(r.id, 42);
+                assert_eq!(r.class, 3);
+                assert_eq!(r.service_ns, 7_000);
+                assert_eq!(r.payload, b"hello");
+                // Payload is a borrow into the input buffer, not a copy.
+                assert_eq!(r.payload.as_ptr(), buf[buf.len() - 5..].as_ptr());
+                let req = r.into_request(r.id, Instant::now());
+                assert_eq!(req.id, 42);
+                assert_eq!(req.class, 3);
+                assert_eq!(req.service_ns, 7_000);
+            }
+            other => panic!("expected request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn response_roundtrip_all_statuses() {
+        for status in [Status::Ok, Status::Failed, Status::Retry] {
+            let req = Request {
+                id: 9,
+                class: 2,
+                service_ns: 1_000,
+                sent_at: Instant::now(),
+            };
+            let mut resp = Response::completed(&req);
+            resp.queue_ns = 11;
+            resp.busy_ns = 22;
+            let mut buf = Vec::new();
+            encode_response(&mut buf, 9, &resp, status);
+            let (frame, consumed) = decode(&buf).expect("well-formed").expect("complete");
+            assert_eq!(consumed, buf.len());
+            match frame {
+                Frame::Response(r) => {
+                    assert_eq!(r.id, 9);
+                    assert_eq!(r.class, 2);
+                    assert_eq!(r.service_ns, 1_000);
+                    assert_eq!(r.queue_ns, 11);
+                    assert_eq!(r.busy_ns, 22);
+                    assert_eq!(r.status, status);
+                    assert!(r.payload.is_empty());
+                }
+                other => panic!("expected response, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn partial_frames_ask_for_more() {
+        let mut buf = Vec::new();
+        encode_request(&mut buf, 1, 0, 100, b"xyz");
+        for cut in 0..buf.len() {
+            assert_eq!(
+                decode(&buf[..cut]).expect("prefix is never malformed"),
+                None,
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn two_frames_decode_in_sequence() {
+        let mut buf = Vec::new();
+        encode_request(&mut buf, 1, 0, 100, b"");
+        let first_len = buf.len();
+        encode_request(&mut buf, 2, 1, 200, b"p");
+        let (f1, c1) = decode(&buf).unwrap().unwrap();
+        assert_eq!(c1, first_len);
+        assert!(matches!(f1, Frame::Request(r) if r.id == 1));
+        let (f2, c2) = decode(&buf[c1..]).unwrap().unwrap();
+        assert_eq!(c1 + c2, buf.len());
+        assert!(matches!(f2, Frame::Request(r) if r.id == 2));
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected() {
+        // Oversize length prefix.
+        let big = ((MAX_FRAME_BODY + 1) as u32).to_le_bytes();
+        assert_eq!(
+            decode(&big),
+            Err(WireError::Oversize(MAX_FRAME_BODY as u32 + 1))
+        );
+        // Runt body (declared length 1: version only, no kind).
+        let mut runt = 1u32.to_le_bytes().to_vec();
+        runt.push(WIRE_VERSION);
+        assert_eq!(decode(&runt), Err(WireError::Runt(1)));
+        // Wrong version.
+        let mut buf = Vec::new();
+        encode_request(&mut buf, 1, 0, 1, b"");
+        buf[HEADER_LEN] = 99;
+        assert_eq!(decode(&buf), Err(WireError::BadVersion(99)));
+        // Unknown kind.
+        let mut buf = Vec::new();
+        encode_request(&mut buf, 1, 0, 1, b"");
+        buf[HEADER_LEN + 1] = 7;
+        assert_eq!(decode(&buf), Err(WireError::BadKind(7)));
+        // Truncated fixed fields: a 2-byte request body.
+        let mut short = 2u32.to_le_bytes().to_vec();
+        short.push(WIRE_VERSION);
+        short.push(1);
+        assert_eq!(decode(&short), Err(WireError::Short { kind: 1, len: 2 }));
+        // Bad response status.
+        let req = Request {
+            id: 1,
+            class: 0,
+            service_ns: 1,
+            sent_at: Instant::now(),
+        };
+        let mut buf = Vec::new();
+        encode_response(&mut buf, 1, &Response::completed(&req), Status::Ok);
+        let status_at = buf.len() - 1;
+        buf[status_at] = 9;
+        assert_eq!(decode(&buf), Err(WireError::BadStatus(9)));
+    }
+}

@@ -1,0 +1,34 @@
+//! The Concord wire protocol, extracted into its own crate so every
+//! network process — `concord-serve` backends, the load clients, and
+//! the `concord-rack` front-end balancer — shares exactly one codec
+//! definition instead of re-rolling frame constants per binary.
+//!
+//! Three pieces:
+//!
+//! - [`frame`] — the versioned length-prefixed binary protocol: frame
+//!   layout constants, the total zero-copy decoder, and the encoders.
+//! - [`buf`] — [`RecvBuf`], a compacting receive buffer that frames
+//!   decode out of zero-copy, amortized O(1) per frame.
+//! - [`route`] — the request-id routing bit layout
+//!   (`slot | generation | client id`) used by any process that
+//!   multiplexes many connections over one shared id space. The server
+//!   packs its connection slots into bits 40..64; the rack packs its
+//!   pending-request slots into the low 40 bits that survive a backend
+//!   round trip.
+//!
+//! The top level re-exports everything, so `concord_wire::decode` and
+//! `concord_wire::frame::decode` are the same function.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod buf;
+pub mod frame;
+pub mod route;
+
+pub use buf::{RecvBuf, RECV_BUF_MAX};
+pub use frame::{
+    decode, encode_relay, encode_request, encode_response, encode_retry, Frame, RequestFrame,
+    ResponseFrame, Status, WireError, HEADER_LEN, MAX_FRAME_BODY, WIRE_VERSION,
+};
+pub use route::{route_id, split_route_id, CLIENT_ID_BITS, CLIENT_ID_MASK, GEN_BITS, MAX_CONNS};

@@ -88,6 +88,14 @@ pub struct RuntimeObservation {
     /// Requests shed at the admission gate (0 when the ingress has no
     /// gate, as with plain rings).
     pub admission_shed: u64,
+    /// Per-class ingest tallies at quiescence, keyed by the folded
+    /// class (classes past the tracking bound report as
+    /// [`concord_core::telemetry::OTHER_CLASS`]) — the ingest side of
+    /// the per-class conservation law.
+    pub ingested_by_class: Vec<(u16, u64)>,
+    /// Final per-class quantum table, nanoseconds by slot (fixed
+    /// everywhere unless the case ran with the adaptive controller).
+    pub quanta_ns: Vec<u64>,
     /// Derived observables of the quiescent scheduling-event trace.
     pub trace: Option<concord_trace::TraceSummary>,
     /// The raw quiescent trace, for oracles that replay event order
@@ -157,6 +165,21 @@ pub fn run_runtime_with<A: ConcordApp>(
     app: Arc<A>,
     timeout: Duration,
 ) -> RuntimeObservation {
+    run_runtime_tuned(case, clock, app, timeout, |_| {})
+}
+
+/// [`run_runtime_with`] plus a config hook: `tune` runs on the fully
+/// built [`RuntimeConfig`] right before the runtime starts, so tests can
+/// flip knobs a [`CaseConfig`] doesn't model — the adaptive-quantum
+/// controller, per-class SLO budgets, control cadence — while keeping
+/// the case-derived load, mix, and fault plumbing identical.
+pub fn run_runtime_tuned<A: ConcordApp>(
+    case: &CaseConfig,
+    clock: Clock,
+    app: Arc<A>,
+    timeout: Duration,
+    tune: impl FnOnce(&mut RuntimeConfig),
+) -> RuntimeObservation {
     let (req_tx, req_rx) = ring::<Request>(4096);
     let (resp_tx, resp_rx) = ring::<Response>(4096);
 
@@ -170,6 +193,10 @@ pub fn run_runtime_with<A: ConcordApp>(
         dispatcher_slice: Duration::from_micros(case.quantum_us),
         max_in_flight: 16 * 1024,
         policy: case.policy,
+        adaptive_quantum: false,
+        quantum_max: Duration::from_micros(case.quantum_us.max(100)),
+        quantum_control_interval: Duration::from_millis(10),
+        slo: Vec::new(),
         telemetry_report_every: None,
         probe_period: concord_core::config::DEFAULT_PROBE_PERIOD,
         clock,
@@ -179,6 +206,7 @@ pub fn run_runtime_with<A: ConcordApp>(
         fault_injector: None,
     };
     cfg.fault_injector = injector_of(case);
+    tune(&mut cfg);
 
     let rt = Runtime::start(cfg, app, req_rx, resp_tx);
 
@@ -258,6 +286,8 @@ pub fn run_runtime_with<A: ConcordApp>(
         telemetry,
         trace_dropped: stats.trace_dropped.load(Ordering::Relaxed),
         admission_shed: stats.admission.as_ref().map_or(0, |a| a.shed()),
+        ingested_by_class: stats.ingested_by_class.nonzero(),
+        quanta_ns: rt.quanta().snapshot_ns().to_vec(),
         trace,
         raw_trace,
     }
@@ -322,6 +352,10 @@ pub fn run_runtime_sharded(
         dispatcher_slice: Duration::from_micros(case.quantum_us),
         max_in_flight: 16 * 1024,
         policy: case.policy,
+        adaptive_quantum: false,
+        quantum_max: Duration::from_micros(case.quantum_us.max(100)),
+        quantum_control_interval: Duration::from_millis(10),
+        slo: Vec::new(),
         telemetry_report_every: None,
         probe_period: concord_core::config::DEFAULT_PROBE_PERIOD,
         clock: Clock::monotonic(),

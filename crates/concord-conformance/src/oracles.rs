@@ -121,6 +121,47 @@ pub fn check_runtime(obs: &RuntimeObservation) -> Vec<String> {
         },
     );
 
+    // 5b. Per-class conservation: the dispatcher's ingest-side class
+    //     tallies and telemetry's completion-side class rows use the
+    //     same deterministic fold, so with no telemetry loss they must
+    //     agree class by class, and the class rows must partition the
+    //     global ingest count exactly. (ClassTelemetry::completed
+    //     includes contained failures, matching the ingest side.)
+    if obs.telemetry_dropped == 0 {
+        let ingest: std::collections::BTreeMap<u16, u64> =
+            obs.ingested_by_class.iter().copied().collect();
+        let ingest_sum: u64 = ingest.values().sum();
+        check(&mut v, ingest_sum == obs.ingested, || {
+            format!(
+                "per-class conservation: class ingest rows sum to {} != ingested {}",
+                ingest_sum, obs.ingested
+            )
+        });
+        let mut classes: std::collections::BTreeSet<u16> = ingest.keys().copied().collect();
+        classes.extend(obs.telemetry.per_class.keys().copied());
+        for class in classes {
+            let ingested_c = ingest.get(&class).copied().unwrap_or(0);
+            let completed_c = obs
+                .telemetry
+                .per_class
+                .get(&class)
+                .map_or(0, |c| c.completed);
+            check(&mut v, ingested_c == completed_c, || {
+                format!(
+                    "per-class conservation: class {class} ingested {} != completed+failed {}",
+                    ingested_c, completed_c
+                )
+            });
+        }
+    }
+
+    // Quantum-table sanity: the table a quiescent run leaves behind
+    // holds a positive quantum in every slot (adaptive retunes clamp to
+    // [probe period, quantum_max], fixed runs never move).
+    check(&mut v, obs.quanta_ns.iter().all(|&q| q > 0), || {
+        format!("quantum table holds a zero slot: {:?}", obs.quanta_ns)
+    });
+
     // Per-worker rows must sum to the globals (failures included), so the
     // breakdowns can be trusted when an oracle above points at a worker.
     let sum_failed: u64 = obs.per_worker.iter().map(|w| w.failed).sum();
@@ -893,6 +934,8 @@ mod tests {
             preemptions: 2,
             work_conservation_violations: 0,
             admission_shed: 0,
+            ingested_by_class: vec![(0, 10)],
+            quanta_ns: vec![100_000; 33],
             acct: SignalAccounting {
                 consumed: 2,
                 obsolete: 1,

@@ -22,12 +22,13 @@
 //! drains into the tracer as `ADMIT_DROP` instants.
 
 use crate::clock::Clock;
+use crate::quantum::{fold_class, SloState};
 use concord_net::Request;
 use concord_sync::MpmcQueue;
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 /// What to do with an arriving request when the admission queue is full.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -94,6 +95,10 @@ pub enum AdmitOutcome {
     /// Queue full (or draining), the arrival was refused; the transport
     /// should answer RETRY.
     Rejected,
+    /// The arrival's class is currently blowing its p99 SLO budget; the
+    /// transport should answer RETRY. Independent of queue capacity —
+    /// only the blowing class is shed.
+    SloShed,
 }
 
 /// Why an [`AdmissionEvent`] was recorded.
@@ -106,6 +111,10 @@ pub enum AdmissionEventKind {
     /// Arrival refused under [`AdmissionPolicy::RejectNewest`] (or while
     /// draining).
     Rejected,
+    /// Arrival refused because its class is currently blowing its p99
+    /// SLO budget (answered RETRY, like `Rejected`). Only the class
+    /// over budget is shed — the queue may be nowhere near capacity.
+    SloShed,
 }
 
 /// One shed request, stamped at the admission gate. The dispatcher
@@ -135,6 +144,9 @@ pub struct ClassAdmission {
     pub dropped_oldest: u64,
     /// Requests of this class refused with RETRY.
     pub rejected: u64,
+    /// Requests of this class refused (RETRY) because the class was
+    /// blowing its p99 SLO budget.
+    pub slo_shed: u64,
 }
 
 /// Shared admission counters, linked into
@@ -150,6 +162,12 @@ pub struct AdmissionCounters {
     pub dropped_oldest: AtomicU64,
     /// Arrivals refused with RETRY (reject policy, or draining).
     pub rejected: AtomicU64,
+    /// Arrivals refused with RETRY because their class was blowing its
+    /// p99 SLO budget.
+    pub slo_shed: AtomicU64,
+    /// Keyed by the *folded* class (`crate::quantum::fold_class`), so
+    /// the map is bounded against client-controlled class churn and
+    /// every shard keys identically.
     per_class: Mutex<BTreeMap<u16, ClassAdmission>>,
 }
 
@@ -166,6 +184,7 @@ impl std::fmt::Debug for AdmissionCounters {
                 &self.dropped_oldest.load(Ordering::Relaxed),
             )
             .field("rejected", &self.rejected.load(Ordering::Relaxed))
+            .field("slo_shed", &self.slo_shed.load(Ordering::Relaxed))
             .finish_non_exhaustive()
     }
 }
@@ -173,7 +192,7 @@ impl std::fmt::Debug for AdmissionCounters {
 impl AdmissionCounters {
     fn bump(&self, class: u16, kind: Option<AdmissionEventKind>) {
         let mut per_class = self.per_class.lock().expect("lock poisoned");
-        let row = per_class.entry(class).or_default();
+        let row = per_class.entry(fold_class(class)).or_default();
         match kind {
             None => {
                 self.admitted.fetch_add(1, Ordering::Relaxed);
@@ -191,14 +210,19 @@ impl AdmissionCounters {
                 self.rejected.fetch_add(1, Ordering::Relaxed);
                 row.rejected += 1;
             }
+            Some(AdmissionEventKind::SloShed) => {
+                self.slo_shed.fetch_add(1, Ordering::Relaxed);
+                row.slo_shed += 1;
+            }
         }
     }
 
-    /// Total requests shed (dropped either way, or rejected).
+    /// Total requests shed (dropped either way, rejected, or SLO-shed).
     pub fn shed(&self) -> u64 {
         self.dropped_newest.load(Ordering::Relaxed)
             + self.dropped_oldest.load(Ordering::Relaxed)
             + self.rejected.load(Ordering::Relaxed)
+            + self.slo_shed.load(Ordering::Relaxed)
     }
 
     /// Total requests offered to the gate (admitted + shed).
@@ -231,6 +255,10 @@ impl AdmissionCounters {
                 "admit_rejected".to_string(),
                 self.rejected.load(Ordering::Relaxed),
             ),
+            (
+                "admit_slo_shed".to_string(),
+                self.slo_shed.load(Ordering::Relaxed),
+            ),
         ];
         for (class, c) in self.per_class.lock().expect("lock poisoned").iter() {
             rows.push((format!("admit_class{class}_admitted"), c.admitted));
@@ -249,6 +277,9 @@ impl AdmissionCounters {
             if c.rejected > 0 {
                 rows.push((format!("admit_class{class}_rejected"), c.rejected));
             }
+            if c.slo_shed > 0 {
+                rows.push((format!("admit_class{class}_slo_shed"), c.slo_shed));
+            }
         }
         rows
     }
@@ -264,6 +295,10 @@ pub struct AdmissionQueue {
     counters: Arc<AdmissionCounters>,
     closed: AtomicBool,
     clock: Clock,
+    /// Per-class SLO verdicts (written by the runtime's quantum/SLO
+    /// controller). Attached once after construction; absent on queues
+    /// without SLO budgets.
+    slo: OnceLock<Arc<SloState>>,
 }
 
 impl AdmissionQueue {
@@ -281,7 +316,15 @@ impl AdmissionQueue {
             counters: Arc::new(AdmissionCounters::default()),
             closed: AtomicBool::new(false),
             clock,
+            slo: OnceLock::new(),
         })
+    }
+
+    /// Attaches the runtime's SLO state so `offer` can shed classes
+    /// that are blowing their p99 budget. Call before serving traffic;
+    /// later calls are ignored (first writer wins).
+    pub fn attach_slo(&self, slo: Arc<SloState>) {
+        let _ = self.slo.set(slo);
     }
 
     /// The configured bound and policy.
@@ -310,6 +353,16 @@ impl AdmissionQueue {
         if self.closed.load(Ordering::Acquire) {
             self.shed(&req, AdmissionEventKind::Rejected);
             return AdmitOutcome::Rejected;
+        }
+        // SLO-aware early rejection: if this request's class is blowing
+        // its p99 budget, shed *it* with RETRY — targeted, instead of
+        // letting the backlog grow until the capacity policy drops
+        // whatever arrives next regardless of class.
+        if let Some(slo) = self.slo.get() {
+            if slo.should_shed(req.class) {
+                self.shed(&req, AdmissionEventKind::SloShed);
+                return AdmitOutcome::SloShed;
+            }
         }
         let evicted = {
             let mut q = self.inner.lock().expect("lock poisoned");
@@ -413,6 +466,10 @@ impl crate::transport::Ingress for AdmissionIngress {
 
     fn admission_counters(&self) -> Option<Arc<AdmissionCounters>> {
         Some(self.queue.counters())
+    }
+
+    fn attach_slo(&self, slo: Arc<SloState>) {
+        self.queue.attach_slo(slo);
     }
 }
 
@@ -535,6 +592,65 @@ mod tests {
         assert_eq!(get("admit_rejected"), 0);
         assert_eq!(get("admit_class0_admitted"), 1);
         assert_eq!(get("admit_class3_dropped_newest"), 1);
+    }
+
+    #[test]
+    fn slo_shed_targets_only_the_blowing_class() {
+        use crate::quantum::class_slot;
+        let q = queue(64, AdmissionPolicy::RejectNewest);
+        let slo = Arc::new(SloState::new(&[(1, 100)]));
+        q.attach_slo(slo.clone());
+        // Budget intact: both classes admitted.
+        assert!(matches!(q.offer(req(1, 0)), AdmitOutcome::Admitted));
+        assert!(matches!(q.offer(req(2, 1)), AdmitOutcome::Admitted));
+        // Class 1 blows its budget: it is shed, class 0 sails through
+        // even though the queue is far from capacity.
+        slo.set_blown(class_slot(1), true);
+        assert!(matches!(q.offer(req(3, 1)), AdmitOutcome::SloShed));
+        assert!(matches!(q.offer(req(4, 0)), AdmitOutcome::Admitted));
+        let c = q.counters();
+        assert_eq!(c.slo_shed.load(Ordering::Relaxed), 1);
+        assert_eq!(c.rejected.load(Ordering::Relaxed), 0);
+        assert_eq!(c.shed(), 1);
+        assert_eq!(c.offered(), 4);
+        let pc = c.per_class();
+        assert_eq!(pc.get(&1).unwrap().slo_shed, 1);
+        assert_eq!(pc.get(&0).unwrap().slo_shed, 0);
+        // The shed is visible as an event and in the snapshot rows.
+        let mut evs = Vec::new();
+        q.drain_events(&mut evs);
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].kind, AdmissionEventKind::SloShed);
+        let rows = c.snapshot_rows();
+        assert!(rows.contains(&("admit_slo_shed".to_string(), 1)));
+        assert!(rows.contains(&("admit_class1_slo_shed".to_string(), 1)));
+        // Budget recovers: admissions resume.
+        slo.set_blown(class_slot(1), false);
+        assert!(matches!(q.offer(req(5, 1)), AdmitOutcome::Admitted));
+    }
+
+    #[test]
+    fn per_class_counters_fold_overflow_classes() {
+        use crate::telemetry::{MAX_TRACKED_CLASSES, OTHER_CLASS};
+        let q = queue(1024, AdmissionPolicy::DropNewest);
+        // A hostile client cycling through the whole class space must
+        // not grow the per-class map unboundedly.
+        for id in 0..200u64 {
+            q.offer(req(id, (id * 331) as u16));
+        }
+        let pc = q.counters().per_class();
+        assert!(
+            pc.len() <= MAX_TRACKED_CLASSES + 1,
+            "map bounded: {}",
+            pc.len()
+        );
+        let total: u64 = pc.values().map(|c| c.admitted).sum();
+        assert_eq!(total, 200, "fold loses nothing");
+        assert!(pc.contains_key(&OTHER_CLASS));
+        // The fold is the deterministic class→slot rule, not first-seen.
+        assert!(pc
+            .keys()
+            .all(|&c| (c as usize) < MAX_TRACKED_CLASSES || c == OTHER_CLASS));
     }
 
     #[test]

@@ -48,6 +48,22 @@ pub struct RuntimeConfig {
     /// [`PolicyKind::PsQuantum`], the paper's quantum-based
     /// processor sharing. See [`crate::policy`].
     pub policy: crate::policy::PolicyKind,
+    /// Whether the dispatcher retunes the per-class effective quantum
+    /// every [`quantum_control_interval`](Self::quantum_control_interval)
+    /// from the observed per-class service-time distribution (see
+    /// [`crate::quantum`]). Off by default: `quantum` then applies to
+    /// every class, exactly as before.
+    pub adaptive_quantum: bool,
+    /// Ceiling the adaptive controller may raise a class's quantum to
+    /// (the floor is `probe_period`). Ignored unless `adaptive_quantum`.
+    pub quantum_max: Duration,
+    /// Cadence of the quantum/SLO feedback controller.
+    pub quantum_control_interval: Duration,
+    /// Per-class p99 sojourn budgets as `(class, budget in µs)` pairs
+    /// (the `--slo CLASS:P99_US` flag). A class observed blowing its
+    /// budget is shed at admission with RETRY until its windowed p99
+    /// falls back under budget. Empty (the default) disables shedding.
+    pub slo: Vec<(u16, u64)>,
     /// If set, the dispatcher prints a human-readable telemetry report
     /// (queueing/service/sojourn percentiles) to stderr at this interval.
     pub telemetry_report_every: Option<Duration>,
@@ -105,6 +121,18 @@ pub enum ConfigError {
         /// The configured probe period it must not undercut.
         probe_period: Duration,
     },
+    /// `adaptive_quantum` with a `quantum_max` below the base quantum:
+    /// the controller's clamp range would exclude the configured start
+    /// point.
+    QuantumMaxBelowQuantum {
+        /// The configured base quantum.
+        quantum: Duration,
+        /// The configured ceiling that undercuts it.
+        quantum_max: Duration,
+    },
+    /// A zero `quantum_control_interval` with the controller enabled
+    /// (adaptive quanta or SLO budgets): the control loop would spin.
+    ZeroControlInterval,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -120,6 +148,19 @@ impl std::fmt::Display for ConfigError {
                 f,
                 "quantum {quantum:?} is shorter than the preemption-probe \
                  period {probe_period:?}; signals could never be honoured"
+            ),
+            Self::QuantumMaxBelowQuantum {
+                quantum,
+                quantum_max,
+            } => write!(
+                f,
+                "quantum_max {quantum_max:?} is below the base quantum \
+                 {quantum:?}; the adaptive clamp range would exclude it"
+            ),
+            Self::ZeroControlInterval => write!(
+                f,
+                "quantum_control_interval must be non-zero when adaptive \
+                 quanta or SLO budgets are enabled"
             ),
         }
     }
@@ -159,6 +200,10 @@ impl RuntimeBuilder {
                 dispatcher_slice: Duration::from_micros(5),
                 max_in_flight: 16 * 1024,
                 policy: crate::policy::PolicyKind::PsQuantum,
+                adaptive_quantum: false,
+                quantum_max: Duration::from_micros(100),
+                quantum_control_interval: Duration::from_millis(10),
+                slo: Vec::new(),
                 telemetry_report_every: None,
                 clock: Clock::monotonic(),
                 #[cfg(feature = "trace")]
@@ -256,6 +301,40 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Enables or disables the adaptive per-class quantum controller
+    /// (see [`crate::quantum`]).
+    pub fn adaptive_quantum(mut self, on: bool) -> Self {
+        self.cfg.adaptive_quantum = on;
+        self
+    }
+
+    /// Sets the ceiling the adaptive controller may raise a class's
+    /// quantum to (validated ≥ the base quantum at build time when the
+    /// controller is enabled).
+    pub fn quantum_max(mut self, max: Duration) -> Self {
+        self.cfg.quantum_max = max;
+        self
+    }
+
+    /// Sets the quantum/SLO feedback controller's cadence.
+    pub fn quantum_control_interval(mut self, every: Duration) -> Self {
+        self.cfg.quantum_control_interval = every;
+        self
+    }
+
+    /// Adds a per-class p99 sojourn budget in microseconds (the
+    /// `--slo CLASS:P99_US` flag); call once per class.
+    pub fn slo_budget(mut self, class: u16, p99_us: u64) -> Self {
+        self.cfg.slo.push((class, p99_us));
+        self
+    }
+
+    /// Replaces the full per-class SLO budget list.
+    pub fn slo(mut self, budgets: Vec<(u16, u64)>) -> Self {
+        self.cfg.slo = budgets;
+        self
+    }
+
     /// Enables the periodic telemetry reporter at the given interval.
     pub fn telemetry_report_every(mut self, every: Duration) -> Self {
         self.cfg.telemetry_report_every = Some(every);
@@ -315,6 +394,17 @@ impl RuntimeBuilder {
                 quantum: self.cfg.quantum,
                 probe_period: self.cfg.probe_period,
             });
+        }
+        if self.cfg.adaptive_quantum && self.cfg.quantum_max < self.cfg.quantum {
+            return Err(ConfigError::QuantumMaxBelowQuantum {
+                quantum: self.cfg.quantum,
+                quantum_max: self.cfg.quantum_max,
+            });
+        }
+        if (self.cfg.adaptive_quantum || !self.cfg.slo.is_empty())
+            && self.cfg.quantum_control_interval.is_zero()
+        {
+            return Err(ConfigError::ZeroControlInterval);
         }
         Ok(self.cfg)
     }
@@ -388,6 +478,11 @@ mod tests {
             .dispatcher_slice(Duration::from_micros(50))
             .max_in_flight(256)
             .policy(crate::policy::PolicyKind::Srpt { noise_pct: 10 })
+            .adaptive_quantum(true)
+            .quantum_max(Duration::from_millis(2))
+            .quantum_control_interval(Duration::from_millis(5))
+            .slo_budget(0, 200)
+            .slo_budget(7, 5_000)
             .telemetry_report_every(Duration::from_secs(1))
             .clock(clock)
             .build()
@@ -401,6 +496,10 @@ mod tests {
         assert_eq!(c.dispatcher_slice, Duration::from_micros(50));
         assert_eq!(c.max_in_flight, 256);
         assert_eq!(c.policy, crate::policy::PolicyKind::Srpt { noise_pct: 10 });
+        assert!(c.adaptive_quantum);
+        assert_eq!(c.quantum_max, Duration::from_millis(2));
+        assert_eq!(c.quantum_control_interval, Duration::from_millis(5));
+        assert_eq!(c.slo, vec![(0, 200), (7, 5_000)]);
         assert_eq!(c.telemetry_report_every, Some(Duration::from_secs(1)));
         assert!(c.clock.is_virtual());
     }
@@ -437,6 +536,37 @@ mod tests {
         assert!(matches!(err, ConfigError::QuantumShorterThanProbe { .. }));
         // Errors render as human-readable text.
         assert!(err.to_string().contains("probe"));
+        let err = RuntimeConfig::builder()
+            .adaptive_quantum(true)
+            .quantum(Duration::from_micros(50))
+            .quantum_max(Duration::from_micros(10))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::QuantumMaxBelowQuantum { .. }));
+        assert_eq!(
+            RuntimeConfig::builder()
+                .slo_budget(0, 100)
+                .quantum_control_interval(Duration::ZERO)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroControlInterval
+        );
+        // quantum_max is ignored (not validated) when the controller is
+        // off — a fixed-quantum config can't be rejected by a knob it
+        // never reads.
+        RuntimeConfig::builder()
+            .quantum(Duration::from_micros(50))
+            .quantum_max(Duration::from_micros(10))
+            .build()
+            .expect("fixed-quantum config ignores quantum_max");
+    }
+
+    #[test]
+    fn adaptive_quantum_defaults_off_with_empty_slo() {
+        let c = RuntimeConfig::paper_defaults(2);
+        assert!(!c.adaptive_quantum);
+        assert!(c.slo.is_empty());
+        assert!(!c.quantum_control_interval.is_zero());
     }
 
     #[test]

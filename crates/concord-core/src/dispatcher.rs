@@ -7,6 +7,7 @@ use crate::central::CentralQueue;
 use crate::clock::Clock;
 use crate::config::RuntimeConfig;
 use crate::preempt::{set_mode, PreemptMode, WorkerShared};
+use crate::quantum::{QuantumController, QuantumTable, SloState};
 use crate::shard::ShardContext;
 use crate::stats::RuntimeStats;
 use crate::task::{SliceEnd, Task};
@@ -55,6 +56,16 @@ pub struct DispatcherLoop<A: ConcordApp, I: Ingress, E: Egress> {
     pub workers_stop: Arc<AtomicBool>,
     /// Shared counters.
     pub stats: Arc<RuntimeStats>,
+    /// Per-class effective quanta, shared with the workers (they read a
+    /// slot at each slice start; the controller below retunes it).
+    pub quanta: Arc<QuantumTable>,
+    /// The adaptive-quantum/SLO feedback controller; `None` when both
+    /// `adaptive_quantum` and the SLO budget list are off (the table
+    /// then stays fixed at the configured quantum forever).
+    pub controller: Option<QuantumController>,
+    /// Per-class SLO budgets and blown-verdict bits, shared with the
+    /// admission gate (it sheds classes whose bit is set).
+    pub slo: Arc<SloState>,
     /// Shard topology when this dispatcher is one of several
     /// ([`ShardedRuntime`](crate::shard::ShardedRuntime)); `None` for a
     /// plain single-dispatcher runtime. Carries this shard's overflow
@@ -79,6 +90,39 @@ const TRACE_DRAIN_EVERY: u64 = 1024;
 
 /// Upper bound on pooled request stacks (64 KiB each by default).
 const STACK_POOL_CAP: usize = 256;
+
+/// Periodic-interval timer for the dispatcher's telemetry report.
+///
+/// The contract is "first fire one full interval after the loop
+/// started": the timer is seeded from the loop's own start timestamp,
+/// never from 0 — seeding at 0 would make the first report fire
+/// immediately on any clock that has already advanced (i.e. always),
+/// regardless of the configured interval.
+#[derive(Debug)]
+pub struct ReportTimer {
+    every_ns: u64,
+    last_ns: u64,
+}
+
+impl ReportTimer {
+    /// A timer whose first fire is one `every` after `now_ns`.
+    pub fn new(every: std::time::Duration, now_ns: u64) -> Self {
+        Self {
+            every_ns: every.as_nanos().min(u64::MAX as u128) as u64,
+            last_ns: now_ns,
+        }
+    }
+
+    /// Whether a full interval elapsed; resets the timer when it did.
+    pub fn due(&mut self, now_ns: u64) -> bool {
+        if now_ns.saturating_sub(self.last_ns) >= self.every_ns {
+            self.last_ns = now_ns;
+            true
+        } else {
+            false
+        }
+    }
+}
 
 /// A preemption signal the fault injector deferred: deliver to `worker`
 /// for generation `gen` once the clock reaches `due_ns`.
@@ -108,7 +152,12 @@ impl<A: ConcordApp, I: Ingress, E: Egress> DispatcherLoop<A, I, E> {
         let mut stack_pool: Vec<concord_uthread::stack::Stack> = Vec::with_capacity(STACK_POOL_CAP);
         let mut records: Vec<CompletionRecord> = Vec::with_capacity(64);
         let mut admission_events: Vec<AdmissionEvent> = Vec::new();
-        let mut last_report_ns = self.clock.now_ns();
+        // Seeded from the loop's start so the first report waits one
+        // full interval (see `ReportTimer`).
+        let mut report = self
+            .cfg
+            .telemetry_report_every
+            .map(|every| ReportTimer::new(every, self.clock.now_ns()));
         #[cfg(feature = "fault-injection")]
         let mut deferred: Vec<DeferredSignal> = Vec::new();
         #[cfg(feature = "trace")]
@@ -259,6 +308,7 @@ impl<A: ConcordApp, I: Ingress, E: Egress> DispatcherLoop<A, I, E> {
                 while in_system + parked < self.cfg.max_in_flight {
                     let Some(req) = self.rx.poll() else { break };
                     self.stats.ingested.fetch_add(1, Ordering::Relaxed);
+                    self.stats.ingested_by_class.bump(req.class);
                     in_system += 1;
                     let now_ns = self.clock.now_ns();
                     // ARRIVE carries the request's service time in
@@ -475,14 +525,21 @@ impl<A: ConcordApp, I: Ingress, E: Egress> DispatcherLoop<A, I, E> {
                 }
             }
 
-            // Periodic human-readable telemetry report, if configured.
-            if let Some(every) = self.cfg.telemetry_report_every {
+            // Control plane + periodic report: one clock read serves
+            // both. The controller retunes the per-class quanta and
+            // refreshes the SLO verdicts at its own cadence.
+            if self.controller.is_some() || report.is_some() {
                 let now_ns = self.clock.now_ns();
-                if now_ns.saturating_sub(last_report_ns) >= every.as_nanos() as u64 {
-                    last_report_ns = now_ns;
-                    let snap = self.telemetry.lock().expect("lock poisoned").snapshot();
-                    if snap.recorded > 0 {
-                        eprintln!("{}", snap.render());
+                if let Some(ctrl) = self.controller.as_mut() {
+                    ctrl.poll(now_ns, &self.quanta, &self.slo);
+                }
+                // Periodic human-readable telemetry report, if configured.
+                if let Some(timer) = report.as_mut() {
+                    if timer.due(now_ns) {
+                        let snap = self.telemetry.lock().expect("lock poisoned").snapshot();
+                        if snap.recorded > 0 {
+                            eprintln!("{}", snap.render());
+                        }
                     }
                 }
             }
@@ -626,6 +683,12 @@ impl<A: ConcordApp, I: Ingress, E: Egress> DispatcherLoop<A, I, E> {
         for r in scratch.iter() {
             telemetry.record(r);
         }
+        drop(telemetry);
+        if let Some(ctrl) = self.controller.as_mut() {
+            for r in scratch.iter() {
+                ctrl.observe(r.class, r.service_ns, r.sojourn_ns);
+            }
+        }
     }
 
     /// Records and answers a request the dispatcher completed itself.
@@ -640,6 +703,9 @@ impl<A: ConcordApp, I: Ingress, E: Egress> DispatcherLoop<A, I, E> {
             .lock()
             .expect("lock poisoned")
             .record(&record);
+        if let Some(ctrl) = self.controller.as_mut() {
+            ctrl.observe(record.class, record.service_ns, record.sojourn_ns);
+        }
         let resp = task.response();
         self.emit(resp);
         if let Some(s) = task.recycle() {
@@ -691,5 +757,50 @@ impl<A: ConcordApp, I: Ingress, E: Egress> DispatcherLoop<A, I, E> {
                 r.id
             );
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ReportTimer;
+    use crate::clock::Clock;
+    use std::time::Duration;
+
+    /// Regression: the report timer is seeded from the loop's start
+    /// timestamp, so the first report waits one full interval even when
+    /// the clock had already advanced before the loop started. A timer
+    /// seeded at 0 would fire immediately on the first iteration,
+    /// making `--report-interval` a lie for the first report.
+    #[test]
+    fn first_report_waits_one_full_interval() {
+        let (clock, v) = Clock::manual();
+        // The runtime has been up for a while before this dispatcher
+        // loop starts (exactly the state that broke the 0-seeded timer).
+        v.advance(Duration::from_secs(5));
+        let mut t = ReportTimer::new(Duration::from_secs(1), clock.now_ns());
+        assert!(!t.due(clock.now_ns()), "must not fire at loop start");
+        v.advance(Duration::from_millis(999));
+        assert!(!t.due(clock.now_ns()), "interval not yet elapsed");
+        v.advance(Duration::from_millis(1));
+        assert!(t.due(clock.now_ns()), "fires after one full interval");
+        assert!(!t.due(clock.now_ns()), "firing resets the timer");
+        v.advance(Duration::from_secs(1));
+        assert!(t.due(clock.now_ns()), "steady-state cadence holds");
+    }
+
+    /// Pins the failure mode itself: a 0-seeded timer on an
+    /// already-advanced clock fires immediately at loop start instead
+    /// of waiting out its interval.
+    #[test]
+    fn zero_seeded_timer_fires_immediately() {
+        let (clock, v) = Clock::manual();
+        v.advance(Duration::from_secs(5));
+        let mut skewed = ReportTimer::new(Duration::from_secs(1), 0);
+        assert!(
+            skewed.due(clock.now_ns()),
+            "this is the bug the loop-start seed avoids"
+        );
+        let mut seeded = ReportTimer::new(Duration::from_secs(1), clock.now_ns());
+        assert!(!seeded.due(clock.now_ns()), "the seeded timer waits");
     }
 }

@@ -57,6 +57,7 @@ pub mod dispatcher;
 pub mod fault;
 pub mod policy;
 pub mod preempt;
+pub mod quantum;
 pub mod runtime;
 pub mod shard;
 pub mod stats;
@@ -77,6 +78,10 @@ pub use config::{ConfigError, RuntimeBuilder, RuntimeConfig};
 pub use fault::FaultInjector;
 pub use policy::{Boost, Fcfs, PolicyKind, PsQuantum, SchedPolicy, Srpt};
 pub use preempt::{LockDepthObserver, PreemptLine, SignalAccounting, SignalPoll};
+pub use quantum::{
+    class_slot, fold_class, ControllerConfig, QuantumController, QuantumTable, SloState,
+    CLASS_SLOTS,
+};
 pub use runtime::Runtime;
 pub use runtime::RuntimeObserver;
 pub use shard::ShardObserver;

@@ -140,8 +140,18 @@ impl SchedPolicy for Srpt {
     }
 
     fn key(&self, task: &Task) -> u64 {
-        self.estimate(task.req.id, task.req.service_ns)
-            .saturating_sub(task.busy_ns)
+        let estimate = self.estimate(task.req.id, task.req.service_ns);
+        if task.busy_ns < estimate {
+            estimate - task.busy_ns
+        } else {
+            // Estimate exhausted: the request overran its (noisy) size
+            // prediction, so its true remaining work is unknown. Fall
+            // back to elapsed-time ordering — the key grows with
+            // attained service, so an overrunner keeps sinking behind
+            // fresh short work instead of pinning key 0 (= highest
+            // priority) forever.
+            task.busy_ns.max(1)
+        }
     }
 }
 
@@ -170,9 +180,17 @@ impl SchedPolicy for Boost {
 
     fn key(&self, task: &Task) -> u64 {
         let b = self.boost_us * 1_000;
-        let remaining = task.req.service_ns.saturating_sub(task.busy_ns).max(1);
-        task.ingested_at_ns
-            .saturating_sub(b.saturating_mul(b) / remaining)
+        match task.req.service_ns.checked_sub(task.busy_ns) {
+            Some(remaining) if remaining > 0 => task
+                .ingested_at_ns
+                .saturating_sub(b.saturating_mul(b) / remaining),
+            // Size exhausted: clamping `remaining` to 1 here used to
+            // hand the overrunner a B²-nanosecond head start — the
+            // *largest possible* boost, priority inversion against
+            // genuinely short work. Fall back to elapsed-time ordering:
+            // no boost, and attained service pushes it ever later.
+            _ => task.ingested_at_ns.saturating_add(task.busy_ns),
+        }
     }
 }
 
@@ -260,6 +278,81 @@ impl std::fmt::Display for PolicyKind {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::SpinApp;
+    use concord_net::Request;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    /// A task with the given nominal size, attained service, and ingest
+    /// stamp — the exact state the dispatcher's key computation sees on
+    /// a requeue.
+    fn task(id: u64, service_ns: u64, busy_ns: u64, ingested_at_ns: u64) -> Task {
+        let req = Request {
+            id,
+            class: 0,
+            service_ns,
+            sent_at: Instant::now(),
+        };
+        let mut t = Task::new(Arc::new(SpinApp::new()), req, 16 * 1024, ingested_at_ns);
+        t.busy_ns = busy_ns;
+        t
+    }
+
+    /// Regression (pre-fix failure): a request that overran its SRPT
+    /// size estimate collapsed to key 0 — the highest possible priority
+    /// — and beat every genuinely short fresh request forever.
+    #[test]
+    fn srpt_overrun_sinks_behind_fresh_short_work() {
+        let srpt = Srpt::default(); // exact estimates
+                                    // 10µs request that has already attained 12µs (estimate
+                                    // exhausted, still not done).
+        let overrun = task(1, 10_000, 12_000, 0);
+        // Fresh 5µs request.
+        let fresh = task(2, 5_000, 0, 50_000);
+        assert!(
+            srpt.key(&overrun) > srpt.key(&fresh),
+            "overrunner (key {}) must not outrank fresh short work (key {})",
+            srpt.key(&overrun),
+            srpt.key(&fresh)
+        );
+        // And the longer it overruns, the further back it goes.
+        let worse = task(1, 10_000, 30_000, 0);
+        assert!(srpt.key(&worse) > srpt.key(&overrun));
+        // Keys are never 0 (0 would pin the front of the queue).
+        assert!(srpt.key(&task(3, 10_000, 10_000, 0)) > 0);
+        // Normal SRPT ordering is untouched while the estimate holds.
+        let half_done = task(4, 10_000, 6_000, 0);
+        assert_eq!(srpt.key(&half_done), 4_000);
+        assert!(srpt.key(&half_done) < srpt.key(&fresh));
+    }
+
+    /// Regression (pre-fix failure): clamping `remaining` to 1 handed an
+    /// overrunning request a B² head start — the largest boost the
+    /// policy can express — so it preempted ahead of short fresh work.
+    #[test]
+    fn boost_overrun_loses_its_headstart() {
+        let boost = Boost { boost_us: 10 };
+        // Arrived at t=1ms, nominal 10µs, attained 10µs: exhausted.
+        let overrun = task(1, 10_000, 10_000, 1_000_000);
+        // Fresh 1µs request arriving 100µs later.
+        let fresh = task(2, 1_000, 0, 1_100_000);
+        assert!(
+            boost.key(&overrun) > boost.key(&fresh),
+            "exhausted request (key {}) must not outrank a later short \
+             arrival (key {})",
+            boost.key(&overrun),
+            boost.key(&fresh)
+        );
+        // Pre-fix the exhausted key was ingested − B²/1 = 0 (saturated).
+        assert!(boost.key(&overrun) >= overrun.ingested_at_ns);
+        // Attained service keeps pushing an overrunner later.
+        let worse = task(1, 10_000, 40_000, 1_000_000);
+        assert!(boost.key(&worse) > boost.key(&overrun));
+        // In-estimate behavior unchanged: remaining size sets the boost.
+        let b = 10_000u64 * 10_000;
+        let in_flight = task(3, 10_000, 4_000, 1_000_000);
+        assert_eq!(boost.key(&in_flight), 1_000_000 - b / 6_000);
+    }
 
     #[test]
     fn parse_round_trips_display() {

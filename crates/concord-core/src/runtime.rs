@@ -6,6 +6,7 @@ use crate::clock::Clock;
 use crate::config::{RuntimeBuilder, RuntimeConfig};
 use crate::dispatcher::{DispatcherLoop, WorkerSlot};
 use crate::preempt::{SignalAccounting, WorkerShared};
+use crate::quantum::{ControllerConfig, QuantumController, QuantumTable, SloState};
 use crate::stats::RuntimeStats;
 use crate::task::Task;
 use crate::telemetry::{CompletionRecord, Telemetry, TelemetryHandle, TelemetrySnapshot};
@@ -33,6 +34,8 @@ pub struct Runtime {
     stop: Arc<AtomicBool>,
     stats: Arc<RuntimeStats>,
     telemetry: TelemetryHandle,
+    quanta: Arc<QuantumTable>,
+    slo: Arc<SloState>,
     shared: Vec<Arc<WorkerShared>>,
     dispatcher: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
@@ -109,6 +112,39 @@ impl Runtime {
         let telemetry: TelemetryHandle = Arc::new(Mutex::new(Telemetry::new()));
         let from_workers: Arc<MpmcQueue<WorkerMsg>> = Arc::new(MpmcQueue::new());
 
+        // Per-class quantum table (workers read it at slice start) and
+        // SLO state (the admission gate reads the blown bits). With
+        // neither adaptive quanta nor SLO budgets configured there is no
+        // controller and the table stays fixed — the pre-existing
+        // single-quantum behaviour, bit for bit.
+        let quanta = Arc::new(QuantumTable::fixed(config.quantum));
+        let slo = Arc::new(SloState::new(&config.slo));
+        let controller = (config.adaptive_quantum || slo.any_budget()).then(|| {
+            QuantumController::new(
+                ControllerConfig {
+                    interval_ns: config
+                        .quantum_control_interval
+                        .as_nanos()
+                        .min(u64::MAX as u128) as u64,
+                    // The floor is the probe period: a shorter quantum
+                    // would expire before the first preemption probe.
+                    min_ns: config.probe_period.as_nanos().min(u64::MAX as u128) as u64,
+                    max_ns: config.quantum_max.as_nanos().min(u64::MAX as u128).max(1) as u64,
+                    target_pct: 25,
+                    hysteresis_pct: 25,
+                    min_samples: 16,
+                    tune_quanta: config.adaptive_quantum,
+                },
+                clock.now_ns(),
+            )
+        });
+        // SLO-aware shedding: hand the blown-verdict bits to the ingress
+        // (a no-op for plain rings; the TCP admission queue sheds blown
+        // classes with RETRY).
+        if slo.any_budget() {
+            ingress.attach_slo(slo.clone());
+        }
+
         // One emit lane per track (workers 0..n, dispatcher last); the
         // collector owns every consumer side and is drained by the
         // dispatcher periodically and by quiesce() at the end.
@@ -151,7 +187,7 @@ impl Runtime {
                 to_dispatcher: from_workers.clone(),
                 telemetry: rec_tx,
                 clock: clock.clone(),
-                quantum: config.quantum,
+                quanta: quanta.clone(),
                 stop: workers_stop.clone(),
                 stats: stats.clone(),
                 #[cfg(feature = "trace")]
@@ -186,6 +222,9 @@ impl Runtime {
             stop: stop.clone(),
             workers_stop,
             stats: stats.clone(),
+            quanta: quanta.clone(),
+            controller,
+            slo: slo.clone(),
             shard,
             #[cfg(feature = "trace")]
             trace: dispatcher_lane,
@@ -202,6 +241,8 @@ impl Runtime {
             stop,
             stats,
             telemetry,
+            quanta,
+            slo,
             shared: shared_lines,
             dispatcher: Some(dispatcher),
             workers: worker_handles,
@@ -213,6 +254,18 @@ impl Runtime {
     /// Shared runtime counters (live).
     pub fn stats(&self) -> Arc<RuntimeStats> {
         self.stats.clone()
+    }
+
+    /// The live per-class quantum table (fixed at the configured quantum
+    /// unless `adaptive_quantum` armed the controller).
+    pub fn quanta(&self) -> Arc<QuantumTable> {
+        self.quanta.clone()
+    }
+
+    /// The live per-class SLO budgets and blown-verdict bits (all-zero
+    /// when no `--slo` budgets were configured).
+    pub fn slo_state(&self) -> Arc<SloState> {
+        self.slo.clone()
     }
 
     /// Asks the dispatcher to stop ingesting and drain, without joining
@@ -317,6 +370,8 @@ impl Runtime {
         RuntimeObserver {
             stats: self.stats.clone(),
             telemetry: self.telemetry.clone(),
+            quanta: self.quanta.clone(),
+            slo: self.slo.clone(),
             #[cfg(feature = "trace")]
             trace: self.trace.clone(),
         }
@@ -333,6 +388,8 @@ impl Runtime {
 pub struct RuntimeObserver {
     stats: Arc<RuntimeStats>,
     telemetry: TelemetryHandle,
+    quanta: Arc<QuantumTable>,
+    slo: Arc<SloState>,
     #[cfg(feature = "trace")]
     trace: Option<Arc<Mutex<concord_trace::TraceCollector>>>,
 }
@@ -350,6 +407,16 @@ impl RuntimeObserver {
         let mut t = self.telemetry.lock().expect("lock poisoned");
         t.records_dropped = self.stats.telemetry_dropped.load(Ordering::Relaxed);
         t.snapshot()
+    }
+
+    /// The live per-class quantum table.
+    pub fn quanta(&self) -> &Arc<QuantumTable> {
+        &self.quanta
+    }
+
+    /// The live per-class SLO state.
+    pub fn slo(&self) -> &Arc<SloState> {
+        &self.slo
     }
 
     /// Freezes and copies the flight-recorder window (drain + compact +

@@ -373,6 +373,16 @@ impl ShardObserver {
         self.shards[shard].telemetry()
     }
 
+    /// One shard's live per-class quantum table (adaptive or fixed).
+    pub fn quanta(&self, shard: usize) -> &Arc<crate::quantum::QuantumTable> {
+        self.shards[shard].quanta()
+    }
+
+    /// One shard's SLO budget/blown state.
+    pub fn slo(&self, shard: usize) -> &Arc<crate::quantum::SloState> {
+        self.shards[shard].slo()
+    }
+
     /// Per-shard counter rows plus cross-shard totals; live (may be
     /// mid-migration), final once the runtime has quiesced.
     pub fn rollup(&self) -> ShardRollup {

@@ -1,8 +1,59 @@
 //! Runtime counters.
 
 use crate::admission::AdmissionCounters;
+use crate::quantum::{class_slot, fold_class, CLASS_SLOTS};
+use crate::telemetry::OTHER_CLASS;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Per-class ingest counters, indexed by the deterministic class slot
+/// ([`crate::quantum::class_slot`]). The per-class conservation oracle
+/// (`ingested[c] == completed[c] + failed[c]`) needs the ingest side
+/// broken down the same way telemetry folds completions.
+#[derive(Debug)]
+pub struct ClassIngestCounters([AtomicU64; CLASS_SLOTS]);
+
+impl Default for ClassIngestCounters {
+    fn default() -> Self {
+        Self(std::array::from_fn(|_| AtomicU64::new(0)))
+    }
+}
+
+impl ClassIngestCounters {
+    /// Counts one ingested request of `class`.
+    #[inline]
+    pub fn bump(&self, class: u16) {
+        self.0[class_slot(class)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The count for a slot.
+    pub fn slot(&self, slot: usize) -> u64 {
+        self.0[slot].load(Ordering::Relaxed)
+    }
+
+    /// The count for a class (after the fold).
+    pub fn get(&self, class: u16) -> u64 {
+        self.0[class_slot(class)].load(Ordering::Relaxed)
+    }
+
+    /// Non-zero `(folded class, count)` pairs; the overflow slot reports
+    /// as [`OTHER_CLASS`].
+    pub fn nonzero(&self) -> Vec<(u16, u64)> {
+        (0..CLASS_SLOTS)
+            .filter_map(|slot| {
+                let v = self.0[slot].load(Ordering::Relaxed);
+                (v > 0).then(|| {
+                    let class = if slot == CLASS_SLOTS - 1 {
+                        OTHER_CLASS
+                    } else {
+                        fold_class(slot as u16)
+                    };
+                    (class, v)
+                })
+            })
+            .collect()
+    }
+}
 
 /// Per-worker counters (one row per worker thread).
 #[derive(Debug, Default)]
@@ -91,6 +142,8 @@ pub struct RuntimeStats {
     pub stolen: AtomicU64,
     /// Requests ingested from the RX ring.
     pub ingested: AtomicU64,
+    /// The same ingest count broken down by (folded) request class.
+    pub ingested_by_class: ClassIngestCounters,
     /// Requests whose handler panicked (contained; answered with an error
     /// response).
     pub failed: AtomicU64,
@@ -202,6 +255,13 @@ impl RuntimeStats {
         .into_iter()
         .map(|(n, v)| (n.to_string(), v))
         .collect();
+        for (class, v) in self.ingested_by_class.nonzero() {
+            if class == OTHER_CLASS {
+                rows.push(("ingested_class_other".to_string(), v));
+            } else {
+                rows.push((format!("ingested_class{class}"), v));
+            }
+        }
         if let Some(admission) = &self.admission {
             rows.extend(admission.snapshot_rows());
         }
@@ -327,6 +387,34 @@ mod tests {
             .snapshot()
             .iter()
             .all(|(n, _)| !n.starts_with("admit_")));
+    }
+
+    #[test]
+    fn per_class_ingest_folds_and_snapshots() {
+        let s = RuntimeStats::with_workers(1);
+        s.ingested_by_class.bump(0);
+        s.ingested_by_class.bump(0);
+        s.ingested_by_class.bump(31);
+        s.ingested_by_class.bump(32); // folds into the overflow slot
+        s.ingested_by_class.bump(u16::MAX); // so does every class ≥ 32
+        assert_eq!(s.ingested_by_class.get(0), 2);
+        assert_eq!(s.ingested_by_class.get(31), 1);
+        assert_eq!(s.ingested_by_class.get(32), 2);
+        assert_eq!(s.ingested_by_class.get(u16::MAX), 2);
+        assert_eq!(
+            s.ingested_by_class.nonzero(),
+            vec![(0, 2), (31, 1), (OTHER_CLASS, 2)]
+        );
+        let snap = s.snapshot();
+        let get = |name: &str| {
+            snap.iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("{name} missing"))
+                .1
+        };
+        assert_eq!(get("ingested_class0"), 2);
+        assert_eq!(get("ingested_class31"), 1);
+        assert_eq!(get("ingested_class_other"), 2);
     }
 
     #[test]

@@ -197,15 +197,16 @@ impl Telemetry {
         self.breakdown
             .record(r.queue_ns, r.service_ns, r.sojourn_ns, r.nominal_ns);
         // Per-class aggregate, bounded against adversarial class churn:
-        // classes beyond the cap share the OTHER_CLASS bucket.
-        let key = if self.per_class.contains_key(&r.class)
-            || self.per_class.len() < MAX_TRACKED_CLASSES
-        {
-            r.class
-        } else {
-            OTHER_CLASS
-        };
-        self.per_class.entry(key).or_default().record(r);
+        // classes beyond the cap share the OTHER_CLASS bucket. The fold
+        // is a pure function of the class id (crate::quantum::fold_class)
+        // — the old first-seen rule made the decision depend on arrival
+        // order, so a class first seen mid-run could land in OTHER_CLASS
+        // on one shard but own a slot on another, and scrape-time series
+        // merged across shards didn't sum to the totals.
+        self.per_class
+            .entry(crate::quantum::fold_class(r.class))
+            .or_default()
+            .record(r);
     }
 
     /// Folds one preemption's signal-store → yield latency into the
@@ -511,6 +512,51 @@ mod tests {
         r.class = 3;
         t.record(&r);
         assert_eq!(t.per_class[&3].completed, 2);
+    }
+
+    /// Regression (pre-fix failure): the fold decision must depend only
+    /// on the class id, never on arrival order. Under the old
+    /// first-seen rule, two shards seeing the same classes in different
+    /// orders disagreed about which fold into OTHER_CLASS, so merged
+    /// per-class series didn't sum to the per-shard totals.
+    #[test]
+    fn class_fold_is_order_independent_across_shards() {
+        // Shard A sees 40 distinct classes ascending; shard B sees the
+        // same classes descending (so under first-seen folding, B would
+        // have given slots to 39..8 and folded 7..0 into OTHER).
+        let mut a = Telemetry::new();
+        let mut b = Telemetry::new();
+        for class in 0..40u16 {
+            let mut r = rec(1, 1, false);
+            r.class = class;
+            a.record(&r);
+            r.class = 39 - class;
+            b.record(&r);
+        }
+        let sa = a.snapshot();
+        let sb = b.snapshot();
+        assert_eq!(
+            sa.per_class.keys().collect::<Vec<_>>(),
+            sb.per_class.keys().collect::<Vec<_>>(),
+            "both shards must fold identically"
+        );
+        // Merging class-wise (what the admin plane does at scrape time)
+        // preserves the sum law.
+        let mut merged = sa.per_class.clone();
+        for (class, c) in &sb.per_class {
+            merged.entry(*class).or_default().merge(c);
+        }
+        let merged_total: u64 = merged.values().map(|c| c.completed).sum();
+        assert_eq!(merged_total, sa.recorded + sb.recorded);
+        // Tracked classes kept their own slots on both shards.
+        for class in 0..MAX_TRACKED_CLASSES as u16 {
+            assert_eq!(sa.per_class[&class].completed, 1);
+            assert_eq!(sb.per_class[&class].completed, 1);
+        }
+        assert_eq!(
+            sa.per_class[&OTHER_CLASS].completed,
+            40 - MAX_TRACKED_CLASSES as u64
+        );
     }
 
     #[test]

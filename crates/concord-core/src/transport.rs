@@ -66,6 +66,15 @@ pub trait Ingress: Send + 'static {
     fn admission_counters(&self) -> Option<Arc<AdmissionCounters>> {
         None
     }
+
+    /// Hands this ingress the shared per-class SLO state so its
+    /// admission gate (if any) can shed classes the controller marks as
+    /// blowing their budget. Called once by
+    /// [`Runtime::start`](crate::Runtime::start) when budgets are
+    /// configured. Default: ignored (plain rings do no admission).
+    fn attach_slo(&self, slo: Arc<crate::quantum::SloState>) {
+        let _ = slo;
+    }
 }
 
 /// A non-blocking sink for responses.

@@ -3,6 +3,7 @@
 
 use crate::clock::Clock;
 use crate::preempt::{set_mode, PreemptMode, WorkerShared};
+use crate::quantum::QuantumTable;
 use crate::stats::RuntimeStats;
 use crate::task::{SliceEnd, Task};
 use crate::telemetry::CompletionRecord;
@@ -11,7 +12,6 @@ use concord_net::Response;
 use concord_sync::MpmcQueue;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
 
 /// Messages workers send the dispatcher.
 pub enum WorkerMsg {
@@ -53,8 +53,9 @@ pub struct WorkerLoop {
     pub telemetry: SpscSender<CompletionRecord>,
     /// Runtime time source for deadline arithmetic and telemetry stamps.
     pub clock: Clock,
-    /// Scheduling quantum.
-    pub quantum: Duration,
+    /// Per-class effective quanta, read once at each slice start. A
+    /// fixed-quantum runtime shares a table nobody retunes.
+    pub quanta: Arc<QuantumTable>,
     /// Set when the runtime wants workers to exit (after drain).
     pub stop: Arc<AtomicBool>,
     /// Shared counters.
@@ -90,7 +91,9 @@ impl WorkerLoop {
                     // Each slice gets a fresh generation: a late signal
                     // claimed against the previous slice carries the old
                     // generation and cannot preempt this one.
-                    let gen = self.shared.begin_slice(&self.clock, self.quantum);
+                    let gen = self
+                        .shared
+                        .begin_slice(&self.clock, self.quanta.get(task.req.class));
                     set_mode(PreemptMode::Worker(self.shared.clone()));
                     #[cfg(feature = "fault-injection")]
                     if let Some(inj) = self.injector.as_deref() {

@@ -288,18 +288,19 @@ impl AdminState {
                 c.slowdown.histogram(),
             ));
         }
-        // Admission-side rows (admitted/shed per class), summed across
-        // the per-shard gates.
-        let mut admitted: std::collections::BTreeMap<u16, (u64, u64)> =
+        // Admission-side rows (admitted/shed/SLO-shed per class), summed
+        // across the per-shard gates.
+        let mut admitted: std::collections::BTreeMap<u16, (u64, u64, u64)> =
             std::collections::BTreeMap::new();
         for q in self.shared.admissions.iter() {
             for (class, a) in q.counters().per_class() {
                 let e = admitted.entry(class).or_default();
                 e.0 += a.admitted;
-                e.1 += a.dropped_newest + a.dropped_oldest + a.rejected;
+                e.1 += a.dropped_newest + a.dropped_oldest + a.rejected + a.slo_shed;
+                e.2 += a.slo_shed;
             }
         }
-        for (class, (adm, shed)) in &admitted {
+        for (class, (adm, shed, slo_shed)) in &admitted {
             let labels = vec![("class".to_string(), class.to_string())];
             scalars.push(ScalarSample {
                 name: "concord_class_admitted_total".into(),
@@ -312,9 +313,60 @@ impl AdminState {
                 name: "concord_class_rejected_total".into(),
                 help: "Requests of this class the admission gates shed".into(),
                 kind: MetricKind::Counter,
-                labels,
+                labels: labels.clone(),
                 value: *shed,
             });
+            scalars.push(ScalarSample {
+                name: "concord_class_slo_shed_total".into(),
+                help: "Requests of this class shed for blowing their p99 SLO budget".into(),
+                kind: MetricKind::Counter,
+                labels,
+                value: *slo_shed,
+            });
+        }
+        // Control-plane rows: each shard's live per-class preemption
+        // quantum, and (for budgeted classes) the SLO budget and blown
+        // bit. Classes come from the union of the completion- and
+        // admission-side sets above.
+        let mut all: std::collections::BTreeSet<u16> = classes.keys().copied().collect();
+        all.extend(admitted.keys().copied());
+        for class in all {
+            for shard in 0..self.observer.num_shards() {
+                let labels = vec![
+                    ("shard".to_string(), shard.to_string()),
+                    ("class".to_string(), class.to_string()),
+                ];
+                scalars.push(ScalarSample {
+                    name: "concord_class_quantum_ns".into(),
+                    help: "Live preemption quantum for this class, nanoseconds".into(),
+                    kind: MetricKind::Gauge,
+                    labels: labels.clone(),
+                    value: self.observer.quanta(shard).get_ns(class),
+                });
+                if self.observer.slo(shard).any_budget() {
+                    scalars.push(ScalarSample {
+                        name: "concord_class_slo_blown".into(),
+                        help: "1 while this class is shed for blowing its p99 budget".into(),
+                        kind: MetricKind::Gauge,
+                        labels,
+                        value: u64::from(self.observer.slo(shard).should_shed(class)),
+                    });
+                }
+            }
+            // Budgets are per-config, identical across shards.
+            let budget = self
+                .observer
+                .slo(0)
+                .budget_ns(concord_core::class_slot(class));
+            if budget > 0 {
+                scalars.push(ScalarSample {
+                    name: "concord_class_slo_budget_ns".into(),
+                    help: "Configured p99 sojourn budget for this class, nanoseconds".into(),
+                    kind: MetricKind::Gauge,
+                    labels: vec![("class".to_string(), class.to_string())],
+                    value: budget,
+                });
+            }
         }
     }
 
@@ -381,24 +433,39 @@ impl AdminState {
         // Per-class rows: completion-side percentiles merged class-wise
         // across shards, joined with the admission gates' per-class
         // admitted/shed tallies.
-        let mut admitted: std::collections::BTreeMap<u16, (u64, u64)> =
+        let mut admitted: std::collections::BTreeMap<u16, (u64, u64, u64)> =
             std::collections::BTreeMap::new();
         for q in self.shared.admissions.iter() {
             for (class, a) in q.counters().per_class() {
                 let e = admitted.entry(class).or_default();
                 e.0 += a.admitted;
-                e.1 += a.dropped_newest + a.dropped_oldest + a.rejected;
+                e.1 += a.dropped_newest + a.dropped_oldest + a.rejected + a.slo_shed;
+                e.2 += a.slo_shed;
             }
         }
         let class_rows: Vec<Json> = classes
             .iter()
             .map(|(class, c)| {
-                let (adm, rej) = admitted.get(class).copied().unwrap_or((0, 0));
+                let (adm, rej, slo_shed) = admitted.get(class).copied().unwrap_or((0, 0, 0));
+                // The quantum table is per-shard but retuned from the
+                // same control law; report shard 0's value as the
+                // representative. Blown is an any-shard OR.
+                let quantum_ns = self.observer.quanta(0).get_ns(*class);
+                let budget_ns = self
+                    .observer
+                    .slo(0)
+                    .budget_ns(concord_core::class_slot(*class));
+                let blown = (0..self.observer.num_shards())
+                    .any(|s| self.observer.slo(s).should_shed(*class));
                 Json::obj(vec![
                     ("class", Json::U64(u64::from(*class))),
                     ("ingested", Json::U64(adm)),
                     ("completed", Json::U64(c.completed)),
                     ("rejected", Json::U64(rej)),
+                    ("slo_shed", Json::U64(slo_shed)),
+                    ("quantum_us", Json::Num(quantum_ns as f64 / 1e3)),
+                    ("slo_budget_us", Json::Num(budget_ns as f64 / 1e3)),
+                    ("slo_blown", Json::Bool(blown)),
                     (
                         "sojourn_p50_us",
                         Json::Num(c.sojourn.percentile(50.0) as f64 / 1e3),

@@ -4,6 +4,8 @@
 //! concord-serve [--listen HOST:PORT] [--app spin|kv] [--workers N]
 //!               [--shards N] [--quantum-us US]
 //!               [--policy ps|fcfs|srpt[:PCT]|boost[:US]]
+//!               [--adaptive-quantum] [--quantum-max-us US]
+//!               [--control-interval-ms MS] [--slo CLASS:P99_US[,..]]
 //!               [--admission-cap N]
 //!               [--admission-policy drop-newest|drop-oldest|reject]
 //!               [--ingress epoll|threads] [--loops N]
@@ -44,6 +46,16 @@
 //! processor sharing, the default), `fcfs` (run-to-completion),
 //! `srpt[:PCT]` (remaining-size priority with PCT% estimate noise), or
 //! `boost[:US]` (arrival-time-shifted priority).
+//!
+//! `--adaptive-quantum` turns on the per-class quantum controller: each
+//! control interval (`--control-interval-ms`, default 10) it retunes
+//! every class's preemption quantum toward a low percentile of that
+//! class's observed service times, clamped to
+//! `[probe period, --quantum-max-us]`. `--slo CLASS:P99_US[,..]` arms a
+//! per-class p99 sojourn budget in microseconds (e.g. `--slo 0:200,3:5000`);
+//! a class whose observed p99 blows its budget is shed at the admission
+//! gate (clients see RETRY) until its tail recovers. `--slo` works with
+//! or without `--adaptive-quantum`.
 
 use concord_args::Parser;
 use concord_core::admission::{AdmissionConfig, AdmissionPolicy};
@@ -59,6 +71,10 @@ struct Args {
     workers: usize,
     shards: usize,
     quantum_us: f64,
+    adaptive_quantum: bool,
+    quantum_max_us: f64,
+    control_interval_ms: u64,
+    slo: Vec<(u16, u64)>,
     policy: PolicyKind,
     admission_cap: usize,
     admission_policy: AdmissionPolicy,
@@ -87,6 +103,27 @@ fn parse_args() -> Args {
     .opt_default("workers", "N", "2", "workers per shard")
     .opt_default("shards", "N", "1", "scheduler shards")
     .opt_default("quantum-us", "US", "5", "scheduling quantum, microseconds")
+    .switch(
+        "adaptive-quantum",
+        "retune per-class quanta each control interval",
+    )
+    .opt_default(
+        "quantum-max-us",
+        "US",
+        "100",
+        "adaptive-quantum upper clamp, microseconds",
+    )
+    .opt_default(
+        "control-interval-ms",
+        "MS",
+        "10",
+        "quantum/SLO control interval, milliseconds",
+    )
+    .opt(
+        "slo",
+        "CLASS:P99_US[,..]",
+        "per-class p99 sojourn budgets; blown classes shed with RETRY",
+    )
     .opt_default(
         "policy",
         "ps|fcfs|srpt[:PCT]|boost[:US]",
@@ -138,6 +175,23 @@ fn parse_args() -> Args {
         workers: m.require("workers").unwrap_or_else(|e| m.fatal(e)),
         shards: m.require("shards").unwrap_or_else(|e| m.fatal(e)),
         quantum_us: m.require("quantum-us").unwrap_or_else(|e| m.fatal(e)),
+        adaptive_quantum: m.has("adaptive-quantum"),
+        quantum_max_us: m.require("quantum-max-us").unwrap_or_else(|e| m.fatal(e)),
+        control_interval_ms: m
+            .require("control-interval-ms")
+            .unwrap_or_else(|e| m.fatal(e)),
+        slo: m
+            .get("slo")
+            .map(|spec| {
+                parse_slo(spec).unwrap_or_else(|expected| {
+                    m.fatal(concord_args::ArgError::BadValue {
+                        flag: "slo".to_string(),
+                        value: spec.to_string(),
+                        expected,
+                    })
+                })
+            })
+            .unwrap_or_default(),
         policy: m
             .choice("policy", "ps|fcfs|srpt[:PCT]|boost[:US]", PolicyKind::parse)
             .unwrap_or_else(|e| m.fatal(e))
@@ -166,6 +220,28 @@ fn parse_args() -> Args {
         oneshot: m.has("oneshot"),
         trace: m.get("trace").map(std::path::PathBuf::from),
     }
+}
+
+/// Parses `CLASS:P99_US[,CLASS:P99_US..]` into per-class microsecond
+/// budgets. Returns the `expected` description on malformed input.
+fn parse_slo(spec: &str) -> Result<Vec<(u16, u64)>, String> {
+    let mut out = Vec::new();
+    for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+        let parsed = part.trim().split_once(':').and_then(|(class, p99)| {
+            let class: u16 = class.trim().parse().ok()?;
+            let p99: u64 = p99.trim().parse().ok()?;
+            (p99 > 0).then_some((class, p99))
+        });
+        match parsed {
+            Some(pair) => out.push(pair),
+            None => {
+                return Err(format!(
+                    "CLASS:P99_US with a non-zero budget (got '{part}')"
+                ))
+            }
+        }
+    }
+    Ok(out)
 }
 
 fn print_report(report: &ServerReport, trace_path: Option<&std::path::Path>) {
@@ -233,6 +309,17 @@ fn serve<A: ConcordApp>(args: &Args, app: Arc<A>) {
         .num_shards(args.shards)
         .quantum(Duration::from_nanos((args.quantum_us * 1000.0) as u64))
         .policy(args.policy);
+    if args.adaptive_quantum {
+        builder = builder
+            .adaptive_quantum(true)
+            .quantum_max(Duration::from_nanos((args.quantum_max_us * 1000.0) as u64));
+    }
+    if args.adaptive_quantum || !args.slo.is_empty() {
+        builder = builder.quantum_control_interval(Duration::from_millis(args.control_interval_ms));
+    }
+    if !args.slo.is_empty() {
+        builder = builder.slo(args.slo.clone());
+    }
     if args.report_interval > 0 {
         builder = builder.telemetry_report_every(Duration::from_secs(args.report_interval));
     }

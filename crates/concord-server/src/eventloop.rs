@@ -455,7 +455,7 @@ impl EventLoop {
                                 let shard = route.pick(&shared.admissions);
                                 match shared.admissions[shard].offer(req) {
                                     AdmitOutcome::Admitted => writer.note_owed(),
-                                    AdmitOutcome::Rejected => {
+                                    AdmitOutcome::Rejected | AdmitOutcome::SloShed => {
                                         // Early-reject: answer RETRY from
                                         // the gate. A full outbox means
                                         // even the RETRY has nowhere to

@@ -214,7 +214,7 @@ fn reader_loop(
                             let shard = route.pick(&shared.admissions);
                             match shared.admissions[shard].offer(req) {
                                 AdmitOutcome::Admitted => writer.note_owed(),
-                                AdmitOutcome::Rejected => {
+                                AdmitOutcome::Rejected | AdmitOutcome::SloShed => {
                                     // Early-reject: tell the client now,
                                     // from the gate, without touching the
                                     // scheduler. A full outbox means even

@@ -103,6 +103,32 @@ fn scrape_agrees_with_server_report() {
     // Per-class completions (labeled series) sum to the global counter.
     let class_completed = family_sum(&samples, "concord_class_completed_total");
     assert_eq!(class_completed, completed, "class series sum to total");
+    // Sum law on the admission side too: the per-class admitted rows
+    // partition the gate total exactly (same fold on every shard).
+    let class_admitted = family_sum(&samples, "concord_class_admitted_total");
+    assert_eq!(
+        class_admitted, admitted,
+        "per-class admission rows partition the gate total"
+    );
+    // Control-plane gauges: every (shard, class) pair exposes its live
+    // preemption quantum; with the adaptive controller off they all
+    // read the same fixed configured quantum.
+    let mut quanta = Vec::new();
+    for shard in 0..2 {
+        for class in 0..2 {
+            let key = format!("concord_class_quantum_ns{{shard=\"{shard}\",class=\"{class}\"}}");
+            let v = samples
+                .get(&key)
+                .copied()
+                .unwrap_or_else(|| panic!("missing {key}:\n{text}"));
+            assert!(v > 0.0, "{key} must be positive");
+            quanta.push(v);
+        }
+    }
+    assert!(
+        quanta.windows(2).all(|w| w[0] == w[1]),
+        "fixed-quantum server: all class quanta equal, got {quanta:?}"
+    );
     // The bimodal mix has two classes; both must appear as labels.
     assert!(
         text.contains("concord_class_completed_total{class=\"0\"}"),
@@ -149,6 +175,17 @@ fn scrape_agrees_with_server_report() {
         .and_then(Json::as_arr)
         .expect("classes");
     assert_eq!(classes.len(), 2, "one row per request class");
+    for row in classes {
+        assert!(
+            row.get("quantum_us").and_then(Json::as_f64).unwrap_or(0.0) > 0.0,
+            "class rows carry the live quantum"
+        );
+        assert_eq!(
+            row.get("slo_blown"),
+            Some(&Json::Bool(false)),
+            "no SLO budgets configured, nothing blown"
+        );
+    }
 
     // Flight-recorder dump mid-run: non-empty Perfetto JSON, and the
     // server keeps serving afterwards (the dump copies, never drains

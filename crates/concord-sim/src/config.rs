@@ -108,6 +108,33 @@ pub enum Policy {
     },
 }
 
+/// Mirror of the runtime's adaptive per-class quantum controller
+/// (`concord-core`'s `quantum` module), in nanoseconds of simulated
+/// time. The simulator drives the *same* controller type in the cycle
+/// domain, so sim↔runtime cross-validation covers the control law too.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdaptiveQuantum {
+    /// Control interval (retune cadence), ns of simulated time.
+    pub interval_ns: u64,
+    /// Quantum floor, ns.
+    pub min_ns: u64,
+    /// Quantum ceiling, ns.
+    pub max_ns: u64,
+}
+
+impl AdaptiveQuantum {
+    /// Defaults matching the runtime's: 1 µs floor (the probe period),
+    /// 100 µs ceiling, 1 ms control interval (scaled down from the
+    /// runtime's 10 ms so short simulations see many intervals).
+    pub fn paper_default() -> Self {
+        Self {
+            interval_ns: 1_000_000,
+            min_ns: 1_000,
+            max_ns: 100_000,
+        }
+    }
+}
+
 /// Full configuration of one simulated system.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SystemConfig {
@@ -136,6 +163,10 @@ pub struct SystemConfig {
     /// dispatching — §6's throughput-for-latency scalability lever. 1 =
     /// no batching (the default, matching the paper's prototype).
     pub dispatcher_batch: u32,
+    /// Adaptive per-class quantum controller, mirroring the runtime's
+    /// (`None` = the fixed `quantum_ns` applies to every class, as
+    /// before). Ignored when preemption is disabled.
+    pub adaptive: Option<AdaptiveQuantum>,
     /// Machine cost model.
     pub cost: CostModel,
 }
@@ -154,6 +185,7 @@ impl SystemConfig {
             work_conserving: false,
             dispatcher_check_ns: 1_000,
             dispatcher_batch: 1,
+            adaptive: None,
             cost: CostModel::paper_default(),
         }
     }
@@ -171,6 +203,7 @@ impl SystemConfig {
             work_conserving: false,
             dispatcher_check_ns: 1_000,
             dispatcher_batch: 1,
+            adaptive: None,
             cost: CostModel::paper_default(),
         }
     }
@@ -188,6 +221,7 @@ impl SystemConfig {
             work_conserving: true,
             dispatcher_check_ns: 1_000,
             dispatcher_batch: 1,
+            adaptive: None,
             cost: CostModel::paper_default(),
         }
     }
@@ -246,6 +280,13 @@ impl SystemConfig {
     /// Sets the dispatcher duty batch size (clamped to ≥ 1).
     pub fn with_batch(mut self, batch: u32) -> Self {
         self.dispatcher_batch = batch.max(1);
+        self
+    }
+
+    /// Arms the adaptive per-class quantum controller (mirror of the
+    /// runtime's; see [`AdaptiveQuantum`]).
+    pub fn with_adaptive(mut self, adaptive: AdaptiveQuantum) -> Self {
+        self.adaptive = Some(adaptive);
         self
     }
 

@@ -62,6 +62,15 @@ pub struct SimResult {
     pub achieved_quantum: Summary,
     /// Number of events processed (run-cost statistic).
     pub events_processed: u64,
+    /// Final per-class quantum table in **cycles**, indexed by class slot
+    /// (last slot is the overflow fold), when the run used the adaptive
+    /// controller; `None` for fixed-quantum runs. Sharded merges keep the
+    /// first shard's table — shards converge independently, and the
+    /// convergence oracles run per shard.
+    pub adaptive_quanta: Option<Vec<u64>>,
+    /// Quantum retunes the adaptive controller applied (summed across
+    /// shards when merged); 0 for fixed-quantum runs.
+    pub quantum_retunes: u64,
 }
 
 impl SimResult {
@@ -154,6 +163,10 @@ impl SimResult {
         self.dispatcher_app_cycles += other.dispatcher_app_cycles;
         self.achieved_quantum.merge(&other.achieved_quantum);
         self.events_processed += other.events_processed;
+        if self.adaptive_quanta.is_none() {
+            self.adaptive_quanta = other.adaptive_quanta.clone();
+        }
+        self.quantum_retunes += other.quantum_retunes;
     }
 }
 
@@ -186,6 +199,8 @@ mod tests {
             dispatcher_app_cycles: 0,
             achieved_quantum: Summary::new(),
             events_processed: 0,
+            adaptive_quanta: None,
+            quantum_retunes: 0,
         }
     }
 

@@ -18,6 +18,7 @@ use crate::config::{PreemptMechanism, QueueDiscipline, SystemConfig};
 use crate::engine::EventQueue;
 use crate::request::{CentralQueue, ReqId, Request};
 use crate::result::SimResult;
+use concord_core::quantum::{ControllerConfig, QuantumController, QuantumTable, SloState};
 use concord_metrics::{Histogram, SlowdownTracker, Summary};
 use concord_workloads::arrival::Poisson;
 use concord_workloads::{Arrival, RecordedTrace, TraceGenerator, Workload};
@@ -202,6 +203,17 @@ struct Sim<'a> {
     /// code progressing again (the Fig. 3 `c_next` measurement).
     feed_gap: Histogram,
     achieved_quantum: Summary,
+    /// Per-class quantum table in **cycles**, mirroring the runtime's
+    /// [`QuantumTable`] (the table and controller are unit-agnostic);
+    /// `None` runs the classic fixed quantum.
+    quanta: Option<QuantumTable>,
+    /// Mirror of the runtime's per-class feedback controller, operating
+    /// in the cycle domain so sim↔runtime cross-validation exercises the
+    /// identical control law.
+    controller: Option<QuantumController>,
+    /// Empty SLO state: the sim has no admission gate to shed through,
+    /// so the mirror controller only retunes quanta.
+    slo: SloState,
     preemptions: u64,
     completed: u64,
     /// Highest per-worker queue occupancy ever reached (JBSQ bound oracle).
@@ -350,6 +362,9 @@ fn run_simulation<'a>(
 ) -> (SimResult, Option<concord_trace::Trace>) {
     assert!(cfg.n_workers >= 1, "need at least one worker");
     assert!(requests >= 1, "need at least one request");
+    // The adaptive mirror only makes sense when preemption is enabled
+    // (quantum_cycles() == u64::MAX means run-to-completion).
+    let adaptive = cfg.adaptive.filter(|_| cfg.quantum_cycles() != u64::MAX);
     let mut sim = Sim {
         cfg,
         arrivals,
@@ -365,6 +380,25 @@ fn run_simulation<'a>(
         latency_ns: Histogram::with_max(3, 1 << 44),
         feed_gap: Histogram::with_max(3, 1 << 40),
         achieved_quantum: Summary::new(),
+        quanta: adaptive.map(|_| QuantumTable::fixed_raw(cfg.quantum_cycles())),
+        controller: adaptive.map(|a| {
+            QuantumController::new(
+                ControllerConfig {
+                    // ns-suffixed fields hold *cycles* here: the
+                    // controller is unit-agnostic, and the sim's clock
+                    // domain is cycles.
+                    interval_ns: cfg.cost.ns_to_cycles(a.interval_ns).max(1),
+                    min_ns: cfg.cost.ns_to_cycles(a.min_ns).max(1),
+                    max_ns: cfg.cost.ns_to_cycles(a.max_ns).max(1),
+                    target_pct: 25,
+                    hysteresis_pct: 25,
+                    min_samples: 16,
+                    tune_quanta: true,
+                },
+                0,
+            )
+        }),
+        slo: SloState::default(),
         preemptions: 0,
         completed: 0,
         max_jbsq_inflight: 0,
@@ -576,7 +610,12 @@ impl<'a> Sim<'a> {
         let dur = self.inflate(self.requests[req].remaining);
         self.events
             .push(app_begin + dur, Event::WorkerDone { worker, epoch });
-        let q = self.cfg.quantum_cycles();
+        // Per-class adaptive quantum when the mirror controller runs,
+        // otherwise the configured fixed quantum.
+        let q = match self.quanta.as_ref() {
+            Some(table) => table.get_ns(self.requests[req].class),
+            None => self.cfg.quantum_cycles(),
+        };
         if q < dur {
             self.events
                 .push(app_begin + q, Event::QuantumExpiry { worker, epoch });
@@ -984,16 +1023,23 @@ impl<'a> Sim<'a> {
         let r = &mut self.requests[req];
         r.completion = Some(now);
         self.completed += 1;
-        if r.id >= self.warmup_cutoff {
-            let sojourn = now.saturating_sub(r.arrival);
-            self.slowdown.record(r.service, sojourn);
-            let class = r.class as usize;
-            if self.by_class.len() <= class {
-                self.by_class.resize_with(class + 1, SlowdownTracker::new);
+        let sojourn = now.saturating_sub(r.arrival);
+        let (class, service, id) = (r.class, r.service, r.id);
+        if id >= self.warmup_cutoff {
+            self.slowdown.record(service, sojourn);
+            let slot = class as usize;
+            if self.by_class.len() <= slot {
+                self.by_class.resize_with(slot + 1, SlowdownTracker::new);
             }
-            self.by_class[class].record(r.service, sojourn);
+            self.by_class[slot].record(service, sojourn);
             let ghz = self.cfg.cost.ghz;
             self.latency_ns.record((sojourn as f64 / ghz) as u64);
+        }
+        // Feed the mirror controller exactly as the runtime dispatcher
+        // does from drained telemetry: every completion, warmup included.
+        if let (Some(ctrl), Some(quanta)) = (self.controller.as_mut(), self.quanta.as_ref()) {
+            ctrl.observe(class, service, sojourn);
+            ctrl.poll(now, quanta, &self.slo);
         }
     }
 
@@ -1038,6 +1084,8 @@ impl<'a> Sim<'a> {
             dispatcher_app_cycles: self.disp.app_cycles,
             achieved_quantum: self.achieved_quantum,
             events_processed: self.events_processed,
+            adaptive_quanta: self.quanta.as_ref().map(|t| t.snapshot_ns().to_vec()),
+            quantum_retunes: self.controller.as_ref().map_or(0, |c| c.retunes),
         }
     }
 }
@@ -1114,6 +1162,45 @@ mod tests {
         let cfg = SystemConfig::concord(4, 5_000);
         let r = simulate(&cfg, mix::bimodal_50_1_50_100(), &params(20_000.0, 4_000));
         assert!(r.achieved_quantum.min() >= 10_000.0 - 1.0); // ≥ 5µs at 2GHz
+    }
+
+    /// The mirror controller converges to distinct per-class quanta on a
+    /// bimodal mix — the short class gets a short quantum, the long class
+    /// a long one — and stays deterministic across runs.
+    #[test]
+    fn adaptive_quanta_converge_per_class() {
+        let adaptive = crate::config::AdaptiveQuantum::paper_default();
+        let cfg = SystemConfig::concord(4, 5_000).with_adaptive(adaptive);
+        let r = simulate(&cfg, mix::bimodal_50_1_50_100(), &params(20_000.0, 8_000));
+        assert_eq!(r.completed, 8_000);
+        let quanta = r.adaptive_quanta.as_ref().expect("adaptive run");
+        assert!(r.quantum_retunes > 0, "controller never retuned");
+        // Class 0 runs 1µs requests, class 1 runs 100µs requests: the
+        // short class must settle on a strictly smaller quantum.
+        assert!(
+            quanta[0] < quanta[1],
+            "short-class quantum {} !< long-class quantum {}",
+            quanta[0],
+            quanta[1]
+        );
+        // Both stay inside the configured clamp (in cycles at 2GHz).
+        let min = cfg.cost.ns_to_cycles(adaptive.min_ns);
+        let max = cfg.cost.ns_to_cycles(adaptive.max_ns);
+        assert!(quanta[0] >= min && quanta[0] <= max, "q0={}", quanta[0]);
+        assert!(quanta[1] >= min && quanta[1] <= max, "q1={}", quanta[1]);
+        // Determinism: same seed, same converged table.
+        let r2 = simulate(&cfg, mix::bimodal_50_1_50_100(), &params(20_000.0, 8_000));
+        assert_eq!(r.adaptive_quanta, r2.adaptive_quanta);
+        assert_eq!(r.quantum_retunes, r2.quantum_retunes);
+    }
+
+    /// Fixed-quantum runs keep the adaptive fields empty.
+    #[test]
+    fn fixed_quantum_reports_no_adaptive_state() {
+        let cfg = SystemConfig::concord(4, 5_000);
+        let r = simulate(&cfg, mix::fixed_1us(), &params(10_000.0, 2_000));
+        assert!(r.adaptive_quanta.is_none());
+        assert_eq!(r.quantum_retunes, 0);
     }
 
     #[test]

@@ -363,6 +363,47 @@ mod tests {
         }
     }
 
+    /// Class bits cross the wire verbatim at every interesting point:
+    /// class 0, the last individually-tracked class (31), the first
+    /// folded class (32), and the u16 ceiling. Folding into the
+    /// overflow slot is a *telemetry/admission* concern — the wire and
+    /// the scheduler must preserve the original bits so responses and
+    /// RETRYs echo the class the client sent.
+    #[test]
+    fn class_bits_roundtrip_across_tracking_boundary() {
+        for class in [0u16, 31, 32, 1_000, u16::MAX] {
+            let mut buf = Vec::new();
+            encode_request(&mut buf, 5, class, 2_000, b"p");
+            let (frame, _) = decode(&buf).expect("well-formed").expect("complete");
+            let Frame::Request(r) = frame else {
+                panic!("expected request for class {class}");
+            };
+            assert_eq!(r.class, class);
+            let req = r.into_request(5, Instant::now());
+            assert_eq!(req.class, class);
+
+            let mut resp = Response::completed(&req);
+            resp.queue_ns = 1;
+            resp.busy_ns = 2;
+            let mut buf = Vec::new();
+            encode_response(&mut buf, 5, &resp, Status::Ok);
+            let (frame, _) = decode(&buf).expect("well-formed").expect("complete");
+            let Frame::Response(r) = frame else {
+                panic!("expected response for class {class}");
+            };
+            assert_eq!(r.class, class);
+
+            let mut buf = Vec::new();
+            encode_retry(&mut buf, 5, class, 2_000);
+            let (frame, _) = decode(&buf).expect("well-formed").expect("complete");
+            let Frame::Response(r) = frame else {
+                panic!("expected RETRY response for class {class}");
+            };
+            assert_eq!(r.class, class);
+            assert_eq!(r.status, Status::Retry);
+        }
+    }
+
     #[test]
     fn partial_frames_ask_for_more() {
         let mut buf = Vec::new();
